@@ -1,0 +1,38 @@
+//! Cost-based baseline planners.
+//!
+//! * [`cdp`] — **CDP**, a reconstruction of RDF-3X's cost-based
+//!   dynamic-programming optimizer: bushy plans over connected subgraphs,
+//!   interesting orders (one best plan per sort variable per subset), the
+//!   paper's exact cost formulas, and *exact* leaf cardinalities /
+//!   distinct-value counts obtained from the store's sorted relations (the
+//!   equivalent of RDF-3X's aggregated indexes). Like RDF-3X, it refuses
+//!   queries containing a cross product.
+//! * [`leftdeep`] — the **MonetDB/SQL** stand-in: a left-deep-only greedy
+//!   cost-based planner with no RDF-specific FILTER rewriting, which is why
+//!   SP4a degenerates into a guarded Cartesian product (the paper's "XXX").
+//! * [`stocker`] — Stocker et al.'s selectivity-estimation framework (the
+//!   paper's [32]): summary statistics (predicate frequencies + object
+//!   histograms), independence-assumption pattern selectivities, greedy
+//!   most-selective-first left-deep ordering. The middle regime between
+//!   HSP's syntax-only ranking and CDP's exact statistics.
+//! * [`hybrid`] — the paper's §7 future-work proposal: HSP's merge-block
+//!   structure combined with cost-based ordering of blocks.
+//! * [`cardinality`] — the shared estimator (exact leaves, containment
+//!   assumption for joins).
+//! * [`charsets`] — characteristic sets (Neumann & Moerkotte, the paper's
+//!   [21]): exact star-join cardinalities, the statistics-side answer to
+//!   the correlation problem the paper's introduction describes.
+
+pub mod cardinality;
+pub mod cdp;
+pub mod charsets;
+pub mod hybrid;
+pub mod leftdeep;
+pub mod stocker;
+
+pub use cardinality::Estimator;
+pub use charsets::CharacteristicSets;
+pub use cdp::{CdpError, CdpPlanner};
+pub use hybrid::HybridPlanner;
+pub use leftdeep::LeftDeepPlanner;
+pub use stocker::{StockerPlanner, StockerStats};

@@ -1,0 +1,39 @@
+//! MWIS solver scaling (the paper's §6.2.2 claim: a 50-node variable graph
+//! in under 6 ms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hsp_core::mwis::all_max_weight_independent_sets;
+use hsp_datagen::graphs::{random_variable_graph, star_chain_graph};
+
+fn bench_mwis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis");
+    for n in [10usize, 20, 30, 40, 50, 60] {
+        let g = random_variable_graph(n, 0.08, n as u64);
+        group.bench_function(BenchmarkId::new("random_p008", n), |b| {
+            b.iter(|| black_box(all_max_weight_independent_sets(&g.weights, &g.adj)))
+        });
+
+        let dense = random_variable_graph(n, 0.25, n as u64 + 1);
+        group.bench_function(BenchmarkId::new("random_p025", n), |b| {
+            b.iter(|| black_box(all_max_weight_independent_sets(&dense.weights, &dense.adj)))
+        });
+
+        let stars = star_chain_graph(n / 5, 4);
+        group.bench_function(BenchmarkId::new("star_chain", n), |b| {
+            b.iter(|| black_box(all_max_weight_independent_sets(&stars.weights, &stars.adj)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_mwis
+}
+criterion_main!(benches);

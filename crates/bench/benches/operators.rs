@@ -1,0 +1,91 @@
+//! Operator micro-benchmarks: the merge-join vs hash-join asymmetry the
+//! whole paper is built on, plus scan-select throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hsp_engine::binding::BindingTable;
+use hsp_engine::ops;
+use hsp_rdf::{Term, TermId};
+use hsp_sparql::{TermOrVar, TriplePattern, Var};
+use hsp_store::{Dataset, Order};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build two join inputs of `n` rows with ~10% key overlap density.
+fn join_inputs(n: usize, seed: u64) -> (BindingTable, BindingTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = (n / 4).max(1) as u32;
+    let mut left_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
+    let mut right_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
+    left_keys.sort_unstable();
+    right_keys.sort_unstable();
+    let payload_l: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000_000 + i)).collect();
+    let payload_r: Vec<TermId> = (0..n as u32).map(|i| TermId(2_000_000 + i)).collect();
+    let left = BindingTable::from_columns(
+        vec![Var(0), Var(1)],
+        vec![left_keys, payload_l],
+        Some(Var(0)),
+    );
+    let right = BindingTable::from_columns(
+        vec![Var(0), Var(2)],
+        vec![right_keys, payload_r],
+        Some(Var(0)),
+    );
+    (left, right)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (left, right) = join_inputs(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("merge_join", n), |b| {
+            b.iter(|| black_box(ops::merge_join(&left, &right, Var(0))))
+        });
+        group.bench_function(BenchmarkId::new("hash_join", n), |b| {
+            b.iter(|| black_box(ops::hash_join(&left, &right, &[Var(0)])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    // A dataset with one dominant predicate.
+    let mut doc = String::new();
+    for i in 0..50_000 {
+        doc.push_str(&format!(
+            "<http://e/s{}> <http://e/p{}> <http://e/o{}> .\n",
+            i % 10_000,
+            i % 7,
+            i % 500
+        ));
+    }
+    let ds = Dataset::from_ntriples(&doc).unwrap();
+    let p0 = TermOrVar::Const(Term::iri("http://e/p0"));
+
+    let mut group = c.benchmark_group("scans");
+    let bound = TriplePattern::new(TermOrVar::Var(Var(0)), p0, TermOrVar::Var(Var(1)));
+    group.bench_function("bound_predicate_pso", |b| {
+        b.iter(|| black_box(ops::scan(&ds, &bound, Order::Pso)))
+    });
+    let full = TriplePattern::new(
+        TermOrVar::Var(Var(0)),
+        TermOrVar::Var(Var(1)),
+        TermOrVar::Var(Var(2)),
+    );
+    group.bench_function("full_scan_spo", |b| {
+        b.iter(|| black_box(ops::scan(&ds, &full, Order::Spo)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_joins, bench_scans
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Planning-time benchmarks (the paper's Table 6).
+//!
+//! HSP plans from syntax alone and should sit in the microsecond range for
+//! every workload query; CDP pays for dynamic programming plus statistics
+//! lookups; the SQL baseline is greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hsp_baseline::{CdpPlanner, LeftDeepPlanner};
+use hsp_core::HspPlanner;
+use hsp_datagen::{
+    generate_sp2bench, generate_yago, workload, DatasetKind, Sp2BenchConfig, YagoConfig,
+};
+use hsp_sparql::rewrite::rewrite_filters;
+
+fn bench_planning(c: &mut Criterion) {
+    let sp2b = generate_sp2bench(Sp2BenchConfig::with_triples(60_000));
+    let yago = generate_yago(YagoConfig::with_triples(60_000));
+
+    let mut group = c.benchmark_group("planning");
+    for q in workload() {
+        let parsed = q.parse();
+        let ds = match q.dataset {
+            DatasetKind::Sp2Bench => &sp2b,
+            DatasetKind::Yago => &yago,
+        };
+
+        let hsp = HspPlanner::new();
+        group.bench_function(BenchmarkId::new("hsp", q.id), |b| {
+            b.iter(|| black_box(hsp.plan(black_box(&parsed)).unwrap()))
+        });
+
+        // CDP refuses SP4a's raw form; benchmark the rewritten query, as the
+        // paper did.
+        let cdp_input =
+            if q.id == "SP4a" { rewrite_filters(&parsed).0 } else { parsed.clone() };
+        let cdp = CdpPlanner::new();
+        group.bench_function(BenchmarkId::new("cdp", q.id), |b| {
+            b.iter(|| black_box(cdp.plan(ds, black_box(&cdp_input)).unwrap()))
+        });
+
+        let sql = LeftDeepPlanner::new();
+        group.bench_function(BenchmarkId::new("sql", q.id), |b| {
+            b.iter(|| black_box(sql.plan(ds, black_box(&parsed)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_planning
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Store-mutation benchmarks: incremental batch merge vs full rebuild of
+//! the six sorted relations, and trickle (single-triple) updates.
+//!
+//! The interesting crossover: a rebuild is `O((n+m) log (n+m))` regardless
+//! of `m`, the batch merge is `O(n + m log m)` — so small batches into
+//! large stores should win big, converging as `m → n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hsp_rdf::{IdTriple, TermId};
+use hsp_store::TripleStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_triples(n: usize, seed: u64) -> Vec<IdTriple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            [
+                TermId(rng.random_range(0..50_000)),
+                TermId(rng.random_range(0..64)),
+                TermId(rng.random_range(0..50_000)),
+            ]
+        })
+        .collect()
+}
+
+fn bench_batch_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    let base = random_triples(100_000, 1);
+    let store = TripleStore::from_triples(&base);
+    for m in [100usize, 1_000, 10_000] {
+        let batch = random_triples(m, 2);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", m), &batch, |b, batch| {
+            b.iter_batched(
+                || store.clone(),
+                |mut s| {
+                    s.insert_batch(batch);
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", m), &batch, |b, batch| {
+            b.iter(|| {
+                let mut all = base.clone();
+                all.extend_from_slice(batch);
+                black_box(TripleStore::from_triples(&all))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trickle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trickle");
+    for n in [10_000usize, 100_000] {
+        let base = random_triples(n, 3);
+        let store = TripleStore::from_triples(&base);
+        let extra = random_triples(64, 4);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("insert-64-singles", n), &extra, |b, extra| {
+            b.iter_batched(
+                || store.clone(),
+                |mut s| {
+                    for &t in extra {
+                        s.insert(t);
+                    }
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("remove-64-singles", n), &base, |b, base| {
+            b.iter_batched(
+                || store.clone(),
+                |mut s| {
+                    for t in base.iter().take(64) {
+                        s.remove(*t);
+                    }
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_batch_vs_rebuild, bench_trickle
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p hsp-bench --bin repro -- all
+//! cargo run --release -p hsp-bench --bin repro -- table4 table6
+//! HSP_SP2B_TRIPLES=5_000_000 cargo run --release -p hsp-bench --bin repro -- table7
+//! ```
+//!
+//! Experiments: `table1 table2 table3 table4 table6 table7 table8 queries
+//! figure1 figure2 figure3 mwis ablation all`.
+
+use hsp_bench::tables;
+use hsp_bench::{BenchEnv, EnvConfig};
+use hsp_datagen::DatasetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <experiment>...\n\
+             experiments: table1 table2 table3 table4 table6 table7 table8\n\
+             queries figure1 figure2 figure3 mwis ablation sip all"
+        );
+        std::process::exit(2);
+    }
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "table4", "table6", "table7", "table8",
+            "queries", "figure1", "figure2", "figure3", "mwis", "ablation", "sip",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    // Dataset-free experiments can run without the (potentially long) load.
+    let needs_data = wanted.iter().any(|w| {
+        matches!(
+            *w,
+            "table1" | "table3" | "table4" | "table7" | "table8" | "figure2" | "figure3"
+                | "ablation" | "sip"
+        )
+    });
+    let env = if needs_data {
+        let config = EnvConfig::from_env();
+        eprintln!(
+            "generating datasets: SP2Bench-like {} triples, YAGO-like {} triples …",
+            config.sp2b_triples, config.yago_triples
+        );
+        let env = BenchEnv::load(config);
+        eprintln!(
+            "loaded {} + {} triples in {:.1}s\n",
+            env.sp2b.len(),
+            env.yago.len(),
+            env.load_seconds
+        );
+        Some(env)
+    } else {
+        None
+    };
+
+    for w in wanted {
+        let text = match w {
+            "table1" => tables::table1(env.as_ref().expect("loaded")),
+            "table2" => tables::table2(),
+            "table3" => tables::table3(env.as_ref().expect("loaded")),
+            "table4" => tables::table4(env.as_ref().expect("loaded")),
+            "table6" => tables::table6(),
+            "table7" => tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Sp2Bench),
+            "table8" => tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Yago),
+            "queries" => tables::queries_text(),
+            "figure1" => tables::figure1(),
+            "figure2" => tables::figure2(env.as_ref().expect("loaded")),
+            "figure3" => tables::figure3(env.as_ref().expect("loaded")),
+            "mwis" => tables::mwis_scaling(),
+            "ablation" => tables::ablation(env.as_ref().expect("loaded")),
+            "sip" => tables::sip_table(env.as_ref().expect("loaded")),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        println!("{text}");
+    }
+}

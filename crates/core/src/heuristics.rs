@@ -1,0 +1,290 @@
+//! The five optimisation heuristics of Section 4.
+//!
+//! H1 and H2 define *rankings* (lower = more selective); H3–H5 define
+//! *scores* used to filter candidate independent sets in Algorithm 1.
+
+use hsp_rdf::{TermKind, TriplePos};
+use hsp_sparql::analysis::{join_patterns_of_var, JoinPattern};
+use hsp_sparql::{JoinQuery, TriplePattern, Var};
+
+/// H1 — triple-pattern selectivity rank; **lower is more selective**.
+///
+/// The base order is
+/// `(s,p,o) ≺ (s,?,o) ≺ (?,p,o) ≺ (s,p,?) ≺ (?,?,o) ≺ (s,?,?) ≺ (?,p,?) ≺ (?,?,?)`,
+/// encoded as even ranks 0,2,…,14 so the `rdf:type` exception ("these
+/// triples should not be considered as selective") can demote class-
+/// membership patterns between the base ranks (e.g. `(?, rdf:type, Class)`
+/// lands between `(?,?,o)` and `(s,?,?)`).
+pub fn h1_rank(pattern: &TriplePattern) -> u8 {
+    let s = pattern.slot(TriplePos::S).is_const();
+    let p = pattern.slot(TriplePos::P).is_const();
+    let o = pattern.slot(TriplePos::O).is_const();
+    let base = match (s, p, o) {
+        (true, true, true) => 0,
+        (true, false, true) => 2,
+        (false, true, true) => 4,
+        (true, true, false) => 6,
+        (false, false, true) => 8,
+        (true, false, false) => 10,
+        (false, true, false) => 12,
+        (false, false, false) => 14,
+    };
+    if pattern.is_rdf_type_pattern() && pattern.num_vars() > 0 {
+        // Demote by five: (?,type,o) → 9, (s,type,?) → 11, (?,type,?) → 15.
+        (base + 5).min(15)
+    } else {
+        base
+    }
+}
+
+/// H2 — join-position precedence; **lower is more selective**:
+/// `p⋈o ≺ s⋈p ≺ s⋈o ≺ o⋈o ≺ s⋈s ≺ p⋈p`.
+pub fn h2_rank(jp: JoinPattern) -> u8 {
+    use TriplePos::{O, P, S};
+    match (jp.0, jp.1) {
+        (P, O) | (O, P) => 0,
+        (S, P) | (P, S) => 1,
+        (S, O) | (O, S) => 2,
+        (O, O) => 3,
+        (S, S) => 4,
+        (P, P) => 5,
+    }
+}
+
+/// H3 — number of constants (literals + URIs) in a pattern; **higher is
+/// more selective** ("bound is easier").
+pub fn h3_consts(pattern: &TriplePattern) -> usize {
+    pattern.num_consts()
+}
+
+/// H4 — object-slot selectivity: a literal object beats a URI object beats
+/// a variable; **higher is more selective**.
+pub fn h4_object_score(pattern: &TriplePattern) -> u8 {
+    match pattern.slot(TriplePos::O).as_const() {
+        Some(t) if t.kind() == TermKind::Literal => 2,
+        Some(_) => 1,
+        None => 0,
+    }
+}
+
+/// Scores of one candidate independent set, used by Algorithm 1's
+/// tie-breaking cascade. All scores are computed over the patterns the set
+/// *covers* (the patterns containing any of its variables) within the
+/// current residual pattern set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetScores {
+    /// Number of variables in the set (the deterministic pre-tie-break:
+    /// fewer variables ⇒ larger merge-join blocks per variable).
+    pub num_vars: usize,
+    /// H3: total constants over covered patterns (maximise).
+    pub h3_total_consts: usize,
+    /// H4: covered patterns whose object is a literal (maximise).
+    pub h4_literal_objects: usize,
+    /// H2: best (minimum) join-position rank over the set's variables
+    /// (minimise).
+    pub h2_best_rank: u8,
+    /// H5: unused variables (neither shared nor projected) in covered
+    /// patterns (maximise — "prefer the set with the maximum number of
+    /// unused variables").
+    pub h5_unused_vars: usize,
+}
+
+/// Compute [`SetScores`] for a candidate set over the residual patterns
+/// `indices`.
+pub fn score_set(
+    query: &JoinQuery,
+    indices: &[usize],
+    set: &[Var],
+) -> SetScores {
+    let covered: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| set.iter().any(|&v| query.patterns[i].contains_var(v)))
+        .collect();
+
+    let h3_total_consts = covered
+        .iter()
+        .map(|&i| h3_consts(&query.patterns[i]))
+        .sum();
+    let h4_literal_objects = covered
+        .iter()
+        .filter(|&&i| h4_object_score(&query.patterns[i]) == 2)
+        .count();
+
+    let h2_best_rank = set
+        .iter()
+        .flat_map(|&v| join_patterns_of_var(query, v))
+        .map(h2_rank)
+        .min()
+        .unwrap_or(u8::MAX);
+
+    // Unused variables: weight-1 variables that are not projected.
+    let projected: Vec<Var> = query.projection.iter().map(|&(_, v)| v).collect();
+    let mut unused = 0;
+    let mut seen: Vec<Var> = Vec::new();
+    for &i in &covered {
+        for v in query.patterns[i].vars() {
+            if seen.contains(&v) {
+                continue;
+            }
+            seen.push(v);
+            if query.weight(v) == 1 && !projected.contains(&v) {
+                unused += 1;
+            }
+        }
+    }
+
+    SetScores {
+        num_vars: set.len(),
+        h3_total_consts,
+        h4_literal_objects,
+        h2_best_rank,
+        h5_unused_vars: unused,
+    }
+}
+
+/// One step of the tie-break cascade: keep the candidates maximising
+/// (or minimising) a score.
+pub fn retain_best<T, K: Ord>(
+    candidates: &mut Vec<T>,
+    mut key: impl FnMut(&T) -> K,
+    minimise: bool,
+) {
+    if candidates.len() <= 1 {
+        return;
+    }
+    let best = if minimise {
+        candidates.iter().map(&mut key).min()
+    } else {
+        candidates.iter().map(&mut key).max()
+    };
+    let best = best.expect("non-empty");
+    candidates.retain(|c| key(c) == best);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_sparql::JoinQuery;
+
+    fn patterns(text: &str) -> JoinQuery {
+        JoinQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn h1_full_order() {
+        let q = patterns(
+            r#"SELECT ?x WHERE {
+               <http://e/s> <http://e/p> <http://e/o> .
+               <http://e/s> ?a <http://e/o> .
+               ?b <http://e/p> <http://e/o> .
+               <http://e/s> <http://e/p> ?c .
+               ?d ?e <http://e/o> .
+               <http://e/s> ?f ?g .
+               ?h <http://e/p> ?i .
+               ?x ?j ?k . }"#,
+        );
+        let ranks: Vec<u8> = q.patterns.iter().map(h1_rank).collect();
+        assert_eq!(ranks, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        // Strictly increasing — H1's chain of ≺.
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn h1_rdf_type_exception() {
+        let q = patterns(
+            "SELECT ?x WHERE { ?x a <http://e/C> . ?y <http://e/p> <http://e/o> . ?z ?w <http://e/o> . }",
+        );
+        let type_rank = h1_rank(&q.patterns[0]);
+        let po_rank = h1_rank(&q.patterns[1]);
+        let o_rank = h1_rank(&q.patterns[2]);
+        // (?, rdf:type, o) is demoted below (?, p, o) and even below (?, ?, o).
+        assert!(type_rank > po_rank);
+        assert!(type_rank > o_rank);
+        // …but it still beats a completely unbound pattern.
+        assert!(type_rank < 14);
+    }
+
+    #[test]
+    fn h1_ground_rdf_type_not_demoted() {
+        let q = patterns(
+            "SELECT ?x WHERE { <http://e/s> a <http://e/C> . ?x <http://e/p> ?y . }",
+        );
+        assert_eq!(h1_rank(&q.patterns[0]), 0);
+    }
+
+    #[test]
+    fn h2_order_matches_paper() {
+        use hsp_rdf::TriplePos::{O, P, S};
+        let seq = [
+            JoinPattern::new(P, O),
+            JoinPattern::new(S, P),
+            JoinPattern::new(S, O),
+            JoinPattern::new(O, O),
+            JoinPattern::new(S, S),
+            JoinPattern::new(P, P),
+        ];
+        let ranks: Vec<u8> = seq.iter().map(|&jp| h2_rank(jp)).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn h4_literal_beats_uri_beats_var() {
+        let q = patterns(
+            r#"SELECT ?x WHERE {
+               ?x <http://e/p> "literal" .
+               ?x <http://e/p> <http://e/uri> .
+               ?x <http://e/p> ?y . }"#,
+        );
+        assert_eq!(h4_object_score(&q.patterns[0]), 2);
+        assert_eq!(h4_object_score(&q.patterns[1]), 1);
+        assert_eq!(h4_object_score(&q.patterns[2]), 0);
+    }
+
+    #[test]
+    fn set_scores_on_y4_shape() {
+        // Y4: ties {x,z}, {x,w}, {y,w}; H3 must prefer {x,w} (4 constants).
+        let q = patterns(
+            "SELECT ?x ?w ?y WHERE {
+                ?x ?p1 ?y .
+                ?y ?p2 ?z .
+                ?z ?p3 ?w .
+                ?w a <http://e/site> .
+                ?x a <http://e/actor> . }",
+        );
+        let all: Vec<usize> = (0..5).collect();
+        let x = Var(0);
+        let y = Var(2);
+        let z = Var(4);
+        let w = Var(6);
+        let s_xz = score_set(&q, &all, &[x, z]);
+        let s_xw = score_set(&q, &all, &[x, w]);
+        let s_yw = score_set(&q, &all, &[y, w]);
+        assert_eq!(s_xw.h3_total_consts, 4);
+        assert!(s_xw.h3_total_consts > s_xz.h3_total_consts);
+        assert!(s_xw.h3_total_consts > s_yw.h3_total_consts);
+    }
+
+    #[test]
+    fn h5_counts_unused_vars() {
+        // ?u is unused (weight 1, not projected); ?x is projected.
+        let q = patterns(
+            "SELECT ?x WHERE { ?x <http://e/p> ?u . ?x <http://e/q> ?y . ?y <http://e/r> ?v . }",
+        );
+        let all: Vec<usize> = (0..3).collect();
+        let s = score_set(&q, &all, &[Var(0)]); // covers tp0, tp1
+        assert_eq!(s.h5_unused_vars, 1); // ?u
+        let sy = score_set(&q, &all, &[Var(2)]); // ?y covers tp1, tp2
+        assert_eq!(sy.h5_unused_vars, 1); // ?v
+    }
+
+    #[test]
+    fn retain_best_filters() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        retain_best(&mut v, |&x| x, true);
+        assert_eq!(v, vec![1, 1]);
+        let mut w = vec![3, 1, 4, 1, 5];
+        retain_best(&mut w, |&x| x, false);
+        assert_eq!(w, vec![5]);
+    }
+}

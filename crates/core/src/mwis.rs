@@ -1,0 +1,410 @@
+//! Exact enumeration of all maximum-weight independent sets.
+//!
+//! The paper reduces merge-join maximisation to MWIS (citing Ostergard's
+//! exact solver) and notes the variable graph is tiny — "HSP can process a
+//! variable graph of up to 50 nodes in less than 6 ms". This module
+//! implements an exact branch-and-bound over bitsets that returns *every*
+//! maximum-weight set (Algorithm 1 needs them all for tie-breaking).
+
+/// A growable bitset over `usize` indices (graphs can exceed 64 nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` indices.
+    pub fn new(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Insert `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// `true` if `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// `true` if no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of indices present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The smallest index present.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Remove every index present in `other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Keep only the indices also present in `other`.
+    pub fn intersect(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Number of indices present in `self ∩ other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self ∩ other` is non-empty?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate over present indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Collect into a sorted vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// The result of MWIS enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MwisResult {
+    /// The maximum total weight.
+    pub weight: u64,
+    /// All independent sets achieving it (as sorted index vectors), up to
+    /// [`MAX_SETS`].
+    pub sets: Vec<Vec<usize>>,
+    /// `true` if more maximum sets exist than were collected.
+    pub truncated: bool,
+}
+
+/// Enumeration cap: pathological tie structures (k disjoint equal-weight
+/// edges have 2^k maximum sets) are truncated here; Algorithm 1 only needs
+/// a pool of candidates to tie-break over.
+pub const MAX_SETS: usize = 1024;
+
+/// Enumerate all maximum-weight independent sets of the graph given by
+/// per-node `weights` and adjacency bitsets `adj` (must be symmetric,
+/// irreflexive).
+///
+/// Empty graphs yield the empty set with weight 0.
+pub fn all_max_weight_independent_sets(weights: &[u64], adj: &[BitSet]) -> MwisResult {
+    assert_eq!(weights.len(), adj.len(), "one adjacency row per node");
+    let n = weights.len();
+    let mut remaining = BitSet::new(n.max(1));
+    for i in 0..n {
+        remaining.insert(i);
+    }
+    let mut best = MwisResult { weight: 0, sets: vec![Vec::new()], truncated: false };
+    let mut current = Vec::new();
+    branch(&remaining, &mut current, 0, weights, adj, &mut best);
+    best
+}
+
+fn branch(
+    remaining: &BitSet,
+    current: &mut Vec<usize>,
+    current_weight: u64,
+    weights: &[u64],
+    adj: &[BitSet],
+    best: &mut MwisResult,
+) {
+    // Upper bound: a greedy clique cover of the remaining nodes — at most
+    // one node per clique can join an independent set, so the heaviest node
+    // of each clique bounds that clique's contribution (the Ostergard-style
+    // bound that keeps 50-node graphs in the paper's millisecond range).
+    if current_weight + clique_cover_bound(remaining, weights, adj) < best.weight {
+        return;
+    }
+    if remaining.is_empty() {
+        record(current, current_weight, best);
+        return;
+    }
+    // Pivot on the highest-degree remaining node: including it removes the
+    // most neighbours; excluding it shrinks the densest part first.
+    let v = remaining
+        .iter()
+        .max_by_key(|&i| adj[i].intersection_len(remaining))
+        .expect("non-empty");
+
+    // Branch 1: include v (drop v and its neighbours).
+    let mut with_v = remaining.clone();
+    with_v.remove(v);
+    with_v.subtract(&adj[v]);
+    current.push(v);
+    branch(&with_v, current, current_weight + weights[v], weights, adj, best);
+    current.pop();
+
+    // Branch 2: exclude v.
+    let mut without_v = remaining.clone();
+    without_v.remove(v);
+    branch(&without_v, current, current_weight, weights, adj, best);
+}
+
+/// Upper bound on the weight of any independent set within `remaining`:
+/// greedily partition into cliques, summing each clique's maximum weight.
+fn clique_cover_bound(remaining: &BitSet, weights: &[u64], adj: &[BitSet]) -> u64 {
+    let mut rest = remaining.clone();
+    let mut bound = 0;
+    while let Some(v) = rest.first() {
+        rest.remove(v);
+        let mut max_w = weights[v];
+        // Grow a clique: candidates adjacent to every member so far.
+        let mut candidates = adj[v].clone();
+        candidates.intersect(&rest);
+        while let Some(u) = candidates.first() {
+            rest.remove(u);
+            candidates.remove(u);
+            candidates.intersect(&adj[u]);
+            max_w = max_w.max(weights[u]);
+        }
+        bound += max_w;
+    }
+    bound
+}
+
+fn record(current: &[usize], weight: u64, best: &mut MwisResult) {
+    use std::cmp::Ordering;
+    // Branching visits nodes in pivot order; normalise to sorted index
+    // vectors so callers see canonical sets.
+    let mut set = current.to_vec();
+    set.sort_unstable();
+    match weight.cmp(&best.weight) {
+        Ordering::Greater => {
+            best.weight = weight;
+            best.sets.clear();
+            best.sets.push(set);
+            best.truncated = false;
+        }
+        Ordering::Equal => {
+            if best.sets.len() < MAX_SETS {
+                if !best.sets.contains(&set) {
+                    best.sets.push(set);
+                }
+            } else {
+                best.truncated = true;
+            }
+        }
+        Ordering::Less => {}
+    }
+}
+
+/// Brute-force reference (2^n subsets) — kept public as the oracle for the
+/// property-based test suites; never used by the planner itself.
+pub fn brute_force_mwis(weights: &[u64], adj: &[BitSet]) -> MwisResult {
+    let n = weights.len();
+    assert!(n <= 20, "brute force limited to 20 nodes");
+    let mut best = MwisResult { weight: 0, sets: vec![Vec::new()], truncated: false };
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let independent = members
+            .iter()
+            .all(|&i| members.iter().all(|&j| i == j || !adj[i].contains(j)));
+        if !independent {
+            continue;
+        }
+        let weight: u64 = members.iter().map(|&i| weights[i]).sum();
+        record(&members, weight, &mut best);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build adjacency bitsets from an edge list.
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<BitSet> {
+        let mut adj = vec![BitSet::new(n); n];
+        for &(a, b) in edges {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        adj
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(64));
+        assert!(!b.contains(63));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.first(), Some(0));
+        assert_eq!(b.to_vec(), vec![0, 64, 129]);
+        b.remove(0);
+        assert_eq!(b.first(), Some(64));
+    }
+
+    #[test]
+    fn bitset_subtract_and_intersects() {
+        let mut a = BitSet::new(8);
+        let mut b = BitSet::new(8);
+        for i in [1, 3, 5] {
+            a.insert(i);
+        }
+        for i in [3, 4] {
+            b.insert(i);
+        }
+        assert!(a.intersects(&b));
+        a.subtract(&b);
+        assert_eq!(a.to_vec(), vec![1, 5]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let weights = vec![2, 3, 5];
+        let adj = graph(3, &[]);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 10);
+        assert_eq!(r.sets, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn single_edge_picks_heavier_endpoint() {
+        let weights = vec![2, 3];
+        let adj = graph(2, &[(0, 1)]);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 3);
+        assert_eq!(r.sets, vec![vec![1]]);
+    }
+
+    #[test]
+    fn tie_enumerates_all_sets() {
+        // Path a–b–c with weights 1, 2, 1: {b} and {a, c} both weigh 2.
+        let weights = vec![1, 2, 1];
+        let adj = graph(3, &[(0, 1), (1, 2)]);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 2);
+        let mut sets = r.sets.clone();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 2], vec![1]]);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn paper_figure1_graph() {
+        // ?yr(1) — ?jrnl(4) — ?rev(1): after trimming only ?jrnl remains,
+        // but even untrimmed the MWIS is {?jrnl} with weight 4 vs {?yr, ?rev} = 2.
+        let weights = vec![1, 4, 1]; // yr, jrnl, rev
+        let adj = graph(3, &[(0, 1), (1, 2)]);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 4);
+        assert_eq!(r.sets, vec![vec![1]]);
+    }
+
+    #[test]
+    fn y2_style_tie() {
+        // a(4) adjacent to m1(2) and m2(2); m1–m2 not adjacent:
+        // {a} and {m1, m2} both weigh 4.
+        let weights = vec![4, 2, 2];
+        let adj = graph(3, &[(0, 1), (0, 2)]);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 4);
+        assert_eq!(r.sets.len(), 2);
+    }
+
+    #[test]
+    fn independence_of_results() {
+        let weights = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let adj = graph(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (2, 5)],
+        );
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        for set in &r.sets {
+            for &i in set {
+                for &j in set {
+                    assert!(i == j || !adj[i].contains(j), "set {set:?} not independent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn matches_brute_force_on_fixed_graphs() {
+        let cases: Vec<(Vec<u64>, Vec<(usize, usize)>)> = vec![
+            (vec![1, 1, 1, 1], vec![(0, 1), (1, 2), (2, 3)]),
+            (vec![5, 4, 3, 2, 1], vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            (vec![2, 2, 2], vec![(0, 1), (1, 2), (0, 2)]),
+            (vec![7], vec![]),
+        ];
+        for (weights, edges) in cases {
+            let adj = graph(weights.len(), &edges);
+            let fast = all_max_weight_independent_sets(&weights, &adj);
+            let slow = brute_force_mwis(&weights, &adj);
+            assert_eq!(fast.weight, slow.weight);
+            let mut f = fast.sets.clone();
+            let mut s = slow.sets.clone();
+            f.sort();
+            s.sort();
+            assert_eq!(f, s);
+        }
+    }
+
+    #[test]
+    fn truncation_on_pathological_ties() {
+        // 12 disjoint equal-weight edges: 2^12 = 4096 maximum sets > cap.
+        let n = 24;
+        let weights = vec![1u64; n];
+        let edges: Vec<(usize, usize)> = (0..12).map(|i| (2 * i, 2 * i + 1)).collect();
+        let adj = graph(n, &edges);
+        let r = all_max_weight_independent_sets(&weights, &adj);
+        assert_eq!(r.weight, 12);
+        assert_eq!(r.sets.len(), MAX_SETS);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let r = all_max_weight_independent_sets(&[], &[]);
+        assert_eq!(r.weight, 0);
+        assert_eq!(r.sets, vec![Vec::<usize>::new()]);
+    }
+}

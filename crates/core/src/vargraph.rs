@@ -1,0 +1,304 @@
+//! The SPARQL variable graph (paper Definition 4).
+
+use hsp_sparql::{JoinQuery, TriplePattern, Var};
+
+use crate::mwis::BitSet;
+
+/// The variable graph `G(Q) = (V, E, β)` of a set of triple patterns.
+///
+/// Nodes are the query variables, `β(v)` is the number of patterns
+/// containing `v`, and an edge connects two variables iff they co-occur in
+/// some pattern. For MWIS only the *trimmed* graph matters — the paper keeps
+/// "only the nodes … part of more than one join", i.e. variables appearing
+/// in at least two patterns; [`VariableGraph::trimmed`] produces it.
+#[derive(Debug, Clone)]
+pub struct VariableGraph {
+    vars: Vec<Var>,
+    weights: Vec<u64>,
+    adj: Vec<BitSet>,
+}
+
+impl VariableGraph {
+    /// Build the graph over a subset of a query's patterns (`indices`); the
+    /// weights count occurrences *within that subset*, which is what each
+    /// round of Algorithm 1 needs.
+    pub fn build(query: &JoinQuery, indices: &[usize]) -> Self {
+        let patterns: Vec<&TriplePattern> =
+            indices.iter().map(|&i| &query.patterns[i]).collect();
+        Self::from_patterns(&patterns)
+    }
+
+    /// Build the graph over a full pattern list.
+    pub fn from_patterns(patterns: &[&TriplePattern]) -> Self {
+        let mut vars: Vec<Var> = Vec::new();
+        for p in patterns {
+            for v in p.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        vars.sort();
+        let idx_of = |v: Var| vars.binary_search(&v).expect("collected above");
+
+        let mut weights = vec![0u64; vars.len()];
+        let mut adj = vec![BitSet::new(vars.len().max(1)); vars.len()];
+        for p in patterns {
+            let pvars = p.vars();
+            for &v in &pvars {
+                weights[idx_of(v)] += 1;
+            }
+            for (i, &a) in pvars.iter().enumerate() {
+                for &b in &pvars[i + 1..] {
+                    let (ia, ib) = (idx_of(a), idx_of(b));
+                    adj[ia].insert(ib);
+                    adj[ib].insert(ia);
+                }
+            }
+        }
+        VariableGraph { vars, weights, adj }
+    }
+
+    /// The graph's variables, sorted.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// `β(v)` — patterns containing `v` (0 if absent).
+    pub fn weight(&self, v: Var) -> u64 {
+        self.vars
+            .binary_search(&v)
+            .map(|i| self.weights[i])
+            .unwrap_or(0)
+    }
+
+    /// `true` if `a` and `b` co-occur in some pattern.
+    pub fn has_edge(&self, a: Var, b: Var) -> bool {
+        match (self.vars.binary_search(&a), self.vars.binary_search(&b)) {
+            (Ok(ia), Ok(ib)) => self.adj[ia].contains(ib),
+            _ => false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(BitSet::len).sum::<usize>() / 2
+    }
+
+    /// The trimmed graph: only variables with weight ≥ 2 (those that
+    /// participate in at least one join). Edges are restricted accordingly.
+    pub fn trimmed(&self) -> VariableGraph {
+        let keep: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| self.weights[i] >= 2)
+            .collect();
+        let vars: Vec<Var> = keep.iter().map(|&i| self.vars[i]).collect();
+        let weights: Vec<u64> = keep.iter().map(|&i| self.weights[i]).collect();
+        let mut adj = vec![BitSet::new(vars.len().max(1)); vars.len()];
+        for (new_a, &old_a) in keep.iter().enumerate() {
+            for (new_b, &old_b) in keep.iter().enumerate() {
+                if new_a != new_b && self.adj[old_a].contains(old_b) {
+                    adj[new_a].insert(new_b);
+                }
+            }
+        }
+        VariableGraph { vars, weights, adj }
+    }
+
+    /// Enumerate all maximum-weight independent sets as variable lists.
+    pub fn max_weight_independent_sets(&self) -> Vec<Vec<Var>> {
+        let result = crate::mwis::all_max_weight_independent_sets(&self.weights, &self.adj);
+        result
+            .sets
+            .into_iter()
+            .map(|set| set.into_iter().map(|i| self.vars[i]).collect())
+            .collect()
+    }
+
+    /// Render the graph like the paper's Figure 1: one line per node with
+    /// its weight, then the edge list.
+    pub fn render(&self, query: &JoinQuery) -> String {
+        let mut out = String::new();
+        out.push_str("variable graph:\n");
+        for (i, &v) in self.vars.iter().enumerate() {
+            out.push_str(&format!(
+                "  ?{} (weight {})\n",
+                query.var_name(v),
+                self.weights[i]
+            ));
+        }
+        out.push_str("edges:\n");
+        for (i, &a) in self.vars.iter().enumerate() {
+            for j in self.adj[i].iter() {
+                if j > i {
+                    out.push_str(&format!(
+                        "  ?{} -- ?{}\n",
+                        query.var_name(a),
+                        query.var_name(self.vars[j])
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the variable graph in Graphviz `dot` syntax (the paper's
+    /// Figure 1 as a picture): node labels carry the weight, and the
+    /// weight-≥2 nodes the MWIS reduction considers are drawn bold.
+    pub fn to_dot(&self, query: &JoinQuery) -> String {
+        let mut out = String::from("graph variable_graph {\n  node [shape=circle];\n");
+        for (i, &v) in self.vars.iter().enumerate() {
+            let style = if self.weights[i] >= 2 { ", style=bold" } else { "" };
+            out.push_str(&format!(
+                "  v{} [label=\"?{}\\n{}\"{}];\n",
+                v.0,
+                query.var_name(v),
+                self.weights[i],
+                style
+            ));
+        }
+        for (i, &a) in self.vars.iter().enumerate() {
+            for j in self.adj[i].iter() {
+                if j > i {
+                    out.push_str(&format!("  v{} -- v{};\n", a.0, self.vars[j].0));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Section 3 example query (Figure 1's graph).
+    fn figure1_query() -> JoinQuery {
+        JoinQuery::parse(
+            r#"
+            PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+            PREFIX bench: <http://b/> PREFIX dc: <http://dc/> PREFIX dcterms: <http://dct/>
+            SELECT ?yr ?jrnl
+            WHERE {?jrnl rdf:type bench:Journal .
+                   ?jrnl dc:title "Journal 1 (1940)" .
+                   ?jrnl dcterms:issued ?yr .
+                   ?jrnl dcterms:revised ?rev . }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let q = figure1_query();
+        let indices: Vec<usize> = (0..q.patterns.len()).collect();
+        let g = VariableGraph::build(&q, &indices);
+        let dot = g.to_dot(&q);
+        assert!(dot.starts_with("graph variable_graph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // ?jrnl (weight 4) is bold; the two weight-1 nodes are not.
+        assert_eq!(dot.matches("style=bold").count(), 1);
+        assert_eq!(dot.matches(" -- ").count(), 2);
+    }
+
+    #[test]
+    fn figure1_weights_and_edges() {
+        let q = figure1_query();
+        let indices: Vec<usize> = (0..q.patterns.len()).collect();
+        let g = VariableGraph::build(&q, &indices);
+        // Variables: jrnl, yr, rev.
+        assert_eq!(g.num_nodes(), 3);
+        let jrnl = Var(0);
+        let yr = Var(1);
+        let rev = Var(2);
+        assert_eq!(g.weight(jrnl), 4);
+        assert_eq!(g.weight(yr), 1);
+        assert_eq!(g.weight(rev), 1);
+        // Edges: jrnl–yr and jrnl–rev; no yr–rev edge.
+        assert!(g.has_edge(jrnl, yr));
+        assert!(g.has_edge(jrnl, rev));
+        assert!(!g.has_edge(yr, rev));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn figure1_trims_to_single_node() {
+        let q = figure1_query();
+        let indices: Vec<usize> = (0..q.patterns.len()).collect();
+        let g = VariableGraph::build(&q, &indices).trimmed();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.weight(Var(0)), 4);
+        let sets = g.max_weight_independent_sets();
+        assert_eq!(sets, vec![vec![Var(0)]]);
+    }
+
+    #[test]
+    fn weights_respect_pattern_subset() {
+        let q = figure1_query();
+        // Only the first two patterns: jrnl weight 2, no yr/rev.
+        let g = VariableGraph::build(&q, &[0, 1]);
+        assert_eq!(g.weight(Var(0)), 2);
+        assert_eq!(g.weight(Var(1)), 0);
+    }
+
+    #[test]
+    fn chain_graph_edges() {
+        let q = JoinQuery::parse(
+            "SELECT ?x WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z . }",
+        )
+        .unwrap();
+        let g = VariableGraph::build(&q, &[0, 1]);
+        assert!(g.has_edge(Var(0), Var(1)));
+        assert!(g.has_edge(Var(1), Var(2)));
+        assert!(!g.has_edge(Var(0), Var(2)));
+        let t = g.trimmed();
+        assert_eq!(t.num_nodes(), 1); // only ?y is shared
+        assert_eq!(t.vars(), &[Var(1)]);
+    }
+
+    #[test]
+    fn predicate_variables_are_nodes_too() {
+        let q = JoinQuery::parse(
+            "SELECT ?p WHERE { ?a ?p ?b . ?c ?p ?d . }",
+        )
+        .unwrap();
+        let g = VariableGraph::build(&q, &[0, 1]).trimmed();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.weight(Var(1)), 2); // ?p is Var(1): a=0, p=1, b=2 …
+    }
+
+    #[test]
+    fn mwis_on_y2_shape() {
+        // a in 4 patterns, m1/m2 in 2 each, edges a–m1, a–m2.
+        let q = JoinQuery::parse(
+            "SELECT ?a WHERE {
+                ?a <http://e/type> <http://e/actor> .
+                ?a <http://e/livesIn> ?city .
+                ?a <http://e/actedIn> ?m1 .
+                ?m1 <http://e/type> <http://e/movie> .
+                ?a <http://e/directed> ?m2 .
+                ?m2 <http://e/type> <http://e/movie> . }",
+        )
+        .unwrap();
+        let g = VariableGraph::build(&q, &[0, 1, 2, 3, 4, 5]).trimmed();
+        assert_eq!(g.num_nodes(), 3);
+        let mut sets = g.max_weight_independent_sets();
+        sets.sort();
+        assert_eq!(sets.len(), 2); // {a} and {m1, m2}
+    }
+
+    #[test]
+    fn render_mentions_nodes_and_edges() {
+        let q = figure1_query();
+        let indices: Vec<usize> = (0..q.patterns.len()).collect();
+        let g = VariableGraph::build(&q, &indices);
+        let text = g.render(&q);
+        assert!(text.contains("?jrnl (weight 4)"));
+        assert!(text.contains("?jrnl -- ?yr") || text.contains("?yr -- ?jrnl"));
+    }
+}

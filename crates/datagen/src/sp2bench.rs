@@ -1,0 +1,295 @@
+//! SP2Bench-like synthetic bibliographic data.
+//!
+//! Mirrors the structures SP1–SP6 exercise:
+//!
+//! * **Journals** — `rdf:type`, a unique `dc:title "Journal k (year)"`
+//!   (exactly one "Journal 1 (1940)" exists, so SP1 returns one row),
+//!   `dcterms:issued`.
+//! * **Articles** — a subject star with `rdf:type`, `dc:title`,
+//!   `dcterms:issued`, `swrc:pages`, sparse `swrc:month`, **no**
+//!   `swrc:isbn` (SP3c returns empty, as in SP2Bench), `dc:creator`,
+//!   `swrc:journal`.
+//! * **Inproceedings** — the 10-property star SP2a scans.
+//! * **Persons** — `foaf:name` plus `foaf:homepage` drawn from a pool
+//!   *smaller* than the person count, so SP4a/SP4b's homepage joins
+//!   actually select pairs.
+//! * **Proceedings** — carry the rare `swrc:isbn` used by SP5.
+
+use hsp_rdf::{Dictionary, IdTriple, TermId};
+use hsp_store::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{sp2b, RDF_TYPE};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sp2BenchConfig {
+    /// Approximate number of triples to generate.
+    pub target_triples: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for Sp2BenchConfig {
+    fn default() -> Self {
+        Sp2BenchConfig { target_triples: 100_000, seed: 42 }
+    }
+}
+
+impl Sp2BenchConfig {
+    /// A config with the given size and the default seed.
+    pub fn with_triples(target_triples: usize) -> Self {
+        Sp2BenchConfig { target_triples, ..Default::default() }
+    }
+}
+
+struct Gen {
+    dict: Dictionary,
+    triples: Vec<IdTriple>,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn iri(&mut self, value: String) -> TermId {
+        self.dict.intern_iri(value)
+    }
+
+    fn lit(&mut self, value: String) -> TermId {
+        self.dict.intern_literal(value)
+    }
+
+    fn add(&mut self, s: TermId, p: TermId, o: TermId) {
+        self.triples.push([s, p, o]);
+    }
+}
+
+/// Generate an SP2Bench-like dataset.
+pub fn generate_sp2bench(config: Sp2BenchConfig) -> Dataset {
+    let scale = config.target_triples.max(200);
+    let mut g = Gen {
+        dict: Dictionary::new(),
+        triples: Vec::with_capacity(scale + scale / 8),
+        rng: StdRng::seed_from_u64(config.seed),
+    };
+
+    // Predicates and classes.
+    let rdf_type = g.iri(RDF_TYPE.to_string());
+    let journal_cls = g.iri(sp2b::journal_class());
+    let article_cls = g.iri(sp2b::article_class());
+    let inproc_cls = g.iri(sp2b::inproceedings_class());
+    let proc_cls = g.iri(sp2b::proceedings_class());
+    let dc_title = g.iri(format!("{}title", sp2b::DC));
+    let dc_creator = g.iri(format!("{}creator", sp2b::DC));
+    let dcterms_issued = g.iri(format!("{}issued", sp2b::DCTERMS));
+    let dcterms_partof = g.iri(format!("{}partOf", sp2b::DCTERMS));
+    let swrc_pages = g.iri(format!("{}pages", sp2b::SWRC));
+    let swrc_month = g.iri(format!("{}month", sp2b::SWRC));
+    let swrc_isbn = g.iri(format!("{}isbn", sp2b::SWRC));
+    let swrc_journal = g.iri(format!("{}journal", sp2b::SWRC));
+    let foaf_name = g.iri(format!("{}name", sp2b::FOAF));
+    let foaf_homepage = g.iri(format!("{}homepage", sp2b::FOAF));
+    let rdfs_seealso = g.iri(format!("{}seeAlso", sp2b::RDFS));
+    let bench_booktitle = g.iri(format!("{}booktitle", sp2b::BENCH));
+    let bench_abstract = g.iri(format!("{}abstract", sp2b::BENCH));
+
+    // Entity counts, tuned so the total lands near `scale`.
+    let n_articles = (scale / 14).max(8);
+    let n_inproc = (scale / 34).max(4);
+    let n_persons = (scale / 18).max(8);
+    let n_journals = (scale / 260).max(3);
+    let n_proceedings = (scale / 300).max(2);
+    let homepage_pool = (n_persons / 4).max(2);
+
+    let years: Vec<TermId> = (1940..2011).map(|y| g.lit(y.to_string())).collect();
+    let months: Vec<TermId> = (1..13).map(|m| g.lit(m.to_string())).collect();
+
+    // Persons.
+    let mut persons = Vec::with_capacity(n_persons);
+    let homepages: Vec<TermId> = (0..homepage_pool)
+        .map(|i| g.iri(format!("http://www.homepages.example/{i}")))
+        .collect();
+    for i in 0..n_persons {
+        let p = g.iri(format!("{}Person{i}", sp2b::NS));
+        let name = g.lit(format!("Person Name {i}"));
+        g.add(p, foaf_name, name);
+        // 60% of persons publish a homepage; shared pool makes SP4a joins real.
+        if g.rng.random_bool(0.6) {
+            let hp = homepages[g.rng.random_range(0..homepage_pool)];
+            g.add(p, foaf_homepage, hp);
+        }
+        persons.push(p);
+    }
+
+    // Journals. Exactly one "Journal 1 (1940)".
+    let mut journals = Vec::with_capacity(n_journals);
+    for i in 0..n_journals {
+        let year_idx = i % years.len();
+        let j = g.iri(format!("{}Journal{}_{}", sp2b::NS, i / years.len() + 1, 1940 + year_idx));
+        g.add(j, rdf_type, journal_cls);
+        let title = g.lit(format!("Journal {} ({})", i / years.len() + 1, 1940 + year_idx));
+        g.add(j, dc_title, title);
+        g.add(j, dcterms_issued, years[year_idx]);
+        journals.push(j);
+    }
+
+    // Proceedings — the rare isbn carriers (SP5's small selection).
+    let mut proceedings = Vec::with_capacity(n_proceedings);
+    for i in 0..n_proceedings {
+        let p = g.iri(format!("{}Proceeding{i}", sp2b::NS));
+        g.add(p, rdf_type, proc_cls);
+        let year = years[g.rng.random_range(0..years.len())];
+        g.add(p, dcterms_issued, year);
+        let isbn = g.lit(format!("978-3-16-{i:06}"));
+        g.add(p, swrc_isbn, isbn);
+        proceedings.push(p);
+    }
+
+    // Articles: subject stars (type, title, issued, pages, creator, journal,
+    // sparse month; never isbn — SP3c must return zero rows).
+    for i in 0..n_articles {
+        let a = g.iri(format!("{}Article{i}", sp2b::NS));
+        g.add(a, rdf_type, article_cls);
+        let title = g.lit(format!("Article Title {i}"));
+        g.add(a, dc_title, title);
+        let year = years[g.rng.random_range(0..years.len())];
+        g.add(a, dcterms_issued, year);
+        let pages = {
+            let p = g.rng.random_range(1..500);
+            g.lit(p.to_string())
+        };
+        g.add(a, swrc_pages, pages);
+        if g.rng.random_bool(0.4) {
+            let m = months[g.rng.random_range(0..months.len())];
+            g.add(a, swrc_month, m);
+        }
+        let creator = persons[g.rng.random_range(0..persons.len())];
+        g.add(a, dc_creator, creator);
+        let journal = journals[g.rng.random_range(0..journals.len())];
+        g.add(a, swrc_journal, journal);
+    }
+
+    // Inproceedings: the 10-property star of SP2a.
+    for i in 0..n_inproc {
+        let ip = g.iri(format!("{}Inproceeding{i}", sp2b::NS));
+        g.add(ip, rdf_type, inproc_cls);
+        let creator = persons[g.rng.random_range(0..persons.len())];
+        g.add(ip, dc_creator, creator);
+        let bt = g.lit(format!("Conference {}", i % 50));
+        g.add(ip, bench_booktitle, bt);
+        let title = g.lit(format!("Inproceedings Title {i}"));
+        g.add(ip, dc_title, title);
+        let proc = proceedings[g.rng.random_range(0..proceedings.len())];
+        g.add(ip, dcterms_partof, proc);
+        let see = g.iri(format!("http://www.conferences.example/{i}"));
+        g.add(ip, rdfs_seealso, see);
+        let pages = {
+            let p = g.rng.random_range(1..20);
+            g.lit(p.to_string())
+        };
+        g.add(ip, swrc_pages, pages);
+        let url = g.iri(format!("http://www.inproc.example/{i}"));
+        g.add(ip, foaf_homepage, url);
+        let year = years[g.rng.random_range(0..years.len())];
+        g.add(ip, dcterms_issued, year);
+        let abs = g.lit(format!("Abstract text {i}"));
+        g.add(ip, bench_abstract, abs);
+    }
+
+    Dataset::from_encoded(g.dict, &g.triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::{Term, TriplePos};
+
+    fn small() -> Dataset {
+        generate_sp2bench(Sp2BenchConfig { target_triples: 20_000, seed: 7 })
+    }
+
+    #[test]
+    fn hits_target_size_roughly() {
+        let ds = small();
+        let n = ds.len();
+        assert!(n > 15_000 && n < 26_000, "generated {n} triples");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 9 });
+        let b = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 9 });
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.to_ntriples(), b.to_ntriples());
+        let c = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 10 });
+        assert_ne!(a.to_ntriples(), c.to_ntriples());
+    }
+
+    #[test]
+    fn journal_1_1940_exists_exactly_once() {
+        let ds = small();
+        let title = ds.id_of(&Term::literal("Journal 1 (1940)")).expect("title exists");
+        let dc_title = ds
+            .id_of(&Term::iri(format!("{}title", sp2b::DC)))
+            .expect("predicate exists");
+        assert_eq!(
+            ds.store()
+                .count_bound(&[(TriplePos::P, dc_title), (TriplePos::O, title)]),
+            1
+        );
+    }
+
+    #[test]
+    fn articles_have_no_isbn() {
+        // SP3c must return zero rows: isbn only occurs on proceedings.
+        let ds = small();
+        let isbn = ds
+            .id_of(&Term::iri(format!("{}isbn", sp2b::SWRC)))
+            .expect("isbn predicate exists");
+        let rdf_type = ds.id_of(&Term::iri(RDF_TYPE)).unwrap();
+        let article = ds.id_of(&Term::iri(sp2b::article_class())).unwrap();
+        // Subjects with isbn: none of them is an article.
+        let rel = ds.store().relation(hsp_store::Order::Pso);
+        for row in rel.range(&[isbn]) {
+            let subject = row[1];
+            assert_eq!(
+                ds.store().count_bound(&[
+                    (TriplePos::S, subject),
+                    (TriplePos::P, rdf_type),
+                    (TriplePos::O, article),
+                ]),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn homepages_are_shared() {
+        // SP4a needs persons sharing a homepage.
+        let ds = small();
+        let hp = ds
+            .id_of(&Term::iri(format!("{}homepage", sp2b::FOAF)))
+            .expect("homepage predicate");
+        let total = ds.store().count_bound(&[(TriplePos::P, hp)]);
+        let distinct = ds.store().distinct_bound(&[(TriplePos::P, hp)], TriplePos::O);
+        assert!(total > distinct, "homepages must collide ({total} uses, {distinct} distinct)");
+    }
+
+    #[test]
+    fn class_populations_present() {
+        let ds = small();
+        let rdf_type = ds.id_of(&Term::iri(RDF_TYPE)).unwrap();
+        for class in [
+            sp2b::journal_class(),
+            sp2b::article_class(),
+            sp2b::inproceedings_class(),
+            sp2b::proceedings_class(),
+        ] {
+            let cls = ds.id_of(&Term::iri(class.clone())).unwrap();
+            let n = ds
+                .store()
+                .count_bound(&[(TriplePos::P, rdf_type), (TriplePos::O, cls)]);
+            assert!(n > 0, "no instances of {class}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Vocabulary IRIs for the generated datasets.
+
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// SP2Bench-style namespaces (DBLP-like bibliographic data).
+pub mod sp2b {
+    /// Entity namespace.
+    pub const NS: &str = "http://localhost/publications/";
+    /// `bench:` class/ontology namespace.
+    pub const BENCH: &str = "http://localhost/vocabulary/bench/";
+    /// Dublin Core elements.
+    pub const DC: &str = "http://purl.org/dc/elements/1.1/";
+    /// Dublin Core terms.
+    pub const DCTERMS: &str = "http://purl.org/dc/terms/";
+    /// SWRC ontology.
+    pub const SWRC: &str = "http://swrc.ontoware.org/ontology#";
+    /// FOAF.
+    pub const FOAF: &str = "http://xmlns.com/foaf/0.1/";
+    /// RDFS.
+    pub const RDFS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+
+    /// Class `bench:Journal`.
+    pub fn journal_class() -> String {
+        format!("{BENCH}Journal")
+    }
+    /// Class `bench:Article`.
+    pub fn article_class() -> String {
+        format!("{BENCH}Article")
+    }
+    /// Class `bench:Inproceedings`.
+    pub fn inproceedings_class() -> String {
+        format!("{BENCH}Inproceedings")
+    }
+    /// Class `bench:Proceedings`.
+    pub fn proceedings_class() -> String {
+        format!("{BENCH}Proceedings")
+    }
+}
+
+/// YAGO-style namespaces (entity graph with wordnet classes).
+pub mod yago {
+    /// Entity/relations namespace.
+    pub const NS: &str = "http://yago-knowledge.org/resource/";
+
+    /// A wordnet class IRI, e.g. `wordnet_actor`.
+    pub fn class(name: &str) -> String {
+        format!("{NS}wordnet_{name}")
+    }
+    /// A relation IRI, e.g. `livesIn`.
+    pub fn rel(name: &str) -> String {
+        format!("{NS}{name}")
+    }
+}

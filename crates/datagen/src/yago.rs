@@ -1,0 +1,277 @@
+//! YAGO-like entity-graph data.
+//!
+//! Mirrors the structures Y1–Y4 exercise:
+//!
+//! * **Actors** (`wordnet_actor`) — `livesIn` a city, `actedIn` movies,
+//!   a tenth also `directed` movies (Y2's actor–director join is non-empty).
+//! * **Scientists** (`wordnet_scientist`) — `bornIn` a village or city,
+//!   `hasWonPrize`, `graduatedFrom` a university, `livesIn`, and some are
+//!   `buriedIn` a site (Y3's village/site double star matches them).
+//! * **Geography** — villages/cities `locatedIn` states, states `locatedIn`
+//!   countries and `hasLandmark` sites (Y4's actor→city→state→site chain).
+//! * Scientists often live in the state they were born in, making Y1's
+//!   shared-state join selective but non-empty.
+
+use hsp_rdf::{Dictionary, IdTriple, TermId};
+use hsp_store::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{yago, RDF_TYPE};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct YagoConfig {
+    /// Approximate number of triples to generate.
+    pub target_triples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        YagoConfig { target_triples: 100_000, seed: 1234 }
+    }
+}
+
+impl YagoConfig {
+    /// A config with the given size and the default seed.
+    pub fn with_triples(target_triples: usize) -> Self {
+        YagoConfig { target_triples, ..Default::default() }
+    }
+}
+
+struct Gen {
+    dict: Dictionary,
+    triples: Vec<IdTriple>,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn iri(&mut self, value: String) -> TermId {
+        self.dict.intern_iri(value)
+    }
+
+    fn add(&mut self, s: TermId, p: TermId, o: TermId) {
+        self.triples.push([s, p, o]);
+    }
+
+    fn pick(&mut self, pool: &[TermId]) -> TermId {
+        pool[self.rng.random_range(0..pool.len())]
+    }
+}
+
+/// Generate a YAGO-like dataset.
+pub fn generate_yago(config: YagoConfig) -> Dataset {
+    let scale = config.target_triples.max(500);
+    let mut g = Gen {
+        dict: Dictionary::new(),
+        triples: Vec::with_capacity(scale + scale / 8),
+        rng: StdRng::seed_from_u64(config.seed),
+    };
+
+    let rdf_type = g.iri(RDF_TYPE.to_string());
+    let actor_cls = g.iri(yago::class("actor"));
+    let movie_cls = g.iri(yago::class("movie"));
+    let scientist_cls = g.iri(yago::class("scientist"));
+    let village_cls = g.iri(yago::class("village"));
+    let site_cls = g.iri(yago::class("site"));
+    let university_cls = g.iri(yago::class("university"));
+    let lives_in = g.iri(yago::rel("livesIn"));
+    let acted_in = g.iri(yago::rel("actedIn"));
+    let directed = g.iri(yago::rel("directed"));
+    let born_in = g.iri(yago::rel("bornIn"));
+    let buried_in = g.iri(yago::rel("buriedIn"));
+    let located_in = g.iri(yago::rel("locatedIn"));
+    let has_landmark = g.iri(yago::rel("hasLandmark"));
+    let has_won_prize = g.iri(yago::rel("hasWonPrize"));
+    let graduated_from = g.iri(yago::rel("graduatedFrom"));
+
+    // Entity counts (tuned to land near `scale` total triples).
+    let n_actors = (scale / 9).max(10);
+    let n_scientists = (scale / 18).max(10);
+    let n_movies = (n_actors / 3).max(5);
+    let n_villages = (scale / 120).max(5);
+    let n_sites = (scale / 120).max(5);
+    let n_cities = (scale / 150).max(5);
+    let n_states = (scale / 2_000).clamp(4, 200);
+    let n_countries = (n_states / 8).max(2);
+    let n_universities = (scale / 600).max(4);
+    let n_prizes = (scale / 1_200).max(4);
+
+    // Geography bottom-up: countries ← states ← cities/villages; sites hang
+    // off states both ways (site locatedIn state, state hasLandmark site).
+    let countries: Vec<TermId> =
+        (0..n_countries).map(|i| g.iri(format!("{}Country{i}", yago::NS))).collect();
+    let mut states = Vec::with_capacity(n_states);
+    for i in 0..n_states {
+        let s = g.iri(format!("{}State{i}", yago::NS));
+        let c = g.pick(&countries);
+        g.add(s, located_in, c);
+        states.push(s);
+    }
+    // Remember each place's state so person generation can correlate.
+    let mut cities = Vec::with_capacity(n_cities);
+    let mut city_state = Vec::with_capacity(n_cities);
+    for i in 0..n_cities {
+        let c = g.iri(format!("{}City{i}", yago::NS));
+        let s = g.pick(&states);
+        g.add(c, located_in, s);
+        cities.push(c);
+        city_state.push(s);
+    }
+    let mut villages = Vec::with_capacity(n_villages);
+    let mut village_state = Vec::with_capacity(n_villages);
+    for i in 0..n_villages {
+        let v = g.iri(format!("{}Village{i}", yago::NS));
+        g.add(v, rdf_type, village_cls);
+        let s = g.pick(&states);
+        g.add(v, located_in, s);
+        villages.push(v);
+        village_state.push(s);
+    }
+    let mut sites = Vec::with_capacity(n_sites);
+    for i in 0..n_sites {
+        let site = g.iri(format!("{}Site{i}", yago::NS));
+        g.add(site, rdf_type, site_cls);
+        let s = g.pick(&states);
+        g.add(site, located_in, s);
+        // The reverse edge gives Y4 its state→site chain step.
+        g.add(s, has_landmark, site);
+        sites.push(site);
+    }
+
+    let universities: Vec<TermId> = (0..n_universities)
+        .map(|i| {
+            let u = g.iri(format!("{}University{i}", yago::NS));
+            g.add(u, rdf_type, university_cls);
+            u
+        })
+        .collect();
+    let prizes: Vec<TermId> =
+        (0..n_prizes).map(|i| g.iri(format!("{}Prize{i}", yago::NS))).collect();
+    let movies: Vec<TermId> = (0..n_movies)
+        .map(|i| {
+            let m = g.iri(format!("{}Movie{i}", yago::NS));
+            g.add(m, rdf_type, movie_cls);
+            m
+        })
+        .collect();
+
+    // Actors.
+    for i in 0..n_actors {
+        let a = g.iri(format!("{}Actor{i}", yago::NS));
+        g.add(a, rdf_type, actor_cls);
+        let city = g.pick(&cities);
+        g.add(a, lives_in, city);
+        let n_roles = g.rng.random_range(1..4);
+        for _ in 0..n_roles {
+            let m = g.pick(&movies);
+            g.add(a, acted_in, m);
+        }
+        if g.rng.random_bool(0.1) {
+            let m = g.pick(&movies);
+            g.add(a, directed, m);
+        }
+    }
+
+    // Scientists.
+    for i in 0..n_scientists {
+        let p = g.iri(format!("{}Scientist{i}", yago::NS));
+        g.add(p, rdf_type, scientist_cls);
+        // Born in a village half the time (Y3's pattern), a city otherwise.
+        let (birthplace, birth_state) = if g.rng.random_bool(0.5) {
+            let k = g.rng.random_range(0..villages.len());
+            (villages[k], village_state[k])
+        } else {
+            let k = g.rng.random_range(0..cities.len());
+            (cities[k], city_state[k])
+        };
+        g.add(p, born_in, birthplace);
+        let prize = g.pick(&prizes);
+        g.add(p, has_won_prize, prize);
+        let uni = g.pick(&universities);
+        g.add(p, graduated_from, uni);
+        // Live in the birth state half the time (Y1's shared-state join).
+        let lives = if g.rng.random_bool(0.5) {
+            let local: Vec<TermId> = cities
+                .iter()
+                .zip(&city_state)
+                .filter(|&(_, s)| *s == birth_state)
+                .map(|(&c, _)| c)
+                .collect();
+            if local.is_empty() { g.pick(&cities) } else { g.pick(&local) }
+        } else {
+            g.pick(&cities)
+        };
+        g.add(p, lives_in, lives);
+        if g.rng.random_bool(0.2) {
+            let site = g.pick(&sites);
+            g.add(p, buried_in, site);
+        }
+    }
+
+    Dataset::from_encoded(g.dict, &g.triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::{Term, TriplePos};
+
+    fn small() -> Dataset {
+        generate_yago(YagoConfig { target_triples: 20_000, seed: 3 })
+    }
+
+    #[test]
+    fn hits_target_size_roughly() {
+        let n = small().len();
+        assert!(n > 14_000 && n < 28_000, "generated {n} triples");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_yago(YagoConfig { target_triples: 4_000, seed: 5 });
+        let b = generate_yago(YagoConfig { target_triples: 4_000, seed: 5 });
+        assert_eq!(a.to_ntriples(), b.to_ntriples());
+    }
+
+    #[test]
+    fn actor_director_overlap_exists() {
+        // Y2 needs actors that also directed.
+        let ds = small();
+        let directed = ds.id_of(&Term::iri(yago::rel("directed"))).unwrap();
+        assert!(ds.store().count_bound(&[(TriplePos::P, directed)]) > 0);
+    }
+
+    #[test]
+    fn village_and_site_stars_exist() {
+        // Y3 needs persons linked to both a village and a site.
+        let ds = small();
+        let born = ds.id_of(&Term::iri(yago::rel("bornIn"))).unwrap();
+        let buried = ds.id_of(&Term::iri(yago::rel("buriedIn"))).unwrap();
+        assert!(ds.store().count_bound(&[(TriplePos::P, born)]) > 0);
+        assert!(ds.store().count_bound(&[(TriplePos::P, buried)]) > 0);
+    }
+
+    #[test]
+    fn state_to_site_chain_exists() {
+        // Y4's chain needs subject→…→site edges: state hasLandmark site.
+        let ds = small();
+        let lm = ds.id_of(&Term::iri(yago::rel("hasLandmark"))).unwrap();
+        assert!(ds.store().count_bound(&[(TriplePos::P, lm)]) > 0);
+    }
+
+    #[test]
+    fn all_expected_classes_populated() {
+        let ds = small();
+        let rdf_type = ds.id_of(&Term::iri(RDF_TYPE)).unwrap();
+        for cls in ["actor", "movie", "scientist", "village", "site", "university"] {
+            let id = ds.id_of(&Term::iri(yago::class(cls))).unwrap();
+            let n = ds
+                .store()
+                .count_bound(&[(TriplePos::P, rdf_type), (TriplePos::O, id)]);
+            assert!(n > 0, "no instances of wordnet_{cls}");
+        }
+    }
+}

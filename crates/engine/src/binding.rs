@@ -1,0 +1,250 @@
+//! Columnar intermediate results.
+
+use hsp_rdf::TermId;
+use hsp_sparql::Var;
+
+/// A fully materialised, columnar table of variable bindings.
+///
+/// `cols[i]` is the column of values bound to `vars[i]`; all columns have
+/// equal length. `sorted_by` records which variable (if any) the rows are
+/// sorted on — the property merge joins require and preserve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingTable {
+    vars: Vec<Var>,
+    cols: Vec<Vec<TermId>>,
+    sorted_by: Option<Var>,
+    /// Explicit row count: zero-column tables (the result of matching a
+    /// fully ground pattern, or of an empty projection) still have rows.
+    rows: usize,
+}
+
+impl BindingTable {
+    /// An empty table over the given variables.
+    pub fn empty(vars: Vec<Var>) -> Self {
+        let cols = vars.iter().map(|_| Vec::new()).collect();
+        BindingTable { vars, cols, sorted_by: None, rows: 0 }
+    }
+
+    /// A zero-column table with `rows` rows — the relational *unit* rows a
+    /// fully ground triple pattern produces (0 or 1 in practice).
+    pub fn unit(rows: usize) -> Self {
+        BindingTable { vars: Vec::new(), cols: Vec::new(), sorted_by: None, rows }
+    }
+
+    /// Build from columns. All columns must have the same length; `vars`
+    /// must be distinct.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or variables repeat.
+    pub fn from_columns(vars: Vec<Var>, cols: Vec<Vec<TermId>>, sorted_by: Option<Var>) -> Self {
+        assert_eq!(vars.len(), cols.len(), "one column per variable");
+        if let Some(first) = cols.first() {
+            assert!(
+                cols.iter().all(|c| c.len() == first.len()),
+                "ragged columns"
+            );
+        }
+        let mut seen = vars.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), vars.len(), "repeated variable in table");
+        if let Some(v) = sorted_by {
+            assert!(vars.contains(&v), "sorted_by variable not in table");
+        }
+        let rows = cols.first().map_or(0, Vec::len);
+        let table = BindingTable { vars, cols, sorted_by, rows };
+        debug_assert!(table.check_sortedness());
+        table
+    }
+
+    /// The table's variables, in column order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The variable the rows are sorted by, if any.
+    pub fn sorted_by(&self) -> Option<Var> {
+        self.sorted_by
+    }
+
+    /// Column index of `v`.
+    pub fn col_index(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// The column of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a variable of this table.
+    pub fn column(&self, v: Var) -> &[TermId] {
+        let idx = self
+            .col_index(v)
+            .unwrap_or_else(|| panic!("variable {v} not in table"));
+        &self.cols[idx]
+    }
+
+    /// All columns, in variable order.
+    pub fn columns(&self) -> &[Vec<TermId>] {
+        &self.cols
+    }
+
+    /// One row as a vector (variable order).
+    pub fn row(&self, i: usize) -> Vec<TermId> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Value of `v` in row `i`.
+    pub fn value(&self, v: Var, i: usize) -> TermId {
+        self.column(v)[i]
+    }
+
+    /// Append a row given in this table's variable order.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != vars.len()`.
+    pub fn push_row(&mut self, row: &[TermId]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, &val) in self.cols.iter_mut().zip(row) {
+            col.push(val);
+        }
+        self.rows += 1;
+    }
+
+    /// Declare the rows sorted by `v`. Debug builds verify the claim.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a variable of this table.
+    pub fn set_sorted_by(&mut self, v: Option<Var>) {
+        if let Some(v) = v {
+            assert!(self.vars.contains(&v), "sorted_by variable not in table");
+        }
+        self.sorted_by = v;
+        debug_assert!(self.check_sortedness());
+    }
+
+    /// Verify the `sorted_by` claim (used by debug assertions and tests).
+    pub fn check_sortedness(&self) -> bool {
+        match self.sorted_by {
+            None => true,
+            Some(v) => {
+                let col = self.column(v);
+                col.windows(2).all(|w| w[0] <= w[1])
+            }
+        }
+    }
+
+    /// Rows as a set-like sorted vector (for order-insensitive comparison in
+    /// tests and result checking).
+    pub fn sorted_rows(&self) -> Vec<Vec<TermId>> {
+        let mut rows: Vec<Vec<TermId>> = (0..self.len()).map(|i| self.row(i)).collect();
+        rows.sort();
+        rows
+    }
+
+    /// Rows projected to a variable subset, sorted (order-insensitive
+    /// comparison across tables with different column orders).
+    pub fn sorted_rows_for(&self, vars: &[Var]) -> Vec<Vec<TermId>> {
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.col_index(v).unwrap_or_else(|| panic!("{v} not in table")))
+            .collect();
+        let mut rows: Vec<Vec<TermId>> = (0..self.len())
+            .map(|i| idx.iter().map(|&c| self.cols[c][i]).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(vals: &[u32]) -> Vec<TermId> {
+        vals.iter().map(|&v| TermId(v)).collect()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let t = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![ids(&[1, 2, 3]), ids(&[10, 20, 30])],
+            Some(Var(0)),
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.vars(), &[Var(0), Var(1)]);
+        assert_eq!(t.column(Var(1)), ids(&[10, 20, 30]).as_slice());
+        assert_eq!(t.row(1), ids(&[2, 20]));
+        assert_eq!(t.value(Var(0), 2), TermId(3));
+        assert_eq!(t.sorted_by(), Some(Var(0)));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = BindingTable::empty(vec![Var(0)]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        BindingTable::from_columns(vec![Var(0), Var(1)], vec![ids(&[1]), ids(&[1, 2])], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated variable")]
+    fn repeated_vars_rejected() {
+        BindingTable::from_columns(vec![Var(0), Var(0)], vec![ids(&[1]), ids(&[1])], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in table")]
+    fn sorted_by_must_be_a_table_var() {
+        BindingTable::from_columns(vec![Var(0)], vec![ids(&[1])], Some(Var(9)));
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut t = BindingTable::empty(vec![Var(0), Var(1)]);
+        t.push_row(&ids(&[1, 10]));
+        t.push_row(&ids(&[2, 20]));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), ids(&[2, 20]));
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let mut t = BindingTable::from_columns(
+            vec![Var(0)],
+            vec![ids(&[3, 1, 2])],
+            None,
+        );
+        assert!(t.check_sortedness());
+        t.sorted_by = Some(Var(0)); // bypass set_sorted_by's debug assert
+        assert!(!t.check_sortedness());
+    }
+
+    #[test]
+    fn sorted_rows_for_projection() {
+        let t = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![ids(&[2, 1]), ids(&[20, 10])],
+            None,
+        );
+        assert_eq!(
+            t.sorted_rows_for(&[Var(1)]),
+            vec![ids(&[10]), ids(&[20])]
+        );
+    }
+}

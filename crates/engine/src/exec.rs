@@ -1,0 +1,478 @@
+//! Plan evaluation with per-operator profiling, a row budget, and optional
+//! sideways information passing.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
+
+use hsp_rdf::TermId;
+use hsp_sparql::Var;
+use hsp_store::Dataset;
+
+use crate::binding::BindingTable;
+use crate::ops;
+use crate::plan::{PhysicalPlan, PlanError};
+
+/// Execution configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Abort if any single operator produces more than this many rows.
+    /// Used to guard against runaway Cartesian products (the SQL baseline's
+    /// SP4a plan) — the paper marks those runs "XXX".
+    pub max_intermediate_rows: Option<usize>,
+    /// Enable **sideways information passing** (SIP): when a join's first
+    /// input has been materialised, the distinct values of the join
+    /// variable are pushed into the evaluation of the other input, where
+    /// scans drop non-qualifying rows immediately. This is the run-time
+    /// optimization Neumann et al. added to RDF-3X (the paper's §2 notes
+    /// the extension); results are identical, intermediate results only
+    /// shrink.
+    pub sip: bool,
+}
+
+impl ExecConfig {
+    /// Unlimited execution.
+    pub fn unlimited() -> Self {
+        ExecConfig::default()
+    }
+
+    /// Execution with a row budget.
+    pub fn with_row_budget(rows: usize) -> Self {
+        ExecConfig { max_intermediate_rows: Some(rows), ..ExecConfig::default() }
+    }
+
+    /// Enable sideways information passing.
+    pub fn with_sip(mut self) -> Self {
+        self.sip = true;
+        self
+    }
+}
+
+/// The variable domains a SIP-enabled execution threads down the plan:
+/// a scan output binding `v` may drop every row whose value is outside
+/// `domains[v]`.
+type Domains = HashMap<Var, Rc<HashSet<TermId>>>;
+
+/// An execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan violated a structural invariant.
+    InvalidPlan(PlanError),
+    /// An operator exceeded [`ExecConfig::max_intermediate_rows`].
+    BudgetExceeded {
+        /// The operator that tripped the budget.
+        operator: String,
+        /// Rows it produced when aborted (the full output size).
+        rows: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidPlan(e) => write!(f, "{e}"),
+            ExecError::BudgetExceeded { operator, rows, budget } => write!(
+                f,
+                "row budget exceeded: {operator} produced {rows} rows (budget {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::InvalidPlan(e)
+    }
+}
+
+/// Per-operator execution statistics, mirroring the plan tree.
+///
+/// This is the raw material for the paper's Figures 2–3 (plans annotated
+/// with intermediate-result sizes) and Table 3 (plan costs computed from
+/// those sizes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Operator label, e.g. `mergejoin(?a)` or `scan(pos) [tp2]`.
+    pub label: String,
+    /// Output cardinality.
+    pub output_rows: usize,
+    /// Wall-clock time spent in this operator alone (excluding children).
+    pub nanos: u128,
+    /// Child profiles (0 for scans, 1 for filter/project, 2 for joins).
+    pub children: Vec<Profile>,
+}
+
+impl Profile {
+    /// Total rows produced by all operators (a coarse memory-footprint
+    /// measure the paper argues heuristics should minimise).
+    pub fn total_intermediate_rows(&self) -> usize {
+        self.output_rows + self.children.iter().map(Profile::total_intermediate_rows).sum::<usize>()
+    }
+
+    /// Walk the profile tree (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Profile)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The final binding table.
+    pub table: BindingTable,
+    /// Per-operator statistics.
+    pub profile: Profile,
+}
+
+/// Validate and execute `plan` against `ds`.
+pub fn execute(
+    plan: &PhysicalPlan,
+    ds: &Dataset,
+    config: &ExecConfig,
+) -> Result<ExecOutput, ExecError> {
+    plan.validate()?;
+    let (table, profile) = run(plan, ds, config, &Domains::new())?;
+    Ok(ExecOutput { table, profile })
+}
+
+/// The distinct values of `vars` in `table`, merged (intersected) into a
+/// copy of `domains` — what a SIP join passes into its second input.
+fn narrowed(domains: &Domains, table: &BindingTable, vars: &[Var]) -> Domains {
+    let mut out = domains.clone();
+    for &v in vars {
+        let values: HashSet<TermId> = table.column(v).iter().copied().collect();
+        let merged = match out.get(&v) {
+            Some(existing) => Rc::new(existing.intersection(&values).copied().collect()),
+            None => Rc::new(values),
+        };
+        out.insert(v, merged);
+    }
+    out
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    ds: &Dataset,
+    config: &ExecConfig,
+    domains: &Domains,
+) -> Result<(BindingTable, Profile), ExecError> {
+    match plan {
+        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
+            let start = Instant::now();
+            let mut table = ops::scan(ds, pattern, *order);
+            let mut label = format!("scan({}) [tp{pattern_idx}]", order.name());
+            if config.sip && table.vars().iter().any(|v| domains.contains_key(v)) {
+                table = ops::domain_filter(&table, domains);
+                label.push_str("+sip");
+            }
+            finish(table, label, start, Vec::new(), config)
+        }
+        PhysicalPlan::MergeJoin { left, right, var } => {
+            let (lt, lp) = run(left, ds, config, domains)?;
+            // SIP: the right side only needs rows whose join key occurs on
+            // the (already materialised) left side.
+            let (rt, rp) = if config.sip {
+                let narrowed = narrowed(domains, &lt, &[*var]);
+                run(right, ds, config, &narrowed)?
+            } else {
+                run(right, ds, config, domains)?
+            };
+            let start = Instant::now();
+            let table = ops::merge_join(&lt, &rt, *var);
+            finish(table, format!("mergejoin({var})"), start, vec![lp, rp], config)
+        }
+        PhysicalPlan::HashJoin { left, right, vars } => {
+            // Evaluate the build (right) side first so SIP can pass its
+            // join-key domain into the probe side's subtree.
+            let (rt, rp) = run(right, ds, config, domains)?;
+            let (lt, lp) = if config.sip {
+                let narrowed = narrowed(domains, &rt, vars);
+                run(left, ds, config, &narrowed)?
+            } else {
+                run(left, ds, config, domains)?
+            };
+            let start = Instant::now();
+            let table = ops::hash_join(&lt, &rt, vars);
+            let label = format!(
+                "hashjoin({})",
+                vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            );
+            finish(table, label, start, vec![lp, rp], config)
+        }
+        PhysicalPlan::CrossProduct { left, right } => {
+            let (lt, lp) = run(left, ds, config, domains)?;
+            let (rt, rp) = run(right, ds, config, domains)?;
+            // Check the budget *before* materialising the product: this is
+            // the guard that makes Cartesian plans fail fast instead of
+            // exhausting memory.
+            if let Some(budget) = config.max_intermediate_rows {
+                let rows = lt.len().saturating_mul(rt.len());
+                if rows > budget {
+                    return Err(ExecError::BudgetExceeded {
+                        operator: "crossproduct".into(),
+                        rows,
+                        budget,
+                    });
+                }
+            }
+            let start = Instant::now();
+            let table = ops::cross_product(&lt, &rt);
+            finish(table, "crossproduct".into(), start, vec![lp, rp], config)
+        }
+        PhysicalPlan::Sort { input, var } => {
+            let (it, ip) = run(input, ds, config, domains)?;
+            let start = Instant::now();
+            let table = ops::sort_by(&it, *var);
+            finish(table, format!("sort({var})"), start, vec![ip], config)
+        }
+        PhysicalPlan::Filter { input, expr } => {
+            let (it, ip) = run(input, ds, config, domains)?;
+            let start = Instant::now();
+            let table = ops::filter(ds, &it, expr);
+            finish(table, "filter".into(), start, vec![ip], config)
+        }
+        PhysicalPlan::Project { input, projection, distinct } => {
+            let (it, ip) = run(input, ds, config, domains)?;
+            let start = Instant::now();
+            let table = ops::project(&it, projection, *distinct);
+            let names: Vec<&str> = projection.iter().map(|(n, _)| n.as_str()).collect();
+            let label = if *distinct {
+                format!("project-distinct({})", names.join(","))
+            } else {
+                format!("project({})", names.join(","))
+            };
+            finish(table, label, start, vec![ip], config)
+        }
+        PhysicalPlan::OrderBy { input, keys } => {
+            let (it, ip) = run(input, ds, config, domains)?;
+            let start = Instant::now();
+            let table = ops::order_by(ds, &it, keys);
+            finish(table, format!("orderby({} keys)", keys.len()), start, vec![ip], config)
+        }
+        PhysicalPlan::Slice { input, offset, limit } => {
+            let (it, ip) = run(input, ds, config, domains)?;
+            let start = Instant::now();
+            let table = ops::slice(&it, *offset, *limit);
+            let label = match limit {
+                Some(n) => format!("slice(offset={offset}, limit={n})"),
+                None => format!("slice(offset={offset})"),
+            };
+            finish(table, label, start, vec![ip], config)
+        }
+    }
+}
+
+fn finish(
+    table: BindingTable,
+    label: String,
+    start: Instant,
+    children: Vec<Profile>,
+    config: &ExecConfig,
+) -> Result<(BindingTable, Profile), ExecError> {
+    if let Some(budget) = config.max_intermediate_rows {
+        if table.len() > budget {
+            return Err(ExecError::BudgetExceeded {
+                operator: label,
+                rows: table.len(),
+                budget,
+            });
+        }
+    }
+    let profile = Profile {
+        label,
+        output_rows: table.len(),
+        nanos: start.elapsed().as_nanos(),
+        children,
+    };
+    Ok((table, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::Term;
+    use hsp_sparql::{TermOrVar, TriplePattern, Var};
+    use hsp_store::Order;
+
+    fn dataset() -> Dataset {
+        Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/p> <http://e/b2> .
+<http://e/a2> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/q> "5" .
+<http://e/a2> <http://e/q> "7" .
+<http://e/b1> <http://e/r> "x" .
+"#,
+        )
+        .unwrap()
+    }
+
+    fn cv(name: &str) -> TermOrVar {
+        TermOrVar::Const(Term::iri(format!("http://e/{name}")))
+    }
+
+    fn vv(i: u32) -> TermOrVar {
+        TermOrVar::Var(Var(i))
+    }
+
+    fn scan(idx: usize, s: TermOrVar, p: TermOrVar, o: TermOrVar, order: Order) -> PhysicalPlan {
+        PhysicalPlan::Scan { pattern_idx: idx, pattern: TriplePattern::new(s, p, o), order }
+    }
+
+    #[test]
+    fn executes_merge_join_plan_with_profile() {
+        let ds = dataset();
+        let plan = PhysicalPlan::MergeJoin {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+            var: Var(0),
+        };
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table.len(), 3);
+        assert_eq!(out.profile.output_rows, 3);
+        assert_eq!(out.profile.children.len(), 2);
+        assert!(out.profile.label.starts_with("mergejoin"));
+        assert_eq!(out.profile.children[0].output_rows, 3);
+        assert_eq!(out.profile.children[1].output_rows, 2);
+        assert_eq!(out.profile.total_intermediate_rows(), 3 + 3 + 2);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_before_running() {
+        let ds = dataset();
+        // Merge join whose right side is sorted by the wrong variable.
+        let plan = PhysicalPlan::MergeJoin {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pos)),
+            var: Var(0),
+        };
+        let err = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn budget_trips_on_cross_product_before_materialising() {
+        let ds = dataset();
+        let plan = PhysicalPlan::CrossProduct {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(1, vv(2), cv("q"), vv(3), Order::Pso)),
+        };
+        let err = execute(&plan, &ds, &ExecConfig::with_row_budget(5)).unwrap_err();
+        match err {
+            ExecError::BudgetExceeded { rows, budget, .. } => {
+                assert_eq!(rows, 6);
+                assert_eq!(budget, 5);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn budget_allows_small_results() {
+        let ds = dataset();
+        let plan = scan(0, vv(0), cv("q"), vv(1), Order::Pso);
+        let out = execute(&plan, &ds, &ExecConfig::with_row_budget(100)).unwrap();
+        assert_eq!(out.table.len(), 2);
+    }
+
+    #[test]
+    fn project_distinct_at_root() {
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            projection: vec![("s".into(), Var(0))],
+            distinct: true,
+        };
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table.len(), 2);
+        assert!(out.profile.label.contains("distinct"));
+    }
+
+    #[test]
+    fn sip_reduces_intermediates_and_preserves_results() {
+        // A selective filter on one side: the ?0 q-scan returns one row
+        // ("5"), SIP pushes its subject into the p-scan.
+        let ds = dataset();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(
+                1,
+                vv(0),
+                cv("q"),
+                TermOrVar::Const(Term::literal("5")),
+                Order::Pos,
+            )),
+            vars: vec![Var(0)],
+        };
+        let plain = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        let sip = execute(&plan, &ds, &ExecConfig::unlimited().with_sip()).unwrap();
+        // Identical results…
+        assert_eq!(sip.table.sorted_rows(), plain.table.sorted_rows());
+        // …with strictly fewer intermediate rows (the a2 row never leaves
+        // the probe scan), and the profile says SIP fired.
+        assert!(
+            sip.profile.total_intermediate_rows() < plain.profile.total_intermediate_rows(),
+            "sip {} vs plain {}",
+            sip.profile.total_intermediate_rows(),
+            plain.profile.total_intermediate_rows()
+        );
+        let mut fired = false;
+        sip.profile.visit(&mut |p| fired |= p.label.contains("+sip"));
+        assert!(fired);
+    }
+
+    #[test]
+    fn sip_on_merge_join_keeps_sortedness() {
+        let ds = dataset();
+        let plan = PhysicalPlan::MergeJoin {
+            left: Box::new(scan(0, vv(0), cv("q"), vv(2), Order::Pso)),
+            right: Box::new(scan(1, vv(0), cv("p"), vv(1), Order::Pso)),
+            var: Var(0),
+        };
+        let plain = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        let sip = execute(&plan, &ds, &ExecConfig::unlimited().with_sip()).unwrap();
+        assert_eq!(sip.table.sorted_rows(), plain.table.sorted_rows());
+        assert!(sip.table.check_sortedness());
+    }
+
+    #[test]
+    fn sip_noop_when_domains_irrelevant() {
+        // A cross product shares no variables: SIP must change nothing.
+        let ds = dataset();
+        let plan = PhysicalPlan::CrossProduct {
+            left: Box::new(scan(0, cv("a1"), cv("q"), vv(0), Order::Spo)),
+            right: Box::new(scan(1, cv("b1"), cv("r"), vv(1), Order::Spo)),
+        };
+        let plain = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        let sip = execute(&plan, &ds, &ExecConfig::unlimited().with_sip()).unwrap();
+        assert_eq!(sip.table.sorted_rows(), plain.table.sorted_rows());
+        assert_eq!(
+            sip.profile.total_intermediate_rows(),
+            plain.profile.total_intermediate_rows()
+        );
+    }
+
+    #[test]
+    fn filter_node_runs() {
+        use hsp_sparql::{CmpOp, FilterExpr, Operand};
+        let ds = dataset();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan(0, vv(0), cv("q"), vv(1), Order::Pso)),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Lt,
+                lhs: Operand::Var(Var(1)),
+                rhs: Operand::Const(Term::literal("6")),
+            },
+        };
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Plan rendering — the format of the paper's Figures 2 and 3.
+//!
+//! Plans are printed as indented trees; when a [`Profile`] is supplied the
+//! per-operator output cardinalities are annotated exactly like the
+//! `(26.851)`-style labels in the paper's plan figures.
+
+use hsp_sparql::{JoinQuery, TermOrVar, TriplePattern, Var};
+
+use crate::exec::Profile;
+use crate::plan::PhysicalPlan;
+
+/// Render a plan as an indented tree without cardinalities.
+pub fn render_plan(plan: &PhysicalPlan, query: &JoinQuery) -> String {
+    let mut out = String::new();
+    render(plan, None, query, 0, &mut out);
+    out
+}
+
+/// Render a plan annotated with the output cardinalities recorded in
+/// `profile` (which must come from executing the same plan).
+pub fn render_plan_with_profile(
+    plan: &PhysicalPlan,
+    profile: &Profile,
+    query: &JoinQuery,
+) -> String {
+    let mut out = String::new();
+    render(plan, Some(profile), query, 0, &mut out);
+    out
+}
+
+fn render(
+    plan: &PhysicalPlan,
+    profile: Option<&Profile>,
+    query: &JoinQuery,
+    depth: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let cards = profile.map_or(String::new(), |p| format!("  ({})", group_digits(p.output_rows)));
+    match plan {
+        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
+            let op = if pattern.num_consts() > 0 { "σ" } else { "scan" };
+            out.push_str(&format!(
+                "{indent}{op}({}) {} [tp{pattern_idx}]{cards}\n",
+                order.upper_name(),
+                describe_pattern(pattern, query),
+            ));
+        }
+        PhysicalPlan::MergeJoin { left, right, var } => {
+            out.push_str(&format!(
+                "{indent}⋈mj ?{}{cards}\n",
+                query.var_name(*var)
+            ));
+            render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+        }
+        PhysicalPlan::HashJoin { left, right, vars } => {
+            let names: Vec<String> =
+                vars.iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+            out.push_str(&format!("{indent}⋈hj {}{cards}\n", names.join(",")));
+            render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+        }
+        PhysicalPlan::CrossProduct { left, right } => {
+            out.push_str(&format!("{indent}×{cards}\n"));
+            render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+        }
+        PhysicalPlan::Sort { input, var } => {
+            out.push_str(&format!("{indent}sort ?{}{cards}\n", query.var_name(*var)));
+            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+        }
+        PhysicalPlan::Filter { input, .. } => {
+            out.push_str(&format!("{indent}σ(filter){cards}\n"));
+            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+        }
+        PhysicalPlan::Project { input, projection, distinct } => {
+            let names: Vec<String> =
+                projection.iter().map(|(n, _)| format!("?{n}")).collect();
+            let op = if *distinct { "π-distinct" } else { "π" };
+            out.push_str(&format!("{indent}{op} {}{cards}\n", names.join(",")));
+            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+        }
+        PhysicalPlan::OrderBy { input, keys } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    if k.descending {
+                        format!("DESC({})", k.expr)
+                    } else {
+                        k.expr.to_string()
+                    }
+                })
+                .collect();
+            out.push_str(&format!("{indent}order by {}{cards}\n", rendered.join(", ")));
+            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+        }
+        PhysicalPlan::Slice { input, offset, limit } => {
+            let lim = limit.map_or("∞".to_string(), |n| n.to_string());
+            out.push_str(&format!("{indent}slice[{offset}..{lim}]{cards}\n"));
+            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+        }
+    }
+}
+
+/// Describe a pattern like the paper's figures: `p = locatedIn` under a
+/// `σ(PSO)` node, with variables shown by name.
+fn describe_pattern(pattern: &TriplePattern, query: &JoinQuery) -> String {
+    let mut parts = Vec::new();
+    for pos in hsp_rdf::TriplePos::ALL {
+        match pattern.slot(pos) {
+            TermOrVar::Const(t) => parts.push(format!("{}={}", pos.letter(), short_term(t))),
+            TermOrVar::Var(v) => parts.push(format!("?{}", var_name(query, *v))),
+        }
+    }
+    parts.join(" ")
+}
+
+fn var_name(query: &JoinQuery, v: Var) -> String {
+    query
+        .var_names
+        .get(v.index())
+        .cloned()
+        .unwrap_or_else(|| format!("v{}", v.0))
+}
+
+/// Shorten an IRI to its local name for readable figures.
+fn short_term(t: &hsp_rdf::Term) -> String {
+    match t {
+        hsp_rdf::Term::Iri(iri) => {
+            let local = iri.rsplit(['/', '#']).next().unwrap_or(iri);
+            local.to_string()
+        }
+        lit => format!("\"{}\"", lit.lexical()),
+    }
+}
+
+/// Group digits with dots the way the paper prints cardinalities
+/// (`16.348.563`).
+fn group_digits(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('.');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Render a physical plan in Graphviz `dot` syntax: one node per operator
+/// (labelled like the text explain, with cardinalities when a profile is
+/// supplied), edges from children to parents — the shape of the paper's
+/// Figures 2 and 3 as a picture.
+pub fn render_plan_dot(
+    plan: &PhysicalPlan,
+    profile: Option<&Profile>,
+    query: &JoinQuery,
+) -> String {
+    let mut out = String::from("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut counter = 0usize;
+    dot_node(plan, profile, query, &mut counter, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Emit the node for `plan` (and its subtree); returns its dot id.
+fn dot_node(
+    plan: &PhysicalPlan,
+    profile: Option<&Profile>,
+    query: &JoinQuery,
+    counter: &mut usize,
+    out: &mut String,
+) -> usize {
+    let id = *counter;
+    *counter += 1;
+    let label = match plan {
+        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
+            let op = if pattern.num_consts() > 0 { "σ" } else { "scan" };
+            format!("{op}({}) {} [tp{pattern_idx}]", order.upper_name(), describe_pattern(pattern, query))
+        }
+        PhysicalPlan::MergeJoin { var, .. } => format!("⋈mj ?{}", query.var_name(*var)),
+        PhysicalPlan::HashJoin { vars, .. } => {
+            let names: Vec<String> = vars.iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+            format!("⋈hj {}", names.join(","))
+        }
+        PhysicalPlan::CrossProduct { .. } => "×".to_string(),
+        PhysicalPlan::Sort { var, .. } => format!("sort ?{}", query.var_name(*var)),
+        PhysicalPlan::Filter { .. } => "σ(filter)".to_string(),
+        PhysicalPlan::Project { projection, distinct, .. } => {
+            let names: Vec<String> = projection.iter().map(|(n, _)| format!("?{n}")).collect();
+            format!("{} {}", if *distinct { "π-distinct" } else { "π" }, names.join(","))
+        }
+        PhysicalPlan::OrderBy { keys, .. } => format!("order by ({} keys)", keys.len()),
+        PhysicalPlan::Slice { offset, limit, .. } => {
+            format!("slice[{offset}..{}]", limit.map_or("∞".into(), |n| n.to_string()))
+        }
+    };
+    let cards = profile.map_or(String::new(), |p| format!("\\n{} rows", group_digits(p.output_rows)));
+    out.push_str(&format!(
+        "  n{id} [label=\"{}{}\"];\n",
+        label.replace('\\', "\\\\").replace('"', "\\\""),
+        cards
+    ));
+    let children: Vec<(&PhysicalPlan, Option<&Profile>)> = match plan {
+        PhysicalPlan::Scan { .. } => vec![],
+        PhysicalPlan::MergeJoin { left, right, .. }
+        | PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::CrossProduct { left, right } => vec![
+            (left.as_ref(), profile.map(|p| &p.children[0])),
+            (right.as_ref(), profile.map(|p| &p.children[1])),
+        ],
+        PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::OrderBy { input, .. }
+        | PhysicalPlan::Slice { input, .. } => {
+            vec![(input.as_ref(), profile.map(|p| &p.children[0]))]
+        }
+    };
+    for (child, cp) in children {
+        let cid = dot_node(child, cp, query, counter, out);
+        out.push_str(&format!("  n{cid} -> n{id};\n"));
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use hsp_store::{Dataset, Order};
+
+    fn setup() -> (Dataset, JoinQuery, PhysicalPlan) {
+        let ds = Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/q> "5" .
+<http://e/a2> <http://e/p> <http://e/b2> .
+"#,
+        )
+        .unwrap();
+        let query = JoinQuery::parse(
+            "SELECT ?x WHERE { ?x <http://e/p> ?y . ?x <http://e/q> ?z . }",
+        )
+        .unwrap();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(PhysicalPlan::Scan {
+                    pattern_idx: 0,
+                    pattern: query.patterns[0].clone(),
+                    order: Order::Pso,
+                }),
+                right: Box::new(PhysicalPlan::Scan {
+                    pattern_idx: 1,
+                    pattern: query.patterns[1].clone(),
+                    order: Order::Pso,
+                }),
+                var: Var(0),
+            }),
+            projection: query.projection.clone(),
+            distinct: false,
+        };
+        (ds, query, plan)
+    }
+
+    #[test]
+    fn renders_dot_graph() {
+        let (ds, query, plan) = setup();
+        let out = crate::exec::execute(&plan, &ds, &crate::exec::ExecConfig::unlimited()).unwrap();
+        let dot = render_plan_dot(&plan, Some(&out.profile), &query);
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("⋈mj"));
+        assert!(dot.contains("rows"));
+        // One edge per non-root operator: scan + scan + join under project.
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn renders_tree_with_named_vars() {
+        let (_, query, plan) = setup();
+        let text = render_plan(&plan, &query);
+        assert!(text.contains("π ?x"));
+        assert!(text.contains("⋈mj ?x"));
+        assert!(text.contains("σ(PSO)"));
+        assert!(text.contains("[tp0]"));
+        assert!(text.contains("[tp1]"));
+        assert!(text.contains("p=p")); // constant predicate shortened
+    }
+
+    #[test]
+    fn renders_cardinalities_from_profile() {
+        let (ds, query, plan) = setup();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        let text = render_plan_with_profile(&plan, &out.profile, &query);
+        assert!(text.contains("(1)")); // the join result has 1 row
+        assert!(text.contains("(2)")); // the p-scan has 2 rows
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(16_348_563), "16.348.563");
+        assert_eq!(group_digits(432), "432");
+        assert_eq!(group_digits(1_000), "1.000");
+    }
+}

@@ -1,0 +1,34 @@
+//! Columnar, operator-at-a-time execution engine.
+//!
+//! This crate is the MonetDB stand-in: like MonetDB's BAT algebra, every
+//! operator consumes and produces *fully materialised columnar* binding
+//! tables ([`binding::BindingTable`]), and sortedness is a first-class
+//! property — a [`plan::PhysicalPlan`] merge join is only valid when both
+//! inputs are sorted on the join variable, which scans over the six ordered
+//! relations provide for free.
+//!
+//! * [`binding`] — columnar intermediate results with sortedness metadata.
+//! * [`plan`] — the physical plan tree shared by all planners.
+//! * [`ops`] — the operators: scan-select, merge join, hash join, cross
+//!   product, filter, projection, distinct.
+//! * [`exec`] — the tree evaluator, with per-operator profiling and an
+//!   intermediate-result row budget (used to make the SQL baseline's
+//!   Cartesian plans fail fast, the paper's "XXX" entries).
+//! * [`cost`] — the RDF-3X cost model the paper uses for Table 3.
+//! * [`metrics`] — plan characteristics for Table 4 (merge/hash join counts,
+//!   left-deep vs bushy shape, plan similarity).
+//! * [`explain`] — plan rendering with per-operator cardinalities, the
+//!   format of the paper's Figures 2 and 3.
+
+pub mod binding;
+pub mod cost;
+pub mod exec;
+pub mod explain;
+pub mod metrics;
+pub mod ops;
+pub mod plan;
+
+pub use binding::BindingTable;
+pub use exec::{execute, ExecConfig, ExecError, ExecOutput, Profile};
+pub use metrics::{PlanMetrics, PlanShape};
+pub use plan::PhysicalPlan;

@@ -1,0 +1,261 @@
+//! Plan characteristics — the paper's Table 4.
+
+use std::fmt;
+
+use crate::plan::PhysicalPlan;
+
+/// Left-deep vs bushy (the paper's `LD` / `B` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// Every join's right input is a leaf (scan, possibly behind
+    /// filters/projections).
+    LeftDeep,
+    /// At least one join has a composite right input.
+    Bushy,
+}
+
+impl fmt::Display for PlanShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanShape::LeftDeep => write!(f, "LD"),
+            PlanShape::Bushy => write!(f, "B"),
+        }
+    }
+}
+
+/// Join counts and shape of one plan (one Table 4 column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanMetrics {
+    /// Number of merge joins.
+    pub merge_joins: usize,
+    /// Number of hash joins.
+    pub hash_joins: usize,
+    /// Number of cross products.
+    pub cross_products: usize,
+    /// Left-deep or bushy.
+    pub shape: PlanShape,
+}
+
+impl PlanMetrics {
+    /// Analyse a plan.
+    pub fn of(plan: &PhysicalPlan) -> Self {
+        let mut m = PlanMetrics {
+            merge_joins: 0,
+            hash_joins: 0,
+            cross_products: 0,
+            shape: PlanShape::LeftDeep,
+        };
+        plan.visit(&mut |node| match node {
+            PhysicalPlan::MergeJoin { right, .. } => {
+                m.merge_joins += 1;
+                if !is_leafish(right) {
+                    m.shape = PlanShape::Bushy;
+                }
+            }
+            PhysicalPlan::HashJoin { right, .. } => {
+                m.hash_joins += 1;
+                if !is_leafish(right) {
+                    m.shape = PlanShape::Bushy;
+                }
+            }
+            PhysicalPlan::CrossProduct { right, .. } => {
+                m.cross_products += 1;
+                if !is_leafish(right) {
+                    m.shape = PlanShape::Bushy;
+                }
+            }
+            _ => {}
+        });
+        m
+    }
+
+    /// Total binary operators.
+    pub fn total_joins(&self) -> usize {
+        self.merge_joins + self.hash_joins + self.cross_products
+    }
+}
+
+/// `true` if the subtree contains no joins (a scan behind unary operators).
+fn is_leafish(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::Scan { .. } => true,
+        PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::OrderBy { input, .. }
+        | PhysicalPlan::Slice { input, .. } => is_leafish(input),
+        _ => false,
+    }
+}
+
+/// Plan equality up to cosmetic details: same tree structure, same leaf
+/// access paths, same join algorithms and variables. Unary wrappers
+/// (filters, projections) are ignored — the comparison is about join
+/// structure, the paper's "Similar Plans ✓/✗" row.
+pub fn plans_similar(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
+    let a = strip_unary(a);
+    let b = strip_unary(b);
+    match (a, b) {
+        (
+            PhysicalPlan::Scan { pattern_idx: ia, pattern: pa, order: oa },
+            PhysicalPlan::Scan { pattern_idx: ib, pattern: pb, order: ob },
+        ) => {
+            // Access paths are equivalent when they bind the same constants
+            // as a key prefix and deliver the same sort variable — the
+            // order of constants *within* the prefix is cosmetic (both
+            // OPS and POS answer `(?x, p, o)` sorted by ?x).
+            ia == ib
+                && crate::plan::scan_sort_var(pa, *oa) == crate::plan::scan_sort_var(pb, *ob)
+        }
+        (
+            PhysicalPlan::MergeJoin { left: la, right: ra, var: va },
+            PhysicalPlan::MergeJoin { left: lb, right: rb, var: vb },
+        ) => va == vb && plans_similar(la, lb) && plans_similar(ra, rb),
+        (
+            PhysicalPlan::HashJoin { left: la, right: ra, vars: va },
+            PhysicalPlan::HashJoin { left: lb, right: rb, vars: vb },
+        ) => {
+            let mut sa = va.clone();
+            let mut sb = vb.clone();
+            sa.sort();
+            sb.sort();
+            sa == sb
+                && ((plans_similar(la, lb) && plans_similar(ra, rb))
+                    // Hash joins are symmetric up to probe/build choice.
+                    || (plans_similar(la, rb) && plans_similar(ra, lb)))
+        }
+        (
+            PhysicalPlan::CrossProduct { left: la, right: ra },
+            PhysicalPlan::CrossProduct { left: lb, right: rb },
+        ) => {
+            (plans_similar(la, lb) && plans_similar(ra, rb))
+                || (plans_similar(la, rb) && plans_similar(ra, lb))
+        }
+        _ => false,
+    }
+}
+
+/// Skip filter/sort/projection wrappers to reach join/scan structure.
+fn strip_unary(plan: &PhysicalPlan) -> &PhysicalPlan {
+    match plan {
+        PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::OrderBy { input, .. }
+        | PhysicalPlan::Slice { input, .. } => strip_unary(input),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::Term;
+    use hsp_sparql::{TermOrVar, TriplePattern, Var};
+    use hsp_store::Order;
+
+    fn scan(idx: usize, order: Order) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            pattern_idx: idx,
+            pattern: TriplePattern::new(
+                TermOrVar::Var(Var(0)),
+                TermOrVar::Const(Term::iri("http://e/p")),
+                TermOrVar::Var(Var(idx as u32 + 1)),
+            ),
+            order,
+        }
+    }
+
+    fn mj(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::MergeJoin { left: Box::new(left), right: Box::new(right), var: Var(0) }
+    }
+
+    fn hj(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            vars: vec![Var(0)],
+        }
+    }
+
+    #[test]
+    fn left_deep_chain() {
+        let plan = mj(mj(scan(0, Order::Pso), scan(1, Order::Pso)), scan(2, Order::Pso));
+        let m = PlanMetrics::of(&plan);
+        assert_eq!(m.merge_joins, 2);
+        assert_eq!(m.hash_joins, 0);
+        assert_eq!(m.shape, PlanShape::LeftDeep);
+    }
+
+    #[test]
+    fn bushy_detection() {
+        let left = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let right = mj(scan(2, Order::Pso), scan(3, Order::Pso));
+        let plan = hj(left, right);
+        let m = PlanMetrics::of(&plan);
+        assert_eq!(m.merge_joins, 2);
+        assert_eq!(m.hash_joins, 1);
+        assert_eq!(m.shape, PlanShape::Bushy);
+        assert_eq!(m.total_joins(), 3);
+    }
+
+    #[test]
+    fn unary_wrappers_keep_leafishness() {
+        let wrapped = PhysicalPlan::Project {
+            input: Box::new(scan(1, Order::Pso)),
+            projection: vec![("x".into(), Var(0))],
+            distinct: false,
+        };
+        let plan = mj(scan(0, Order::Pso), wrapped);
+        assert_eq!(PlanMetrics::of(&plan).shape, PlanShape::LeftDeep);
+    }
+
+    #[test]
+    fn similarity_same_plan() {
+        let a = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let b = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        assert!(plans_similar(&a, &b));
+    }
+
+    #[test]
+    fn similarity_differs_on_access_path() {
+        let a = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let b = mj(scan(0, Order::Pso), scan(1, Order::Spo));
+        assert!(!plans_similar(&a, &b));
+    }
+
+    #[test]
+    fn similarity_differs_on_join_order() {
+        let a = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let b = mj(scan(1, Order::Pso), scan(0, Order::Pso));
+        assert!(!plans_similar(&a, &b)); // merge joins are order-sensitive here
+    }
+
+    #[test]
+    fn hash_join_similarity_is_symmetric() {
+        let a = hj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let b = hj(scan(1, Order::Pso), scan(0, Order::Pso));
+        assert!(plans_similar(&a, &b));
+    }
+
+    #[test]
+    fn projection_wrapper_ignored_for_similarity() {
+        let bare = mj(scan(0, Order::Pso), scan(1, Order::Pso));
+        let wrapped = PhysicalPlan::Project {
+            input: Box::new(bare.clone()),
+            projection: vec![("x".into(), Var(0))],
+            distinct: false,
+        };
+        assert!(plans_similar(&bare, &wrapped));
+    }
+
+    #[test]
+    fn cross_product_counted() {
+        let plan = PhysicalPlan::CrossProduct {
+            left: Box::new(scan(0, Order::Pso)),
+            right: Box::new(scan(1, Order::Pso)),
+        };
+        let m = PlanMetrics::of(&plan);
+        assert_eq!(m.cross_products, 1);
+    }
+}

@@ -1,0 +1,1109 @@
+//! The physical operators: scan-select, merge join, hash join, cross
+//! product, filter, projection, distinct.
+//!
+//! All operators are *operator-at-a-time*: they consume and produce fully
+//! materialised [`BindingTable`]s, mirroring MonetDB's execution model.
+
+use std::collections::HashMap;
+
+use hsp_rdf::{Term, TermId, TermKind};
+use hsp_sparql::{CmpOp, FilterExpr, Operand, TermOrVar, TriplePattern, Var};
+use hsp_store::{Dataset, Order};
+
+use crate::binding::BindingTable;
+use crate::plan::{consts_form_prefix, scan_sort_var};
+
+/// Scan one ordered relation for the rows matching `pattern`'s constants.
+///
+/// The output has one column per distinct pattern variable and is sorted by
+/// the first variable in key order (see [`scan_sort_var`]). If the pattern
+/// repeats a variable (e.g. `?x p ?x`), rows violating the implied equality
+/// are dropped.
+///
+/// # Panics
+/// Panics if the pattern's constants do not form a prefix of `order`'s key
+/// ([`PhysicalPlan::validate`](crate::plan::PhysicalPlan::validate) catches
+/// this earlier).
+pub fn scan(ds: &Dataset, pattern: &TriplePattern, order: Order) -> BindingTable {
+    assert!(
+        consts_form_prefix(pattern, order),
+        "scan constants must form a key prefix of {order}"
+    );
+    let out_vars = pattern.vars();
+
+    // Resolve constants; a constant unknown to the dictionary matches nothing.
+    let mut prefix: Vec<TermId> = Vec::with_capacity(3);
+    for pos in order.positions() {
+        match pattern.slot(pos) {
+            TermOrVar::Const(term) => match ds.dict().id(term) {
+                Some(id) => prefix.push(id),
+                None => return BindingTable::empty(out_vars),
+            },
+            TermOrVar::Var(_) => break,
+        }
+    }
+
+    let rows = ds.store().relation(order).range(&prefix);
+
+    // A fully ground pattern is a containment check: zero columns, but the
+    // row count (0 or 1) still matters to joins and cross products.
+    if out_vars.is_empty() {
+        return BindingTable::unit(rows.len());
+    }
+
+    // Key indices of each output variable's (first) slot.
+    let var_key_idx: Vec<usize> = out_vars
+        .iter()
+        .map(|&v| {
+            let pos = pattern.positions_of(v)[0];
+            order.key_index(pos)
+        })
+        .collect();
+
+    // Repeated-variable equality constraints: (key index a, key index b).
+    let mut equalities: Vec<(usize, usize)> = Vec::new();
+    for &v in &out_vars {
+        let positions = pattern.positions_of(v);
+        for pair in positions.windows(2) {
+            equalities.push((order.key_index(pair[0]), order.key_index(pair[1])));
+        }
+    }
+
+    let mut cols: Vec<Vec<TermId>> = out_vars.iter().map(|_| Vec::with_capacity(rows.len())).collect();
+    for row in rows {
+        if !equalities.iter().all(|&(a, b)| row[a] == row[b]) {
+            continue;
+        }
+        for (col, &k) in cols.iter_mut().zip(&var_key_idx) {
+            col.push(row[k]);
+        }
+    }
+    let sorted = scan_sort_var(pattern, order);
+    BindingTable::from_columns(out_vars, cols, sorted)
+}
+
+/// Sort-merge join on `var`. Both inputs must be sorted by `var`; equality
+/// on any further shared variables is enforced pairwise. The output carries
+/// the left table's variables followed by the right table's non-shared
+/// variables, and stays sorted by `var`.
+///
+/// # Panics
+/// Panics if an input is not sorted by `var`.
+pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> BindingTable {
+    assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
+    assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
+
+    let (out_vars, right_extra, extra_shared) = join_layout(left, right, &[var]);
+    let lcol = left.column(var);
+    let rcol = right.column(var);
+    let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
+        .iter()
+        .map(|&v| (left.column(v), right.column(v)))
+        .collect();
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    while i < lcol.len() && j < rcol.len() {
+        let (a, b) = (lcol[i], rcol[j]);
+        if a < b {
+            i += 1;
+        } else if b < a {
+            j += 1;
+        } else {
+            // Equal-key groups: cross-combine.
+            let i_end = i + lcol[i..].partition_point(|&x| x == a);
+            let j_end = j + rcol[j..].partition_point(|&x| x == a);
+            for li in i..i_end {
+                for rj in j..j_end {
+                    if !extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
+                        continue;
+                    }
+                    row_buf.clear();
+                    for &v in left.vars() {
+                        row_buf.push(left.value(v, li));
+                    }
+                    for &v in &right_extra {
+                        row_buf.push(right.value(v, rj));
+                    }
+                    out.push_row(&row_buf);
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out.set_sorted_by(Some(var));
+    out
+}
+
+/// Hash join on `vars`: builds a table over the smaller conceptual side —
+/// here always `right` (planners put the build side on the right, mirroring
+/// the cost model's convention) — and probes with `left`, so the output
+/// preserves the left side's ordering.
+///
+/// # Panics
+/// Panics if `vars` is empty or not shared by both inputs.
+pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> BindingTable {
+    assert!(!vars.is_empty(), "hash join needs at least one variable");
+    for &v in vars {
+        assert!(left.vars().contains(&v), "hash join var {v} missing from left");
+        assert!(right.vars().contains(&v), "hash join var {v} missing from right");
+    }
+    let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
+
+    // Build on the right.
+    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+    for j in 0..right.len() {
+        let key: Vec<TermId> = vars.iter().map(|&v| right.value(v, j)).collect();
+        table.entry(key).or_default().push(j);
+    }
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut key_buf: Vec<TermId> = Vec::with_capacity(vars.len());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..left.len() {
+        key_buf.clear();
+        key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
+        let Some(matches) = table.get(key_buf.as_slice()) else { continue };
+        for &j in matches {
+            if !extra_shared
+                .iter()
+                .all(|&v| left.value(v, i) == right.value(v, j))
+            {
+                continue;
+            }
+            row_buf.clear();
+            for &v in left.vars() {
+                row_buf.push(left.value(v, i));
+            }
+            for &v in &right_extra {
+                row_buf.push(right.value(v, j));
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    // Probe order is preserved, so the left ordering survives.
+    out.set_sorted_by(left.sorted_by());
+    out
+}
+
+/// Cartesian product (left-major order, so the left ordering survives).
+///
+/// # Panics
+/// Panics if the inputs share a variable.
+pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable {
+    let shared: Vec<Var> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.vars().contains(v))
+        .collect();
+    assert!(shared.is_empty(), "cross product inputs share {shared:?}");
+
+    let mut out_vars = left.vars().to_vec();
+    out_vars.extend_from_slice(right.vars());
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            row_buf.clear();
+            for &v in left.vars() {
+                row_buf.push(left.value(v, i));
+            }
+            for &v in right.vars() {
+                row_buf.push(right.value(v, j));
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    if !right.is_empty() {
+        out.set_sorted_by(left.sorted_by());
+    }
+    out
+}
+
+/// Sort a table by `var` (stable), producing an order-enforced copy.
+///
+/// # Panics
+/// Panics if `var` is not a variable of the table.
+pub fn sort_by(input: &BindingTable, var: Var) -> BindingTable {
+    let key = input.column(var);
+    let mut index: Vec<usize> = (0..input.len()).collect();
+    index.sort_by_key(|&i| key[i]);
+    let cols: Vec<Vec<TermId>> = input
+        .columns()
+        .iter()
+        .map(|col| index.iter().map(|&i| col[i]).collect())
+        .collect();
+    BindingTable::from_columns(input.vars().to_vec(), cols, Some(var))
+}
+
+/// Left-outer hash join on `vars` (the OPTIONAL operator of the engine's
+/// extended evaluator): every left row survives; unmatched rows carry
+/// [`TermId::UNBOUND`] in the right-only columns.
+///
+/// # Panics
+/// Panics if `vars` is empty or not shared by both inputs.
+pub fn left_outer_hash_join(
+    left: &BindingTable,
+    right: &BindingTable,
+    vars: &[Var],
+) -> BindingTable {
+    assert!(!vars.is_empty(), "outer join needs at least one variable");
+    for &v in vars {
+        assert!(left.vars().contains(&v), "outer join var {v} missing from left");
+        assert!(right.vars().contains(&v), "outer join var {v} missing from right");
+    }
+    let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
+
+    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+    for j in 0..right.len() {
+        let key: Vec<TermId> = vars.iter().map(|&v| right.value(v, j)).collect();
+        table.entry(key).or_default().push(j);
+    }
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut key_buf: Vec<TermId> = Vec::with_capacity(vars.len());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..left.len() {
+        key_buf.clear();
+        key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
+        let mut matched = false;
+        if let Some(matches) = table.get(key_buf.as_slice()) {
+            for &j in matches {
+                if !extra_shared
+                    .iter()
+                    .all(|&v| left.value(v, i) == right.value(v, j))
+                {
+                    continue;
+                }
+                matched = true;
+                row_buf.clear();
+                for &v in left.vars() {
+                    row_buf.push(left.value(v, i));
+                }
+                for &v in &right_extra {
+                    row_buf.push(right.value(v, j));
+                }
+                out.push_row(&row_buf);
+            }
+        }
+        if !matched {
+            row_buf.clear();
+            for &v in left.vars() {
+                row_buf.push(left.value(v, i));
+            }
+            row_buf.extend(right_extra.iter().map(|_| TermId::UNBOUND));
+            out.push_row(&row_buf);
+        }
+    }
+    out.set_sorted_by(None); // UNBOUND sentinels may break the left order
+    out
+}
+
+/// Concatenate two tables over the union of their variables (the UNION
+/// operator): columns missing from a branch are padded with
+/// [`TermId::UNBOUND`].
+pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
+    let mut out_vars = a.vars().to_vec();
+    for &v in b.vars() {
+        if !out_vars.contains(&v) {
+            out_vars.push(v);
+        }
+    }
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for side in [a, b] {
+        for i in 0..side.len() {
+            row_buf.clear();
+            for &v in &out_vars {
+                row_buf.push(if side.vars().contains(&v) {
+                    side.value(v, i)
+                } else {
+                    TermId::UNBOUND
+                });
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    out
+}
+
+/// Evaluate a residual FILTER, keeping the rows satisfying `expr`.
+///
+/// Simple (in)equality shapes compare interned ids directly; full-grammar
+/// [`FilterExpr::Complex`] expressions are evaluated with the SPARQL typed
+/// value semantics of [`hsp_sparql::expr`], sharing one
+/// [`Evaluator`](hsp_sparql::Evaluator) (and hence one compiled-regex
+/// cache) across all rows.
+pub fn filter(ds: &Dataset, input: &BindingTable, expr: &FilterExpr) -> BindingTable {
+    let evaluator = hsp_sparql::Evaluator::new();
+    let mut out = BindingTable::empty(input.vars().to_vec());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
+    for i in 0..input.len() {
+        if eval_expr(ds, input, expr, i, &evaluator) {
+            row_buf.clear();
+            for &v in input.vars() {
+                row_buf.push(input.value(v, i));
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    out.set_sorted_by(input.sorted_by());
+    out
+}
+
+/// Sideways-information-passing reducer: keep only the rows whose value
+/// for every domain-constrained variable lies inside that variable's
+/// domain (a semi-join against already-materialised join inputs).
+/// Row order — and hence sortedness — is preserved.
+pub fn domain_filter(
+    input: &BindingTable,
+    domains: &std::collections::HashMap<Var, std::rc::Rc<std::collections::HashSet<TermId>>>,
+) -> BindingTable {
+    let constrained: Vec<(usize, &std::collections::HashSet<TermId>)> = input
+        .vars()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| domains.get(v).map(|set| (i, set.as_ref())))
+        .collect();
+    if constrained.is_empty() {
+        return input.clone();
+    }
+    let mut out = BindingTable::empty(input.vars().to_vec());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
+    for i in 0..input.len() {
+        if !constrained
+            .iter()
+            .all(|&(c, set)| set.contains(&input.columns()[c][i]))
+        {
+            continue;
+        }
+        row_buf.clear();
+        for col in input.columns() {
+            row_buf.push(col[i]);
+        }
+        out.push_row(&row_buf);
+    }
+    out.set_sorted_by(input.sorted_by());
+    out
+}
+
+/// `ORDER BY`: stable sort by the given keys under the SPARQL §9.1 value
+/// order (see [`hsp_sparql::expr::compare_for_order`]). Key expressions
+/// that error evaluate as unbound (sorting first), matching the usual
+/// engine behaviour for, e.g., `ORDER BY` over a variable that is unbound
+/// in some rows.
+pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]) -> BindingTable {
+    use hsp_sparql::expr::compare_for_order;
+    let evaluator = hsp_sparql::Evaluator::new();
+
+    // Evaluate every key for every row once (decorate-sort-undecorate).
+    let mut decorated: Vec<(usize, Vec<Option<hsp_sparql::Value>>)> = (0..input.len())
+        .map(|i| {
+            let bindings = RowBindings { ds, table: input, row: i };
+            let key_vals = keys
+                .iter()
+                .map(|k| evaluator.eval(&k.expr, &bindings).ok())
+                .collect();
+            (i, key_vals)
+        })
+        .collect();
+    decorated.sort_by(|(_, ka), (_, kb)| {
+        for (key, (va, vb)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
+            let ord = compare_for_order(va.as_ref(), vb.as_ref());
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal // stable sort keeps input order
+    });
+
+    let mut out = BindingTable::empty(input.vars().to_vec());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
+    for (i, _) in decorated {
+        row_buf.clear();
+        for col in input.columns() {
+            row_buf.push(col[i]);
+        }
+        out.push_row(&row_buf);
+    }
+    // The ORDER BY value order is not the TermId order merge joins need,
+    // so the output advertises no sortedness.
+    out.set_sorted_by(None);
+    out
+}
+
+/// `OFFSET`/`LIMIT`: keep `limit` rows starting at `offset`.
+pub fn slice(input: &BindingTable, offset: usize, limit: Option<usize>) -> BindingTable {
+    let start = offset.min(input.len());
+    let end = match limit {
+        Some(n) => (start + n).min(input.len()),
+        None => input.len(),
+    };
+    let mut out = BindingTable::empty(input.vars().to_vec());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
+    for i in start..end {
+        row_buf.clear();
+        for col in input.columns() {
+            row_buf.push(col[i]);
+        }
+        out.push_row(&row_buf);
+    }
+    out.set_sorted_by(input.sorted_by());
+    out
+}
+
+/// Project to the given `(name, var)` list, optionally deduplicating.
+/// Duplicated projection entries referring to the same variable (after
+/// FILTER unification) share one column in the output's variable list.
+pub fn project(input: &BindingTable, projection: &[(String, Var)], distinct: bool) -> BindingTable {
+    if projection.is_empty() {
+        // ASK-style degenerate projection: keep only the row count.
+        let rows = if distinct { input.len().min(1) } else { input.len() };
+        return BindingTable::unit(rows);
+    }
+    let mut out_vars: Vec<Var> = Vec::new();
+    for &(_, v) in projection {
+        if !out_vars.contains(&v) {
+            out_vars.push(v);
+        }
+    }
+    let src: Vec<usize> = out_vars
+        .iter()
+        .map(|&v| input.col_index(v).expect("validated projection"))
+        .collect();
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut seen: std::collections::HashSet<Vec<TermId>> = std::collections::HashSet::new();
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..input.len() {
+        row_buf.clear();
+        row_buf.extend(src.iter().map(|&c| input.columns()[c][i]));
+        if distinct && !seen.insert(row_buf.clone()) {
+            continue;
+        }
+        out.push_row(&row_buf);
+    }
+    let keep_sort = input
+        .sorted_by()
+        .filter(|v| out_vars.contains(v));
+    out.set_sorted_by(keep_sort);
+    out
+}
+
+/// Shared layout computation for joins: output variables, the right-side
+/// extra (non-shared) variables, and the shared variables *not* already used
+/// as join keys (checked pairwise).
+fn join_layout(
+    left: &BindingTable,
+    right: &BindingTable,
+    join_vars: &[Var],
+) -> (Vec<Var>, Vec<Var>, Vec<Var>) {
+    let mut out_vars = left.vars().to_vec();
+    let mut right_extra = Vec::new();
+    for &v in right.vars() {
+        if !out_vars.contains(&v) {
+            out_vars.push(v);
+            right_extra.push(v);
+        }
+    }
+    let extra_shared: Vec<Var> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.vars().contains(v) && !join_vars.contains(v))
+        .collect();
+    (out_vars, right_extra, extra_shared)
+}
+
+/// Evaluate a FILTER expression on one row.
+fn eval_expr(
+    ds: &Dataset,
+    table: &BindingTable,
+    expr: &FilterExpr,
+    row: usize,
+    evaluator: &hsp_sparql::Evaluator,
+) -> bool {
+    match expr {
+        FilterExpr::And(a, b) => {
+            eval_expr(ds, table, a, row, evaluator) && eval_expr(ds, table, b, row, evaluator)
+        }
+        FilterExpr::Or(a, b) => {
+            eval_expr(ds, table, a, row, evaluator) || eval_expr(ds, table, b, row, evaluator)
+        }
+        FilterExpr::Cmp { op, lhs, rhs } => {
+            let l = operand_value(ds, table, lhs, row);
+            let r = operand_value(ds, table, rhs, row);
+            compare(ds, *op, l, r)
+        }
+        FilterExpr::Complex(e) => {
+            let bindings = RowBindings { ds, table, row };
+            evaluator.matches(e, &bindings)
+        }
+    }
+}
+
+/// [`hsp_sparql::Bindings`] over one row of a dictionary-encoded binding
+/// table: decodes ids back to terms on demand; the UNBOUND sentinel (and a
+/// variable missing from the table entirely) reads as unbound.
+struct RowBindings<'a> {
+    ds: &'a Dataset,
+    table: &'a BindingTable,
+    row: usize,
+}
+
+impl hsp_sparql::Bindings for RowBindings<'_> {
+    fn term(&self, v: Var) -> Option<Term> {
+        let idx = self.table.col_index(v)?;
+        let id = self.table.columns()[idx][self.row];
+        if id.is_unbound() {
+            None
+        } else {
+            Some(self.ds.dict().term(id).clone())
+        }
+    }
+}
+
+/// An operand resolved against a row: an interned id or an out-of-dictionary
+/// constant term.
+enum Value<'a> {
+    Id(TermId),
+    Foreign(&'a Term),
+}
+
+fn operand_value<'a>(
+    ds: &'a Dataset,
+    table: &BindingTable,
+    operand: &'a Operand,
+    row: usize,
+) -> Value<'a> {
+    match operand {
+        Operand::Var(v) => Value::Id(table.value(*v, row)),
+        Operand::Const(t) => match ds.dict().id(t) {
+            Some(id) => Value::Id(id),
+            None => Value::Foreign(t),
+        },
+    }
+}
+
+fn compare(ds: &Dataset, op: CmpOp, l: Value<'_>, r: Value<'_>) -> bool {
+    // Comparing an unbound value is a SPARQL type error: the filter
+    // condition is simply false (OPTIONAL rows carry UNBOUND sentinels).
+    if matches!(l, Value::Id(id) if id.is_unbound())
+        || matches!(r, Value::Id(id) if id.is_unbound())
+    {
+        return false;
+    }
+    // Equality/inequality can use ids directly (interning is injective).
+    if let (Value::Id(a), Value::Id(b)) = (&l, &r) {
+        match op {
+            CmpOp::Eq => return a == b,
+            CmpOp::Ne => return a != b,
+            _ => {}
+        }
+    }
+    let lt = term_of(ds, &l);
+    let rt = term_of(ds, &r);
+    let ord = compare_terms(lt, rt);
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal && lt == rt,
+        CmpOp::Ne => !(ord == std::cmp::Ordering::Equal && lt == rt),
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+fn term_of<'a>(ds: &'a Dataset, v: &'a Value<'a>) -> &'a Term {
+    match v {
+        Value::Id(id) => ds.dict().term(*id),
+        Value::Foreign(t) => t,
+    }
+}
+
+/// SPARQL-ish value comparison: numbers numerically when both literals parse
+/// as numbers, otherwise lexical-form comparison (IRIs before literals when
+/// kinds differ, for a stable total order).
+fn compare_terms(a: &Term, b: &Term) -> std::cmp::Ordering {
+    if a.kind() != b.kind() {
+        return if a.kind() == TermKind::Iri {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        };
+    }
+    if let (Some(x), Some(y)) = (a.numeric_value(), b.numeric_value()) {
+        return x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
+    }
+    a.lexical().cmp(b.lexical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::Term;
+
+    fn dataset() -> Dataset {
+        Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/p> <http://e/b2> .
+<http://e/a2> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/q> "5" .
+<http://e/a2> <http://e/q> "7" .
+<http://e/b1> <http://e/r> "x" .
+"#,
+        )
+        .unwrap()
+    }
+
+    fn cv(name: &str) -> TermOrVar {
+        TermOrVar::Const(Term::iri(format!("http://e/{name}")))
+    }
+
+    fn vv(i: u32) -> TermOrVar {
+        TermOrVar::Var(Var(i))
+    }
+
+    #[test]
+    fn scan_bound_predicate() {
+        let ds = dataset();
+        let pat = TriplePattern::new(vv(0), cv("p"), vv(1));
+        let t = scan(&ds, &pat, Order::Pso);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.sorted_by(), Some(Var(0)));
+        assert!(t.check_sortedness());
+    }
+
+    #[test]
+    fn scan_sorted_by_object_side() {
+        let ds = dataset();
+        let pat = TriplePattern::new(vv(0), cv("p"), vv(1));
+        let t = scan(&ds, &pat, Order::Pos);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.sorted_by(), Some(Var(1)));
+        assert!(t.check_sortedness());
+    }
+
+    #[test]
+    fn scan_unknown_constant_is_empty() {
+        let ds = dataset();
+        let pat = TriplePattern::new(vv(0), cv("nope"), vv(1));
+        let t = scan(&ds, &pat, Order::Pso);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn scan_full_relation() {
+        let ds = dataset();
+        let pat = TriplePattern::new(vv(0), vv(1), vv(2));
+        let t = scan(&ds, &pat, Order::Spo);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.sorted_by(), Some(Var(0)));
+    }
+
+    #[test]
+    fn scan_repeated_variable_filters() {
+        // ?x ?p ?x — no subject equals its object in the fixture.
+        let ds = dataset();
+        let pat = TriplePattern::new(vv(0), vv(1), vv(0));
+        let t = scan(&ds, &pat, Order::Spo);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.vars(), &[Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn merge_join_basic() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(2)), Order::Pso);
+        let j = merge_join(&l, &r, Var(0));
+        // a1 has 2 p-edges and 1 q-edge, a2 has 1 and 1: 3 rows.
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.vars(), &[Var(0), Var(1), Var(2)]);
+        assert_eq!(j.sorted_by(), Some(Var(0)));
+        assert!(j.check_sortedness());
+    }
+
+    #[test]
+    fn merge_join_equals_hash_join() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(2)), Order::Pso);
+        let mj = merge_join(&l, &r, Var(0));
+        let hj = hash_join(&l, &r, &[Var(0)]);
+        assert_eq!(mj.sorted_rows(), hj.sorted_rows());
+    }
+
+    #[test]
+    fn hash_join_on_chain() {
+        let ds = dataset();
+        // ?a p ?b  ⋈  ?b r ?c  (s=o join on ?b)
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(1), cv("r"), vv(2)), Order::Pso);
+        let j = hash_join(&l, &r, &[Var(1)]);
+        // b1 has one r-edge; two p-edges end in b1.
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted by")]
+    fn merge_join_rejects_unsorted_input() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(2)), Order::Pos);
+        merge_join(&l, &r, Var(0));
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(2), cv("r"), vv(3)), Order::Pso);
+        let x = cross_product(&l, &r);
+        assert_eq!(x.len(), l.len() * r.len());
+        assert_eq!(x.vars().len(), 4);
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let expr = FilterExpr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Operand::Var(Var(1)),
+            rhs: Operand::Const(Term::literal("6")),
+        };
+        let f = filter(&ds, &t, &expr);
+        assert_eq!(f.len(), 1); // only "7" > "6"
+    }
+
+    #[test]
+    fn filter_equality_on_foreign_constant() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let expr = FilterExpr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Operand::Var(Var(1)),
+            rhs: Operand::Const(Term::literal("not in dict")),
+        };
+        assert!(filter(&ds, &t, &expr).is_empty());
+        let ne = FilterExpr::Cmp {
+            op: CmpOp::Ne,
+            lhs: Operand::Var(Var(1)),
+            rhs: Operand::Const(Term::literal("not in dict")),
+        };
+        assert_eq!(filter(&ds, &t, &ne).len(), t.len());
+    }
+
+    #[test]
+    fn project_plain_and_distinct() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let p = project(&t, &[("s".into(), Var(0))], false);
+        assert_eq!(p.len(), 3);
+        let d = project(&t, &[("s".into(), Var(0))], true);
+        assert_eq!(d.len(), 2); // a1, a2
+        assert_eq!(d.sorted_by(), Some(Var(0)));
+    }
+
+    #[test]
+    fn project_duplicate_entries_share_column() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let p = project(&t, &[("a".into(), Var(0)), ("b".into(), Var(0))], false);
+        assert_eq!(p.vars(), &[Var(0)]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn sort_by_enforces_order() {
+        let ds = dataset();
+        // POS scan is sorted by the object; re-sort by the subject.
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pos);
+        assert_eq!(t.sorted_by(), Some(Var(1)));
+        let sorted = sort_by(&t, Var(0));
+        assert_eq!(sorted.sorted_by(), Some(Var(0)));
+        assert!(sorted.check_sortedness());
+        assert_eq!(sorted.len(), t.len());
+        assert_eq!(sorted.sorted_rows(), t.sorted_rows());
+    }
+
+    #[test]
+    fn sort_enables_merge_join() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r_wrong_order = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(2)), Order::Pos);
+        let r = sort_by(&r_wrong_order, Var(0));
+        let mj = merge_join(&l, &r, Var(0));
+        let hj = hash_join(&l, &r_wrong_order, &[Var(0)]);
+        assert_eq!(mj.sorted_rows(), hj.sorted_rows());
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_rows() {
+        let ds = dataset();
+        // ?a p ?b  LEFT OUTER  ?b r ?c: only b1 has an r-edge.
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(1), cv("r"), vv(2)), Order::Pso);
+        let j = left_outer_hash_join(&l, &r, &[Var(1)]);
+        assert_eq!(j.len(), 3); // every p-edge survives
+        let c_col = j.column(Var(2));
+        let unbound = c_col.iter().filter(|id| id.is_unbound()).count();
+        assert_eq!(unbound, 1); // the b2 edge has no r-match
+    }
+
+    #[test]
+    fn left_outer_join_equals_inner_when_all_match() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(2)), Order::Pso);
+        let outer = left_outer_hash_join(&l, &r, &[Var(0)]);
+        let inner = hash_join(&l, &r, &[Var(0)]);
+        assert_eq!(outer.sorted_rows(), inner.sorted_rows());
+    }
+
+    #[test]
+    fn union_all_pads_missing_columns() {
+        let ds = dataset();
+        let a = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let b = scan(&ds, &TriplePattern::new(vv(0), cv("r"), vv(2)), Order::Pso);
+        let u = union_all(&a, &b);
+        assert_eq!(u.len(), a.len() + b.len());
+        assert_eq!(u.vars(), &[Var(0), Var(1), Var(2)]);
+        // Rows from `a` have UNBOUND in ?2; rows from `b` in ?1.
+        assert!(u.column(Var(2))[..a.len()].iter().all(|id| id.is_unbound()));
+        assert!(u.column(Var(1))[a.len()..].iter().all(|id| id.is_unbound()));
+    }
+
+    #[test]
+    fn filter_on_unbound_is_false() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let r = scan(&ds, &TriplePattern::new(vv(1), cv("r"), vv(2)), Order::Pso);
+        let j = left_outer_hash_join(&l, &r, &[Var(1)]);
+        // ?c = "x" keeps matched rows only; ?c != "x" keeps NO unbound rows
+        // either (type error semantics).
+        let eq = FilterExpr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Operand::Var(Var(2)),
+            rhs: Operand::Const(Term::literal("x")),
+        };
+        assert_eq!(filter(&ds, &j, &eq).len(), 2);
+        let ne = FilterExpr::Cmp {
+            op: CmpOp::Ne,
+            lhs: Operand::Var(Var(2)),
+            rhs: Operand::Const(Term::literal("x")),
+        };
+        assert_eq!(filter(&ds, &j, &ne).len(), 0);
+    }
+
+    #[test]
+    fn scan_fully_ground_pattern_is_unit() {
+        let ds = dataset();
+        let present = TriplePattern::new(cv("a1"), cv("p"), cv("b1"));
+        let t = scan(&ds, &present, Order::Spo);
+        assert_eq!(t.len(), 1);
+        assert!(t.vars().is_empty());
+        let absent = TriplePattern::new(cv("a1"), cv("p"), cv("b9"));
+        assert_eq!(scan(&ds, &absent, Order::Spo).len(), 0);
+    }
+
+    #[test]
+    fn cross_product_with_unit_table_keeps_rows() {
+        let ds = dataset();
+        let l = scan(&ds, &TriplePattern::new(cv("a1"), cv("p"), cv("b1")), Order::Spo);
+        let r = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
+        let x = cross_product(&l, &r);
+        assert_eq!(x.len(), 2); // 1 unit row × 2 q-rows
+        assert_eq!(x.vars(), &[Var(0), Var(1)]);
+        // An absent ground pattern annihilates the product.
+        let l0 = scan(&ds, &TriplePattern::new(cv("a1"), cv("p"), cv("b9")), Order::Spo);
+        assert_eq!(cross_product(&l0, &r).len(), 0);
+    }
+
+    #[test]
+    fn empty_projection_keeps_row_count() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        let p = project(&t, &[], false);
+        assert_eq!(p.len(), 3);
+        assert!(p.vars().is_empty());
+        assert_eq!(project(&t, &[], true).len(), 1);
+    }
+
+    #[test]
+    fn complex_filter_regex() {
+        let ds = Dataset::from_ntriples(
+            r#"<http://e/j1> <http://e/title> "Journal 1 (1940)" .
+<http://e/j2> <http://e/title> "Journal 1 (1952)" .
+<http://e/j3> <http://e/title> "Article 9" .
+"#,
+        )
+        .unwrap();
+        // Scan all titles, keep those matching \(19\d\d\).
+        let t = scan(&ds, &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/title")), vv(1)), Order::Pso);
+        assert_eq!(t.len(), 3);
+        let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Call {
+            func: hsp_sparql::Func::Regex,
+            args: vec![
+                hsp_sparql::Expr::Var(Var(1)),
+                hsp_sparql::Expr::Const(Term::literal(r"\(19\d\d\)")),
+            ],
+        }));
+        let out = filter(&ds, &t, &expr);
+        assert_eq!(out.len(), 2);
+        // Sortedness is preserved by filtering.
+        assert_eq!(out.sorted_by(), t.sorted_by());
+    }
+
+    #[test]
+    fn complex_filter_arithmetic_on_typed_literals() {
+        let ds = Dataset::from_ntriples(
+            r#"<http://e/a> <http://e/pages> "10"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://e/b> <http://e/pages> "25"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"#,
+        )
+        .unwrap();
+        let t = scan(&ds, &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/pages")), vv(1)), Order::Pso);
+        // FILTER (?pages * 2 > 30)
+        let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Box::new(hsp_sparql::Expr::Arith {
+                op: hsp_sparql::ArithOp::Mul,
+                lhs: Box::new(hsp_sparql::Expr::Var(Var(1))),
+                rhs: Box::new(hsp_sparql::Expr::Const(Term::typed_literal(
+                    "2",
+                    hsp_rdf::vocab::XSD_INTEGER,
+                ))),
+            }),
+            rhs: Box::new(hsp_sparql::Expr::Const(Term::typed_literal(
+                "30",
+                hsp_rdf::vocab::XSD_INTEGER,
+            ))),
+        }));
+        let out = filter(&ds, &t, &expr);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn complex_filter_unbound_var_drops_row() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        // FILTER on a variable not in the table: every row errors → empty.
+        let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(hsp_sparql::Expr::Var(Var(9))),
+            rhs: Box::new(hsp_sparql::Expr::Const(Term::literal("x"))),
+        }));
+        assert_eq!(filter(&ds, &t, &expr).len(), 0);
+        // …but BOUND(?v9) = false keeps them all.
+        let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Not(Box::new(
+            hsp_sparql::Expr::Call {
+                func: hsp_sparql::Func::Bound,
+                args: vec![hsp_sparql::Expr::Var(Var(9))],
+            },
+        ))));
+        assert_eq!(filter(&ds, &t, &expr).len(), t.len());
+    }
+
+    #[test]
+    fn order_by_sparql_value_order() {
+        let ds = Dataset::from_ntriples(
+            r#"<http://e/a> <http://e/n> "10"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://e/b> <http://e/n> "9"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://e/c> <http://e/n> "100"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"#,
+        )
+        .unwrap();
+        let t = scan(
+            &ds,
+            &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/n")), vv(1)),
+            Order::Pso,
+        );
+        let keys = vec![hsp_sparql::SortKey {
+            expr: hsp_sparql::Expr::Var(Var(1)),
+            descending: false,
+        }];
+        let sorted = order_by(&ds, &t, &keys);
+        // Numeric order 9 < 10 < 100, not lexicographic "10" < "100" < "9".
+        let vals: Vec<String> = (0..sorted.len())
+            .map(|i| ds.dict().term(sorted.value(Var(1), i)).lexical().to_string())
+            .collect();
+        assert_eq!(vals, vec!["9", "10", "100"]);
+        // Descending reverses.
+        let keys = vec![hsp_sparql::SortKey {
+            expr: hsp_sparql::Expr::Var(Var(1)),
+            descending: true,
+        }];
+        let sorted = order_by(&ds, &t, &keys);
+        assert_eq!(
+            ds.dict().term(sorted.value(Var(1), 0)).lexical(),
+            "100"
+        );
+    }
+
+    #[test]
+    fn order_by_is_stable_on_ties() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        // Sort by a constant key: every row ties, order must be unchanged.
+        let keys = vec![hsp_sparql::SortKey {
+            expr: hsp_sparql::Expr::Const(Term::literal("same")),
+            descending: false,
+        }];
+        let sorted = order_by(&ds, &t, &keys);
+        assert_eq!(sorted.sorted_rows(), t.sorted_rows());
+        for i in 0..t.len() {
+            assert_eq!(sorted.row(i), t.row(i));
+        }
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let ds = dataset();
+        let t = scan(&ds, &TriplePattern::new(vv(0), cv("p"), vv(1)), Order::Pso);
+        assert_eq!(t.len(), 3);
+        assert_eq!(slice(&t, 0, Some(2)).len(), 2);
+        assert_eq!(slice(&t, 1, Some(2)).len(), 2);
+        assert_eq!(slice(&t, 2, Some(2)).len(), 1);
+        assert_eq!(slice(&t, 5, Some(2)).len(), 0);
+        assert_eq!(slice(&t, 0, None).len(), 3);
+        assert_eq!(slice(&t, 1, None).len(), 2);
+        // offset+limit partition the input.
+        let a = slice(&t, 0, Some(1));
+        let b = slice(&t, 1, None);
+        assert_eq!(a.len() + b.len(), t.len());
+        assert_eq!(a.row(0), t.row(0));
+        assert_eq!(b.row(0), t.row(1));
+        // Slicing preserves sortedness metadata.
+        assert_eq!(slice(&t, 1, Some(1)).sorted_by(), t.sorted_by());
+    }
+
+    #[test]
+    fn merge_join_with_extra_shared_var() {
+        // Both inputs bind ?0 and ?1; join on ?0, ?1 must match too.
+        let l = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![
+                vec![TermId(1), TermId(1), TermId(2)],
+                vec![TermId(5), TermId(6), TermId(7)],
+            ],
+            Some(Var(0)),
+        );
+        let r = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![
+                vec![TermId(1), TermId(2)],
+                vec![TermId(6), TermId(9)],
+            ],
+            Some(Var(0)),
+        );
+        let j = merge_join(&l, &r, Var(0));
+        assert_eq!(j.len(), 1); // only (1, 6) matches on both columns
+        assert_eq!(j.row(0), vec![TermId(1), TermId(6)]);
+    }
+}

@@ -1,0 +1,518 @@
+//! The physical plan tree shared by HSP and the baseline planners.
+
+use std::fmt;
+
+use hsp_sparql::{FilterExpr, TriplePattern, Var};
+use hsp_store::Order;
+
+/// A physical execution plan.
+///
+/// Leaves are scan-selects over one of the six ordered relations; inner
+/// nodes are merge joins, hash joins, cross products, filters, and a final
+/// projection. The tree is engine-agnostic data — validation and evaluation
+/// live in [`crate::exec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan one ordered relation for the rows matching a triple pattern's
+    /// constants; emits one column per pattern variable.
+    Scan {
+        /// Index of the pattern in the source query (for explain output).
+        pattern_idx: usize,
+        /// The pattern itself.
+        pattern: TriplePattern,
+        /// Which of the six sorted relations to read.
+        order: Order,
+    },
+    /// Sort-merge join on `var`; both inputs must be sorted by `var`.
+    /// If the inputs share further variables, equality on them is enforced
+    /// as part of the join.
+    MergeJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// The (sorted) join variable.
+        var: Var,
+    },
+    /// Hash join on `vars` (all variables shared by the two inputs). The
+    /// right side is built into the hash table, the left side probes, so
+    /// the output inherits the left side's ordering.
+    HashJoin {
+        /// Probe input.
+        left: Box<PhysicalPlan>,
+        /// Build input.
+        right: Box<PhysicalPlan>,
+        /// Join variables (non-empty).
+        vars: Vec<Var>,
+    },
+    /// Cartesian product (no shared variables).
+    CrossProduct {
+        /// Left input (major order).
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Order enforcer: sort the input by `var` so a merge join becomes
+    /// possible where no native scan order provides it. HSP and CDP never
+    /// emit it (the paper's plans only merge-join on native orders); it is
+    /// available for enforcer-style planning experiments.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// The variable to sort by.
+        var: Var,
+    },
+    /// Residual FILTER evaluation.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// The predicate.
+        expr: FilterExpr,
+    },
+    /// Final projection (and optional DISTINCT).
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// `(output name, variable)` pairs.
+        projection: Vec<(String, Var)>,
+        /// Deduplicate rows?
+        distinct: bool,
+    },
+    /// `ORDER BY` over the final result — a solution modifier; planners
+    /// wrap it around the projection via [`PhysicalPlan::with_modifiers`].
+    OrderBy {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys in priority order.
+        keys: Vec<hsp_sparql::SortKey>,
+    },
+    /// `LIMIT`/`OFFSET` over the final result.
+    Slice {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Rows to skip.
+        offset: usize,
+        /// Rows to keep after the offset.
+        limit: Option<usize>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Wrap this (projection-topped) plan with the query's solution
+    /// modifiers: `ORDER BY` first, then `OFFSET`/`LIMIT` — the SPARQL §9
+    /// application order. A no-op for modifier-free queries, so the paper's
+    /// workload plans are unchanged.
+    pub fn with_modifiers(self, modifiers: &hsp_sparql::Modifiers) -> PhysicalPlan {
+        let mut plan = self;
+        if !modifiers.order_by.is_empty() {
+            plan = PhysicalPlan::OrderBy {
+                input: Box::new(plan),
+                keys: modifiers.order_by.clone(),
+            };
+        }
+        if modifiers.limit.is_some() || modifiers.offset > 0 {
+            plan = PhysicalPlan::Slice {
+                input: Box::new(plan),
+                offset: modifiers.offset,
+                limit: modifiers.limit,
+            };
+        }
+        plan
+    }
+    /// The distinct variables produced by this plan, in a deterministic
+    /// order (left depth-first).
+    pub fn output_vars(&self) -> Vec<Var> {
+        match self {
+            PhysicalPlan::Scan { pattern, .. } => pattern.vars(),
+            PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::CrossProduct { left, right } => {
+                let mut vars = left.output_vars();
+                for v in right.output_vars() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                vars
+            }
+            PhysicalPlan::Sort { input, .. } | PhysicalPlan::Filter { input, .. } => {
+                input.output_vars()
+            }
+            PhysicalPlan::Project { projection, .. } => {
+                let mut vars = Vec::new();
+                for &(_, v) in projection {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                vars
+            }
+            PhysicalPlan::OrderBy { input, .. } | PhysicalPlan::Slice { input, .. } => {
+                input.output_vars()
+            }
+        }
+    }
+
+    /// The variable this plan's output is sorted by, if any.
+    ///
+    /// * A scan is sorted by the first variable in its order's key after the
+    ///   pattern's constants (provided the constants occupy a key prefix).
+    /// * A merge join is sorted by its join variable.
+    /// * A hash join / cross product inherits the probe (left) side.
+    /// * Filters and projections preserve order (a projection loses the
+    ///   property if it drops the sort variable).
+    pub fn sorted_by(&self) -> Option<Var> {
+        match self {
+            PhysicalPlan::Scan { pattern, order, .. } => scan_sort_var(pattern, *order),
+            PhysicalPlan::MergeJoin { var, .. } => Some(*var),
+            PhysicalPlan::HashJoin { left, .. } | PhysicalPlan::CrossProduct { left, .. } => {
+                left.sorted_by()
+            }
+            PhysicalPlan::Sort { var, .. } => Some(*var),
+            PhysicalPlan::Filter { input, .. } => input.sorted_by(),
+            PhysicalPlan::Project { input, projection, .. } => {
+                input.sorted_by().filter(|v| projection.iter().any(|&(_, p)| p == *v))
+            }
+            // ORDER BY sorts by SPARQL value order, not TermId order.
+            PhysicalPlan::OrderBy { .. } => None,
+            PhysicalPlan::Slice { input, .. } => input.sorted_by(),
+        }
+    }
+
+    /// Indices of the patterns scanned by this plan, in leaf order.
+    pub fn scanned_patterns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let PhysicalPlan::Scan { pattern_idx, .. } = p {
+                out.push(*pattern_idx);
+            }
+        });
+        out
+    }
+
+    /// Walk the tree depth-first (pre-order), calling `f` on every node.
+    pub fn visit(&self, f: &mut impl FnMut(&PhysicalPlan)) {
+        f(self);
+        match self {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::CrossProduct { left, right } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::OrderBy { input, .. }
+            | PhysicalPlan::Slice { input, .. } => input.visit(f),
+        }
+    }
+
+    /// Validate structural invariants, returning a description of the first
+    /// violation:
+    ///
+    /// * scan constants occupy a prefix of the scan order's key;
+    /// * merge-join inputs are sorted on the join variable;
+    /// * hash-join variables are shared by both inputs and non-empty;
+    /// * cross-product inputs share no variables;
+    /// * filter/projection variables are produced by their input.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        match self {
+            PhysicalPlan::Scan { pattern, order, .. } => {
+                if !consts_form_prefix(pattern, *order) {
+                    return Err(PlanError(format!(
+                        "scan order {order} does not place the pattern's constants in a key prefix"
+                    )));
+                }
+                Ok(())
+            }
+            PhysicalPlan::MergeJoin { left, right, var } => {
+                left.validate()?;
+                right.validate()?;
+                if left.sorted_by() != Some(*var) {
+                    return Err(PlanError(format!(
+                        "merge join on {var}: left input sorted by {:?}",
+                        left.sorted_by()
+                    )));
+                }
+                if right.sorted_by() != Some(*var) {
+                    return Err(PlanError(format!(
+                        "merge join on {var}: right input sorted by {:?}",
+                        right.sorted_by()
+                    )));
+                }
+                Ok(())
+            }
+            PhysicalPlan::HashJoin { left, right, vars } => {
+                left.validate()?;
+                right.validate()?;
+                if vars.is_empty() {
+                    return Err(PlanError("hash join with no join variables".into()));
+                }
+                let lv = left.output_vars();
+                let rv = right.output_vars();
+                for v in vars {
+                    if !lv.contains(v) || !rv.contains(v) {
+                        return Err(PlanError(format!(
+                            "hash join variable {v} not shared by both inputs"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            PhysicalPlan::CrossProduct { left, right } => {
+                left.validate()?;
+                right.validate()?;
+                let lv = left.output_vars();
+                if right.output_vars().iter().any(|v| lv.contains(v)) {
+                    return Err(PlanError(
+                        "cross product over inputs that share variables".into(),
+                    ));
+                }
+                Ok(())
+            }
+            PhysicalPlan::Sort { input, var } => {
+                input.validate()?;
+                if !input.output_vars().contains(var) {
+                    return Err(PlanError(format!("sort variable {var} not bound")));
+                }
+                Ok(())
+            }
+            PhysicalPlan::Filter { input, expr } => {
+                input.validate()?;
+                let iv = input.output_vars();
+                for v in expr.vars() {
+                    if !iv.contains(&v) {
+                        return Err(PlanError(format!("filter variable {v} not bound")));
+                    }
+                }
+                Ok(())
+            }
+            PhysicalPlan::Project { input, projection, .. } => {
+                input.validate()?;
+                let iv = input.output_vars();
+                for &(ref name, v) in projection {
+                    if !iv.contains(&v) {
+                        return Err(PlanError(format!(
+                            "projected variable ?{name} ({v}) not bound"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            PhysicalPlan::OrderBy { input, keys } => {
+                input.validate()?;
+                let iv = input.output_vars();
+                for key in keys {
+                    for v in key.expr.vars() {
+                        if !iv.contains(&v) {
+                            return Err(PlanError(format!(
+                                "ORDER BY variable {v} not bound"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            PhysicalPlan::Slice { input, .. } => input.validate(),
+        }
+    }
+}
+
+/// A plan invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The variable a scan's output is sorted by: the first variable slot in key
+/// order after the constant prefix (`None` for a fully ground pattern).
+pub fn scan_sort_var(pattern: &TriplePattern, order: Order) -> Option<Var> {
+    if !consts_form_prefix(pattern, order) {
+        return None;
+    }
+    for pos in order.positions() {
+        if let Some(v) = pattern.slot(pos).as_var() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// `true` if the pattern's constant slots occupy a prefix of `order`'s key.
+pub fn consts_form_prefix(pattern: &TriplePattern, order: Order) -> bool {
+    let mut seen_var = false;
+    for pos in order.positions() {
+        if pattern.slot(pos).is_const() {
+            if seen_var {
+                return false;
+            }
+        } else {
+            seen_var = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::Term;
+    use hsp_sparql::TermOrVar;
+
+    fn pat(s: TermOrVar, p: TermOrVar, o: TermOrVar) -> TriplePattern {
+        TriplePattern::new(s, p, o)
+    }
+
+    fn c(name: &str) -> TermOrVar {
+        TermOrVar::Const(Term::iri(format!("http://e/{name}")))
+    }
+
+    fn v(i: u32) -> TermOrVar {
+        TermOrVar::Var(Var(i))
+    }
+
+    fn scan(idx: usize, pattern: TriplePattern, order: Order) -> PhysicalPlan {
+        PhysicalPlan::Scan { pattern_idx: idx, pattern, order }
+    }
+
+    #[test]
+    fn scan_sort_var_examples() {
+        // (?x, p, o) scanned via OPS: constants o, p are the prefix; sorted by ?x at s.
+        let p1 = pat(v(0), c("p"), c("o"));
+        assert_eq!(scan_sort_var(&p1, Order::Ops), Some(Var(0)));
+        assert_eq!(scan_sort_var(&p1, Order::Pos), Some(Var(0)));
+        // SPO puts the variable first: constants not a prefix → invalid.
+        assert_eq!(scan_sort_var(&p1, Order::Spo), None);
+
+        // (?x, p, ?y) via PSO: sorted by ?x; via POS: sorted by ?y.
+        let p2 = pat(v(0), c("p"), v(1));
+        assert_eq!(scan_sort_var(&p2, Order::Pso), Some(Var(0)));
+        assert_eq!(scan_sort_var(&p2, Order::Pos), Some(Var(1)));
+
+        // All-variable pattern: any order works, sorted by its first key var.
+        let p3 = pat(v(0), v(1), v(2));
+        assert_eq!(scan_sort_var(&p3, Order::Osp), Some(Var(2)));
+    }
+
+    #[test]
+    fn consts_prefix_check() {
+        let p = pat(c("s"), v(0), c("o"));
+        assert!(consts_form_prefix(&p, Order::Sop)); // s, o, p
+        assert!(consts_form_prefix(&p, Order::Osp)); // o, s, p
+        assert!(!consts_form_prefix(&p, Order::Spo)); // s, p, o — var in middle
+    }
+
+    #[test]
+    fn output_vars_dedup_across_children() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pso);
+        let join = PhysicalPlan::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            var: Var(0),
+        };
+        assert_eq!(join.output_vars(), vec![Var(0), Var(1), Var(2)]);
+        assert_eq!(join.sorted_by(), Some(Var(0)));
+    }
+
+    #[test]
+    fn validate_accepts_good_merge_join() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pso);
+        let join = PhysicalPlan::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            var: Var(0),
+        };
+        assert!(join.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_merge_join() {
+        // Right side sorted by ?2 (POS), not the join var ?0.
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pos);
+        let join = PhysicalPlan::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            var: Var(0),
+        };
+        let err = join.validate().unwrap_err();
+        assert!(err.to_string().contains("right input sorted by"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_scan_order() {
+        let plan = scan(0, pat(v(0), c("p"), c("o")), Order::Spo);
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unshared_hash_var() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(2), c("q"), v(3)), Order::Pso);
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            vars: vec![Var(1)],
+        };
+        assert!(join.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_cross_product() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pso);
+        let cross = PhysicalPlan::CrossProduct { left: Box::new(left), right: Box::new(right) };
+        assert!(cross.validate().is_err());
+    }
+
+    #[test]
+    fn hash_join_inherits_left_order() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso); // sorted by ?0
+        let right = scan(1, pat(v(1), c("q"), v(2)), Order::Pso); // sorted by ?1
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            vars: vec![Var(1)],
+        };
+        assert_eq!(join.sorted_by(), Some(Var(0)));
+    }
+
+    #[test]
+    fn project_keeps_or_loses_sortedness() {
+        let input = scan(0, pat(v(0), c("p"), v(1)), Order::Pso); // sorted by ?0
+        let keep = PhysicalPlan::Project {
+            input: Box::new(input.clone()),
+            projection: vec![("x".into(), Var(0))],
+            distinct: false,
+        };
+        assert_eq!(keep.sorted_by(), Some(Var(0)));
+        let lose = PhysicalPlan::Project {
+            input: Box::new(input),
+            projection: vec![("y".into(), Var(1))],
+            distinct: false,
+        };
+        assert_eq!(lose.sorted_by(), None);
+    }
+
+    #[test]
+    fn scanned_patterns_in_leaf_order() {
+        let left = scan(3, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(7, pat(v(0), c("q"), v(2)), Order::Pso);
+        let join = PhysicalPlan::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            var: Var(0),
+        };
+        assert_eq!(join.scanned_patterns(), vec![3, 7]);
+    }
+}

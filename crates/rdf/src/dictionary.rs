@@ -1,0 +1,208 @@
+//! The mapping dictionary: terms ⇄ dense integer identifiers.
+//!
+//! Like the systems surveyed in Section 2 of the paper ("the majority of the
+//! systems replace constants appearing in RDF triples by identifiers using a
+//! mapping dictionary"), all query processing in this workspace happens over
+//! [`TermId`]s; strings are only touched at load time and when rendering
+//! results.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::{Term, TermKind};
+
+/// A dense identifier for an interned [`Term`].
+///
+/// Identifiers are assigned in first-seen order and are only meaningful
+/// relative to the [`Dictionary`] that produced them. `u32` keeps the sorted
+/// triple relations at 12 bytes per triple; the benchmark datasets stay far
+/// below `u32::MAX` distinct terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Sentinel for an *unbound* value in OPTIONAL/UNION results (the
+    /// engine's extended evaluator). Never a valid dictionary id: the
+    /// dictionary panics before handing out `u32::MAX` ids.
+    pub const UNBOUND: TermId = TermId(u32::MAX);
+
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` if this is the [`TermId::UNBOUND`] sentinel.
+    #[inline]
+    pub fn is_unbound(self) -> bool {
+        self == TermId::UNBOUND
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Two-way mapping between [`Term`]s and [`TermId`]s.
+///
+/// Interning the same term twice returns the same identifier. Lookup by term
+/// is hash-based; lookup by id is an array index.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    /// Kind of each interned term, kept separately so hot-path kind checks
+    /// (heuristic H4) avoid touching the string data.
+    kinds: Vec<TermKind>,
+    by_term: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern `term`, returning its identifier (allocating one if new).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.by_term.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        self.kinds.push(term.kind());
+        self.terms.push(term.clone());
+        self.by_term.insert(term, id);
+        id
+    }
+
+    /// Intern an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Intern a plain literal given as a string.
+    pub fn intern_literal(&mut self, lexical: impl Into<String>) -> TermId {
+        self.intern(Term::literal(lexical))
+    }
+
+    /// Look up the identifier of an already-interned term.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Look up the identifier of an already-interned IRI.
+    pub fn iri_id(&self, iri: &str) -> Option<TermId> {
+        // Avoids allocating when the IRI is already interned is not possible
+        // with a HashMap<Term, _> key without a borrowed key type; the
+        // allocation here is planning-time only, never per-tuple.
+        self.by_term.get(&Term::iri(iri)).copied()
+    }
+
+    /// Resolve an identifier back to its term.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an identifier if it is valid for this dictionary.
+    pub fn get(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// The kind (IRI/literal) of an interned term without touching its data.
+    pub fn kind(&self, id: TermId) -> TermKind {
+        self.kinds[id.index()]
+    }
+
+    /// Iterate over all `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// The id of `rdf:type`, if it has been interned.
+    pub fn rdf_type(&self) -> Option<TermId> {
+        self.iri_id(crate::vocab::RDF_TYPE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern_iri("http://e.org/a");
+        let b = d.intern_iri("http://e.org/a");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern_iri("http://e.org/a");
+        let b = d.intern_literal("http://e.org/a"); // same text, different kind
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_id_term() {
+        let mut d = Dictionary::new();
+        let t = Term::typed_literal("1940", "http://www.w3.org/2001/XMLSchema#integer");
+        let id = d.intern(t.clone());
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.id(&t), Some(id));
+    }
+
+    #[test]
+    fn kind_matches_term() {
+        let mut d = Dictionary::new();
+        let i = d.intern_iri("http://e.org/a");
+        let l = d.intern_literal("x");
+        assert_eq!(d.kind(i), TermKind::Iri);
+        assert_eq!(d.kind(l), TermKind::Literal);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let d = Dictionary::new();
+        assert!(d.get(TermId(0)).is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern_literal(format!("lit{i}"));
+            assert_eq!(id.index(), i);
+        }
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rdf_type_lookup() {
+        let mut d = Dictionary::new();
+        assert!(d.rdf_type().is_none());
+        let id = d.intern_iri(crate::vocab::RDF_TYPE);
+        assert_eq!(d.rdf_type(), Some(id));
+    }
+}

@@ -1,0 +1,62 @@
+//! RDF data model substrate for the HSP reproduction.
+//!
+//! This crate provides the vocabulary-independent building blocks every RDF
+//! store in the paper's related-work section shares:
+//!
+//! * [`Term`] — IRIs and literals (Definition 1 of the paper restricts
+//!   triples to `U × U × (U ∪ L)`; we additionally support language tags and
+//!   datatypes on literals because the benchmark vocabularies use them).
+//! * [`Dictionary`] — the *mapping dictionary* replacing constants by dense
+//!   integer identifiers ([`TermId`]), "to avoid processing long strings"
+//!   (paper, Section 2).
+//! * [`Triple`] / [`IdTriple`] — triples over terms and over identifiers.
+//! * [`ntriples`] — a line-based N-Triples parser and serialiser standing in
+//!   for the Redland Raptor parser the paper wired into MonetDB.
+//! * [`turtle`] — a Turtle parser (prefixes, `a`, predicate/object lists,
+//!   literal sugar) for the formats benchmark data actually ships in.
+
+pub mod dictionary;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+
+pub use dictionary::{Dictionary, TermId};
+pub use term::{Term, TermKind};
+pub use triple::{IdTriple, Triple, TriplePos};
+
+/// Well-known IRIs used by the heuristics and the benchmark vocabularies.
+pub mod vocab {
+    /// `rdf:type` — the property H1 singles out as *not* selective.
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:langString` — the datatype of language-tagged literals (RDF 1.1).
+    pub const RDF_LANG_STRING: &str =
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    /// `xsd:string`.
+    pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:boolean`.
+    pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:integer`.
+    pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
+    pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float` (evaluated with `xsd:double` arithmetic).
+    pub const XSD_FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// The derived XSD integer types, all parsed as `xsd:integer` values.
+    pub const XSD_INTEGER_DERIVED: &[&str] = &[
+        "http://www.w3.org/2001/XMLSchema#long",
+        "http://www.w3.org/2001/XMLSchema#int",
+        "http://www.w3.org/2001/XMLSchema#short",
+        "http://www.w3.org/2001/XMLSchema#byte",
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+        "http://www.w3.org/2001/XMLSchema#nonPositiveInteger",
+        "http://www.w3.org/2001/XMLSchema#negativeInteger",
+        "http://www.w3.org/2001/XMLSchema#positiveInteger",
+        "http://www.w3.org/2001/XMLSchema#unsignedLong",
+        "http://www.w3.org/2001/XMLSchema#unsignedInt",
+        "http://www.w3.org/2001/XMLSchema#unsignedShort",
+        "http://www.w3.org/2001/XMLSchema#unsignedByte",
+    ];
+}

@@ -1,0 +1,189 @@
+//! Triples over terms and over dictionary identifiers.
+
+use std::fmt;
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+
+/// One of the three component positions of a triple.
+///
+/// The heuristics reason about positions constantly: H1 ranks patterns by
+/// which positions are bound, H2 ranks joins by the pair of positions a
+/// variable occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TriplePos {
+    /// Subject.
+    S,
+    /// Predicate (the paper also says "property").
+    P,
+    /// Object.
+    O,
+}
+
+impl TriplePos {
+    /// All three positions in `s, p, o` order.
+    pub const ALL: [TriplePos; 3] = [TriplePos::S, TriplePos::P, TriplePos::O];
+
+    /// Index of this position within an `[s, p, o]` array.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TriplePos::S => 0,
+            TriplePos::P => 1,
+            TriplePos::O => 2,
+        }
+    }
+
+    /// The position for an `[s, p, o]` array index.
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => TriplePos::S,
+            1 => TriplePos::P,
+            2 => TriplePos::O,
+            _ => panic!("triple position index out of range: {i}"),
+        }
+    }
+
+    /// One-letter lowercase name (`s`, `p`, `o`) as used in the paper's
+    /// access-path names.
+    pub fn letter(self) -> char {
+        match self {
+            TriplePos::S => 's',
+            TriplePos::P => 'p',
+            TriplePos::O => 'o',
+        }
+    }
+}
+
+impl fmt::Display for TriplePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// An RDF triple over owned [`Term`]s (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Subject (an IRI in well-formed RDF).
+    pub subject: Term,
+    /// Predicate (an IRI in well-formed RDF).
+    pub predicate: Term,
+    /// Object (IRI or literal).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Self { subject, predicate, object }
+    }
+
+    /// The component at `pos`.
+    pub fn get(&self, pos: TriplePos) -> &Term {
+        match pos {
+            TriplePos::S => &self.subject,
+            TriplePos::P => &self.predicate,
+            TriplePos::O => &self.object,
+        }
+    }
+
+    /// Intern all three components into `dict`, producing an [`IdTriple`].
+    pub fn intern(&self, dict: &mut Dictionary) -> IdTriple {
+        [
+            dict.intern(self.subject.clone()),
+            dict.intern(self.predicate.clone()),
+            dict.intern(self.object.clone()),
+        ]
+    }
+}
+
+impl fmt::Display for Triple {
+    /// N-Triples line form (without trailing newline).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A dictionary-encoded triple in `[s, p, o]` component order.
+///
+/// A bare array keeps the six sorted relations `Copy`-friendly and 12 bytes
+/// per triple.
+pub type IdTriple = [TermId; 3];
+
+/// Resolve an [`IdTriple`] back to a term-level [`Triple`].
+///
+/// # Panics
+/// Panics if any id is not valid for `dict`.
+pub fn resolve(dict: &Dictionary, t: IdTriple) -> Triple {
+    Triple::new(
+        dict.term(t[0]).clone(),
+        dict.term(t[1]).clone(),
+        dict.term(t[2]).clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triple {
+        Triple::new(
+            Term::iri("http://e.org/Journal1"),
+            Term::iri(crate::vocab::RDF_TYPE),
+            Term::iri("http://e.org/Journal"),
+        )
+    }
+
+    #[test]
+    fn position_index_roundtrip() {
+        for pos in TriplePos::ALL {
+            assert_eq!(TriplePos::from_index(pos.index()), pos);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_from_bad_index_panics() {
+        TriplePos::from_index(3);
+    }
+
+    #[test]
+    fn get_by_position() {
+        let t = sample();
+        assert_eq!(t.get(TriplePos::S).lexical(), "http://e.org/Journal1");
+        assert_eq!(t.get(TriplePos::P).lexical(), crate::vocab::RDF_TYPE);
+        assert_eq!(t.get(TriplePos::O).lexical(), "http://e.org/Journal");
+    }
+
+    #[test]
+    fn intern_and_resolve_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = sample();
+        let it = t.intern(&mut d);
+        assert_eq!(resolve(&d, it), t);
+    }
+
+    #[test]
+    fn display_is_ntriples_like() {
+        let t = Triple::new(
+            Term::iri("http://e.org/a"),
+            Term::iri("http://e.org/p"),
+            Term::literal("x"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://e.org/a> <http://e.org/p> \"x\" ."
+        );
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(TriplePos::S.letter(), 's');
+        assert_eq!(TriplePos::P.letter(), 'p');
+        assert_eq!(TriplePos::O.letter(), 'o');
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests: dictionary interning and N-Triples round-trips.
+
+use hsp_rdf::ntriples;
+use hsp_rdf::{Dictionary, Term, Triple};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary safe IRI strings.
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-zA-Z][a-zA-Z0-9/_.~-]{0,24}".prop_map(|tail| Term::iri(format!("http://e.org/{tail}")))
+}
+
+/// Strategy producing arbitrary literals, including characters that need
+/// escaping and optional datatypes/language tags.
+fn arb_literal() -> impl Strategy<Value = Term> {
+    let lexical = proptest::string::string_regex("[ -~\\n\\t]{0,32}").unwrap();
+    (lexical, 0u8..3).prop_map(|(lex, kind)| match kind {
+        0 => Term::literal(lex),
+        1 => Term::typed_literal(lex, "http://www.w3.org/2001/XMLSchema#string"),
+        _ => Term::lang_literal(lex, "en"),
+    })
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri(), arb_literal()]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_iri(), arb_object()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    /// Serialising any triple list and parsing it back yields the same list.
+    #[test]
+    fn ntriples_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..20)) {
+        let doc = ntriples::serialize(&triples);
+        let parsed = ntriples::parse_document(&doc).unwrap();
+        prop_assert_eq!(parsed, triples);
+    }
+
+    /// Interning assigns one id per distinct term and resolves back exactly.
+    #[test]
+    fn dictionary_roundtrip(terms in proptest::collection::vec(arb_object(), 1..50)) {
+        let mut dict = Dictionary::new();
+        let ids: Vec<_> = terms.iter().map(|t| dict.intern(t.clone())).collect();
+        for (term, id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(dict.term(*id), term);
+            prop_assert_eq!(dict.id(term), Some(*id));
+        }
+        let distinct: std::collections::HashSet<_> = terms.iter().collect();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+
+    /// Kind metadata always agrees with the stored term.
+    #[test]
+    fn dictionary_kind_consistent(terms in proptest::collection::vec(arb_object(), 1..30)) {
+        let mut dict = Dictionary::new();
+        for t in &terms {
+            let id = dict.intern(t.clone());
+            prop_assert_eq!(dict.kind(id), t.kind());
+        }
+    }
+}
+
+proptest! {
+    /// N-Triples is a Turtle subset: every serialised document parses
+    /// identically through both parsers.
+    #[test]
+    fn ntriples_and_turtle_agree_on_serialised_output(
+        triples in proptest::collection::vec(arb_triple(), 0..30),
+    ) {
+        let doc = ntriples::serialize(&triples);
+        let via_nt = ntriples::parse_document(&doc).unwrap();
+        let via_ttl = hsp_rdf::turtle::parse_turtle(&doc).unwrap();
+        prop_assert_eq!(via_nt, via_ttl);
+    }
+}

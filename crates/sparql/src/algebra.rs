@@ -1,0 +1,701 @@
+//! The join-query algebra all planners consume (paper Definition 3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hsp_rdf::{Term, TriplePos};
+
+use crate::ast::{Element, ExprAst, NodeAst, Query};
+
+/// A query variable, identified by a dense index into
+/// [`JoinQuery::var_names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?v{}", self.0)
+    }
+}
+
+/// One slot of a triple pattern: a constant term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermOrVar {
+    /// A constant (URI or literal).
+    Const(Term),
+    /// A variable.
+    Var(Var),
+}
+
+impl TermOrVar {
+    /// The variable, if this slot holds one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            TermOrVar::Var(v) => Some(*v),
+            TermOrVar::Const(_) => None,
+        }
+    }
+
+    /// The constant term, if this slot holds one.
+    pub fn as_const(&self) -> Option<&Term> {
+        match self {
+            TermOrVar::Const(t) => Some(t),
+            TermOrVar::Var(_) => None,
+        }
+    }
+
+    /// `true` if this slot holds a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, TermOrVar::Const(_))
+    }
+}
+
+/// A triple pattern over [`TermOrVar`] slots (paper Definition 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// The `[s, p, o]` slots.
+    pub slots: [TermOrVar; 3],
+}
+
+impl TriplePattern {
+    /// Construct from three slots.
+    pub fn new(s: TermOrVar, p: TermOrVar, o: TermOrVar) -> Self {
+        TriplePattern { slots: [s, p, o] }
+    }
+
+    /// The slot at `pos`.
+    pub fn slot(&self, pos: TriplePos) -> &TermOrVar {
+        &self.slots[pos.index()]
+    }
+
+    /// Number of constant slots (0–3).
+    pub fn num_consts(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_const()).count()
+    }
+
+    /// Number of variable slots (0–3).
+    pub fn num_vars(&self) -> usize {
+        3 - self.num_consts()
+    }
+
+    /// Distinct variables of this pattern, in slot order. (A variable used
+    /// twice in one pattern is listed once.)
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::with_capacity(3);
+        for slot in &self.slots {
+            if let TermOrVar::Var(v) = slot {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Positions (s/p/o) where `v` occurs.
+    pub fn positions_of(&self, v: Var) -> Vec<TriplePos> {
+        TriplePos::ALL
+            .into_iter()
+            .filter(|pos| self.slots[pos.index()] == TermOrVar::Var(v))
+            .collect()
+    }
+
+    /// Positions holding constants, in `s, p, o` order.
+    pub fn const_positions(&self) -> Vec<TriplePos> {
+        TriplePos::ALL
+            .into_iter()
+            .filter(|pos| self.slots[pos.index()].is_const())
+            .collect()
+    }
+
+    /// `true` if this pattern's predicate is the constant `rdf:type`
+    /// (heuristic H1's exception).
+    pub fn is_rdf_type_pattern(&self) -> bool {
+        self.slot(TriplePos::P)
+            .as_const()
+            .is_some_and(|t| t.is_rdf_type())
+    }
+
+    /// `true` if `v` occurs in this pattern.
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.slots.iter().any(|s| s.as_var() == Some(v))
+    }
+}
+
+/// Comparison operators supported in FILTER expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Parse from the surface lexeme.
+    pub fn from_lexeme(op: &str) -> Option<CmpOp> {
+        Some(match op {
+            "=" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// The surface lexeme.
+    pub fn lexeme(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// An operand of a FILTER comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A query variable.
+    Var(Var),
+    /// A constant term.
+    Const(Term),
+}
+
+/// A FILTER expression over algebra variables.
+///
+/// The simple variants (`Cmp`/`And`/`Or` over variable/constant operands)
+/// are the Definition 3 shapes HSP's rewriting understands; anything from
+/// the full expression grammar (arithmetic, functions, negation, nested
+/// comparisons) is carried opaquely as [`FilterExpr::Complex`] and
+/// evaluated row-at-a-time by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conjunction.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Disjunction.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// A full-grammar expression (see [`crate::expr::Expr`]).
+    Complex(Box<crate::expr::Expr>),
+}
+
+impl FilterExpr {
+    /// All variables mentioned by the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            FilterExpr::Cmp { lhs, rhs, .. } => {
+                for op in [lhs, rhs] {
+                    if let Operand::Var(v) = op {
+                        if !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+            FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            FilterExpr::Complex(e) => {
+                for v in e.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One `ORDER BY` sort key: an expression and a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The key expression (usually a bare variable).
+    pub expr: crate::expr::Expr,
+    /// `DESC(…)`?
+    pub descending: bool,
+}
+
+/// Solution modifiers (SPARQL §9): applied by the executor after the final
+/// projection, invisible to the join planners.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Modifiers {
+    /// `ORDER BY` keys in priority order.
+    pub order_by: Vec<SortKey>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `OFFSET n`.
+    pub offset: usize,
+}
+
+impl Modifiers {
+    /// `true` if there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.order_by.is_empty() && self.limit.is_none() && self.offset == 0
+    }
+}
+
+/// A SPARQL join query (Definition 3): a conjunction of triple patterns with
+/// a projection and residual FILTERs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinQuery {
+    /// The triple patterns, in source order.
+    pub patterns: Vec<TriplePattern>,
+    /// Residual FILTER expressions (conjoined).
+    pub filters: Vec<FilterExpr>,
+    /// Projection: `(output name, variable)` pairs in SELECT order.
+    pub projection: Vec<(String, Var)>,
+    /// `SELECT DISTINCT` (or `REDUCED`, which we evaluate as DISTINCT)?
+    pub distinct: bool,
+    /// Source name of each variable, indexed by [`Var`].
+    pub var_names: Vec<String>,
+    /// Solution modifiers (ORDER BY / LIMIT / OFFSET).
+    pub modifiers: Modifiers,
+}
+
+/// Errors lowering an AST to a [`JoinQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The query uses OPTIONAL/UNION, which Definition 3 join queries (and
+    /// the planners) do not cover; the extended evaluator handles them.
+    UnsupportedFeature(&'static str),
+    /// A projected variable does not occur in any triple pattern.
+    UnboundProjection(String),
+    /// A FILTER references a variable bound nowhere.
+    UnboundFilterVar(String),
+    /// A FILTER expression is malformed (unknown function, wrong arity).
+    BadFilter(String),
+    /// The query has no triple patterns.
+    EmptyPattern,
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnsupportedFeature(what) => {
+                write!(f, "join-query algebra does not support {what}")
+            }
+            AlgebraError::UnboundProjection(v) => {
+                write!(f, "projected variable ?{v} is not bound by any triple pattern")
+            }
+            AlgebraError::UnboundFilterVar(v) => {
+                write!(f, "FILTER variable ?{v} is not bound by any triple pattern")
+            }
+            AlgebraError::BadFilter(what) => write!(f, "invalid FILTER expression: {what}"),
+            AlgebraError::EmptyPattern => write!(f, "query has no triple patterns"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl JoinQuery {
+    /// Lower a parsed AST to the join-query algebra.
+    pub fn from_ast(query: &Query) -> Result<JoinQuery, AlgebraError> {
+        let mut names: Vec<String> = Vec::new();
+        let mut by_name: HashMap<String, Var> = HashMap::new();
+        let mut var = |name: &str, names: &mut Vec<String>| -> Var {
+            if let Some(&v) = by_name.get(name) {
+                return v;
+            }
+            let v = Var(names.len() as u32);
+            names.push(name.to_string());
+            by_name.insert(name.to_string(), v);
+            v
+        };
+
+        let mut patterns = Vec::new();
+        let mut filters = Vec::new();
+        for element in &query.where_clause.elements {
+            match element {
+                Element::Triple(t) => {
+                    let mut lower = |node: &NodeAst, names: &mut Vec<String>| match node {
+                        NodeAst::Var(n) => TermOrVar::Var(var(n, names)),
+                        NodeAst::Const(t) => TermOrVar::Const(t.clone()),
+                    };
+                    let s = lower(&t.subject, &mut names);
+                    let p = lower(&t.predicate, &mut names);
+                    let o = lower(&t.object, &mut names);
+                    patterns.push(TriplePattern::new(s, p, o));
+                }
+                Element::Filter(expr) => {
+                    filters.push(lower_filter_ast(expr, &mut |n| var(n, &mut names))?);
+                }
+                Element::Optional(_) => {
+                    return Err(AlgebraError::UnsupportedFeature("OPTIONAL"));
+                }
+                Element::Union(_, _) => {
+                    return Err(AlgebraError::UnsupportedFeature("UNION"));
+                }
+            }
+        }
+        if patterns.is_empty() {
+            return Err(AlgebraError::EmptyPattern);
+        }
+
+        let bound: Vec<Var> = {
+            let mut v: Vec<Var> = patterns.iter().flat_map(|p| p.vars()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for f in &filters {
+            for v in f.vars() {
+                if !bound.contains(&v) {
+                    return Err(AlgebraError::UnboundFilterVar(names[v.index()].clone()));
+                }
+            }
+        }
+
+        // Solution modifiers: ORDER BY keys may reference any bound
+        // variable (not just projected ones). Lowered before the projection
+        // because key expressions share the variable table.
+        let mut order_by = Vec::with_capacity(query.order_by.len());
+        for (expr_ast, descending) in &query.order_by {
+            let expr = lower_full(expr_ast, &mut |n| var(n, &mut names))?;
+            for v in expr.vars() {
+                if !bound.contains(&v) {
+                    return Err(AlgebraError::UnboundFilterVar(names[v.index()].clone()));
+                }
+            }
+            order_by.push(SortKey { expr, descending: *descending });
+        }
+
+        let projection: Vec<(String, Var)> = match &query.projection {
+            Some(vars) => {
+                let mut out = Vec::with_capacity(vars.len());
+                for name in vars {
+                    let v = *by_name
+                        .get(name)
+                        .ok_or_else(|| AlgebraError::UnboundProjection(name.clone()))?;
+                    if !bound.contains(&v) {
+                        return Err(AlgebraError::UnboundProjection(name.clone()));
+                    }
+                    out.push((name.clone(), v));
+                }
+                out
+            }
+            // SELECT *: all pattern variables in first-occurrence order.
+            None => bound
+                .iter()
+                .map(|&v| (names[v.index()].clone(), v))
+                .collect(),
+        };
+
+        let modifiers = Modifiers {
+            order_by,
+            limit: query.limit,
+            offset: query.offset.unwrap_or(0),
+        };
+
+        Ok(JoinQuery {
+            patterns,
+            filters,
+            projection,
+            distinct: query.distinct || query.reduced,
+            var_names: names,
+            modifiers,
+        })
+    }
+
+    /// Parse and lower a query text in one step.
+    pub fn parse(input: &str) -> Result<JoinQuery, Box<dyn std::error::Error>> {
+        let ast = crate::parser::parse_query(input)?;
+        Ok(Self::from_ast(&ast)?)
+    }
+
+    /// Number of distinct variables across all patterns.
+    pub fn num_vars(&self) -> usize {
+        let mut vars: Vec<Var> = self.patterns.iter().flat_map(|p| p.vars()).collect();
+        vars.sort();
+        vars.dedup();
+        vars.len()
+    }
+
+    /// The weight of `v`: the number of patterns containing it (paper
+    /// Definition 4's `β`).
+    pub fn weight(&self, v: Var) -> usize {
+        self.patterns.iter().filter(|p| p.contains_var(v)).count()
+    }
+
+    /// Variables occurring in at least two patterns ("shared" / join
+    /// variables), in variable order.
+    pub fn shared_vars(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self.patterns.iter().flat_map(|p| p.vars()).collect();
+        vars.sort();
+        vars.dedup();
+        vars.retain(|&v| self.weight(v) >= 2);
+        vars
+    }
+
+    /// The source name of `v`.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Indices of patterns containing `v`.
+    pub fn patterns_with(&self, v: Var) -> Vec<usize> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.contains_var(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Lower a FILTER AST to a [`FilterExpr`], keeping the rewritable simple
+/// shapes (comparisons over variable/constant operands, conjunction,
+/// disjunction) in the legacy variants and wrapping everything else as
+/// [`FilterExpr::Complex`]. Shared with the extended (OPTIONAL/UNION)
+/// evaluator, which supplies its own variable table.
+pub fn lower_filter_ast(
+    expr: &ExprAst,
+    var: &mut impl FnMut(&str) -> Var,
+) -> Result<FilterExpr, AlgebraError> {
+    if let Some(simple) = lower_simple(expr, var) {
+        return Ok(simple);
+    }
+    Ok(FilterExpr::Complex(Box::new(lower_full(expr, var)?)))
+}
+
+/// Lower any FILTER/ORDER-BY AST expression straight to the full
+/// [`crate::expr::Expr`] form (no simple-shape shortcut), with arity
+/// checking. Used for ORDER BY keys, which the executor always evaluates
+/// through the typed-value semantics.
+pub fn lower_expr_ast(
+    expr: &ExprAst,
+    var: &mut impl FnMut(&str) -> Var,
+) -> Result<crate::expr::Expr, AlgebraError> {
+    lower_full(expr, var)
+}
+
+/// The simple-shape lowering: `Some` iff every leaf of the And/Or/Cmp tree
+/// is a bare variable or constant.
+fn lower_simple(expr: &ExprAst, var: &mut impl FnMut(&str) -> Var) -> Option<FilterExpr> {
+    match expr {
+        ExprAst::Cmp { op, lhs, rhs } => {
+            let lhs = lower_simple_operand(lhs, var)?;
+            let rhs = lower_simple_operand(rhs, var)?;
+            Some(FilterExpr::Cmp {
+                op: CmpOp::from_lexeme(op).expect("parser only emits valid operators"),
+                lhs,
+                rhs,
+            })
+        }
+        ExprAst::And(a, b) => Some(FilterExpr::And(
+            Box::new(lower_simple(a, var)?),
+            Box::new(lower_simple(b, var)?),
+        )),
+        ExprAst::Or(a, b) => Some(FilterExpr::Or(
+            Box::new(lower_simple(a, var)?),
+            Box::new(lower_simple(b, var)?),
+        )),
+        _ => None,
+    }
+}
+
+fn lower_simple_operand(
+    expr: &ExprAst,
+    var: &mut impl FnMut(&str) -> Var,
+) -> Option<Operand> {
+    match expr {
+        ExprAst::Var(n) => Some(Operand::Var(var(n))),
+        ExprAst::Const(t) => Some(Operand::Const(t.clone())),
+        _ => None,
+    }
+}
+
+/// Full-grammar lowering to [`crate::expr::Expr`], with arity checking.
+fn lower_full(
+    expr: &ExprAst,
+    var: &mut impl FnMut(&str) -> Var,
+) -> Result<crate::expr::Expr, AlgebraError> {
+    use crate::expr::{ArithOp, Expr, Func};
+    Ok(match expr {
+        ExprAst::Var(n) => Expr::Var(var(n)),
+        ExprAst::Const(t) => Expr::Const(t.clone()),
+        ExprAst::Or(a, b) => Expr::Or(
+            Box::new(lower_full(a, var)?),
+            Box::new(lower_full(b, var)?),
+        ),
+        ExprAst::And(a, b) => Expr::And(
+            Box::new(lower_full(a, var)?),
+            Box::new(lower_full(b, var)?),
+        ),
+        ExprAst::Not(e) => Expr::Not(Box::new(lower_full(e, var)?)),
+        ExprAst::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: CmpOp::from_lexeme(op).expect("parser only emits valid operators"),
+            lhs: Box::new(lower_full(lhs, var)?),
+            rhs: Box::new(lower_full(rhs, var)?),
+        },
+        ExprAst::Arith { op, lhs, rhs } => {
+            let op = match op {
+                '+' => ArithOp::Add,
+                '-' => ArithOp::Sub,
+                '*' => ArithOp::Mul,
+                _ => ArithOp::Div,
+            };
+            Expr::Arith {
+                op,
+                lhs: Box::new(lower_full(lhs, var)?),
+                rhs: Box::new(lower_full(rhs, var)?),
+            }
+        }
+        ExprAst::Neg(e) => Expr::Neg(Box::new(lower_full(e, var)?)),
+        ExprAst::Call { func, args } => {
+            let f = Func::from_name(func)
+                .ok_or_else(|| AlgebraError::BadFilter(format!("unknown function {func}")))?;
+            let (min, max) = f.arity();
+            if args.len() < min || args.len() > max {
+                return Err(AlgebraError::BadFilter(format!(
+                    "{} takes {min}..={max} arguments, got {}",
+                    f.name(),
+                    args.len()
+                )));
+            }
+            let args = args
+                .iter()
+                .map(|a| lower_full(a, var))
+                .collect::<Result<Vec<_>, _>>()?;
+            Expr::Call { func: f, args }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(text: &str) -> JoinQuery {
+        JoinQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn lowers_patterns_and_vars() {
+        let jq = q("SELECT ?x WHERE { ?x <http://e/p> ?y . ?y <http://e/q> \"z\" . }");
+        assert_eq!(jq.patterns.len(), 2);
+        assert_eq!(jq.num_vars(), 2);
+        assert_eq!(jq.var_names, vec!["x", "y"]);
+        assert_eq!(jq.projection, vec![("x".to_string(), Var(0))]);
+    }
+
+    #[test]
+    fn weights_and_shared_vars() {
+        let jq = q(
+            "SELECT ?a WHERE { ?a <http://e/p> ?b . ?a <http://e/q> ?c . ?b <http://e/r> ?c . }",
+        );
+        assert_eq!(jq.weight(Var(0)), 2); // a
+        assert_eq!(jq.weight(Var(1)), 2); // b
+        assert_eq!(jq.weight(Var(2)), 2); // c
+        assert_eq!(jq.shared_vars(), vec![Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn pattern_introspection() {
+        let jq = q("SELECT ?x WHERE { ?x <http://e/p> \"lit\" . }");
+        let p = &jq.patterns[0];
+        assert_eq!(p.num_consts(), 2);
+        assert_eq!(p.num_vars(), 1);
+        assert_eq!(p.const_positions(), vec![TriplePos::P, TriplePos::O]);
+        assert_eq!(p.positions_of(Var(0)), vec![TriplePos::S]);
+        assert!(!p.is_rdf_type_pattern());
+    }
+
+    #[test]
+    fn rdf_type_pattern_detection() {
+        let jq = q("SELECT ?x WHERE { ?x a <http://e/C> . }");
+        assert!(jq.patterns[0].is_rdf_type_pattern());
+    }
+
+    #[test]
+    fn same_var_twice_in_one_pattern() {
+        let jq = q("SELECT ?x WHERE { ?x <http://e/p> ?x . }");
+        let p = &jq.patterns[0];
+        assert_eq!(p.vars(), vec![Var(0)]);
+        assert_eq!(p.positions_of(Var(0)), vec![TriplePos::S, TriplePos::O]);
+        // Weight counts patterns, not slots.
+        assert_eq!(jq.weight(Var(0)), 1);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let jq = q("SELECT * WHERE { ?x <http://e/p> ?y . }");
+        assert_eq!(jq.projection.len(), 2);
+    }
+
+    #[test]
+    fn filters_are_collected() {
+        let jq = q("SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?y > 3) }");
+        assert_eq!(jq.filters.len(), 1);
+        assert_eq!(jq.filters[0].vars(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn unbound_projection_rejected() {
+        let err = JoinQuery::parse("SELECT ?z WHERE { ?x <http://e/p> ?y . }").unwrap_err();
+        assert!(err.to_string().contains("?z"));
+    }
+
+    #[test]
+    fn unbound_filter_var_rejected() {
+        let err =
+            JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?z = 3) }")
+                .unwrap_err();
+        assert!(err.to_string().contains("?z"));
+    }
+
+    #[test]
+    fn optional_is_unsupported_in_join_algebra() {
+        let err = JoinQuery::parse(
+            "SELECT ?x WHERE { ?x <http://e/p> ?y . OPTIONAL { ?x <http://e/q> ?z . } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("OPTIONAL"));
+    }
+
+    #[test]
+    fn patterns_with_lists_indices() {
+        let jq = q(
+            "SELECT ?a WHERE { ?a <http://e/p> ?b . ?c <http://e/q> ?a . ?c <http://e/r> ?d . }",
+        );
+        assert_eq!(jq.patterns_with(Var(0)), vec![0, 1]);
+        assert_eq!(jq.patterns_with(Var(2)), vec![1, 2]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Structural query analysis — the numbers behind the paper's Table 2.
+
+use hsp_rdf::TriplePos;
+
+use crate::algebra::{JoinQuery, Var};
+
+/// The join-position category of one join, e.g. `s ⋈ o` (heuristic H2's
+/// vocabulary). Stored with positions ordered `(s, p, o)`-first so `s ⋈ o`
+/// and `o ⋈ s` coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JoinPattern(pub TriplePos, pub TriplePos);
+
+impl JoinPattern {
+    /// Normalised constructor (orders the pair).
+    pub fn new(a: TriplePos, b: TriplePos) -> Self {
+        if a <= b {
+            JoinPattern(a, b)
+        } else {
+            JoinPattern(b, a)
+        }
+    }
+
+    /// Render as in the paper, e.g. `s=o`.
+    pub fn label(self) -> String {
+        format!("{}={}", self.0.letter(), self.1.letter())
+    }
+}
+
+/// Structural characteristics of a join query (one column of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryCharacteristics {
+    /// `# Triple Patterns`.
+    pub num_patterns: usize,
+    /// `# Variables`.
+    pub num_vars: usize,
+    /// `# Projection Variables` (distinct).
+    pub num_projection_vars: usize,
+    /// `# Shared vars` — variables in ≥ 2 patterns.
+    pub num_shared_vars: usize,
+    /// `# TPs with 0 const`.
+    pub tps_with_0_const: usize,
+    /// `# TPs with 1 const`.
+    pub tps_with_1_const: usize,
+    /// `# TPs with 2 const`.
+    pub tps_with_2_const: usize,
+    /// `# Joins` — Σ over shared vars of (weight − 1).
+    pub num_joins: usize,
+    /// `Maximum star join` — max over vars of (weight − 1).
+    pub max_star_join: usize,
+    /// Join counts per position pair, e.g. `s=s → 2`.
+    pub join_patterns: Vec<(JoinPattern, usize)>,
+}
+
+impl QueryCharacteristics {
+    /// Analyse a join query.
+    pub fn of(query: &JoinQuery) -> Self {
+        let mut c = QueryCharacteristics {
+            num_patterns: query.patterns.len(),
+            num_vars: query.num_vars(),
+            ..Default::default()
+        };
+        let mut proj: Vec<Var> = query.projection.iter().map(|&(_, v)| v).collect();
+        proj.sort();
+        proj.dedup();
+        c.num_projection_vars = proj.len();
+
+        for p in &query.patterns {
+            match p.num_consts() {
+                0 => c.tps_with_0_const += 1,
+                1 => c.tps_with_1_const += 1,
+                2 => c.tps_with_2_const += 1,
+                _ => {} // fully-ground patterns are containment checks, not scans
+            }
+        }
+
+        let shared = query.shared_vars();
+        c.num_shared_vars = shared.len();
+
+        let mut pattern_counts: std::collections::BTreeMap<JoinPattern, usize> =
+            std::collections::BTreeMap::new();
+        for &v in &shared {
+            let weight = query.weight(v);
+            c.num_joins += weight - 1;
+            c.max_star_join = c.max_star_join.max(weight - 1);
+            for jp in join_patterns_of_var(query, v) {
+                *pattern_counts.entry(jp).or_insert(0) += 1;
+            }
+        }
+        c.join_patterns = pattern_counts.into_iter().collect();
+        c
+    }
+
+    /// The count for one join pattern (0 if absent).
+    pub fn join_pattern_count(&self, a: TriplePos, b: TriplePos) -> usize {
+        let key = JoinPattern::new(a, b);
+        self.join_patterns
+            .iter()
+            .find(|(jp, _)| *jp == key)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+/// Categorise the `weight − 1` joins of a shared variable by position pair,
+/// the way the paper's Table 2 does.
+///
+/// A variable occurring at positions with multiplicities (e.g. `o, s, s`)
+/// yields `count − 1` same-position joins per position group, plus one
+/// cross-position join per extra group — so `o, s, s` is one `s=s` plus one
+/// `s=o`, matching the paper's Y3 row (3 `s=s` + 2 `s=o` across `?p ?c1 ?c2`).
+/// When all three positions occur, the two cross-group joins are taken in H2
+/// precedence order (most selective first).
+pub fn join_patterns_of_var(query: &JoinQuery, v: Var) -> Vec<JoinPattern> {
+    let mut occurrences: Vec<TriplePos> = Vec::new();
+    for p in &query.patterns {
+        if p.contains_var(v) {
+            // A pattern counts once toward the variable's weight; if the
+            // variable fills several positions of one pattern, take the
+            // first (self-joins within one pattern are selections).
+            occurrences.push(p.positions_of(v)[0]);
+        }
+    }
+    let mut out = Vec::new();
+    let count_at =
+        |pos: TriplePos| occurrences.iter().filter(|&&p| p == pos).count();
+    let groups: Vec<(TriplePos, usize)> = TriplePos::ALL
+        .into_iter()
+        .map(|pos| (pos, count_at(pos)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    for &(pos, n) in &groups {
+        for _ in 1..n {
+            out.push(JoinPattern::new(pos, pos));
+        }
+    }
+    if groups.len() >= 2 {
+        // Cross-group joins, most selective (H2) pair first.
+        let has = |pos: TriplePos| groups.iter().any(|&(p, _)| p == pos);
+        let mut cross: Vec<JoinPattern> = Vec::new();
+        use TriplePos::{O, P, S};
+        if has(P) && has(O) {
+            cross.push(JoinPattern::new(P, O));
+        }
+        if has(S) && has(P) {
+            cross.push(JoinPattern::new(S, P));
+        }
+        if has(S) && has(O) {
+            cross.push(JoinPattern::new(S, O));
+        }
+        cross.truncate(groups.len() - 1);
+        out.extend(cross);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::JoinQuery;
+    use TriplePos::{O, P, S};
+
+    fn q(text: &str) -> QueryCharacteristics {
+        QueryCharacteristics::of(&JoinQuery::parse(text).unwrap())
+    }
+
+    #[test]
+    fn sp1_shape() {
+        // SP1: subject star of 3 with two 2-const patterns.
+        let c = q(r#"SELECT ?yr ?jrnl WHERE {
+            ?jrnl a <http://e/Journal> .
+            ?jrnl <http://e/title> "Journal 1 (1940)" .
+            ?jrnl <http://e/issued> ?yr . }"#);
+        assert_eq!(c.num_patterns, 3);
+        assert_eq!(c.num_vars, 2);
+        assert_eq!(c.num_projection_vars, 2);
+        assert_eq!(c.num_shared_vars, 1);
+        assert_eq!(c.tps_with_1_const, 1);
+        assert_eq!(c.tps_with_2_const, 2);
+        assert_eq!(c.num_joins, 2);
+        assert_eq!(c.max_star_join, 2);
+        assert_eq!(c.join_pattern_count(S, S), 2);
+    }
+
+    #[test]
+    fn chain_query_join_patterns() {
+        // x -> y -> z chain: two s=o joins.
+        let c = q("SELECT ?x WHERE {
+            ?x <http://e/p> ?y . ?y <http://e/q> ?z . ?z <http://e/r> \"end\" . }");
+        assert_eq!(c.num_joins, 2);
+        assert_eq!(c.join_pattern_count(S, O), 2);
+        assert_eq!(c.max_star_join, 1);
+    }
+
+    #[test]
+    fn mixed_positions_variable() {
+        // v occurs at o, s, s: one s=s plus one s=o (the paper's Y3 shape).
+        let c = q("SELECT ?p WHERE {
+            ?p <http://e/a> ?v .
+            ?v <http://e/b> ?x .
+            ?v <http://e/c> ?y . }");
+        assert_eq!(c.join_pattern_count(S, S), 1);
+        assert_eq!(c.join_pattern_count(S, O), 1);
+        assert_eq!(c.num_joins, 2);
+    }
+
+    #[test]
+    fn zero_const_patterns_counted() {
+        let c = q("SELECT ?x WHERE { ?x ?p1 ?y . ?y ?p2 ?z . ?z a <http://e/C> . }");
+        assert_eq!(c.tps_with_0_const, 2);
+        assert_eq!(c.tps_with_2_const, 1);
+    }
+
+    #[test]
+    fn predicate_object_join() {
+        // v joins predicate position to object position: p=o, the most
+        // selective H2 category.
+        let c = q("SELECT ?x WHERE { ?x ?v ?y . ?z <http://e/p> ?v . }");
+        assert_eq!(c.join_pattern_count(P, O), 1);
+    }
+
+    #[test]
+    fn projection_vars_deduplicated() {
+        let c = q("SELECT ?x ?x WHERE { ?x <http://e/p> ?y . }");
+        assert_eq!(c.num_projection_vars, 1);
+    }
+
+    #[test]
+    fn star_size_tracks_largest_star() {
+        let c = q("SELECT ?a WHERE {
+            ?a <http://e/p1> ?b .
+            ?a <http://e/p2> ?c .
+            ?a <http://e/p3> ?d .
+            ?b <http://e/p4> ?e . }");
+        assert_eq!(c.max_star_join, 2); // ?a in 3 patterns
+        assert_eq!(c.num_joins, 3); // 2 on ?a + 1 on ?b
+    }
+
+    #[test]
+    fn all_three_positions_cross_joins() {
+        // v at s, p and o: two cross joins, chosen in H2 order (p=o, s=p).
+        let c = q("SELECT ?x WHERE { ?v <http://e/a> ?x . ?y ?v ?z . ?w <http://e/b> ?v . }");
+        assert_eq!(c.num_joins, 2);
+        assert_eq!(c.join_pattern_count(P, O), 1);
+        assert_eq!(c.join_pattern_count(S, P), 1);
+    }
+}

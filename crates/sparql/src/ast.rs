@@ -1,0 +1,155 @@
+//! Abstract syntax tree produced by the parser, before algebra lowering.
+
+use hsp_rdf::Term;
+
+/// A parsed SPARQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `PREFIX` declarations, already applied during parsing (kept for
+    /// display/debugging).
+    pub prefixes: Vec<(String, String)>,
+    /// `ASK` query form? (`projection` is empty-`Some` and ignored.)
+    pub ask: bool,
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// `SELECT REDUCED`? (Evaluated as DISTINCT, which the SPARQL spec
+    /// explicitly permits: REDUCED allows — but does not require —
+    /// duplicate elimination.)
+    pub reduced: bool,
+    /// Projection: `None` means `SELECT *`.
+    pub projection: Option<Vec<String>>,
+    /// The `WHERE` group.
+    pub where_clause: GroupPattern,
+    /// `ORDER BY` keys in priority order; `true` = descending.
+    pub order_by: Vec<(ExprAst, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `OFFSET n`.
+    pub offset: Option<usize>,
+}
+
+/// A `{ … }` group: a conjunction of elements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// The conjunctive elements in source order.
+    pub elements: Vec<Element>,
+}
+
+/// One element of a group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A triple pattern.
+    Triple(TriplePatternAst),
+    /// `FILTER ( expr )`.
+    Filter(ExprAst),
+    /// `OPTIONAL { … }` (engine extension; Definition 3 queries have none).
+    Optional(GroupPattern),
+    /// `{ … } UNION { … }` (engine extension).
+    Union(GroupPattern, GroupPattern),
+}
+
+/// A triple pattern over named variables and constants (Definition 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePatternAst {
+    /// Subject slot.
+    pub subject: NodeAst,
+    /// Predicate slot.
+    pub predicate: NodeAst,
+    /// Object slot.
+    pub object: NodeAst,
+}
+
+/// A variable or constant in a pattern slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeAst {
+    /// `?name`.
+    Var(String),
+    /// An IRI or literal constant.
+    Const(Term),
+}
+
+impl NodeAst {
+    /// The variable name, if this node is a variable.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            NodeAst::Var(n) => Some(n),
+            NodeAst::Const(_) => None,
+        }
+    }
+}
+
+/// One operation of a SPARQL 1.1 Update request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { … }` — ground triples only (checked at parse time).
+    InsertData(Vec<TriplePatternAst>),
+    /// `DELETE DATA { … }` — ground triples only.
+    DeleteData(Vec<TriplePatternAst>),
+    /// `DELETE WHERE { … }` — delete every instantiation of the pattern.
+    DeleteWhere(GroupPattern),
+}
+
+/// A parsed SPARQL Update request: one or more operations separated by `;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// `PREFIX` declarations.
+    pub prefixes: Vec<(String, String)>,
+    /// The operations, in source order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// A FILTER expression over named variables — the full SPARQL expression
+/// grammar (logical connectives, comparisons, arithmetic, function calls).
+///
+/// Lowering ([`crate::algebra`]) keeps the rewritable equality shapes in
+/// the simple [`crate::algebra::FilterExpr`] variants and wraps everything
+/// else as a [`crate::expr::Expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// `?name`.
+    Var(String),
+    /// An IRI or literal constant.
+    Const(Term),
+    /// Comparison between two sub-expressions.
+    Cmp {
+        /// Operator lexeme: one of `=`, `!=`, `<`, `<=`, `>`, `>=`.
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Conjunction.
+    And(Box<ExprAst>, Box<ExprAst>),
+    /// Disjunction.
+    Or(Box<ExprAst>, Box<ExprAst>),
+    /// Logical negation `!e`.
+    Not(Box<ExprAst>),
+    /// Arithmetic: `op` is one of `+ - * /`.
+    Arith {
+        /// Operator lexeme.
+        op: char,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Unary minus.
+    Neg(Box<ExprAst>),
+    /// A built-in function call, e.g. `REGEX(?title, "^Journal")`.
+    Call {
+        /// Function name as written (resolved case-insensitively at
+        /// lowering time).
+        func: String,
+        /// Argument expressions.
+        args: Vec<ExprAst>,
+    },
+}
+
+impl ExprAst {
+    /// Convenience constructor for a variable/constant comparison, the
+    /// shape the paper's Definition 3 FILTERs take.
+    pub fn cmp(op: &'static str, lhs: ExprAst, rhs: ExprAst) -> ExprAst {
+        ExprAst::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}

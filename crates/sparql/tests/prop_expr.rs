@@ -1,0 +1,276 @@
+//! Property-based tests for the FILTER expression language and the regex
+//! engine.
+//!
+//! * The Pike-VM regex engine is checked against a naive backtracking
+//!   reference matcher on randomly generated patterns from a restricted
+//!   grammar (literals, `.`, `*`, `?`, `|`, groups and classes).
+//! * The expression evaluator's three-valued logic is checked against the
+//!   algebraic laws SPARQL's tables satisfy (De Morgan, double negation,
+//!   and/or commutativity) and numeric comparison against trichotomy.
+
+use std::collections::HashMap;
+
+use hsp_rdf::{vocab, Term};
+use hsp_sparql::{ArithOp, CmpOp, Evaluator, Expr, Func, Regex, Var};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Regex vs. a naive backtracking reference
+// ---------------------------------------------------------------------------
+
+/// A tiny pattern AST mirrored by generator and reference matcher.
+#[derive(Debug, Clone)]
+enum Pat {
+    Char(char),
+    Any,
+    Class(Vec<char>, bool),
+    Concat(Box<Pat>, Box<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+    Star(Box<Pat>),
+    Opt(Box<Pat>),
+}
+
+impl Pat {
+    /// Render to the surface syntax accepted by [`Regex`].
+    fn render(&self) -> String {
+        match self {
+            Pat::Char(c) => c.to_string(),
+            Pat::Any => ".".to_string(),
+            Pat::Class(chars, neg) => {
+                let mut s = String::from("[");
+                if *neg {
+                    s.push('^');
+                }
+                for c in chars {
+                    s.push(*c);
+                }
+                s.push(']');
+                s
+            }
+            Pat::Concat(a, b) => format!("{}{}", a.render(), b.render()),
+            Pat::Alt(a, b) => format!("(?:{}|{})", a.render(), b.render()),
+            Pat::Star(p) => format!("(?:{})*", p.render()),
+            Pat::Opt(p) => format!("(?:{})?", p.render()),
+        }
+    }
+
+    /// Naive continuation-passing backtracking matcher: does `self` match a
+    /// prefix of `text`, and if so, does `k` accept the remainder?
+    fn matches<'a>(&self, text: &'a [char], k: &mut dyn FnMut(&'a [char]) -> bool) -> bool {
+        match self {
+            Pat::Char(c) => text.first() == Some(c) && k(&text[1..]),
+            Pat::Any => text.first().is_some_and(|c| *c != '\n') && k(&text[1..]),
+            Pat::Class(chars, neg) => text
+                .first()
+                .is_some_and(|c| chars.contains(c) != *neg)
+                && k(&text[1..]),
+            Pat::Concat(a, b) => a.matches(text, &mut |rest| b.matches(rest, k)),
+            Pat::Alt(a, b) => a.matches(text, k) || b.matches(text, k),
+            Pat::Star(p) => {
+                // Try zero copies, then one copy + star again; bail out on
+                // non-consuming bodies to avoid infinite recursion.
+                if k(text) {
+                    return true;
+                }
+                p.matches(text, &mut |rest| {
+                    rest.len() < text.len() && Pat::Star(p.clone()).matches(rest, k)
+                })
+            }
+            Pat::Opt(p) => k(text) || p.matches(text, k),
+        }
+    }
+
+    /// Unanchored search, like [`Regex::is_match`].
+    fn search(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        for start in 0..=chars.len() {
+            if self.matches(&chars[start..], &mut |_| true) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn arb_pat() -> impl Strategy<Value = Pat> {
+    let alphabet = prop::sample::select(vec!['a', 'b', 'c']);
+    let leaf = prop_oneof![
+        alphabet.clone().prop_map(Pat::Char),
+        Just(Pat::Any),
+        prop::collection::vec(alphabet, 1..3)
+            .prop_flat_map(|chars| (Just(chars), any::<bool>()))
+            .prop_map(|(chars, neg)| Pat::Class(chars, neg)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pat::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
+            inner.prop_map(|p| Pat::Opt(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn regex_agrees_with_backtracking_reference(
+        pat in arb_pat(),
+        text in "[abc]{0,8}",
+    ) {
+        let re = Regex::new(&pat.render(), "").expect("generated patterns are valid");
+        prop_assert_eq!(re.is_match(&text), pat.search(&text), "pattern: {}", pat.render());
+    }
+
+    #[test]
+    fn anchored_regex_agrees_with_reference(
+        pat in arb_pat(),
+        text in "[abc]{0,6}",
+    ) {
+        // Full-match semantics: ^pat$ vs. reference requiring empty rest
+        // at position 0.
+        let re = Regex::new(&format!("^(?:{})$", pat.render()), "").unwrap();
+        let chars: Vec<char> = text.chars().collect();
+        let expected = pat.matches(&chars, &mut |rest| rest.is_empty());
+        prop_assert_eq!(re.is_match(&text), expected, "pattern: {}", pat.render());
+    }
+
+    #[test]
+    fn case_insensitive_matches_lowercased(
+        pat in arb_pat(),
+        text in "[abcABC]{0,8}",
+    ) {
+        // `i`-flag match on text ≡ plain match on the lowercased text (the
+        // generated alphabet has trivial case folding).
+        let plain = Regex::new(&pat.render(), "").unwrap();
+        let ci = Regex::new(&pat.render(), "i").unwrap();
+        prop_assert_eq!(ci.is_match(&text), plain.is_match(&text.to_lowercase()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression-logic laws
+// ---------------------------------------------------------------------------
+
+/// Generate a leaf expression over ?v0/?v1 and a small constant pool,
+/// including EBV-erroring leaves (IRIs) to exercise the error tables.
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Var(Var(0))),
+        Just(Expr::Var(Var(1))),
+        Just(Expr::Var(Var(9))), // never bound
+        Just(Expr::Const(Term::typed_literal("true", vocab::XSD_BOOLEAN))),
+        Just(Expr::Const(Term::typed_literal("false", vocab::XSD_BOOLEAN))),
+        Just(Expr::Const(Term::typed_literal("0", vocab::XSD_INTEGER))),
+        Just(Expr::Const(Term::typed_literal("7", vocab::XSD_INTEGER))),
+        Just(Expr::Const(Term::literal(""))),
+        Just(Expr::Const(Term::literal("x"))),
+        Just(Expr::Const(Term::iri("http://e/err"))), // EBV type error
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+        ]
+    })
+}
+
+fn bindings() -> HashMap<Var, Term> {
+    let mut b = HashMap::new();
+    b.insert(Var(0), Term::typed_literal("1", vocab::XSD_INTEGER));
+    b.insert(Var(1), Term::literal("hello"));
+    b
+}
+
+/// Evaluate to the SPARQL three-valued domain: Some(bool) or None (error).
+fn tv(e: &Expr) -> Option<bool> {
+    Evaluator::new().eval_ebv(e, &bindings()).ok()
+}
+
+proptest! {
+    #[test]
+    fn de_morgan_holds_in_three_valued_logic(a in arb_expr(), b in arb_expr()) {
+        let lhs = Expr::Not(Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))));
+        let rhs = Expr::Or(
+            Box::new(Expr::Not(Box::new(a))),
+            Box::new(Expr::Not(Box::new(b))),
+        );
+        prop_assert_eq!(tv(&lhs), tv(&rhs));
+    }
+
+    #[test]
+    fn double_negation_is_identity_on_ebv(a in arb_expr()) {
+        let nn = Expr::Not(Box::new(Expr::Not(Box::new(a.clone()))));
+        prop_assert_eq!(tv(&nn), tv(&a));
+    }
+
+    #[test]
+    fn and_or_are_commutative(a in arb_expr(), b in arb_expr()) {
+        let and1 = Expr::And(Box::new(a.clone()), Box::new(b.clone()));
+        let and2 = Expr::And(Box::new(b.clone()), Box::new(a.clone()));
+        prop_assert_eq!(tv(&and1), tv(&and2));
+        let or1 = Expr::Or(Box::new(a.clone()), Box::new(b.clone()));
+        let or2 = Expr::Or(Box::new(b), Box::new(a));
+        prop_assert_eq!(tv(&or1), tv(&or2));
+    }
+
+    #[test]
+    fn numeric_trichotomy(x in -1000i64..1000, y in -1000i64..1000) {
+        let e = |op| Expr::Cmp {
+            op,
+            lhs: Box::new(Expr::Const(Term::typed_literal(x.to_string(), vocab::XSD_INTEGER))),
+            rhs: Box::new(Expr::Const(Term::typed_literal(y.to_string(), vocab::XSD_INTEGER))),
+        };
+        let lt = tv(&e(CmpOp::Lt)).unwrap();
+        let eq = tv(&e(CmpOp::Eq)).unwrap();
+        let gt = tv(&e(CmpOp::Gt)).unwrap();
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        // Derived operators agree.
+        prop_assert_eq!(tv(&e(CmpOp::Le)).unwrap(), lt || eq);
+        prop_assert_eq!(tv(&e(CmpOp::Ge)).unwrap(), gt || eq);
+        prop_assert_eq!(tv(&e(CmpOp::Ne)).unwrap(), !eq);
+    }
+
+    #[test]
+    fn integer_arithmetic_matches_i64(x in -10_000i64..10_000, y in -10_000i64..10_000) {
+        let c = |v: i64| Expr::Const(Term::typed_literal(v.to_string(), vocab::XSD_INTEGER));
+        for (op, expected) in [
+            (ArithOp::Add, x + y),
+            (ArithOp::Sub, x - y),
+            (ArithOp::Mul, x * y),
+        ] {
+            let e = Expr::Arith { op, lhs: Box::new(c(x)), rhs: Box::new(c(y)) };
+            let got = Evaluator::new().eval(&e, &bindings()).unwrap();
+            prop_assert_eq!(got, hsp_sparql::Value::Integer(expected));
+        }
+    }
+
+    #[test]
+    fn str_of_any_bound_value_is_a_string(e in arb_leaf()) {
+        if matches!(e, Expr::Var(Var(9))) {
+            return Ok(()); // unbound: STR errors, by design
+        }
+        let call = Expr::Call { func: Func::Str, args: vec![e] };
+        let v = Evaluator::new().eval(&call, &bindings()).unwrap();
+        let is_plain_string = matches!(v, hsp_sparql::Value::String { language: None, .. });
+        prop_assert!(is_plain_string);
+    }
+
+    #[test]
+    fn filter_matches_never_panics(e in arb_expr()) {
+        // matches() maps the whole error domain to false.
+        let _ = Evaluator::new().matches(&e, &bindings());
+    }
+}

@@ -1,0 +1,195 @@
+//! A triple store bundled with the dictionary that encodes it.
+
+use hsp_rdf::ntriples::{self, ParseError};
+use hsp_rdf::{Dictionary, IdTriple, Term, Triple};
+
+use crate::store::TripleStore;
+
+/// A loaded RDF dataset: the [`Dictionary`] plus the six-order [`TripleStore`].
+///
+/// This is the unit the planners and the execution engine operate on.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    dict: Dictionary,
+    store: TripleStore,
+}
+
+impl Dataset {
+    /// Build a dataset from term-level triples.
+    pub fn from_triples(triples: &[Triple]) -> Self {
+        let mut dict = Dictionary::new();
+        let encoded: Vec<IdTriple> = triples.iter().map(|t| t.intern(&mut dict)).collect();
+        Dataset { store: TripleStore::from_triples(&encoded), dict }
+    }
+
+    /// Build a dataset from already-encoded triples and their dictionary.
+    pub fn from_encoded(dict: Dictionary, triples: &[IdTriple]) -> Self {
+        if let Some(bad) = triples
+            .iter()
+            .flatten()
+            .find(|id| dict.get(**id).is_none())
+        {
+            panic!("triple references id {bad} not present in the dictionary");
+        }
+        Dataset { store: TripleStore::from_triples(triples), dict }
+    }
+
+    /// Parse an N-Triples document into a dataset.
+    pub fn from_ntriples(document: &str) -> Result<Self, ParseError> {
+        Ok(Self::from_triples(&ntriples::parse_document(document)?))
+    }
+
+    /// Parse a Turtle document into a dataset (prefixes, `a`,
+    /// predicate/object lists, literal sugar — see [`hsp_rdf::turtle`]).
+    pub fn from_turtle(document: &str) -> Result<Self, hsp_rdf::turtle::TurtleError> {
+        Ok(Self::from_triples(&hsp_rdf::turtle::parse_turtle(document)?))
+    }
+
+    /// The dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The six-order store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the dataset holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Resolve a term to its id, if the term occurs in the data.
+    pub fn id_of(&self, term: &Term) -> Option<hsp_rdf::TermId> {
+        self.dict.id(term)
+    }
+
+    /// Insert ground triples (SPARQL `INSERT DATA`), interning new terms
+    /// and keeping all six orders sorted. Returns the number of triples
+    /// that were genuinely new.
+    pub fn insert_data(&mut self, triples: &[Triple]) -> usize {
+        let encoded: Vec<IdTriple> =
+            triples.iter().map(|t| t.intern(&mut self.dict)).collect();
+        self.store.insert_batch(&encoded)
+    }
+
+    /// Remove ground triples (SPARQL `DELETE DATA`). Triples mentioning a
+    /// term the dictionary has never seen cannot be present and are
+    /// skipped. Returns the number of triples actually removed.
+    ///
+    /// Dictionary entries are never reclaimed — ids stay stable across
+    /// deletes, which keeps previously planned queries and cached scans
+    /// valid (the usual RDF-store trade; a vacuum pass could reclaim them).
+    pub fn remove_data(&mut self, triples: &[Triple]) -> usize {
+        let encoded: Vec<IdTriple> = triples
+            .iter()
+            .filter_map(|t| {
+                Some([
+                    self.dict.id(&t.subject)?,
+                    self.dict.id(&t.predicate)?,
+                    self.dict.id(&t.object)?,
+                ])
+            })
+            .collect();
+        self.store.remove_batch(&encoded)
+    }
+
+    /// Remove already-encoded triples (used by `DELETE WHERE` executors
+    /// that obtained ids from query results). Returns the number removed.
+    pub fn remove_encoded(&mut self, triples: &[IdTriple]) -> usize {
+        self.store.remove_batch(triples)
+    }
+
+    /// Render all triples back as an N-Triples document (in SPO order).
+    pub fn to_ntriples(&self) -> String {
+        use crate::order::Order;
+        let rows = self.store.relation(Order::Spo).rows();
+        let mut out = String::new();
+        for &key in rows {
+            let spo = Order::Spo.from_key(key);
+            let triple = hsp_rdf::triple::resolve(&self.dict, spo);
+            out.push_str(&triple.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::TriplePos;
+
+    const DOC: &str = "\
+<http://e/Journal1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Journal> .
+<http://e/Journal1> <http://e/title> \"Journal 1 (1940)\" .
+<http://e/Journal1> <http://e/issued> \"1940\" .
+<http://e/Article9> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Article> .
+";
+
+    #[test]
+    fn from_ntriples_loads_all_triples() {
+        let ds = Dataset::from_ntriples(DOC).unwrap();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn dictionary_contains_every_term() {
+        let ds = Dataset::from_ntriples(DOC).unwrap();
+        assert!(ds.id_of(&Term::iri("http://e/Journal1")).is_some());
+        assert!(ds.id_of(&Term::literal("Journal 1 (1940)")).is_some());
+        assert!(ds.id_of(&Term::literal("no such term")).is_none());
+    }
+
+    #[test]
+    fn counts_work_through_dataset() {
+        let ds = Dataset::from_ntriples(DOC).unwrap();
+        let j1 = ds.id_of(&Term::iri("http://e/Journal1")).unwrap();
+        assert_eq!(ds.store().count_bound(&[(TriplePos::S, j1)]), 3);
+    }
+
+    #[test]
+    fn ntriples_roundtrip_through_dataset() {
+        let ds = Dataset::from_ntriples(DOC).unwrap();
+        let doc2 = ds.to_ntriples();
+        let ds2 = Dataset::from_ntriples(&doc2).unwrap();
+        assert_eq!(ds2.len(), ds.len());
+        assert_eq!(ds2.to_ntriples(), doc2);
+    }
+
+    #[test]
+    fn from_turtle_loads_prefixed_data() {
+        let ds = Dataset::from_turtle(
+            "@prefix e: <http://e/> .\n\
+             e:j1 a e:Journal ; e:title \"Journal 1 (1940)\" ; e:issued 1940 .",
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(ds.id_of(&Term::iri("http://e/j1")).is_some());
+        assert!(ds
+            .id_of(&Term::typed_literal(
+                "1940",
+                "http://www.w3.org/2001/XMLSchema#integer"
+            ))
+            .is_some());
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(Dataset::from_ntriples("garbage").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not present in the dictionary")]
+    fn from_encoded_validates_ids() {
+        let dict = Dictionary::new();
+        Dataset::from_encoded(dict, &[[hsp_rdf::TermId(0); 3]]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The six collation orders of the triple table.
+
+use std::fmt;
+
+use hsp_rdf::{IdTriple, TriplePos};
+
+/// One of the six sorted copies of the triple table.
+///
+/// The name spells the key sequence: `Pos` sorts by predicate, then object,
+/// then subject. All six permutations of `(s, p, o)` exist, so *any* set of
+/// bound positions of a triple pattern can be made a key prefix, and *any*
+/// variable position can be made the first component after that prefix —
+/// the two facts `AssignOrderedRelation` (Algorithm 2) relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Order {
+    /// subject, predicate, object
+    Spo,
+    /// subject, object, predicate
+    Sop,
+    /// predicate, subject, object
+    Pso,
+    /// predicate, object, subject
+    Pos,
+    /// object, subject, predicate
+    Osp,
+    /// object, predicate, subject
+    Ops,
+}
+
+impl Order {
+    /// All six orders.
+    pub const ALL: [Order; 6] = [
+        Order::Spo,
+        Order::Sop,
+        Order::Pso,
+        Order::Pos,
+        Order::Osp,
+        Order::Ops,
+    ];
+
+    /// The key sequence of this order, most-significant first.
+    pub fn positions(self) -> [TriplePos; 3] {
+        use TriplePos::{O, P, S};
+        match self {
+            Order::Spo => [S, P, O],
+            Order::Sop => [S, O, P],
+            Order::Pso => [P, S, O],
+            Order::Pos => [P, O, S],
+            Order::Osp => [O, S, P],
+            Order::Ops => [O, P, S],
+        }
+    }
+
+    /// The order with exactly this key sequence.
+    pub fn from_positions(key: [TriplePos; 3]) -> Order {
+        use TriplePos::{O, P, S};
+        match key {
+            [S, P, O] => Order::Spo,
+            [S, O, P] => Order::Sop,
+            [P, S, O] => Order::Pso,
+            [P, O, S] => Order::Pos,
+            [O, S, P] => Order::Osp,
+            [O, P, S] => Order::Ops,
+            other => panic!("not a permutation of (s, p, o): {other:?}"),
+        }
+    }
+
+    /// Lowercase name as used in the paper (`spo`, `pos`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Order::Spo => "spo",
+            Order::Sop => "sop",
+            Order::Pso => "pso",
+            Order::Pos => "pos",
+            Order::Osp => "osp",
+            Order::Ops => "ops",
+        }
+    }
+
+    /// Uppercase name as used in the paper's plan figures (`OPS`, `PSO`, …).
+    pub fn upper_name(self) -> &'static str {
+        match self {
+            Order::Spo => "SPO",
+            Order::Sop => "SOP",
+            Order::Pso => "PSO",
+            Order::Pos => "POS",
+            Order::Osp => "OSP",
+            Order::Ops => "OPS",
+        }
+    }
+
+    /// Permute an `[s, p, o]` triple into this order's key coordinates.
+    #[inline]
+    pub fn to_key(self, spo: IdTriple) -> IdTriple {
+        let [a, b, c] = self.positions();
+        [spo[a.index()], spo[b.index()], spo[c.index()]]
+    }
+
+    /// Invert [`Order::to_key`]: key coordinates back to `[s, p, o]`.
+    #[inline]
+    pub fn from_key(self, key: IdTriple) -> IdTriple {
+        let [a, b, c] = self.positions();
+        let mut spo = [key[0]; 3];
+        spo[a.index()] = key[0];
+        spo[b.index()] = key[1];
+        spo[c.index()] = key[2];
+        spo
+    }
+
+    /// Where `pos` sits within this order's key (0 = most significant).
+    #[inline]
+    pub fn key_index(self, pos: TriplePos) -> usize {
+        self.positions()
+            .iter()
+            .position(|&p| p == pos)
+            .expect("every position occurs in every order")
+    }
+
+    /// An order whose key starts with the given positions (in the given
+    /// sequence), e.g. `[O, P]` → [`Order::Ops`]. Remaining positions follow
+    /// in `s, p, o` sequence.
+    ///
+    /// # Panics
+    /// Panics if `prefix` repeats a position or has more than 3 entries.
+    pub fn with_prefix(prefix: &[TriplePos]) -> Order {
+        assert!(prefix.len() <= 3, "prefix longer than a triple");
+        let mut key = Vec::with_capacity(3);
+        for &p in prefix {
+            assert!(!key.contains(&p), "repeated position in prefix: {p}");
+            key.push(p);
+        }
+        for p in TriplePos::ALL {
+            if !key.contains(&p) {
+                key.push(p);
+            }
+        }
+        Order::from_positions([key[0], key[1], key[2]])
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::TermId;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    #[test]
+    fn six_distinct_orders() {
+        let mut keys: Vec<_> = Order::ALL.iter().map(|o| o.positions()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn to_key_examples() {
+        assert_eq!(Order::Spo.to_key(t(1, 2, 3)), t(1, 2, 3));
+        assert_eq!(Order::Pos.to_key(t(1, 2, 3)), [TermId(2), TermId(3), TermId(1)]);
+        assert_eq!(Order::Ops.to_key(t(1, 2, 3)), [TermId(3), TermId(2), TermId(1)]);
+    }
+
+    #[test]
+    fn key_roundtrip_all_orders() {
+        let triple = t(7, 11, 13);
+        for order in Order::ALL {
+            assert_eq!(order.from_key(order.to_key(triple)), triple, "{order}");
+        }
+    }
+
+    #[test]
+    fn from_positions_roundtrip() {
+        for order in Order::ALL {
+            assert_eq!(Order::from_positions(order.positions()), order);
+        }
+    }
+
+    #[test]
+    fn names_match_key_sequences() {
+        for order in Order::ALL {
+            let expected: String = order.positions().iter().map(|p| p.letter()).collect();
+            assert_eq!(order.name(), expected);
+            assert_eq!(order.upper_name(), expected.to_uppercase());
+        }
+    }
+
+    #[test]
+    fn key_index_consistent() {
+        for order in Order::ALL {
+            for pos in TriplePos::ALL {
+                assert_eq!(order.positions()[order.key_index(pos)], pos);
+            }
+        }
+    }
+
+    #[test]
+    fn with_prefix_builds_expected_orders() {
+        use TriplePos::{O, P, S};
+        assert_eq!(Order::with_prefix(&[O, P]), Order::Ops);
+        assert_eq!(Order::with_prefix(&[P]), Order::Pso);
+        assert_eq!(Order::with_prefix(&[]), Order::Spo);
+        assert_eq!(Order::with_prefix(&[O]), Order::Osp);
+        assert_eq!(Order::with_prefix(&[P, O]), Order::Pos);
+        assert_eq!(Order::with_prefix(&[S, O, P]), Order::Sop);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated position")]
+    fn with_prefix_rejects_duplicates() {
+        Order::with_prefix(&[TriplePos::S, TriplePos::S]);
+    }
+}

@@ -1,0 +1,279 @@
+//! One sorted copy of the triple table.
+
+use hsp_rdf::{IdTriple, TermId};
+
+use crate::order::Order;
+
+/// A fully sorted copy of the triple table under one collation [`Order`].
+///
+/// Rows are stored *in key coordinates* (e.g. `[p, o, s]` for [`Order::Pos`])
+/// so lexicographic array comparison is the sort order and range lookup by a
+/// bound prefix is two binary searches. This is the "ordered triple relation
+/// stored as a regular table" of the paper, and doubles as the aggregated
+/// index of RDF-3X: `count(prefix)` is exact in `O(log n)` and
+/// `distinct(prefix)` in `O(d · log n)` by galloping over group boundaries.
+#[derive(Debug, Clone)]
+pub struct SortedRelation {
+    order: Order,
+    rows: Vec<IdTriple>,
+}
+
+impl SortedRelation {
+    /// Build the relation for `order` from (not necessarily sorted,
+    /// not necessarily distinct) `[s, p, o]` triples.
+    pub fn build(order: Order, triples: &[IdTriple]) -> Self {
+        let mut rows: Vec<IdTriple> = triples.iter().map(|&t| order.to_key(t)).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        SortedRelation { order, rows }
+    }
+
+    /// The collation order of this relation.
+    pub fn order(&self) -> Order {
+        self.order
+    }
+
+    /// Insert one `[s, p, o]` triple, keeping the relation sorted. Returns
+    /// `false` if the triple was already present.
+    ///
+    /// A single insert is `O(n)` (array shift) — acceptable for trickle
+    /// updates; bulk loads should use [`SortedRelation::insert_batch`],
+    /// which merges in `O(n + m log m)`.
+    pub fn insert(&mut self, triple: IdTriple) -> bool {
+        let key = self.order.to_key(triple);
+        match self.rows.binary_search(&key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.rows.insert(pos, key);
+                true
+            }
+        }
+    }
+
+    /// Remove one `[s, p, o]` triple. Returns `false` if it was absent.
+    pub fn remove(&mut self, triple: IdTriple) -> bool {
+        let key = self.order.to_key(triple);
+        match self.rows.binary_search(&key) {
+            Ok(pos) => {
+                self.rows.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Merge a batch of `[s, p, o]` triples in one pass. Returns the number
+    /// of triples that were new.
+    pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
+        let mut incoming: Vec<IdTriple> =
+            triples.iter().map(|&t| self.order.to_key(t)).collect();
+        incoming.sort_unstable();
+        incoming.dedup();
+        incoming.retain(|k| self.rows.binary_search(k).is_err());
+        if incoming.is_empty() {
+            return 0;
+        }
+        let added = incoming.len();
+        let mut merged = Vec::with_capacity(self.rows.len() + added);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.rows.len() && j < incoming.len() {
+            if self.rows[i] <= incoming[j] {
+                merged.push(self.rows[i]);
+                i += 1;
+            } else {
+                merged.push(incoming[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.rows[i..]);
+        merged.extend_from_slice(&incoming[j..]);
+        self.rows = merged;
+        added
+    }
+
+    /// Remove a batch of `[s, p, o]` triples in one pass. Returns the number
+    /// of triples actually removed.
+    pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
+        let mut outgoing: Vec<IdTriple> =
+            triples.iter().map(|&t| self.order.to_key(t)).collect();
+        outgoing.sort_unstable();
+        outgoing.dedup();
+        let before = self.rows.len();
+        self.rows.retain(|k| outgoing.binary_search(k).is_err());
+        before - self.rows.len()
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in key coordinates, sorted.
+    pub fn rows(&self) -> &[IdTriple] {
+        &self.rows
+    }
+
+    /// The half-open row range whose first `prefix.len()` key components
+    /// equal `prefix`.
+    ///
+    /// # Panics
+    /// Panics if `prefix.len() > 3`.
+    pub fn bounds(&self, prefix: &[TermId]) -> (usize, usize) {
+        assert!(prefix.len() <= 3, "prefix longer than a key");
+        if prefix.is_empty() {
+            return (0, self.rows.len());
+        }
+        let lo = self.rows.partition_point(|row| &row[..prefix.len()] < prefix);
+        let hi = self.rows.partition_point(|row| &row[..prefix.len()] <= prefix);
+        (lo, hi)
+    }
+
+    /// The rows matching a bound key prefix (sorted by the remaining key
+    /// components — the sortedness merge joins rely on).
+    pub fn range(&self, prefix: &[TermId]) -> &[IdTriple] {
+        let (lo, hi) = self.bounds(prefix);
+        &self.rows[lo..hi]
+    }
+
+    /// Exact number of rows matching a bound key prefix.
+    pub fn count(&self, prefix: &[TermId]) -> usize {
+        let (lo, hi) = self.bounds(prefix);
+        hi - lo
+    }
+
+    /// Exact number of distinct values of key component `prefix.len()`
+    /// among rows matching `prefix`.
+    ///
+    /// Gallops from group to group with a binary search each, so the cost is
+    /// `O(d · log n)` for `d` distinct values — the same asymptotics as a
+    /// B+-tree aggregated-index scan in RDF-3X.
+    pub fn distinct_after(&self, prefix: &[TermId]) -> usize {
+        assert!(prefix.len() < 3, "no key component after a full key");
+        let (mut lo, hi) = self.bounds(prefix);
+        let depth = prefix.len();
+        let mut distinct = 0;
+        while lo < hi {
+            let value = self.rows[lo][depth];
+            distinct += 1;
+            // Jump past the group of rows sharing `value` at `depth`.
+            lo += self.rows[lo..hi].partition_point(|row| row[depth] <= value);
+        }
+        distinct
+    }
+
+    /// `true` if a row with exactly this key exists.
+    pub fn contains_key(&self, key: IdTriple) -> bool {
+        self.rows.binary_search(&key).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_rdf::TermId;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    fn sample() -> Vec<IdTriple> {
+        vec![
+            t(1, 10, 100),
+            t(1, 10, 101),
+            t(1, 11, 100),
+            t(2, 10, 100),
+            t(2, 12, 103),
+            t(3, 10, 101),
+            t(3, 10, 101), // duplicate, must be removed
+        ]
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        assert_eq!(r.len(), 6);
+        let mut sorted = r.rows().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, r.rows());
+    }
+
+    #[test]
+    fn empty_prefix_is_full_relation() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        assert_eq!(r.range(&[]).len(), r.len());
+        assert_eq!(r.count(&[]), 6);
+    }
+
+    #[test]
+    fn one_bound_prefix() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        assert_eq!(r.count(&[TermId(1)]), 3);
+        assert_eq!(r.count(&[TermId(2)]), 2);
+        assert_eq!(r.count(&[TermId(9)]), 0);
+    }
+
+    #[test]
+    fn two_bound_prefix() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        assert_eq!(r.count(&[TermId(1), TermId(10)]), 2);
+        assert_eq!(r.count(&[TermId(1), TermId(11)]), 1);
+        assert_eq!(r.count(&[TermId(1), TermId(12)]), 0);
+    }
+
+    #[test]
+    fn full_key_prefix() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        assert_eq!(r.count(&[TermId(1), TermId(10), TermId(100)]), 1);
+        assert!(r.contains_key(t(1, 10, 100)));
+        assert!(!r.contains_key(t(1, 10, 999)));
+    }
+
+    #[test]
+    fn range_rows_are_sorted_by_remaining_key() {
+        let r = SortedRelation::build(Order::Pso, &sample());
+        // pso key: predicate 10 occurs in 4 distinct triples.
+        let rows = r.range(&[TermId(10)]);
+        assert_eq!(rows.len(), 4);
+        let mut sorted = rows.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted.as_slice(), rows);
+    }
+
+    #[test]
+    fn distinct_after_counts_groups() {
+        let r = SortedRelation::build(Order::Spo, &sample());
+        // Distinct subjects: 1, 2, 3.
+        assert_eq!(r.distinct_after(&[]), 3);
+        // Distinct predicates of subject 1: 10, 11.
+        assert_eq!(r.distinct_after(&[TermId(1)]), 2);
+        // Distinct objects of (1, 10): 100, 101.
+        assert_eq!(r.distinct_after(&[TermId(1), TermId(10)]), 2);
+        // Missing prefix: zero groups.
+        assert_eq!(r.distinct_after(&[TermId(42)]), 0);
+    }
+
+    #[test]
+    fn alternate_order_key_coordinates() {
+        let r = SortedRelation::build(Order::Ops, &sample());
+        // ops key: [o, p, s]; object 101 appears in triples (1,10,101) and (3,10,101).
+        let rows = r.range(&[TermId(101)]);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let spo = Order::Ops.from_key(*row);
+            assert_eq!(spo[2], TermId(101));
+        }
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = SortedRelation::build(Order::Spo, &[]);
+        assert!(r.is_empty());
+        assert_eq!(r.count(&[]), 0);
+        assert_eq!(r.distinct_after(&[]), 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The triple store: all six sorted relations plus exact statistics.
+
+use hsp_rdf::{IdTriple, TermId, TriplePos};
+
+use crate::order::Order;
+use crate::relation::SortedRelation;
+
+/// A set of RDF triples materialised under all six collation orders.
+///
+/// Construction sorts six copies; queries then only ever binary-search.
+/// Memory cost is `6 × 12` bytes per distinct triple plus the dictionary —
+/// the same trade the paper makes ("this is a common tactic in
+/// state-of-the-art RDF storing solutions").
+#[derive(Debug, Clone)]
+pub struct TripleStore {
+    relations: [SortedRelation; 6],
+}
+
+impl TripleStore {
+    /// Build a store from `[s, p, o]` triples (duplicates are removed).
+    pub fn from_triples(triples: &[IdTriple]) -> Self {
+        let relations = [
+            SortedRelation::build(Order::Spo, triples),
+            SortedRelation::build(Order::Sop, triples),
+            SortedRelation::build(Order::Pso, triples),
+            SortedRelation::build(Order::Pos, triples),
+            SortedRelation::build(Order::Osp, triples),
+            SortedRelation::build(Order::Ops, triples),
+        ];
+        TripleStore { relations }
+    }
+
+    /// Insert one triple into all six orders. Returns `false` if already
+    /// present.
+    pub fn insert(&mut self, triple: IdTriple) -> bool {
+        let added = self.relations[0].insert(triple);
+        if added {
+            for rel in &mut self.relations[1..] {
+                rel.insert(triple);
+            }
+        }
+        added
+    }
+
+    /// Remove one triple from all six orders. Returns `false` if absent.
+    pub fn remove(&mut self, triple: IdTriple) -> bool {
+        let removed = self.relations[0].remove(triple);
+        if removed {
+            for rel in &mut self.relations[1..] {
+                rel.remove(triple);
+            }
+        }
+        removed
+    }
+
+    /// Merge a batch of triples into all six orders. Returns the number of
+    /// genuinely new triples.
+    pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
+        let mut added = 0;
+        for (i, rel) in self.relations.iter_mut().enumerate() {
+            let n = rel.insert_batch(triples);
+            if i == 0 {
+                added = n;
+            } else {
+                debug_assert_eq!(n, added, "orders diverged on insert");
+            }
+        }
+        added
+    }
+
+    /// Remove a batch of triples from all six orders. Returns the number of
+    /// triples actually removed.
+    pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
+        let mut removed = 0;
+        for (i, rel) in self.relations.iter_mut().enumerate() {
+            let n = rel.remove_batch(triples);
+            if i == 0 {
+                removed = n;
+            } else {
+                debug_assert_eq!(n, removed, "orders diverged on removal");
+            }
+        }
+        removed
+    }
+
+    /// The sorted relation for `order`.
+    pub fn relation(&self, order: Order) -> &SortedRelation {
+        // Index derived from the fixed construction order above.
+        let idx = match order {
+            Order::Spo => 0,
+            Order::Sop => 1,
+            Order::Pso => 2,
+            Order::Pos => 3,
+            Order::Osp => 4,
+            Order::Ops => 5,
+        };
+        &self.relations[idx]
+    }
+
+    /// Number of distinct triples stored.
+    pub fn len(&self) -> usize {
+        self.relations[0].len()
+    }
+
+    /// `true` if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if the `[s, p, o]` triple is present.
+    pub fn contains(&self, triple: IdTriple) -> bool {
+        self.relation(Order::Spo).contains_key(triple)
+    }
+
+    /// Exact number of triples matching the given bound positions.
+    ///
+    /// Equivalent to an RDF-3X aggregated-index lookup: we pick the order
+    /// whose key starts with the bound positions and binary-search.
+    pub fn count_bound(&self, bound: &[(TriplePos, TermId)]) -> usize {
+        let (order, prefix) = self.access_path(bound);
+        self.relation(order).count(&prefix)
+    }
+
+    /// Exact number of distinct values at `target` among triples matching
+    /// the given bound positions.
+    ///
+    /// # Panics
+    /// Panics if `target` is itself bound.
+    pub fn distinct_bound(&self, bound: &[(TriplePos, TermId)], target: TriplePos) -> usize {
+        assert!(
+            bound.iter().all(|&(p, _)| p != target),
+            "distinct target {target} is bound"
+        );
+        let mut positions: Vec<TriplePos> = bound.iter().map(|&(p, _)| p).collect();
+        positions.push(target);
+        let order = Order::with_prefix(&positions);
+        let prefix: Vec<TermId> = bound.iter().map(|&(_, v)| v).collect();
+        self.relation(order).distinct_after(&prefix)
+    }
+
+    /// Distinct subjects / predicates / objects in the whole store.
+    pub fn distinct_at(&self, pos: TriplePos) -> usize {
+        self.distinct_bound(&[], pos)
+    }
+
+    /// Choose an order whose key starts with the bound positions, and return
+    /// it with the bound values arranged as its key prefix.
+    fn access_path(&self, bound: &[(TriplePos, TermId)]) -> (Order, Vec<TermId>) {
+        let positions: Vec<TriplePos> = bound.iter().map(|&(p, _)| p).collect();
+        let order = Order::with_prefix(&positions);
+        let prefix: Vec<TermId> = bound.iter().map(|&(_, v)| v).collect();
+        (order, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    fn sample_store() -> TripleStore {
+        TripleStore::from_triples(&[
+            t(1, 10, 100),
+            t(1, 10, 101),
+            t(1, 11, 100),
+            t(2, 10, 100),
+            t(2, 12, 103),
+            t(3, 10, 101),
+            t(1, 10, 100), // duplicate
+        ])
+    }
+
+    #[test]
+    fn len_ignores_duplicates() {
+        assert_eq!(sample_store().len(), 6);
+    }
+
+    #[test]
+    fn all_relations_have_same_len() {
+        let s = sample_store();
+        for order in Order::ALL {
+            assert_eq!(s.relation(order).len(), s.len(), "{order}");
+        }
+    }
+
+    #[test]
+    fn all_relations_hold_same_triples() {
+        let s = sample_store();
+        let mut base: Vec<IdTriple> = s
+            .relation(Order::Spo)
+            .rows()
+            .iter()
+            .map(|&k| Order::Spo.from_key(k))
+            .collect();
+        base.sort_unstable();
+        for order in Order::ALL {
+            let mut got: Vec<IdTriple> = s
+                .relation(order)
+                .rows()
+                .iter()
+                .map(|&k| order.from_key(k))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, base, "{order}");
+        }
+    }
+
+    #[test]
+    fn contains() {
+        let s = sample_store();
+        assert!(s.contains(t(2, 12, 103)));
+        assert!(!s.contains(t(2, 12, 104)));
+    }
+
+    #[test]
+    fn count_bound_single_position() {
+        let s = sample_store();
+        assert_eq!(s.count_bound(&[(TriplePos::S, TermId(1))]), 3);
+        assert_eq!(s.count_bound(&[(TriplePos::P, TermId(10))]), 4);
+        assert_eq!(s.count_bound(&[(TriplePos::O, TermId(100))]), 3);
+        assert_eq!(s.count_bound(&[]), 6);
+    }
+
+    #[test]
+    fn count_bound_two_positions_any_combination() {
+        let s = sample_store();
+        assert_eq!(
+            s.count_bound(&[(TriplePos::S, TermId(1)), (TriplePos::P, TermId(10))]),
+            2
+        );
+        assert_eq!(
+            s.count_bound(&[(TriplePos::P, TermId(10)), (TriplePos::O, TermId(101))]),
+            2
+        );
+        assert_eq!(
+            s.count_bound(&[(TriplePos::S, TermId(2)), (TriplePos::O, TermId(103))]),
+            1
+        );
+    }
+
+    #[test]
+    fn count_bound_full_triple() {
+        let s = sample_store();
+        assert_eq!(
+            s.count_bound(&[
+                (TriplePos::S, TermId(1)),
+                (TriplePos::P, TermId(10)),
+                (TriplePos::O, TermId(101)),
+            ]),
+            1
+        );
+    }
+
+    #[test]
+    fn distinct_bound() {
+        let s = sample_store();
+        // Distinct objects of predicate 10: 100, 101.
+        assert_eq!(s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::O), 2);
+        // Distinct subjects of predicate 10: 1, 2, 3.
+        assert_eq!(s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::S), 3);
+        // Distinct predicates overall: 10, 11, 12.
+        assert_eq!(s.distinct_at(TriplePos::P), 3);
+        assert_eq!(s.distinct_at(TriplePos::S), 3);
+        assert_eq!(s.distinct_at(TriplePos::O), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is bound")]
+    fn distinct_bound_rejects_bound_target() {
+        sample_store().distinct_bound(&[(TriplePos::S, TermId(1))], TriplePos::S);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = TripleStore::from_triples(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.count_bound(&[]), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests: the six orders agree, and binary-search range lookup is
+//! equivalent to a naive filter scan.
+
+use hsp_rdf::{IdTriple, TermId, TriplePos};
+use hsp_store::{Order, TripleStore};
+use proptest::prelude::*;
+
+fn arb_triples() -> impl Strategy<Value = Vec<IdTriple>> {
+    proptest::collection::vec((0u32..12, 0u32..6, 0u32..12), 0..200).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, p, o)| [TermId(s), TermId(p + 100), TermId(o + 200)])
+            .collect()
+    })
+}
+
+fn distinct(triples: &[IdTriple]) -> Vec<IdTriple> {
+    let mut v = triples.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    /// Every order stores exactly the distinct triple set.
+    #[test]
+    fn all_orders_contain_same_triples(triples in arb_triples()) {
+        let store = TripleStore::from_triples(&triples);
+        let expected = distinct(&triples);
+        for order in Order::ALL {
+            let mut got: Vec<IdTriple> = store
+                .relation(order)
+                .rows()
+                .iter()
+                .map(|&k| order.from_key(k))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "order {}", order);
+        }
+    }
+
+    /// `count_bound` equals a naive filter count for every bound combination.
+    #[test]
+    fn count_bound_matches_naive(triples in arb_triples(), s in 0u32..12, p in 0u32..6, o in 0u32..12) {
+        let store = TripleStore::from_triples(&triples);
+        let dedup = distinct(&triples);
+        let s = TermId(s);
+        let p = TermId(p + 100);
+        let o = TermId(o + 200);
+
+        let combos: Vec<Vec<(TriplePos, TermId)>> = vec![
+            vec![],
+            vec![(TriplePos::S, s)],
+            vec![(TriplePos::P, p)],
+            vec![(TriplePos::O, o)],
+            vec![(TriplePos::S, s), (TriplePos::P, p)],
+            vec![(TriplePos::S, s), (TriplePos::O, o)],
+            vec![(TriplePos::P, p), (TriplePos::O, o)],
+            vec![(TriplePos::S, s), (TriplePos::P, p), (TriplePos::O, o)],
+        ];
+        for bound in combos {
+            let naive = dedup
+                .iter()
+                .filter(|t| bound.iter().all(|&(pos, v)| t[pos.index()] == v))
+                .count();
+            prop_assert_eq!(store.count_bound(&bound), naive, "bound {:?}", bound);
+        }
+    }
+
+    /// `distinct_bound` equals a naive distinct count.
+    #[test]
+    fn distinct_bound_matches_naive(triples in arb_triples(), p in 0u32..6) {
+        let store = TripleStore::from_triples(&triples);
+        let dedup = distinct(&triples);
+        let p = TermId(p + 100);
+        for target in [TriplePos::S, TriplePos::O] {
+            let naive: std::collections::HashSet<_> = dedup
+                .iter()
+                .filter(|t| t[1] == p)
+                .map(|t| t[target.index()])
+                .collect();
+            prop_assert_eq!(
+                store.distinct_bound(&[(TriplePos::P, p)], target),
+                naive.len()
+            );
+        }
+    }
+
+    /// Ranges really are sorted by the key components after the prefix.
+    #[test]
+    fn ranges_are_sorted(triples in arb_triples(), p in 0u32..6) {
+        let store = TripleStore::from_triples(&triples);
+        let rel = store.relation(Order::Pso);
+        let rows = rel.range(&[TermId(p + 100)]);
+        let mut sorted = rows.to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted.as_slice(), rows);
+    }
+}
+
+proptest! {
+    /// Incremental mutation is equivalent to rebuilding from scratch:
+    /// starting from `base`, inserting `add` and removing `del` (in that
+    /// order) produces exactly `distinct(base ∪ add) \ del` in every order.
+    #[test]
+    fn incremental_mutation_matches_rebuild(
+        base in arb_triples(),
+        add in arb_triples(),
+        del in arb_triples(),
+    ) {
+        let mut store = TripleStore::from_triples(&base);
+        store.insert_batch(&add);
+        store.remove_batch(&del);
+
+        let mut expected: Vec<IdTriple> = base.iter().chain(add.iter()).copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let del_set = distinct(&del);
+        expected.retain(|t| del_set.binary_search(t).is_err());
+
+        for order in Order::ALL {
+            let mut got: Vec<IdTriple> = store
+                .relation(order)
+                .rows()
+                .iter()
+                .map(|&k| order.from_key(k))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "order {}", order);
+            // …and each relation is strictly sorted (no duplicates).
+            prop_assert!(store.relation(order).rows().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// One-at-a-time insert/remove agrees with the batch path.
+    #[test]
+    fn single_ops_match_batch_ops(base in arb_triples(), changes in arb_triples()) {
+        let mut one = TripleStore::from_triples(&base);
+        let mut batch = TripleStore::from_triples(&base);
+        let mut added_single = 0;
+        for &t in &distinct(&changes) {
+            if one.insert(t) {
+                added_single += 1;
+            }
+        }
+        let added_batch = batch.insert_batch(&changes);
+        prop_assert_eq!(added_single, added_batch);
+        prop_assert_eq!(one.len(), batch.len());
+
+        let mut removed_single = 0;
+        for &t in &distinct(&changes) {
+            if one.remove(t) {
+                removed_single += 1;
+            }
+        }
+        let removed_batch = batch.remove_batch(&changes);
+        prop_assert_eq!(removed_single, removed_batch);
+        prop_assert_eq!(one.len(), batch.len());
+    }
+
+    /// insert followed by remove of the same triples is the identity.
+    #[test]
+    fn insert_then_remove_roundtrips(base in arb_triples(), extra in arb_triples()) {
+        let reference = TripleStore::from_triples(&base);
+        let mut store = TripleStore::from_triples(&base);
+        // Only count triples not already in the base as removable.
+        let new: Vec<IdTriple> = distinct(&extra)
+            .into_iter()
+            .filter(|&t| !reference.contains(t))
+            .collect();
+        store.insert_batch(&new);
+        store.remove_batch(&new);
+        prop_assert_eq!(store.len(), reference.len());
+        for order in Order::ALL {
+            prop_assert_eq!(
+                store.relation(order).rows(),
+                reference.relation(order).rows(),
+                "order {}", order
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! `hsp` — a command-line SPARQL processor built on the HSP reproduction.
+//!
+//! ```text
+//! hsp <data.nt> --query 'SELECT ?s WHERE { ?s ?p ?o . }' [options]
+//! hsp <data.nt> --update 'INSERT DATA { … }' [--out new.nt]
+//!
+//! Options:
+//!   --query <text|@file>    SPARQL query (join queries, OPTIONAL, UNION,
+//!                           FILTER expressions, ORDER BY/LIMIT/OFFSET)
+//!   --update <text|@file>   SPARQL update (INSERT DATA / DELETE DATA /
+//!                           DELETE WHERE); prints the mutated dataset to
+//!                           --out (or stdout) as N-Triples
+//!   --planner <name>        hsp (default) | cdp | sql | hybrid | stocker
+//!   --format <name>         table (default) | json | csv | tsv
+//!   --explain               print the physical plan (with cardinalities)
+//!                           instead of results
+//!   --sip                   enable sideways information passing
+//!   --budget <rows>         abort when an operator exceeds this many rows
+//! ```
+//!
+//! Queries that fit the paper's Definition 3 (conjunctive + FILTER) run
+//! through the chosen planner; OPTIONAL/UNION queries fall back to the
+//! extended evaluator (always HSP-planned, per block).
+
+use std::process::ExitCode;
+
+use hsp_baseline::{CdpPlanner, HybridPlanner, LeftDeepPlanner, StockerPlanner};
+use hsp_core::HspPlanner;
+use hsp_engine::explain::render_plan_with_profile;
+use hsp_engine::plan::PhysicalPlan;
+use hsp_engine::{execute, ExecConfig};
+use hsp_sparql::JoinQuery;
+use hsp_store::Dataset;
+use sparql_hsp::extended::{evaluate_extended, ExtendedOutput};
+use sparql_hsp::results;
+use sparql_hsp::update::apply_update;
+
+struct Args {
+    data: String,
+    query: Option<String>,
+    update: Option<String>,
+    planner: String,
+    format: String,
+    explain: bool,
+    sip: bool,
+    budget: Option<usize>,
+    out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: hsp <data.nt> (--query <text|@file> | --update <text|@file>)\n\
+     \x20      [--planner hsp|cdp|sql|hybrid|stocker] [--format table|json|csv|tsv]\n\
+     \x20      [--explain] [--sip] [--budget <rows>] [--out <file>]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let data = argv.next().ok_or_else(|| usage().to_string())?;
+    let mut args = Args {
+        data,
+        query: None,
+        update: None,
+        planner: "hsp".into(),
+        format: "table".into(),
+        explain: false,
+        sip: false,
+        budget: None,
+        out: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--query" => args.query = Some(value("--query")?),
+            "--update" => args.update = Some(value("--update")?),
+            "--planner" => args.planner = value("--planner")?.to_lowercase(),
+            "--format" => args.format = value("--format")?.to_lowercase(),
+            "--explain" => args.explain = true,
+            "--sip" => args.sip = true,
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget needs an integer".to_string())?,
+                )
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.query.is_none() && args.update.is_none() {
+        return Err(format!("one of --query / --update is required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+/// `@file` indirection for query/update texts.
+fn load_text(spec: &str) -> Result<String, String> {
+    if let Some(path) = spec.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    } else {
+        Ok(spec.to_string())
+    }
+}
+
+fn plan_with(
+    planner: &str,
+    ds: &Dataset,
+    query: &JoinQuery,
+) -> Result<(PhysicalPlan, JoinQuery), String> {
+    match planner {
+        "hsp" => {
+            let p = HspPlanner::new().plan(query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        "cdp" => {
+            let p = CdpPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        "sql" => {
+            let p = LeftDeepPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        "hybrid" => {
+            let p = HybridPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        "stocker" => {
+            let p = StockerPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        other => Err(format!("unknown planner `{other}` (hsp|cdp|sql|hybrid|stocker)")),
+    }
+}
+
+fn emit(format: &str, out: &ExtendedOutput) -> Result<String, String> {
+    Ok(match format {
+        "table" => results::to_table(out),
+        "json" => results::to_sparql_json(out),
+        "csv" => results::to_csv(out),
+        "tsv" => results::to_tsv(out),
+        other => return Err(format!("unknown format `{other}` (table|json|csv|tsv)")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let document = std::fs::read_to_string(&args.data)
+        .map_err(|e| format!("cannot read {}: {e}", args.data))?;
+    // Turtle by extension (.ttl); N-Triples (a Turtle subset) otherwise.
+    let mut ds = if args.data.ends_with(".ttl") {
+        Dataset::from_turtle(&document).map_err(|e| e.to_string())?
+    } else {
+        Dataset::from_ntriples(&document).map_err(|e| e.to_string())?
+    };
+    eprintln!("loaded {} triples from {}", ds.len(), args.data);
+
+    if let Some(update) = &args.update {
+        let text = load_text(update)?;
+        let stats = apply_update(&mut ds, &text).map_err(|e| e.to_string())?;
+        eprintln!("update ok: +{} / -{} triples (now {})", stats.inserted, stats.deleted, ds.len());
+        let rendered = ds.to_ntriples();
+        match &args.out {
+            Some(path) => std::fs::write(path, rendered)
+                .map_err(|e| format!("cannot write {path}: {e}"))?,
+            None => print!("{rendered}"),
+        }
+        return Ok(());
+    }
+
+    let text = load_text(args.query.as_deref().expect("query or update required"))?;
+    let mut config = ExecConfig::unlimited();
+    config.max_intermediate_rows = args.budget;
+    if args.sip {
+        config = config.with_sip();
+    }
+
+    // ASK queries short-circuit to a boolean.
+    if let Ok(ast) = hsp_sparql::parse_query(&text) {
+        if ast.ask {
+            let answer =
+                sparql_hsp::extended::evaluate_ask(&ds, &text).map_err(|e| e.to_string())?;
+            match args.format.as_str() {
+                "json" => println!("{}", results::ask_to_sparql_json(answer)),
+                _ => println!("{answer}"),
+            }
+            return Ok(());
+        }
+    }
+
+    // Join queries take the chosen planner; OPTIONAL/UNION queries go to
+    // the extended evaluator.
+    match JoinQuery::parse(&text) {
+        Ok(query) => {
+            let (plan, planned_query) = plan_with(&args.planner, &ds, &query)?;
+            let output = execute(&plan, &ds, &config).map_err(|e| e.to_string())?;
+            if args.explain {
+                print!("{}", render_plan_with_profile(&plan, &output.profile, &planned_query));
+                return Ok(());
+            }
+            // Convert the id-level table to term-level rows.
+            let columns: Vec<String> =
+                planned_query.projection.iter().map(|(n, _)| n.clone()).collect();
+            let rows = (0..output.table.len())
+                .map(|i| {
+                    planned_query
+                        .projection
+                        .iter()
+                        .map(|&(_, v)| {
+                            let id = output.table.value(v, i);
+                            if id.is_unbound() {
+                                None
+                            } else {
+                                Some(ds.dict().term(id).clone())
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let ext = ExtendedOutput { columns, rows };
+            print!("{}", emit(&args.format, &ext)?);
+            Ok(())
+        }
+        Err(join_err) => {
+            if args.planner != "hsp" {
+                eprintln!(
+                    "note: query is outside the join-query fragment ({join_err}); \
+                     using the extended evaluator (HSP-planned blocks)"
+                );
+            }
+            if args.explain {
+                return Err("--explain requires a join query (no OPTIONAL/UNION)".into());
+            }
+            let ext = evaluate_extended(&ds, &text).map_err(|e| e.to_string())?;
+            print!("{}", emit(&args.format, &ext)?);
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Extended SPARQL evaluation: OPTIONAL, UNION, and group-scoped FILTERs —
+//! the paper's §7 future work ("extend our optimizer to include all
+//! features of the SPARQL language, such as the OPTIONAL clause").
+//!
+//! The strategy keeps HSP in charge of everything it covers: each basic
+//! graph pattern (the conjunctive triple blocks) is planned by
+//! [`HspPlanner`] exactly as in the paper; OPTIONAL groups become
+//! left-outer hash joins, UNION branches are evaluated independently and
+//! concatenated (missing columns padded with [`TermId::UNBOUND`]), and
+//! group-level FILTERs run after the group's joins with SPARQL's
+//! unbound-is-type-error semantics.
+//!
+//! Scope notes (documented simplifications):
+//! * FILTERs inside an OPTIONAL/UNION group apply to that group; FILTERs of
+//!   the outer group apply after the outer group's joins (no cross-group
+//!   pushdown).
+//! * Join compatibility with UNBOUND follows strict equality (a row binding
+//!   `?x` never joins a row where `?x` is UNBOUND), which is sufficient for
+//!   the common "pad then project" UNION usage.
+
+use std::collections::HashMap;
+
+use hsp_core::HspPlanner;
+use hsp_engine::ops;
+use hsp_engine::{execute, BindingTable, ExecConfig};
+use hsp_rdf::Term;
+use hsp_sparql::ast::{Element, GroupPattern, NodeAst, Query};
+use hsp_sparql::{parse_query, FilterExpr, JoinQuery, TermOrVar, TriplePattern, Var};
+use hsp_store::Dataset;
+
+/// An extended-evaluation failure.
+#[derive(Debug)]
+pub enum ExtendedError {
+    /// The query text failed to parse.
+    Parse(hsp_sparql::ParseError),
+    /// A projected variable is bound nowhere in the query.
+    UnboundProjection(String),
+    /// Planning or execution failed.
+    Eval(String),
+}
+
+impl std::fmt::Display for ExtendedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtendedError::Parse(e) => write!(f, "{e}"),
+            ExtendedError::UnboundProjection(v) => {
+                write!(f, "projected variable ?{v} is not bound anywhere")
+            }
+            ExtendedError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtendedError {}
+
+/// The result of extended evaluation: named columns over optional terms
+/// (`None` = unbound, from OPTIONAL/UNION padding).
+#[derive(Debug, Clone)]
+pub struct ExtendedOutput {
+    /// Output column names, in SELECT order.
+    pub columns: Vec<String>,
+    /// Result rows; `None` marks an unbound value.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+/// Evaluate a SPARQL query that may use OPTIONAL and UNION.
+pub fn evaluate_extended(ds: &Dataset, text: &str) -> Result<ExtendedOutput, ExtendedError> {
+    let ast = parse_query(text).map_err(ExtendedError::Parse)?;
+    evaluate_ast(ds, &ast)
+}
+
+/// Evaluate an `ASK` query: `true` iff the pattern has at least one
+/// solution. (A `SELECT` query text is accepted too and asks whether it
+/// returns any row.)
+pub fn evaluate_ask(ds: &Dataset, text: &str) -> Result<bool, ExtendedError> {
+    let ast = parse_query(text).map_err(ExtendedError::Parse)?;
+    let mut vars = VarTable::default();
+    let table = eval_group(ds, &ast.where_clause, &mut vars)?;
+    Ok(!table.is_empty())
+}
+
+/// Evaluate a parsed extended query.
+pub fn evaluate_ast(ds: &Dataset, query: &Query) -> Result<ExtendedOutput, ExtendedError> {
+    let mut vars = VarTable::default();
+    let table = eval_group(ds, &query.where_clause, &mut vars)?;
+
+    if query.ask {
+        // ASK: zero columns; one empty row iff a solution exists.
+        let rows = if table.is_empty() { vec![] } else { vec![vec![]] };
+        return Ok(ExtendedOutput { columns: Vec::new(), rows });
+    }
+
+    // Projection: named variables or everything, in declaration order.
+    let projection: Vec<(String, Var)> = match &query.projection {
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                vars.lookup(name)
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| ExtendedError::UnboundProjection(name.clone()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vars
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Var(i as u32)))
+            .collect(),
+    };
+
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::with_capacity(table.len());
+    for i in 0..table.len() {
+        let row: Vec<Option<Term>> = projection
+            .iter()
+            .map(|&(_, v)| {
+                if table.vars().contains(&v) {
+                    let id = table.value(v, i);
+                    if id.is_unbound() {
+                        None
+                    } else {
+                        Some(ds.dict().term(id).clone())
+                    }
+                } else {
+                    None
+                }
+            })
+            .collect();
+        rows.push(row);
+    }
+    // Solution modifiers, in the spec's application order: ORDER BY, then
+    // DISTINCT/REDUCED (stable — keeps first occurrences), then
+    // OFFSET/LIMIT. ORDER BY keys may reference non-projected variables,
+    // so key values come from the full pre-projection table, which is why
+    // sorting happens on (key, projected row) pairs built per table row.
+    if !query.order_by.is_empty() {
+        let evaluator = hsp_sparql::Evaluator::new();
+        let mut keys = Vec::with_capacity(query.order_by.len());
+        for (ast, descending) in &query.order_by {
+            let expr = hsp_sparql::algebra::lower_expr_ast(ast, &mut |n| vars.var(n))
+                .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+            keys.push((expr, *descending));
+        }
+        type Decorated = (Vec<Option<hsp_sparql::Value>>, Vec<Option<Term>>);
+        let mut decorated: Vec<Decorated> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let bindings = TableRow { ds, table: &table, row: i };
+                let key_vals = keys
+                    .iter()
+                    .map(|(e, _)| evaluator.eval(e, &bindings).ok())
+                    .collect();
+                (key_vals, row)
+            })
+            .collect();
+        decorated.sort_by(|(ka, _), (kb, _)| {
+            for ((_, desc), (va, vb)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
+                let ord = hsp_sparql::expr::compare_for_order(va.as_ref(), vb.as_ref());
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = decorated.into_iter().map(|(_, row)| row).collect();
+    }
+
+    if query.distinct || query.reduced {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|row| seen.insert(format!("{row:?}")));
+    }
+
+    let offset = query.offset.unwrap_or(0).min(rows.len());
+    let end = match query.limit {
+        Some(n) => (offset + n).min(rows.len()),
+        None => rows.len(),
+    };
+    rows = rows[offset..end].to_vec();
+
+    Ok(ExtendedOutput {
+        columns: projection.into_iter().map(|(n, _)| n).collect(),
+        rows,
+    })
+}
+
+/// [`hsp_sparql::Bindings`] over one row of the final (pre-projection)
+/// extended-evaluation table.
+struct TableRow<'a> {
+    ds: &'a Dataset,
+    table: &'a BindingTable,
+    row: usize,
+}
+
+impl hsp_sparql::Bindings for TableRow<'_> {
+    fn term(&self, v: Var) -> Option<Term> {
+        let idx = self.table.col_index(v)?;
+        let id = self.table.columns()[idx][self.row];
+        if id.is_unbound() {
+            None
+        } else {
+            Some(self.ds.dict().term(id).clone())
+        }
+    }
+}
+
+/// Global variable numbering shared by all groups of one query.
+#[derive(Debug, Default)]
+struct VarTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+}
+
+impl VarTable {
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    fn lookup(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+}
+
+/// Evaluate one group: HSP over its triple block, then UNIONs (joined in),
+/// then OPTIONALs (left-outer), then the group's FILTERs.
+fn eval_group(
+    ds: &Dataset,
+    group: &GroupPattern,
+    vars: &mut VarTable,
+) -> Result<BindingTable, ExtendedError> {
+    let mut patterns: Vec<TriplePattern> = Vec::new();
+    let mut filters: Vec<FilterExpr> = Vec::new();
+    let mut optionals: Vec<&GroupPattern> = Vec::new();
+    let mut unions: Vec<(&GroupPattern, &GroupPattern)> = Vec::new();
+
+    for element in &group.elements {
+        match element {
+            Element::Triple(t) => {
+                let lower = |node: &NodeAst, vars: &mut VarTable| match node {
+                    NodeAst::Var(n) => TermOrVar::Var(vars.var(n)),
+                    NodeAst::Const(t) => TermOrVar::Const(t.clone()),
+                };
+                let s = lower(&t.subject, vars);
+                let p = lower(&t.predicate, vars);
+                let o = lower(&t.object, vars);
+                patterns.push(TriplePattern::new(s, p, o));
+            }
+            Element::Filter(expr) => filters.push(lower_filter(expr, vars)?),
+            Element::Optional(g) => optionals.push(g),
+            Element::Union(a, b) => unions.push((a, b)),
+        }
+    }
+
+    // 1. The conjunctive core, planned by HSP (when present).
+    let mut current: Option<BindingTable> = if patterns.is_empty() {
+        None
+    } else {
+        let block_vars: Vec<Var> = {
+            let mut v: Vec<Var> = patterns.iter().flat_map(|p| p.vars()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let query = JoinQuery {
+            patterns,
+            filters: Vec::new(), // group filters run after OPTIONAL/UNION
+            projection: block_vars
+                .iter()
+                .map(|&v| (vars.names[v.index()].clone(), v))
+                .collect(),
+            distinct: false,
+            var_names: vars.names.clone(),
+            modifiers: Default::default(),
+        };
+        let planned = HspPlanner::new()
+            .plan(&query)
+            .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+        let out = execute(&planned.plan, ds, &ExecConfig::unlimited())
+            .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+        Some(out.table)
+    };
+
+    // 2. UNION blocks: evaluate branches, concatenate, join with the core.
+    for (a, b) in unions {
+        let ta = eval_group(ds, a, vars)?;
+        let tb = eval_group(ds, b, vars)?;
+        let union = ops::union_all(&ta, &tb);
+        current = Some(match current {
+            None => union,
+            Some(core) => join_tables(&core, &union),
+        });
+    }
+
+    let mut table = current.ok_or_else(|| {
+        ExtendedError::Eval("group has neither triple patterns nor UNION branches".into())
+    })?;
+
+    // 3. OPTIONAL blocks: left-outer joins on the shared variables.
+    for g in optionals {
+        let right = eval_group(ds, g, vars)?;
+        let shared: Vec<Var> = right
+            .vars()
+            .iter()
+            .copied()
+            .filter(|v| table.vars().contains(v))
+            .collect();
+        table = if shared.is_empty() {
+            // OPTIONAL with no shared variables: every combination, or
+            // UNBOUND padding when the optional side is empty.
+            if right.is_empty() {
+                ops::union_all(&table, &BindingTable::empty(right.vars().to_vec()))
+            } else {
+                ops::cross_product(&table, &right)
+            }
+        } else {
+            ops::left_outer_hash_join(&table, &right, &shared)
+        };
+    }
+
+    // 4. Group-level FILTERs (unbound comparisons are false).
+    for f in &filters {
+        table = ops::filter(ds, &table, f);
+    }
+    Ok(table)
+}
+
+fn lower_filter(
+    expr: &hsp_sparql::ast::ExprAst,
+    vars: &mut VarTable,
+) -> Result<FilterExpr, ExtendedError> {
+    hsp_sparql::algebra::lower_filter_ast(expr, &mut |n| vars.var(n))
+        .map_err(|e| ExtendedError::Eval(e.to_string()))
+}
+
+/// Inner join two evaluated tables on their shared variables (hash join),
+/// or cross product when they share none.
+fn join_tables(a: &BindingTable, b: &BindingTable) -> BindingTable {
+    let shared: Vec<Var> = b
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| a.vars().contains(v))
+        .collect();
+    if shared.is_empty() {
+        ops::cross_product(a, b)
+    } else {
+        ops::hash_join(a, b, &shared)
+    }
+}
+
+/// Re-export for tests/examples that need to inspect unbound cells.
+pub use hsp_rdf::dictionary::TermId as ExtendedTermId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/name> "Alice" .
+<http://e/a1> <http://e/email> "alice@example.org" .
+<http://e/a2> <http://e/name> "Bob" .
+<http://e/a3> <http://e/name> "Carol" .
+<http://e/a3> <http://e/phone> "555-1234" .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optional_keeps_rows_without_match() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n ?e WHERE {
+                ?p <http://e/name> ?n .
+                OPTIONAL { ?p <http://e/email> ?e . } }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let with_email = out.rows.iter().filter(|r| r[1].is_some()).count();
+        assert_eq!(with_email, 1); // only Alice
+    }
+
+    #[test]
+    fn nested_optional_groups() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n ?e ?ph WHERE {
+                ?p <http://e/name> ?n .
+                OPTIONAL { ?p <http://e/email> ?e . }
+                OPTIONAL { ?p <http://e/phone> ?ph . } }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let phones = out.rows.iter().filter(|r| r[2].is_some()).count();
+        assert_eq!(phones, 1); // only Carol
+    }
+
+    #[test]
+    fn union_concatenates_branches() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?p ?c WHERE {
+                { ?p <http://e/email> ?c . } UNION { ?p <http://e/phone> ?c . } }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 2); // Alice's email + Carol's phone
+        assert!(out.rows.iter().all(|r| r[0].is_some() && r[1].is_some()));
+    }
+
+    #[test]
+    fn union_with_different_vars_pads_unbound() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?e ?ph WHERE {
+                { ?p <http://e/email> ?e . } UNION { ?p <http://e/phone> ?ph . } }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        for row in &out.rows {
+            // Exactly one of the two columns is bound per branch row.
+            assert_eq!(row.iter().filter(|c| c.is_some()).count(), 1);
+        }
+    }
+
+    #[test]
+    fn union_joined_with_core_block() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n ?c WHERE {
+                ?p <http://e/name> ?n .
+                { ?p <http://e/email> ?c . } UNION { ?p <http://e/phone> ?c . } }",
+        )
+        .unwrap();
+        // Alice-email + Carol-phone, joined back to names.
+        assert_eq!(out.rows.len(), 2);
+        let names: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r[0].as_ref().unwrap().lexical().to_string())
+            .collect();
+        assert!(names.contains(&"Alice".to_string()));
+        assert!(names.contains(&"Carol".to_string()));
+    }
+
+    #[test]
+    fn filter_after_optional_sees_unbound_as_false() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            r#"SELECT ?n WHERE {
+                ?p <http://e/name> ?n .
+                OPTIONAL { ?p <http://e/email> ?e . }
+                FILTER (?e = "alice@example.org") }"#,
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0].as_ref().unwrap().lexical(), "Alice");
+    }
+
+    #[test]
+    fn plain_join_queries_still_work() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n WHERE { ?p <http://e/name> ?n . ?p <http://e/email> ?m . }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn distinct_applies_to_extended_results() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT DISTINCT ?p WHERE {
+                { ?p <http://e/name> ?n . } UNION { ?p <http://e/name> ?m . } }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3); // a1, a2, a3 — each once
+    }
+
+    #[test]
+    fn unbound_projection_is_an_error() {
+        let ds = dataset();
+        let err = evaluate_extended(
+            &ds,
+            "SELECT ?zzz WHERE { ?p <http://e/name> ?n . }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn select_star_collects_all_vars() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT * WHERE { ?p <http://e/name> ?n . OPTIONAL { ?p <http://e/email> ?e . } }",
+        )
+        .unwrap();
+        assert_eq!(out.columns, vec!["p", "n", "e"]);
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    fn names_of(out: &ExtendedOutput) -> Vec<String> {
+        out.rows
+            .iter()
+            .map(|r| r[0].as_ref().expect("bound").lexical().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn order_by_sorts_extended_results() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY DESC(?n)",
+        )
+        .unwrap();
+        assert_eq!(names_of(&out), vec!["Carol", "Bob", "Alice"]);
+    }
+
+    #[test]
+    fn order_by_non_projected_variable() {
+        let ds = dataset();
+        // Sort by ?p (the IRI), project only ?n.
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?p",
+        )
+        .unwrap();
+        assert_eq!(names_of(&out), vec!["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn limit_offset_paginate() {
+        let ds = dataset();
+        let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n LIMIT 2";
+        assert_eq!(names_of(&evaluate_extended(&ds, q).unwrap()), vec!["Alice", "Bob"]);
+        let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n LIMIT 2 OFFSET 2";
+        assert_eq!(names_of(&evaluate_extended(&ds, q).unwrap()), vec!["Carol"]);
+        let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n OFFSET 9";
+        assert!(evaluate_extended(&ds, q).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn unbound_optional_values_sort_first() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n ?e WHERE { ?p <http://e/name> ?n . \
+             OPTIONAL { ?p <http://e/email> ?e . } } ORDER BY ?e ?n",
+        )
+        .unwrap();
+        // Bob and Carol have no email (unbound < any value), then Alice.
+        assert_eq!(names_of(&out), vec!["Bob", "Carol", "Alice"]);
+    }
+
+    #[test]
+    fn order_by_expression_key() {
+        let ds = dataset();
+        // Sort by string length: Bob (3) < Alice/Carol (5, tie broken by ?n).
+        let out = evaluate_extended(
+            &ds,
+            "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY strlen(?n) ?n",
+        )
+        .unwrap();
+        assert_eq!(names_of(&out), vec!["Bob", "Alice", "Carol"]);
+    }
+
+    #[test]
+    fn reduced_deduplicates() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            "SELECT REDUCED ?p WHERE { ?p ?prop ?v . }",
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3); // a1, a2, a3 deduplicated
+    }
+
+    #[test]
+    fn ask_queries() {
+        let ds = dataset();
+        assert!(evaluate_ask(&ds, "ASK { ?p <http://e/name> \"Alice\" . }").unwrap());
+        assert!(!evaluate_ask(&ds, "ASK { ?p <http://e/name> \"Zed\" . }").unwrap());
+        // WHERE keyword and OPTIONAL are accepted.
+        assert!(evaluate_ask(
+            &ds,
+            "ASK WHERE { ?p <http://e/name> ?n . OPTIONAL { ?p <http://e/email> ?e . } }"
+        )
+        .unwrap());
+        // Through evaluate_extended: zero columns, row presence as answer.
+        let out = evaluate_extended(&ds, "ASK { ?p <http://e/phone> ?t . }").unwrap();
+        assert!(out.columns.is_empty());
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn regex_filter_in_extended_query() {
+        let ds = dataset();
+        let out = evaluate_extended(
+            &ds,
+            r#"SELECT ?n WHERE { ?p <http://e/name> ?n . FILTER regex(?n, "^[AB]") } ORDER BY ?n"#,
+        )
+        .unwrap();
+        assert_eq!(names_of(&out), vec!["Alice", "Bob"]);
+    }
+}

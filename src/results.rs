@@ -1,0 +1,309 @@
+//! Result serialisation: the W3C SPARQL 1.1 Query Results formats
+//! (JSON, CSV, TSV) plus a human-readable table.
+//!
+//! All serialisers are hand-rolled (no serde) and operate on
+//! [`ExtendedOutput`](crate::extended::ExtendedOutput), the term-level
+//! result representation shared by the join-query pipeline and the
+//! extended (OPTIONAL/UNION) evaluator. Unbound cells (possible under
+//! OPTIONAL and UNION padding) serialise per each format's rule: omitted
+//! binding in JSON, empty field in CSV/TSV.
+
+use std::fmt::Write as _;
+
+use hsp_rdf::Term;
+
+use crate::extended::ExtendedOutput;
+
+/// Serialise to the SPARQL 1.1 Query Results JSON format
+/// (`application/sparql-results+json`).
+pub fn to_sparql_json(out: &ExtendedOutput) -> String {
+    let mut s = String::new();
+    s.push_str("{\"head\":{\"vars\":[");
+    for (i, c) in out.columns.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(s, "\"{}\"", escape_json(c)).expect("writing to String");
+    }
+    s.push_str("]},\"results\":{\"bindings\":[");
+    for (ri, row) in out.rows.iter().enumerate() {
+        if ri > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        let mut first = true;
+        for (col, cell) in out.columns.iter().zip(row) {
+            let Some(term) = cell else { continue }; // unbound: omitted
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            write!(s, "\"{}\":", escape_json(col)).expect("writing to String");
+            json_term(&mut s, term);
+        }
+        s.push('}');
+    }
+    s.push_str("]}}");
+    s
+}
+
+fn json_term(s: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            write!(s, "{{\"type\":\"uri\",\"value\":\"{}\"}}", escape_json(iri))
+                .expect("writing to String");
+        }
+        Term::Literal { lexical, datatype, language } => {
+            write!(s, "{{\"type\":\"literal\",\"value\":\"{}\"", escape_json(lexical))
+                .expect("writing to String");
+            if let Some(lang) = language {
+                write!(s, ",\"xml:lang\":\"{}\"", escape_json(lang)).expect("writing to String");
+            } else if let Some(dt) = datatype {
+                write!(s, ",\"datatype\":\"{}\"", escape_json(dt)).expect("writing to String");
+            }
+            s.push('}');
+        }
+    }
+}
+
+/// Escape a string for a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise an `ASK` result to the SPARQL 1.1 JSON boolean form.
+pub fn ask_to_sparql_json(answer: bool) -> String {
+    format!("{{\"head\":{{}},\"boolean\":{answer}}}")
+}
+
+/// Serialise to the SPARQL 1.1 CSV results format (`text/csv`): header row
+/// of variable names, then one row per solution with *plain values* (IRI
+/// text and literal lexical forms), RFC-4180 quoting.
+pub fn to_csv(out: &ExtendedOutput) -> String {
+    let mut s = String::new();
+    for (i, c) in out.columns.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&csv_field(c));
+    }
+    s.push_str("\r\n");
+    for row in &out.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            if let Some(term) = cell {
+                s.push_str(&csv_field(term.lexical()));
+            }
+        }
+        s.push_str("\r\n");
+    }
+    s
+}
+
+fn csv_field(value: &str) -> String {
+    if value.contains(',') || value.contains('"') || value.contains('\n') || value.contains('\r')
+    {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Serialise to the SPARQL 1.1 TSV results format
+/// (`text/tab-separated-values`): `?var` headers, then terms in their
+/// N-Triples/Turtle surface syntax.
+pub fn to_tsv(out: &ExtendedOutput) -> String {
+    let mut s = String::new();
+    for (i, c) in out.columns.iter().enumerate() {
+        if i > 0 {
+            s.push('\t');
+        }
+        s.push('?');
+        s.push_str(c);
+    }
+    s.push('\n');
+    for row in &out.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                s.push('\t');
+            }
+            if let Some(term) = cell {
+                s.push_str(&term.to_string());
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Render as a human-readable aligned table (for the CLI).
+pub fn to_table(out: &ExtendedOutput) -> String {
+    let render = |cell: &Option<Term>| -> String {
+        match cell {
+            Some(t) => t.to_string(),
+            None => String::new(),
+        }
+    };
+    let mut widths: Vec<usize> = out.columns.iter().map(|c| c.len() + 1).collect();
+    let rendered: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    let s = render(cell);
+                    widths[i] = widths[i].max(s.chars().count());
+                    s
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut s = String::new();
+    for (i, c) in out.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str("  ");
+        }
+        write!(s, "{:<width$}", format!("?{c}"), width = widths[i]).expect("writing to String");
+    }
+    s.push('\n');
+    for (i, _) in out.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str("  ");
+        }
+        s.push_str(&"-".repeat(widths[i]));
+    }
+    s.push('\n');
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            write!(s, "{:<width$}", cell, width = widths[i]).expect("writing to String");
+        }
+        s.push('\n');
+    }
+    writeln!(s, "({} row{})", out.rows.len(), if out.rows.len() == 1 { "" } else { "s" })
+        .expect("writing to String");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExtendedOutput {
+        ExtendedOutput {
+            columns: vec!["x".into(), "label".into()],
+            rows: vec![
+                vec![
+                    Some(Term::iri("http://e/a")),
+                    Some(Term::lang_literal("chat, \"fancy\"", "en")),
+                ],
+                vec![
+                    Some(Term::typed_literal(
+                        "42",
+                        "http://www.w3.org/2001/XMLSchema#integer",
+                    )),
+                    None, // unbound
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let j = to_sparql_json(&sample());
+        assert!(j.starts_with("{\"head\":{\"vars\":[\"x\",\"label\"]}"));
+        assert!(j.contains("\"type\":\"uri\",\"value\":\"http://e/a\""));
+        assert!(j.contains("\\\"fancy\\\""));
+        assert!(j.contains("\"xml:lang\":\"en\""));
+        assert!(j.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""));
+        // The unbound cell is omitted entirely.
+        assert!(j.contains("{\"x\":{\"type\":\"literal\",\"value\":\"42\""));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        // Cheap structural sanity: balanced braces/brackets.
+        let j = to_sparql_json(&sample());
+        let depth = j.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn json_control_character_escaped() {
+        let out = ExtendedOutput {
+            columns: vec!["x".into()],
+            rows: vec![vec![Some(Term::literal("a\u{01}b"))]],
+        };
+        assert!(to_sparql_json(&out).contains("\\u0001"));
+    }
+
+    #[test]
+    fn csv_quoting_rules() {
+        let c = to_csv(&sample());
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("x,label"));
+        // Comma + quotes force RFC-4180 quoting with doubled quotes.
+        assert_eq!(lines.next(), Some(r#"http://e/a,"chat, ""fancy""""#));
+        // Unbound serialises as an empty field.
+        assert_eq!(lines.next(), Some("42,"));
+    }
+
+    #[test]
+    fn tsv_uses_term_syntax() {
+        let t = to_tsv(&sample());
+        let mut lines = t.lines();
+        assert_eq!(lines.next(), Some("?x\t?label"));
+        assert_eq!(
+            lines.next(),
+            Some("<http://e/a>\t\"chat, \\\"fancy\\\"\"@en")
+        );
+        let line3 = lines.next().unwrap();
+        assert!(line3.starts_with("\"42\"^^<"));
+        assert!(line3.ends_with('\t'));
+    }
+
+    #[test]
+    fn table_alignment_and_row_count() {
+        let t = to_table(&sample());
+        assert!(t.contains("?x"));
+        assert!(t.contains("?label"));
+        assert!(t.ends_with("(2 rows)\n"));
+        let one = ExtendedOutput { columns: vec!["x".into()], rows: vec![vec![None]] };
+        assert!(to_table(&one).ends_with("(1 row)\n"));
+    }
+
+    #[test]
+    fn empty_result_serialises_cleanly() {
+        let empty = ExtendedOutput { columns: vec!["x".into()], rows: vec![] };
+        assert_eq!(
+            to_sparql_json(&empty),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+        );
+        assert_eq!(to_csv(&empty), "x\r\n");
+        assert_eq!(to_tsv(&empty), "?x\n");
+    }
+}
