@@ -1,39 +1,16 @@
 //! Operator micro-benchmarks: the merge-join vs hash-join asymmetry the
-//! whole paper is built on, plus scan-select throughput.
+//! whole paper is built on, scan-select throughput, and the vectorized
+//! kernels against their row-at-a-time predecessors
+//! ([`hsp_engine::reference`]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use hsp_engine::binding::BindingTable;
-use hsp_engine::ops;
-use hsp_rdf::{Term, TermId};
+use hsp_bench::kernels::{assert_kernels_agree, join_inputs};
+use hsp_engine::{ops, reference};
+use hsp_rdf::Term;
 use hsp_sparql::{TermOrVar, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Build two join inputs of `n` rows with ~10% key overlap density.
-fn join_inputs(n: usize, seed: u64) -> (BindingTable, BindingTable) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let keys = (n / 4).max(1) as u32;
-    let mut left_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
-    let mut right_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
-    left_keys.sort_unstable();
-    right_keys.sort_unstable();
-    let payload_l: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000_000 + i)).collect();
-    let payload_r: Vec<TermId> = (0..n as u32).map(|i| TermId(2_000_000 + i)).collect();
-    let left = BindingTable::from_columns(
-        vec![Var(0), Var(1)],
-        vec![left_keys, payload_l],
-        Some(Var(0)),
-    );
-    let right = BindingTable::from_columns(
-        vec![Var(0), Var(2)],
-        vec![right_keys, payload_r],
-        Some(Var(0)),
-    );
-    (left, right)
-}
 
 fn bench_joins(c: &mut Criterion) {
     let mut group = c.benchmark_group("joins");
@@ -45,6 +22,31 @@ fn bench_joins(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("hash_join", n), |b| {
             b.iter(|| black_box(ops::hash_join(&left, &right, &[Var(0)])))
+        });
+    }
+    group.finish();
+}
+
+/// Vectorized kernels vs. the retired row-at-a-time kernels: the before /
+/// after of the zero-allocation join rework. Outputs are asserted
+/// identical (as sorted row-sets) before timing.
+fn bench_kernels_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for n in [10_000usize, 100_000] {
+        let (left, right) = join_inputs(n, 42);
+        assert_kernels_agree(&left, &right);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("hash_join/rowwise", n), |b| {
+            b.iter(|| black_box(reference::hash_join(&left, &right, &[Var(0)])))
+        });
+        group.bench_function(BenchmarkId::new("hash_join/vectorized", n), |b| {
+            b.iter(|| black_box(ops::hash_join(&left, &right, &[Var(0)])))
+        });
+        group.bench_function(BenchmarkId::new("merge_join/rowwise", n), |b| {
+            b.iter(|| black_box(reference::merge_join(&left, &right, Var(0))))
+        });
+        group.bench_function(BenchmarkId::new("merge_join/vectorized", n), |b| {
+            b.iter(|| black_box(ops::merge_join(&left, &right, Var(0))))
         });
     }
     group.finish();
@@ -86,6 +88,6 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_joins, bench_scans
+    targets = bench_joins, bench_kernels_vs_reference, bench_scans
 }
 criterion_main!(benches);

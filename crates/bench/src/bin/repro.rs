@@ -7,7 +7,11 @@
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 table6 table7 table8 queries
-//! figure1 figure2 figure3 mwis ablation all`.
+//! figure1 figure2 figure3 mwis ablation sip ops all`.
+//!
+//! `ops` measures the vectorized kernels against their row-at-a-time
+//! predecessors and additionally writes the machine-readable
+//! `BENCH_ops.json` to the current directory.
 
 use hsp_bench::tables;
 use hsp_bench::{BenchEnv, EnvConfig};
@@ -19,14 +23,14 @@ fn main() {
         eprintln!(
             "usage: repro <experiment>...\n\
              experiments: table1 table2 table3 table4 table6 table7 table8\n\
-             queries figure1 figure2 figure3 mwis ablation sip all"
+             queries figure1 figure2 figure3 mwis ablation sip ops all"
         );
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
         vec![
             "table1", "table2", "table3", "table4", "table6", "table7", "table8",
-            "queries", "figure1", "figure2", "figure3", "mwis", "ablation", "sip",
+            "queries", "figure1", "figure2", "figure3", "mwis", "ablation", "sip", "ops",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -74,6 +78,15 @@ fn main() {
             "mwis" => tables::mwis_scaling(),
             "ablation" => tables::ablation(env.as_ref().expect("loaded")),
             "sip" => tables::sip_table(env.as_ref().expect("loaded")),
+            "ops" => {
+                let results = hsp_bench::kernels::measure_kernels();
+                let json = hsp_bench::kernels::render_json(&results);
+                match std::fs::write("BENCH_ops.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_ops.json"),
+                    Err(e) => eprintln!("could not write BENCH_ops.json: {e}"),
+                }
+                hsp_bench::kernels::render_text(&results)
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;

@@ -1,0 +1,191 @@
+//! Kernel-level before/after measurements behind `repro -- ops`: the
+//! vectorized join kernels against the retired row-at-a-time kernels
+//! ([`hsp_engine::reference`]), and the parallel six-order store build
+//! against a serial rebuild. Results render as a text table and as
+//! machine-readable JSON (`BENCH_ops.json`), so the performance trajectory
+//! of the hot paths is diffable across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hsp_engine::binding::BindingTable;
+use hsp_engine::{ops, reference};
+use hsp_rdf::{IdTriple, TermId};
+use hsp_sparql::Var;
+use hsp_store::{Order, SortedRelation, TripleStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured kernel pair.
+pub struct KernelResult {
+    /// Kernel name, e.g. `hash_join_100k`.
+    pub name: String,
+    /// Median nanoseconds per run, baseline implementation.
+    pub baseline_ns: u128,
+    /// Median nanoseconds per run, optimized implementation.
+    pub optimized_ns: u128,
+}
+
+impl KernelResult {
+    /// Baseline time over optimized time.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+/// Median wall-clock nanoseconds of `runs` invocations of `f`.
+fn median_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> u128 {
+    assert!(runs > 0);
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Two join inputs of `n` rows with ~25% key density — shared with
+/// `benches/operators.rs` so the criterion numbers and the
+/// `BENCH_ops.json` numbers measure the same workload.
+pub fn join_inputs(n: usize, seed: u64) -> (BindingTable, BindingTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = (n / 4).max(1) as u32;
+    let mut left_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
+    let mut right_keys: Vec<TermId> = (0..n).map(|_| TermId(rng.random_range(0..keys))).collect();
+    left_keys.sort_unstable();
+    right_keys.sort_unstable();
+    let payload_l: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000_000 + i)).collect();
+    let payload_r: Vec<TermId> = (0..n as u32).map(|i| TermId(2_000_000 + i)).collect();
+    let left = BindingTable::from_columns(vec![Var(0), Var(1)], vec![left_keys, payload_l], Some(Var(0)));
+    let right = BindingTable::from_columns(vec![Var(0), Var(2)], vec![right_keys, payload_r], Some(Var(0)));
+    (left, right)
+}
+
+/// Random distinct-ish triples for the store-build measurement.
+fn build_triples(n: usize, seed: u64) -> Vec<IdTriple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            [
+                TermId(rng.random_range(0..50_000)),
+                TermId(rng.random_range(0..200)),
+                TermId(rng.random_range(0..50_000)),
+            ]
+        })
+        .collect()
+}
+
+/// Assert the vectorized join kernels produce the same sorted row-sets as
+/// the row-at-a-time reference kernels on these inputs (shared by the
+/// criterion benchmarks and `measure_kernels`, so nothing is timed before
+/// it is proven equivalent).
+///
+/// # Panics
+/// Panics on any divergence.
+pub fn assert_kernels_agree(left: &BindingTable, right: &BindingTable) {
+    assert_eq!(
+        ops::hash_join(left, right, &[Var(0)]).sorted_rows(),
+        reference::hash_join(left, right, &[Var(0)]).sorted_rows(),
+        "vectorized hash join diverges from reference"
+    );
+    assert_eq!(
+        ops::merge_join(left, right, Var(0)).sorted_rows(),
+        reference::merge_join(left, right, Var(0)).sorted_rows(),
+        "vectorized merge join diverges from reference"
+    );
+}
+
+/// Run all kernel measurements (a few seconds of wall clock).
+pub fn measure_kernels() -> Vec<KernelResult> {
+    let mut results = Vec::new();
+    let runs = 7;
+
+    for n in [10_000usize, 100_000] {
+        let (left, right) = join_inputs(n, 42);
+        let label = if n >= 1000 { format!("{}k", n / 1000) } else { n.to_string() };
+        assert_kernels_agree(&left, &right);
+        results.push(KernelResult {
+            name: format!("hash_join_{label}"),
+            baseline_ns: median_ns(runs, || reference::hash_join(&left, &right, &[Var(0)])),
+            optimized_ns: median_ns(runs, || ops::hash_join(&left, &right, &[Var(0)])),
+        });
+        results.push(KernelResult {
+            name: format!("merge_join_{label}"),
+            baseline_ns: median_ns(runs, || reference::merge_join(&left, &right, Var(0))),
+            optimized_ns: median_ns(runs, || ops::merge_join(&left, &right, Var(0))),
+        });
+    }
+
+    let triples = build_triples(300_000, 7);
+    results.push(KernelResult {
+        name: "store_build_300k".into(),
+        // Serial baseline: the six sorted relations built one after another.
+        baseline_ns: median_ns(3, || {
+            Order::ALL.map(|order| SortedRelation::build(order, &triples))
+        }),
+        optimized_ns: median_ns(3, || TripleStore::from_triples(&triples)),
+    });
+    results
+}
+
+/// Human-readable report table.
+pub fn render_text(results: &[KernelResult]) -> String {
+    let mut out = String::from(
+        "Kernel benchmarks (row-at-a-time / serial baseline vs vectorized / parallel)\n\n",
+    );
+    writeln!(out, "{:<22} {:>14} {:>14} {:>9}", "kernel", "baseline", "optimized", "speedup")
+        .expect("writing to String");
+    for r in results {
+        writeln!(
+            out,
+            "{:<22} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+            r.name,
+            r.baseline_ns as f64 / 1e6,
+            r.optimized_ns as f64 / 1e6,
+            r.speedup()
+        )
+        .expect("writing to String");
+    }
+    out
+}
+
+/// The `BENCH_ops.json` payload (hand-rolled; no serde in this workspace).
+pub fn render_json(results: &[KernelResult]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"ops\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.3}}}{}",
+            r.name,
+            r.baseline_ns,
+            r.optimized_ns,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        )
+        .expect("writing to String");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let results = vec![
+            KernelResult { name: "a".into(), baseline_ns: 100, optimized_ns: 50 },
+            KernelResult { name: "b".into(), baseline_ns: 10, optimized_ns: 10 },
+        ];
+        let json = render_json(&results);
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"benchmark\": \"ops\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = render_text(&results);
+        assert!(text.contains("2.00x"));
+    }
+}

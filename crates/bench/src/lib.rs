@@ -16,6 +16,7 @@
 //!   the SQL baseline's Cartesian plans trip it and report `XXX`).
 
 pub mod env;
+pub mod kernels;
 pub mod planners;
 pub mod tables;
 

@@ -143,12 +143,74 @@ impl BindingTable {
         }
     }
 
+    /// Select the given rows (in `sel` order) — a column-at-a-time gather,
+    /// the shared materialisation primitive of all vectorized operators.
+    /// The result advertises no sortedness; callers that preserve an order
+    /// re-declare it via [`BindingTable::set_sorted_by`].
+    ///
+    /// Zero-column (unit) tables gather to `sel.len()` unit rows.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn gather(&self, sel: &[u32]) -> BindingTable {
+        let cols = self.cols.iter().map(|col| gather_column(col, sel)).collect();
+        BindingTable { vars: self.vars.clone(), cols, sorted_by: None, rows: sel.len() }
+    }
+
+    /// Materialise a join output from `(left_row, right_row)` index pairs:
+    /// the left table's columns gathered by `lidx`, then the right table's
+    /// `right_extra` columns gathered by `ridx`. A `ridx` entry of
+    /// `u32::MAX` reads as [`TermId::UNBOUND`] (left-outer padding).
+    ///
+    /// # Panics
+    /// Panics if the pair vectors differ in length or `right_extra`
+    /// contains a variable missing from `right`.
+    pub fn from_join_pairs(
+        left: &BindingTable,
+        right: &BindingTable,
+        right_extra: &[Var],
+        lidx: &[u32],
+        ridx: &[u32],
+    ) -> BindingTable {
+        assert_eq!(lidx.len(), ridx.len(), "ragged join pair vectors");
+        let mut vars = left.vars.clone();
+        vars.extend_from_slice(right_extra);
+        let mut cols = Vec::with_capacity(vars.len());
+        for col in &left.cols {
+            cols.push(gather_column(col, lidx));
+        }
+        for &v in right_extra {
+            let col = right.column(v);
+            let mut out = Vec::with_capacity(ridx.len());
+            out.extend(ridx.iter().map(|&j| {
+                if j == u32::MAX { TermId::UNBOUND } else { col[j as usize] }
+            }));
+            cols.push(out);
+        }
+        BindingTable { vars, cols, sorted_by: None, rows: lidx.len() }
+    }
+
+    /// Row indices sorted by lexicographic row comparison (column order).
+    /// Comparisons read the columns in place — no per-row materialisation.
+    pub fn sort_index(&self) -> Vec<u32> {
+        assert!(self.rows <= u32::MAX as usize, "table too large for u32 row indices");
+        let cols = self.column_slices();
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        idx.sort_unstable_by(|&a, &b| cmp_rows_at(&cols, a as usize, b as usize));
+        idx
+    }
+
+    /// Borrow every column as a slice (the shape the shared row-comparison
+    /// and kernel helpers work over).
+    pub(crate) fn column_slices(&self) -> Vec<&[TermId]> {
+        self.cols.iter().map(Vec::as_slice).collect()
+    }
+
     /// Rows as a set-like sorted vector (for order-insensitive comparison in
-    /// tests and result checking).
+    /// tests and result checking). Sorting happens on an index vector over
+    /// the columns; rows are only materialised for the returned value.
     pub fn sorted_rows(&self) -> Vec<Vec<TermId>> {
-        let mut rows: Vec<Vec<TermId>> = (0..self.len()).map(|i| self.row(i)).collect();
-        rows.sort();
-        rows
+        self.sort_index().iter().map(|&i| self.row(i as usize)).collect()
     }
 
     /// Rows projected to a variable subset, sorted (order-insensitive
@@ -158,12 +220,35 @@ impl BindingTable {
             .iter()
             .map(|&v| self.col_index(v).unwrap_or_else(|| panic!("{v} not in table")))
             .collect();
-        let mut rows: Vec<Vec<TermId>> = (0..self.len())
-            .map(|i| idx.iter().map(|&c| self.cols[c][i]).collect())
-            .collect();
-        rows.sort();
-        rows
+        assert!(self.rows <= u32::MAX as usize, "table too large for u32 row indices");
+        let cols: Vec<&[TermId]> = idx.iter().map(|&c| self.cols[c].as_slice()).collect();
+        let mut order: Vec<u32> = (0..self.rows as u32).collect();
+        order.sort_unstable_by(|&a, &b| cmp_rows_at(&cols, a as usize, b as usize));
+        order
+            .iter()
+            .map(|&i| idx.iter().map(|&c| self.cols[c][i as usize]).collect())
+            .collect()
     }
+}
+
+/// Lexicographic comparison of rows `a` and `b` over a column list — the
+/// one row comparator behind `sort_index`, `sorted_rows_for`, and the
+/// sort-based DISTINCT path.
+pub(crate) fn cmp_rows_at(cols: &[&[TermId]], a: usize, b: usize) -> std::cmp::Ordering {
+    for col in cols {
+        match col[a].cmp(&col[b]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Gather `col` values at the `sel` indices into a fresh column.
+pub(crate) fn gather_column(col: &[TermId], sel: &[u32]) -> Vec<TermId> {
+    let mut out = Vec::with_capacity(sel.len());
+    out.extend(sel.iter().map(|&i| col[i as usize]));
+    out
 }
 
 #[cfg(test)]

@@ -2,16 +2,34 @@
 //! product, filter, projection, distinct.
 //!
 //! All operators are *operator-at-a-time*: they consume and produce fully
-//! materialised [`BindingTable`]s, mirroring MonetDB's execution model.
+//! materialised [`BindingTable`]s, mirroring MonetDB's execution model —
+//! and since the vectorization rework they are also *late-materializing*:
+//! joins and selections first produce compact row-index (or index-pair)
+//! vectors, then build their output **column at a time** through the bulk
+//! gather primitives on [`BindingTable`] ([`BindingTable::gather`] /
+//! [`BindingTable::from_join_pairs`]) instead of per-value `push_row`
+//! appends. The previous row-at-a-time kernels live on in
+//! [`crate::reference`] as the benchmark baseline and differential-testing
+//! oracle.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 use hsp_rdf::{Term, TermId, TermKind};
 use hsp_sparql::{CmpOp, FilterExpr, Operand, TermOrVar, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
 
 use crate::binding::BindingTable;
+use crate::kernel::{BuildTable, FxBuildHasher};
 use crate::plan::{consts_form_prefix, scan_sort_var};
+
+/// Upper bound on input-table sizes for the `u32` row indices the
+/// vectorized kernels exchange.
+fn check_indexable(table: &BindingTable) {
+    assert!(
+        table.len() < u32::MAX as usize,
+        "binding table exceeds u32 row indexing"
+    );
+}
 
 /// Scan one ordered relation for the rows matching `pattern`'s constants.
 ///
@@ -69,13 +87,29 @@ pub fn scan(ds: &Dataset, pattern: &TriplePattern, order: Order) -> BindingTable
         }
     }
 
-    let mut cols: Vec<Vec<TermId>> = out_vars.iter().map(|_| Vec::with_capacity(rows.len())).collect();
-    for row in rows {
-        if !equalities.iter().all(|&(a, b)| row[a] == row[b]) {
-            continue;
+    let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
+    if equalities.is_empty() {
+        // Fast path (no repeated variables): bulk-gather each output column
+        // straight out of the key-coordinate rows, one column at a time.
+        for &k in &var_key_idx {
+            let mut col = Vec::with_capacity(rows.len());
+            col.extend(rows.iter().map(|row| row[k]));
+            cols.push(col);
         }
-        for (col, &k) in cols.iter_mut().zip(&var_key_idx) {
-            col.push(row[k]);
+    } else {
+        // Late materialisation: select qualifying row indices first, then
+        // gather the columns.
+        assert!(rows.len() < u32::MAX as usize, "scan range exceeds u32 row indexing");
+        let sel: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| equalities.iter().all(|&(a, b)| row[a] == row[b]))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for &k in &var_key_idx {
+            let mut col = Vec::with_capacity(sel.len());
+            col.extend(sel.iter().map(|&i| rows[i as usize][k]));
+            cols.push(col);
         }
     }
     let sorted = scan_sort_var(pattern, order);
@@ -93,7 +127,9 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
     assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
     assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
 
-    let (out_vars, right_extra, extra_shared) = join_layout(left, right, &[var]);
+    check_indexable(left);
+    check_indexable(right);
+    let (_, right_extra, extra_shared) = join_layout(left, right, &[var]);
     let lcol = left.column(var);
     let rcol = right.column(var);
     let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
@@ -101,9 +137,10 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
         .map(|&v| (left.column(v), right.column(v)))
         .collect();
 
-    let mut out = BindingTable::empty(out_vars.clone());
+    // Phase 1: emit compact (left_row, right_row) index pairs.
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
     while i < lcol.len() && j < rcol.len() {
         let (a, b) = (lcol[i], rcol[j]);
         if a < b {
@@ -114,25 +151,32 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
             // Equal-key groups: cross-combine.
             let i_end = i + lcol[i..].partition_point(|&x| x == a);
             let j_end = j + rcol[j..].partition_point(|&x| x == a);
-            for li in i..i_end {
-                for rj in j..j_end {
-                    if !extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
-                        continue;
+            if extra_pairs.is_empty() {
+                lidx.reserve((i_end - i) * (j_end - j));
+                ridx.reserve((i_end - i) * (j_end - j));
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        lidx.push(li as u32);
+                        ridx.push(rj as u32);
                     }
-                    row_buf.clear();
-                    for &v in left.vars() {
-                        row_buf.push(left.value(v, li));
+                }
+            } else {
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        if extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
+                            lidx.push(li as u32);
+                            ridx.push(rj as u32);
+                        }
                     }
-                    for &v in &right_extra {
-                        row_buf.push(right.value(v, rj));
-                    }
-                    out.push_row(&row_buf);
                 }
             }
             i = i_end;
             j = j_end;
         }
     }
+
+    // Phase 2: gather the output column at a time.
+    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
     out.set_sorted_by(Some(var));
     out
 }
@@ -142,6 +186,13 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
 /// the cost model's convention) — and probes with `left`, so the output
 /// preserves the left side's ordering.
 ///
+/// The build side is an Fx-hashed flat table over packed `u64` keys for
+/// one- and two-variable joins (the dominant case), falling back to a
+/// CSR-style bucket directory verified against the key columns for wider
+/// keys — no per-probe key allocation either way (see
+/// [`crate::kernel::BuildTable`]). Matching index pairs are gathered
+/// column-at-a-time.
+///
 /// # Panics
 /// Panics if `vars` is empty or not shared by both inputs.
 pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> BindingTable {
@@ -150,39 +201,32 @@ pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> Bin
         assert!(left.vars().contains(&v), "hash join var {v} missing from left");
         assert!(right.vars().contains(&v), "hash join var {v} missing from right");
     }
-    let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
+    check_indexable(left);
+    check_indexable(right);
+    let (_, right_extra, extra_shared) = join_layout(left, right, vars);
 
     // Build on the right.
-    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
-    for j in 0..right.len() {
-        let key: Vec<TermId> = vars.iter().map(|&v| right.value(v, j)).collect();
-        table.entry(key).or_default().push(j);
+    let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| right.column(v)).collect();
+    let probe_cols: Vec<&[TermId]> = vars.iter().map(|&v| left.column(v)).collect();
+    let table = BuildTable::build(&build_cols, right.len());
+    let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
+        .iter()
+        .map(|&v| (left.column(v), right.column(v)))
+        .collect();
+
+    // Probe, emitting index pairs.
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
+    for i in 0..left.len() {
+        table.probe(&build_cols, &probe_cols, i, |j| {
+            if extra_pairs.iter().all(|(lc, rc)| lc[i] == rc[j]) {
+                lidx.push(i as u32);
+                ridx.push(j as u32);
+            }
+        });
     }
 
-    let mut out = BindingTable::empty(out_vars.clone());
-    let mut key_buf: Vec<TermId> = Vec::with_capacity(vars.len());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
-    for i in 0..left.len() {
-        key_buf.clear();
-        key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
-        let Some(matches) = table.get(key_buf.as_slice()) else { continue };
-        for &j in matches {
-            if !extra_shared
-                .iter()
-                .all(|&v| left.value(v, i) == right.value(v, j))
-            {
-                continue;
-            }
-            row_buf.clear();
-            for &v in left.vars() {
-                row_buf.push(left.value(v, i));
-            }
-            for &v in &right_extra {
-                row_buf.push(right.value(v, j));
-            }
-            out.push_row(&row_buf);
-        }
-    }
+    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
     // Probe order is preserved, so the left ordering survives.
     out.set_sorted_by(left.sorted_by());
     out
@@ -203,20 +247,30 @@ pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable 
 
     let mut out_vars = left.vars().to_vec();
     out_vars.extend_from_slice(right.vars());
-    let mut out = BindingTable::empty(out_vars.clone());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
-    for i in 0..left.len() {
-        for j in 0..right.len() {
-            row_buf.clear();
-            for &v in left.vars() {
-                row_buf.push(left.value(v, i));
-            }
-            for &v in right.vars() {
-                row_buf.push(right.value(v, j));
-            }
-            out.push_row(&row_buf);
-        }
+    let rows = left.len() * right.len();
+    if out_vars.is_empty() {
+        // Two unit tables: the product is a unit table with the row product.
+        return BindingTable::unit(rows);
     }
+
+    // Pure bulk copies: each left column repeats every value `right.len()`
+    // times; each right column is tiled `left.len()` times.
+    let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
+    for col in left.columns() {
+        let mut out = Vec::with_capacity(rows);
+        for &v in col {
+            out.extend(std::iter::repeat_n(v, right.len()));
+        }
+        cols.push(out);
+    }
+    for col in right.columns() {
+        let mut out = Vec::with_capacity(rows);
+        for _ in 0..left.len() {
+            out.extend_from_slice(col);
+        }
+        cols.push(out);
+    }
+    let mut out = BindingTable::from_columns(out_vars, cols, None);
     if !right.is_empty() {
         out.set_sorted_by(left.sorted_by());
     }
@@ -228,15 +282,13 @@ pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable 
 /// # Panics
 /// Panics if `var` is not a variable of the table.
 pub fn sort_by(input: &BindingTable, var: Var) -> BindingTable {
+    check_indexable(input);
     let key = input.column(var);
-    let mut index: Vec<usize> = (0..input.len()).collect();
-    index.sort_by_key(|&i| key[i]);
-    let cols: Vec<Vec<TermId>> = input
-        .columns()
-        .iter()
-        .map(|col| index.iter().map(|&i| col[i]).collect())
-        .collect();
-    BindingTable::from_columns(input.vars().to_vec(), cols, Some(var))
+    let mut index: Vec<u32> = (0..input.len() as u32).collect();
+    index.sort_by_key(|&i| key[i as usize]); // stable
+    let mut out = input.gather(&index);
+    out.set_sorted_by(Some(var));
+    out
 }
 
 /// Left-outer hash join on `vars` (the OPTIONAL operator of the engine's
@@ -255,49 +307,38 @@ pub fn left_outer_hash_join(
         assert!(left.vars().contains(&v), "outer join var {v} missing from left");
         assert!(right.vars().contains(&v), "outer join var {v} missing from right");
     }
-    let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
+    check_indexable(left);
+    check_indexable(right);
+    let (_, right_extra, extra_shared) = join_layout(left, right, vars);
 
-    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
-    for j in 0..right.len() {
-        let key: Vec<TermId> = vars.iter().map(|&v| right.value(v, j)).collect();
-        table.entry(key).or_default().push(j);
-    }
+    let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| right.column(v)).collect();
+    let probe_cols: Vec<&[TermId]> = vars.iter().map(|&v| left.column(v)).collect();
+    let table = BuildTable::build(&build_cols, right.len());
+    let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
+        .iter()
+        .map(|&v| (left.column(v), right.column(v)))
+        .collect();
 
-    let mut out = BindingTable::empty(out_vars.clone());
-    let mut key_buf: Vec<TermId> = Vec::with_capacity(vars.len());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    // Index pairs; an unmatched left row pairs with the `u32::MAX` sentinel,
+    // which the gather turns into UNBOUND padding.
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
     for i in 0..left.len() {
-        key_buf.clear();
-        key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
         let mut matched = false;
-        if let Some(matches) = table.get(key_buf.as_slice()) {
-            for &j in matches {
-                if !extra_shared
-                    .iter()
-                    .all(|&v| left.value(v, i) == right.value(v, j))
-                {
-                    continue;
-                }
+        table.probe(&build_cols, &probe_cols, i, |j| {
+            if extra_pairs.iter().all(|(lc, rc)| lc[i] == rc[j]) {
                 matched = true;
-                row_buf.clear();
-                for &v in left.vars() {
-                    row_buf.push(left.value(v, i));
-                }
-                for &v in &right_extra {
-                    row_buf.push(right.value(v, j));
-                }
-                out.push_row(&row_buf);
+                lidx.push(i as u32);
+                ridx.push(j as u32);
             }
-        }
+        });
         if !matched {
-            row_buf.clear();
-            for &v in left.vars() {
-                row_buf.push(left.value(v, i));
-            }
-            row_buf.extend(right_extra.iter().map(|_| TermId::UNBOUND));
-            out.push_row(&row_buf);
+            lidx.push(i as u32);
+            ridx.push(u32::MAX);
         }
     }
+
+    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
     out.set_sorted_by(None); // UNBOUND sentinels may break the left order
     out
 }
@@ -312,22 +353,24 @@ pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
             out_vars.push(v);
         }
     }
-    let mut out = BindingTable::empty(out_vars.clone());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
-    for side in [a, b] {
-        for i in 0..side.len() {
-            row_buf.clear();
-            for &v in &out_vars {
-                row_buf.push(if side.vars().contains(&v) {
-                    side.value(v, i)
-                } else {
-                    TermId::UNBOUND
-                });
-            }
-            out.push_row(&row_buf);
-        }
+    let rows = a.len() + b.len();
+    if out_vars.is_empty() {
+        return BindingTable::unit(rows);
     }
-    out
+    // Column at a time: each branch contributes either a bulk column copy
+    // or a run of UNBOUND padding.
+    let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
+    for &v in &out_vars {
+        let mut col = Vec::with_capacity(rows);
+        for side in [a, b] {
+            match side.col_index(v) {
+                Some(c) => col.extend_from_slice(&side.columns()[c]),
+                None => col.extend(std::iter::repeat_n(TermId::UNBOUND, side.len())),
+            }
+        }
+        cols.push(col);
+    }
+    BindingTable::from_columns(out_vars, cols, None)
 }
 
 /// Evaluate a residual FILTER, keeping the rows satisfying `expr`.
@@ -338,18 +381,13 @@ pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
 /// [`Evaluator`](hsp_sparql::Evaluator) (and hence one compiled-regex
 /// cache) across all rows.
 pub fn filter(ds: &Dataset, input: &BindingTable, expr: &FilterExpr) -> BindingTable {
+    check_indexable(input);
     let evaluator = hsp_sparql::Evaluator::new();
-    let mut out = BindingTable::empty(input.vars().to_vec());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
-    for i in 0..input.len() {
-        if eval_expr(ds, input, expr, i, &evaluator) {
-            row_buf.clear();
-            for &v in input.vars() {
-                row_buf.push(input.value(v, i));
-            }
-            out.push_row(&row_buf);
-        }
-    }
+    let sel: Vec<u32> = (0..input.len())
+        .filter(|&i| eval_expr(ds, input, expr, i, &evaluator))
+        .map(|i| i as u32)
+        .collect();
+    let mut out = input.gather(&sel);
     out.set_sorted_by(input.sorted_by());
     out
 }
@@ -371,21 +409,16 @@ pub fn domain_filter(
     if constrained.is_empty() {
         return input.clone();
     }
-    let mut out = BindingTable::empty(input.vars().to_vec());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
-    for i in 0..input.len() {
-        if !constrained
-            .iter()
-            .all(|&(c, set)| set.contains(&input.columns()[c][i]))
-        {
-            continue;
-        }
-        row_buf.clear();
-        for col in input.columns() {
-            row_buf.push(col[i]);
-        }
-        out.push_row(&row_buf);
-    }
+    check_indexable(input);
+    let sel: Vec<u32> = (0..input.len())
+        .filter(|&i| {
+            constrained
+                .iter()
+                .all(|&(c, set)| set.contains(&input.columns()[c][i]))
+        })
+        .map(|i| i as u32)
+        .collect();
+    let mut out = input.gather(&sel);
     out.set_sorted_by(input.sorted_by());
     out
 }
@@ -397,6 +430,7 @@ pub fn domain_filter(
 /// in some rows.
 pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]) -> BindingTable {
     use hsp_sparql::expr::compare_for_order;
+    check_indexable(input);
     let evaluator = hsp_sparql::Evaluator::new();
 
     // Evaluate every key for every row once (decorate-sort-undecorate).
@@ -421,19 +455,10 @@ pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]
         std::cmp::Ordering::Equal // stable sort keeps input order
     });
 
-    let mut out = BindingTable::empty(input.vars().to_vec());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
-    for (i, _) in decorated {
-        row_buf.clear();
-        for col in input.columns() {
-            row_buf.push(col[i]);
-        }
-        out.push_row(&row_buf);
-    }
+    let sel: Vec<u32> = decorated.iter().map(|&(i, _)| i as u32).collect();
     // The ORDER BY value order is not the TermId order merge joins need,
-    // so the output advertises no sortedness.
-    out.set_sorted_by(None);
-    out
+    // so the gathered output's default of no sortedness is correct.
+    input.gather(&sel)
 }
 
 /// `OFFSET`/`LIMIT`: keep `limit` rows starting at `offset`.
@@ -443,15 +468,12 @@ pub fn slice(input: &BindingTable, offset: usize, limit: Option<usize>) -> Bindi
         Some(n) => (start + n).min(input.len()),
         None => input.len(),
     };
-    let mut out = BindingTable::empty(input.vars().to_vec());
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(input.vars().len());
-    for i in start..end {
-        row_buf.clear();
-        for col in input.columns() {
-            row_buf.push(col[i]);
-        }
-        out.push_row(&row_buf);
+    if input.vars().is_empty() {
+        return BindingTable::unit(end - start);
     }
+    // A slice is a contiguous bulk copy per column.
+    let cols: Vec<Vec<TermId>> = input.columns().iter().map(|c| c[start..end].to_vec()).collect();
+    let mut out = BindingTable::from_columns(input.vars().to_vec(), cols, None);
     out.set_sorted_by(input.sorted_by());
     out
 }
@@ -471,33 +493,81 @@ pub fn project(input: &BindingTable, projection: &[(String, Var)], distinct: boo
             out_vars.push(v);
         }
     }
-    let src: Vec<usize> = out_vars
+    let src: Vec<&[TermId]> = out_vars
         .iter()
-        .map(|&v| input.col_index(v).expect("validated projection"))
+        .map(|&v| {
+            input.col_index(v).map(|c| input.columns()[c].as_slice()).expect("validated projection")
+        })
         .collect();
 
-    let mut out = BindingTable::empty(out_vars.clone());
-    let mut seen: std::collections::HashSet<Vec<TermId>> = std::collections::HashSet::new();
-    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
-    for i in 0..input.len() {
-        row_buf.clear();
-        row_buf.extend(src.iter().map(|&c| input.columns()[c][i]));
-        if distinct && !seen.insert(row_buf.clone()) {
-            continue;
-        }
-        out.push_row(&row_buf);
-    }
+    let cols: Vec<Vec<TermId>> = if !distinct {
+        // Plain projection is a bulk column copy.
+        src.iter().map(|c| c.to_vec()).collect()
+    } else {
+        check_indexable(input);
+        let sel = distinct_first_occurrences(&src, input.len());
+        src.iter().map(|c| crate::binding::gather_column(c, &sel)).collect()
+    };
     let keep_sort = input
         .sorted_by()
         .filter(|v| out_vars.contains(v));
-    out.set_sorted_by(keep_sort);
-    out
+    BindingTable::from_columns(out_vars, cols, keep_sort)
+}
+
+/// Row indices of the first occurrence of each distinct row of the given
+/// columns, ascending — the selection vector of `project(distinct = true)`.
+///
+/// Rows of one or two columns deduplicate through a packed-`u64` Fx hash
+/// set; wider rows go through a sort index and keep each equal group's
+/// smallest original index — neither path allocates per row.
+fn distinct_first_occurrences(cols: &[&[TermId]], rows: usize) -> Vec<u32> {
+    let mut sel: Vec<u32> = Vec::new();
+    match cols {
+        [] => unreachable!("zero-column projection handled by the unit path"),
+        [a] => {
+            let mut seen: HashSet<u64, FxBuildHasher> = HashSet::default();
+            for i in 0..rows {
+                if seen.insert(crate::kernel::pack2(a[i], TermId(0))) {
+                    sel.push(i as u32);
+                }
+            }
+        }
+        [a, b] => {
+            let mut seen: HashSet<u64, FxBuildHasher> = HashSet::default();
+            for i in 0..rows {
+                if seen.insert(crate::kernel::pack2(a[i], b[i])) {
+                    sel.push(i as u32);
+                }
+            }
+        }
+        _ => {
+            let mut order: Vec<u32> = (0..rows as u32).collect();
+            order.sort_unstable_by(|&x, &y| {
+                crate::binding::cmp_rows_at(cols, x as usize, y as usize)
+            });
+            let mut k = 0;
+            while k < order.len() {
+                let mut end = k + 1;
+                while end < order.len()
+                    && cols
+                        .iter()
+                        .all(|c| c[order[end] as usize] == c[order[k] as usize])
+                {
+                    end += 1;
+                }
+                sel.push(*order[k..end].iter().min().expect("nonempty group"));
+                k = end;
+            }
+            sel.sort_unstable();
+        }
+    }
+    sel
 }
 
 /// Shared layout computation for joins: output variables, the right-side
 /// extra (non-shared) variables, and the shared variables *not* already used
 /// as join keys (checked pairwise).
-fn join_layout(
+pub(crate) fn join_layout(
     left: &BindingTable,
     right: &BindingTable,
     join_vars: &[Var],

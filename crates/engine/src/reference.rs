@@ -1,0 +1,184 @@
+//! The scalar, row-at-a-time join kernels the engine shipped with before
+//! the vectorized rework, plus a naive nested-loop join.
+//!
+//! These are kept as the **differential-testing oracle** (the property
+//! tests assert the vectorized kernels in [`crate::ops`] produce identical
+//! row-sets) and as the **baseline side of the kernel benchmarks**
+//! (`benches/operators.rs` reports vectorized speedup against them). They
+//! are correct and simple, but they pay a per-value `col_index` lookup in
+//! `value()`, a per-probe `Vec<TermId>` key allocation, and a per-row
+//! `push_row`; do not use them on hot paths.
+
+use std::collections::HashMap;
+
+use hsp_rdf::TermId;
+use hsp_sparql::Var;
+
+use crate::binding::BindingTable;
+use crate::ops::join_layout;
+
+/// Row-at-a-time sort-merge join on `var` (the pre-vectorization kernel).
+///
+/// # Panics
+/// Panics if an input is not sorted by `var`.
+pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> BindingTable {
+    assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
+    assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
+
+    let (out_vars, right_extra, extra_shared) = join_layout(left, right, &[var]);
+    let lcol = left.column(var);
+    let rcol = right.column(var);
+    let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
+        .iter()
+        .map(|&v| (left.column(v), right.column(v)))
+        .collect();
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    while i < lcol.len() && j < rcol.len() {
+        let (a, b) = (lcol[i], rcol[j]);
+        if a < b {
+            i += 1;
+        } else if b < a {
+            j += 1;
+        } else {
+            let i_end = i + lcol[i..].partition_point(|&x| x == a);
+            let j_end = j + rcol[j..].partition_point(|&x| x == a);
+            for li in i..i_end {
+                for rj in j..j_end {
+                    if !extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
+                        continue;
+                    }
+                    row_buf.clear();
+                    for &v in left.vars() {
+                        row_buf.push(left.value(v, li));
+                    }
+                    for &v in &right_extra {
+                        row_buf.push(right.value(v, rj));
+                    }
+                    out.push_row(&row_buf);
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out.set_sorted_by(Some(var));
+    out
+}
+
+/// Row-at-a-time hash join on `vars` over a SipHash `HashMap` keyed by
+/// per-row `Vec<TermId>` keys (the pre-vectorization kernel).
+///
+/// # Panics
+/// Panics if `vars` is empty or not shared by both inputs.
+pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> BindingTable {
+    assert!(!vars.is_empty(), "hash join needs at least one variable");
+    for &v in vars {
+        assert!(left.vars().contains(&v), "hash join var {v} missing from left");
+        assert!(right.vars().contains(&v), "hash join var {v} missing from right");
+    }
+    let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
+
+    let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+    for j in 0..right.len() {
+        let key: Vec<TermId> = vars.iter().map(|&v| right.value(v, j)).collect();
+        table.entry(key).or_default().push(j);
+    }
+
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut key_buf: Vec<TermId> = Vec::with_capacity(vars.len());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..left.len() {
+        key_buf.clear();
+        key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
+        let Some(matches) = table.get(key_buf.as_slice()) else { continue };
+        for &j in matches {
+            if !extra_shared
+                .iter()
+                .all(|&v| left.value(v, i) == right.value(v, j))
+            {
+                continue;
+            }
+            row_buf.clear();
+            for &v in left.vars() {
+                row_buf.push(left.value(v, i));
+            }
+            for &v in &right_extra {
+                row_buf.push(right.value(v, j));
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    out.set_sorted_by(left.sorted_by());
+    out
+}
+
+/// Row-at-a-time Cartesian product (the pre-vectorization kernel).
+///
+/// # Panics
+/// Panics if the inputs share a variable.
+pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable {
+    let shared: Vec<Var> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.vars().contains(v))
+        .collect();
+    assert!(shared.is_empty(), "cross product inputs share {shared:?}");
+
+    let mut out_vars = left.vars().to_vec();
+    out_vars.extend_from_slice(right.vars());
+    let mut out = BindingTable::empty(out_vars.clone());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out_vars.len());
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            row_buf.clear();
+            for &v in left.vars() {
+                row_buf.push(left.value(v, i));
+            }
+            for &v in right.vars() {
+                row_buf.push(right.value(v, j));
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    if !right.is_empty() {
+        out.set_sorted_by(left.sorted_by());
+    }
+    out
+}
+
+/// Nested-loop inner join on **all** shared variables — the simplest
+/// possible oracle: for every `(left row, right row)` pair, emit the
+/// combined row iff the shared variables agree. Output rows come back as a
+/// sorted row-set over `left.vars() ++ right-only vars`, ready to compare
+/// with `sorted_rows()` of any join kernel's output.
+pub fn nested_loop_join_rows(left: &BindingTable, right: &BindingTable) -> Vec<Vec<TermId>> {
+    let shared: Vec<Var> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.vars().contains(v))
+        .collect();
+    let right_extra: Vec<Var> = right
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| !left.vars().contains(v))
+        .collect();
+    let mut rows = Vec::new();
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            if !shared.iter().all(|&v| left.value(v, i) == right.value(v, j)) {
+                continue;
+            }
+            let mut row: Vec<TermId> = left.vars().iter().map(|&v| left.value(v, i)).collect();
+            row.extend(right_extra.iter().map(|&v| right.value(v, j)));
+            rows.push(row);
+        }
+    }
+    rows.sort();
+    rows
+}

@@ -1,8 +1,12 @@
 //! Property tests for the join operators: merge join, hash join and the
-//! left-outer join agree with a nested-loop reference on random inputs.
+//! left-outer join agree with a nested-loop reference on random inputs —
+//! including the vectorized kernels against the retired row-at-a-time
+//! kernels ([`hsp_engine::reference`]) on repeated-variable (extra shared
+//! column), multi-variable-key (packed and CSR layouts), and zero-column
+//! (unit) inputs.
 
 use hsp_engine::binding::BindingTable;
-use hsp_engine::ops;
+use hsp_engine::{ops, reference};
 use hsp_rdf::TermId;
 use hsp_sparql::Var;
 use proptest::prelude::*;
@@ -161,6 +165,28 @@ proptest! {
         prop_assert_eq!(decoded, expected);
     }
 
+    /// Vectorized merge/hash join ≡ the row-at-a-time kernels on every
+    /// random input (bit-identical sorted row-sets and metadata).
+    #[test]
+    fn vectorized_kernels_match_rowwise_kernels(left in arb_table(1), right in arb_table(2)) {
+        let hj_new = ops::hash_join(&left, &right, &[Var(0)]);
+        let hj_old = reference::hash_join(&left, &right, &[Var(0)]);
+        prop_assert_eq!(hj_new.vars(), hj_old.vars());
+        prop_assert_eq!(hj_new.sorted_rows(), hj_old.sorted_rows());
+        prop_assert_eq!(hj_new.sorted_by(), hj_old.sorted_by());
+
+        let mj_new = ops::merge_join(&left, &right, Var(0));
+        let mj_old = reference::merge_join(&left, &right, Var(0));
+        prop_assert_eq!(mj_new.sorted_rows(), mj_old.sorted_rows());
+        prop_assert_eq!(mj_new.sorted_by(), mj_old.sorted_by());
+
+        let cp_l = ops::project(&left, &[("p".into(), Var(1))], false);
+        let cp_r = ops::project(&right, &[("q".into(), Var(2))], false);
+        let cp_new = ops::cross_product(&cp_l, &cp_r);
+        let cp_old = reference::cross_product(&cp_l, &cp_r);
+        prop_assert_eq!(cp_new.sorted_rows(), cp_old.sorted_rows());
+    }
+
     /// domain_filter ≡ retain-if-in-set, preserving order.
     #[test]
     fn domain_filter_matches_retain(
@@ -181,5 +207,160 @@ proptest! {
         let got: Vec<Vec<TermId>> = (0..filtered.len()).map(|i| filtered.row(i)).collect();
         prop_assert_eq!(got, expected);
         prop_assert!(filtered.check_sortedness());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized-kernel coverage: extra shared columns, multi-variable keys
+// (packed u64 and CSR bucket layouts), and zero-column (unit) tables.
+// ---------------------------------------------------------------------------
+
+/// A random table over `(?0, ?1, ?payload)` where ?0 and ?1 draw from tiny
+/// domains (lots of key collisions) and the payload is unique-ish.
+fn arb_shared_table(payload_var: u32) -> impl Strategy<Value = BindingTable> {
+    proptest::collection::vec((0u32..4, 0u32..4, 0u32..40), 0..30).prop_map(move |rows| {
+        let c0: Vec<TermId> = rows.iter().map(|&(a, _, _)| TermId(a)).collect();
+        let c1: Vec<TermId> = rows.iter().map(|&(_, b, _)| TermId(10 + b)).collect();
+        let cp: Vec<TermId> = rows.iter().map(|&(_, _, p)| TermId(100 * payload_var + p)).collect();
+        BindingTable::from_columns(
+            vec![Var(0), Var(1), Var(payload_var)],
+            vec![c0, c1, cp],
+            None,
+        )
+    })
+}
+
+/// A random table over `(?0, ?1, ?2, ?payload)` — three shared key columns,
+/// which pushes the hash join into the CSR (wide-key) layout.
+fn arb_wide_table(payload_var: u32) -> impl Strategy<Value = BindingTable> {
+    proptest::collection::vec((0u32..3, 0u32..3, 0u32..3, 0u32..40), 0..25).prop_map(move |rows| {
+        let c0: Vec<TermId> = rows.iter().map(|&(a, _, _, _)| TermId(a)).collect();
+        let c1: Vec<TermId> = rows.iter().map(|&(_, b, _, _)| TermId(10 + b)).collect();
+        let c2: Vec<TermId> = rows.iter().map(|&(_, _, c, _)| TermId(20 + c)).collect();
+        let cp: Vec<TermId> = rows.iter().map(|&(_, _, _, p)| TermId(100 * payload_var + p)).collect();
+        BindingTable::from_columns(
+            vec![Var(0), Var(1), Var(2), Var(payload_var)],
+            vec![c0, c1, c2, cp],
+            None,
+        )
+    })
+}
+
+proptest! {
+    /// Hash join on ?0 with ?1 as an extra shared (repeated) variable ≡ the
+    /// nested-loop join on all shared variables, ≡ the two-variable-key
+    /// (packed u64) hash join on {?0, ?1}.
+    #[test]
+    fn extra_shared_and_packed_keys_agree_with_nested_loop(
+        left in arb_shared_table(5),
+        right in arb_shared_table(6),
+    ) {
+        let oracle = reference::nested_loop_join_rows(&left, &right);
+        let out_vars = [Var(0), Var(1), Var(5), Var(6)];
+
+        let one_key = ops::hash_join(&left, &right, &[Var(0)]);
+        prop_assert_eq!(one_key.sorted_rows_for(&out_vars), oracle.clone());
+
+        let packed_two = ops::hash_join(&left, &right, &[Var(0), Var(1)]);
+        prop_assert_eq!(packed_two.sorted_rows_for(&out_vars), oracle.clone());
+
+        let rowwise = reference::hash_join(&left, &right, &[Var(0)]);
+        prop_assert_eq!(one_key.sorted_rows(), rowwise.sorted_rows());
+
+        // Sorting both sides turns the same join into a merge join.
+        let ls = ops::sort_by(&left, Var(0));
+        let rs = ops::sort_by(&right, Var(0));
+        let mj = ops::merge_join(&ls, &rs, Var(0));
+        prop_assert_eq!(mj.sorted_rows_for(&out_vars), oracle);
+        prop_assert!(mj.check_sortedness());
+    }
+
+    /// Three-variable join keys (the CSR wide layout) ≡ nested loop.
+    #[test]
+    fn wide_csr_keys_agree_with_nested_loop(
+        left in arb_wide_table(5),
+        right in arb_wide_table(6),
+    ) {
+        let oracle = reference::nested_loop_join_rows(&left, &right);
+        let wide = ops::hash_join(&left, &right, &[Var(0), Var(1), Var(2)]);
+        prop_assert_eq!(wide.sorted_rows_for(&[Var(0), Var(1), Var(2), Var(5), Var(6)]), oracle);
+    }
+
+    /// Left-outer join with an extra shared column: inner rows match the
+    /// nested loop; every unmatched left row survives with UNBOUND padding.
+    #[test]
+    fn outer_join_with_extra_shared_pads_unmatched(
+        left in arb_shared_table(5),
+        right in arb_shared_table(6),
+    ) {
+        let inner = reference::nested_loop_join_rows(&left, &right);
+        let outer = ops::left_outer_hash_join(&left, &right, &[Var(0)]);
+        let matched: std::collections::HashSet<(TermId, TermId, TermId)> = inner
+            .iter()
+            .map(|r| (r[0], r[1], r[2]))
+            .collect();
+        let unmatched = (0..left.len())
+            .filter(|&i| {
+                !matched.contains(&(
+                    left.value(Var(0), i),
+                    left.value(Var(1), i),
+                    left.value(Var(5), i),
+                ))
+            })
+            .count();
+        prop_assert_eq!(outer.len(), inner.len() + unmatched);
+        let padded = (0..outer.len())
+            .filter(|&i| outer.value(Var(6), i).is_unbound())
+            .count();
+        prop_assert_eq!(padded, unmatched);
+    }
+
+    /// Zero-column (unit) tables flow through cross product, slice, and
+    /// empty projection with exact row counts.
+    #[test]
+    fn unit_tables_flow_through_operators(
+        table in arb_shared_table(5),
+        unit_rows in 0usize..4,
+        offset in 0usize..5,
+    ) {
+        let unit = BindingTable::unit(unit_rows);
+        let x = ops::cross_product(&unit, &table);
+        prop_assert_eq!(x.len(), unit_rows * table.len());
+        prop_assert_eq!(x.vars(), table.vars());
+
+        let both = ops::cross_product(&unit, &BindingTable::unit(3));
+        prop_assert_eq!(both.len(), unit_rows * 3);
+        prop_assert!(both.vars().is_empty());
+
+        let sliced = ops::slice(&unit, offset, Some(2));
+        prop_assert_eq!(sliced.len(), unit_rows.saturating_sub(offset).min(2));
+        prop_assert!(sliced.vars().is_empty());
+
+        let ask = ops::project(&table, &[], true);
+        prop_assert_eq!(ask.len(), table.len().min(1));
+    }
+
+    /// DISTINCT projection over three columns (the sort-index dedup path)
+    /// keeps exactly the first occurrence of each distinct row, in order.
+    #[test]
+    fn distinct_three_columns_keeps_first_occurrences(table in arb_shared_table(5)) {
+        let projection = vec![
+            ("a".to_string(), Var(0)),
+            ("b".to_string(), Var(1)),
+            ("c".to_string(), Var(5)),
+        ];
+        let got = ops::project(&table, &projection, true);
+        // Oracle: row-at-a-time first-occurrence dedup.
+        let mut seen = std::collections::HashSet::new();
+        let mut expected: Vec<Vec<TermId>> = Vec::new();
+        for i in 0..table.len() {
+            let row = table.row(i);
+            if seen.insert(row.clone()) {
+                expected.push(row);
+            }
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        let got_rows: Vec<Vec<TermId>> = (0..got.len()).map(|i| got.row(i)).collect();
+        prop_assert_eq!(got_rows, expected);
     }
 }

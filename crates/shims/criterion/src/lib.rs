@@ -1,0 +1,366 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! This workspace must build with **no network access**, so benchmarks run
+//! against a small wall-clock harness implementing the criterion API subset
+//! they use: `Criterion` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up for `warm_up_time`, then
+//! `sample_size` samples are taken; each sample runs enough iterations to
+//! fill `measurement_time / sample_size` and records the mean per-iteration
+//! time. The report prints the median sample with min/max spread —
+//! deliberately simple, but stable enough to compare kernels before/after
+//! an optimisation on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup (ignored: setup is always run
+/// per-batch, outside the timed section).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `group_or_function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (used when the group name already identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling duration target.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.clone(), id.into_id(), None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.clone();
+        BenchmarkGroup { _parent: self, name: name.into(), config, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(self.config.clone(), label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(self.config.clone(), label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark measurement driver handed to benchmark closures.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    sample_time: Duration,
+}
+
+enum BenchMode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    /// Measure `f` (called in a loop; its return value is black-boxed).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::WarmUp => {
+                let start = Instant::now();
+                while start.elapsed() < self.warm_up_time {
+                    black_box(f());
+                }
+            }
+            BenchMode::Measure => {
+                // Calibrate iterations per sample from a single run.
+                let start = Instant::now();
+                black_box(f());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let iters = (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            BenchMode::WarmUp => {
+                let start = Instant::now();
+                while start.elapsed() < self.warm_up_time {
+                    let input = setup();
+                    black_box(routine(input));
+                }
+            }
+            BenchMode::Measure => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let iters = (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 16) as u64;
+                for _ in 0..self.sample_size {
+                    let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: Criterion, label: String, throughput: Option<Throughput>, mut f: F) {
+    let sample_time = config
+        .measurement_time
+        .div_f64(config.sample_size as f64)
+        .max(Duration::from_micros(200));
+    let mut bencher = Bencher {
+        mode: BenchMode::WarmUp,
+        samples: Vec::new(),
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        sample_time,
+    };
+    f(&mut bencher);
+    bencher.mode = BenchMode::Measure;
+    f(&mut bencher);
+
+    let mut samples = std::mem::take(&mut bencher.samples);
+    if samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (median / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (median / 1e9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<50} time: [{} {} {}]{rate}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the
+            // wall-clock harness has no options, so they are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

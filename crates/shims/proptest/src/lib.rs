@@ -1,0 +1,912 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace must build with **no network access**, so the property
+//! tests run against a minimal generate-only reimplementation of the
+//! proptest API subset they use: [`Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map` / `prop_recursive`,
+//! range and tuple strategies, [`collection::vec`] / [`collection::hash_set`],
+//! [`string::string_regex`] (and `&str` literals as regex strategies),
+//! [`sample::select`], `Just`, `any`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//! * **No shrinking** — a failing case reports its inputs (via `Debug` in
+//!   the assertion message) and the deterministic case number instead.
+//! * **Deterministic RNG** — seeded from the test name, so failures
+//!   reproduce exactly across runs and machines.
+//! * Regex string generation supports the subset actually used: character
+//!   classes (with ranges and `\n`/`\t`/`\\` escapes), literals, and
+//!   `{m,n}` repetition.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xoshiro256++ generator for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `name` — typically
+    /// the test function's name, so each test has its own reproducible
+    /// stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy trait
+// ---------------------------------------------------------------------------
+
+/// A value generator. Unlike the real proptest, strategies here are pure
+/// generators: no value trees, no shrinking.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy it
+    /// selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Filter and map in one step (bounded retries on `None`).
+    fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Value) -> Option<U> + Clone,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    /// Recursive strategies: `self` is the leaf; `f` builds one extra level
+    /// from the strategy for the level below. `depth` bounds nesting;
+    /// `_desired_size` and `_expected_branch` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.clone().boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so generation terminates.
+            let deeper = f(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (cheaply clonable).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator types
+// ---------------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U + Clone> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + Clone> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool + Clone> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U> + Clone> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..1000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.reason);
+    }
+}
+
+/// A weighted union of boxed strategies — what `prop_oneof!` builds.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, `any`, string literals
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types `any::<T>()` can generate.
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// All values of `T` (uniform over the supported primitive types).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// String literals are regex strategies, as in the real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::RegexString::parse(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {}", e.0))
+            .generate_string(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! `Vec` and `HashSet` strategies.
+
+    use super::*;
+
+    /// A collection-size specification: a fixed size or a half-open range.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.index(self.hi - self.lo)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::new();
+            // The element domain may be smaller than the target; bound the
+            // attempts and accept a smaller set (the real crate rejects the
+            // whole case instead — fine for the properties tested here).
+            for _ in 0..target.saturating_mul(20).max(32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A hash set of (up to) `size` elements from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy { element, size: size.into() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Samples
+// ---------------------------------------------------------------------------
+
+pub mod sample {
+    //! Sampling from explicit option lists.
+
+    use super::*;
+
+    /// Strategy choosing uniformly among fixed options.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.index(self.0.len())].clone()
+        }
+    }
+
+    /// Choose uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+pub mod string {
+    //! String generation from a regex subset: literals, character classes
+    //! (ranges, `\n`/`\t`/`\r`/`\\` escapes), and `{m,n}` / `{n}` repetition.
+
+    use super::*;
+
+    /// Parse failure for [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>), // inclusive ranges
+    }
+
+    /// A compiled regex-subset string generator.
+    #[derive(Debug, Clone)]
+    pub struct RegexString {
+        atoms: Vec<(Atom, usize, usize)>, // atom, min, max (inclusive)
+    }
+
+    impl RegexString {
+        /// Compile `pattern` (the supported subset).
+        pub fn parse(pattern: &str) -> Result<RegexString, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0;
+            let mut atoms = Vec::new();
+            while i < chars.len() {
+                let atom = match chars[i] {
+                    '[' => {
+                        i += 1;
+                        let mut ranges = Vec::new();
+                        if chars.get(i) == Some(&'^') {
+                            return Err(Error("negated classes unsupported".into()));
+                        }
+                        while i < chars.len() && chars[i] != ']' {
+                            let lo = if chars[i] == '\\' {
+                                i += 1;
+                                escaped(chars.get(i).copied().ok_or_else(eof)?)?
+                            } else {
+                                chars[i]
+                            };
+                            // A `-` between two class members forms a range;
+                            // at the end of the class it is literal.
+                            if chars.get(i + 1) == Some(&'-')
+                                && i + 2 < chars.len()
+                                && chars[i + 2] != ']'
+                            {
+                                i += 2;
+                                let hi = if chars[i] == '\\' {
+                                    i += 1;
+                                    escaped(chars.get(i).copied().ok_or_else(eof)?)?
+                                } else {
+                                    chars[i]
+                                };
+                                if hi < lo {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                            i += 1;
+                        }
+                        if i >= chars.len() {
+                            return Err(eof());
+                        }
+                        i += 1; // consume ']'
+                        if ranges.is_empty() {
+                            return Err(Error("empty character class".into()));
+                        }
+                        Atom::Class(ranges)
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = escaped(chars.get(i).copied().ok_or_else(eof)?)?;
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    c => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                };
+                // Optional {m,n} / {n} quantifier.
+                let (min, max) = if chars.get(i) == Some(&'{') {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(eof)?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().map_err(|e| Error(format!("{e}")))?;
+                            let hi = hi.trim().parse().map_err(|e| Error(format!("{e}")))?;
+                            (lo, hi)
+                        }
+                        None => {
+                            let n: usize = body.trim().parse().map_err(|e| Error(format!("{e}")))?;
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                if max < min {
+                    return Err(Error(format!("quantifier max {max} < min {min}")));
+                }
+                atoms.push((atom, min, max));
+            }
+            Ok(RegexString { atoms })
+        }
+
+        /// Generate one string matching the pattern.
+        pub fn generate_string(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, min, max) in &self.atoms {
+                let count = min + rng.index(max - min + 1);
+                for _ in 0..count {
+                    match atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u32 =
+                                ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                            let mut pick = (rng.next_u64() % total as u64) as u32;
+                            for &(lo, hi) in ranges {
+                                let span = hi as u32 - lo as u32 + 1;
+                                if pick < span {
+                                    out.push(char::from_u32(lo as u32 + pick).expect("in range"));
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for RegexString {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.generate_string(rng)
+        }
+    }
+
+    fn escaped(c: char) -> Result<char, Error> {
+        Ok(match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '\\' => '\\',
+            ']' | '[' | '-' | '{' | '}' | '.' | '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$'
+            | '/' => c,
+            other => return Err(Error(format!("unsupported escape \\{other}"))),
+        })
+    }
+
+    fn eof() -> Error {
+        Error("unexpected end of pattern".into())
+    }
+
+    /// Compile a regex-subset pattern into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexString, Error> {
+        RegexString::parse(pattern)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and errors
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only `cases` is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the no-shrinking shim fast while
+        // still exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted / unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Assert within a property (fails the case without panicking the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs), stringify!($rhs), l
+            )));
+        }
+    }};
+}
+
+/// The property-test harness macro: generates one `#[test]` per property,
+/// running `ProptestConfig::cases` deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            // The `#[test]` attribute arrives through `$meta`, as in the
+            // real crate's macro (callers always write it explicitly).
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!("property {} failed at case {}/{}: {}",
+                               stringify!($name), __case + 1, __config.cases, e.0);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+
+    /// The `prop` module alias (`prop::collection`, `prop::sample`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = TestRng::deterministic("string_regex_subset");
+        let strat = crate::string::string_regex("[a-c]{2,4}x\\n").unwrap();
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(s.ends_with("x\n"));
+            let body = &s[..s.len() - 2];
+            assert!((2..=4).contains(&body.chars().count()));
+            assert!(body.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_str_strategy_generates() {
+        let mut rng = TestRng::deterministic("literal");
+        let s: String = crate::Strategy::generate(&"[abc]{0,8}", &mut rng);
+        assert!(s.len() <= 8);
+    }
+
+    proptest! {
+        /// The harness itself works end to end.
+        #[test]
+        fn harness_smoke(v in crate::collection::vec(0u32..10, 0..20), b in any::<bool>()) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(b, b);
+            for x in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+    }
+}

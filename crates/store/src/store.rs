@@ -16,18 +16,43 @@ pub struct TripleStore {
     relations: [SortedRelation; 6],
 }
 
+/// Below this many triples, building/merging the six orders on one core is
+/// faster than paying six thread spawns.
+const PARALLEL_THRESHOLD: usize = 8 * 1024;
+
+/// `true` when fanning the six per-order jobs out to threads can win:
+/// the batch is large enough and the machine has more than one core.
+fn parallelize(batch: usize) -> bool {
+    batch >= PARALLEL_THRESHOLD
+        && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+}
+
 impl TripleStore {
     /// Build a store from `[s, p, o]` triples (duplicates are removed).
+    ///
+    /// The six collation orders are independent sorts of the same input, so
+    /// beyond a small-input threshold each order is built on its own thread
+    /// (`std::thread::scope`; the build is embarrassingly parallel).
     pub fn from_triples(triples: &[IdTriple]) -> Self {
-        let relations = [
-            SortedRelation::build(Order::Spo, triples),
-            SortedRelation::build(Order::Sop, triples),
-            SortedRelation::build(Order::Pso, triples),
-            SortedRelation::build(Order::Pos, triples),
-            SortedRelation::build(Order::Osp, triples),
-            SortedRelation::build(Order::Ops, triples),
-        ];
-        TripleStore { relations }
+        if parallelize(triples.len()) {
+            Self::from_triples_parallel(triples)
+        } else {
+            // `Order::ALL` is the relations array's indexing order.
+            let relations = Order::ALL.map(|order| SortedRelation::build(order, triples));
+            TripleStore { relations }
+        }
+    }
+
+    /// The six-threads-six-orders build (tested directly so single-core
+    /// environments still exercise it).
+    fn from_triples_parallel(triples: &[IdTriple]) -> Self {
+        let mut slots: [Option<SortedRelation>; 6] = Default::default();
+        std::thread::scope(|scope| {
+            for (slot, order) in slots.iter_mut().zip(Order::ALL) {
+                scope.spawn(move || *slot = Some(SortedRelation::build(order, triples)));
+            }
+        });
+        TripleStore { relations: slots.map(|r| r.expect("all six orders built")) }
     }
 
     /// Insert one triple into all six orders. Returns `false` if already
@@ -55,32 +80,55 @@ impl TripleStore {
 
     /// Merge a batch of triples into all six orders. Returns the number of
     /// genuinely new triples.
+    ///
+    /// Like construction, the per-order merges are independent and run on
+    /// one thread each beyond [`PARALLEL_THRESHOLD`] (measured against the
+    /// *merged* size, since the merge rewrites each whole relation).
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let mut added = 0;
-        for (i, rel) in self.relations.iter_mut().enumerate() {
-            let n = rel.insert_batch(triples);
-            if i == 0 {
-                added = n;
-            } else {
-                debug_assert_eq!(n, added, "orders diverged on insert");
-            }
-        }
-        added
+        let counts = self.for_each_relation(triples.len(), |rel| rel.insert_batch(triples));
+        debug_assert!(counts.iter().all(|&n| n == counts[0]), "orders diverged on insert");
+        counts[0]
     }
 
     /// Remove a batch of triples from all six orders. Returns the number of
     /// triples actually removed.
     pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let mut removed = 0;
-        for (i, rel) in self.relations.iter_mut().enumerate() {
-            let n = rel.remove_batch(triples);
-            if i == 0 {
-                removed = n;
-            } else {
-                debug_assert_eq!(n, removed, "orders diverged on removal");
+        let counts = self.for_each_relation(triples.len(), |rel| rel.remove_batch(triples));
+        debug_assert!(counts.iter().all(|&n| n == counts[0]), "orders diverged on removal");
+        counts[0]
+    }
+
+    /// Apply `op` to every relation, in parallel when `self.len() + batch`
+    /// crosses the threshold, and collect the six return values.
+    fn for_each_relation(
+        &mut self,
+        batch: usize,
+        op: impl Fn(&mut SortedRelation) -> usize + Sync,
+    ) -> [usize; 6] {
+        if parallelize(self.len() + batch) {
+            self.for_each_relation_parallel(&op)
+        } else {
+            let mut counts = [0usize; 6];
+            for (count, rel) in counts.iter_mut().zip(self.relations.iter_mut()) {
+                *count = op(rel);
             }
+            counts
         }
-        removed
+    }
+
+    /// One thread per relation (tested directly so single-core environments
+    /// still exercise it).
+    fn for_each_relation_parallel(
+        &mut self,
+        op: &(impl Fn(&mut SortedRelation) -> usize + Sync),
+    ) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        std::thread::scope(|scope| {
+            for (count, rel) in counts.iter_mut().zip(self.relations.iter_mut()) {
+                scope.spawn(move || *count = op(rel));
+            }
+        });
+        counts
     }
 
     /// The sorted relation for `order`.
@@ -278,5 +326,44 @@ mod tests {
         let s = TripleStore::from_triples(&[]);
         assert!(s.is_empty());
         assert_eq!(s.count_bound(&[]), 0);
+    }
+
+    /// The parallel build produces the same store as the serial build,
+    /// exercised directly so it runs even where `parallelize()` is false
+    /// (single-core machines / small inputs).
+    #[test]
+    fn parallel_build_equals_serial_build() {
+        let triples: Vec<IdTriple> = (0..500u32)
+            .map(|i| t(i % 37, 100 + i % 11, 200 + i % 53))
+            .collect();
+        let serial = TripleStore::from_triples(&triples);
+        let parallel = TripleStore::from_triples_parallel(&triples);
+        assert_eq!(serial.len(), parallel.len());
+        for order in Order::ALL {
+            assert_eq!(serial.relation(order).rows(), parallel.relation(order).rows(), "{order}");
+        }
+    }
+
+    /// The parallel batch path agrees with the serial one on inserts and
+    /// removals, including the per-order counts.
+    #[test]
+    fn parallel_batches_equal_serial_batches() {
+        let base: Vec<IdTriple> = (0..300u32).map(|i| t(i % 23, 100, 200 + i % 29)).collect();
+        let batch: Vec<IdTriple> = (0..150u32).map(|i| t(i % 31, 101, 200 + i % 17)).collect();
+
+        let mut serial = TripleStore::from_triples(&base);
+        let added_serial = serial.insert_batch(&batch);
+
+        let mut parallel = TripleStore::from_triples(&base);
+        let counts = parallel.for_each_relation_parallel(&|rel| rel.insert_batch(&batch));
+        assert!(counts.iter().all(|&n| n == added_serial), "{counts:?}");
+        assert_eq!(serial.len(), parallel.len());
+
+        let removed_serial = serial.remove_batch(&batch);
+        let counts = parallel.for_each_relation_parallel(&|rel| rel.remove_batch(&batch));
+        assert!(counts.iter().all(|&n| n == removed_serial));
+        for order in Order::ALL {
+            assert_eq!(serial.relation(order).rows(), parallel.relation(order).rows(), "{order}");
+        }
     }
 }
