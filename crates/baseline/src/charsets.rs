@@ -1,5 +1,5 @@
 //! Characteristic sets — the cardinality-estimation technique of Neumann &
-//! Moerkotte (ICDE 2011), cited by the paper (§2, [21]) as the kind of
+//! Moerkotte (ICDE 2011), cited by the paper (§2, \[21\]) as the kind of
 //! RDF-specific statistics that "could be used to enhance existing SQL
 //! optimizers". Star joins are exactly where the independence assumption of
 //! [`crate::cardinality::Estimator`] breaks (a subject that has `dc:title`

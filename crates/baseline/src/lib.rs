@@ -11,7 +11,7 @@
 //!   cost-based planner with no RDF-specific FILTER rewriting, which is why
 //!   SP4a degenerates into a guarded Cartesian product (the paper's "XXX").
 //! * [`stocker`] — Stocker et al.'s selectivity-estimation framework (the
-//!   paper's [32]): summary statistics (predicate frequencies + object
+//!   paper's \[32\]): summary statistics (predicate frequencies + object
 //!   histograms), independence-assumption pattern selectivities, greedy
 //!   most-selective-first left-deep ordering. The middle regime between
 //!   HSP's syntax-only ranking and CDP's exact statistics.
@@ -20,7 +20,7 @@
 //! * [`cardinality`] — the shared estimator (exact leaves, containment
 //!   assumption for joins).
 //! * [`charsets`] — characteristic sets (Neumann & Moerkotte, the paper's
-//!   [21]): exact star-join cardinalities, the statistics-side answer to
+//!   \[21\]): exact star-join cardinalities, the statistics-side answer to
 //!   the correlation problem the paper's introduction describes.
 
 pub mod cardinality;

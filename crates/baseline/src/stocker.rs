@@ -1,5 +1,5 @@
 //! A reconstruction of Stocker et al.'s selectivity-estimation BGP
-//! optimizer (WWW 2008) — the paper's reference [32].
+//! optimizer (WWW 2008) — the paper's reference \[32\].
 //!
 //! Where HSP ranks triple patterns *syntactically* (H1/H3/H4) and CDP reads
 //! **exact** counts off the aggregated indexes, Stocker's framework sits in

@@ -1,15 +1,19 @@
 //! Kernel-level before/after measurements behind `repro -- ops`: the
 //! vectorized join kernels against the retired row-at-a-time kernels
-//! ([`hsp_engine::reference`]), and the parallel six-order store build
-//! against a serial rebuild. Results render as a text table and as
-//! machine-readable JSON (`BENCH_ops.json`), so the performance trajectory
-//! of the hot paths is diffable across PRs.
+//! ([`hsp_engine::reference`]), the morsel-driven parallel probe against
+//! the sequential probe at forced thread counts (`par_probe_*` — on the
+//! single-core CI container the parallel rows only prove correctness and
+//! scheduling overhead; measure speedups on real hardware), the pooled
+//! gather path against cold-pool gathers (`pooled_gather_*`), and the
+//! parallel six-order store build against a serial rebuild. Results render
+//! as a text table and as machine-readable JSON (`BENCH_ops.json`), so the
+//! performance trajectory of the hot paths is diffable across PRs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use hsp_engine::binding::BindingTable;
-use hsp_engine::{ops, reference};
+use hsp_engine::{ops, reference, ExecContext, MorselConfig};
 use hsp_rdf::{IdTriple, TermId};
 use hsp_sparql::Var;
 use hsp_store::{Order, SortedRelation, TripleStore};
@@ -128,7 +132,68 @@ pub fn measure_kernels() -> Vec<KernelResult> {
         }),
         optimized_ns: median_ns(3, || TripleStore::from_triples(&triples)),
     });
+
+    measure_parallel_probe(&mut results, runs);
+    measure_pooled_gather(&mut results, runs);
     results
+}
+
+/// Thread counts the parallel rows are measured at: 1 (sanity: the forced
+/// pool degenerates to the sequential path), 2, and 4. Fixed — not derived
+/// from `available_parallelism` — so the `BENCH_ops.json` row names are
+/// identical on every machine and stay diffable across PRs; scaling beyond
+/// 4 workers is a manual measurement on real multicore hardware. On the
+/// single-core CI container the forced workers only contend, so the t2/t4
+/// rows there prove correctness and bound scheduling overhead.
+fn bench_thread_counts() -> [usize; 3] {
+    [1, 2, 4]
+}
+
+/// `par_probe_*`: the morsel-driven hash-join probe at forced thread
+/// counts against the sequential probe on the same 100k-row inputs.
+/// Output identity is asserted before anything is timed.
+fn measure_parallel_probe(results: &mut Vec<KernelResult>, runs: usize) {
+    let (left, right) = join_inputs(100_000, 42);
+    let sequential = ExecContext::with_threads(1);
+    let expected = ops::hash_join_in(&sequential, &left, &right, &[Var(0)]);
+    for t in bench_thread_counts() {
+        let ctx = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
+        assert_eq!(
+            ops::hash_join_in(&ctx, &left, &right, &[Var(0)]),
+            expected,
+            "parallel probe (t={t}) diverges from sequential"
+        );
+        results.push(KernelResult {
+            name: format!("par_probe_100k_t{t}"),
+            baseline_ns: median_ns(runs, || {
+                ops::hash_join_in(&sequential, &left, &right, &[Var(0)])
+            }),
+            optimized_ns: median_ns(runs, || ops::hash_join_in(&ctx, &left, &right, &[Var(0)])),
+        });
+    }
+}
+
+/// `pooled_gather_*`: the same join with a warm per-execution buffer pool
+/// (the output is recycled after every run, so gathers check out reused
+/// columns) against cold-pool runs that allocate every column fresh.
+fn measure_pooled_gather(results: &mut Vec<KernelResult>, runs: usize) {
+    let (left, right) = join_inputs(100_000, 42);
+    for t in bench_thread_counts() {
+        let warm = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
+        warm.pool.recycle(ops::hash_join_in(&warm, &left, &right, &[Var(0)]));
+        results.push(KernelResult {
+            name: format!("pooled_gather_100k_t{t}"),
+            // Cold pool every run: a fresh context, all columns allocated.
+            baseline_ns: median_ns(runs, || {
+                let cold = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
+                ops::hash_join_in(&cold, &left, &right, &[Var(0)])
+            }),
+            optimized_ns: median_ns(runs, || {
+                let out = ops::hash_join_in(&warm, &left, &right, &[Var(0)]);
+                warm.pool.recycle(out);
+            }),
+        });
+    }
 }
 
 /// Human-readable report table.

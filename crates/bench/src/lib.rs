@@ -1,6 +1,6 @@
 //! Benchmark harness reproducing every table and figure of the paper.
 //!
-//! The [`env`] module loads the two generated datasets (sizes configurable
+//! The [`mod@env`] module loads the two generated datasets (sizes configurable
 //! through environment variables), [`planners`] dispatches the three
 //! planners of the evaluation (HSP, CDP, SQL-left-deep) plus the hybrid
 //! extension, and [`tables`] renders each table/figure of the paper from

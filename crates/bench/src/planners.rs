@@ -24,7 +24,7 @@ pub enum PlannerKind {
     /// HSP structure + cost-based ordering (paper §7 future work).
     Hybrid,
     /// Stocker et al.'s selectivity-estimation framework (the paper's
-    /// related-work reference [32]) — summary statistics, greedy
+    /// related-work reference \[32\]) — summary statistics, greedy
     /// most-selective-first left-deep ordering.
     Stocker,
 }

@@ -8,7 +8,7 @@
 //! Y1/Y4, village/site bipartite stars for Y3). Everything is seeded and
 //! reproducible.
 //!
-//! [`workload`] holds the 14 queries (SP1–SP6, Y1–Y4): full SPARQL text was
+//! [`mod@workload`] holds the 14 queries (SP1–SP6, Y1–Y4): full SPARQL text was
 //! published only for Y2 and Y3 (the paper's Tables 9 and 5); the rest are
 //! reconstructed from SP2Bench's published queries and the structural
 //! signature in the paper's Table 2, which `hsp-sparql`'s analysis verifies

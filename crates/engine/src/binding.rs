@@ -3,6 +3,8 @@
 use hsp_rdf::TermId;
 use hsp_sparql::Var;
 
+use crate::pool::BufferPool;
+
 /// A fully materialised, columnar table of variable bindings.
 ///
 /// `cols[i]` is the column of values bound to `vars[i]`; all columns have
@@ -153,8 +155,24 @@ impl BindingTable {
     /// # Panics
     /// Panics if an index is out of bounds.
     pub fn gather(&self, sel: &[u32]) -> BindingTable {
-        let cols = self.cols.iter().map(|col| gather_column(col, sel)).collect();
+        self.gather_impl(sel, None)
+    }
+
+    /// [`BindingTable::gather`] with output columns checked out of `pool`
+    /// instead of freshly allocated.
+    pub fn gather_in(&self, sel: &[u32], pool: &BufferPool) -> BindingTable {
+        self.gather_impl(sel, Some(pool))
+    }
+
+    fn gather_impl(&self, sel: &[u32], pool: Option<&BufferPool>) -> BindingTable {
+        let cols = self.cols.iter().map(|col| gather_column(col, sel, pool)).collect();
         BindingTable { vars: self.vars.clone(), cols, sorted_by: None, rows: sel.len() }
+    }
+
+    /// Tear the table down into its raw columns (variable order), so a
+    /// consumed intermediate's buffers can be recycled.
+    pub fn into_columns(self) -> Vec<Vec<TermId>> {
+        self.cols
     }
 
     /// Materialise a join output from `(left_row, right_row)` index pairs:
@@ -172,16 +190,40 @@ impl BindingTable {
         lidx: &[u32],
         ridx: &[u32],
     ) -> BindingTable {
+        Self::join_pairs_impl(left, right, right_extra, lidx, ridx, None)
+    }
+
+    /// [`BindingTable::from_join_pairs`] with output columns checked out of
+    /// `pool` instead of freshly allocated.
+    pub fn from_join_pairs_in(
+        left: &BindingTable,
+        right: &BindingTable,
+        right_extra: &[Var],
+        lidx: &[u32],
+        ridx: &[u32],
+        pool: &BufferPool,
+    ) -> BindingTable {
+        Self::join_pairs_impl(left, right, right_extra, lidx, ridx, Some(pool))
+    }
+
+    fn join_pairs_impl(
+        left: &BindingTable,
+        right: &BindingTable,
+        right_extra: &[Var],
+        lidx: &[u32],
+        ridx: &[u32],
+        pool: Option<&BufferPool>,
+    ) -> BindingTable {
         assert_eq!(lidx.len(), ridx.len(), "ragged join pair vectors");
         let mut vars = left.vars.clone();
         vars.extend_from_slice(right_extra);
         let mut cols = Vec::with_capacity(vars.len());
         for col in &left.cols {
-            cols.push(gather_column(col, lidx));
+            cols.push(gather_column(col, lidx, pool));
         }
         for &v in right_extra {
             let col = right.column(v);
-            let mut out = Vec::with_capacity(ridx.len());
+            let mut out = alloc_column(ridx.len(), pool);
             out.extend(ridx.iter().map(|&j| {
                 if j == u32::MAX { TermId::UNBOUND } else { col[j as usize] }
             }));
@@ -244,9 +286,17 @@ pub(crate) fn cmp_rows_at(cols: &[&[TermId]], a: usize, b: usize) -> std::cmp::O
     std::cmp::Ordering::Equal
 }
 
-/// Gather `col` values at the `sel` indices into a fresh column.
-pub(crate) fn gather_column(col: &[TermId], sel: &[u32]) -> Vec<TermId> {
-    let mut out = Vec::with_capacity(sel.len());
+/// A column buffer with `capacity` spare: checked out of `pool` when one
+/// is supplied, freshly allocated otherwise.
+pub(crate) fn alloc_column(capacity: usize, pool: Option<&BufferPool>) -> Vec<TermId> {
+    pool.map_or_else(|| Vec::with_capacity(capacity), |p| p.take_col(capacity))
+}
+
+/// Gather `col` values at the `sel` indices into one column — the single
+/// per-column gather loop behind [`BindingTable::gather`],
+/// [`BindingTable::from_join_pairs`], and the operators' column gathers.
+pub(crate) fn gather_column(col: &[TermId], sel: &[u32], pool: Option<&BufferPool>) -> Vec<TermId> {
+    let mut out = alloc_column(sel.len(), pool);
     out.extend(sel.iter().map(|&i| col[i as usize]));
     out
 }

@@ -1,5 +1,8 @@
-//! Plan evaluation with per-operator profiling, a row budget, and optional
-//! sideways information passing.
+//! Plan evaluation with per-operator profiling, a row budget, optional
+//! sideways information passing, and the morsel/pool runtime layer: every
+//! execution owns an [`ExecContext`] whose thread budget drives the
+//! parallel kernels and whose [`BufferPool`](crate::pool::BufferPool)
+//! recycles the columns of consumed intermediates.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -11,8 +14,10 @@ use hsp_sparql::Var;
 use hsp_store::Dataset;
 
 use crate::binding::BindingTable;
+use crate::metrics::RuntimeMetrics;
 use crate::ops;
 use crate::plan::{PhysicalPlan, PlanError};
+use crate::pool::ExecContext;
 
 /// Execution configuration.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +34,12 @@ pub struct ExecConfig {
     /// the extension); results are identical, intermediate results only
     /// shrink.
     pub sip: bool,
+    /// Thread budget for the morsel-parallel kernels. `None` (the default)
+    /// detects it via `available_parallelism`; `Some(1)` forces sequential
+    /// execution; `Some(n > 1)` forces a worker pool even on one core
+    /// (results are identical either way — parallel kernels stitch their
+    /// per-morsel outputs deterministically).
+    pub threads: Option<usize>,
 }
 
 impl ExecConfig {
@@ -46,6 +57,23 @@ impl ExecConfig {
     pub fn with_sip(mut self) -> Self {
         self.sip = true;
         self
+    }
+
+    /// Force a thread budget for the parallel kernels.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The execution context this configuration asks for — also used by
+    /// evaluators outside this crate (e.g. the extended OPTIONAL/UNION
+    /// evaluator) that drive individual operators rather than whole plans,
+    /// so one thread budget governs every operator of a query.
+    pub fn context(&self) -> ExecContext {
+        match self.threads {
+            Some(n) => ExecContext::with_threads(n),
+            None => ExecContext::new(),
+        }
     }
 }
 
@@ -130,6 +158,8 @@ pub struct ExecOutput {
     pub table: BindingTable,
     /// Per-operator statistics.
     pub profile: Profile,
+    /// Morsel/pool runtime counters for the whole execution.
+    pub runtime: RuntimeMetrics,
 }
 
 /// Validate and execute `plan` against `ds`.
@@ -138,9 +168,24 @@ pub fn execute(
     ds: &Dataset,
     config: &ExecConfig,
 ) -> Result<ExecOutput, ExecError> {
+    execute_in(plan, ds, config, &config.context())
+}
+
+/// [`execute`] inside a caller-owned [`ExecContext`]: the caller's buffer
+/// pool serves (and receives) this execution's columns and the runtime
+/// counters accumulate across executions — how the extended
+/// (OPTIONAL/UNION) evaluator runs its per-block plans under one pool.
+/// The reported [`ExecOutput::runtime`] snapshots the context's cumulative
+/// counters at completion.
+pub fn execute_in(
+    plan: &PhysicalPlan,
+    ds: &Dataset,
+    config: &ExecConfig,
+    ctx: &ExecContext,
+) -> Result<ExecOutput, ExecError> {
     plan.validate()?;
-    let (table, profile) = run(plan, ds, config, &Domains::new())?;
-    Ok(ExecOutput { table, profile })
+    let (table, profile) = run(plan, ds, config, ctx, &Domains::new())?;
+    Ok(ExecOutput { table, profile, runtime: RuntimeMetrics::of(ctx) })
 }
 
 /// The distinct values of `vars` in `table`, merged (intersected) into a
@@ -162,45 +207,52 @@ fn run(
     plan: &PhysicalPlan,
     ds: &Dataset,
     config: &ExecConfig,
+    ctx: &ExecContext,
     domains: &Domains,
 ) -> Result<(BindingTable, Profile), ExecError> {
     match plan {
         PhysicalPlan::Scan { pattern_idx, pattern, order } => {
             let start = Instant::now();
-            let mut table = ops::scan(ds, pattern, *order);
+            let mut table = ops::scan_in(ctx, ds, pattern, *order);
             let mut label = format!("scan({}) [tp{pattern_idx}]", order.name());
             if config.sip && table.vars().iter().any(|v| domains.contains_key(v)) {
-                table = ops::domain_filter(&table, domains);
+                let unfiltered = table;
+                table = ops::domain_filter_in(ctx, &unfiltered, domains);
+                ctx.pool.recycle(unfiltered);
                 label.push_str("+sip");
             }
             finish(table, label, start, Vec::new(), config)
         }
         PhysicalPlan::MergeJoin { left, right, var } => {
-            let (lt, lp) = run(left, ds, config, domains)?;
+            let (lt, lp) = run(left, ds, config, ctx, domains)?;
             // SIP: the right side only needs rows whose join key occurs on
             // the (already materialised) left side.
             let (rt, rp) = if config.sip {
                 let narrowed = narrowed(domains, &lt, &[*var]);
-                run(right, ds, config, &narrowed)?
+                run(right, ds, config, ctx, &narrowed)?
             } else {
-                run(right, ds, config, domains)?
+                run(right, ds, config, ctx, domains)?
             };
             let start = Instant::now();
-            let table = ops::merge_join(&lt, &rt, *var);
+            let table = ops::merge_join_in(ctx, &lt, &rt, *var);
+            ctx.pool.recycle(lt);
+            ctx.pool.recycle(rt);
             finish(table, format!("mergejoin({var})"), start, vec![lp, rp], config)
         }
         PhysicalPlan::HashJoin { left, right, vars } => {
             // Evaluate the build (right) side first so SIP can pass its
             // join-key domain into the probe side's subtree.
-            let (rt, rp) = run(right, ds, config, domains)?;
+            let (rt, rp) = run(right, ds, config, ctx, domains)?;
             let (lt, lp) = if config.sip {
                 let narrowed = narrowed(domains, &rt, vars);
-                run(left, ds, config, &narrowed)?
+                run(left, ds, config, ctx, &narrowed)?
             } else {
-                run(left, ds, config, domains)?
+                run(left, ds, config, ctx, domains)?
             };
             let start = Instant::now();
-            let table = ops::hash_join(&lt, &rt, vars);
+            let table = ops::hash_join_in(ctx, &lt, &rt, vars);
+            ctx.pool.recycle(lt);
+            ctx.pool.recycle(rt);
             let label = format!(
                 "hashjoin({})",
                 vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
@@ -208,8 +260,8 @@ fn run(
             finish(table, label, start, vec![lp, rp], config)
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            let (lt, lp) = run(left, ds, config, domains)?;
-            let (rt, rp) = run(right, ds, config, domains)?;
+            let (lt, lp) = run(left, ds, config, ctx, domains)?;
+            let (rt, rp) = run(right, ds, config, ctx, domains)?;
             // Check the budget *before* materialising the product: this is
             // the guard that makes Cartesian plans fail fast instead of
             // exhausting memory.
@@ -224,25 +276,30 @@ fn run(
                 }
             }
             let start = Instant::now();
-            let table = ops::cross_product(&lt, &rt);
+            let table = ops::cross_product_in(ctx, &lt, &rt);
+            ctx.pool.recycle(lt);
+            ctx.pool.recycle(rt);
             finish(table, "crossproduct".into(), start, vec![lp, rp], config)
         }
         PhysicalPlan::Sort { input, var } => {
-            let (it, ip) = run(input, ds, config, domains)?;
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
-            let table = ops::sort_by(&it, *var);
+            let table = ops::sort_by_in(ctx, &it, *var);
+            ctx.pool.recycle(it);
             finish(table, format!("sort({var})"), start, vec![ip], config)
         }
         PhysicalPlan::Filter { input, expr } => {
-            let (it, ip) = run(input, ds, config, domains)?;
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
-            let table = ops::filter(ds, &it, expr);
+            let table = ops::filter_in(ctx, ds, &it, expr);
+            ctx.pool.recycle(it);
             finish(table, "filter".into(), start, vec![ip], config)
         }
         PhysicalPlan::Project { input, projection, distinct } => {
-            let (it, ip) = run(input, ds, config, domains)?;
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
-            let table = ops::project(&it, projection, *distinct);
+            let table = ops::project_in(ctx, &it, projection, *distinct);
+            ctx.pool.recycle(it);
             let names: Vec<&str> = projection.iter().map(|(n, _)| n.as_str()).collect();
             let label = if *distinct {
                 format!("project-distinct({})", names.join(","))
@@ -252,15 +309,17 @@ fn run(
             finish(table, label, start, vec![ip], config)
         }
         PhysicalPlan::OrderBy { input, keys } => {
-            let (it, ip) = run(input, ds, config, domains)?;
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
-            let table = ops::order_by(ds, &it, keys);
+            let table = ops::order_by_in(ctx, ds, &it, keys);
+            ctx.pool.recycle(it);
             finish(table, format!("orderby({} keys)", keys.len()), start, vec![ip], config)
         }
         PhysicalPlan::Slice { input, offset, limit } => {
-            let (it, ip) = run(input, ds, config, domains)?;
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
-            let table = ops::slice(&it, *offset, *limit);
+            let table = ops::slice_in(ctx, &it, *offset, *limit);
+            ctx.pool.recycle(it);
             let label = match limit {
                 Some(n) => format!("slice(offset={offset}, limit={n})"),
                 None => format!("slice(offset={offset})"),
@@ -458,6 +517,53 @@ mod tests {
             sip.profile.total_intermediate_rows(),
             plain.profile.total_intermediate_rows()
         );
+    }
+
+    #[test]
+    fn forced_threads_give_identical_results_and_report_runtime() {
+        let ds = dataset();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+            vars: vec![Var(0)],
+        };
+        let sequential = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(1)).unwrap();
+        let parallel = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(3)).unwrap();
+        assert_eq!(parallel.table, sequential.table);
+        assert_eq!(sequential.runtime.threads, 1);
+        assert_eq!(parallel.runtime.threads, 3);
+        // This input is far below the morsel threshold, so even the forced
+        // budget runs sequentially — but the pool still recycles the two
+        // scan intermediates into the join's output columns.
+        assert!(sequential.runtime.pool_recycled > 0);
+        assert!(sequential.runtime.pool_misses > 0);
+    }
+
+    #[test]
+    fn pool_recycling_preserves_results_across_a_deep_plan() {
+        // project(filter(join(scan, scan))): every operator consumes its
+        // child, so the pool sees several recycle/checkout cycles.
+        use hsp_sparql::{CmpOp, FilterExpr, Operand};
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::MergeJoin {
+                    left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                    right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                    var: Var(0),
+                }),
+                expr: FilterExpr::Cmp {
+                    op: CmpOp::Gt,
+                    lhs: Operand::Var(Var(2)),
+                    rhs: Operand::Const(Term::literal("4")),
+                },
+            }),
+            projection: vec![("s".into(), Var(0)), ("o".into(), Var(1))],
+            distinct: false,
+        };
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table.len(), 3);
+        assert!(out.runtime.pool_hits > 0, "deep plan should hit the pool: {:?}", out.runtime);
     }
 
     #[test]

@@ -149,6 +149,32 @@ fn group_digits(n: usize) -> String {
     out
 }
 
+/// One-line summary of an execution's morsel/pool runtime counters — what
+/// the CLI prints under an `--explain` plan. Reports the parallel-kernel
+/// and per-morsel counts only when something actually ran parallel (on a
+/// one-core budget every kernel is sequential).
+pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
+    let parallel = if m.parallel_kernels > 0 {
+        format!(
+            "{} parallel kernel{} ({} morsels) on {} threads",
+            m.parallel_kernels,
+            if m.parallel_kernels == 1 { "" } else { "s" },
+            m.morsels,
+            m.threads
+        )
+    } else {
+        format!("all kernels sequential ({} thread budget)", m.threads)
+    };
+    format!(
+        "runtime: {parallel}; buffer pool {} hit{} / {} miss{} / {} recycled\n",
+        m.pool_hits,
+        if m.pool_hits == 1 { "" } else { "s" },
+        m.pool_misses,
+        if m.pool_misses == 1 { "" } else { "es" },
+        m.pool_recycled
+    )
+}
+
 /// Render a physical plan in Graphviz `dot` syntax: one node per operator
 /// (labelled like the text explain, with cardinalities when a profile is
 /// supplied), edges from children to parents — the shape of the paper's
@@ -298,6 +324,26 @@ mod tests {
         let text = render_plan_with_profile(&plan, &out.profile, &query);
         assert!(text.contains("(1)")); // the join result has 1 row
         assert!(text.contains("(2)")); // the p-scan has 2 rows
+    }
+
+    #[test]
+    fn runtime_metrics_render_both_shapes() {
+        use crate::metrics::RuntimeMetrics;
+        let sequential = RuntimeMetrics { threads: 1, pool_hits: 3, pool_misses: 7, ..RuntimeMetrics::default() };
+        let line = render_runtime_metrics(&sequential);
+        assert!(line.contains("all kernels sequential"));
+        assert!(line.contains("3 hits / 7 misses"));
+        let parallel = RuntimeMetrics {
+            parallel_kernels: 2,
+            morsels: 40,
+            threads: 4,
+            pool_hits: 1,
+            pool_misses: 1,
+            pool_recycled: 5,
+        };
+        let line = render_runtime_metrics(&parallel);
+        assert!(line.contains("2 parallel kernels (40 morsels) on 4 threads"));
+        assert!(line.contains("1 hit / 1 miss / 5 recycled"));
     }
 
     #[test]

@@ -213,6 +213,66 @@ impl BuildTable {
             }
         }
     }
+
+    /// Probe a contiguous `range` of probe rows, appending every matching
+    /// `(probe_row, build_row)` pair to `lidx`/`ridx` in probe order (build
+    /// order within one probe row). `extra_pairs` are additional shared
+    /// `(probe column, build column)` pairs that must also match — the
+    /// repeated-variable check of the join operators.
+    ///
+    /// This is the one probe loop: the sequential hash join calls it over
+    /// `0..rows`, the morsel-driven hash join calls it per morsel with
+    /// thread-local output buffers (see [`crate::morsel`]). Output is a
+    /// pure function of `range`, so stitching the per-morsel buffers in
+    /// morsel order reproduces the sequential output exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_range(
+        &self,
+        build_cols: &[&[TermId]],
+        probe_cols: &[&[TermId]],
+        extra_pairs: &[(&[TermId], &[TermId])],
+        range: std::ops::Range<usize>,
+        lidx: &mut Vec<u32>,
+        ridx: &mut Vec<u32>,
+    ) {
+        for i in range {
+            self.probe(build_cols, probe_cols, i, |j| {
+                if extra_pairs.iter().all(|(pc, bc)| pc[i] == bc[j]) {
+                    lidx.push(i as u32);
+                    ridx.push(j as u32);
+                }
+            });
+        }
+    }
+
+    /// [`BuildTable::probe_range`] with left-outer semantics: a probe row
+    /// with no surviving match emits one `(probe_row, u32::MAX)` sentinel
+    /// pair, which the gather phase turns into UNBOUND padding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_range_outer(
+        &self,
+        build_cols: &[&[TermId]],
+        probe_cols: &[&[TermId]],
+        extra_pairs: &[(&[TermId], &[TermId])],
+        range: std::ops::Range<usize>,
+        lidx: &mut Vec<u32>,
+        ridx: &mut Vec<u32>,
+    ) {
+        for i in range {
+            let mut matched = false;
+            self.probe(build_cols, probe_cols, i, |j| {
+                if extra_pairs.iter().all(|(pc, bc)| pc[i] == bc[j]) {
+                    matched = true;
+                    lidx.push(i as u32);
+                    ridx.push(j as u32);
+                }
+            });
+            if !matched {
+                lidx.push(i as u32);
+                ridx.push(u32::MAX);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

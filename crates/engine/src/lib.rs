@@ -26,7 +26,7 @@
 //!    (slice, union, cross product, plain projection).
 //!
 //! Compared with the original row-at-a-time kernels (preserved in
-//! [`reference`] as the benchmark baseline and differential-testing
+//! [`mod@reference`] as the benchmark baseline and differential-testing
 //! oracle), this removes the three scalar costs that dominated profiles: a
 //! linear `col_index` lookup per *value* in `value()`, a `Vec<TermId>` key
 //! allocation per hash-join *probe*, and a `push_row` call per output
@@ -39,22 +39,49 @@
 //! one row-index array — verified against the key columns. Neither layout
 //! allocates per key or per probe.
 //!
+//! # The morsel/pool runtime layer
+//!
+//! On top of the vectorized kernels sit two execution-wide services,
+//! threaded through every operator as an [`pool::ExecContext`]:
+//!
+//! * **Morsel-driven parallelism** ([`morsel`]) — the hash-join probe and
+//!   the scan fast paths cut their input index range into fixed-size
+//!   morsels; a scoped worker pool pulls morsels from a shared cursor and
+//!   probes the shared read-only [`kernel::BuildTable`], each worker
+//!   emitting into thread-local pair buffers that are stitched back in
+//!   morsel order — so parallel output is byte-identical to sequential.
+//!   Parallelism is gated on `available_parallelism` and a row threshold,
+//!   like the store's six-order build; tests force a thread count to
+//!   exercise the pool on single-core machines.
+//! * **Buffer pooling** ([`pool`]) — a per-execution arena of recyclable
+//!   column and index buffers. The gather primitives check output columns
+//!   out of the pool, and the tree evaluator returns a consumed
+//!   intermediate's columns the moment its parent operator has produced
+//!   its output, so operator-at-a-time plans stop churning the allocator.
+//!   Hit/miss/recycle counters surface as [`metrics::RuntimeMetrics`] on
+//!   every [`ExecOutput`].
+//!
 //! # Module map
 //!
 //! * [`binding`] — columnar intermediate results with sortedness metadata
 //!   and the bulk gather primitives.
 //! * [`kernel`] — FxHash utilities and the flat hash-join build table.
+//! * [`morsel`] — the morsel scheduler: config, gated worker pool,
+//!   deterministic stitch-back.
+//! * [`pool`] — the per-execution buffer pool and the [`pool::ExecContext`]
+//!   threaded through the operators.
 //! * [`plan`] — the physical plan tree shared by all planners.
 //! * [`ops`] — the vectorized operators: scan-select, merge join, hash
-//!   join, cross product, filter, projection, distinct.
-//! * [`reference`] — the retired row-at-a-time kernels, kept as oracle and
+//!   join, cross product, filter, projection, distinct. Each has a `*_in`
+//!   variant taking an [`pool::ExecContext`].
+//! * [`mod@reference`] — the retired row-at-a-time kernels, kept as oracle and
 //!   benchmark baseline.
 //! * [`exec`] — the tree evaluator, with per-operator profiling and an
 //!   intermediate-result row budget (used to make the SQL baseline's
 //!   Cartesian plans fail fast, the paper's "XXX" entries).
 //! * [`cost`] — the RDF-3X cost model the paper uses for Table 3.
 //! * [`metrics`] — plan characteristics for Table 4 (merge/hash join counts,
-//!   left-deep vs bushy shape, plan similarity).
+//!   left-deep vs bushy shape, plan similarity) and the runtime counters.
 //! * [`explain`] — plan rendering with per-operator cardinalities, the
 //!   format of the paper's Figures 2 and 3.
 
@@ -64,11 +91,15 @@ pub mod exec;
 pub mod explain;
 pub mod kernel;
 pub mod metrics;
+pub mod morsel;
 pub mod ops;
 pub mod plan;
+pub mod pool;
 pub mod reference;
 
 pub use binding::BindingTable;
-pub use exec::{execute, ExecConfig, ExecError, ExecOutput, Profile};
-pub use metrics::{PlanMetrics, PlanShape};
+pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, Profile};
+pub use metrics::{PlanMetrics, PlanShape, RuntimeMetrics};
+pub use morsel::MorselConfig;
 pub use plan::PhysicalPlan;
+pub use pool::{BufferPool, ExecContext};

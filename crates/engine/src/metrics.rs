@@ -1,8 +1,48 @@
-//! Plan characteristics — the paper's Table 4.
+//! Plan characteristics — the paper's Table 4 — plus the runtime counters
+//! of the morsel/pool execution layer.
 
 use std::fmt;
 
 use crate::plan::PhysicalPlan;
+use crate::pool::ExecContext;
+
+/// What the morsel/pool layer did during one execution: how much of the
+/// work ran parallel and how well the column arena recycled buffers.
+/// Produced by [`crate::execute`] as [`crate::ExecOutput::runtime`];
+/// rendered by [`crate::explain::render_runtime_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeMetrics {
+    /// Kernels that actually ran morsel-parallel (an operator under the
+    /// row threshold, or on a one-core budget, runs sequentially and does
+    /// not count).
+    pub parallel_kernels: usize,
+    /// Morsels processed by those parallel kernels.
+    pub morsels: usize,
+    /// The execution's thread budget.
+    pub threads: usize,
+    /// Buffer-pool checkouts served from the free lists.
+    pub pool_hits: usize,
+    /// Buffer-pool checkouts that fell through to the allocator.
+    pub pool_misses: usize,
+    /// Buffers returned to the pool (consumed intermediates' columns plus
+    /// returned index vectors).
+    pub pool_recycled: usize,
+}
+
+impl RuntimeMetrics {
+    /// Snapshot the counters of an execution context.
+    pub fn of(ctx: &ExecContext) -> Self {
+        let pool = ctx.pool.stats();
+        RuntimeMetrics {
+            parallel_kernels: ctx.parallel_kernels(),
+            morsels: ctx.morsels_run(),
+            threads: ctx.morsel.threads(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_recycled: pool.recycled,
+        }
+    }
+}
 
 /// Left-deep vs bushy (the paper's `LD` / `B` column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

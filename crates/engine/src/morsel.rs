@@ -1,0 +1,278 @@
+//! Morsel-driven parallelism for the vectorized kernels.
+//!
+//! Following Leis et al.'s morsel-driven execution model, a kernel's input
+//! index range is cut into fixed-size **morsels** (~32k rows). A scoped
+//! worker pool pulls morsels from a shared atomic cursor — so a slow morsel
+//! (one probe row with a huge match fan-out, say) never stalls the other
+//! workers — and every worker emits into its own thread-local buffer. The
+//! per-morsel results are then stitched back together *in morsel order*,
+//! which makes the parallel output byte-identical to the sequential one:
+//! a morsel's rows are produced in probe order within the morsel, and the
+//! morsels tile the input range in order.
+//!
+//! Parallelism is gated the same way the six-order store build gates it:
+//! the input must clear a row threshold (below it, thread spawns cost more
+//! than they save) and the machine must report more than one core via
+//! [`std::thread::available_parallelism`]. Both gates can be overridden
+//! with a forced thread count, which is how the single-core CI container
+//! still exercises the parallel path in unit tests.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per morsel. Large enough that the per-morsel bookkeeping (one
+/// atomic fetch-add, one mutex lock to park the result) is noise; small
+/// enough that a skewed morsel cannot dominate the schedule.
+pub const DEFAULT_MORSEL_ROWS: usize = 32 * 1024;
+
+/// Below this many input rows a kernel stays sequential: the work fits in
+/// cache and thread spawns would dominate. Matches the spirit of the store
+/// build's `PARALLEL_THRESHOLD`.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 32 * 1024;
+
+/// How a kernel splits work: thread budget, morsel size, and the row
+/// threshold under which it stays sequential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    threads: usize,
+    morsel_rows: usize,
+    min_parallel_rows: usize,
+}
+
+impl MorselConfig {
+    /// Thread budget from [`std::thread::available_parallelism`] — the
+    /// production configuration.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        MorselConfig::with_threads(threads)
+    }
+
+    /// Always sequential (a one-thread budget).
+    pub fn sequential() -> Self {
+        MorselConfig::with_threads(1)
+    }
+
+    /// A forced thread count, bypassing core detection (used by tests and
+    /// benchmarks on single-core machines). The row threshold still
+    /// applies; lower it with [`MorselConfig::with_min_parallel_rows`] to
+    /// force-parallelize tiny inputs.
+    pub fn with_threads(threads: usize) -> Self {
+        MorselConfig {
+            threads: threads.max(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+        }
+    }
+
+    /// Override the morsel size (clamped to ≥ 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Override the sequential-below threshold.
+    pub fn with_min_parallel_rows(mut self, rows: usize) -> Self {
+        self.min_parallel_rows = rows;
+        self
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Rows per morsel.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// Worker count for an input of `rows`: 1 when the input is under the
+    /// threshold or the budget is one thread, otherwise at most one worker
+    /// per morsel.
+    pub fn workers_for(&self, rows: usize) -> usize {
+        if rows < self.min_parallel_rows {
+            return 1;
+        }
+        self.threads.min(rows.div_ceil(self.morsel_rows)).max(1)
+    }
+}
+
+impl Default for MorselConfig {
+    /// The production default: [`MorselConfig::auto`].
+    fn default() -> Self {
+        MorselConfig::auto()
+    }
+}
+
+/// What one [`run_morsels`] call did — feeds the engine's runtime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MorselRun {
+    /// Number of morsels the range was cut into (0 when run sequentially
+    /// as one undivided range).
+    pub morsels: usize,
+    /// Worker threads used (1 = sequential).
+    pub threads: usize,
+}
+
+/// Cut `0..rows` into morsels, run `worker` over every morsel on a scoped
+/// worker pool, and return the per-morsel results **in morsel order**
+/// (deterministic regardless of scheduling). Falls back to a single
+/// sequential `worker(0..rows)` call when [`MorselConfig::workers_for`]
+/// says parallelism cannot win.
+pub fn run_morsels<T: Send>(
+    rows: usize,
+    config: &MorselConfig,
+    worker: impl Fn(Range<usize>) -> T + Sync,
+) -> (Vec<T>, MorselRun) {
+    let threads = config.workers_for(rows);
+    if threads <= 1 {
+        return (vec![worker(0..rows)], MorselRun { morsels: 0, threads: 1 });
+    }
+    let morsel_rows = config.morsel_rows;
+    let morsels = rows.div_ceil(morsel_rows);
+    // One slot per morsel; workers park their result under the slot's lock
+    // (uncontended: each slot is written exactly once).
+    let slots: Vec<Mutex<Option<T>>> = (0..morsels).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= morsels {
+                    break;
+                }
+                let start = m * morsel_rows;
+                let end = (start + morsel_rows).min(rows);
+                let result = worker(start..end);
+                *slots[m].lock().expect("morsel slot poisoned") = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("morsel slot poisoned")
+                .expect("every morsel produced a result")
+        })
+        .collect();
+    (results, MorselRun { morsels, threads })
+}
+
+/// Fill `out` by applying `fill(offset, chunk)` to contiguous stripes, in
+/// parallel when the config allows it — the shape of the scan fast path's
+/// column gather, where the output length is known up front. Each worker
+/// owns a disjoint stripe of roughly `len / workers` rows (rounded up to
+/// whole morsels), so the result is position-deterministic by
+/// construction.
+pub fn fill_stripes<T: Send>(
+    out: &mut [T],
+    config: &MorselConfig,
+    fill: impl Fn(usize, &mut [T]) + Sync,
+) -> MorselRun {
+    let rows = out.len();
+    let threads = config.workers_for(rows);
+    if threads <= 1 {
+        fill(0, out);
+        return MorselRun { morsels: 0, threads: 1 };
+    }
+    // Stripe size: whole morsels, spread across the worker budget.
+    let stripe = rows
+        .div_ceil(threads)
+        .div_ceil(config.morsel_rows)
+        .max(1)
+        * config.morsel_rows;
+    let mut stripes: Vec<(usize, &mut [T])> = Vec::new();
+    let mut rest = out;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = stripe.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        stripes.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
+    let count = stripes.len();
+    std::thread::scope(|scope| {
+        for (offset, chunk) in stripes {
+            let fill = &fill;
+            scope.spawn(move || fill(offset, chunk));
+        }
+    });
+    // One worker per stripe: report the workers actually used.
+    MorselRun { morsels: count, threads: threads.min(count) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_below_threshold() {
+        let config = MorselConfig::with_threads(4);
+        assert_eq!(config.workers_for(10), 1);
+        let (results, run) = run_morsels(10, &config, |r| r.len());
+        assert_eq!(results, vec![10]);
+        assert_eq!(run.threads, 1);
+    }
+
+    #[test]
+    fn workers_capped_by_morsel_count() {
+        let config = MorselConfig::with_threads(8)
+            .with_morsel_rows(100)
+            .with_min_parallel_rows(0);
+        // 250 rows = 3 morsels: no point in 8 workers.
+        assert_eq!(config.workers_for(250), 3);
+    }
+
+    #[test]
+    fn morsel_results_come_back_in_range_order() {
+        for threads in 2..=4 {
+            let config = MorselConfig::with_threads(threads)
+                .with_morsel_rows(7)
+                .with_min_parallel_rows(0);
+            let (results, run) = run_morsels(100, &config, |r| r.clone());
+            assert_eq!(run.morsels, 100usize.div_ceil(7));
+            assert_eq!(run.threads, threads.min(run.morsels));
+            let flat: Vec<usize> = results.into_iter().flatten().collect();
+            let expected: Vec<usize> = (0..100).collect();
+            assert_eq!(flat, expected);
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_fine() {
+        let config = MorselConfig::with_threads(3).with_min_parallel_rows(0);
+        let (results, _) = run_morsels(0, &config, |r| r.len());
+        assert_eq!(results.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn fill_stripes_is_position_deterministic() {
+        for threads in 1..=4 {
+            let config = MorselConfig::with_threads(threads)
+                .with_morsel_rows(8)
+                .with_min_parallel_rows(0);
+            let mut out = vec![0usize; 100];
+            fill_stripes(&mut out, &config, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            });
+            let expected: Vec<usize> = (0..100).collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn forced_threads_bypass_core_detection() {
+        // Even on a single-core machine, a forced budget parallelizes.
+        let config = MorselConfig::with_threads(3)
+            .with_morsel_rows(10)
+            .with_min_parallel_rows(0);
+        let (results, run) = run_morsels(35, &config, |r| r.len());
+        assert!(run.threads > 1);
+        assert_eq!(results.iter().sum::<usize>(), 35);
+    }
+}

@@ -11,6 +11,14 @@
 //! appends. The previous row-at-a-time kernels live on in
 //! [`crate::reference`] as the benchmark baseline and differential-testing
 //! oracle.
+//!
+//! Every operator comes in two spellings: a `*_in` variant taking an
+//! [`ExecContext`] — which supplies the [`crate::morsel`] thread budget for
+//! the parallel fast paths (hash-join probe, scan gather/selection) and the
+//! [`crate::pool::BufferPool`] the gather phase checks output columns out
+//! of — and a plain variant that runs in a fresh default context
+//! (auto-detected parallelism, private pool), kept for call sites that
+//! evaluate a single operator.
 
 use std::collections::HashSet;
 
@@ -20,7 +28,9 @@ use hsp_store::{Dataset, Order};
 
 use crate::binding::BindingTable;
 use crate::kernel::{BuildTable, FxBuildHasher};
+use crate::morsel;
 use crate::plan::{consts_form_prefix, scan_sort_var};
+use crate::pool::ExecContext;
 
 /// Upper bound on input-table sizes for the `u32` row indices the
 /// vectorized kernels exchange.
@@ -43,6 +53,19 @@ fn check_indexable(table: &BindingTable) {
 /// ([`PhysicalPlan::validate`](crate::plan::PhysicalPlan::validate) catches
 /// this earlier).
 pub fn scan(ds: &Dataset, pattern: &TriplePattern, order: Order) -> BindingTable {
+    scan_in(&ExecContext::new(), ds, pattern, order)
+}
+
+/// [`scan`] in an execution context: the no-repeated-variable fast path
+/// gathers each output column in parallel stripes when the range clears the
+/// morsel threshold, the repeated-variable path selects qualifying rows
+/// morsel-at-a-time, and all output columns come from the context's pool.
+pub fn scan_in(
+    ctx: &ExecContext,
+    ds: &Dataset,
+    pattern: &TriplePattern,
+    order: Order,
+) -> BindingTable {
     assert!(
         consts_form_prefix(pattern, order),
         "scan constants must form a key prefix of {order}"
@@ -90,27 +113,58 @@ pub fn scan(ds: &Dataset, pattern: &TriplePattern, order: Order) -> BindingTable
     let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
     if equalities.is_empty() {
         // Fast path (no repeated variables): bulk-gather each output column
-        // straight out of the key-coordinate rows, one column at a time.
+        // straight out of the key-coordinate rows, one column at a time —
+        // in parallel stripes when the range is large enough.
+        let parallel = ctx.morsel.workers_for(rows.len()) > 1;
+        let mut morsels = 0;
+        let mut threads_used = 1;
         for &k in &var_key_idx {
-            let mut col = Vec::with_capacity(rows.len());
-            col.extend(rows.iter().map(|row| row[k]));
+            let mut col = ctx.pool.take_col(rows.len());
+            if parallel {
+                col.resize(rows.len(), TermId(0));
+                let run = morsel::fill_stripes(&mut col, &ctx.morsel, |offset, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = rows[offset + i][k];
+                    }
+                });
+                morsels += run.morsels;
+                threads_used = threads_used.max(run.threads);
+            } else {
+                col.extend(rows.iter().map(|row| row[k]));
+            }
             cols.push(col);
         }
+        if morsels > 0 {
+            // One counter entry for the whole scan (all columns together),
+            // reporting the worker count the stripes actually used.
+            ctx.note_run(morsel::MorselRun { morsels, threads: threads_used });
+        }
     } else {
-        // Late materialisation: select qualifying row indices first, then
-        // gather the columns.
+        // Late materialisation: select qualifying row indices first
+        // (morsel-at-a-time, stitched in morsel order), then gather the
+        // columns.
         assert!(rows.len() < u32::MAX as usize, "scan range exceeds u32 row indexing");
-        let sel: Vec<u32> = rows
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| equalities.iter().all(|&(a, b)| row[a] == row[b]))
-            .map(|(i, _)| i as u32)
-            .collect();
+        let (parts, run) = morsel::run_morsels(rows.len(), &ctx.morsel, |range| {
+            let mut sel: Vec<u32> = Vec::new();
+            for i in range {
+                if equalities.iter().all(|&(a, b)| rows[i][a] == rows[i][b]) {
+                    sel.push(i as u32);
+                }
+            }
+            sel
+        });
+        ctx.note_run(run);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut sel = ctx.pool.take_idx(total);
+        for part in parts {
+            sel.extend_from_slice(&part);
+        }
         for &k in &var_key_idx {
-            let mut col = Vec::with_capacity(sel.len());
+            let mut col = ctx.pool.take_col(sel.len());
             col.extend(sel.iter().map(|&i| rows[i as usize][k]));
             cols.push(col);
         }
+        ctx.pool.put_idx(sel);
     }
     let sorted = scan_sort_var(pattern, order);
     BindingTable::from_columns(out_vars, cols, sorted)
@@ -124,6 +178,19 @@ pub fn scan(ds: &Dataset, pattern: &TriplePattern, order: Order) -> BindingTable
 /// # Panics
 /// Panics if an input is not sorted by `var`.
 pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> BindingTable {
+    merge_join_in(&ExecContext::new(), left, right, var)
+}
+
+/// [`merge_join`] in an execution context: the index-pair buffers and the
+/// gathered output columns come from the context's pool. (The merge scan
+/// itself stays sequential — its cursor pair is inherently serial; the
+/// parallel join path is [`hash_join_in`].)
+pub fn merge_join_in(
+    ctx: &ExecContext,
+    left: &BindingTable,
+    right: &BindingTable,
+    var: Var,
+) -> BindingTable {
     assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
     assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
 
@@ -138,8 +205,8 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
         .collect();
 
     // Phase 1: emit compact (left_row, right_row) index pairs.
-    let mut lidx: Vec<u32> = Vec::new();
-    let mut ridx: Vec<u32> = Vec::new();
+    let mut lidx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
+    let mut ridx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
     let (mut i, mut j) = (0usize, 0usize);
     while i < lcol.len() && j < rcol.len() {
         let (a, b) = (lcol[i], rcol[j]);
@@ -176,7 +243,9 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
     }
 
     // Phase 2: gather the output column at a time.
-    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
+    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    ctx.pool.put_idx(lidx);
+    ctx.pool.put_idx(ridx);
     out.set_sorted_by(Some(var));
     out
 }
@@ -196,6 +265,26 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
 /// # Panics
 /// Panics if `vars` is empty or not shared by both inputs.
 pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> BindingTable {
+    hash_join_in(&ExecContext::new(), left, right, vars)
+}
+
+/// [`hash_join`] in an execution context — the **morsel-driven probe**.
+///
+/// When the probe side clears the context's morsel threshold (and the
+/// thread budget allows), the probe index range is cut into fixed-size
+/// morsels; a scoped worker pool pulls morsels from a shared cursor and
+/// probes the shared read-only [`BuildTable`], each worker emitting into
+/// thread-local pair buffers. The buffers are stitched back in morsel
+/// order, so the output is byte-identical to the sequential probe and the
+/// left ordering still survives. Below the threshold the probe runs
+/// sequentially into pooled buffers; either way the gather phase checks
+/// its output columns out of the context's pool.
+pub fn hash_join_in(
+    ctx: &ExecContext,
+    left: &BindingTable,
+    right: &BindingTable,
+    vars: &[Var],
+) -> BindingTable {
     assert!(!vars.is_empty(), "hash join needs at least one variable");
     for &v in vars {
         assert!(left.vars().contains(&v), "hash join var {v} missing from left");
@@ -214,22 +303,58 @@ pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> Bin
         .map(|&v| (left.column(v), right.column(v)))
         .collect();
 
-    // Probe, emitting index pairs.
-    let mut lidx: Vec<u32> = Vec::new();
-    let mut ridx: Vec<u32> = Vec::new();
-    for i in 0..left.len() {
-        table.probe(&build_cols, &probe_cols, i, |j| {
-            if extra_pairs.iter().all(|(lc, rc)| lc[i] == rc[j]) {
-                lidx.push(i as u32);
-                ridx.push(j as u32);
-            }
-        });
-    }
+    // Probe, emitting index pairs (morsel-parallel over the probe side).
+    let (lidx, ridx) = probe_pairs(ctx, left.len(), |range, l, r| {
+        table.probe_range(&build_cols, &probe_cols, &extra_pairs, range, l, r)
+    });
 
-    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
+    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    ctx.pool.put_idx(lidx);
+    ctx.pool.put_idx(ridx);
     // Probe order is preserved, so the left ordering survives.
     out.set_sorted_by(left.sorted_by());
     out
+}
+
+/// Shared probe driver of the two hash joins: run `probe` over the probe
+/// index range — morsel-driven on a scoped worker pool when `ctx` allows,
+/// sequentially into pooled buffers otherwise — and return the stitched
+/// `(left, right)` pair vectors (checked out of the pool; callers return
+/// them after the gather).
+///
+/// `probe` must append, for any subrange, the same pairs in the same order
+/// the full sequential probe would produce over that subrange; stitching
+/// the per-morsel buffers in morsel order then reproduces the sequential
+/// output exactly, which is what keeps parallel results deterministic.
+fn probe_pairs(
+    ctx: &ExecContext,
+    probe_rows: usize,
+    probe: impl Fn(std::ops::Range<usize>, &mut Vec<u32>, &mut Vec<u32>) + Sync,
+) -> (Vec<u32>, Vec<u32>) {
+    if ctx.morsel.workers_for(probe_rows) > 1 {
+        let (parts, run) = morsel::run_morsels(probe_rows, &ctx.morsel, |range| {
+            // Thread-local pair buffers; sized for the common ~1 match per
+            // probe row so most morsels never reallocate.
+            let mut l = Vec::with_capacity(range.len());
+            let mut r = Vec::with_capacity(range.len());
+            probe(range, &mut l, &mut r);
+            (l, r)
+        });
+        ctx.note_run(run);
+        let total: usize = parts.iter().map(|(l, _)| l.len()).sum();
+        let mut lidx = ctx.pool.take_idx(total);
+        let mut ridx = ctx.pool.take_idx(total);
+        for (l, r) in parts {
+            lidx.extend_from_slice(&l);
+            ridx.extend_from_slice(&r);
+        }
+        (lidx, ridx)
+    } else {
+        let mut lidx = ctx.pool.take_idx(probe_rows);
+        let mut ridx = ctx.pool.take_idx(probe_rows);
+        probe(0..probe_rows, &mut lidx, &mut ridx);
+        (lidx, ridx)
+    }
 }
 
 /// Cartesian product (left-major order, so the left ordering survives).
@@ -237,6 +362,15 @@ pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> Bin
 /// # Panics
 /// Panics if the inputs share a variable.
 pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable {
+    cross_product_in(&ExecContext::new(), left, right)
+}
+
+/// [`cross_product`] in an execution context (pooled output columns).
+pub fn cross_product_in(
+    ctx: &ExecContext,
+    left: &BindingTable,
+    right: &BindingTable,
+) -> BindingTable {
     let shared: Vec<Var> = left
         .vars()
         .iter()
@@ -257,14 +391,14 @@ pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable 
     // times; each right column is tiled `left.len()` times.
     let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
     for col in left.columns() {
-        let mut out = Vec::with_capacity(rows);
+        let mut out = ctx.pool.take_col(rows);
         for &v in col {
             out.extend(std::iter::repeat_n(v, right.len()));
         }
         cols.push(out);
     }
     for col in right.columns() {
-        let mut out = Vec::with_capacity(rows);
+        let mut out = ctx.pool.take_col(rows);
         for _ in 0..left.len() {
             out.extend_from_slice(col);
         }
@@ -282,11 +416,18 @@ pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable 
 /// # Panics
 /// Panics if `var` is not a variable of the table.
 pub fn sort_by(input: &BindingTable, var: Var) -> BindingTable {
+    sort_by_in(&ExecContext::new(), input, var)
+}
+
+/// [`sort_by`] in an execution context (pooled sort index and output).
+pub fn sort_by_in(ctx: &ExecContext, input: &BindingTable, var: Var) -> BindingTable {
     check_indexable(input);
     let key = input.column(var);
-    let mut index: Vec<u32> = (0..input.len() as u32).collect();
+    let mut index = ctx.pool.take_idx(input.len());
+    index.extend(0..input.len() as u32);
     index.sort_by_key(|&i| key[i as usize]); // stable
-    let mut out = input.gather(&index);
+    let mut out = input.gather_in(&index, &ctx.pool);
+    ctx.pool.put_idx(index);
     out.set_sorted_by(Some(var));
     out
 }
@@ -298,6 +439,18 @@ pub fn sort_by(input: &BindingTable, var: Var) -> BindingTable {
 /// # Panics
 /// Panics if `vars` is empty or not shared by both inputs.
 pub fn left_outer_hash_join(
+    left: &BindingTable,
+    right: &BindingTable,
+    vars: &[Var],
+) -> BindingTable {
+    left_outer_hash_join_in(&ExecContext::new(), left, right, vars)
+}
+
+/// [`left_outer_hash_join`] in an execution context: same morsel-driven
+/// probe as [`hash_join_in`] — the unmatched-row sentinel is emitted per
+/// probe row, so per-morsel outputs still stitch deterministically.
+pub fn left_outer_hash_join_in(
+    ctx: &ExecContext,
     left: &BindingTable,
     right: &BindingTable,
     vars: &[Var],
@@ -321,24 +474,13 @@ pub fn left_outer_hash_join(
 
     // Index pairs; an unmatched left row pairs with the `u32::MAX` sentinel,
     // which the gather turns into UNBOUND padding.
-    let mut lidx: Vec<u32> = Vec::new();
-    let mut ridx: Vec<u32> = Vec::new();
-    for i in 0..left.len() {
-        let mut matched = false;
-        table.probe(&build_cols, &probe_cols, i, |j| {
-            if extra_pairs.iter().all(|(lc, rc)| lc[i] == rc[j]) {
-                matched = true;
-                lidx.push(i as u32);
-                ridx.push(j as u32);
-            }
-        });
-        if !matched {
-            lidx.push(i as u32);
-            ridx.push(u32::MAX);
-        }
-    }
+    let (lidx, ridx) = probe_pairs(ctx, left.len(), |range, l, r| {
+        table.probe_range_outer(&build_cols, &probe_cols, &extra_pairs, range, l, r)
+    });
 
-    let mut out = BindingTable::from_join_pairs(left, right, &right_extra, &lidx, &ridx);
+    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    ctx.pool.put_idx(lidx);
+    ctx.pool.put_idx(ridx);
     out.set_sorted_by(None); // UNBOUND sentinels may break the left order
     out
 }
@@ -347,6 +489,11 @@ pub fn left_outer_hash_join(
 /// operator): columns missing from a branch are padded with
 /// [`TermId::UNBOUND`].
 pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
+    union_all_in(&ExecContext::new(), a, b)
+}
+
+/// [`union_all`] in an execution context (pooled output columns).
+pub fn union_all_in(ctx: &ExecContext, a: &BindingTable, b: &BindingTable) -> BindingTable {
     let mut out_vars = a.vars().to_vec();
     for &v in b.vars() {
         if !out_vars.contains(&v) {
@@ -361,7 +508,7 @@ pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
     // or a run of UNBOUND padding.
     let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
     for &v in &out_vars {
-        let mut col = Vec::with_capacity(rows);
+        let mut col = ctx.pool.take_col(rows);
         for side in [a, b] {
             match side.col_index(v) {
                 Some(c) => col.extend_from_slice(&side.columns()[c]),
@@ -381,13 +528,28 @@ pub fn union_all(a: &BindingTable, b: &BindingTable) -> BindingTable {
 /// [`Evaluator`](hsp_sparql::Evaluator) (and hence one compiled-regex
 /// cache) across all rows.
 pub fn filter(ds: &Dataset, input: &BindingTable, expr: &FilterExpr) -> BindingTable {
+    filter_in(&ExecContext::new(), ds, input, expr)
+}
+
+/// [`filter`] in an execution context (pooled selection vector and output
+/// columns; evaluation itself is sequential — the expression evaluator's
+/// regex cache is not shareable across threads).
+pub fn filter_in(
+    ctx: &ExecContext,
+    ds: &Dataset,
+    input: &BindingTable,
+    expr: &FilterExpr,
+) -> BindingTable {
     check_indexable(input);
     let evaluator = hsp_sparql::Evaluator::new();
-    let sel: Vec<u32> = (0..input.len())
-        .filter(|&i| eval_expr(ds, input, expr, i, &evaluator))
-        .map(|i| i as u32)
-        .collect();
-    let mut out = input.gather(&sel);
+    let mut sel = ctx.pool.take_idx(input.len());
+    sel.extend(
+        (0..input.len())
+            .filter(|&i| eval_expr(ds, input, expr, i, &evaluator))
+            .map(|i| i as u32),
+    );
+    let mut out = input.gather_in(&sel, &ctx.pool);
+    ctx.pool.put_idx(sel);
     out.set_sorted_by(input.sorted_by());
     out
 }
@@ -397,6 +559,16 @@ pub fn filter(ds: &Dataset, input: &BindingTable, expr: &FilterExpr) -> BindingT
 /// domain (a semi-join against already-materialised join inputs).
 /// Row order — and hence sortedness — is preserved.
 pub fn domain_filter(
+    input: &BindingTable,
+    domains: &std::collections::HashMap<Var, std::rc::Rc<std::collections::HashSet<TermId>>>,
+) -> BindingTable {
+    domain_filter_in(&ExecContext::new(), input, domains)
+}
+
+/// [`domain_filter`] in an execution context (pooled selection vector and
+/// output columns).
+pub fn domain_filter_in(
+    ctx: &ExecContext,
     input: &BindingTable,
     domains: &std::collections::HashMap<Var, std::rc::Rc<std::collections::HashSet<TermId>>>,
 ) -> BindingTable {
@@ -410,15 +582,18 @@ pub fn domain_filter(
         return input.clone();
     }
     check_indexable(input);
-    let sel: Vec<u32> = (0..input.len())
-        .filter(|&i| {
-            constrained
-                .iter()
-                .all(|&(c, set)| set.contains(&input.columns()[c][i]))
-        })
-        .map(|i| i as u32)
-        .collect();
-    let mut out = input.gather(&sel);
+    let mut sel = ctx.pool.take_idx(input.len());
+    sel.extend(
+        (0..input.len())
+            .filter(|&i| {
+                constrained
+                    .iter()
+                    .all(|&(c, set)| set.contains(&input.columns()[c][i]))
+            })
+            .map(|i| i as u32),
+    );
+    let mut out = input.gather_in(&sel, &ctx.pool);
+    ctx.pool.put_idx(sel);
     out.set_sorted_by(input.sorted_by());
     out
 }
@@ -429,6 +604,17 @@ pub fn domain_filter(
 /// engine behaviour for, e.g., `ORDER BY` over a variable that is unbound
 /// in some rows.
 pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]) -> BindingTable {
+    order_by_in(&ExecContext::new(), ds, input, keys)
+}
+
+/// [`order_by`] in an execution context (pooled selection vector and output
+/// columns; key evaluation is sequential, like [`filter_in`]).
+pub fn order_by_in(
+    ctx: &ExecContext,
+    ds: &Dataset,
+    input: &BindingTable,
+    keys: &[hsp_sparql::SortKey],
+) -> BindingTable {
     use hsp_sparql::expr::compare_for_order;
     check_indexable(input);
     let evaluator = hsp_sparql::Evaluator::new();
@@ -455,14 +641,27 @@ pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]
         std::cmp::Ordering::Equal // stable sort keeps input order
     });
 
-    let sel: Vec<u32> = decorated.iter().map(|&(i, _)| i as u32).collect();
+    let mut sel = ctx.pool.take_idx(decorated.len());
+    sel.extend(decorated.iter().map(|&(i, _)| i as u32));
     // The ORDER BY value order is not the TermId order merge joins need,
     // so the gathered output's default of no sortedness is correct.
-    input.gather(&sel)
+    let out = input.gather_in(&sel, &ctx.pool);
+    ctx.pool.put_idx(sel);
+    out
 }
 
 /// `OFFSET`/`LIMIT`: keep `limit` rows starting at `offset`.
 pub fn slice(input: &BindingTable, offset: usize, limit: Option<usize>) -> BindingTable {
+    slice_in(&ExecContext::new(), input, offset, limit)
+}
+
+/// [`fn@slice`] in an execution context (pooled output columns).
+pub fn slice_in(
+    ctx: &ExecContext,
+    input: &BindingTable,
+    offset: usize,
+    limit: Option<usize>,
+) -> BindingTable {
     let start = offset.min(input.len());
     let end = match limit {
         Some(n) => (start + n).min(input.len()),
@@ -472,7 +671,15 @@ pub fn slice(input: &BindingTable, offset: usize, limit: Option<usize>) -> Bindi
         return BindingTable::unit(end - start);
     }
     // A slice is a contiguous bulk copy per column.
-    let cols: Vec<Vec<TermId>> = input.columns().iter().map(|c| c[start..end].to_vec()).collect();
+    let cols: Vec<Vec<TermId>> = input
+        .columns()
+        .iter()
+        .map(|c| {
+            let mut out = ctx.pool.take_col(end - start);
+            out.extend_from_slice(&c[start..end]);
+            out
+        })
+        .collect();
     let mut out = BindingTable::from_columns(input.vars().to_vec(), cols, None);
     out.set_sorted_by(input.sorted_by());
     out
@@ -482,6 +689,16 @@ pub fn slice(input: &BindingTable, offset: usize, limit: Option<usize>) -> Bindi
 /// Duplicated projection entries referring to the same variable (after
 /// FILTER unification) share one column in the output's variable list.
 pub fn project(input: &BindingTable, projection: &[(String, Var)], distinct: bool) -> BindingTable {
+    project_in(&ExecContext::new(), input, projection, distinct)
+}
+
+/// [`project`] in an execution context (pooled output columns).
+pub fn project_in(
+    ctx: &ExecContext,
+    input: &BindingTable,
+    projection: &[(String, Var)],
+    distinct: bool,
+) -> BindingTable {
     if projection.is_empty() {
         // ASK-style degenerate projection: keep only the row count.
         let rows = if distinct { input.len().min(1) } else { input.len() };
@@ -502,11 +719,19 @@ pub fn project(input: &BindingTable, projection: &[(String, Var)], distinct: boo
 
     let cols: Vec<Vec<TermId>> = if !distinct {
         // Plain projection is a bulk column copy.
-        src.iter().map(|c| c.to_vec()).collect()
+        src.iter()
+            .map(|c| {
+                let mut col = ctx.pool.take_col(c.len());
+                col.extend_from_slice(c);
+                col
+            })
+            .collect()
     } else {
         check_indexable(input);
         let sel = distinct_first_occurrences(&src, input.len());
-        src.iter().map(|c| crate::binding::gather_column(c, &sel)).collect()
+        src.iter()
+            .map(|c| crate::binding::gather_column(c, &sel, Some(&ctx.pool)))
+            .collect()
     };
     let keep_sort = input
         .sorted_by()
@@ -1151,6 +1376,120 @@ mod tests {
         assert_eq!(b.row(0), t.row(1));
         // Slicing preserves sortedness metadata.
         assert_eq!(slice(&t, 1, Some(1)).sorted_by(), t.sorted_by());
+    }
+
+    /// A forced-parallel context: tiny morsels, no row threshold, so even
+    /// unit-test-sized inputs cross several morsels per worker.
+    fn forced_ctx(threads: usize) -> ExecContext {
+        ExecContext::with_morsel_config(
+            crate::morsel::MorselConfig::with_threads(threads)
+                .with_morsel_rows(64)
+                .with_min_parallel_rows(0),
+        )
+    }
+
+    /// Deterministic pseudo-random tables big enough to span many morsels.
+    fn big_join_inputs(n: usize) -> (BindingTable, BindingTable) {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move |m: u32| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 33) as u32 % m
+        };
+        let keys = (n / 4).max(1) as u32;
+        let lk: Vec<TermId> = (0..n).map(|_| TermId(next(keys))).collect();
+        let rk: Vec<TermId> = (0..n).map(|_| TermId(next(keys))).collect();
+        let lp: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000_000 + i)).collect();
+        let rp: Vec<TermId> = (0..n as u32).map(|i| TermId(2_000_000 + i)).collect();
+        (
+            BindingTable::from_columns(vec![Var(0), Var(1)], vec![lk, lp], None),
+            BindingTable::from_columns(vec![Var(0), Var(2)], vec![rk, rp], None),
+        )
+    }
+
+    #[test]
+    fn morsel_probe_is_byte_identical_to_sequential() {
+        let (l, r) = big_join_inputs(3_000);
+        let sequential = hash_join_in(&ExecContext::with_threads(1), &l, &r, &[Var(0)]);
+        for threads in 2..=4 {
+            let ctx = forced_ctx(threads);
+            let parallel = hash_join_in(&ctx, &l, &r, &[Var(0)]);
+            // Full structural equality: same columns, same row order, same
+            // metadata — not just the same row multiset.
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert_eq!(ctx.parallel_kernels(), 1);
+            assert!(ctx.morsels_run() > 1);
+        }
+    }
+
+    #[test]
+    fn morsel_outer_probe_is_byte_identical_to_sequential() {
+        let (l, r) = big_join_inputs(2_000);
+        let sequential = left_outer_hash_join_in(&ExecContext::with_threads(1), &l, &r, &[Var(0)]);
+        for threads in 2..=4 {
+            let parallel = left_outer_hash_join_in(&forced_ctx(threads), &l, &r, &[Var(0)]);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn morsel_probe_with_extra_shared_var_is_identical() {
+        // Shared non-key column ?1 on both sides: the extra-pair check runs
+        // inside every worker.
+        let n = 1_500;
+        let (l0, r0) = big_join_inputs(n);
+        let shared: Vec<TermId> = (0..n as u32).map(|i| TermId(i % 7)).collect();
+        let l = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![l0.column(Var(0)).to_vec(), shared.clone()],
+            None,
+        );
+        let r = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![r0.column(Var(0)).to_vec(), shared],
+            None,
+        );
+        let sequential = hash_join_in(&ExecContext::with_threads(1), &l, &r, &[Var(0)]);
+        for threads in 2..=4 {
+            let parallel = hash_join_in(&forced_ctx(threads), &l, &r, &[Var(0)]);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_byte_identical_to_sequential() {
+        // 300 triples: several 64-row morsels under the forced config.
+        let mut doc = String::new();
+        for i in 0..300 {
+            doc.push_str(&format!("<http://e/s{}> <http://e/p> <http://e/o{i}> .\n", i % 40));
+        }
+        let ds = Dataset::from_ntriples(&doc).unwrap();
+        let pat = TriplePattern::new(vv(0), cv("p"), vv(1));
+        let sequential = scan_in(&ExecContext::with_threads(1), &ds, &pat, Order::Pso);
+        for threads in 2..=4 {
+            let parallel = scan_in(&forced_ctx(threads), &ds, &pat, Order::Pso);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Repeated-variable path (morsel-at-a-time selection): ?x p ?x.
+        let pat = TriplePattern::new(vv(0), cv("p"), vv(0));
+        let sequential = scan_in(&ExecContext::with_threads(1), &ds, &pat, Order::Pso);
+        for threads in 2..=4 {
+            let parallel = scan_in(&forced_ctx(threads), &ds, &pat, Order::Pso);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_join_reuses_buffers_across_operators() {
+        let (l, r) = big_join_inputs(500);
+        let ctx = ExecContext::with_threads(1);
+        let first = hash_join_in(&ctx, &l, &r, &[Var(0)]);
+        ctx.pool.recycle(first.clone());
+        let second = hash_join_in(&ctx, &l, &r, &[Var(0)]);
+        assert_eq!(first, second);
+        let stats = ctx.pool.stats();
+        assert!(stats.hits > 0, "second join should reuse recycled buffers: {stats:?}");
     }
 
     #[test]

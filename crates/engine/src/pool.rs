@@ -1,0 +1,274 @@
+//! Per-execution recycling of intermediate columns, plus the execution
+//! context that threads the pool and the morsel configuration through the
+//! operators.
+//!
+//! Operator-at-a-time plans materialise every intermediate result: a
+//! five-join plan allocates (and immediately frees) dozens of column
+//! vectors. The [`BufferPool`] is an arena of reusable `Vec<TermId>` /
+//! `Vec<u32>` buffers: the gather primitives check columns out instead of
+//! calling the allocator, and the tree evaluator returns a consumed
+//! intermediate's columns to the pool the moment its parent operator has
+//! produced its output. Hit/miss/recycle counters surface through
+//! [`crate::metrics::RuntimeMetrics`].
+//!
+//! The pool is deliberately single-threaded (`RefCell`): the evaluator
+//! walks the plan tree sequentially, and parallelism lives *inside* a
+//! kernel (see [`crate::morsel`]), where workers use thread-local buffers
+//! and never touch the pool.
+
+use std::cell::{Cell, RefCell};
+
+use hsp_rdf::TermId;
+
+use crate::binding::BindingTable;
+use crate::morsel::MorselConfig;
+
+/// Keep at most this many free buffers per kind; beyond it, returned
+/// buffers are simply dropped. Bounds the *number* of parked buffers.
+const MAX_FREE_BUFFERS: usize = 64;
+
+/// Buffers whose capacity exceeds this many elements are dropped instead
+/// of pooled, so a one-off huge intermediate (a runaway cross product,
+/// say) cannot pin its memory for the rest of the execution. Together
+/// with [`MAX_FREE_BUFFERS`] this caps the pool's worst-case footprint at
+/// `2 × 64 × 4 MiB`. Checkout is capacity-blind LIFO — a reused buffer may
+/// still need to grow for a larger gather (`reserve` handles it), which
+/// counts as a hit because the allocation was still elided in the common
+/// same-shape-plan case.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// An arena of recyclable column buffers, scoped to one execution.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    term_cols: RefCell<Vec<Vec<TermId>>>,
+    idx_bufs: RefCell<Vec<Vec<u32>>>,
+    hits: Cell<usize>,
+    misses: Cell<usize>,
+    recycled: Cell<usize>,
+}
+
+/// Pool counters (cumulative over one execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Checkouts served from the free lists.
+    pub hits: usize,
+    /// Checkouts that fell through to the allocator.
+    pub misses: usize,
+    /// Buffers returned to the pool (columns of consumed intermediates
+    /// plus returned index vectors).
+    pub recycled: usize,
+}
+
+impl BufferPool {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Check out a cleared `TermId` column with at least `capacity` spare.
+    pub fn take_col(&self, capacity: usize) -> Vec<TermId> {
+        match self.term_cols.borrow_mut().pop() {
+            Some(mut col) => {
+                self.hits.set(self.hits.get() + 1);
+                col.clear();
+                col.reserve(capacity);
+                col
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a `TermId` column to the pool.
+    pub fn put_col(&self, col: Vec<TermId>) {
+        if col.capacity() == 0 || col.capacity() > MAX_POOLED_CAPACITY {
+            return; // nothing worth keeping / too big to pin
+        }
+        let mut free = self.term_cols.borrow_mut();
+        if free.len() < MAX_FREE_BUFFERS {
+            free.push(col);
+            self.recycled.set(self.recycled.get() + 1);
+        }
+    }
+
+    /// Check out a cleared `u32` index buffer with at least `capacity`
+    /// spare (selection vectors and join-pair vectors).
+    pub fn take_idx(&self, capacity: usize) -> Vec<u32> {
+        match self.idx_bufs.borrow_mut().pop() {
+            Some(mut buf) => {
+                self.hits.set(self.hits.get() + 1);
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return an index buffer to the pool.
+    pub fn put_idx(&self, buf: Vec<u32>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        let mut free = self.idx_bufs.borrow_mut();
+        if free.len() < MAX_FREE_BUFFERS {
+            free.push(buf);
+            self.recycled.set(self.recycled.get() + 1);
+        }
+    }
+
+    /// Consume a no-longer-needed intermediate table, moving its columns
+    /// into the pool for the next gather to reuse.
+    pub fn recycle(&self, table: BindingTable) {
+        for col in table.into_columns() {
+            self.put_col(col);
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            recycled: self.recycled.get(),
+        }
+    }
+
+    /// Free buffers currently parked (both kinds).
+    pub fn free_buffers(&self) -> usize {
+        self.term_cols.borrow().len() + self.idx_bufs.borrow().len()
+    }
+}
+
+/// Everything an operator needs beyond its inputs: the morsel/thread
+/// configuration, the column pool, and the runtime counters the execution
+/// reports afterwards.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    /// How kernels split work across threads.
+    pub morsel: MorselConfig,
+    /// The per-execution column arena.
+    pub pool: BufferPool,
+    morsels: Cell<usize>,
+    parallel_kernels: Cell<usize>,
+}
+
+impl ExecContext {
+    /// Production context: thread budget from `available_parallelism`,
+    /// fresh pool.
+    pub fn new() -> Self {
+        ExecContext::default()
+    }
+
+    /// A context with a forced thread budget (tests, benchmarks, the CLI's
+    /// `--threads` flag).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecContext { morsel: MorselConfig::with_threads(threads), ..ExecContext::default() }
+    }
+
+    /// A context with an explicit morsel configuration.
+    pub fn with_morsel_config(morsel: MorselConfig) -> Self {
+        ExecContext { morsel, ..ExecContext::default() }
+    }
+
+    /// Record a kernel's morsel run in the execution-wide counters.
+    pub(crate) fn note_run(&self, run: crate::morsel::MorselRun) {
+        if run.threads > 1 {
+            self.morsels.set(self.morsels.get() + run.morsels);
+            self.parallel_kernels.set(self.parallel_kernels.get() + 1);
+        }
+    }
+
+    /// Morsels processed by parallel kernels so far.
+    pub fn morsels_run(&self) -> usize {
+        self.morsels.get()
+    }
+
+    /// Kernels that actually ran parallel so far.
+    pub fn parallel_kernels(&self) -> usize {
+        self.parallel_kernels.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_sparql::Var;
+
+    #[test]
+    fn take_put_cycle_hits_after_first_miss() {
+        let pool = BufferPool::new();
+        let col = pool.take_col(16);
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1, recycled: 0 });
+        pool.put_col(col);
+        let col2 = pool.take_col(8);
+        assert!(col2.capacity() >= 8);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, recycled: 1 });
+    }
+
+    #[test]
+    fn recycled_column_comes_back_cleared() {
+        let pool = BufferPool::new();
+        let mut col = pool.take_col(4);
+        col.extend([TermId(1), TermId(2), TermId(3)]);
+        pool.put_col(col);
+        let col = pool.take_col(2);
+        assert!(col.is_empty());
+        assert!(col.capacity() >= 2);
+    }
+
+    #[test]
+    fn recycle_table_parks_all_columns() {
+        let pool = BufferPool::new();
+        let table = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![vec![TermId(1)], vec![TermId(2)]],
+            None,
+        );
+        pool.recycle(table);
+        assert_eq!(pool.free_buffers(), 2);
+        assert_eq!(pool.stats().recycled, 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        pool.put_col(Vec::new());
+        pool.put_idx(Vec::new());
+        assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let pool = BufferPool::new();
+        pool.put_col(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        pool.put_idx(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        assert_eq!(pool.free_buffers(), 0);
+        pool.put_col(Vec::with_capacity(16));
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..(MAX_FREE_BUFFERS + 10) {
+            pool.put_idx(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.free_buffers(), MAX_FREE_BUFFERS);
+    }
+
+    #[test]
+    fn context_counts_only_parallel_runs() {
+        let ctx = ExecContext::with_threads(4);
+        ctx.note_run(crate::morsel::MorselRun { morsels: 0, threads: 1 });
+        assert_eq!(ctx.parallel_kernels(), 0);
+        ctx.note_run(crate::morsel::MorselRun { morsels: 5, threads: 2 });
+        assert_eq!(ctx.parallel_kernels(), 1);
+        assert_eq!(ctx.morsels_run(), 5);
+    }
+}

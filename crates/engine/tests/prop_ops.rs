@@ -3,10 +3,12 @@
 //! including the vectorized kernels against the retired row-at-a-time
 //! kernels ([`hsp_engine::reference`]) on repeated-variable (extra shared
 //! column), multi-variable-key (packed and CSR layouts), and zero-column
-//! (unit) inputs.
+//! (unit) inputs — plus the morsel/pool layer: every kernel property also
+//! runs through a pooled, forced-multi-thread execution context and must
+//! produce byte-identical tables.
 
 use hsp_engine::binding::BindingTable;
-use hsp_engine::{ops, reference};
+use hsp_engine::{ops, reference, ExecContext, MorselConfig};
 use hsp_rdf::TermId;
 use hsp_sparql::Var;
 use proptest::prelude::*;
@@ -338,6 +340,69 @@ proptest! {
 
         let ask = ops::project(&table, &[], true);
         prop_assert_eq!(ask.len(), table.len().min(1));
+    }
+
+    /// Every kernel, run through a pooled execution context with a forced
+    /// 3-thread morsel pool (tiny morsels, no row threshold, so even these
+    /// small inputs split), produces tables byte-identical to the default
+    /// path — and a second pass over warm (recycled) buffers agrees too.
+    #[test]
+    fn pooled_parallel_context_is_byte_identical(
+        left in arb_table(1),
+        right in arb_table(2),
+        threads in 2usize..=4,
+    ) {
+        let ctx = ExecContext::with_morsel_config(
+            MorselConfig::with_threads(threads)
+                .with_morsel_rows(4)
+                .with_min_parallel_rows(0),
+        );
+        for _pass in 0..2 {
+            let hj = ops::hash_join_in(&ctx, &left, &right, &[Var(0)]);
+            prop_assert_eq!(&hj, &ops::hash_join(&left, &right, &[Var(0)]));
+
+            let oj = ops::left_outer_hash_join_in(&ctx, &left, &right, &[Var(0)]);
+            prop_assert_eq!(&oj, &ops::left_outer_hash_join(&left, &right, &[Var(0)]));
+
+            let mj = ops::merge_join_in(&ctx, &left, &right, Var(0));
+            prop_assert_eq!(&mj, &ops::merge_join(&left, &right, Var(0)));
+
+            let sorted = ops::sort_by_in(&ctx, &hj, Var(1));
+            prop_assert_eq!(&sorted, &ops::sort_by(&hj, Var(1)));
+
+            let proj = ops::project_in(&ctx, &hj, &[("k".into(), Var(0))], true);
+            prop_assert_eq!(&proj, &ops::project(&hj, &[("k".into(), Var(0))], true));
+
+            let sliced = ops::slice_in(&ctx, &hj, 1, Some(5));
+            prop_assert_eq!(&sliced, &ops::slice(&hj, 1, Some(5)));
+
+            let unioned = ops::union_all_in(&ctx, &left, &right);
+            prop_assert_eq!(&unioned, &ops::union_all(&left, &right));
+
+            // Recycle this pass's intermediates so the second pass runs on
+            // warm buffers (the pool-hit path).
+            for table in [hj, oj, mj, sorted, proj, sliced, unioned] {
+                ctx.pool.recycle(table);
+            }
+        }
+        prop_assert!(ctx.pool.stats().hits > 0 || left.is_empty() || right.is_empty());
+    }
+
+    /// The morsel-parallel probe agrees with the nested-loop oracle on the
+    /// extra-shared-column inputs (the worker-side extra-pair check).
+    #[test]
+    fn pooled_parallel_probe_matches_nested_loop(
+        left in arb_shared_table(5),
+        right in arb_shared_table(6),
+    ) {
+        let ctx = ExecContext::with_morsel_config(
+            MorselConfig::with_threads(3)
+                .with_morsel_rows(4)
+                .with_min_parallel_rows(0),
+        );
+        let oracle = reference::nested_loop_join_rows(&left, &right);
+        let joined = ops::hash_join_in(&ctx, &left, &right, &[Var(0)]);
+        prop_assert_eq!(joined.sorted_rows_for(&[Var(0), Var(1), Var(5), Var(6)]), oracle);
     }
 
     /// DISTINCT projection over three columns (the sort-index dedup path)

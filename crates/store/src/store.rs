@@ -82,7 +82,7 @@ impl TripleStore {
     /// genuinely new triples.
     ///
     /// Like construction, the per-order merges are independent and run on
-    /// one thread each beyond [`PARALLEL_THRESHOLD`] (measured against the
+    /// one thread each beyond the parallel threshold (measured against the
     /// *merged* size, since the merge rewrites each whole relation).
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
         let counts = self.for_each_relation(triples.len(), |rel| rel.insert_batch(triples));

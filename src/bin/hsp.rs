@@ -16,6 +16,8 @@
 //!                           instead of results
 //!   --sip                   enable sideways information passing
 //!   --budget <rows>         abort when an operator exceeds this many rows
+//!   --threads <n>           thread budget for the morsel-parallel kernels
+//!                           (default: auto-detect; 1 = sequential)
 //! ```
 //!
 //! Queries that fit the paper's Definition 3 (conjunctive + FILTER) run
@@ -31,7 +33,7 @@ use hsp_engine::plan::PhysicalPlan;
 use hsp_engine::{execute, ExecConfig};
 use hsp_sparql::JoinQuery;
 use hsp_store::Dataset;
-use sparql_hsp::extended::{evaluate_extended, ExtendedOutput};
+use sparql_hsp::extended::{evaluate_extended_with, ExtendedOutput};
 use sparql_hsp::results;
 use sparql_hsp::update::apply_update;
 
@@ -44,13 +46,14 @@ struct Args {
     explain: bool,
     sip: bool,
     budget: Option<usize>,
+    threads: Option<usize>,
     out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: hsp <data.nt> (--query <text|@file> | --update <text|@file>)\n\
      \x20      [--planner hsp|cdp|sql|hybrid|stocker] [--format table|json|csv|tsv]\n\
-     \x20      [--explain] [--sip] [--budget <rows>] [--out <file>]"
+     \x20      [--explain] [--sip] [--budget <rows>] [--threads <n>] [--out <file>]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         explain: false,
         sip: false,
         budget: None,
+        threads: None,
         out: None,
     };
     while let Some(flag) = argv.next() {
@@ -84,6 +88,15 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|_| "--budget needs an integer".to_string())?,
                 )
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
             }
             "--out" => args.out = Some(value("--out")?),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -172,6 +185,7 @@ fn run() -> Result<(), String> {
     let text = load_text(args.query.as_deref().expect("query or update required"))?;
     let mut config = ExecConfig::unlimited();
     config.max_intermediate_rows = args.budget;
+    config.threads = args.threads;
     if args.sip {
         config = config.with_sip();
     }
@@ -197,6 +211,7 @@ fn run() -> Result<(), String> {
             let output = execute(&plan, &ds, &config).map_err(|e| e.to_string())?;
             if args.explain {
                 print!("{}", render_plan_with_profile(&plan, &output.profile, &planned_query));
+                print!("{}", hsp_engine::explain::render_runtime_metrics(&output.runtime));
                 return Ok(());
             }
             // Convert the id-level table to term-level rows.
@@ -232,7 +247,7 @@ fn run() -> Result<(), String> {
             if args.explain {
                 return Err("--explain requires a join query (no OPTIONAL/UNION)".into());
             }
-            let ext = evaluate_extended(&ds, &text).map_err(|e| e.to_string())?;
+            let ext = evaluate_extended_with(&ds, &text, &config).map_err(|e| e.to_string())?;
             print!("{}", emit(&args.format, &ext)?);
             Ok(())
         }

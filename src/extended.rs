@@ -6,7 +6,7 @@
 //! graph pattern (the conjunctive triple blocks) is planned by
 //! [`HspPlanner`] exactly as in the paper; OPTIONAL groups become
 //! left-outer hash joins, UNION branches are evaluated independently and
-//! concatenated (missing columns padded with [`TermId::UNBOUND`]), and
+//! concatenated (missing columns padded with [`hsp_rdf::TermId::UNBOUND`]), and
 //! group-level FILTERs run after the group's joins with SPARQL's
 //! unbound-is-type-error semantics.
 //!
@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use hsp_core::HspPlanner;
 use hsp_engine::ops;
-use hsp_engine::{execute, BindingTable, ExecConfig};
+use hsp_engine::{execute_in, BindingTable, ExecConfig, ExecContext};
 use hsp_rdf::Term;
 use hsp_sparql::ast::{Element, GroupPattern, NodeAst, Query};
 use hsp_sparql::{parse_query, FilterExpr, JoinQuery, TermOrVar, TriplePattern, Var};
@@ -65,8 +65,20 @@ pub struct ExtendedOutput {
 
 /// Evaluate a SPARQL query that may use OPTIONAL and UNION.
 pub fn evaluate_extended(ds: &Dataset, text: &str) -> Result<ExtendedOutput, ExtendedError> {
+    evaluate_extended_with(ds, text, &ExecConfig::unlimited())
+}
+
+/// [`evaluate_extended`] under an explicit [`ExecConfig`]: the thread
+/// budget (`config.threads`) governs the morsel-parallel kernels of every
+/// block and join, and one buffer pool is shared across the whole
+/// evaluation — the same behaviour `hsp --threads` gives join queries.
+pub fn evaluate_extended_with(
+    ds: &Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<ExtendedOutput, ExtendedError> {
     let ast = parse_query(text).map_err(ExtendedError::Parse)?;
-    evaluate_ast(ds, &ast)
+    evaluate_ast(ds, &ast, config)
 }
 
 /// Evaluate an `ASK` query: `true` iff the pattern has at least one
@@ -74,15 +86,20 @@ pub fn evaluate_extended(ds: &Dataset, text: &str) -> Result<ExtendedOutput, Ext
 /// returns any row.)
 pub fn evaluate_ask(ds: &Dataset, text: &str) -> Result<bool, ExtendedError> {
     let ast = parse_query(text).map_err(ExtendedError::Parse)?;
+    let config = ExecConfig::unlimited();
     let mut vars = VarTable::default();
-    let table = eval_group(ds, &ast.where_clause, &mut vars)?;
+    let table = eval_group(ds, &ast.where_clause, &mut vars, &config, &config.context())?;
     Ok(!table.is_empty())
 }
 
 /// Evaluate a parsed extended query.
-pub fn evaluate_ast(ds: &Dataset, query: &Query) -> Result<ExtendedOutput, ExtendedError> {
+pub fn evaluate_ast(
+    ds: &Dataset,
+    query: &Query,
+    config: &ExecConfig,
+) -> Result<ExtendedOutput, ExtendedError> {
     let mut vars = VarTable::default();
-    let table = eval_group(ds, &query.where_clause, &mut vars)?;
+    let table = eval_group(ds, &query.where_clause, &mut vars, config, &config.context())?;
 
     if query.ask {
         // ASK: zero columns; one empty row iff a solution exists.
@@ -233,6 +250,8 @@ fn eval_group(
     ds: &Dataset,
     group: &GroupPattern,
     vars: &mut VarTable,
+    config: &ExecConfig,
+    ctx: &ExecContext,
 ) -> Result<BindingTable, ExtendedError> {
     let mut patterns: Vec<TriplePattern> = Vec::new();
     let mut filters: Vec<FilterExpr> = Vec::new();
@@ -281,19 +300,26 @@ fn eval_group(
         let planned = HspPlanner::new()
             .plan(&query)
             .map_err(|e| ExtendedError::Eval(e.to_string()))?;
-        let out = execute(&planned.plan, ds, &ExecConfig::unlimited())
+        let out = execute_in(&planned.plan, ds, config, ctx)
             .map_err(|e| ExtendedError::Eval(e.to_string()))?;
         Some(out.table)
     };
 
     // 2. UNION blocks: evaluate branches, concatenate, join with the core.
     for (a, b) in unions {
-        let ta = eval_group(ds, a, vars)?;
-        let tb = eval_group(ds, b, vars)?;
-        let union = ops::union_all(&ta, &tb);
+        let ta = eval_group(ds, a, vars, config, ctx)?;
+        let tb = eval_group(ds, b, vars, config, ctx)?;
+        let union = ops::union_all_in(ctx, &ta, &tb);
+        ctx.pool.recycle(ta);
+        ctx.pool.recycle(tb);
         current = Some(match current {
             None => union,
-            Some(core) => join_tables(&core, &union),
+            Some(core) => {
+                let joined = join_tables(ctx, &core, &union);
+                ctx.pool.recycle(core);
+                ctx.pool.recycle(union);
+                joined
+            }
         });
     }
 
@@ -303,29 +329,32 @@ fn eval_group(
 
     // 3. OPTIONAL blocks: left-outer joins on the shared variables.
     for g in optionals {
-        let right = eval_group(ds, g, vars)?;
+        let right = eval_group(ds, g, vars, config, ctx)?;
         let shared: Vec<Var> = right
             .vars()
             .iter()
             .copied()
             .filter(|v| table.vars().contains(v))
             .collect();
-        table = if shared.is_empty() {
+        let joined = if !shared.is_empty() {
+            ops::left_outer_hash_join_in(ctx, &table, &right, &shared)
+        } else if right.is_empty() {
             // OPTIONAL with no shared variables: every combination, or
             // UNBOUND padding when the optional side is empty.
-            if right.is_empty() {
-                ops::union_all(&table, &BindingTable::empty(right.vars().to_vec()))
-            } else {
-                ops::cross_product(&table, &right)
-            }
+            ops::union_all_in(ctx, &table, &BindingTable::empty(right.vars().to_vec()))
         } else {
-            ops::left_outer_hash_join(&table, &right, &shared)
+            ops::cross_product_in(ctx, &table, &right)
         };
+        ctx.pool.recycle(table);
+        ctx.pool.recycle(right);
+        table = joined;
     }
 
     // 4. Group-level FILTERs (unbound comparisons are false).
     for f in &filters {
-        table = ops::filter(ds, &table, f);
+        let filtered = ops::filter_in(ctx, ds, &table, f);
+        ctx.pool.recycle(table);
+        table = filtered;
     }
     Ok(table)
 }
@@ -340,7 +369,7 @@ fn lower_filter(
 
 /// Inner join two evaluated tables on their shared variables (hash join),
 /// or cross product when they share none.
-fn join_tables(a: &BindingTable, b: &BindingTable) -> BindingTable {
+fn join_tables(ctx: &ExecContext, a: &BindingTable, b: &BindingTable) -> BindingTable {
     let shared: Vec<Var> = b
         .vars()
         .iter()
@@ -348,9 +377,9 @@ fn join_tables(a: &BindingTable, b: &BindingTable) -> BindingTable {
         .filter(|v| a.vars().contains(v))
         .collect();
     if shared.is_empty() {
-        ops::cross_product(a, b)
+        ops::cross_product_in(ctx, a, b)
     } else {
-        ops::hash_join(a, b, &shared)
+        ops::hash_join_in(ctx, a, b, &shared)
     }
 }
 

@@ -2,7 +2,7 @@
 //! (JSON, CSV, TSV) plus a human-readable table.
 //!
 //! All serialisers are hand-rolled (no serde) and operate on
-//! [`ExtendedOutput`](crate::extended::ExtendedOutput), the term-level
+//! [`crate::extended::ExtendedOutput`], the term-level
 //! result representation shared by the join-query pipeline and the
 //! extended (OPTIONAL/UNION) evaluator. Unbound cells (possible under
 //! OPTIONAL and UNION padding) serialise per each format's rule: omitted
