@@ -8,9 +8,9 @@
 
 use std::collections::HashMap;
 
+use hsp_rdf::TriplePos;
 use hsp_sparql::{TermOrVar, TriplePattern, Var};
 use hsp_store::Dataset;
-use hsp_rdf::TriplePos;
 
 /// Estimated properties of a (sub)plan's output.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +50,10 @@ impl<'a> Estimator<'a> {
                 match self.ds.dict().id(term) {
                     Some(id) => bound.push((pos, id)),
                     None => {
-                        return EstimatedRel { card: 0.0, distinct: HashMap::new() };
+                        return EstimatedRel {
+                            card: 0.0,
+                            distinct: HashMap::new(),
+                        };
                     }
                 }
             }
@@ -77,7 +80,10 @@ impl<'a> Estimator<'a> {
     /// Containment-assumption join estimate over `shared` variables.
     pub fn join(&self, l: &EstimatedRel, r: &EstimatedRel, shared: &[Var]) -> EstimatedRel {
         if l.card == 0.0 || r.card == 0.0 {
-            return EstimatedRel { card: 0.0, distinct: HashMap::new() };
+            return EstimatedRel {
+                card: 0.0,
+                distinct: HashMap::new(),
+            };
         }
         let mut selectivity = 1.0;
         for &v in shared {
@@ -183,7 +189,10 @@ mod tests {
     fn join_with_zero_side_is_zero() {
         let ds = dataset();
         let est = Estimator::new(&ds);
-        let zero = EstimatedRel { card: 0.0, distinct: HashMap::new() };
+        let zero = EstimatedRel {
+            card: 0.0,
+            distinct: HashMap::new(),
+        };
         let query = q("SELECT ?x WHERE { ?x <http://e/p> ?y . }");
         let l = est.leaf(&query.patterns[0]);
         assert_eq!(est.join(&l, &zero, &[Var(0)]).card, 0.0);

@@ -34,11 +34,17 @@ impl fmt::Display for CdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdpError::CrossProduct => {
-                write!(f, "CDP refuses queries containing a cross product (as RDF-3X does)")
+                write!(
+                    f,
+                    "CDP refuses queries containing a cross product (as RDF-3X does)"
+                )
             }
             CdpError::EmptyQuery => write!(f, "cannot plan a query without triple patterns"),
             CdpError::TooLarge(n) => {
-                write!(f, "CDP dynamic programming limited to 20 patterns, query has {n}")
+                write!(
+                    f,
+                    "CDP dynamic programming limited to 20 patterns, query has {n}"
+                )
             }
         }
     }
@@ -124,7 +130,11 @@ impl CdpPlanner {
                 entry.insert(
                     None,
                     Candidate {
-                        plan: PhysicalPlan::Scan { pattern_idx: i, pattern: pattern.clone(), order },
+                        plan: PhysicalPlan::Scan {
+                            pattern_idx: i,
+                            pattern: pattern.clone(),
+                            order,
+                        },
                         cost: 0.0,
                         left_card: 0.0,
                     },
@@ -136,7 +146,11 @@ impl CdpPlanner {
                 entry.insert(
                     Some(v),
                     Candidate {
-                        plan: PhysicalPlan::Scan { pattern_idx: i, pattern: pattern.clone(), order },
+                        plan: PhysicalPlan::Scan {
+                            pattern_idx: i,
+                            pattern: pattern.clone(),
+                            order,
+                        },
                         cost: 0.0,
                         left_card: 0.0,
                     },
@@ -179,8 +193,11 @@ impl CdpPlanner {
                     }
                     let lvars = subset_vars(left);
                     let rvars = subset_vars(right);
-                    let shared: Vec<Var> =
-                        lvars.iter().copied().filter(|v| rvars.contains(v)).collect();
+                    let shared: Vec<Var> = lvars
+                        .iter()
+                        .copied()
+                        .filter(|v| rvars.contains(v))
+                        .collect();
                     if shared.is_empty() {
                         // Connected queries never need cross products at the
                         // top, and skipping them keeps DP sound & fast.
@@ -203,19 +220,18 @@ impl CdpPlanner {
                     // (output sort, cost, left sort, right sort, algorithm)
                     type Offer = (Option<Var>, f64, Option<Var>, Option<Var>, JoinAlg);
                     let mut winners: Vec<Offer> = Vec::new();
-                    let offer =
-                        |winners: &mut Vec<Offer>,
-                         sort: Option<Var>,
-                         cost: f64,
-                         lsort: Option<Var>,
-                         rsort: Option<Var>,
-                         alg: JoinAlg| {
-                            match winners.iter_mut().find(|w| w.0 == sort) {
-                                Some(w) if w.1 <= cost => {}
-                                Some(w) => *w = (sort, cost, lsort, rsort, alg),
-                                None => winners.push((sort, cost, lsort, rsort, alg)),
-                            }
-                        };
+                    let offer = |winners: &mut Vec<Offer>,
+                                 sort: Option<Var>,
+                                 cost: f64,
+                                 lsort: Option<Var>,
+                                 rsort: Option<Var>,
+                                 alg: JoinAlg| {
+                        match winners.iter_mut().find(|w| w.0 == sort) {
+                            Some(w) if w.1 <= cost => {}
+                            Some(w) => *w = (sort, cost, lsort, rsort, alg),
+                            None => winners.push((sort, cost, lsort, rsort, alg)),
+                        }
+                    };
                     for (lsort, lcand) in &table[left as usize] {
                         for (rsort, rcand) in &table[right as usize] {
                             // Merge join when both sides sorted on the same
@@ -236,9 +252,8 @@ impl CdpPlanner {
                                 }
                             }
                             // Hash join (left probes, preserving its order).
-                            let cost = lcand.cost
-                                + rcand.cost
-                                + cost_hashjoin(lrel.card, rrel.card);
+                            let cost =
+                                lcand.cost + rcand.cost + cost_hashjoin(lrel.card, rrel.card);
                             offer(&mut winners, *lsort, cost, *lsort, *rsort, JoinAlg::Hash);
                         }
                     }
@@ -267,8 +282,14 @@ impl CdpPlanner {
                                 vars: shared.clone(),
                             },
                         };
-                        table[mask as usize]
-                            .insert(sort, Candidate { plan, cost, left_card: lrel.card });
+                        table[mask as usize].insert(
+                            sort,
+                            Candidate {
+                                plan,
+                                cost,
+                                left_card: lrel.card,
+                            },
+                        );
                     }
                 }
                 left = (left - 1) & mask;
@@ -289,7 +310,10 @@ impl CdpPlanner {
 
         let mut plan = best.plan;
         for f in &query.filters {
-            plan = PhysicalPlan::Filter { input: Box::new(plan), expr: f.clone() };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                expr: f.clone(),
+            };
         }
         let plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -298,7 +322,12 @@ impl CdpPlanner {
         }
         .with_modifiers(&query.modifiers);
         let estimated_card = rels[full as usize].as_ref().map_or(0.0, |r| r.card);
-        Ok(CdpPlan { plan, query, estimated_cost: best.cost, estimated_card })
+        Ok(CdpPlan {
+            plan,
+            query,
+            estimated_cost: best.cost,
+            estimated_card,
+        })
     }
 }
 
@@ -469,7 +498,10 @@ mod tests {
             var_names: vec![],
             modifiers: Default::default(),
         };
-        assert_eq!(CdpPlanner::new().plan(&ds, &query).unwrap_err(), CdpError::EmptyQuery);
+        assert_eq!(
+            CdpPlanner::new().plan(&ds, &query).unwrap_err(),
+            CdpError::EmptyQuery
+        );
     }
 
     /// Exhaustive check on a 3-pattern query: CDP's cost is minimal among

@@ -76,7 +76,11 @@ impl CharacteristicSets {
             .into_iter()
             .map(|(predicates, (subjects, occ))| {
                 let occurrences = predicates.iter().map(|p| occ[p]).collect();
-                CharSet { predicates, subjects, occurrences }
+                CharSet {
+                    predicates,
+                    subjects,
+                    occurrences,
+                }
             })
             .collect();
         sets.sort_by(|a, b| a.predicates.cmp(&b.predicates));
@@ -103,7 +107,10 @@ impl CharacteristicSets {
         wanted.dedup();
         let mut total = 0.0;
         for set in &self.sets {
-            if !wanted.iter().all(|p| set.predicates.binary_search(p).is_ok()) {
+            if !wanted
+                .iter()
+                .all(|p| set.predicates.binary_search(p).is_ok())
+            {
                 continue;
             }
             let mut rows = set.subjects as f64;
@@ -120,11 +127,7 @@ impl CharacteristicSets {
     /// must share one subject variable, carry distinct constant predicates,
     /// and have variable objects. Returns `None` when the shape does not
     /// qualify (caller falls back to the independence estimator).
-    pub fn estimate_star_patterns(
-        &self,
-        ds: &Dataset,
-        patterns: &[&TriplePattern],
-    ) -> Option<f64> {
+    pub fn estimate_star_patterns(&self, ds: &Dataset, patterns: &[&TriplePattern]) -> Option<f64> {
         if patterns.is_empty() {
             return None;
         }
@@ -239,18 +242,15 @@ mod tests {
         let ds = dataset();
         let cs = CharacteristicSets::build(&ds);
         // Chain, not star.
-        let q = JoinQuery::parse(
-            "SELECT ?s WHERE { ?s <http://e/type> ?a . ?a <http://e/name> ?b . }",
-        )
-        .unwrap();
+        let q =
+            JoinQuery::parse("SELECT ?s WHERE { ?s <http://e/type> ?a . ?a <http://e/name> ?b . }")
+                .unwrap();
         assert!(cs
             .estimate_star_patterns(&ds, &[&q.patterns[0], &q.patterns[1]])
             .is_none());
         // Bound object.
-        let q2 = JoinQuery::parse(
-            "SELECT ?s WHERE { ?s <http://e/type> <http://e/Person> . }",
-        )
-        .unwrap();
+        let q2 =
+            JoinQuery::parse("SELECT ?s WHERE { ?s <http://e/type> <http://e/Person> . }").unwrap();
         assert!(cs.estimate_star_patterns(&ds, &[&q2.patterns[0]]).is_none());
         // Variable predicate.
         let q3 = JoinQuery::parse("SELECT ?s WHERE { ?s ?p ?o . }").unwrap();

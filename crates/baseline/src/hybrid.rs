@@ -133,7 +133,10 @@ impl HybridPlanner {
             let (cplan, crel) = components.swap_remove(i);
             if shared.is_empty() {
                 rel = est.cross(&rel, &crel);
-                plan = PhysicalPlan::CrossProduct { left: Box::new(plan), right: Box::new(cplan) };
+                plan = PhysicalPlan::CrossProduct {
+                    left: Box::new(plan),
+                    right: Box::new(cplan),
+                };
             } else {
                 rel = est.join(&rel, &crel, &shared);
                 plan = PhysicalPlan::HashJoin {
@@ -145,7 +148,10 @@ impl HybridPlanner {
         }
 
         for f in &query.filters {
-            plan = PhysicalPlan::Filter { input: Box::new(plan), expr: f.clone() };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                expr: f.clone(),
+            };
         }
         let plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -160,7 +166,11 @@ impl HybridPlanner {
 fn scan_leaf(query: &JoinQuery, idx: usize, v: Option<Var>) -> PhysicalPlan {
     let pattern = query.patterns[idx].clone();
     let order = assign_ordered_relation(&pattern, v);
-    PhysicalPlan::Scan { pattern_idx: idx, pattern, order }
+    PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern,
+        order,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +237,10 @@ mod tests {
         let a = execute(&hsp.plan, &ds, &ExecConfig::unlimited()).unwrap();
         let b = execute(&hybrid.plan, &ds, &ExecConfig::unlimited()).unwrap();
         let vars = a.table.vars().to_vec();
-        assert_eq!(a.table.sorted_rows_for(&vars), b.table.sorted_rows_for(&vars));
+        assert_eq!(
+            a.table.sorted_rows_for(&vars),
+            b.table.sorted_rows_for(&vars)
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl LeftDeepPlanner {
                     .into_iter()
                     .max_by_key(|&v| (query.weight(v), std::cmp::Reverse(v.0)));
                 let order = assign_ordered_relation(pattern, sort_var);
-                let plan = PhysicalPlan::Scan { pattern_idx: i, pattern: pattern.clone(), order };
+                let plan = PhysicalPlan::Scan {
+                    pattern_idx: i,
+                    pattern: pattern.clone(),
+                    order,
+                };
                 let rel = est.leaf(pattern);
                 (plan, rel)
             })
@@ -175,7 +179,10 @@ impl LeftDeepPlanner {
         }
 
         for f in &query.filters {
-            plan = PhysicalPlan::Filter { input: Box::new(plan), expr: f.clone() };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                expr: f.clone(),
+            };
         }
         let plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -183,7 +190,12 @@ impl LeftDeepPlanner {
             distinct: query.distinct,
         }
         .with_modifiers(&query.modifiers);
-        Ok(LeftDeepPlan { plan, query, estimated_cost: total_cost, has_cross_product: has_cross })
+        Ok(LeftDeepPlan {
+            plan,
+            query,
+            estimated_cost: total_cost,
+            has_cross_product: has_cross,
+        })
     }
 }
 

@@ -31,8 +31,8 @@ pub mod leftdeep;
 pub mod stocker;
 
 pub use cardinality::Estimator;
-pub use charsets::CharacteristicSets;
 pub use cdp::{CdpError, CdpPlanner};
+pub use charsets::CharacteristicSets;
 pub use hybrid::HybridPlanner;
 pub use leftdeep::LeftDeepPlanner;
 pub use stocker::{StockerPlanner, StockerStats};

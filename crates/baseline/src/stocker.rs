@@ -103,9 +103,11 @@ impl StockerStats {
                 TermOrVar::Const(t) => ds.dict().id(t).map(Some),
             }
         };
-        let (Some(s), Some(p), Some(o)) =
-            (resolve(TriplePos::S), resolve(TriplePos::P), resolve(TriplePos::O))
-        else {
+        let (Some(s), Some(p), Some(o)) = (
+            resolve(TriplePos::S),
+            resolve(TriplePos::P),
+            resolve(TriplePos::O),
+        ) else {
             return 0.0;
         };
 
@@ -220,7 +222,11 @@ impl StockerPlanner {
                     .into_iter()
                     .max_by_key(|&v| (query.weight(v), std::cmp::Reverse(v.0)));
                 let order = assign_ordered_relation(pattern, sort_var);
-                PhysicalPlan::Scan { pattern_idx: i, pattern: pattern.clone(), order }
+                PhysicalPlan::Scan {
+                    pattern_idx: i,
+                    pattern: pattern.clone(),
+                    order,
+                }
             })
             .collect();
 
@@ -261,7 +267,10 @@ impl StockerPlanner {
                 .collect();
             plan = if shared.is_empty() {
                 has_cross = true;
-                PhysicalPlan::CrossProduct { left: Box::new(plan), right: Box::new(leaf.clone()) }
+                PhysicalPlan::CrossProduct {
+                    left: Box::new(plan),
+                    right: Box::new(leaf.clone()),
+                }
             } else {
                 let mergeable = plan
                     .sorted_by()
@@ -286,7 +295,10 @@ impl StockerPlanner {
         }
 
         for f in &query.filters {
-            plan = PhysicalPlan::Filter { input: Box::new(plan), expr: f.clone() };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                expr: f.clone(),
+            };
         }
         let plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -294,7 +306,12 @@ impl StockerPlanner {
             distinct: query.distinct,
         }
         .with_modifiers(&query.modifiers);
-        Ok(StockerPlan { plan, query, selectivities, has_cross_product: has_cross })
+        Ok(StockerPlan {
+            plan,
+            query,
+            selectivities,
+            has_cross_product: has_cross,
+        })
     }
 }
 
@@ -354,8 +371,7 @@ mod tests {
         let open = q("SELECT ?x WHERE { ?x <http://e/type> ?c . }");
         let closed = q("SELECT ?x WHERE { ?x <http://e/type> <http://e/Journal> . }");
         assert!(
-            stats.selectivity(&ds, &closed.patterns[0])
-                < stats.selectivity(&ds, &open.patterns[0])
+            stats.selectivity(&ds, &closed.patterns[0]) < stats.selectivity(&ds, &open.patterns[0])
         );
     }
 
@@ -370,10 +386,8 @@ mod tests {
     #[test]
     fn plans_are_valid_and_start_selective() {
         let ds = dataset();
-        let query = q(
-            "SELECT ?x WHERE { ?x <http://e/type> <http://e/Journal> . \
-             ?x <http://e/title> ?t . ?x <http://e/issued> ?yr . }",
-        );
+        let query = q("SELECT ?x WHERE { ?x <http://e/type> <http://e/Journal> . \
+             ?x <http://e/title> ?t . ?x <http://e/issued> ?yr . }");
         let plan = StockerPlanner::new().plan(&ds, &query).unwrap();
         assert!(plan.plan.validate().is_ok());
         // The leftmost (first-scanned) pattern is the most selective one.
@@ -391,10 +405,8 @@ mod tests {
     #[test]
     fn results_match_reference_evaluation() {
         let ds = dataset();
-        let query = q(
-            "SELECT ?t WHERE { ?x <http://e/type> <http://e/Journal> . \
-             ?x <http://e/title> ?t . }",
-        );
+        let query = q("SELECT ?t WHERE { ?x <http://e/type> <http://e/Journal> . \
+             ?x <http://e/title> ?t . }");
         let plan = StockerPlanner::new().plan(&ds, &query).unwrap();
         let out = execute(&plan.plan, &ds, &ExecConfig::unlimited()).unwrap();
         assert_eq!(out.table.len(), 2);
@@ -419,10 +431,8 @@ mod tests {
         let ds = dataset();
         // FILTER-connected stars stay disconnected for Stocker (as for the
         // SQL baseline) — the distinguishing contrast with HSP.
-        let query = q(
-            "SELECT ?a ?b WHERE { ?a <http://e/title> ?t1 . \
-             ?b <http://e/title> ?t2 . FILTER (?t1 = ?t2) }",
-        );
+        let query = q("SELECT ?a ?b WHERE { ?a <http://e/title> ?t1 . \
+             ?b <http://e/title> ?t2 . FILTER (?t1 = ?t2) }");
         let plan = StockerPlanner::new().plan(&ds, &query).unwrap();
         assert!(plan.has_cross_product);
     }

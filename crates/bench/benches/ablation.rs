@@ -19,11 +19,41 @@ fn bench_ablation(c: &mut Criterion) {
 
     let variants: Vec<(&str, HspConfig)> = vec![
         ("default", HspConfig::default()),
-        ("no-H1", HspConfig { use_h1_order: false, ..Default::default() }),
-        ("no-H2", HspConfig { use_h2: false, ..Default::default() }),
-        ("no-H3", HspConfig { use_h3: false, ..Default::default() }),
-        ("no-H4", HspConfig { use_h4: false, ..Default::default() }),
-        ("no-H5", HspConfig { use_h5: false, ..Default::default() }),
+        (
+            "no-H1",
+            HspConfig {
+                use_h1_order: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H2",
+            HspConfig {
+                use_h2: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H3",
+            HspConfig {
+                use_h3: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H4",
+            HspConfig {
+                use_h4: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H5",
+            HspConfig {
+                use_h5: false,
+                ..Default::default()
+            },
+        ),
         ("random", HspConfig::random_tiebreak(7)),
     ];
 
@@ -45,9 +75,7 @@ fn bench_ablation(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("variant", name), |b| {
             b.iter(|| {
                 for (plan, ds) in &planned {
-                    black_box(
-                        execute(&plan.plan, ds, &ExecConfig::unlimited()).expect("executes"),
-                    );
+                    black_box(execute(&plan.plan, ds, &ExecConfig::unlimited()).expect("executes"));
                 }
             })
         });

@@ -20,13 +20,18 @@ fn bench_exec(c: &mut Criterion) {
     let config = ExecConfig::unlimited();
 
     let mut group = c.benchmark_group("exec_sp2bench");
-    for q in workload().into_iter().filter(|q| q.dataset == DatasetKind::Sp2Bench) {
+    for q in workload()
+        .into_iter()
+        .filter(|q| q.dataset == DatasetKind::Sp2Bench)
+    {
         let parsed = q.parse();
         for kind in PlannerKind::PAPER {
             if kind == PlannerKind::Sql && q.id == "SP4a" {
                 continue; // Cartesian product — reported as XXX in table7.
             }
-            let Ok(planned) = plan_query(kind, &ds, &parsed) else { continue };
+            let Ok(planned) = plan_query(kind, &ds, &parsed) else {
+                continue;
+            };
             let label = match kind {
                 PlannerKind::Hsp => "hsp",
                 PlannerKind::Cdp => "cdp",

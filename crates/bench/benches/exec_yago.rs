@@ -16,10 +16,15 @@ fn bench_exec(c: &mut Criterion) {
     let config = ExecConfig::unlimited();
 
     let mut group = c.benchmark_group("exec_yago");
-    for q in workload().into_iter().filter(|q| q.dataset == DatasetKind::Yago) {
+    for q in workload()
+        .into_iter()
+        .filter(|q| q.dataset == DatasetKind::Yago)
+    {
         let parsed = q.parse();
         for kind in PlannerKind::PAPER {
-            let Ok(planned) = plan_query(kind, &ds, &parsed) else { continue };
+            let Ok(planned) = plan_query(kind, &ds, &parsed) else {
+                continue;
+            };
             let label = match kind {
                 PlannerKind::Hsp => "hsp",
                 PlannerKind::Cdp => "cdp",

@@ -6,10 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use hsp_engine::ops;
-use hsp_sparql::{
-    CmpOp, Expr, FilterExpr, Func, JoinQuery, Operand, Regex, SortKey, Var,
-};
 use hsp_rdf::Term;
+use hsp_sparql::{CmpOp, Expr, FilterExpr, Func, JoinQuery, Operand, Regex, SortKey, Var};
 use hsp_store::{Dataset, Order};
 
 /// A dataset of `n` subjects with a title and a year, plus the scanned
@@ -100,16 +98,18 @@ fn bench_regex_engine(c: &mut Criterion) {
         b.iter(|| black_box(Regex::new(r"^Journal \d+ \(19\d\d\)$", "").unwrap()))
     });
     group.bench_function("compile-alternation", |b| {
-        b.iter(|| {
-            black_box(Regex::new(r"(cat|dog|cow|hen)+[a-z0-9]{2,8}(x|y)?$", "i").unwrap())
-        })
+        b.iter(|| black_box(Regex::new(r"(cat|dog|cow|hen)+[a-z0-9]{2,8}(x|y)?$", "i").unwrap()))
     });
 
     let re = Regex::new(r"\(19[4-6]\d\)", "").unwrap();
     let hit = "Journal 17 (1952) special issue";
     let miss = "Journal 17 (2052) special issue";
-    group.bench_function("match-hit", |b| b.iter(|| black_box(re.is_match(black_box(hit)))));
-    group.bench_function("match-miss", |b| b.iter(|| black_box(re.is_match(black_box(miss)))));
+    group.bench_function("match-hit", |b| {
+        b.iter(|| black_box(re.is_match(black_box(hit))))
+    });
+    group.bench_function("match-miss", |b| {
+        b.iter(|| black_box(re.is_match(black_box(miss))))
+    });
 
     // The linear-time guarantee: a classic catastrophic-backtracking
     // pattern stays flat as the input grows.
@@ -130,7 +130,10 @@ fn bench_order_by(c: &mut Criterion) {
         let ds = titles_dataset(n);
         let years = scan_all(&ds, "year");
         group.throughput(Throughput::Elements(n as u64));
-        let keys = vec![SortKey { expr: Expr::Var(Var(1)), descending: true }];
+        let keys = vec![SortKey {
+            expr: Expr::Var(Var(1)),
+            descending: true,
+        }];
         group.bench_with_input(BenchmarkId::new("numeric-desc", n), &n, |b, _| {
             b.iter(|| black_box(ops::order_by(&ds, &years, &keys)))
         });

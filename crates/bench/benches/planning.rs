@@ -33,8 +33,11 @@ fn bench_planning(c: &mut Criterion) {
 
         // CDP refuses SP4a's raw form; benchmark the rewritten query, as the
         // paper did.
-        let cdp_input =
-            if q.id == "SP4a" { rewrite_filters(&parsed).0 } else { parsed.clone() };
+        let cdp_input = if q.id == "SP4a" {
+            rewrite_filters(&parsed).0
+        } else {
+            parsed.clone()
+        };
         let cdp = CdpPlanner::new();
         group.bench_function(BenchmarkId::new("cdp", q.id), |b| {
             b.iter(|| black_box(cdp.plan(ds, black_box(&cdp_input)).unwrap()))

@@ -61,30 +61,38 @@ fn bench_trickle(c: &mut Criterion) {
         let store = TripleStore::from_triples(&base);
         let extra = random_triples(64, 4);
         group.throughput(Throughput::Elements(64));
-        group.bench_with_input(BenchmarkId::new("insert-64-singles", n), &extra, |b, extra| {
-            b.iter_batched(
-                || store.clone(),
-                |mut s| {
-                    for &t in extra {
-                        s.insert(t);
-                    }
-                    black_box(s)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("remove-64-singles", n), &base, |b, base| {
-            b.iter_batched(
-                || store.clone(),
-                |mut s| {
-                    for t in base.iter().take(64) {
-                        s.remove(*t);
-                    }
-                    black_box(s)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert-64-singles", n),
+            &extra,
+            |b, extra| {
+                b.iter_batched(
+                    || store.clone(),
+                    |mut s| {
+                        for &t in extra {
+                            s.insert(t);
+                        }
+                        black_box(s)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("remove-64-singles", n),
+            &base,
+            |b, base| {
+                b.iter_batched(
+                    || store.clone(),
+                    |mut s| {
+                        for t in base.iter().take(64) {
+                            s.remove(*t);
+                        }
+                        black_box(s)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

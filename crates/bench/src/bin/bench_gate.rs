@@ -1,0 +1,220 @@
+//! CI bench-regression gate: compare a freshly measured `BENCH_ops.json`
+//! against the committed one and fail on a real slowdown.
+//!
+//! ```text
+//! bench_gate <committed.json> <fresh.json> [--tolerance <factor>]
+//! ```
+//!
+//! Every row of `BENCH_ops.json` carries a *within-run* pair — the
+//! baseline and the optimized implementation timed back-to-back on the
+//! same machine — so the gate compares **speedups** (`baseline_ns /
+//! optimized_ns`), not absolute nanoseconds: the committed file may have
+//! been measured on entirely different hardware than the CI runner, and
+//! absolute times would gate the hardware, not the code. A row regresses
+//! when its fresh speedup falls below the committed speedup by more than
+//! the tolerance factor (default 1.5, i.e. the optimized kernel lost
+//! more than a third of its relative advantage).
+//!
+//! Only the single-thread (`*_t1`) rows gate: forced multi-thread rows on
+//! a 2-vCPU runner measure scheduling contention, not the kernels. Rows
+//! present in only one file are reported but never fail the gate (new
+//! benchmarks land with their first measurement).
+//!
+//! The default tolerance (1.5x) is calibrated against observed
+//! *same-machine* run-to-run drift of these 7-sample medians — e.g.
+//! `par_probe_100k_t1` has drifted ~1.2x between committed snapshots
+//! with no code change — so the gate trips only when a row loses over a
+//! third of its committed advantage, which a noise wobble does not do
+//! but a disabled fast path (speedup collapsing to ~1.0x from ≥2x, or a
+//! real pessimization) does.
+//!
+//! The JSON is the fixed shape `render_json` emits (this workspace has no
+//! serde); parsing is line-oriented on the `"name"` / `"baseline_ns"` /
+//! `"optimized_ns"` fields.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default allowed relative-speedup loss factor for a `*_t1` row (see the
+/// module docs for the noise calibration behind this value).
+const DEFAULT_TOLERANCE: f64 = 1.5;
+
+/// One parsed benchmark row.
+struct Row {
+    baseline_ns: u128,
+    optimized_ns: u128,
+}
+
+impl Row {
+    /// Within-run speedup: baseline time over optimized time.
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a factor >= 1.0");
+                    return ExitCode::FAILURE;
+                }
+            },
+            path => paths.push(path),
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <committed.json> <fresh.json> [--tolerance <factor>]");
+        return ExitCode::FAILURE;
+    };
+
+    let committed = match read_rows(committed_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("could not read {committed_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = match read_rows(fresh_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("could not read {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    println!(
+        "{:<24} {:>10} {:>10} {:>7}  verdict (speedup ratio, tolerance {tolerance:.2}x, *_t1 rows gate)",
+        "row", "committed", "fresh", "ratio"
+    );
+    for (name, fresh_row) in &fresh {
+        let Some(committed_row) = committed.get(name) else {
+            println!(
+                "{name:<24} {:>10} {:>9.2}x {:>7}  new row (not gated)",
+                "-",
+                fresh_row.speedup(),
+                "-"
+            );
+            continue;
+        };
+        // > 1 means the fresh run kept or grew the optimized kernel's
+        // relative advantage; < 1/tolerance means it lost too much of it.
+        let ratio = fresh_row.speedup() / committed_row.speedup().max(f64::MIN_POSITIVE);
+        let gated = name.ends_with("_t1");
+        let verdict = if !gated {
+            "informational"
+        } else if ratio < 1.0 / tolerance {
+            failures += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<24} {:>9.2}x {:>9.2}x {ratio:>6.2}x  {verdict}",
+            committed_row.speedup(),
+            fresh_row.speedup()
+        );
+    }
+    for name in committed.keys() {
+        if !fresh.contains_key(name) {
+            println!("{name:<24} row disappeared from the fresh run (not gated)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench gate FAILED: {failures} *_t1 row(s) lost more than {tolerance:.2}x of their \
+             committed speedup"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// `name -> row` for every result row in a `BENCH_ops.json`.
+fn read_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let (Some(baseline_ns), Some(optimized_ns)) = (
+            field_u128(line, "baseline_ns"),
+            field_u128(line, "optimized_ns"),
+        ) else {
+            return Err(format!("row {name:?} is missing baseline_ns/optimized_ns"));
+        };
+        rows.insert(
+            name,
+            Row {
+                baseline_ns,
+                optimized_ns,
+            },
+        );
+    }
+    if rows.is_empty() {
+        return Err("no benchmark rows found".into());
+    }
+    Ok(rows)
+}
+
+/// Extract `"key": "value"` from a JSON line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\": \"")).nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+/// Extract `"key": 123` from a JSON line.
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let rest = line.split(&format!("\"{key}\": ")).nth(1)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_matches_render_json_shape() {
+        let line = r#"    {"name": "par_build_100k_t1", "baseline_ns": 100, "optimized_ns": 250, "speedup": 0.400},"#;
+        assert_eq!(
+            field_str(line, "name").as_deref(),
+            Some("par_build_100k_t1")
+        );
+        assert_eq!(field_u128(line, "optimized_ns"), Some(250));
+        assert_eq!(field_u128(line, "baseline_ns"), Some(100));
+        assert_eq!(field_str(line, "missing"), None);
+    }
+
+    #[test]
+    fn speedup_is_machine_relative() {
+        // The same kernel measured on a machine 3x slower overall keeps
+        // its speedup, so it must not read as a regression.
+        let fast = Row {
+            baseline_ns: 1_000,
+            optimized_ns: 500,
+        };
+        let slow_machine = Row {
+            baseline_ns: 3_000,
+            optimized_ns: 1_500,
+        };
+        assert_eq!(fast.speedup(), slow_machine.speedup());
+        // Losing the optimization shows up regardless of machine speed.
+        let regressed = Row {
+            baseline_ns: 3_000,
+            optimized_ns: 3_000,
+        };
+        assert!(regressed.speedup() < slow_machine.speedup() / 1.5);
+    }
+}

@@ -29,8 +29,8 @@ fn main() {
     }
     let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
         vec![
-            "table1", "table2", "table3", "table4", "table6", "table7", "table8",
-            "queries", "figure1", "figure2", "figure3", "mwis", "ablation", "sip", "ops",
+            "table1", "table2", "table3", "table4", "table6", "table7", "table8", "queries",
+            "figure1", "figure2", "figure3", "mwis", "ablation", "sip", "ops",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -40,8 +40,15 @@ fn main() {
     let needs_data = wanted.iter().any(|w| {
         matches!(
             *w,
-            "table1" | "table3" | "table4" | "table7" | "table8" | "figure2" | "figure3"
-                | "ablation" | "sip"
+            "table1"
+                | "table3"
+                | "table4"
+                | "table7"
+                | "table8"
+                | "figure2"
+                | "figure3"
+                | "ablation"
+                | "sip"
         )
     });
     let env = if needs_data {
@@ -69,7 +76,9 @@ fn main() {
             "table3" => tables::table3(env.as_ref().expect("loaded")),
             "table4" => tables::table4(env.as_ref().expect("loaded")),
             "table6" => tables::table6(),
-            "table7" => tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Sp2Bench),
+            "table7" => {
+                tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Sp2Bench)
+            }
             "table8" => tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Yago),
             "queries" => tables::queries_text(),
             "figure1" => tables::figure1(),

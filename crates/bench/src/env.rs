@@ -43,7 +43,12 @@ impl EnvConfig {
 
     /// A small configuration for tests and quick smoke runs.
     pub fn small() -> Self {
-        EnvConfig { sp2b_triples: 30_000, yago_triples: 30_000, runs: 3, row_budget: 2_000_000 }
+        EnvConfig {
+            sp2b_triples: 30_000,
+            yago_triples: 30_000,
+            runs: 3,
+            row_budget: 2_000_000,
+        }
     }
 }
 
@@ -78,7 +83,12 @@ impl BenchEnv {
             target_triples: config.yago_triples,
             seed: 1234,
         });
-        BenchEnv { sp2b, yago, config, load_seconds: start.elapsed().as_secs_f64() }
+        BenchEnv {
+            sp2b,
+            yago,
+            config,
+            load_seconds: start.elapsed().as_secs_f64(),
+        }
     }
 
     /// The dataset a workload query targets.

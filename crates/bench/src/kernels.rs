@@ -1,10 +1,13 @@
 //! Kernel-level before/after measurements behind `repro -- ops`: the
 //! vectorized join kernels against the retired row-at-a-time kernels
-//! ([`hsp_engine::reference`]), the morsel-driven parallel probe against
-//! the sequential probe at forced thread counts (`par_probe_*` — on the
-//! single-core CI container the parallel rows only prove correctness and
-//! scheduling overhead; measure speedups on real hardware), the pooled
-//! gather path against cold-pool gathers (`pooled_gather_*`), and the
+//! ([`hsp_engine::reference`]), the morsel-driven parallel stages against
+//! their sequential counterparts at forced thread counts (`par_probe_*`,
+//! `par_build_*` for the partitioned-counting-sort hash-join build,
+//! `par_merge_*` for the range-partitioned merge join, `par_filter_*` for
+//! the per-worker-evaluator FILTER — on the single-core CI container the
+//! parallel rows only prove correctness and bound scheduling overhead;
+//! measure speedups on real hardware), the pooled gather path against
+//! cold-pool gathers (`pooled_gather_*`), and the
 //! parallel six-order store build against a serial rebuild. Results render
 //! as a text table and as machine-readable JSON (`BENCH_ops.json`), so the
 //! performance trajectory of the hot paths is diffable across PRs.
@@ -63,8 +66,16 @@ pub fn join_inputs(n: usize, seed: u64) -> (BindingTable, BindingTable) {
     right_keys.sort_unstable();
     let payload_l: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000_000 + i)).collect();
     let payload_r: Vec<TermId> = (0..n as u32).map(|i| TermId(2_000_000 + i)).collect();
-    let left = BindingTable::from_columns(vec![Var(0), Var(1)], vec![left_keys, payload_l], Some(Var(0)));
-    let right = BindingTable::from_columns(vec![Var(0), Var(2)], vec![right_keys, payload_r], Some(Var(0)));
+    let left = BindingTable::from_columns(
+        vec![Var(0), Var(1)],
+        vec![left_keys, payload_l],
+        Some(Var(0)),
+    );
+    let right = BindingTable::from_columns(
+        vec![Var(0), Var(2)],
+        vec![right_keys, payload_r],
+        Some(Var(0)),
+    );
     (left, right)
 }
 
@@ -109,7 +120,11 @@ pub fn measure_kernels() -> Vec<KernelResult> {
 
     for n in [10_000usize, 100_000] {
         let (left, right) = join_inputs(n, 42);
-        let label = if n >= 1000 { format!("{}k", n / 1000) } else { n.to_string() };
+        let label = if n >= 1000 {
+            format!("{}k", n / 1000)
+        } else {
+            n.to_string()
+        };
         assert_kernels_agree(&left, &right);
         results.push(KernelResult {
             name: format!("hash_join_{label}"),
@@ -135,6 +150,9 @@ pub fn measure_kernels() -> Vec<KernelResult> {
 
     measure_parallel_probe(&mut results, runs);
     measure_pooled_gather(&mut results, runs);
+    measure_parallel_build(&mut results, runs);
+    measure_parallel_merge(&mut results, runs);
+    measure_parallel_filter(&mut results, runs);
     results
 }
 
@@ -180,7 +198,8 @@ fn measure_pooled_gather(results: &mut Vec<KernelResult>, runs: usize) {
     let (left, right) = join_inputs(100_000, 42);
     for t in bench_thread_counts() {
         let warm = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
-        warm.pool.recycle(ops::hash_join_in(&warm, &left, &right, &[Var(0)]));
+        warm.pool
+            .recycle(ops::hash_join_in(&warm, &left, &right, &[Var(0)]));
         results.push(KernelResult {
             name: format!("pooled_gather_100k_t{t}"),
             // Cold pool every run: a fresh context, all columns allocated.
@@ -196,13 +215,113 @@ fn measure_pooled_gather(results: &mut Vec<KernelResult>, runs: usize) {
     }
 }
 
+/// `par_build_*`: the parallel hash-join build (morsel-parallel hashing +
+/// partitioned counting sort) at forced thread counts against the
+/// sequential build on the same 100k-row build side. The parallel table is
+/// asserted byte-identical before anything is timed.
+fn measure_parallel_build(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::kernel::BuildTable;
+    let (_, right) = join_inputs(100_000, 42);
+    let build_cols: Vec<&[hsp_rdf::TermId]> = vec![right.column(Var(0))];
+    let sequential = BuildTable::build(&build_cols, right.len());
+    for t in bench_thread_counts() {
+        let config = MorselConfig::with_threads(t);
+        let (parallel, _) = BuildTable::build_par(&build_cols, right.len(), &config);
+        assert_eq!(
+            parallel, sequential,
+            "parallel build (t={t}) diverges from sequential"
+        );
+        results.push(KernelResult {
+            name: format!("par_build_100k_t{t}"),
+            baseline_ns: median_ns(runs, || BuildTable::build(&build_cols, right.len())),
+            optimized_ns: median_ns(runs, || {
+                BuildTable::build_par(&build_cols, right.len(), &config)
+            }),
+        });
+    }
+}
+
+/// `par_merge_*`: the range-partitioned parallel merge join at forced
+/// thread counts against the sequential cursor pair on the same 100k-row
+/// sorted inputs. Output identity is asserted before anything is timed.
+fn measure_parallel_merge(results: &mut Vec<KernelResult>, runs: usize) {
+    let (left, right) = join_inputs(100_000, 42);
+    let sequential = ExecContext::with_threads(1);
+    let expected = ops::merge_join_in(&sequential, &left, &right, Var(0));
+    for t in bench_thread_counts() {
+        let ctx = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
+        assert_eq!(
+            ops::merge_join_in(&ctx, &left, &right, Var(0)),
+            expected,
+            "parallel merge join (t={t}) diverges from sequential"
+        );
+        results.push(KernelResult {
+            name: format!("par_merge_100k_t{t}"),
+            baseline_ns: median_ns(runs, || {
+                ops::merge_join_in(&sequential, &left, &right, Var(0))
+            }),
+            optimized_ns: median_ns(runs, || ops::merge_join_in(&ctx, &left, &right, Var(0))),
+        });
+    }
+}
+
+/// `par_filter_*`: the morsel-parallel FILTER (one expression evaluator —
+/// and hence one compiled-regex cache — per worker) at forced thread
+/// counts against the sequential row scan, on a 100k-row REGEX filter.
+/// Output identity is asserted before anything is timed.
+fn measure_parallel_filter(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_sparql::{Expr, FilterExpr, Func};
+    let n = 100_000;
+    let mut doc = String::with_capacity(n * 48);
+    for i in 0..n {
+        let year = 1900 + (i % 200); // half 19xx, half 20xx
+        doc.push_str(&format!(
+            "<http://e/j{i}> <http://e/title> \"Journal {i} ({year})\" .\n"
+        ));
+    }
+    let ds = hsp_store::Dataset::from_ntriples(&doc).expect("bench dataset parses");
+    let pattern = hsp_sparql::TriplePattern::new(
+        hsp_sparql::TermOrVar::Var(Var(0)),
+        hsp_sparql::TermOrVar::Const(hsp_rdf::Term::iri("http://e/title")),
+        hsp_sparql::TermOrVar::Var(Var(1)),
+    );
+    let input = ops::scan(&ds, &pattern, hsp_store::Order::Pso);
+    let expr = FilterExpr::Complex(Box::new(Expr::Call {
+        func: Func::Regex,
+        args: vec![
+            Expr::Var(Var(1)),
+            Expr::Const(hsp_rdf::Term::literal(r"\(19\d\d\)")),
+        ],
+    }));
+    let sequential = ExecContext::with_threads(1);
+    let expected = ops::filter_in(&sequential, &ds, &input, &expr);
+    assert_eq!(expected.len(), n / 2, "regex filter keeps the 19xx half");
+    for t in bench_thread_counts() {
+        let ctx = ExecContext::with_morsel_config(MorselConfig::with_threads(t));
+        assert_eq!(
+            ops::filter_in(&ctx, &ds, &input, &expr),
+            expected,
+            "parallel filter (t={t}) diverges from sequential"
+        );
+        results.push(KernelResult {
+            name: format!("par_filter_100k_t{t}"),
+            baseline_ns: median_ns(runs, || ops::filter_in(&sequential, &ds, &input, &expr)),
+            optimized_ns: median_ns(runs, || ops::filter_in(&ctx, &ds, &input, &expr)),
+        });
+    }
+}
+
 /// Human-readable report table.
 pub fn render_text(results: &[KernelResult]) -> String {
     let mut out = String::from(
         "Kernel benchmarks (row-at-a-time / serial baseline vs vectorized / parallel)\n\n",
     );
-    writeln!(out, "{:<22} {:>14} {:>14} {:>9}", "kernel", "baseline", "optimized", "speedup")
-        .expect("writing to String");
+    writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>9}",
+        "kernel", "baseline", "optimized", "speedup"
+    )
+    .expect("writing to String");
     for r in results {
         writeln!(
             out,
@@ -219,7 +338,8 @@ pub fn render_text(results: &[KernelResult]) -> String {
 
 /// The `BENCH_ops.json` payload (hand-rolled; no serde in this workspace).
 pub fn render_json(results: &[KernelResult]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"ops\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
+    let mut out =
+        String::from("{\n  \"benchmark\": \"ops\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         writeln!(
             out,
@@ -243,8 +363,16 @@ mod tests {
     #[test]
     fn json_shape_is_valid_enough() {
         let results = vec![
-            KernelResult { name: "a".into(), baseline_ns: 100, optimized_ns: 50 },
-            KernelResult { name: "b".into(), baseline_ns: 10, optimized_ns: 10 },
+            KernelResult {
+                name: "a".into(),
+                baseline_ns: 100,
+                optimized_ns: 50,
+            },
+            KernelResult {
+                name: "b".into(),
+                baseline_ns: 10,
+                optimized_ns: 10,
+            },
         ];
         let json = render_json(&results);
         assert!(json.contains("\"speedup\": 2.000"));

@@ -21,4 +21,4 @@ pub mod planners;
 pub mod tables;
 
 pub use env::{BenchEnv, EnvConfig};
-pub use planners::{plan_query, PlannerKind, PlannedQuery};
+pub use planners::{plan_query, PlannedQuery, PlannerKind};

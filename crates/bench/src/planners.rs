@@ -2,8 +2,8 @@
 
 use std::time::Instant;
 
-use hsp_baseline::{CdpPlanner, HybridPlanner, LeftDeepPlanner, StockerPlanner};
 use hsp_baseline::cdp::CdpError;
+use hsp_baseline::{CdpPlanner, HybridPlanner, LeftDeepPlanner, StockerPlanner};
 use hsp_core::{HspConfig, HspPlanner};
 use hsp_engine::plan::PhysicalPlan;
 use hsp_engine::{execute, ExecConfig, ExecError, ExecOutput};
@@ -114,7 +114,9 @@ pub fn plan_query(
             }
         }
         PlannerKind::Sql => {
-            let out = LeftDeepPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let out = LeftDeepPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok(PlannedQuery {
                 plan: out.plan,
                 query: out.query,
@@ -123,7 +125,9 @@ pub fn plan_query(
             })
         }
         PlannerKind::Hybrid => {
-            let out = HybridPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let out = HybridPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok(PlannedQuery {
                 plan: out.plan,
                 query: out.query,
@@ -132,7 +136,9 @@ pub fn plan_query(
             })
         }
         PlannerKind::Stocker => {
-            let out = StockerPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let out = StockerPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok(PlannedQuery {
                 plan: out.plan,
                 query: out.query,
@@ -153,8 +159,9 @@ pub enum TimedRun {
         mean_ms: f64,
         /// Result rows.
         rows: usize,
-        /// The last run's output (profile included).
-        output: ExecOutput,
+        /// The last run's output (profile included), boxed so the enum
+        /// stays pointer-sized next to the `Failed` variant.
+        output: Box<ExecOutput>,
     },
     /// Execution failed (e.g. the row budget tripped on a Cartesian
     /// product) — the paper prints `XXX`.
@@ -188,7 +195,11 @@ pub fn timed_warm_runs(
         }
     }
     let output = last.expect("at least one run");
-    TimedRun::Ok { mean_ms: total / timed as f64, rows: output.table.len(), output }
+    TimedRun::Ok {
+        mean_ms: total / timed as f64,
+        rows: output.table.len(),
+        output: Box::new(output),
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +208,10 @@ mod tests {
     use hsp_datagen::{generate_sp2bench, Sp2BenchConfig};
 
     fn ds() -> Dataset {
-        generate_sp2bench(Sp2BenchConfig { target_triples: 10_000, seed: 1 })
+        generate_sp2bench(Sp2BenchConfig {
+            target_triples: 10_000,
+            seed: 1,
+        })
     }
 
     fn sp1() -> JoinQuery {

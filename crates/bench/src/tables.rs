@@ -10,7 +10,7 @@ use hsp_core::{HspConfig, HspPlanner, VariableGraph};
 use hsp_datagen::graphs::{random_variable_graph, star_chain_graph};
 use hsp_datagen::{workload, DatasetKind, WorkloadQuery};
 use hsp_engine::cost::plan_cost;
-use hsp_engine::explain::{render_plan_with_profile};
+use hsp_engine::explain::render_plan_with_profile;
 use hsp_engine::metrics::{plans_similar, PlanMetrics};
 use hsp_engine::{execute, ExecConfig};
 use hsp_sparql::rewrite::rewrite_filters;
@@ -23,7 +23,12 @@ use crate::planners::{plan_query, timed_warm_runs, PlannerKind, TimedRun};
 pub fn table1(env: &BenchEnv) -> String {
     let mut out = String::from("Table 1: sample of the SP2Bench-like dataset\n");
     let doc = env.sp2b.to_ntriples();
-    for (i, line) in doc.lines().enumerate().step_by(env.sp2b.len() / 13 + 1).take(13) {
+    for (i, line) in doc
+        .lines()
+        .enumerate()
+        .step_by(env.sp2b.len() / 13 + 1)
+        .take(13)
+    {
         out.push_str(&format!("t{:<3} {line}\n", i + 1));
     }
     out
@@ -68,9 +73,8 @@ pub fn table2() -> String {
 /// Table 3 — plan costs under the RDF-3X cost model, measured on actual
 /// intermediate-result sizes (merge-join cost first, `+` hash-join cost).
 pub fn table3(env: &BenchEnv) -> String {
-    let mut out = String::from(
-        "Table 3: plan cost (RDF-3X model over measured intermediate results)\n",
-    );
+    let mut out =
+        String::from("Table 3: plan cost (RDF-3X model over measured intermediate results)\n");
     out.push_str(&format!("{:<6} {:>24} {:>24}\n", "query", "HSP", "CDP"));
     for q in workload() {
         // Selection-only queries are excluded, as in the paper.
@@ -112,11 +116,21 @@ pub fn table4(env: &BenchEnv) -> String {
             (Ok(h), Ok(c)) => {
                 let hm = PlanMetrics::of(&h.plan);
                 let cm = PlanMetrics::of(&c.plan);
-                let similar = if plans_similar(&h.plan, &c.plan) { "yes" } else { "no" };
+                let similar = if plans_similar(&h.plan, &c.plan) {
+                    "yes"
+                } else {
+                    "no"
+                };
                 out.push_str(&format!(
                     "{:<6} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7}\n",
-                    q.id, hm.merge_joins, hm.hash_joins, hm.shape.to_string(),
-                    cm.merge_joins, cm.hash_joins, cm.shape.to_string(), similar
+                    q.id,
+                    hm.merge_joins,
+                    hm.hash_joins,
+                    hm.shape.to_string(),
+                    cm.merge_joins,
+                    cm.hash_joins,
+                    cm.shape.to_string(),
+                    similar
                 ));
             }
             (h, c) => {
@@ -161,8 +175,10 @@ pub fn execution_table(env: &BenchEnv, dataset: DatasetKind) -> String {
         DatasetKind::Yago => "Table 8: query execution time (ms), YAGO-like (warm runs)",
     };
     let mut out = format!("{name}\n");
-    let queries: Vec<WorkloadQuery> =
-        workload().into_iter().filter(|q| q.dataset == dataset).collect();
+    let queries: Vec<WorkloadQuery> = workload()
+        .into_iter()
+        .filter(|q| q.dataset == dataset)
+        .collect();
     out.push_str(&format!("{:<12}", "system"));
     for q in &queries {
         out.push_str(&format!(" {:>12}", q.id));
@@ -194,10 +210,16 @@ pub fn execution_table(env: &BenchEnv, dataset: DatasetKind) -> String {
 pub fn queries_text() -> String {
     let mut out = String::new();
     for q in workload() {
-        out.push_str(&format!("--- {} ({}) — {}\n{}\n\n", q.id, match q.dataset {
-            DatasetKind::Sp2Bench => "SP2Bench",
-            DatasetKind::Yago => "YAGO",
-        }, q.description, q.text.trim()));
+        out.push_str(&format!(
+            "--- {} ({}) — {}\n{}\n\n",
+            q.id,
+            match q.dataset {
+                DatasetKind::Sp2Bench => "SP2Bench",
+                DatasetKind::Yago => "YAGO",
+            },
+            q.description,
+            q.text.trim()
+        ));
     }
     out
 }
@@ -229,19 +251,37 @@ pub fn figure1() -> String {
 
 /// Figure 2 — the HSP plan for Y3 with measured cardinalities.
 pub fn figure2(env: &BenchEnv) -> String {
-    plan_figure(env, "Y3", PlannerKind::Hsp, "Figure 2: HSP plan for YAGO query Y3")
+    plan_figure(
+        env,
+        "Y3",
+        PlannerKind::Hsp,
+        "Figure 2: HSP plan for YAGO query Y3",
+    )
 }
 
 /// Figure 3 — HSP and CDP plans for Y2 with measured cardinalities.
 pub fn figure3(env: &BenchEnv) -> String {
-    let mut out = plan_figure(env, "Y2", PlannerKind::Hsp, "Figure 3(a): HSP plan for YAGO query Y2");
+    let mut out = plan_figure(
+        env,
+        "Y2",
+        PlannerKind::Hsp,
+        "Figure 3(a): HSP plan for YAGO query Y2",
+    );
     out.push('\n');
-    out.push_str(&plan_figure(env, "Y2", PlannerKind::Cdp, "Figure 3(b): CDP plan for YAGO query Y2"));
+    out.push_str(&plan_figure(
+        env,
+        "Y2",
+        PlannerKind::Cdp,
+        "Figure 3(b): CDP plan for YAGO query Y2",
+    ));
     out
 }
 
 fn plan_figure(env: &BenchEnv, id: &str, kind: PlannerKind, title: &str) -> String {
-    let q = workload().into_iter().find(|q| q.id == id).expect("workload query");
+    let q = workload()
+        .into_iter()
+        .find(|q| q.id == id)
+        .expect("workload query");
     let parsed = q.parse();
     let ds = env.dataset(q.dataset);
     let planned = match plan_query(kind, ds, &parsed) {
@@ -260,10 +300,11 @@ fn plan_figure(env: &BenchEnv, id: &str, kind: PlannerKind, title: &str) -> Stri
 /// The §6.2.2 MWIS scaling claim: solve random 10–60-node variable graphs
 /// and star chains, reporting wall-clock per size.
 pub fn mwis_scaling() -> String {
-    let mut out = String::from(
-        "MWIS scaling (paper claim: 50-node variable graph in < 6 ms)\n",
-    );
-    out.push_str(&format!("{:>6} {:>14} {:>14}\n", "nodes", "random(ms)", "stars(ms)"));
+    let mut out = String::from("MWIS scaling (paper claim: 50-node variable graph in < 6 ms)\n");
+    out.push_str(&format!(
+        "{:>6} {:>14} {:>14}\n",
+        "nodes", "random(ms)", "stars(ms)"
+    ));
     for n in [10usize, 20, 30, 40, 50, 60] {
         let random = {
             let g = random_variable_graph(n, 0.08, n as u64);
@@ -289,15 +330,52 @@ pub fn mwis_scaling() -> String {
 pub fn ablation(env: &BenchEnv) -> String {
     let variants: Vec<(&str, HspConfig)> = vec![
         ("default", HspConfig::default()),
-        ("no-H1", HspConfig { use_h1_order: false, ..Default::default() }),
-        ("no-H2", HspConfig { use_h2: false, ..Default::default() }),
-        ("no-H3", HspConfig { use_h3: false, ..Default::default() }),
-        ("no-H4", HspConfig { use_h4: false, ..Default::default() }),
-        ("no-H5", HspConfig { use_h5: false, ..Default::default() }),
-        ("no-fewer-vars", HspConfig { prefer_fewer_vars: false, ..Default::default() }),
+        (
+            "no-H1",
+            HspConfig {
+                use_h1_order: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H2",
+            HspConfig {
+                use_h2: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H3",
+            HspConfig {
+                use_h3: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H4",
+            HspConfig {
+                use_h4: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-H5",
+            HspConfig {
+                use_h5: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-fewer-vars",
+            HspConfig {
+                prefer_fewer_vars: false,
+                ..Default::default()
+            },
+        ),
         ("random(7)", HspConfig::random_tiebreak(7)),
     ];
-    let mut out = String::from("Heuristic ablation: total measured plan cost across the workload\n");
+    let mut out =
+        String::from("Heuristic ablation: total measured plan cost across the workload\n");
     out.push_str(&format!(
         "{:<15} {:>16} {:>10} {:>10}\n",
         "variant", "total cost", "merge", "hash"
@@ -310,7 +388,9 @@ pub fn ablation(env: &BenchEnv) -> String {
         for q in workload() {
             let parsed = q.parse();
             let ds = env.dataset(q.dataset);
-            let Ok(planned) = planner.plan(&parsed) else { continue };
+            let Ok(planned) = planner.plan(&parsed) else {
+                continue;
+            };
             let m = PlanMetrics::of(&planned.plan);
             merge += m.merge_joins;
             hash += m.hash_joins;
@@ -318,7 +398,9 @@ pub fn ablation(env: &BenchEnv) -> String {
                 total_cost += plan_cost(&planned.plan, &exec.profile).total();
             }
         }
-        out.push_str(&format!("{name:<15} {total_cost:>16.1} {merge:>10} {hash:>10}\n"));
+        out.push_str(&format!(
+            "{name:<15} {total_cost:>16.1} {merge:>10} {hash:>10}\n"
+        ));
     }
 
     // Second section: the three optimization regimes — syntax-only (HSP),
@@ -335,15 +417,15 @@ pub fn ablation(env: &BenchEnv) -> String {
         for q in workload() {
             let parsed = q.parse();
             let ds = env.dataset(q.dataset);
-            let Ok(planned) = crate::planners::plan_query(kind, ds, &parsed) else { continue };
+            let Ok(planned) = crate::planners::plan_query(kind, ds, &parsed) else {
+                continue;
+            };
             let m = PlanMetrics::of(&planned.plan);
             merge += m.merge_joins;
             hash += m.hash_joins;
             cross += m.cross_products;
             // Cap Cartesian plans like Table 7's "XXX" runs.
-            if let Ok(exec) =
-                execute(&planned.plan, ds, &ExecConfig::with_row_budget(5_000_000))
-            {
+            if let Ok(exec) = execute(&planned.plan, ds, &ExecConfig::with_row_budget(5_000_000)) {
                 total_cost += plan_cost(&planned.plan, &exec.profile).total();
             }
         }
@@ -358,9 +440,8 @@ pub fn ablation(env: &BenchEnv) -> String {
 /// Sideways information passing: intermediate-result footprint per query,
 /// SIP off vs on, over HSP plans (results are asserted identical).
 pub fn sip_table(env: &BenchEnv) -> String {
-    let mut out = String::from(
-        "Sideways information passing (HSP plans): intermediate rows per query\n",
-    );
+    let mut out =
+        String::from("Sideways information passing (HSP plans): intermediate rows per query\n");
     out.push_str(&format!(
         "{:<8} {:>12} {:>12} {:>9}\n",
         "query", "plain", "sip", "kept"
@@ -368,12 +449,11 @@ pub fn sip_table(env: &BenchEnv) -> String {
     for q in workload() {
         let parsed = q.parse();
         let ds = env.dataset(q.dataset);
-        let planned =
-            crate::planners::plan_query(crate::planners::PlannerKind::Hsp, ds, &parsed)
-                .expect("plannable");
+        let planned = crate::planners::plan_query(crate::planners::PlannerKind::Hsp, ds, &parsed)
+            .expect("plannable");
         let plain = execute(&planned.plan, ds, &ExecConfig::unlimited()).expect("executes");
-        let sip = execute(&planned.plan, ds, &ExecConfig::unlimited().with_sip())
-            .expect("executes");
+        let sip =
+            execute(&planned.plan, ds, &ExecConfig::unlimited().with_sip()).expect("executes");
         assert_eq!(
             sip.table.sorted_rows(),
             plain.table.sorted_rows(),

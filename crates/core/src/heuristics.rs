@@ -91,21 +91,14 @@ pub struct SetScores {
 
 /// Compute [`SetScores`] for a candidate set over the residual patterns
 /// `indices`.
-pub fn score_set(
-    query: &JoinQuery,
-    indices: &[usize],
-    set: &[Var],
-) -> SetScores {
+pub fn score_set(query: &JoinQuery, indices: &[usize], set: &[Var]) -> SetScores {
     let covered: Vec<usize> = indices
         .iter()
         .copied()
         .filter(|&i| set.iter().any(|&v| query.patterns[i].contains_var(v)))
         .collect();
 
-    let h3_total_consts = covered
-        .iter()
-        .map(|&i| h3_consts(&query.patterns[i]))
-        .sum();
+    let h3_total_consts = covered.iter().map(|&i| h3_consts(&query.patterns[i])).sum();
     let h4_literal_objects = covered
         .iter()
         .filter(|&&i| h4_object_score(&query.patterns[i]) == 2)
@@ -207,9 +200,7 @@ mod tests {
 
     #[test]
     fn h1_ground_rdf_type_not_demoted() {
-        let q = patterns(
-            "SELECT ?x WHERE { <http://e/s> a <http://e/C> . ?x <http://e/p> ?y . }",
-        );
+        let q = patterns("SELECT ?x WHERE { <http://e/s> a <http://e/C> . ?x <http://e/p> ?y . }");
         assert_eq!(h1_rank(&q.patterns[0]), 0);
     }
 

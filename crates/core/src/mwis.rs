@@ -15,7 +15,9 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set with capacity for `n` indices.
     pub fn new(n: usize) -> Self {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Insert `i`.
@@ -137,7 +139,11 @@ pub fn all_max_weight_independent_sets(weights: &[u64], adj: &[BitSet]) -> MwisR
     for i in 0..n {
         remaining.insert(i);
     }
-    let mut best = MwisResult { weight: 0, sets: vec![Vec::new()], truncated: false };
+    let mut best = MwisResult {
+        weight: 0,
+        sets: vec![Vec::new()],
+        truncated: false,
+    };
     let mut current = Vec::new();
     branch(&remaining, &mut current, 0, weights, adj, &mut best);
     best
@@ -174,7 +180,14 @@ fn branch(
     with_v.remove(v);
     with_v.subtract(&adj[v]);
     current.push(v);
-    branch(&with_v, current, current_weight + weights[v], weights, adj, best);
+    branch(
+        &with_v,
+        current,
+        current_weight + weights[v],
+        weights,
+        adj,
+        best,
+    );
     current.pop();
 
     // Branch 2: exclude v.
@@ -236,7 +249,11 @@ fn record(current: &[usize], weight: u64, best: &mut MwisResult) {
 pub fn brute_force_mwis(weights: &[u64], adj: &[BitSet]) -> MwisResult {
     let n = weights.len();
     assert!(n <= 20, "brute force limited to 20 nodes");
-    let mut best = MwisResult { weight: 0, sets: vec![Vec::new()], truncated: false };
+    let mut best = MwisResult {
+        weight: 0,
+        sets: vec![Vec::new()],
+        truncated: false,
+    };
     for mask in 0u32..(1 << n) {
         let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
         let independent = members
@@ -354,7 +371,17 @@ mod tests {
         let weights = vec![3, 1, 4, 1, 5, 9, 2, 6];
         let adj = graph(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (0, 7),
+                (2, 5),
+            ],
         );
         let r = all_max_weight_independent_sets(&weights, &adj);
         for set in &r.sets {

@@ -62,7 +62,11 @@ impl HspConfig {
     /// The paper's randomized tie-break (Algorithm 1's
     /// `RandomChooseOne`), seeded for reproducibility.
     pub fn random_tiebreak(seed: u64) -> Self {
-        HspConfig { prefer_fewer_vars: false, rng_seed: Some(seed), ..Default::default() }
+        HspConfig {
+            prefer_fewer_vars: false,
+            rng_seed: Some(seed),
+            ..Default::default()
+        }
     }
 }
 
@@ -149,9 +153,7 @@ impl HspPlanner {
             // first (deterministic; variables in a set never co-occur in a
             // pattern, so the assignment is disjoint anyway).
             let mut ordered: Vec<Var> = set;
-            ordered.sort_by_key(|&v| {
-                (std::cmp::Reverse(graph.weight(v)), v)
-            });
+            ordered.sort_by_key(|&v| (std::cmp::Reverse(graph.weight(v)), v));
             for v in ordered {
                 let covered: Vec<usize> = remaining
                     .iter()
@@ -180,7 +182,10 @@ impl HspPlanner {
         // Residual filters, then projection.
         let mut plan = joined;
         for f in &query.filters {
-            plan = PhysicalPlan::Filter { input: Box::new(plan), expr: f.clone() };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                expr: f.clone(),
+            };
         }
         let plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -189,7 +194,12 @@ impl HspPlanner {
         }
         .with_modifiers(&query.modifiers);
 
-        Ok(HspPlan { plan, query, rewrite, merge_vars })
+        Ok(HspPlan {
+            plan,
+            query,
+            rewrite,
+            merge_vars,
+        })
     }
 
     /// Algorithm 1's tie-break cascade: (fewer-vars) → H3 → H4 → H2 → H5 →
@@ -272,7 +282,11 @@ impl HspPlanner {
     fn scan_leaf(&self, query: &JoinQuery, idx: usize, v: Option<Var>) -> PhysicalPlan {
         let pattern = query.patterns[idx].clone();
         let order = assign_ordered_relation(&pattern, v);
-        PhysicalPlan::Scan { pattern_idx: idx, pattern, order }
+        PhysicalPlan::Scan {
+            pattern_idx: idx,
+            pattern,
+            order,
+        }
     }
 
     /// Join components (blocks and leftover leaves) into one tree:
@@ -289,9 +303,9 @@ impl HspPlanner {
         while !components.is_empty() {
             let acc_vars = acc.output_vars();
             // First component (in order) sharing a variable with `acc`.
-            let pos = components.iter().position(|c| {
-                c.output_vars().iter().any(|v| acc_vars.contains(v))
-            });
+            let pos = components
+                .iter()
+                .position(|c| c.output_vars().iter().any(|v| acc_vars.contains(v)));
             match pos {
                 Some(p) => {
                     let right = components.remove(p);
@@ -423,7 +437,10 @@ mod tests {
     fn assign_join_var_figure2_access_paths() {
         // (?c1, rdf:type, village) joined on ?c1 → OPS (constants o, p; then s).
         let type_pattern = tp(v(0), c("type"), c("village"));
-        assert_eq!(assign_ordered_relation(&type_pattern, Some(Var(0))), Order::Ops);
+        assert_eq!(
+            assign_ordered_relation(&type_pattern, Some(Var(0))),
+            Order::Ops
+        );
         // (?c1, locatedIn, ?x) joined on ?c1 → PSO.
         let loc = tp(v(0), c("locatedIn"), v(1));
         assert_eq!(assign_ordered_relation(&loc, Some(Var(0))), Order::Pso);
@@ -607,8 +624,12 @@ mod tests {
         let text = "SELECT ?x WHERE {
             ?x ?p1 ?y . ?y ?p2 ?z . ?z ?p3 ?w . ?w a <http://e/C> . ?x a <http://e/D> . }";
         let q = JoinQuery::parse(text).unwrap();
-        let a = HspPlanner::with_config(HspConfig::random_tiebreak(7)).plan(&q).unwrap();
-        let b = HspPlanner::with_config(HspConfig::random_tiebreak(7)).plan(&q).unwrap();
+        let a = HspPlanner::with_config(HspConfig::random_tiebreak(7))
+            .plan(&q)
+            .unwrap();
+        let b = HspPlanner::with_config(HspConfig::random_tiebreak(7))
+            .plan(&q)
+            .unwrap();
         assert_eq!(a.plan, b.plan);
     }
 
@@ -617,7 +638,10 @@ mod tests {
         let text = "SELECT ?x ?w ?y WHERE {
             ?x ?p1 ?y . ?y ?p2 ?z . ?z ?p3 ?w . ?w a <http://e/site> . ?x a <http://e/actor> . }";
         let q = JoinQuery::parse(text).unwrap();
-        let cfg = HspConfig { use_h3: false, ..Default::default() };
+        let cfg = HspConfig {
+            use_h3: false,
+            ..Default::default()
+        };
         let p = HspPlanner::with_config(cfg).plan(&q).unwrap();
         assert!(p.plan.validate().is_ok());
         let m = PlanMetrics::of(&p.plan);

@@ -23,8 +23,7 @@ impl VariableGraph {
     /// weights count occurrences *within that subset*, which is what each
     /// round of Algorithm 1 needs.
     pub fn build(query: &JoinQuery, indices: &[usize]) -> Self {
-        let patterns: Vec<&TriplePattern> =
-            indices.iter().map(|&i| &query.patterns[i]).collect();
+        let patterns: Vec<&TriplePattern> = indices.iter().map(|&i| &query.patterns[i]).collect();
         Self::from_patterns(&patterns)
     }
 
@@ -152,7 +151,11 @@ impl VariableGraph {
     pub fn to_dot(&self, query: &JoinQuery) -> String {
         let mut out = String::from("graph variable_graph {\n  node [shape=circle];\n");
         for (i, &v) in self.vars.iter().enumerate() {
-            let style = if self.weights[i] >= 2 { ", style=bold" } else { "" };
+            let style = if self.weights[i] >= 2 {
+                ", style=bold"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  v{} [label=\"?{}\\n{}\"{}];\n",
                 v.0,
@@ -248,10 +251,8 @@ mod tests {
 
     #[test]
     fn chain_graph_edges() {
-        let q = JoinQuery::parse(
-            "SELECT ?x WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z . }",
-        )
-        .unwrap();
+        let q = JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z . }")
+            .unwrap();
         let g = VariableGraph::build(&q, &[0, 1]);
         assert!(g.has_edge(Var(0), Var(1)));
         assert!(g.has_edge(Var(1), Var(2)));
@@ -263,10 +264,7 @@ mod tests {
 
     #[test]
     fn predicate_variables_are_nodes_too() {
-        let q = JoinQuery::parse(
-            "SELECT ?p WHERE { ?a ?p ?b . ?c ?p ?d . }",
-        )
-        .unwrap();
+        let q = JoinQuery::parse("SELECT ?p WHERE { ?a ?p ?b . ?c ?p ?d . }").unwrap();
         let g = VariableGraph::build(&q, &[0, 1]).trimmed();
         assert_eq!(g.num_nodes(), 1);
         assert_eq!(g.weight(Var(1)), 2); // ?p is Var(1): a=0, p=1, b=2 …

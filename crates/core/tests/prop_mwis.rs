@@ -76,7 +76,14 @@ fn arb_join_query() -> impl Strategy<Value = JoinQuery> {
             })
             .collect();
         let projection = vec![(names[0].clone(), Var(0))];
-        JoinQuery { patterns, filters: vec![], projection, distinct: false, var_names: names, modifiers: Default::default() }
+        JoinQuery {
+            patterns,
+            filters: vec![],
+            projection,
+            distinct: false,
+            var_names: names,
+            modifiers: Default::default(),
+        }
     })
 }
 

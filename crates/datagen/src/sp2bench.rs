@@ -33,14 +33,20 @@ pub struct Sp2BenchConfig {
 
 impl Default for Sp2BenchConfig {
     fn default() -> Self {
-        Sp2BenchConfig { target_triples: 100_000, seed: 42 }
+        Sp2BenchConfig {
+            target_triples: 100_000,
+            seed: 42,
+        }
     }
 }
 
 impl Sp2BenchConfig {
     /// A config with the given size and the default seed.
     pub fn with_triples(target_triples: usize) -> Self {
-        Sp2BenchConfig { target_triples, ..Default::default() }
+        Sp2BenchConfig {
+            target_triples,
+            ..Default::default()
+        }
     }
 }
 
@@ -125,9 +131,18 @@ pub fn generate_sp2bench(config: Sp2BenchConfig) -> Dataset {
     let mut journals = Vec::with_capacity(n_journals);
     for i in 0..n_journals {
         let year_idx = i % years.len();
-        let j = g.iri(format!("{}Journal{}_{}", sp2b::NS, i / years.len() + 1, 1940 + year_idx));
+        let j = g.iri(format!(
+            "{}Journal{}_{}",
+            sp2b::NS,
+            i / years.len() + 1,
+            1940 + year_idx
+        ));
         g.add(j, rdf_type, journal_cls);
-        let title = g.lit(format!("Journal {} ({})", i / years.len() + 1, 1940 + year_idx));
+        let title = g.lit(format!(
+            "Journal {} ({})",
+            i / years.len() + 1,
+            1940 + year_idx
+        ));
         g.add(j, dc_title, title);
         g.add(j, dcterms_issued, years[year_idx]);
         journals.push(j);
@@ -205,7 +220,10 @@ mod tests {
     use hsp_rdf::{Term, TriplePos};
 
     fn small() -> Dataset {
-        generate_sp2bench(Sp2BenchConfig { target_triples: 20_000, seed: 7 })
+        generate_sp2bench(Sp2BenchConfig {
+            target_triples: 20_000,
+            seed: 7,
+        })
     }
 
     #[test]
@@ -217,18 +235,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 9 });
-        let b = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 9 });
+        let a = generate_sp2bench(Sp2BenchConfig {
+            target_triples: 5_000,
+            seed: 9,
+        });
+        let b = generate_sp2bench(Sp2BenchConfig {
+            target_triples: 5_000,
+            seed: 9,
+        });
         assert_eq!(a.len(), b.len());
         assert_eq!(a.to_ntriples(), b.to_ntriples());
-        let c = generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 10 });
+        let c = generate_sp2bench(Sp2BenchConfig {
+            target_triples: 5_000,
+            seed: 10,
+        });
         assert_ne!(a.to_ntriples(), c.to_ntriples());
     }
 
     #[test]
     fn journal_1_1940_exists_exactly_once() {
         let ds = small();
-        let title = ds.id_of(&Term::literal("Journal 1 (1940)")).expect("title exists");
+        let title = ds
+            .id_of(&Term::literal("Journal 1 (1940)"))
+            .expect("title exists");
         let dc_title = ds
             .id_of(&Term::iri(format!("{}title", sp2b::DC)))
             .expect("predicate exists");
@@ -271,8 +300,13 @@ mod tests {
             .id_of(&Term::iri(format!("{}homepage", sp2b::FOAF)))
             .expect("homepage predicate");
         let total = ds.store().count_bound(&[(TriplePos::P, hp)]);
-        let distinct = ds.store().distinct_bound(&[(TriplePos::P, hp)], TriplePos::O);
-        assert!(total > distinct, "homepages must collide ({total} uses, {distinct} distinct)");
+        let distinct = ds
+            .store()
+            .distinct_bound(&[(TriplePos::P, hp)], TriplePos::O);
+        assert!(
+            total > distinct,
+            "homepages must collide ({total} uses, {distinct} distinct)"
+        );
     }
 
     #[test]

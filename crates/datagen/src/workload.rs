@@ -260,20 +260,90 @@ pub const Y4: &str = y_query!(
 /// The full 14-query workload in the paper's order.
 pub fn workload() -> Vec<WorkloadQuery> {
     vec![
-        WorkloadQuery { id: "SP1", dataset: DatasetKind::Sp2Bench, text: SP1, description: "light subject star, one journal" },
-        WorkloadQuery { id: "SP2a", dataset: DatasetKind::Sp2Bench, text: SP2A, description: "heavy 10-pattern subject star" },
-        WorkloadQuery { id: "SP2b", dataset: DatasetKind::Sp2Bench, text: SP2B, description: "8-pattern subject star" },
-        WorkloadQuery { id: "SP3a", dataset: DatasetKind::Sp2Bench, text: SP3A, description: "filter query, common property" },
-        WorkloadQuery { id: "SP3b", dataset: DatasetKind::Sp2Bench, text: SP3B, description: "filter query, sparse property" },
-        WorkloadQuery { id: "SP3c", dataset: DatasetKind::Sp2Bench, text: SP3C, description: "filter query, empty result" },
-        WorkloadQuery { id: "SP4a", dataset: DatasetKind::Sp2Bench, text: SP4A, description: "author pairs via FILTER equality" },
-        WorkloadQuery { id: "SP4b", dataset: DatasetKind::Sp2Bench, text: SP4B, description: "mixed star/chain" },
-        WorkloadQuery { id: "SP5", dataset: DatasetKind::Sp2Bench, text: SP5, description: "selective selection" },
-        WorkloadQuery { id: "SP6", dataset: DatasetKind::Sp2Bench, text: SP6, description: "unselective selection" },
-        WorkloadQuery { id: "Y1", dataset: DatasetKind::Yago, text: Y1, description: "scientist star with geography" },
-        WorkloadQuery { id: "Y2", dataset: DatasetKind::Yago, text: Y2, description: "actor/director star (paper Table 9)" },
-        WorkloadQuery { id: "Y3", dataset: DatasetKind::Yago, text: Y3, description: "village/site double star (paper Table 5)" },
-        WorkloadQuery { id: "Y4", dataset: DatasetKind::Yago, text: Y4, description: "zero-constant chain" },
+        WorkloadQuery {
+            id: "SP1",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP1,
+            description: "light subject star, one journal",
+        },
+        WorkloadQuery {
+            id: "SP2a",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP2A,
+            description: "heavy 10-pattern subject star",
+        },
+        WorkloadQuery {
+            id: "SP2b",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP2B,
+            description: "8-pattern subject star",
+        },
+        WorkloadQuery {
+            id: "SP3a",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP3A,
+            description: "filter query, common property",
+        },
+        WorkloadQuery {
+            id: "SP3b",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP3B,
+            description: "filter query, sparse property",
+        },
+        WorkloadQuery {
+            id: "SP3c",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP3C,
+            description: "filter query, empty result",
+        },
+        WorkloadQuery {
+            id: "SP4a",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP4A,
+            description: "author pairs via FILTER equality",
+        },
+        WorkloadQuery {
+            id: "SP4b",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP4B,
+            description: "mixed star/chain",
+        },
+        WorkloadQuery {
+            id: "SP5",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP5,
+            description: "selective selection",
+        },
+        WorkloadQuery {
+            id: "SP6",
+            dataset: DatasetKind::Sp2Bench,
+            text: SP6,
+            description: "unselective selection",
+        },
+        WorkloadQuery {
+            id: "Y1",
+            dataset: DatasetKind::Yago,
+            text: Y1,
+            description: "scientist star with geography",
+        },
+        WorkloadQuery {
+            id: "Y2",
+            dataset: DatasetKind::Yago,
+            text: Y2,
+            description: "actor/director star (paper Table 9)",
+        },
+        WorkloadQuery {
+            id: "Y3",
+            dataset: DatasetKind::Yago,
+            text: Y3,
+            description: "village/site double star (paper Table 5)",
+        },
+        WorkloadQuery {
+            id: "Y4",
+            dataset: DatasetKind::Yago,
+            text: Y4,
+            description: "zero-constant chain",
+        },
     ]
 }
 
@@ -293,7 +363,10 @@ mod tests {
     use hsp_rdf::TriplePos::{O, S};
 
     fn by_id(id: &str) -> WorkloadQuery {
-        workload().into_iter().find(|q| q.id == id).expect("query exists")
+        workload()
+            .into_iter()
+            .find(|q| q.id == id)
+            .expect("query exists")
     }
 
     #[test]
@@ -309,22 +382,33 @@ mod tests {
     #[test]
     #[allow(clippy::type_complexity)]
     fn table2_characteristics() {
-        let expected: Vec<(&str, usize, usize, usize, usize, usize, usize, usize, usize, usize)> = vec![
+        let expected: Vec<(
+            &str,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+        )> = vec![
             // id     tps vars proj shared 0c 1c 2c joins star
-            ("SP1",    3,  2,  2,  1,  0, 1, 2,  2, 2),
-            ("SP2a",  10, 10,  1,  1,  0, 9, 1,  9, 9),
-            ("SP2b",   8,  8,  1,  1,  0, 7, 1,  7, 7),
+            ("SP1", 3, 2, 2, 1, 0, 1, 2, 2, 2),
+            ("SP2a", 10, 10, 1, 1, 0, 9, 1, 9, 9),
+            ("SP2b", 8, 8, 1, 1, 0, 7, 1, 7, 7),
             // SP3(a,b,c) in their rewritten 2-pattern form are checked in
             // the integration tests; raw FILTER form below:
-            ("SP3a",   2,  3,  1,  1,  1, 0, 1,  1, 1),
-            ("SP4a",   6,  6,  2,  4,  0, 4, 2,  4, 1),
-            ("SP4b",   5,  4,  2,  3,  0, 3, 2,  4, 2),
-            ("SP5",    1,  2,  2,  0,  0, 1, 0,  0, 0),
-            ("SP6",    1,  1,  1,  0,  0, 0, 1,  0, 0),
-            ("Y1",     8,  6,  2,  5,  0, 6, 2,  8, 4),
-            ("Y2",     6,  4,  1,  3,  0, 3, 3,  5, 3),
-            ("Y3",     6,  7,  1,  3,  2, 2, 2,  5, 2),
-            ("Y4",     5,  7,  3,  4,  3, 0, 2,  4, 1),
+            ("SP3a", 2, 3, 1, 1, 1, 0, 1, 1, 1),
+            ("SP4a", 6, 6, 2, 4, 0, 4, 2, 4, 1),
+            ("SP4b", 5, 4, 2, 3, 0, 3, 2, 4, 2),
+            ("SP5", 1, 2, 2, 0, 0, 1, 0, 0, 0),
+            ("SP6", 1, 1, 1, 0, 0, 0, 1, 0, 0),
+            ("Y1", 8, 6, 2, 5, 0, 6, 2, 8, 4),
+            ("Y2", 6, 4, 1, 3, 0, 3, 3, 5, 3),
+            ("Y3", 6, 7, 1, 3, 2, 2, 2, 5, 2),
+            ("Y4", 5, 7, 3, 4, 3, 0, 2, 4, 1),
         ];
         for (id, tps, vars, proj, shared, c0, c1, c2, joins, star) in expected {
             let c = by_id(id).characteristics();
@@ -406,7 +490,19 @@ mod tests {
 
     #[test]
     fn dataset_assignment() {
-        assert!(workload().iter().filter(|q| q.dataset == DatasetKind::Sp2Bench).count() == 10);
-        assert!(workload().iter().filter(|q| q.dataset == DatasetKind::Yago).count() == 4);
+        assert!(
+            workload()
+                .iter()
+                .filter(|q| q.dataset == DatasetKind::Sp2Bench)
+                .count()
+                == 10
+        );
+        assert!(
+            workload()
+                .iter()
+                .filter(|q| q.dataset == DatasetKind::Yago)
+                .count()
+                == 4
+        );
     }
 }

@@ -30,14 +30,20 @@ pub struct YagoConfig {
 
 impl Default for YagoConfig {
     fn default() -> Self {
-        YagoConfig { target_triples: 100_000, seed: 1234 }
+        YagoConfig {
+            target_triples: 100_000,
+            seed: 1234,
+        }
     }
 }
 
 impl YagoConfig {
     /// A config with the given size and the default seed.
     pub fn with_triples(target_triples: usize) -> Self {
-        YagoConfig { target_triples, ..Default::default() }
+        YagoConfig {
+            target_triples,
+            ..Default::default()
+        }
     }
 }
 
@@ -101,8 +107,9 @@ pub fn generate_yago(config: YagoConfig) -> Dataset {
 
     // Geography bottom-up: countries ← states ← cities/villages; sites hang
     // off states both ways (site locatedIn state, state hasLandmark site).
-    let countries: Vec<TermId> =
-        (0..n_countries).map(|i| g.iri(format!("{}Country{i}", yago::NS))).collect();
+    let countries: Vec<TermId> = (0..n_countries)
+        .map(|i| g.iri(format!("{}Country{i}", yago::NS)))
+        .collect();
     let mut states = Vec::with_capacity(n_states);
     for i in 0..n_states {
         let s = g.iri(format!("{}State{i}", yago::NS));
@@ -148,8 +155,9 @@ pub fn generate_yago(config: YagoConfig) -> Dataset {
             u
         })
         .collect();
-    let prizes: Vec<TermId> =
-        (0..n_prizes).map(|i| g.iri(format!("{}Prize{i}", yago::NS))).collect();
+    let prizes: Vec<TermId> = (0..n_prizes)
+        .map(|i| g.iri(format!("{}Prize{i}", yago::NS)))
+        .collect();
     let movies: Vec<TermId> = (0..n_movies)
         .map(|i| {
             let m = g.iri(format!("{}Movie{i}", yago::NS));
@@ -200,7 +208,11 @@ pub fn generate_yago(config: YagoConfig) -> Dataset {
                 .filter(|&(_, s)| *s == birth_state)
                 .map(|(&c, _)| c)
                 .collect();
-            if local.is_empty() { g.pick(&cities) } else { g.pick(&local) }
+            if local.is_empty() {
+                g.pick(&cities)
+            } else {
+                g.pick(&local)
+            }
         } else {
             g.pick(&cities)
         };
@@ -220,7 +232,10 @@ mod tests {
     use hsp_rdf::{Term, TriplePos};
 
     fn small() -> Dataset {
-        generate_yago(YagoConfig { target_triples: 20_000, seed: 3 })
+        generate_yago(YagoConfig {
+            target_triples: 20_000,
+            seed: 3,
+        })
     }
 
     #[test]
@@ -231,8 +246,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate_yago(YagoConfig { target_triples: 4_000, seed: 5 });
-        let b = generate_yago(YagoConfig { target_triples: 4_000, seed: 5 });
+        let a = generate_yago(YagoConfig {
+            target_triples: 4_000,
+            seed: 5,
+        });
+        let b = generate_yago(YagoConfig {
+            target_triples: 4_000,
+            seed: 5,
+        });
         assert_eq!(a.to_ntriples(), b.to_ntriples());
     }
 
@@ -266,7 +287,14 @@ mod tests {
     fn all_expected_classes_populated() {
         let ds = small();
         let rdf_type = ds.id_of(&Term::iri(RDF_TYPE)).unwrap();
-        for cls in ["actor", "movie", "scientist", "village", "site", "university"] {
+        for cls in [
+            "actor",
+            "movie",
+            "scientist",
+            "village",
+            "site",
+            "university",
+        ] {
             let id = ds.id_of(&Term::iri(yago::class(cls))).unwrap();
             let n = ds
                 .store()

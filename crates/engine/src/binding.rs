@@ -24,13 +24,23 @@ impl BindingTable {
     /// An empty table over the given variables.
     pub fn empty(vars: Vec<Var>) -> Self {
         let cols = vars.iter().map(|_| Vec::new()).collect();
-        BindingTable { vars, cols, sorted_by: None, rows: 0 }
+        BindingTable {
+            vars,
+            cols,
+            sorted_by: None,
+            rows: 0,
+        }
     }
 
     /// A zero-column table with `rows` rows — the relational *unit* rows a
     /// fully ground triple pattern produces (0 or 1 in practice).
     pub fn unit(rows: usize) -> Self {
-        BindingTable { vars: Vec::new(), cols: Vec::new(), sorted_by: None, rows }
+        BindingTable {
+            vars: Vec::new(),
+            cols: Vec::new(),
+            sorted_by: None,
+            rows,
+        }
     }
 
     /// Build from columns. All columns must have the same length; `vars`
@@ -54,7 +64,12 @@ impl BindingTable {
             assert!(vars.contains(&v), "sorted_by variable not in table");
         }
         let rows = cols.first().map_or(0, Vec::len);
-        let table = BindingTable { vars, cols, sorted_by, rows };
+        let table = BindingTable {
+            vars,
+            cols,
+            sorted_by,
+            rows,
+        };
         debug_assert!(table.check_sortedness());
         table
     }
@@ -165,8 +180,17 @@ impl BindingTable {
     }
 
     fn gather_impl(&self, sel: &[u32], pool: Option<&BufferPool>) -> BindingTable {
-        let cols = self.cols.iter().map(|col| gather_column(col, sel, pool)).collect();
-        BindingTable { vars: self.vars.clone(), cols, sorted_by: None, rows: sel.len() }
+        let cols = self
+            .cols
+            .iter()
+            .map(|col| gather_column(col, sel, pool))
+            .collect();
+        BindingTable {
+            vars: self.vars.clone(),
+            cols,
+            sorted_by: None,
+            rows: sel.len(),
+        }
     }
 
     /// Tear the table down into its raw columns (variable order), so a
@@ -225,17 +249,29 @@ impl BindingTable {
             let col = right.column(v);
             let mut out = alloc_column(ridx.len(), pool);
             out.extend(ridx.iter().map(|&j| {
-                if j == u32::MAX { TermId::UNBOUND } else { col[j as usize] }
+                if j == u32::MAX {
+                    TermId::UNBOUND
+                } else {
+                    col[j as usize]
+                }
             }));
             cols.push(out);
         }
-        BindingTable { vars, cols, sorted_by: None, rows: lidx.len() }
+        BindingTable {
+            vars,
+            cols,
+            sorted_by: None,
+            rows: lidx.len(),
+        }
     }
 
     /// Row indices sorted by lexicographic row comparison (column order).
     /// Comparisons read the columns in place — no per-row materialisation.
     pub fn sort_index(&self) -> Vec<u32> {
-        assert!(self.rows <= u32::MAX as usize, "table too large for u32 row indices");
+        assert!(
+            self.rows <= u32::MAX as usize,
+            "table too large for u32 row indices"
+        );
         let cols = self.column_slices();
         let mut idx: Vec<u32> = (0..self.rows as u32).collect();
         idx.sort_unstable_by(|&a, &b| cmp_rows_at(&cols, a as usize, b as usize));
@@ -252,7 +288,10 @@ impl BindingTable {
     /// tests and result checking). Sorting happens on an index vector over
     /// the columns; rows are only materialised for the returned value.
     pub fn sorted_rows(&self) -> Vec<Vec<TermId>> {
-        self.sort_index().iter().map(|&i| self.row(i as usize)).collect()
+        self.sort_index()
+            .iter()
+            .map(|&i| self.row(i as usize))
+            .collect()
     }
 
     /// Rows projected to a variable subset, sorted (order-insensitive
@@ -260,9 +299,15 @@ impl BindingTable {
     pub fn sorted_rows_for(&self, vars: &[Var]) -> Vec<Vec<TermId>> {
         let idx: Vec<usize> = vars
             .iter()
-            .map(|&v| self.col_index(v).unwrap_or_else(|| panic!("{v} not in table")))
+            .map(|&v| {
+                self.col_index(v)
+                    .unwrap_or_else(|| panic!("{v} not in table"))
+            })
             .collect();
-        assert!(self.rows <= u32::MAX as usize, "table too large for u32 row indices");
+        assert!(
+            self.rows <= u32::MAX as usize,
+            "table too large for u32 row indices"
+        );
         let cols: Vec<&[TermId]> = idx.iter().map(|&c| self.cols[c].as_slice()).collect();
         let mut order: Vec<u32> = (0..self.rows as u32).collect();
         order.sort_unstable_by(|&a, &b| cmp_rows_at(&cols, a as usize, b as usize));
@@ -360,11 +405,7 @@ mod tests {
 
     #[test]
     fn sortedness_check() {
-        let mut t = BindingTable::from_columns(
-            vec![Var(0)],
-            vec![ids(&[3, 1, 2])],
-            None,
-        );
+        let mut t = BindingTable::from_columns(vec![Var(0)], vec![ids(&[3, 1, 2])], None);
         assert!(t.check_sortedness());
         t.sorted_by = Some(Var(0)); // bypass set_sorted_by's debug assert
         assert!(!t.check_sortedness());
@@ -377,9 +418,6 @@ mod tests {
             vec![ids(&[2, 1]), ids(&[20, 10])],
             None,
         );
-        assert_eq!(
-            t.sorted_rows_for(&[Var(1)]),
-            vec![ids(&[10]), ids(&[20])]
-        );
+        assert_eq!(t.sorted_rows_for(&[Var(1)]), vec![ids(&[10]), ids(&[20])]);
     }
 }

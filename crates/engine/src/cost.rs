@@ -148,7 +148,10 @@ mod tests {
         // cost_hashjoin(lc, rc) = 300,000 + lc/100 + rc/10, lc the smaller.
         assert_eq!(cost_hashjoin(1_000.0, 10_000.0), 300_000.0 + 10.0 + 1_000.0);
         // Order-insensitive.
-        assert_eq!(cost_hashjoin(10_000.0, 1_000.0), cost_hashjoin(1_000.0, 10_000.0));
+        assert_eq!(
+            cost_hashjoin(10_000.0, 1_000.0),
+            cost_hashjoin(1_000.0, 10_000.0)
+        );
     }
 
     #[test]
@@ -159,9 +162,16 @@ mod tests {
 
     #[test]
     fn table3_cell_formats() {
-        let c = PlanCost { merge_cost: 354.0, hash_cost: 953_381.0, ..Default::default() };
+        let c = PlanCost {
+            merge_cost: 354.0,
+            hash_cost: 953_381.0,
+            ..Default::default()
+        };
         assert_eq!(c.table3_cell(), "354+953,381");
-        let m = PlanCost { merge_cost: 32.0, ..Default::default() };
+        let m = PlanCost {
+            merge_cost: 32.0,
+            ..Default::default()
+        };
         assert_eq!(m.table3_cell(), "32.00");
     }
 
@@ -186,7 +196,12 @@ mod tests {
             right: Box::new(scan(1)),
             var: Var(0),
         };
-        let leaf = |rows| Profile { label: "scan".into(), output_rows: rows, nanos: 0, children: vec![] };
+        let leaf = |rows| Profile {
+            label: "scan".into(),
+            output_rows: rows,
+            nanos: 0,
+            children: vec![],
+        };
         let profile = Profile {
             label: "mergejoin(?v0)".into(),
             output_rows: 10,

@@ -35,10 +35,12 @@ pub struct ExecConfig {
     /// shrink.
     pub sip: bool,
     /// Thread budget for the morsel-parallel kernels. `None` (the default)
-    /// detects it via `available_parallelism`; `Some(1)` forces sequential
-    /// execution; `Some(n > 1)` forces a worker pool even on one core
-    /// (results are identical either way — parallel kernels stitch their
-    /// per-morsel outputs deterministically).
+    /// detects it via `available_parallelism` (or the `HSP_FORCE_THREADS`
+    /// environment override — see [`crate::morsel::MorselConfig::auto`]);
+    /// `Some(1)` forces sequential execution; `Some(n > 1)` forces a
+    /// worker pool even on one core (results are identical either way —
+    /// parallel kernels stitch their per-morsel outputs
+    /// deterministically).
     pub threads: Option<usize>,
 }
 
@@ -50,7 +52,10 @@ impl ExecConfig {
 
     /// Execution with a row budget.
     pub fn with_row_budget(rows: usize) -> Self {
-        ExecConfig { max_intermediate_rows: Some(rows), ..ExecConfig::default() }
+        ExecConfig {
+            max_intermediate_rows: Some(rows),
+            ..ExecConfig::default()
+        }
     }
 
     /// Enable sideways information passing.
@@ -102,7 +107,11 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::InvalidPlan(e) => write!(f, "{e}"),
-            ExecError::BudgetExceeded { operator, rows, budget } => write!(
+            ExecError::BudgetExceeded {
+                operator,
+                rows,
+                budget,
+            } => write!(
                 f,
                 "row budget exceeded: {operator} produced {rows} rows (budget {budget})"
             ),
@@ -139,7 +148,12 @@ impl Profile {
     /// Total rows produced by all operators (a coarse memory-footprint
     /// measure the paper argues heuristics should minimise).
     pub fn total_intermediate_rows(&self) -> usize {
-        self.output_rows + self.children.iter().map(Profile::total_intermediate_rows).sum::<usize>()
+        self.output_rows
+            + self
+                .children
+                .iter()
+                .map(Profile::total_intermediate_rows)
+                .sum::<usize>()
     }
 
     /// Walk the profile tree (pre-order).
@@ -185,7 +199,11 @@ pub fn execute_in(
 ) -> Result<ExecOutput, ExecError> {
     plan.validate()?;
     let (table, profile) = run(plan, ds, config, ctx, &Domains::new())?;
-    Ok(ExecOutput { table, profile, runtime: RuntimeMetrics::of(ctx) })
+    Ok(ExecOutput {
+        table,
+        profile,
+        runtime: RuntimeMetrics::of(ctx),
+    })
 }
 
 /// The distinct values of `vars` in `table`, merged (intersected) into a
@@ -211,7 +229,11 @@ fn run(
     domains: &Domains,
 ) -> Result<(BindingTable, Profile), ExecError> {
     match plan {
-        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
+        PhysicalPlan::Scan {
+            pattern_idx,
+            pattern,
+            order,
+        } => {
             let start = Instant::now();
             let mut table = ops::scan_in(ctx, ds, pattern, *order);
             let mut label = format!("scan({}) [tp{pattern_idx}]", order.name());
@@ -237,7 +259,13 @@ fn run(
             let table = ops::merge_join_in(ctx, &lt, &rt, *var);
             ctx.pool.recycle(lt);
             ctx.pool.recycle(rt);
-            finish(table, format!("mergejoin({var})"), start, vec![lp, rp], config)
+            finish(
+                table,
+                format!("mergejoin({var})"),
+                start,
+                vec![lp, rp],
+                config,
+            )
         }
         PhysicalPlan::HashJoin { left, right, vars } => {
             // Evaluate the build (right) side first so SIP can pass its
@@ -255,7 +283,10 @@ fn run(
             ctx.pool.recycle(rt);
             let label = format!(
                 "hashjoin({})",
-                vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                vars.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
             finish(table, label, start, vec![lp, rp], config)
         }
@@ -295,7 +326,11 @@ fn run(
             ctx.pool.recycle(it);
             finish(table, "filter".into(), start, vec![ip], config)
         }
-        PhysicalPlan::Project { input, projection, distinct } => {
+        PhysicalPlan::Project {
+            input,
+            projection,
+            distinct,
+        } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::project_in(ctx, &it, projection, *distinct);
@@ -313,9 +348,19 @@ fn run(
             let start = Instant::now();
             let table = ops::order_by_in(ctx, ds, &it, keys);
             ctx.pool.recycle(it);
-            finish(table, format!("orderby({} keys)", keys.len()), start, vec![ip], config)
+            finish(
+                table,
+                format!("orderby({} keys)", keys.len()),
+                start,
+                vec![ip],
+                config,
+            )
         }
-        PhysicalPlan::Slice { input, offset, limit } => {
+        PhysicalPlan::Slice {
+            input,
+            offset,
+            limit,
+        } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::slice_in(ctx, &it, *offset, *limit);
@@ -383,7 +428,11 @@ mod tests {
     }
 
     fn scan(idx: usize, s: TermOrVar, p: TermOrVar, o: TermOrVar, order: Order) -> PhysicalPlan {
-        PhysicalPlan::Scan { pattern_idx: idx, pattern: TriplePattern::new(s, p, o), order }
+        PhysicalPlan::Scan {
+            pattern_idx: idx,
+            pattern: TriplePattern::new(s, p, o),
+            order,
+        }
     }
 
     #[test]
@@ -484,7 +533,8 @@ mod tests {
             plain.profile.total_intermediate_rows()
         );
         let mut fired = false;
-        sip.profile.visit(&mut |p| fired |= p.label.contains("+sip"));
+        sip.profile
+            .visit(&mut |p| fired |= p.label.contains("+sip"));
         assert!(fired);
     }
 
@@ -563,7 +613,11 @@ mod tests {
         };
         let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
         assert_eq!(out.table.len(), 3);
-        assert!(out.runtime.pool_hits > 0, "deep plan should hit the pool: {:?}", out.runtime);
+        assert!(
+            out.runtime.pool_hits > 0,
+            "deep plan should hit the pool: {:?}",
+            out.runtime
+        );
     }
 
     #[test]

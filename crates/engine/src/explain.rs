@@ -36,10 +36,20 @@ fn render(
     out: &mut String,
 ) {
     let indent = "  ".repeat(depth);
-    let cards = profile.map_or(String::new(), |p| format!("  ({})", group_digits(p.output_rows)));
+    let cards = profile.map_or(String::new(), |p| {
+        format!("  ({})", group_digits(p.output_rows))
+    });
     match plan {
-        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
-            let op = if pattern.num_consts() > 0 { "σ" } else { "scan" };
+        PhysicalPlan::Scan {
+            pattern_idx,
+            pattern,
+            order,
+        } => {
+            let op = if pattern.num_consts() > 0 {
+                "σ"
+            } else {
+                "scan"
+            };
             out.push_str(&format!(
                 "{indent}{op}({}) {} [tp{pattern_idx}]{cards}\n",
                 order.upper_name(),
@@ -47,39 +57,77 @@ fn render(
             ));
         }
         PhysicalPlan::MergeJoin { left, right, var } => {
-            out.push_str(&format!(
-                "{indent}⋈mj ?{}{cards}\n",
-                query.var_name(*var)
-            ));
+            out.push_str(&format!("{indent}⋈mj ?{}{cards}\n", query.var_name(*var)));
             render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
-            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+            render(
+                right,
+                profile.map(|p| &p.children[1]),
+                query,
+                depth + 1,
+                out,
+            );
         }
         PhysicalPlan::HashJoin { left, right, vars } => {
-            let names: Vec<String> =
-                vars.iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+            let names: Vec<String> = vars
+                .iter()
+                .map(|v| format!("?{}", query.var_name(*v)))
+                .collect();
             out.push_str(&format!("{indent}⋈hj {}{cards}\n", names.join(",")));
             render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
-            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+            render(
+                right,
+                profile.map(|p| &p.children[1]),
+                query,
+                depth + 1,
+                out,
+            );
         }
         PhysicalPlan::CrossProduct { left, right } => {
             out.push_str(&format!("{indent}×{cards}\n"));
             render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
-            render(right, profile.map(|p| &p.children[1]), query, depth + 1, out);
+            render(
+                right,
+                profile.map(|p| &p.children[1]),
+                query,
+                depth + 1,
+                out,
+            );
         }
         PhysicalPlan::Sort { input, var } => {
             out.push_str(&format!("{indent}sort ?{}{cards}\n", query.var_name(*var)));
-            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
         }
         PhysicalPlan::Filter { input, .. } => {
             out.push_str(&format!("{indent}σ(filter){cards}\n"));
-            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
         }
-        PhysicalPlan::Project { input, projection, distinct } => {
-            let names: Vec<String> =
-                projection.iter().map(|(n, _)| format!("?{n}")).collect();
+        PhysicalPlan::Project {
+            input,
+            projection,
+            distinct,
+        } => {
+            let names: Vec<String> = projection.iter().map(|(n, _)| format!("?{n}")).collect();
             let op = if *distinct { "π-distinct" } else { "π" };
             out.push_str(&format!("{indent}{op} {}{cards}\n", names.join(",")));
-            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
         }
         PhysicalPlan::OrderBy { input, keys } => {
             let rendered: Vec<String> = keys
@@ -92,13 +140,32 @@ fn render(
                     }
                 })
                 .collect();
-            out.push_str(&format!("{indent}order by {}{cards}\n", rendered.join(", ")));
-            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            out.push_str(&format!(
+                "{indent}order by {}{cards}\n",
+                rendered.join(", ")
+            ));
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
         }
-        PhysicalPlan::Slice { input, offset, limit } => {
+        PhysicalPlan::Slice {
+            input,
+            offset,
+            limit,
+        } => {
             let lim = limit.map_or("∞".to_string(), |n| n.to_string());
             out.push_str(&format!("{indent}slice[{offset}..{lim}]{cards}\n"));
-            render(input, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
         }
     }
 }
@@ -155,13 +222,27 @@ fn group_digits(n: usize) -> String {
 /// one-core budget every kernel is sequential).
 pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     let parallel = if m.parallel_kernels > 0 {
-        format!(
+        let mut line = format!(
             "{} parallel kernel{} ({} morsels) on {} threads",
             m.parallel_kernels,
             if m.parallel_kernels == 1 { "" } else { "s" },
             m.morsels,
             m.threads
-        )
+        );
+        let mut stages = Vec::new();
+        if m.parallel_builds > 0 {
+            stages.push(format!("{} parallel builds", m.parallel_builds));
+        }
+        if m.merge_partitions > 0 {
+            stages.push(format!("{} merge partitions", m.merge_partitions));
+        }
+        if m.parallel_filters > 0 {
+            stages.push(format!("{} parallel filters", m.parallel_filters));
+        }
+        if !stages.is_empty() {
+            line.push_str(&format!(" [{}]", stages.join(", ")));
+        }
+        line
     } else {
         format!("all kernels sequential ({} thread budget)", m.threads)
     };
@@ -202,28 +283,56 @@ fn dot_node(
     let id = *counter;
     *counter += 1;
     let label = match plan {
-        PhysicalPlan::Scan { pattern_idx, pattern, order } => {
-            let op = if pattern.num_consts() > 0 { "σ" } else { "scan" };
-            format!("{op}({}) {} [tp{pattern_idx}]", order.upper_name(), describe_pattern(pattern, query))
+        PhysicalPlan::Scan {
+            pattern_idx,
+            pattern,
+            order,
+        } => {
+            let op = if pattern.num_consts() > 0 {
+                "σ"
+            } else {
+                "scan"
+            };
+            format!(
+                "{op}({}) {} [tp{pattern_idx}]",
+                order.upper_name(),
+                describe_pattern(pattern, query)
+            )
         }
         PhysicalPlan::MergeJoin { var, .. } => format!("⋈mj ?{}", query.var_name(*var)),
         PhysicalPlan::HashJoin { vars, .. } => {
-            let names: Vec<String> = vars.iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+            let names: Vec<String> = vars
+                .iter()
+                .map(|v| format!("?{}", query.var_name(*v)))
+                .collect();
             format!("⋈hj {}", names.join(","))
         }
         PhysicalPlan::CrossProduct { .. } => "×".to_string(),
         PhysicalPlan::Sort { var, .. } => format!("sort ?{}", query.var_name(*var)),
         PhysicalPlan::Filter { .. } => "σ(filter)".to_string(),
-        PhysicalPlan::Project { projection, distinct, .. } => {
+        PhysicalPlan::Project {
+            projection,
+            distinct,
+            ..
+        } => {
             let names: Vec<String> = projection.iter().map(|(n, _)| format!("?{n}")).collect();
-            format!("{} {}", if *distinct { "π-distinct" } else { "π" }, names.join(","))
+            format!(
+                "{} {}",
+                if *distinct { "π-distinct" } else { "π" },
+                names.join(",")
+            )
         }
         PhysicalPlan::OrderBy { keys, .. } => format!("order by ({} keys)", keys.len()),
         PhysicalPlan::Slice { offset, limit, .. } => {
-            format!("slice[{offset}..{}]", limit.map_or("∞".into(), |n| n.to_string()))
+            format!(
+                "slice[{offset}..{}]",
+                limit.map_or("∞".into(), |n| n.to_string())
+            )
         }
     };
-    let cards = profile.map_or(String::new(), |p| format!("\\n{} rows", group_digits(p.output_rows)));
+    let cards = profile.map_or(String::new(), |p| {
+        format!("\\n{} rows", group_digits(p.output_rows))
+    });
     out.push_str(&format!(
         "  n{id} [label=\"{}{}\"];\n",
         label.replace('\\', "\\\\").replace('"', "\\\""),
@@ -266,10 +375,9 @@ mod tests {
 "#,
         )
         .unwrap();
-        let query = JoinQuery::parse(
-            "SELECT ?x WHERE { ?x <http://e/p> ?y . ?x <http://e/q> ?z . }",
-        )
-        .unwrap();
+        let query =
+            JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . ?x <http://e/q> ?z . }")
+                .unwrap();
         let plan = PhysicalPlan::Project {
             input: Box::new(PhysicalPlan::MergeJoin {
                 left: Box::new(PhysicalPlan::Scan {
@@ -329,7 +437,12 @@ mod tests {
     #[test]
     fn runtime_metrics_render_both_shapes() {
         use crate::metrics::RuntimeMetrics;
-        let sequential = RuntimeMetrics { threads: 1, pool_hits: 3, pool_misses: 7, ..RuntimeMetrics::default() };
+        let sequential = RuntimeMetrics {
+            threads: 1,
+            pool_hits: 3,
+            pool_misses: 7,
+            ..RuntimeMetrics::default()
+        };
         let line = render_runtime_metrics(&sequential);
         assert!(line.contains("all kernels sequential"));
         assert!(line.contains("3 hits / 7 misses"));
@@ -340,10 +453,21 @@ mod tests {
             pool_hits: 1,
             pool_misses: 1,
             pool_recycled: 5,
+            ..RuntimeMetrics::default()
         };
         let line = render_runtime_metrics(&parallel);
         assert!(line.contains("2 parallel kernels (40 morsels) on 4 threads"));
         assert!(line.contains("1 hit / 1 miss / 5 recycled"));
+        // No per-stage suffix when no stage counter fired.
+        assert!(!line.contains('['));
+        let staged = RuntimeMetrics {
+            parallel_builds: 1,
+            merge_partitions: 4,
+            parallel_filters: 2,
+            ..parallel
+        };
+        let line = render_runtime_metrics(&staged);
+        assert!(line.contains("[1 parallel builds, 4 merge partitions, 2 parallel filters]"));
     }
 
     #[test]

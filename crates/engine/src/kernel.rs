@@ -17,6 +17,8 @@
 
 use hsp_rdf::TermId;
 
+use crate::morsel::{self, MorselConfig, MorselRun};
+
 /// The Firefox-hash multiplier (the `rustc-hash`/FxHash constant).
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
@@ -55,7 +57,10 @@ impl std::hash::Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.hash = fx_fold(self.hash, u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            self.hash = fx_fold(
+                self.hash,
+                u64::from_le_bytes(chunk.try_into().expect("8 bytes")),
+            );
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
@@ -99,7 +104,7 @@ pub(crate) fn pack2(a: TermId, b: TermId) -> u64 {
 /// Flat bucket directory: `rows[offsets[b]..offsets[b + 1]]` are the build
 /// rows hashing to bucket `b`, in build order (stable, so probe results
 /// come out in the same order the seed's `HashMap<_, Vec<usize>>` produced).
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 struct CsrBuckets {
     shift: u32,
     offsets: Vec<u32>,
@@ -125,7 +130,11 @@ impl CsrBuckets {
             rows[cursor[b] as usize] = j as u32;
             cursor[b] += 1;
         }
-        CsrBuckets { shift, offsets, rows }
+        CsrBuckets {
+            shift,
+            offsets,
+            rows,
+        }
     }
 
     /// The build rows in the bucket of `hash`.
@@ -133,6 +142,128 @@ impl CsrBuckets {
     fn slot(&self, hash: u64) -> &[u32] {
         let b = (hash >> self.shift) as usize;
         &self.rows[self.offsets[b] as usize..self.offsets[b + 1] as usize]
+    }
+
+    /// [`CsrBuckets::build`] as a **two-pass partitioned counting sort**
+    /// over contiguous row stripes, producing a directory byte-identical
+    /// to the sequential build.
+    ///
+    /// Pass 1: each worker histograms its stripe's bucket occupancy. The
+    /// per-stripe histograms are then prefix-summed (stripe-major within
+    /// each bucket) into per-stripe write cursors — stripe `s`'s slice of
+    /// bucket `b` starts where stripe `s − 1`'s ends, which is exactly the
+    /// row order the sequential counting sort produces. Pass 2: each
+    /// worker scatters its stripe's row indices through its own cursors.
+    /// The cursor construction hands every worker a *disjoint* set of
+    /// slots in the shared `rows` array, so the scatter is race-free by
+    /// construction (asserted through a raw-pointer wrapper below).
+    ///
+    /// The cursor carve-out between the passes is sequential and costs
+    /// `O(stripes × buckets)` simple u32 ops (an interleaved sequential
+    /// scan of the per-stripe histograms) — with `buckets ≈ 2 × rows`
+    /// this serial term bounds the build's parallel speedup, which is
+    /// why [`MAX_BUILD_WORKERS`] stays small; parallelizing the
+    /// carve-out over disjoint bucket ranges is the recorded next step
+    /// once multicore measurements justify it (see ROADMAP).
+    fn build_par(hashes: &[u64], config: &MorselConfig) -> (CsrBuckets, MorselRun) {
+        let workers = config.workers_for(hashes.len()).min(MAX_BUILD_WORKERS);
+        if workers <= 1 {
+            return (
+                CsrBuckets::build(hashes),
+                MorselRun {
+                    morsels: 0,
+                    threads: 1,
+                },
+            );
+        }
+        let buckets = (hashes.len() * 2).next_power_of_two().max(16);
+        let shift = 64 - buckets.trailing_zeros();
+        let stripes = morsel::stripe_ranges(hashes.len(), workers, config.morsel_rows());
+
+        // Pass 1 (parallel): per-stripe bucket histograms.
+        let (mut histograms, run) = morsel::run_tasks(stripes.len(), workers, |s| {
+            let mut counts = vec![0u32; buckets];
+            for &h in &hashes[stripes[s].clone()] {
+                counts[(h >> shift) as usize] += 1;
+            }
+            counts
+        });
+
+        // Sequential: global bucket offsets, and per-stripe cursors carved
+        // out of each bucket's range (histograms become cursors in place).
+        let mut offsets = vec![0u32; buckets + 1];
+        for b in 0..buckets {
+            let mut cursor = offsets[b];
+            for hist in histograms.iter_mut() {
+                let count = hist[b];
+                hist[b] = cursor;
+                cursor += count;
+            }
+            offsets[b + 1] = cursor;
+        }
+
+        // Pass 2 (parallel): scatter row indices through the per-stripe
+        // cursors. Every write lands at a distinct index (the cursors
+        // partition `0..rows.len()`), so sharing the output across workers
+        // is sound; the `ScatterSlice` wrapper carries that promise. Each
+        // task takes *ownership* of its stripe's cursor vector (one
+        // uncontended lock per stripe) instead of cloning `buckets`
+        // entries per stripe.
+        let mut rows = vec![0u32; hashes.len()];
+        let out = ScatterSlice(rows.as_mut_ptr());
+        let cursor_slots: Vec<std::sync::Mutex<Vec<u32>>> =
+            histograms.into_iter().map(std::sync::Mutex::new).collect();
+        let (_, scatter_run) = morsel::run_tasks(stripes.len(), workers, |s| {
+            let out = &out;
+            let mut cursors =
+                std::mem::take(&mut *cursor_slots[s].lock().expect("cursor slot poisoned"));
+            for j in stripes[s].clone() {
+                let b = (hashes[j] >> shift) as usize;
+                // SAFETY: `cursors[b]` values across stripes are disjoint
+                // and each is bumped past-the-end exactly `hist[s][b]`
+                // times, staying inside this stripe's slice of bucket `b`.
+                unsafe { out.write(cursors[b] as usize, j as u32) };
+                cursors[b] += 1;
+            }
+        });
+        let threads = run.threads.max(scatter_run.threads);
+        (
+            CsrBuckets {
+                shift,
+                offsets,
+                rows,
+            },
+            MorselRun {
+                morsels: stripes.len(),
+                threads,
+            },
+        )
+    }
+}
+
+/// Cap on the worker count of the parallel build: each pass-1 worker owns
+/// a full bucket histogram (`~2 × rows` u32 entries), so the histogram
+/// memory is bounded at 8× the directory instead of growing with the
+/// machine's core count.
+const MAX_BUILD_WORKERS: usize = 8;
+
+/// A raw mutable slice shared across scatter workers. The *caller*
+/// guarantees the workers write disjoint index sets (see
+/// [`CsrBuckets::build_par`]); the wrapper only exists to carry the
+/// pointer across the `Sync` bound of the scoped pool.
+struct ScatterSlice<T>(*mut T);
+
+unsafe impl<T: Send> Send for ScatterSlice<T> {}
+unsafe impl<T: Send> Sync for ScatterSlice<T> {}
+
+impl<T> ScatterSlice<T> {
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and not written concurrently by any other
+    /// worker.
+    unsafe fn write(&self, index: usize, value: T) {
+        unsafe { self.0.add(index).write(value) };
     }
 }
 
@@ -142,13 +273,13 @@ impl CsrBuckets {
 /// verifies candidates, calling back with matching build-row indices in
 /// build order. Neither phase allocates per row/probe beyond the flat
 /// arrays built up front.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct BuildTable {
     buckets: CsrBuckets,
     layout: Layout,
 }
 
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 enum Layout {
     /// Keys of ≤ 2 variables, packed into a `u64` per build row.
     Packed { keys: Vec<u64> },
@@ -164,18 +295,114 @@ impl BuildTable {
     /// Panics if `key_cols` is empty or a column is shorter than `rows`.
     pub fn build(key_cols: &[&[TermId]], rows: usize) -> BuildTable {
         assert!(!key_cols.is_empty(), "join key needs at least one column");
-        assert!(rows < u32::MAX as usize, "build side exceeds u32 row indexing");
+        assert!(
+            rows < u32::MAX as usize,
+            "build side exceeds u32 row indexing"
+        );
         if key_cols.len() <= 2 {
             let keys: Vec<u64> = (0..rows)
                 .map(|j| pack2(key_cols[0][j], key_cols.get(1).map_or(TermId(0), |c| c[j])))
                 .collect();
             let hashes: Vec<u64> = keys.iter().map(|&k| fx_hash_u64(k)).collect();
-            BuildTable { buckets: CsrBuckets::build(&hashes), layout: Layout::Packed { keys } }
+            BuildTable {
+                buckets: CsrBuckets::build(&hashes),
+                layout: Layout::Packed { keys },
+            }
         } else {
             let hashes: Vec<u64> = (0..rows)
-                .map(|j| key_cols.iter().fold(0u64, |h, col| fx_fold(h, col[j].0 as u64)))
+                .map(|j| {
+                    key_cols
+                        .iter()
+                        .fold(0u64, |h, col| fx_fold(h, col[j].0 as u64))
+                })
                 .collect();
-            BuildTable { buckets: CsrBuckets::build(&hashes), layout: Layout::Wide { hashes } }
+            BuildTable {
+                buckets: CsrBuckets::build(&hashes),
+                layout: Layout::Wide { hashes },
+            }
+        }
+    }
+
+    /// [`BuildTable::build`] with morsel-parallel row hashing and a
+    /// two-pass partitioned-counting-sort bucket fill.
+    /// The output is **byte-identical** to the sequential build — same
+    /// packed keys / hashes, same bucket directory, same in-bucket row
+    /// order — so sequential and parallel probes over it cannot diverge.
+    /// Below the config's row threshold (or on a one-thread budget) this
+    /// degenerates to the sequential build. The returned [`MorselRun`]
+    /// reports what the build did, for the engine's runtime counters.
+    ///
+    /// # Panics
+    /// Panics if `key_cols` is empty or a column is shorter than `rows`.
+    pub fn build_par(
+        key_cols: &[&[TermId]],
+        rows: usize,
+        config: &MorselConfig,
+    ) -> (BuildTable, MorselRun) {
+        assert!(!key_cols.is_empty(), "join key needs at least one column");
+        assert!(
+            rows < u32::MAX as usize,
+            "build side exceeds u32 row indexing"
+        );
+        if config.workers_for(rows) <= 1 {
+            return (
+                BuildTable::build(key_cols, rows),
+                MorselRun {
+                    morsels: 0,
+                    threads: 1,
+                },
+            );
+        }
+        if key_cols.len() <= 2 {
+            // Packed layout: key packing and hashing are both
+            // position-deterministic stripe fills.
+            let mut keys = vec![0u64; rows];
+            let key_run = morsel::fill_stripes(&mut keys, config, |offset, chunk| {
+                for (i, k) in chunk.iter_mut().enumerate() {
+                    let j = offset + i;
+                    *k = pack2(key_cols[0][j], key_cols.get(1).map_or(TermId(0), |c| c[j]));
+                }
+            });
+            let mut hashes = vec![0u64; rows];
+            let hash_run = morsel::fill_stripes(&mut hashes, config, |offset, chunk| {
+                for (i, h) in chunk.iter_mut().enumerate() {
+                    *h = fx_hash_u64(keys[offset + i]);
+                }
+            });
+            let (buckets, sort_run) = CsrBuckets::build_par(&hashes, config);
+            let run = MorselRun {
+                morsels: key_run.morsels + hash_run.morsels + sort_run.morsels,
+                threads: key_run.threads.max(hash_run.threads).max(sort_run.threads),
+            };
+            (
+                BuildTable {
+                    buckets,
+                    layout: Layout::Packed { keys },
+                },
+                run,
+            )
+        } else {
+            let mut hashes = vec![0u64; rows];
+            let hash_run = morsel::fill_stripes(&mut hashes, config, |offset, chunk| {
+                for (i, h) in chunk.iter_mut().enumerate() {
+                    let j = offset + i;
+                    *h = key_cols
+                        .iter()
+                        .fold(0u64, |acc, col| fx_fold(acc, col[j].0 as u64));
+                }
+            });
+            let (buckets, sort_run) = CsrBuckets::build_par(&hashes, config);
+            let run = MorselRun {
+                morsels: hash_run.morsels + sort_run.morsels,
+                threads: hash_run.threads.max(sort_run.threads),
+            };
+            (
+                BuildTable {
+                    buckets,
+                    layout: Layout::Wide { hashes },
+                },
+                run,
+            )
         }
     }
 
@@ -193,7 +420,10 @@ impl BuildTable {
     ) {
         match &self.layout {
             Layout::Packed { keys } => {
-                let key = pack2(probe_cols[0][i], probe_cols.get(1).map_or(TermId(0), |c| c[i]));
+                let key = pack2(
+                    probe_cols[0][i],
+                    probe_cols.get(1).map_or(TermId(0), |c| c[i]),
+                );
                 for &j in self.buckets.slot(fx_hash_u64(key)) {
                     if keys[j as usize] == key {
                         on_match(j as usize);
@@ -201,11 +431,16 @@ impl BuildTable {
                 }
             }
             Layout::Wide { hashes } => {
-                let hash = probe_cols.iter().fold(0u64, |h, col| fx_fold(h, col[i].0 as u64));
+                let hash = probe_cols
+                    .iter()
+                    .fold(0u64, |h, col| fx_fold(h, col[i].0 as u64));
                 for &j in self.buckets.slot(hash) {
                     let j = j as usize;
                     if hashes[j] == hash
-                        && build_cols.iter().zip(probe_cols).all(|(bc, pc)| bc[j] == pc[i])
+                        && build_cols
+                            .iter()
+                            .zip(probe_cols)
+                            .all(|(bc, pc)| bc[j] == pc[i])
                     {
                         on_match(j);
                     }
@@ -275,6 +510,64 @@ impl BuildTable {
     }
 }
 
+/// The merge join's cursor-pair scan over explicit subranges of the two
+/// sorted key columns: append every matching `(left_row, right_row)` pair
+/// with `left_row ∈ l_range`, `right_row ∈ r_range` to `lidx`/`ridx`, in
+/// left order (right order within an equal-key group), filtered by the
+/// `extra_pairs` repeated-variable checks.
+///
+/// This is the one merge scan: the sequential merge join calls it over the
+/// full columns, the range-partitioned parallel merge join calls it once
+/// per partition. As long as no equal-key group spans a partition boundary
+/// (the partitioner splits at key-group starts), concatenating per-
+/// partition outputs in partition order reproduces the sequential output
+/// exactly.
+pub fn merge_join_pairs(
+    lcol: &[TermId],
+    rcol: &[TermId],
+    extra_pairs: &[(&[TermId], &[TermId])],
+    l_range: std::ops::Range<usize>,
+    r_range: std::ops::Range<usize>,
+    lidx: &mut Vec<u32>,
+    ridx: &mut Vec<u32>,
+) {
+    let (mut i, l_end) = (l_range.start, l_range.end);
+    let (mut j, r_end) = (r_range.start, r_range.end);
+    while i < l_end && j < r_end {
+        let (a, b) = (lcol[i], rcol[j]);
+        if a < b {
+            i += 1;
+        } else if b < a {
+            j += 1;
+        } else {
+            // Equal-key groups: cross-combine.
+            let i_end = i + lcol[i..l_end].partition_point(|&x| x == a);
+            let j_end = j + rcol[j..r_end].partition_point(|&x| x == a);
+            if extra_pairs.is_empty() {
+                lidx.reserve((i_end - i) * (j_end - j));
+                ridx.reserve((i_end - i) * (j_end - j));
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        lidx.push(li as u32);
+                        ridx.push(rj as u32);
+                    }
+                }
+            } else {
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        if extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
+                            lidx.push(li as u32);
+                            ridx.push(rj as u32);
+                        }
+                    }
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +616,127 @@ mod tests {
         let mut hits = Vec::new();
         table.probe(&cols, &pcols, 0, |j| hits.push(j));
         assert_eq!(hits, vec![0, 1]);
+    }
+
+    /// Deterministic pseudo-random key columns with heavy collisions.
+    fn random_cols(n: usize, domain: u32, salt: u64) -> Vec<TermId> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                TermId((state >> 33) as u32 % domain)
+            })
+            .collect()
+    }
+
+    /// A forced-parallel config: tiny morsels, no row threshold.
+    fn forced(threads: usize) -> MorselConfig {
+        MorselConfig::with_threads(threads)
+            .with_morsel_rows(64)
+            .with_min_parallel_rows(0)
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_packed_one_column() {
+        let col = random_cols(3_000, 101, 1);
+        let cols: Vec<&[TermId]> = vec![&col];
+        let sequential = BuildTable::build(&cols, col.len());
+        for threads in 2..=4 {
+            let (parallel, run) = BuildTable::build_par(&cols, col.len(), &forced(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert!(run.threads > 1);
+            assert!(run.morsels > 1);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_packed_two_columns() {
+        let a = random_cols(2_500, 37, 2);
+        let b = random_cols(2_500, 11, 3);
+        let cols: Vec<&[TermId]> = vec![&a, &b];
+        let sequential = BuildTable::build(&cols, a.len());
+        for threads in 2..=4 {
+            let (parallel, _) = BuildTable::build_par(&cols, a.len(), &forced(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_wide_three_columns() {
+        let a = random_cols(2_000, 7, 4);
+        let b = random_cols(2_000, 5, 5);
+        let c = random_cols(2_000, 3, 6);
+        let cols: Vec<&[TermId]> = vec![&a, &b, &c];
+        let sequential = BuildTable::build(&cols, a.len());
+        for threads in 2..=4 {
+            let (parallel, _) = BuildTable::build_par(&cols, a.len(), &forced(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_below_threshold_stays_sequential() {
+        let col = random_cols(100, 11, 7);
+        let cols: Vec<&[TermId]> = vec![&col];
+        let config = MorselConfig::with_threads(4); // default 32k threshold
+        let (table, run) = BuildTable::build_par(&cols, col.len(), &config);
+        assert_eq!(run.threads, 1);
+        assert_eq!(table, BuildTable::build(&cols, col.len()));
+    }
+
+    #[test]
+    fn parallel_build_of_empty_input() {
+        let empty: Vec<TermId> = Vec::new();
+        let cols: Vec<&[TermId]> = vec![&empty];
+        let (table, _) = BuildTable::build_par(&cols, 0, &forced(3));
+        assert_eq!(table, BuildTable::build(&cols, 0));
+    }
+
+    #[test]
+    fn merge_join_pairs_full_range_matches_manual_scan() {
+        let l = ids(&[1, 1, 2, 4, 4, 4, 7]);
+        let r = ids(&[1, 2, 2, 4, 6]);
+        let mut lidx = Vec::new();
+        let mut ridx = Vec::new();
+        merge_join_pairs(&l, &r, &[], 0..l.len(), 0..r.len(), &mut lidx, &mut ridx);
+        // 1×1 (two left 1s), 2×2 (two right 2s), 4×4 (three left 4s).
+        assert_eq!(lidx, vec![0, 1, 2, 2, 3, 4, 5]);
+        assert_eq!(ridx, vec![0, 0, 1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn merge_join_pairs_partitioned_at_key_boundaries_concatenates() {
+        let l = ids(&[1, 1, 2, 4, 4, 4, 7]);
+        let r = ids(&[1, 2, 2, 4, 6]);
+        let mut full_l = Vec::new();
+        let mut full_r = Vec::new();
+        merge_join_pairs(
+            &l,
+            &r,
+            &[],
+            0..l.len(),
+            0..r.len(),
+            &mut full_l,
+            &mut full_r,
+        );
+        // Split both sides at the start of key 4's groups.
+        let (ls, rs) = (3, 3);
+        let mut part_l = Vec::new();
+        let mut part_r = Vec::new();
+        merge_join_pairs(&l, &r, &[], 0..ls, 0..rs, &mut part_l, &mut part_r);
+        merge_join_pairs(
+            &l,
+            &r,
+            &[],
+            ls..l.len(),
+            rs..r.len(),
+            &mut part_l,
+            &mut part_r,
+        );
+        assert_eq!(part_l, full_l);
+        assert_eq!(part_r, full_r);
     }
 
     #[test]

@@ -44,15 +44,22 @@
 //! On top of the vectorized kernels sit two execution-wide services,
 //! threaded through every operator as an [`pool::ExecContext`]:
 //!
-//! * **Morsel-driven parallelism** ([`morsel`]) — the hash-join probe and
-//!   the scan fast paths cut their input index range into fixed-size
-//!   morsels; a scoped worker pool pulls morsels from a shared cursor and
-//!   probes the shared read-only [`kernel::BuildTable`], each worker
-//!   emitting into thread-local pair buffers that are stitched back in
-//!   morsel order — so parallel output is byte-identical to sequential.
-//!   Parallelism is gated on `available_parallelism` and a row threshold,
-//!   like the store's six-order build; tests force a thread count to
-//!   exercise the pool on single-core machines.
+//! * **Morsel-driven parallelism** ([`morsel`]) — every heavy operator
+//!   stage runs on the scoped worker pool: the hash-join *build* (morsel-
+//!   parallel hashing plus a two-pass partitioned counting sort that
+//!   reproduces the sequential bucket directory byte-for-byte), the
+//!   hash-join *probe* and scan fast paths (fixed-size morsels pulled
+//!   from a shared cursor, thread-local pair buffers stitched back in
+//!   morsel order), the *merge join* (both sorted inputs range-partitioned
+//!   at common key boundaries, one independent cursor pair per partition,
+//!   outputs stitched in partition order), and *FILTER* / *ORDER BY* key
+//!   extraction (one expression evaluator per worker — the compiled-regex
+//!   cache stays single-threaded). Every parallel path is byte-identical
+//!   to its sequential counterpart by construction. Parallelism is gated
+//!   on `available_parallelism` and a row threshold, like the store's
+//!   six-order build; tests force a thread count (or the
+//!   `HSP_FORCE_THREADS` env var) to exercise the pool on single-core
+//!   machines.
 //! * **Buffer pooling** ([`pool`]) — a per-execution arena of recyclable
 //!   column and index buffers. The gather primitives check output columns
 //!   out of the pool, and the tree evaluator returns a consumed

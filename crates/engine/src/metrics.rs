@@ -18,6 +18,14 @@ pub struct RuntimeMetrics {
     pub parallel_kernels: usize,
     /// Morsels processed by those parallel kernels.
     pub morsels: usize,
+    /// Hash-join build phases that ran parallel (morsel-parallel hashing
+    /// plus the partitioned counting-sort bucket fill).
+    pub parallel_builds: usize,
+    /// Partitions processed by range-partitioned parallel merge joins.
+    pub merge_partitions: usize,
+    /// FILTER evaluations / ORDER BY key extractions that ran parallel
+    /// (per-worker expression evaluators).
+    pub parallel_filters: usize,
     /// The execution's thread budget.
     pub threads: usize,
     /// Buffer-pool checkouts served from the free lists.
@@ -36,6 +44,9 @@ impl RuntimeMetrics {
         RuntimeMetrics {
             parallel_kernels: ctx.parallel_kernels(),
             morsels: ctx.morsels_run(),
+            parallel_builds: ctx.parallel_builds(),
+            merge_partitions: ctx.merge_partitions(),
+            parallel_filters: ctx.parallel_filters(),
             threads: ctx.morsel.threads(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
@@ -137,23 +148,46 @@ pub fn plans_similar(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
     let b = strip_unary(b);
     match (a, b) {
         (
-            PhysicalPlan::Scan { pattern_idx: ia, pattern: pa, order: oa },
-            PhysicalPlan::Scan { pattern_idx: ib, pattern: pb, order: ob },
+            PhysicalPlan::Scan {
+                pattern_idx: ia,
+                pattern: pa,
+                order: oa,
+            },
+            PhysicalPlan::Scan {
+                pattern_idx: ib,
+                pattern: pb,
+                order: ob,
+            },
         ) => {
             // Access paths are equivalent when they bind the same constants
             // as a key prefix and deliver the same sort variable — the
             // order of constants *within* the prefix is cosmetic (both
             // OPS and POS answer `(?x, p, o)` sorted by ?x).
-            ia == ib
-                && crate::plan::scan_sort_var(pa, *oa) == crate::plan::scan_sort_var(pb, *ob)
+            ia == ib && crate::plan::scan_sort_var(pa, *oa) == crate::plan::scan_sort_var(pb, *ob)
         }
         (
-            PhysicalPlan::MergeJoin { left: la, right: ra, var: va },
-            PhysicalPlan::MergeJoin { left: lb, right: rb, var: vb },
+            PhysicalPlan::MergeJoin {
+                left: la,
+                right: ra,
+                var: va,
+            },
+            PhysicalPlan::MergeJoin {
+                left: lb,
+                right: rb,
+                var: vb,
+            },
         ) => va == vb && plans_similar(la, lb) && plans_similar(ra, rb),
         (
-            PhysicalPlan::HashJoin { left: la, right: ra, vars: va },
-            PhysicalPlan::HashJoin { left: lb, right: rb, vars: vb },
+            PhysicalPlan::HashJoin {
+                left: la,
+                right: ra,
+                vars: va,
+            },
+            PhysicalPlan::HashJoin {
+                left: lb,
+                right: rb,
+                vars: vb,
+            },
         ) => {
             let mut sa = va.clone();
             let mut sb = vb.clone();
@@ -165,8 +199,14 @@ pub fn plans_similar(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
                     || (plans_similar(la, rb) && plans_similar(ra, lb)))
         }
         (
-            PhysicalPlan::CrossProduct { left: la, right: ra },
-            PhysicalPlan::CrossProduct { left: lb, right: rb },
+            PhysicalPlan::CrossProduct {
+                left: la,
+                right: ra,
+            },
+            PhysicalPlan::CrossProduct {
+                left: lb,
+                right: rb,
+            },
         ) => {
             (plans_similar(la, lb) && plans_similar(ra, rb))
                 || (plans_similar(la, rb) && plans_similar(ra, lb))
@@ -207,7 +247,11 @@ mod tests {
     }
 
     fn mj(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
-        PhysicalPlan::MergeJoin { left: Box::new(left), right: Box::new(right), var: Var(0) }
+        PhysicalPlan::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            var: Var(0),
+        }
     }
 
     fn hj(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
@@ -220,7 +264,10 @@ mod tests {
 
     #[test]
     fn left_deep_chain() {
-        let plan = mj(mj(scan(0, Order::Pso), scan(1, Order::Pso)), scan(2, Order::Pso));
+        let plan = mj(
+            mj(scan(0, Order::Pso), scan(1, Order::Pso)),
+            scan(2, Order::Pso),
+        );
         let m = PlanMetrics::of(&plan);
         assert_eq!(m.merge_joins, 2);
         assert_eq!(m.hash_joins, 0);

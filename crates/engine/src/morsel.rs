@@ -31,6 +31,10 @@ pub const DEFAULT_MORSEL_ROWS: usize = 32 * 1024;
 /// build's `PARALLEL_THRESHOLD`.
 pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 32 * 1024;
 
+/// Morsel size under the `HSP_FORCE_THREADS` override: small enough that
+/// even unit-test-sized inputs split across several workers.
+pub const FORCED_ENV_MORSEL_ROWS: usize = 256;
+
 /// How a kernel splits work: thread budget, morsel size, and the row
 /// threshold under which it stays sequential.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +47,22 @@ pub struct MorselConfig {
 impl MorselConfig {
     /// Thread budget from [`std::thread::available_parallelism`] — the
     /// production configuration.
+    ///
+    /// The `HSP_FORCE_THREADS` environment variable overrides core
+    /// detection, drops the row threshold to zero, **and** shrinks
+    /// morsels to [`FORCED_ENV_MORSEL_ROWS`], so every kernel takes its
+    /// parallel path even on unit-test-sized inputs (the worker count is
+    /// capped at one worker per morsel, so forcing the threshold alone
+    /// would leave sub-morsel inputs sequential). This is the CI knob
+    /// that exercises the morsel pool on small runners (parallel output
+    /// is byte-identical to sequential by construction, so forcing it
+    /// globally is always safe — just slower on tiny inputs).
     pub fn auto() -> Self {
+        if let Some(forced) = parse_forced_threads(std::env::var("HSP_FORCE_THREADS").ok()) {
+            return MorselConfig::with_threads(forced)
+                .with_min_parallel_rows(0)
+                .with_morsel_rows(FORCED_ENV_MORSEL_ROWS);
+        }
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         MorselConfig::with_threads(threads)
     }
@@ -105,6 +124,12 @@ impl Default for MorselConfig {
     }
 }
 
+/// Parse the `HSP_FORCE_THREADS` value (factored out of [`MorselConfig::auto`]
+/// so it is testable without mutating process-global environment state).
+fn parse_forced_threads(value: Option<String>) -> Option<usize> {
+    value?.trim().parse().ok().filter(|&n: &usize| n >= 1)
+}
+
 /// What one [`run_morsels`] call did — feeds the engine's runtime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MorselRun {
@@ -127,25 +152,62 @@ pub fn run_morsels<T: Send>(
 ) -> (Vec<T>, MorselRun) {
     let threads = config.workers_for(rows);
     if threads <= 1 {
-        return (vec![worker(0..rows)], MorselRun { morsels: 0, threads: 1 });
+        return (
+            vec![worker(0..rows)],
+            MorselRun {
+                morsels: 0,
+                threads: 1,
+            },
+        );
     }
+    // A morsel run is a task run whose task `m` is the m-th morsel range
+    // (`workers_for` already capped `threads` at the morsel count).
     let morsel_rows = config.morsel_rows;
     let morsels = rows.div_ceil(morsel_rows);
-    // One slot per morsel; workers park their result under the slot's lock
-    // (uncontended: each slot is written exactly once).
-    let slots: Vec<Mutex<Option<T>>> = (0..morsels).map(|_| Mutex::new(None)).collect();
+    let (results, _) = run_tasks(morsels, threads, |m| {
+        let start = m * morsel_rows;
+        worker(start..(start + morsel_rows).min(rows))
+    });
+    (results, MorselRun { morsels, threads })
+}
+
+/// Run `count` independent tasks on a scoped worker pool of at most
+/// `threads` workers (an atomic cursor hands out task indices, so a slow
+/// task never stalls the others) and return the results **in task order**.
+/// With one worker — or one task — everything runs inline on the caller's
+/// thread.
+///
+/// This is the one scheduling loop of the module: [`run_morsels`]
+/// delegates here with one task per morsel, and *partitioned* work —
+/// the range-partitioned merge join, the partitioned counting sort of
+/// the parallel hash-join build, whose per-task ranges are
+/// data-dependent and non-uniform — calls it directly.
+pub fn run_tasks<T: Send>(
+    count: usize,
+    threads: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> (Vec<T>, MorselRun) {
+    let threads = threads.min(count).max(1);
+    if threads <= 1 {
+        return (
+            (0..count).map(&task).collect(),
+            MorselRun {
+                morsels: 0,
+                threads: 1,
+            },
+        );
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let m = cursor.fetch_add(1, Ordering::Relaxed);
-                if m >= morsels {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= count {
                     break;
                 }
-                let start = m * morsel_rows;
-                let end = (start + morsel_rows).min(rows);
-                let result = worker(start..end);
-                *slots[m].lock().expect("morsel slot poisoned") = Some(result);
+                let result = task(t);
+                *slots[t].lock().expect("task slot poisoned") = Some(result);
             });
         }
     });
@@ -153,11 +215,17 @@ pub fn run_morsels<T: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("morsel slot poisoned")
-                .expect("every morsel produced a result")
+                .expect("task slot poisoned")
+                .expect("every task produced a result")
         })
         .collect();
-    (results, MorselRun { morsels, threads })
+    (
+        results,
+        MorselRun {
+            morsels: count,
+            threads,
+        },
+    )
 }
 
 /// Fill `out` by applying `fill(offset, chunk)` to contiguous stripes, in
@@ -175,14 +243,13 @@ pub fn fill_stripes<T: Send>(
     let threads = config.workers_for(rows);
     if threads <= 1 {
         fill(0, out);
-        return MorselRun { morsels: 0, threads: 1 };
+        return MorselRun {
+            morsels: 0,
+            threads: 1,
+        };
     }
     // Stripe size: whole morsels, spread across the worker budget.
-    let stripe = rows
-        .div_ceil(threads)
-        .div_ceil(config.morsel_rows)
-        .max(1)
-        * config.morsel_rows;
+    let stripe = stripe_rows(rows, threads, config.morsel_rows);
     let mut stripes: Vec<(usize, &mut [T])> = Vec::new();
     let mut rest = out;
     let mut offset = 0;
@@ -201,7 +268,35 @@ pub fn fill_stripes<T: Send>(
         }
     });
     // One worker per stripe: report the workers actually used.
-    MorselRun { morsels: count, threads: threads.min(count) }
+    MorselRun {
+        morsels: count,
+        threads: threads.min(count),
+    }
+}
+
+/// Rows per stripe when `rows` are spread over `workers` contiguous
+/// stripes: whole morsels, rounded up, at least one morsel.
+fn stripe_rows(rows: usize, workers: usize, morsel_rows: usize) -> usize {
+    rows.div_ceil(workers).div_ceil(morsel_rows).max(1) * morsel_rows
+}
+
+/// Cut `0..rows` into at most `workers` contiguous, morsel-aligned stripes
+/// (the [`fill_stripes`] decomposition, exposed for two-pass kernels that
+/// must visit the *same* stripes twice — the parallel hash-join build's
+/// histogram and scatter passes).
+pub fn stripe_ranges(rows: usize, workers: usize, morsel_rows: usize) -> Vec<Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let stripe = stripe_rows(rows, workers.max(1), morsel_rows.max(1));
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + stripe).min(rows);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -263,6 +358,47 @@ mod tests {
             let expected: Vec<usize> = (0..100).collect();
             assert_eq!(out, expected);
         }
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_task_order() {
+        for threads in 1..=4 {
+            let (results, run) = run_tasks(9, threads, |t| t * 10);
+            assert_eq!(results, (0..9).map(|t| t * 10).collect::<Vec<_>>());
+            assert_eq!(run.threads, threads.clamp(1, 9));
+        }
+        let (empty, run) = run_tasks(0, 4, |t| t);
+        assert!(empty.is_empty());
+        assert_eq!(run.threads, 1);
+    }
+
+    #[test]
+    fn stripe_ranges_tile_the_input_exactly() {
+        for rows in [0usize, 1, 7, 64, 100, 129] {
+            for workers in 1..=4 {
+                let ranges = stripe_ranges(rows, workers, 8);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(
+                    flat,
+                    (0..rows).collect::<Vec<_>>(),
+                    "rows={rows} workers={workers}"
+                );
+                assert!(ranges.len() <= workers.max(1).max(rows));
+                for r in &ranges {
+                    assert!(r.start < r.end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_threads_env_parsing() {
+        assert_eq!(parse_forced_threads(None), None);
+        assert_eq!(parse_forced_threads(Some("".into())), None);
+        assert_eq!(parse_forced_threads(Some("abc".into())), None);
+        assert_eq!(parse_forced_threads(Some("0".into())), None);
+        assert_eq!(parse_forced_threads(Some("4".into())), Some(4));
+        assert_eq!(parse_forced_threads(Some(" 2 ".into())), Some(2));
     }
 
     #[test]

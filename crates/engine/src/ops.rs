@@ -14,11 +14,12 @@
 //!
 //! Every operator comes in two spellings: a `*_in` variant taking an
 //! [`ExecContext`] — which supplies the [`crate::morsel`] thread budget for
-//! the parallel fast paths (hash-join probe, scan gather/selection) and the
-//! [`crate::pool::BufferPool`] the gather phase checks output columns out
-//! of — and a plain variant that runs in a fresh default context
-//! (auto-detected parallelism, private pool), kept for call sites that
-//! evaluate a single operator.
+//! the parallel fast paths (hash-join build and probe, the
+//! range-partitioned merge join, scan gather/selection, FILTER evaluation
+//! and ORDER BY key extraction) and the [`crate::pool::BufferPool`] the
+//! gather phase checks output columns out of — and a plain variant that
+//! runs in a fresh default context (auto-detected parallelism, private
+//! pool), kept for call sites that evaluate a single operator.
 
 use std::collections::HashSet;
 
@@ -137,13 +138,19 @@ pub fn scan_in(
         if morsels > 0 {
             // One counter entry for the whole scan (all columns together),
             // reporting the worker count the stripes actually used.
-            ctx.note_run(morsel::MorselRun { morsels, threads: threads_used });
+            ctx.note_run(morsel::MorselRun {
+                morsels,
+                threads: threads_used,
+            });
         }
     } else {
         // Late materialisation: select qualifying row indices first
         // (morsel-at-a-time, stitched in morsel order), then gather the
         // columns.
-        assert!(rows.len() < u32::MAX as usize, "scan range exceeds u32 row indexing");
+        assert!(
+            rows.len() < u32::MAX as usize,
+            "scan range exceeds u32 row indexing"
+        );
         let (parts, run) = morsel::run_morsels(rows.len(), &ctx.morsel, |range| {
             let mut sel: Vec<u32> = Vec::new();
             for i in range {
@@ -181,18 +188,38 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
     merge_join_in(&ExecContext::new(), left, right, var)
 }
 
-/// [`merge_join`] in an execution context: the index-pair buffers and the
-/// gathered output columns come from the context's pool. (The merge scan
-/// itself stays sequential — its cursor pair is inherently serial; the
-/// parallel join path is [`hash_join_in`].)
+/// [`merge_join`] in an execution context — the **range-partitioned
+/// parallel merge join**.
+///
+/// When the combined input size clears the context's morsel threshold
+/// (and the thread budget allows), both sorted inputs are split at
+/// *common key boundaries*: partition `k`'s target position on the left
+/// is binary-searched back to the start of its key group, and the right
+/// split gallops to the same key — so no equal-key group ever spans two
+/// partitions. Each partition then runs an independent cursor pair (the
+/// same scan as the sequential join, see
+/// [`crate::kernel::merge_join_pairs`]) and the per-partition pair
+/// vectors are stitched in partition order, which reproduces the
+/// sequential output byte-for-byte: merge-join output is ordered by key
+/// group, and the partitions tile the key space in order. Below the
+/// threshold the single cursor pair runs sequentially into pooled
+/// buffers; either way the gather phase draws from the context's pool.
 pub fn merge_join_in(
     ctx: &ExecContext,
     left: &BindingTable,
     right: &BindingTable,
     var: Var,
 ) -> BindingTable {
-    assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
-    assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
+    assert_eq!(
+        left.sorted_by(),
+        Some(var),
+        "merge join: left not sorted by {var}"
+    );
+    assert_eq!(
+        right.sorted_by(),
+        Some(var),
+        "merge join: right not sorted by {var}"
+    );
 
     check_indexable(left);
     check_indexable(right);
@@ -204,50 +231,82 @@ pub fn merge_join_in(
         .map(|&v| (left.column(v), right.column(v)))
         .collect();
 
-    // Phase 1: emit compact (left_row, right_row) index pairs.
-    let mut lidx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
-    let mut ridx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < lcol.len() && j < rcol.len() {
-        let (a, b) = (lcol[i], rcol[j]);
-        if a < b {
-            i += 1;
-        } else if b < a {
-            j += 1;
-        } else {
-            // Equal-key groups: cross-combine.
-            let i_end = i + lcol[i..].partition_point(|&x| x == a);
-            let j_end = j + rcol[j..].partition_point(|&x| x == a);
-            if extra_pairs.is_empty() {
-                lidx.reserve((i_end - i) * (j_end - j));
-                ridx.reserve((i_end - i) * (j_end - j));
-                for li in i..i_end {
-                    for rj in j..j_end {
-                        lidx.push(li as u32);
-                        ridx.push(rj as u32);
-                    }
-                }
-            } else {
-                for li in i..i_end {
-                    for rj in j..j_end {
-                        if extra_pairs.iter().all(|(lc, rc)| lc[li] == rc[rj]) {
-                            lidx.push(li as u32);
-                            ridx.push(rj as u32);
-                        }
-                    }
-                }
-            }
-            i = i_end;
-            j = j_end;
-        }
-    }
+    // Phase 1: emit compact (left_row, right_row) index pairs — one
+    // cursor pair per key-range partition when parallelism can win.
+    let workers = ctx.morsel.workers_for(lcol.len() + rcol.len());
+    let (lidx, ridx) = if workers > 1 && !lcol.is_empty() && !rcol.is_empty() {
+        merge_pairs_partitioned(ctx, lcol, rcol, &extra_pairs, workers)
+    } else {
+        let mut lidx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
+        let mut ridx: Vec<u32> = ctx.pool.take_idx(lcol.len().min(rcol.len()));
+        crate::kernel::merge_join_pairs(
+            lcol,
+            rcol,
+            &extra_pairs,
+            0..lcol.len(),
+            0..rcol.len(),
+            &mut lidx,
+            &mut ridx,
+        );
+        (lidx, ridx)
+    };
 
     // Phase 2: gather the output column at a time.
-    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    let mut out =
+        BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
     ctx.pool.put_idx(lidx);
     ctx.pool.put_idx(ridx);
     out.set_sorted_by(Some(var));
     out
+}
+
+/// The parallel phase 1 of [`merge_join_in`]: cut both sorted key columns
+/// at (up to) `workers − 1` common key boundaries and run an independent
+/// cursor-pair scan per partition on the morsel task pool, returning the
+/// pair vectors stitched in partition order (checked out of the pool;
+/// the caller returns them after the gather).
+fn merge_pairs_partitioned(
+    ctx: &ExecContext,
+    lcol: &[TermId],
+    rcol: &[TermId],
+    extra_pairs: &[(&[TermId], &[TermId])],
+    workers: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    // Partition boundaries: aim for even left shares, then snap each
+    // boundary back to the start of its key group on the left and find
+    // the matching position on the right. Boundaries are non-decreasing
+    // by construction; duplicates (a giant key group swallowing several
+    // targets) collapse via dedup.
+    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(workers + 1);
+    bounds.push((0, 0));
+    for k in 1..workers {
+        let key = lcol[k * lcol.len() / workers];
+        let ls = lcol.partition_point(|&x| x < key);
+        let rs = rcol.partition_point(|&x| x < key);
+        bounds.push((ls, rs));
+    }
+    bounds.push((lcol.len(), rcol.len()));
+    bounds.dedup();
+
+    let parts: Vec<((usize, usize), (usize, usize))> =
+        bounds.windows(2).map(|w| (w[0], w[1])).collect();
+    let (results, run) = morsel::run_tasks(parts.len(), workers, |p| {
+        let ((ls, rs), (le, re)) = parts[p];
+        // Thread-local pair buffers, sized for ~1 match per left row.
+        let mut l: Vec<u32> = Vec::with_capacity(le - ls);
+        let mut r: Vec<u32> = Vec::with_capacity(le - ls);
+        crate::kernel::merge_join_pairs(lcol, rcol, extra_pairs, ls..le, rs..re, &mut l, &mut r);
+        (l, r)
+    });
+    ctx.note_merge(run);
+    let total: usize = results.iter().map(|(l, _)| l.len()).sum();
+    let mut lidx = ctx.pool.take_idx(total);
+    let mut ridx = ctx.pool.take_idx(total);
+    for (l, r) in results {
+        lidx.extend_from_slice(&l);
+        ridx.extend_from_slice(&r);
+    }
+    (lidx, ridx)
 }
 
 /// Hash join on `vars`: builds a table over the smaller conceptual side —
@@ -287,17 +346,26 @@ pub fn hash_join_in(
 ) -> BindingTable {
     assert!(!vars.is_empty(), "hash join needs at least one variable");
     for &v in vars {
-        assert!(left.vars().contains(&v), "hash join var {v} missing from left");
-        assert!(right.vars().contains(&v), "hash join var {v} missing from right");
+        assert!(
+            left.vars().contains(&v),
+            "hash join var {v} missing from left"
+        );
+        assert!(
+            right.vars().contains(&v),
+            "hash join var {v} missing from right"
+        );
     }
     check_indexable(left);
     check_indexable(right);
     let (_, right_extra, extra_shared) = join_layout(left, right, vars);
 
-    // Build on the right.
+    // Build on the right (morsel-parallel hashing + partitioned counting
+    // sort when the build side clears the threshold — byte-identical to
+    // the sequential build either way).
     let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| right.column(v)).collect();
     let probe_cols: Vec<&[TermId]> = vars.iter().map(|&v| left.column(v)).collect();
-    let table = BuildTable::build(&build_cols, right.len());
+    let (table, build_run) = BuildTable::build_par(&build_cols, right.len(), &ctx.morsel);
+    ctx.note_build(build_run);
     let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
         .iter()
         .map(|&v| (left.column(v), right.column(v)))
@@ -308,7 +376,8 @@ pub fn hash_join_in(
         table.probe_range(&build_cols, &probe_cols, &extra_pairs, range, l, r)
     });
 
-    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    let mut out =
+        BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
     ctx.pool.put_idx(lidx);
     ctx.pool.put_idx(ridx);
     // Probe order is preserved, so the left ordering survives.
@@ -457,8 +526,14 @@ pub fn left_outer_hash_join_in(
 ) -> BindingTable {
     assert!(!vars.is_empty(), "outer join needs at least one variable");
     for &v in vars {
-        assert!(left.vars().contains(&v), "outer join var {v} missing from left");
-        assert!(right.vars().contains(&v), "outer join var {v} missing from right");
+        assert!(
+            left.vars().contains(&v),
+            "outer join var {v} missing from left"
+        );
+        assert!(
+            right.vars().contains(&v),
+            "outer join var {v} missing from right"
+        );
     }
     check_indexable(left);
     check_indexable(right);
@@ -466,7 +541,8 @@ pub fn left_outer_hash_join_in(
 
     let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| right.column(v)).collect();
     let probe_cols: Vec<&[TermId]> = vars.iter().map(|&v| left.column(v)).collect();
-    let table = BuildTable::build(&build_cols, right.len());
+    let (table, build_run) = BuildTable::build_par(&build_cols, right.len(), &ctx.morsel);
+    ctx.note_build(build_run);
     let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_shared
         .iter()
         .map(|&v| (left.column(v), right.column(v)))
@@ -478,7 +554,8 @@ pub fn left_outer_hash_join_in(
         table.probe_range_outer(&build_cols, &probe_cols, &extra_pairs, range, l, r)
     });
 
-    let mut out = BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
+    let mut out =
+        BindingTable::from_join_pairs_in(left, right, &right_extra, &lidx, &ridx, &ctx.pool);
     ctx.pool.put_idx(lidx);
     ctx.pool.put_idx(ridx);
     out.set_sorted_by(None); // UNBOUND sentinels may break the left order
@@ -524,16 +601,39 @@ pub fn union_all_in(ctx: &ExecContext, a: &BindingTable, b: &BindingTable) -> Bi
 ///
 /// Simple (in)equality shapes compare interned ids directly; full-grammar
 /// [`FilterExpr::Complex`] expressions are evaluated with the SPARQL typed
-/// value semantics of [`hsp_sparql::expr`], sharing one
+/// value semantics of [`hsp_sparql::expr`], one
 /// [`Evaluator`](hsp_sparql::Evaluator) (and hence one compiled-regex
-/// cache) across all rows.
+/// cache) per worker thread.
 pub fn filter(ds: &Dataset, input: &BindingTable, expr: &FilterExpr) -> BindingTable {
     filter_in(&ExecContext::new(), ds, input, expr)
 }
 
-/// [`filter`] in an execution context (pooled selection vector and output
-/// columns; evaluation itself is sequential — the expression evaluator's
-/// regex cache is not shareable across threads).
+thread_local! {
+    /// The per-worker expression evaluator of the parallel FILTER /
+    /// ORDER BY paths. A morsel worker may process many morsels, and
+    /// constructing a fresh [`Evaluator`](hsp_sparql::Evaluator) per
+    /// *morsel* would recompile every cached regex once per morsel — so
+    /// the evaluator lives in a thread-local instead: one per worker
+    /// thread, created lazily on the worker's first morsel. The kernels'
+    /// worker threads are *scoped* (they end with the kernel), so these
+    /// evaluators — and their regex caches — are dropped at kernel exit;
+    /// the sequential paths deliberately use a plain local evaluator so
+    /// the long-lived main thread never accretes a process-lifetime
+    /// cache.
+    static WORKER_EVALUATOR: hsp_sparql::Evaluator = hsp_sparql::Evaluator::new();
+}
+
+/// [`filter`] in an execution context — the **morsel-parallel FILTER**.
+///
+/// When the input clears the context's morsel threshold, rows are
+/// evaluated morsel-at-a-time on the worker pool, each worker owning its
+/// own thread-local [`Evaluator`](hsp_sparql::Evaluator) — the
+/// compiled-regex cache is deliberately single-threaded, see the
+/// `Evaluator` docs. Per-morsel selection vectors are stitched in morsel
+/// order, so the output is byte-identical to the sequential evaluation.
+/// Below the threshold one evaluator scans all rows sequentially; either
+/// way the selection vector and the output columns come from the
+/// context's pool.
 pub fn filter_in(
     ctx: &ExecContext,
     ds: &Dataset,
@@ -541,13 +641,35 @@ pub fn filter_in(
     expr: &FilterExpr,
 ) -> BindingTable {
     check_indexable(input);
-    let evaluator = hsp_sparql::Evaluator::new();
-    let mut sel = ctx.pool.take_idx(input.len());
-    sel.extend(
-        (0..input.len())
-            .filter(|&i| eval_expr(ds, input, expr, i, &evaluator))
-            .map(|i| i as u32),
-    );
+    let sel = if ctx.morsel.workers_for(input.len()) > 1 {
+        let (parts, run) = morsel::run_morsels(input.len(), &ctx.morsel, |range| {
+            WORKER_EVALUATOR.with(|evaluator| {
+                let mut part: Vec<u32> = Vec::new();
+                for i in range {
+                    if eval_expr(ds, input, expr, i, evaluator) {
+                        part.push(i as u32);
+                    }
+                }
+                part
+            })
+        });
+        ctx.note_filter(run);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut sel = ctx.pool.take_idx(total);
+        for part in parts {
+            sel.extend_from_slice(&part);
+        }
+        sel
+    } else {
+        let evaluator = hsp_sparql::Evaluator::new();
+        let mut sel = ctx.pool.take_idx(input.len());
+        sel.extend(
+            (0..input.len())
+                .filter(|&i| eval_expr(ds, input, expr, i, &evaluator))
+                .map(|i| i as u32),
+        );
+        sel
+    };
     let mut out = input.gather_in(&sel, &ctx.pool);
     ctx.pool.put_idx(sel);
     out.set_sorted_by(input.sorted_by());
@@ -607,8 +729,12 @@ pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]
     order_by_in(&ExecContext::new(), ds, input, keys)
 }
 
-/// [`order_by`] in an execution context (pooled selection vector and output
-/// columns; key evaluation is sequential, like [`filter_in`]).
+/// [`order_by`] in an execution context (pooled selection vector and
+/// output columns). The decorate phase — evaluating every key expression
+/// for every row — runs morsel-parallel with per-worker evaluators, like
+/// [`filter_in`]; per-morsel decorations stitch back in row order, so the
+/// subsequent (sequential, stable) sort sees exactly the sequence the
+/// sequential path builds and the output is byte-identical.
 pub fn order_by_in(
     ctx: &ExecContext,
     ds: &Dataset,
@@ -617,19 +743,34 @@ pub fn order_by_in(
 ) -> BindingTable {
     use hsp_sparql::expr::compare_for_order;
     check_indexable(input);
-    let evaluator = hsp_sparql::Evaluator::new();
 
     // Evaluate every key for every row once (decorate-sort-undecorate).
-    let mut decorated: Vec<(usize, Vec<Option<hsp_sparql::Value>>)> = (0..input.len())
-        .map(|i| {
-            let bindings = RowBindings { ds, table: input, row: i };
-            let key_vals = keys
-                .iter()
-                .map(|k| evaluator.eval(&k.expr, &bindings).ok())
-                .collect();
-            (i, key_vals)
-        })
-        .collect();
+    let decorate = |range: std::ops::Range<usize>, evaluator: &hsp_sparql::Evaluator| {
+        range
+            .map(|i| {
+                let bindings = RowBindings {
+                    ds,
+                    table: input,
+                    row: i,
+                };
+                let key_vals = keys
+                    .iter()
+                    .map(|k| evaluator.eval(&k.expr, &bindings).ok())
+                    .collect::<Vec<_>>();
+                (i, key_vals)
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut decorated: Vec<(usize, Vec<Option<hsp_sparql::Value>>)> =
+        if ctx.morsel.workers_for(input.len()) > 1 {
+            let (parts, run) = morsel::run_morsels(input.len(), &ctx.morsel, |range| {
+                WORKER_EVALUATOR.with(|evaluator| decorate(range, evaluator))
+            });
+            ctx.note_filter(run);
+            parts.into_iter().flatten().collect()
+        } else {
+            decorate(0..input.len(), &hsp_sparql::Evaluator::new())
+        };
     decorated.sort_by(|(_, ka), (_, kb)| {
         for (key, (va, vb)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
             let ord = compare_for_order(va.as_ref(), vb.as_ref());
@@ -701,7 +842,11 @@ pub fn project_in(
 ) -> BindingTable {
     if projection.is_empty() {
         // ASK-style degenerate projection: keep only the row count.
-        let rows = if distinct { input.len().min(1) } else { input.len() };
+        let rows = if distinct {
+            input.len().min(1)
+        } else {
+            input.len()
+        };
         return BindingTable::unit(rows);
     }
     let mut out_vars: Vec<Var> = Vec::new();
@@ -713,7 +858,10 @@ pub fn project_in(
     let src: Vec<&[TermId]> = out_vars
         .iter()
         .map(|&v| {
-            input.col_index(v).map(|c| input.columns()[c].as_slice()).expect("validated projection")
+            input
+                .col_index(v)
+                .map(|c| input.columns()[c].as_slice())
+                .expect("validated projection")
         })
         .collect();
 
@@ -733,9 +881,7 @@ pub fn project_in(
             .map(|c| crate::binding::gather_column(c, &sel, Some(&ctx.pool)))
             .collect()
     };
-    let keep_sort = input
-        .sorted_by()
-        .filter(|v| out_vars.contains(v));
+    let keep_sort = input.sorted_by().filter(|v| out_vars.contains(v));
     BindingTable::from_columns(out_vars, cols, keep_sort)
 }
 
@@ -1210,13 +1356,21 @@ mod tests {
     #[test]
     fn cross_product_with_unit_table_keeps_rows() {
         let ds = dataset();
-        let l = scan(&ds, &TriplePattern::new(cv("a1"), cv("p"), cv("b1")), Order::Spo);
+        let l = scan(
+            &ds,
+            &TriplePattern::new(cv("a1"), cv("p"), cv("b1")),
+            Order::Spo,
+        );
         let r = scan(&ds, &TriplePattern::new(vv(0), cv("q"), vv(1)), Order::Pso);
         let x = cross_product(&l, &r);
         assert_eq!(x.len(), 2); // 1 unit row × 2 q-rows
         assert_eq!(x.vars(), &[Var(0), Var(1)]);
         // An absent ground pattern annihilates the product.
-        let l0 = scan(&ds, &TriplePattern::new(cv("a1"), cv("p"), cv("b9")), Order::Spo);
+        let l0 = scan(
+            &ds,
+            &TriplePattern::new(cv("a1"), cv("p"), cv("b9")),
+            Order::Spo,
+        );
         assert_eq!(cross_product(&l0, &r).len(), 0);
     }
 
@@ -1240,7 +1394,11 @@ mod tests {
         )
         .unwrap();
         // Scan all titles, keep those matching \(19\d\d\).
-        let t = scan(&ds, &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/title")), vv(1)), Order::Pso);
+        let t = scan(
+            &ds,
+            &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/title")), vv(1)),
+            Order::Pso,
+        );
         assert_eq!(t.len(), 3);
         let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Call {
             func: hsp_sparql::Func::Regex,
@@ -1263,7 +1421,11 @@ mod tests {
 "#,
         )
         .unwrap();
-        let t = scan(&ds, &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/pages")), vv(1)), Order::Pso);
+        let t = scan(
+            &ds,
+            &TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/pages")), vv(1)),
+            Order::Pso,
+        );
         // FILTER (?pages * 2 > 30)
         let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Cmp {
             op: CmpOp::Gt,
@@ -1326,7 +1488,12 @@ mod tests {
         let sorted = order_by(&ds, &t, &keys);
         // Numeric order 9 < 10 < 100, not lexicographic "10" < "100" < "9".
         let vals: Vec<String> = (0..sorted.len())
-            .map(|i| ds.dict().term(sorted.value(Var(1), i)).lexical().to_string())
+            .map(|i| {
+                ds.dict()
+                    .term(sorted.value(Var(1), i))
+                    .lexical()
+                    .to_string()
+            })
             .collect();
         assert_eq!(vals, vec!["9", "10", "100"]);
         // Descending reverses.
@@ -1335,10 +1502,7 @@ mod tests {
             descending: true,
         }];
         let sorted = order_by(&ds, &t, &keys);
-        assert_eq!(
-            ds.dict().term(sorted.value(Var(1), 0)).lexical(),
-            "100"
-        );
+        assert_eq!(ds.dict().term(sorted.value(Var(1), 0)).lexical(), "100");
     }
 
     #[test]
@@ -1418,7 +1582,9 @@ mod tests {
             // Full structural equality: same columns, same row order, same
             // metadata — not just the same row multiset.
             assert_eq!(parallel, sequential, "threads={threads}");
-            assert_eq!(ctx.parallel_kernels(), 1);
+            // Two parallel kernels: the build phase and the probe.
+            assert_eq!(ctx.parallel_kernels(), 2);
+            assert_eq!(ctx.parallel_builds(), 1);
             assert!(ctx.morsels_run() > 1);
         }
     }
@@ -1462,7 +1628,10 @@ mod tests {
         // 300 triples: several 64-row morsels under the forced config.
         let mut doc = String::new();
         for i in 0..300 {
-            doc.push_str(&format!("<http://e/s{}> <http://e/p> <http://e/o{i}> .\n", i % 40));
+            doc.push_str(&format!(
+                "<http://e/s{}> <http://e/p> <http://e/o{i}> .\n",
+                i % 40
+            ));
         }
         let ds = Dataset::from_ntriples(&doc).unwrap();
         let pat = TriplePattern::new(vv(0), cv("p"), vv(1));
@@ -1480,6 +1649,138 @@ mod tests {
         }
     }
 
+    /// Sorted variants of [`big_join_inputs`] for the merge-join tests.
+    fn big_sorted_inputs(n: usize) -> (BindingTable, BindingTable) {
+        let (l, r) = big_join_inputs(n);
+        (sort_by(&l, Var(0)), sort_by(&r, Var(0)))
+    }
+
+    #[test]
+    fn parallel_build_table_join_is_byte_identical_to_sequential() {
+        // Both sides large: the *build* side (right) clears the forced
+        // threshold, so the partitioned counting sort runs.
+        let (l, r) = big_join_inputs(3_000);
+        let sequential = hash_join_in(&ExecContext::with_threads(1), &l, &r, &[Var(0)]);
+        for threads in 2..=4 {
+            let ctx = forced_ctx(threads);
+            let parallel = hash_join_in(&ctx, &l, &r, &[Var(0)]);
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert_eq!(ctx.parallel_builds(), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_join_is_byte_identical_to_sequential() {
+        let (l, r) = big_sorted_inputs(3_000);
+        let sequential = merge_join_in(&ExecContext::with_threads(1), &l, &r, Var(0));
+        for threads in 2..=4 {
+            let ctx = forced_ctx(threads);
+            let parallel = merge_join_in(&ctx, &l, &r, Var(0));
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert!(ctx.merge_partitions() >= 1, "threads={threads}");
+            assert_eq!(ctx.parallel_kernels(), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_join_with_extra_shared_var_is_identical() {
+        // Shared non-key column ?1: the extra-pair check runs inside every
+        // partition's cursor pair.
+        let n = 2_000;
+        let (l0, r0) = big_join_inputs(n);
+        let shared: Vec<TermId> = (0..n as u32).map(|i| TermId(i % 5)).collect();
+        let mut lk = l0.column(Var(0)).to_vec();
+        let mut rk = r0.column(Var(0)).to_vec();
+        lk.sort_unstable();
+        rk.sort_unstable();
+        let l = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![lk, shared.clone()],
+            Some(Var(0)),
+        );
+        let r = BindingTable::from_columns(vec![Var(0), Var(1)], vec![rk, shared], Some(Var(0)));
+        let sequential = merge_join_in(&ExecContext::with_threads(1), &l, &r, Var(0));
+        for threads in 2..=4 {
+            let parallel = merge_join_in(&forced_ctx(threads), &l, &r, Var(0));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_join_single_giant_key_group_degenerates() {
+        // Every key equal: all split targets snap to position 0, so the
+        // dedup leaves one partition and the join runs as a single task.
+        let n = 1_000;
+        let keys = vec![TermId(7); n];
+        let lp: Vec<TermId> = (0..n as u32).map(|i| TermId(1_000 + i)).collect();
+        let rp: Vec<TermId> = (0..n as u32).map(|i| TermId(50_000 + i)).collect();
+        let l =
+            BindingTable::from_columns(vec![Var(0), Var(1)], vec![keys.clone(), lp], Some(Var(0)));
+        let r = BindingTable::from_columns(vec![Var(0), Var(2)], vec![keys, rp], Some(Var(0)));
+        let sequential = merge_join_in(&ExecContext::with_threads(1), &l, &r, Var(0));
+        assert_eq!(sequential.len(), n * n);
+        for threads in 2..=4 {
+            let parallel = merge_join_in(&forced_ctx(threads), &l, &r, Var(0));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    /// A dataset of `n` title triples, roughly half matching `\(19\d\d\)`.
+    fn titles_dataset(n: usize) -> Dataset {
+        let mut doc = String::new();
+        for i in 0..n {
+            let year = 1900 + (i % 200); // 19xx and 20xx alternate by century
+            doc.push_str(&format!(
+                "<http://e/j{i}> <http://e/title> \"Journal {i} ({year})\" .\n"
+            ));
+        }
+        Dataset::from_ntriples(&doc).unwrap()
+    }
+
+    #[test]
+    fn parallel_filter_is_byte_identical_to_sequential() {
+        let ds = titles_dataset(800);
+        let pat = TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/title")), vv(1));
+        let t = scan(&ds, &pat, Order::Pso);
+        // A REGEX filter: every worker compiles the pattern into its own
+        // evaluator's cache.
+        let expr = FilterExpr::Complex(Box::new(hsp_sparql::Expr::Call {
+            func: hsp_sparql::Func::Regex,
+            args: vec![
+                hsp_sparql::Expr::Var(Var(1)),
+                hsp_sparql::Expr::Const(Term::literal(r"\(19\d\d\)")),
+            ],
+        }));
+        let sequential = filter_in(&ExecContext::with_threads(1), &ds, &t, &expr);
+        assert!(!sequential.is_empty() && sequential.len() < t.len());
+        for threads in 2..=4 {
+            let ctx = forced_ctx(threads);
+            let parallel = filter_in(&ctx, &ds, &t, &expr);
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert_eq!(ctx.parallel_filters(), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_order_by_is_byte_identical_to_sequential() {
+        let ds = titles_dataset(500);
+        let pat = TriplePattern::new(vv(0), TermOrVar::Const(Term::iri("http://e/title")), vv(1));
+        let t = scan(&ds, &pat, Order::Pso);
+        for descending in [false, true] {
+            let keys = vec![hsp_sparql::SortKey {
+                expr: hsp_sparql::Expr::Var(Var(1)),
+                descending,
+            }];
+            let sequential = order_by_in(&ExecContext::with_threads(1), &ds, &t, &keys);
+            for threads in 2..=4 {
+                let ctx = forced_ctx(threads);
+                let parallel = order_by_in(&ctx, &ds, &t, &keys);
+                assert_eq!(parallel, sequential, "threads={threads} desc={descending}");
+                assert_eq!(ctx.parallel_filters(), 1);
+            }
+        }
+    }
+
     #[test]
     fn pooled_join_reuses_buffers_across_operators() {
         let (l, r) = big_join_inputs(500);
@@ -1489,7 +1790,10 @@ mod tests {
         let second = hash_join_in(&ctx, &l, &r, &[Var(0)]);
         assert_eq!(first, second);
         let stats = ctx.pool.stats();
-        assert!(stats.hits > 0, "second join should reuse recycled buffers: {stats:?}");
+        assert!(
+            stats.hits > 0,
+            "second join should reuse recycled buffers: {stats:?}"
+        );
     }
 
     #[test]
@@ -1505,10 +1809,7 @@ mod tests {
         );
         let r = BindingTable::from_columns(
             vec![Var(0), Var(1)],
-            vec![
-                vec![TermId(1), TermId(2)],
-                vec![TermId(6), TermId(9)],
-            ],
+            vec![vec![TermId(1), TermId(2)], vec![TermId(6), TermId(9)]],
             Some(Var(0)),
         );
         let j = merge_join(&l, &r, Var(0));

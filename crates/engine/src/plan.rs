@@ -170,9 +170,11 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Sort { var, .. } => Some(*var),
             PhysicalPlan::Filter { input, .. } => input.sorted_by(),
-            PhysicalPlan::Project { input, projection, .. } => {
-                input.sorted_by().filter(|v| projection.iter().any(|&(_, p)| p == *v))
-            }
+            PhysicalPlan::Project {
+                input, projection, ..
+            } => input
+                .sorted_by()
+                .filter(|v| projection.iter().any(|&(_, p)| p == *v)),
             // ORDER BY sorts by SPARQL value order, not TermId order.
             PhysicalPlan::OrderBy { .. } => None,
             PhysicalPlan::Slice { input, .. } => input.sorted_by(),
@@ -289,7 +291,9 @@ impl PhysicalPlan {
                 }
                 Ok(())
             }
-            PhysicalPlan::Project { input, projection, .. } => {
+            PhysicalPlan::Project {
+                input, projection, ..
+            } => {
                 input.validate()?;
                 let iv = input.output_vars();
                 for &(ref name, v) in projection {
@@ -307,9 +311,7 @@ impl PhysicalPlan {
                 for key in keys {
                     for v in key.expr.vars() {
                         if !iv.contains(&v) {
-                            return Err(PlanError(format!(
-                                "ORDER BY variable {v} not bound"
-                            )));
+                            return Err(PlanError(format!("ORDER BY variable {v} not bound")));
                         }
                     }
                 }
@@ -380,7 +382,11 @@ mod tests {
     }
 
     fn scan(idx: usize, pattern: TriplePattern, order: Order) -> PhysicalPlan {
-        PhysicalPlan::Scan { pattern_idx: idx, pattern, order }
+        PhysicalPlan::Scan {
+            pattern_idx: idx,
+            pattern,
+            order,
+        }
     }
 
     #[test]
@@ -471,7 +477,10 @@ mod tests {
     fn validate_rejects_overlapping_cross_product() {
         let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
         let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pso);
-        let cross = PhysicalPlan::CrossProduct { left: Box::new(left), right: Box::new(right) };
+        let cross = PhysicalPlan::CrossProduct {
+            left: Box::new(left),
+            right: Box::new(right),
+        };
         assert!(cross.validate().is_err());
     }
 

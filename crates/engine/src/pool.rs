@@ -156,6 +156,9 @@ pub struct ExecContext {
     pub pool: BufferPool,
     morsels: Cell<usize>,
     parallel_kernels: Cell<usize>,
+    parallel_builds: Cell<usize>,
+    merge_partitions: Cell<usize>,
+    parallel_filters: Cell<usize>,
 }
 
 impl ExecContext {
@@ -168,12 +171,18 @@ impl ExecContext {
     /// A context with a forced thread budget (tests, benchmarks, the CLI's
     /// `--threads` flag).
     pub fn with_threads(threads: usize) -> Self {
-        ExecContext { morsel: MorselConfig::with_threads(threads), ..ExecContext::default() }
+        ExecContext {
+            morsel: MorselConfig::with_threads(threads),
+            ..ExecContext::default()
+        }
     }
 
     /// A context with an explicit morsel configuration.
     pub fn with_morsel_config(morsel: MorselConfig) -> Self {
-        ExecContext { morsel, ..ExecContext::default() }
+        ExecContext {
+            morsel,
+            ..ExecContext::default()
+        }
     }
 
     /// Record a kernel's morsel run in the execution-wide counters.
@@ -184,6 +193,34 @@ impl ExecContext {
         }
     }
 
+    /// Record a hash-join build phase ([`note_run`](Self::note_run) plus
+    /// the parallel-build counter).
+    pub(crate) fn note_build(&self, run: crate::morsel::MorselRun) {
+        if run.threads > 1 {
+            self.parallel_builds.set(self.parallel_builds.get() + 1);
+        }
+        self.note_run(run);
+    }
+
+    /// Record a range-partitioned merge join: `run.morsels` carries the
+    /// partition count.
+    pub(crate) fn note_merge(&self, run: crate::morsel::MorselRun) {
+        if run.threads > 1 {
+            self.merge_partitions
+                .set(self.merge_partitions.get() + run.morsels);
+            self.parallel_kernels.set(self.parallel_kernels.get() + 1);
+        }
+    }
+
+    /// Record a FILTER / ORDER BY key-extraction run ([`note_run`](Self::note_run)
+    /// plus the parallel-filter counter).
+    pub(crate) fn note_filter(&self, run: crate::morsel::MorselRun) {
+        if run.threads > 1 {
+            self.parallel_filters.set(self.parallel_filters.get() + 1);
+        }
+        self.note_run(run);
+    }
+
     /// Morsels processed by parallel kernels so far.
     pub fn morsels_run(&self) -> usize {
         self.morsels.get()
@@ -192,6 +229,21 @@ impl ExecContext {
     /// Kernels that actually ran parallel so far.
     pub fn parallel_kernels(&self) -> usize {
         self.parallel_kernels.get()
+    }
+
+    /// Hash-join build phases that ran parallel so far.
+    pub fn parallel_builds(&self) -> usize {
+        self.parallel_builds.get()
+    }
+
+    /// Partitions processed by range-partitioned parallel merge joins.
+    pub fn merge_partitions(&self) -> usize {
+        self.merge_partitions.get()
+    }
+
+    /// FILTER / ORDER BY key extractions that ran parallel so far.
+    pub fn parallel_filters(&self) -> usize {
+        self.parallel_filters.get()
     }
 }
 
@@ -204,11 +256,25 @@ mod tests {
     fn take_put_cycle_hits_after_first_miss() {
         let pool = BufferPool::new();
         let col = pool.take_col(16);
-        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1, recycled: 0 });
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 0,
+                misses: 1,
+                recycled: 0
+            }
+        );
         pool.put_col(col);
         let col2 = pool.take_col(8);
         assert!(col2.capacity() >= 8);
-        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, recycled: 1 });
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 1,
+                recycled: 1
+            }
+        );
     }
 
     #[test]
@@ -265,10 +331,56 @@ mod tests {
     #[test]
     fn context_counts_only_parallel_runs() {
         let ctx = ExecContext::with_threads(4);
-        ctx.note_run(crate::morsel::MorselRun { morsels: 0, threads: 1 });
+        ctx.note_run(crate::morsel::MorselRun {
+            morsels: 0,
+            threads: 1,
+        });
         assert_eq!(ctx.parallel_kernels(), 0);
-        ctx.note_run(crate::morsel::MorselRun { morsels: 5, threads: 2 });
+        ctx.note_run(crate::morsel::MorselRun {
+            morsels: 5,
+            threads: 2,
+        });
         assert_eq!(ctx.parallel_kernels(), 1);
         assert_eq!(ctx.morsels_run(), 5);
+    }
+
+    #[test]
+    fn context_counts_builds_merges_and_filters() {
+        let ctx = ExecContext::with_threads(4);
+        // Sequential runs count nothing.
+        ctx.note_build(crate::morsel::MorselRun {
+            morsels: 0,
+            threads: 1,
+        });
+        ctx.note_merge(crate::morsel::MorselRun {
+            morsels: 0,
+            threads: 1,
+        });
+        ctx.note_filter(crate::morsel::MorselRun {
+            morsels: 0,
+            threads: 1,
+        });
+        assert_eq!(ctx.parallel_builds(), 0);
+        assert_eq!(ctx.merge_partitions(), 0);
+        assert_eq!(ctx.parallel_filters(), 0);
+        assert_eq!(ctx.parallel_kernels(), 0);
+        // Parallel runs count in their own counter and as kernels.
+        ctx.note_build(crate::morsel::MorselRun {
+            morsels: 3,
+            threads: 2,
+        });
+        ctx.note_merge(crate::morsel::MorselRun {
+            morsels: 4,
+            threads: 2,
+        });
+        ctx.note_filter(crate::morsel::MorselRun {
+            morsels: 2,
+            threads: 3,
+        });
+        assert_eq!(ctx.parallel_builds(), 1);
+        assert_eq!(ctx.merge_partitions(), 4);
+        assert_eq!(ctx.parallel_filters(), 1);
+        assert_eq!(ctx.parallel_kernels(), 3);
+        assert_eq!(ctx.morsels_run(), 3 + 2); // merge partitions are not morsels
     }
 }

@@ -22,8 +22,16 @@ use crate::ops::join_layout;
 /// # Panics
 /// Panics if an input is not sorted by `var`.
 pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> BindingTable {
-    assert_eq!(left.sorted_by(), Some(var), "merge join: left not sorted by {var}");
-    assert_eq!(right.sorted_by(), Some(var), "merge join: right not sorted by {var}");
+    assert_eq!(
+        left.sorted_by(),
+        Some(var),
+        "merge join: left not sorted by {var}"
+    );
+    assert_eq!(
+        right.sorted_by(),
+        Some(var),
+        "merge join: right not sorted by {var}"
+    );
 
     let (out_vars, right_extra, extra_shared) = join_layout(left, right, &[var]);
     let lcol = left.column(var);
@@ -76,8 +84,14 @@ pub fn merge_join(left: &BindingTable, right: &BindingTable, var: Var) -> Bindin
 pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> BindingTable {
     assert!(!vars.is_empty(), "hash join needs at least one variable");
     for &v in vars {
-        assert!(left.vars().contains(&v), "hash join var {v} missing from left");
-        assert!(right.vars().contains(&v), "hash join var {v} missing from right");
+        assert!(
+            left.vars().contains(&v),
+            "hash join var {v} missing from left"
+        );
+        assert!(
+            right.vars().contains(&v),
+            "hash join var {v} missing from right"
+        );
     }
     let (out_vars, right_extra, extra_shared) = join_layout(left, right, vars);
 
@@ -93,7 +107,9 @@ pub fn hash_join(left: &BindingTable, right: &BindingTable, vars: &[Var]) -> Bin
     for i in 0..left.len() {
         key_buf.clear();
         key_buf.extend(vars.iter().map(|&v| left.value(v, i)));
-        let Some(matches) = table.get(key_buf.as_slice()) else { continue };
+        let Some(matches) = table.get(key_buf.as_slice()) else {
+            continue;
+        };
         for &j in matches {
             if !extra_shared
                 .iter()
@@ -171,7 +187,10 @@ pub fn nested_loop_join_rows(left: &BindingTable, right: &BindingTable) -> Vec<V
     let mut rows = Vec::new();
     for i in 0..left.len() {
         for j in 0..right.len() {
-            if !shared.iter().all(|&v| left.value(v, i) == right.value(v, j)) {
+            if !shared
+                .iter()
+                .all(|&v| left.value(v, i) == right.value(v, j))
+            {
                 continue;
             }
             let mut row: Vec<TermId> = left.vars().iter().map(|&v| left.value(v, i)).collect();

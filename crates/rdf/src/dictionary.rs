@@ -79,7 +79,8 @@ impl Dictionary {
         if let Some(&id) = self.by_term.get(&term) {
             return id;
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        let id =
+            TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
         self.kinds.push(term.kind());
         self.terms.push(term.clone());
         self.by_term.insert(term, id);

@@ -30,8 +30,7 @@ pub mod vocab {
     /// `rdf:type` — the property H1 singles out as *not* selective.
     pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
     /// `rdf:langString` — the datatype of language-tagged literals (RDF 1.1).
-    pub const RDF_LANG_STRING: &str =
-        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    pub const RDF_LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
     /// `xsd:string`.
     pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
     /// `xsd:boolean`.

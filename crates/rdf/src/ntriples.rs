@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -40,7 +44,11 @@ pub fn parse_document(input: &str) -> Result<Vec<Triple>, ParseError> {
 
 /// Parse one line; returns `Ok(None)` for blank lines and comments.
 pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>, ParseError> {
-    let mut p = LineParser { line, pos: 0, line_no };
+    let mut p = LineParser {
+        line,
+        pos: 0,
+        line_no,
+    };
     p.skip_ws();
     if p.at_end() || p.peek() == Some('#') {
         return Ok(None);
@@ -86,7 +94,10 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line_no, message: message.into() }
+        ParseError {
+            line: self.line_no,
+            message: message.into(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -139,7 +150,10 @@ impl<'a> LineParser<'a> {
                     if iri.is_empty() {
                         return Err(self.err("empty IRI"));
                     }
-                    if iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '"') {
+                    if iri
+                        .chars()
+                        .any(|c| c.is_whitespace() || c == '<' || c == '"')
+                    {
                         return Err(self.err("IRI contains forbidden character"));
                     }
                     return Ok(iri.to_string());
@@ -307,8 +321,16 @@ mod tests {
 
     #[test]
     fn serialize_many_lines() {
-        let t1 = Triple::new(Term::iri("http://e/a"), Term::iri("http://e/p"), Term::literal("1"));
-        let t2 = Triple::new(Term::iri("http://e/b"), Term::iri("http://e/p"), Term::literal("2"));
+        let t1 = Triple::new(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::literal("1"),
+        );
+        let t2 = Triple::new(
+            Term::iri("http://e/b"),
+            Term::iri("http://e/p"),
+            Term::literal("2"),
+        );
         let doc = serialize(&[t1.clone(), t2.clone()]);
         assert_eq!(doc.lines().count(), 2);
         assert_eq!(parse_document(&doc).unwrap(), vec![t1, t2]);

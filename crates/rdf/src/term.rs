@@ -41,7 +41,11 @@ impl Term {
 
     /// Construct a plain (untyped, untagged) literal.
     pub fn literal(lexical: impl Into<String>) -> Self {
-        Term::Literal { lexical: lexical.into(), datatype: None, language: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
     }
 
     /// Construct a literal with a datatype IRI.
@@ -117,7 +121,11 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Iri(v) => write!(f, "<{v}>"),
-            Term::Literal { lexical, datatype, language } => {
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
                 write!(f, "\"{}\"", escape_literal(lexical))?;
                 if let Some(lang) = language {
                     write!(f, "@{lang}")?;
@@ -211,10 +219,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Term::literal("b"),
+        let mut v = [
+            Term::literal("b"),
             Term::iri("http://a"),
             Term::literal("a"),
-            Term::iri("http://b")];
+            Term::iri("http://b"),
+        ];
         v.sort();
         // IRIs sort before literals because of enum variant order; stable and total.
         assert_eq!(v[0], Term::iri("http://a"));

@@ -79,7 +79,11 @@ pub struct Triple {
 impl Triple {
     /// Construct a triple.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
-        Self { subject, predicate, object }
+        Self {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// The component at `pos`.
@@ -174,10 +178,7 @@ mod tests {
             Term::iri("http://e.org/p"),
             Term::literal("x"),
         );
-        assert_eq!(
-            t.to_string(),
-            "<http://e.org/a> <http://e.org/p> \"x\" ."
-        );
+        assert_eq!(t.to_string(), "<http://e.org/a> <http://e.org/p> \"x\" .");
     }
 
     #[test]

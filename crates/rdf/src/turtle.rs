@@ -70,7 +70,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> TurtleError {
-        TurtleError { line: self.line, message: message.into() }
+        TurtleError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -314,11 +317,7 @@ impl<'a> Parser<'a> {
                 Some('\\') => match self.bump() {
                     Some('u') => iri.push(self.parse_unicode_escape(4)?),
                     Some('U') => iri.push(self.parse_unicode_escape(8)?),
-                    other => {
-                        return Err(
-                            self.err(format!("invalid IRI escape `\\{:?}`", other))
-                        )
-                    }
+                    other => return Err(self.err(format!("invalid IRI escape `\\{:?}`", other))),
                 },
                 Some(c) if c.is_whitespace() => {
                     return Err(self.err("whitespace inside IRI reference"))
@@ -339,7 +338,9 @@ impl<'a> Parser<'a> {
     fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, TurtleError> {
         let mut value = 0u32;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
             value = value * 16
                 + c.to_digit(16)
                     .ok_or_else(|| self.err("invalid unicode escape digit"))?;
@@ -366,8 +367,7 @@ impl<'a> Parser<'a> {
                     // Long-string closing rule: a run of n ≥ 3 quotes closes
                     // with its *last* three; the first n−3 are content
                     // (`""""` = one quote of content, then the closer).
-                    if self.peek() == Some(quote) && self.chars.get(self.pos + 1) == Some(&quote)
-                    {
+                    if self.peek() == Some(quote) && self.chars.get(self.pos + 1) == Some(&quote) {
                         if self.chars.get(self.pos + 2) == Some(&quote) {
                             lexical.push(c);
                             continue;
@@ -387,9 +387,7 @@ impl<'a> Parser<'a> {
                     Some('\\') => lexical.push('\\'),
                     Some('u') => lexical.push(self.parse_unicode_escape(4)?),
                     Some('U') => lexical.push(self.parse_unicode_escape(8)?),
-                    other => {
-                        return Err(self.err(format!("invalid string escape `\\{:?}`", other)))
-                    }
+                    other => return Err(self.err(format!("invalid string escape `\\{:?}`", other))),
                 },
                 Some(c) => {
                     if c == '\n' && !long {
@@ -596,12 +594,11 @@ mod tests {
         assert_eq!(t.object, Term::literal("plain"));
         let t = one(r#"<http://e/s> <http://e/p> "chat"@en-GB ."#);
         assert_eq!(t.object, Term::lang_literal("chat", "en-GB"));
-        let t = one(r#"<http://e/s> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> ."#);
+        let t =
+            one(r#"<http://e/s> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> ."#);
         assert_eq!(t.object, Term::typed_literal("5", vocab::XSD_INTEGER));
-        let t = one(
-            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
-             <http://e/s> <http://e/p> \"5\"^^xsd:integer .",
-        );
+        let t = one("@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             <http://e/s> <http://e/p> \"5\"^^xsd:integer .");
         assert_eq!(t.object, Term::typed_literal("5", vocab::XSD_INTEGER));
     }
 

@@ -47,13 +47,17 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `"{name}/{parameter}"`.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Just the parameter (used when the group name already identifies the
     /// function).
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -130,7 +134,12 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let config = self.clone();
-        BenchmarkGroup { _parent: self, name: name.into(), config, throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            config,
+            throughput: None,
+        }
     }
 }
 
@@ -167,7 +176,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark with an explicit input value.
-    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -210,7 +224,8 @@ impl Bencher {
                 let start = Instant::now();
                 black_box(f());
                 let once = start.elapsed().max(Duration::from_nanos(1));
-                let iters = (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+                let iters =
+                    (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
                 for _ in 0..self.sample_size {
                     let start = Instant::now();
                     for _ in 0..iters {
@@ -242,7 +257,8 @@ impl Bencher {
                 let start = Instant::now();
                 black_box(routine(input));
                 let once = start.elapsed().max(Duration::from_nanos(1));
-                let iters = (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 16) as u64;
+                let iters =
+                    (self.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 16) as u64;
                 for _ in 0..self.sample_size {
                     let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
                     let start = Instant::now();
@@ -257,7 +273,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(config: Criterion, label: String, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: Criterion,
+    label: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let sample_time = config
         .measurement_time
         .div_f64(config.sample_size as f64)

@@ -52,7 +52,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// The next 64 random bits.
@@ -113,7 +115,11 @@ pub trait Strategy: Clone {
     where
         F: Fn(&Self::Value) -> bool + Clone,
     {
-        Filter { inner: self, reason, pred }
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
     }
 
     /// Filter and map in one step (bounded retries on `None`).
@@ -121,7 +127,11 @@ pub trait Strategy: Clone {
     where
         F: Fn(Self::Value) -> Option<U> + Clone,
     {
-        FilterMap { inner: self, reason, f }
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
     }
 
     /// Recursive strategies: `self` is the leaf; `f` builds one extra level
@@ -269,7 +279,10 @@ pub struct Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone(), total: self.total }
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
     }
 }
 
@@ -441,7 +454,10 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -468,7 +484,10 @@ pub mod collection {
 
     /// A vector of `size` elements from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy for `HashSet<S::Value>`.
@@ -501,7 +520,10 @@ pub mod collection {
 
     /// A hash set of (up to) `size` elements from `element`.
     pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
-        HashSetStrategy { element, size: size.into() }
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -629,11 +651,7 @@ pub mod string {
                 };
                 // Optional {m,n} / {n} quantifier.
                 let (min, max) = if chars.get(i) == Some(&'{') {
-                    let close = chars[i..]
-                        .iter()
-                        .position(|&c| c == '}')
-                        .ok_or_else(eof)?
-                        + i;
+                    let close = chars[i..].iter().position(|&c| c == '}').ok_or_else(eof)? + i;
                     let body: String = chars[i + 1..close].iter().collect();
                     i = close + 1;
                     match body.split_once(',') {
@@ -643,7 +661,8 @@ pub mod string {
                             (lo, hi)
                         }
                         None => {
-                            let n: usize = body.trim().parse().map_err(|e| Error(format!("{e}")))?;
+                            let n: usize =
+                                body.trim().parse().map_err(|e| Error(format!("{e}")))?;
                             (n, n)
                         }
                     }
@@ -667,8 +686,10 @@ pub mod string {
                     match atom {
                         Atom::Literal(c) => out.push(*c),
                         Atom::Class(ranges) => {
-                            let total: u32 =
-                                ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                            let total: u32 = ranges
+                                .iter()
+                                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                                .sum();
                             let mut pick = (rng.next_u64() % total as u64) as u32;
                             for &(lo, hi) in ranges {
                                 let span = hi as u32 - lo as u32 + 1;
@@ -816,7 +837,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::core::result::Result::Err($crate::TestCaseError(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($lhs), stringify!($rhs), l
+                stringify!($lhs),
+                stringify!($rhs),
+                l
             )));
         }
     }};

@@ -135,7 +135,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -170,7 +172,9 @@ mod tests {
             assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
         }
         let mut c = StdRng::seed_from_u64(8);
-        let same: Vec<u32> = (0..32).map(|_| StdRng::seed_from_u64(7).random_range(0..100)).collect();
+        let same: Vec<u32> = (0..32)
+            .map(|_| StdRng::seed_from_u64(7).random_range(0..100))
+            .collect();
         let diff: Vec<u32> = (0..32).map(|_| c.random_range(0..100)).collect();
         assert_ne!(same, diff);
     }

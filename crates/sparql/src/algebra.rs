@@ -312,7 +312,10 @@ impl fmt::Display for AlgebraError {
                 write!(f, "join-query algebra does not support {what}")
             }
             AlgebraError::UnboundProjection(v) => {
-                write!(f, "projected variable ?{v} is not bound by any triple pattern")
+                write!(
+                    f,
+                    "projected variable ?{v} is not bound by any triple pattern"
+                )
             }
             AlgebraError::UnboundFilterVar(v) => {
                 write!(f, "FILTER variable ?{v} is not bound by any triple pattern")
@@ -394,7 +397,10 @@ impl JoinQuery {
                     return Err(AlgebraError::UnboundFilterVar(names[v.index()].clone()));
                 }
             }
-            order_by.push(SortKey { expr, descending: *descending });
+            order_by.push(SortKey {
+                expr,
+                descending: *descending,
+            });
         }
 
         let projection: Vec<(String, Var)> = match &query.projection {
@@ -531,10 +537,7 @@ fn lower_simple(expr: &ExprAst, var: &mut impl FnMut(&str) -> Var) -> Option<Fil
     }
 }
 
-fn lower_simple_operand(
-    expr: &ExprAst,
-    var: &mut impl FnMut(&str) -> Var,
-) -> Option<Operand> {
+fn lower_simple_operand(expr: &ExprAst, var: &mut impl FnMut(&str) -> Var) -> Option<Operand> {
     match expr {
         ExprAst::Var(n) => Some(Operand::Var(var(n))),
         ExprAst::Const(t) => Some(Operand::Const(t.clone())),
@@ -551,14 +554,10 @@ fn lower_full(
     Ok(match expr {
         ExprAst::Var(n) => Expr::Var(var(n)),
         ExprAst::Const(t) => Expr::Const(t.clone()),
-        ExprAst::Or(a, b) => Expr::Or(
-            Box::new(lower_full(a, var)?),
-            Box::new(lower_full(b, var)?),
-        ),
-        ExprAst::And(a, b) => Expr::And(
-            Box::new(lower_full(a, var)?),
-            Box::new(lower_full(b, var)?),
-        ),
+        ExprAst::Or(a, b) => Expr::Or(Box::new(lower_full(a, var)?), Box::new(lower_full(b, var)?)),
+        ExprAst::And(a, b) => {
+            Expr::And(Box::new(lower_full(a, var)?), Box::new(lower_full(b, var)?))
+        }
         ExprAst::Not(e) => Expr::Not(Box::new(lower_full(e, var)?)),
         ExprAst::Cmp { op, lhs, rhs } => Expr::Cmp {
             op: CmpOp::from_lexeme(op).expect("parser only emits valid operators"),
@@ -675,9 +674,8 @@ mod tests {
 
     #[test]
     fn unbound_filter_var_rejected() {
-        let err =
-            JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?z = 3) }")
-                .unwrap_err();
+        let err = JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?z = 3) }")
+            .unwrap_err();
         assert!(err.to_string().contains("?z"));
     }
 

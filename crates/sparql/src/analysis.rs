@@ -120,8 +120,7 @@ pub fn join_patterns_of_var(query: &JoinQuery, v: Var) -> Vec<JoinPattern> {
         }
     }
     let mut out = Vec::new();
-    let count_at =
-        |pos: TriplePos| occurrences.iter().filter(|&&p| p == pos).count();
+    let count_at = |pos: TriplePos| occurrences.iter().filter(|&&p| p == pos).count();
     let groups: Vec<(TriplePos, usize)> = TriplePos::ALL
         .into_iter()
         .map(|pos| (pos, count_at(pos)))

@@ -150,6 +150,10 @@ impl ExprAst {
     /// Convenience constructor for a variable/constant comparison, the
     /// shape the paper's Definition 3 FILTERs take.
     pub fn cmp(op: &'static str, lhs: ExprAst, rhs: ExprAst) -> ExprAst {
-        ExprAst::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        ExprAst::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 }

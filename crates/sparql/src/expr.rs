@@ -38,7 +38,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use hsp_rdf::{vocab, Term};
 
@@ -88,7 +88,11 @@ impl Value {
     pub fn from_term(term: &Term) -> Value {
         match term {
             Term::Iri(iri) => Value::Iri(iri.clone()),
-            Term::Literal { lexical, datatype, language } => {
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
                 if language.is_some() {
                     return Value::String {
                         lexical: lexical.clone(),
@@ -96,9 +100,10 @@ impl Value {
                     };
                 }
                 match datatype.as_deref() {
-                    None | Some(vocab::XSD_STRING) => {
-                        Value::String { lexical: lexical.clone(), language: None }
-                    }
+                    None | Some(vocab::XSD_STRING) => Value::String {
+                        lexical: lexical.clone(),
+                        language: None,
+                    },
                     Some(vocab::XSD_BOOLEAN) => match lexical.trim() {
                         "true" | "1" => Value::Boolean(true),
                         "false" | "0" => Value::Boolean(false),
@@ -107,15 +112,13 @@ impl Value {
                             datatype: vocab::XSD_BOOLEAN.to_string(),
                         },
                     },
-                    Some(dt @ vocab::XSD_INTEGER) => {
-                        match lexical.trim().parse::<i64>() {
-                            Ok(v) => Value::Integer(v),
-                            Err(_) => Value::Other {
-                                lexical: lexical.clone(),
-                                datatype: dt.to_string(),
-                            },
-                        }
-                    }
+                    Some(dt @ vocab::XSD_INTEGER) => match lexical.trim().parse::<i64>() {
+                        Ok(v) => Value::Integer(v),
+                        Err(_) => Value::Other {
+                            lexical: lexical.clone(),
+                            datatype: dt.to_string(),
+                        },
+                    },
                     Some(dt) if vocab::XSD_INTEGER_DERIVED.contains(&dt) => {
                         match lexical.trim().parse::<i64>() {
                             Ok(v) => Value::Integer(v),
@@ -159,10 +162,14 @@ impl Value {
             Value::Integer(i) => Term::typed_literal(i.to_string(), vocab::XSD_INTEGER),
             Value::Decimal(d) => Term::typed_literal(format_decimal(*d), vocab::XSD_DECIMAL),
             Value::Double(d) => Term::typed_literal(format_double(*d), vocab::XSD_DOUBLE),
-            Value::String { lexical, language: None } => Term::literal(lexical.clone()),
-            Value::String { lexical, language: Some(lang) } => {
-                Term::lang_literal(lexical.clone(), lang.clone())
-            }
+            Value::String {
+                lexical,
+                language: None,
+            } => Term::literal(lexical.clone()),
+            Value::String {
+                lexical,
+                language: Some(lang),
+            } => Term::lang_literal(lexical.clone(), lang.clone()),
             Value::Other { lexical, datatype } => {
                 Term::typed_literal(lexical.clone(), datatype.clone())
             }
@@ -171,7 +178,10 @@ impl Value {
 
     /// `true` if the value is numeric (integer, decimal, or double).
     pub fn is_numeric(&self) -> bool {
-        matches!(self, Value::Integer(_) | Value::Decimal(_) | Value::Double(_))
+        matches!(
+            self,
+            Value::Integer(_) | Value::Decimal(_) | Value::Double(_)
+        )
     }
 
     /// The numeric value as `f64`, if numeric.
@@ -500,10 +510,7 @@ impl Expr {
                 if *func == Func::Bound {
                     if let [Expr::Var(x)] = args.as_slice() {
                         if *x == v {
-                            *self = Expr::Const(Term::typed_literal(
-                                "true",
-                                vocab::XSD_BOOLEAN,
-                            ));
+                            *self = Expr::Const(Term::typed_literal("true", vocab::XSD_BOOLEAN));
                             return;
                         }
                     }
@@ -566,9 +573,15 @@ impl Bindings for HashMap<Var, Term> {
 
 /// An expression evaluator. Owns the compiled-`REGEX` cache so repeated
 /// row evaluations of `REGEX(?x, "…")` compile the pattern once.
+///
+/// The cache is intentionally single-threaded (`RefCell`) — an evaluator
+/// is cheap to construct, so parallel executors build **one evaluator per
+/// worker** instead of sharing one behind a lock. Cached patterns are
+/// `Arc`-wrapped (a compiled [`Regex`] is immutable data), which keeps the
+/// evaluator `Send`: it can be built on one thread and moved into a worker.
 #[derive(Default)]
 pub struct Evaluator {
-    regex_cache: RefCell<HashMap<(String, String), Rc<Regex>>>,
+    regex_cache: RefCell<HashMap<(String, String), Arc<Regex>>>,
 }
 
 impl Evaluator {
@@ -655,12 +668,7 @@ impl Evaluator {
         }
     }
 
-    fn eval_call(
-        &self,
-        func: Func,
-        args: &[Expr],
-        b: &dyn Bindings,
-    ) -> Result<Value, ExprError> {
+    fn eval_call(&self, func: Func, args: &[Expr], b: &dyn Bindings) -> Result<Value, ExprError> {
         let (min, max) = func.arity();
         if args.len() < min || args.len() > max {
             return Err(ExprError::Type("wrong number of arguments"));
@@ -672,7 +680,10 @@ impl Evaluator {
             },
             Func::Str => {
                 let t = self.eval_term(&args[0], b)?;
-                Ok(Value::String { lexical: t.lexical().to_string(), language: None })
+                Ok(Value::String {
+                    lexical: t.lexical().to_string(),
+                    language: None,
+                })
             }
             Func::Lang => {
                 let t = self.eval_term(&args[0], b)?;
@@ -687,9 +698,9 @@ impl Evaluator {
             Func::Datatype => {
                 let t = self.eval_term(&args[0], b)?;
                 match t {
-                    Term::Literal { language: Some(_), .. } => {
-                        Ok(Value::Iri(vocab::RDF_LANG_STRING.to_string()))
-                    }
+                    Term::Literal {
+                        language: Some(_), ..
+                    } => Ok(Value::Iri(vocab::RDF_LANG_STRING.to_string())),
                     Term::Literal { datatype, .. } => Ok(Value::Iri(
                         datatype.unwrap_or_else(|| vocab::XSD_STRING.to_string()),
                     )),
@@ -790,7 +801,10 @@ impl Evaluator {
         what: &'static str,
     ) -> Result<String, ExprError> {
         match self.eval(expr, b)? {
-            Value::String { lexical, language: None } => Ok(lexical),
+            Value::String {
+                lexical,
+                language: None,
+            } => Ok(lexical),
             _ => Err(ExprError::Type(what)),
         }
     }
@@ -807,8 +821,14 @@ impl Evaluator {
         let vc = self.eval(c, b)?;
         match (va, vc) {
             (
-                Value::String { lexical: la, language: ta },
-                Value::String { lexical: lc, language: tc },
+                Value::String {
+                    lexical: la,
+                    language: ta,
+                },
+                Value::String {
+                    lexical: lc,
+                    language: tc,
+                },
             ) => {
                 let compatible = tc.is_none() || tc == ta;
                 if compatible {
@@ -821,16 +841,15 @@ impl Evaluator {
         }
     }
 
-    fn compiled(&self, pattern: &str, flags: &str) -> Result<Rc<Regex>, ExprError> {
+    fn compiled(&self, pattern: &str, flags: &str) -> Result<Arc<Regex>, ExprError> {
         let key = (pattern.to_string(), flags.to_string());
         if let Some(re) = self.regex_cache.borrow().get(&key) {
-            return Ok(Rc::clone(re));
+            return Ok(Arc::clone(re));
         }
-        let re = Rc::new(
-            Regex::new(pattern, flags)
-                .map_err(|e: RegexError| ExprError::Regex(e.to_string()))?,
+        let re = Arc::new(
+            Regex::new(pattern, flags).map_err(|e: RegexError| ExprError::Regex(e.to_string()))?,
         );
-        self.regex_cache.borrow_mut().insert(key, Rc::clone(&re));
+        self.regex_cache.borrow_mut().insert(key, Arc::clone(&re));
         Ok(re)
     }
 }
@@ -964,11 +983,26 @@ pub fn compare_values(op: CmpOp, l: &Value, r: &Value) -> Result<bool, ExprError
             }
             (Value::Boolean(a), Value::Boolean(b)) => Ok(a == b),
             (
-                Value::String { lexical: a, language: la },
-                Value::String { lexical: b, language: lb },
+                Value::String {
+                    lexical: a,
+                    language: la,
+                },
+                Value::String {
+                    lexical: b,
+                    language: lb,
+                },
             ) => Ok(a == b && la == lb),
             (Value::Iri(a), Value::Iri(b)) => Ok(a == b),
-            (Value::Other { lexical: a, datatype: da }, Value::Other { lexical: b, datatype: db }) => {
+            (
+                Value::Other {
+                    lexical: a,
+                    datatype: da,
+                },
+                Value::Other {
+                    lexical: b,
+                    datatype: db,
+                },
+            ) => {
                 if a == b && da == db {
                     Ok(true)
                 } else {
@@ -991,8 +1025,14 @@ pub fn compare_values(op: CmpOp, l: &Value, r: &Value) -> Result<bool, ExprError
             }
         }
         (
-            Value::String { lexical: a, language: None },
-            Value::String { lexical: b, language: None },
+            Value::String {
+                lexical: a,
+                language: None,
+            },
+            Value::String {
+                lexical: b,
+                language: None,
+            },
         ) => a.as_str().cmp(b.as_str()),
         (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
         _ => return Err(ExprError::Type("order comparison on incompatible types")),
@@ -1037,12 +1077,24 @@ pub fn compare_for_order(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Orde
         }
         (Some(Value::Boolean(x)), Some(Value::Boolean(y))) => x.cmp(y),
         (
-            Some(Value::String { lexical: x, language: lx }),
-            Some(Value::String { lexical: y, language: ly }),
+            Some(Value::String {
+                lexical: x,
+                language: lx,
+            }),
+            Some(Value::String {
+                lexical: y,
+                language: ly,
+            }),
         ) => x.cmp(y).then_with(|| lx.cmp(ly)),
         (
-            Some(Value::Other { lexical: x, datatype: dx }),
-            Some(Value::Other { lexical: y, datatype: dy }),
+            Some(Value::Other {
+                lexical: x,
+                datatype: dx,
+            }),
+            Some(Value::Other {
+                lexical: y,
+                datatype: dy,
+            }),
         ) => dx.cmp(dy).then_with(|| x.cmp(y)),
         _ => unreachable!("equal ranks imply matching variants"),
     }
@@ -1081,6 +1133,15 @@ impl fmt::Display for Expr {
 mod tests {
     use super::*;
 
+    /// The engine's morsel-parallel FILTER constructs one evaluator per
+    /// worker; that requires `Evaluator: Send` (the regex cache holds
+    /// `Arc`s over immutable compiled programs).
+    #[test]
+    fn evaluator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Evaluator>();
+    }
+
     fn ev() -> Evaluator {
         Evaluator::new()
     }
@@ -1102,7 +1163,11 @@ mod tests {
     }
 
     fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
-        Expr::Cmp { op, lhs: Box::new(l), rhs: Box::new(r) }
+        Expr::Cmp {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
     }
 
     fn call(func: Func, args: Vec<Expr>) -> Expr {
@@ -1151,11 +1216,19 @@ mod tests {
         assert_eq!(Value::Integer(3).effective_boolean(), Ok(true));
         assert_eq!(Value::Double(f64::NAN).effective_boolean(), Ok(false));
         assert_eq!(
-            Value::String { lexical: "".into(), language: None }.effective_boolean(),
+            Value::String {
+                lexical: "".into(),
+                language: None
+            }
+            .effective_boolean(),
             Ok(false)
         );
         assert_eq!(
-            Value::String { lexical: "x".into(), language: None }.effective_boolean(),
+            Value::String {
+                lexical: "x".into(),
+                language: None
+            }
+            .effective_boolean(),
             Ok(true)
         );
         assert!(Value::Iri("http://e/x".into()).effective_boolean().is_err());
@@ -1174,17 +1247,28 @@ mod tests {
 
     #[test]
     fn string_comparison_is_codepoint() {
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Lt, s("abc"), s("abd")), &no_bindings()), Ok(true));
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Gt, s("b"), s("a")), &no_bindings()), Ok(true));
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Lt, s("abc"), s("abd")), &no_bindings()),
+            Ok(true)
+        );
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Gt, s("b"), s("a")), &no_bindings()),
+            Ok(true)
+        );
     }
 
     #[test]
     fn iri_order_comparison_is_type_error() {
         let a = Expr::Const(Term::iri("http://e/a"));
         let b = Expr::Const(Term::iri("http://e/b"));
-        assert!(ev().eval(&cmp(CmpOp::Lt, a.clone(), b.clone()), &no_bindings()).is_err());
+        assert!(ev()
+            .eval(&cmp(CmpOp::Lt, a.clone(), b.clone()), &no_bindings())
+            .is_err());
         // but equality works
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Ne, a, b), &no_bindings()), Ok(true));
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Ne, a, b), &no_bindings()),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -1197,24 +1281,49 @@ mod tests {
     fn lang_tags_participate_in_equality() {
         let en = Expr::Const(Term::lang_literal("chat", "en"));
         let fr = Expr::Const(Term::lang_literal("chat", "fr"));
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Eq, en.clone(), fr), &no_bindings()), Ok(false));
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Eq, en.clone(), fr), &no_bindings()),
+            Ok(false)
+        );
         let en2 = Expr::Const(Term::lang_literal("chat", "EN"));
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Eq, en, en2), &no_bindings()), Ok(true));
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Eq, en, en2), &no_bindings()),
+            Ok(true)
+        );
     }
 
     #[test]
     fn arithmetic_promotion_and_division() {
-        let e = Expr::Arith { op: ArithOp::Add, lhs: Box::new(int(2)), rhs: Box::new(int(3)) };
+        let e = Expr::Arith {
+            op: ArithOp::Add,
+            lhs: Box::new(int(2)),
+            rhs: Box::new(int(3)),
+        };
         assert_eq!(ev().eval(&e, &no_bindings()), Ok(Value::Integer(5)));
         // Integer division promotes to decimal.
-        let e = Expr::Arith { op: ArithOp::Div, lhs: Box::new(int(7)), rhs: Box::new(int(2)) };
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            lhs: Box::new(int(7)),
+            rhs: Box::new(int(2)),
+        };
         assert_eq!(ev().eval(&e, &no_bindings()), Ok(Value::Decimal(3.5)));
         // Exact division by zero errors…
-        let e = Expr::Arith { op: ArithOp::Div, lhs: Box::new(int(1)), rhs: Box::new(int(0)) };
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            lhs: Box::new(int(1)),
+            rhs: Box::new(int(0)),
+        };
         assert!(ev().eval(&e, &no_bindings()).is_err());
         // …double division by zero gives INF.
-        let e = Expr::Arith { op: ArithOp::Div, lhs: Box::new(dbl("1")), rhs: Box::new(dbl("0")) };
-        assert_eq!(ev().eval(&e, &no_bindings()), Ok(Value::Double(f64::INFINITY)));
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            lhs: Box::new(dbl("1")),
+            rhs: Box::new(dbl("0")),
+        };
+        assert_eq!(
+            ev().eval(&e, &no_bindings()),
+            Ok(Value::Double(f64::INFINITY))
+        );
     }
 
     #[test]
@@ -1224,7 +1333,10 @@ mod tests {
             lhs: Box::new(int(i64::MAX)),
             rhs: Box::new(int(2)),
         };
-        assert!(matches!(ev().eval(&e, &no_bindings()), Err(ExprError::Arithmetic(_))));
+        assert!(matches!(
+            ev().eval(&e, &no_bindings()),
+            Err(ExprError::Arithmetic(_))
+        ));
     }
 
     #[test]
@@ -1267,12 +1379,18 @@ mod tests {
         let e = call(Func::Str, vec![five]);
         assert_eq!(
             ev().eval(&e, &no_bindings()),
-            Ok(Value::String { lexical: "05".into(), language: None })
+            Ok(Value::String {
+                lexical: "05".into(),
+                language: None
+            })
         );
         let iri = call(Func::Str, vec![Expr::Const(Term::iri("http://e/x"))]);
         assert_eq!(
             ev().eval(&iri, &no_bindings()),
-            Ok(Value::String { lexical: "http://e/x".into(), language: None })
+            Ok(Value::String {
+                lexical: "http://e/x".into(),
+                language: None
+            })
         );
     }
 
@@ -1281,12 +1399,18 @@ mod tests {
         let tagged = Expr::Const(Term::lang_literal("chat", "en"));
         assert_eq!(
             ev().eval(&call(Func::Lang, vec![tagged.clone()]), &no_bindings()),
-            Ok(Value::String { lexical: "en".into(), language: None })
+            Ok(Value::String {
+                lexical: "en".into(),
+                language: None
+            })
         );
         let plain = s("x");
         assert_eq!(
             ev().eval(&call(Func::Lang, vec![plain.clone()]), &no_bindings()),
-            Ok(Value::String { lexical: "".into(), language: None })
+            Ok(Value::String {
+                lexical: "".into(),
+                language: None
+            })
         );
         assert_eq!(
             ev().eval(&call(Func::Datatype, vec![plain]), &no_bindings()),
@@ -1305,11 +1429,26 @@ mod tests {
     #[test]
     fn is_functions() {
         let iri = Expr::Const(Term::iri("http://e/x"));
-        assert_eq!(ev().eval_ebv(&call(Func::IsIri, vec![iri.clone()]), &no_bindings()), Ok(true));
-        assert_eq!(ev().eval_ebv(&call(Func::IsLiteral, vec![iri.clone()]), &no_bindings()), Ok(false));
-        assert_eq!(ev().eval_ebv(&call(Func::IsBlank, vec![iri]), &no_bindings()), Ok(false));
-        assert_eq!(ev().eval_ebv(&call(Func::IsNumeric, vec![int(1)]), &no_bindings()), Ok(true));
-        assert_eq!(ev().eval_ebv(&call(Func::IsNumeric, vec![s("1x")]), &no_bindings()), Ok(false));
+        assert_eq!(
+            ev().eval_ebv(&call(Func::IsIri, vec![iri.clone()]), &no_bindings()),
+            Ok(true)
+        );
+        assert_eq!(
+            ev().eval_ebv(&call(Func::IsLiteral, vec![iri.clone()]), &no_bindings()),
+            Ok(false)
+        );
+        assert_eq!(
+            ev().eval_ebv(&call(Func::IsBlank, vec![iri]), &no_bindings()),
+            Ok(false)
+        );
+        assert_eq!(
+            ev().eval_ebv(&call(Func::IsNumeric, vec![int(1)]), &no_bindings()),
+            Ok(true)
+        );
+        assert_eq!(
+            ev().eval_ebv(&call(Func::IsNumeric, vec![s("1x")]), &no_bindings()),
+            Ok(false)
+        );
     }
 
     #[test]
@@ -1318,17 +1457,21 @@ mod tests {
         let a = Expr::Const(Term::typed_literal("05", vocab::XSD_INTEGER));
         let b = int(5);
         assert_eq!(
-            ev().eval_ebv(&call(Func::SameTerm, vec![a.clone(), b.clone()]), &no_bindings()),
+            ev().eval_ebv(
+                &call(Func::SameTerm, vec![a.clone(), b.clone()]),
+                &no_bindings()
+            ),
             Ok(false)
         );
-        assert_eq!(ev().eval_ebv(&cmp(CmpOp::Eq, a, b), &no_bindings()), Ok(true));
+        assert_eq!(
+            ev().eval_ebv(&cmp(CmpOp::Eq, a, b), &no_bindings()),
+            Ok(true)
+        );
     }
 
     #[test]
     fn langmatches_basic_filtering() {
-        let e = |tag: &str, range: &str| {
-            call(Func::LangMatches, vec![s(tag), s(range)])
-        };
+        let e = |tag: &str, range: &str| call(Func::LangMatches, vec![s(tag), s(range)]);
         assert_eq!(ev().eval_ebv(&e("en", "en"), &no_bindings()), Ok(true));
         assert_eq!(ev().eval_ebv(&e("en-GB", "en"), &no_bindings()), Ok(true));
         assert_eq!(ev().eval_ebv(&e("en", "en-GB"), &no_bindings()), Ok(false));
@@ -1348,34 +1491,51 @@ mod tests {
         let ci = call(Func::Regex, vec![s("JOURNAL"), s("journal"), s("i")]);
         assert_eq!(evl.eval_ebv(&ci, &no_bindings()), Ok(true));
         let bad = call(Func::Regex, vec![s("x"), s("(")]);
-        assert!(matches!(evl.eval(&bad, &no_bindings()), Err(ExprError::Regex(_))));
+        assert!(matches!(
+            evl.eval(&bad, &no_bindings()),
+            Err(ExprError::Regex(_))
+        ));
     }
 
     #[test]
     fn string_predicates() {
         assert_eq!(
-            ev().eval_ebv(&call(Func::StrStarts, vec![s("Journal 1"), s("Jour")]), &no_bindings()),
+            ev().eval_ebv(
+                &call(Func::StrStarts, vec![s("Journal 1"), s("Jour")]),
+                &no_bindings()
+            ),
             Ok(true)
         );
         assert_eq!(
-            ev().eval_ebv(&call(Func::StrEnds, vec![s("Journal 1"), s("1")]), &no_bindings()),
+            ev().eval_ebv(
+                &call(Func::StrEnds, vec![s("Journal 1"), s("1")]),
+                &no_bindings()
+            ),
             Ok(true)
         );
         assert_eq!(
-            ev().eval_ebv(&call(Func::Contains, vec![s("Journal 1"), s("nal")]), &no_bindings()),
+            ev().eval_ebv(
+                &call(Func::Contains, vec![s("Journal 1"), s("nal")]),
+                &no_bindings()
+            ),
             Ok(true)
         );
         // Incompatible language tags error out.
         let a = Expr::Const(Term::lang_literal("chat", "en"));
         let b = Expr::Const(Term::lang_literal("ch", "fr"));
-        assert!(ev().eval(&call(Func::StrStarts, vec![a, b]), &no_bindings()).is_err());
+        assert!(ev()
+            .eval(&call(Func::StrStarts, vec![a, b]), &no_bindings())
+            .is_err());
     }
 
     #[test]
     fn string_transforms() {
         assert_eq!(
             ev().eval(&call(Func::UCase, vec![s("abc")]), &no_bindings()),
-            Ok(Value::String { lexical: "ABC".into(), language: None })
+            Ok(Value::String {
+                lexical: "ABC".into(),
+                language: None
+            })
         );
         assert_eq!(
             ev().eval(&call(Func::StrLen, vec![s("héllo")]), &no_bindings()),
@@ -1385,7 +1545,10 @@ mod tests {
 
     #[test]
     fn numeric_functions() {
-        assert_eq!(ev().eval(&call(Func::Abs, vec![int(-3)]), &no_bindings()), Ok(Value::Integer(3)));
+        assert_eq!(
+            ev().eval(&call(Func::Abs, vec![int(-3)]), &no_bindings()),
+            Ok(Value::Integer(3))
+        );
         assert_eq!(
             ev().eval(&call(Func::Ceil, vec![dbl("2.2")]), &no_bindings()),
             Ok(Value::Double(3.0))
@@ -1408,7 +1571,9 @@ mod tests {
     fn unary_minus() {
         let e = Expr::Neg(Box::new(int(5)));
         assert_eq!(ev().eval(&e, &no_bindings()), Ok(Value::Integer(-5)));
-        assert!(ev().eval(&Expr::Neg(Box::new(s("x"))), &no_bindings()).is_err());
+        assert!(ev()
+            .eval(&Expr::Neg(Box::new(s("x"))), &no_bindings())
+            .is_err());
     }
 
     #[test]
@@ -1424,7 +1589,10 @@ mod tests {
             Box::new(cmp(CmpOp::Ge, Expr::Var(Var(0)), int(1940))),
             Box::new(call(Func::Regex, vec![Expr::Var(Var(1)), s("^J")])),
         );
-        assert_eq!(e.to_string(), "((?v0 >= \"1940\"^^<http://www.w3.org/2001/XMLSchema#integer>) && REGEX(?v1, \"^J\"))");
+        assert_eq!(
+            e.to_string(),
+            "((?v0 >= \"1940\"^^<http://www.w3.org/2001/XMLSchema#integer>) && REGEX(?v1, \"^J\"))"
+        );
     }
 
     #[test]

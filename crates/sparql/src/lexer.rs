@@ -76,17 +76,52 @@ impl std::error::Error for LexError {}
 
 const KEYWORDS: &[&str] = &[
     // Query form.
-    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "PREFIX", "OPTIONAL", "UNION", "ASK",
+    "SELECT",
+    "DISTINCT",
+    "REDUCED",
+    "WHERE",
+    "FILTER",
+    "PREFIX",
+    "OPTIONAL",
+    "UNION",
+    "ASK",
     // Solution modifiers.
-    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
     // Updates.
-    "INSERT", "DELETE", "DATA",
+    "INSERT",
+    "DELETE",
+    "DATA",
     // Boolean literals.
-    "TRUE", "FALSE",
+    "TRUE",
+    "FALSE",
     // Built-in functions (expression grammar).
-    "BOUND", "STR", "LANG", "DATATYPE", "ISIRI", "ISURI", "ISLITERAL", "ISBLANK",
-    "ISNUMERIC", "SAMETERM", "LANGMATCHES", "REGEX", "STRSTARTS", "STRENDS",
-    "CONTAINS", "STRLEN", "UCASE", "LCASE", "ABS", "CEIL", "FLOOR", "ROUND",
+    "BOUND",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISBLANK",
+    "ISNUMERIC",
+    "SAMETERM",
+    "LANGMATCHES",
+    "REGEX",
+    "STRSTARTS",
+    "STRENDS",
+    "CONTAINS",
+    "STRLEN",
+    "UCASE",
+    "LCASE",
+    "ABS",
+    "CEIL",
+    "FLOOR",
+    "ROUND",
 ];
 
 /// Tokenise a query string. The returned vector always ends with
@@ -118,19 +153,31 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     '-' => "-",
                     _ => "/",
                 };
-                tokens.push(Token { kind: TokenKind::Punct(p), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Punct("="), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Punct("="),
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct("!="), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("!="),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct("!"), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("!"),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -139,39 +186,66 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 // whitespace, so look ahead for a closing '>' before any space.
                 if let Some(end) = scan_iri_end(input, i) {
                     let iri = &input[i + 1..end];
-                    tokens.push(Token { kind: TokenKind::Iri(iri.to_string()), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Iri(iri.to_string()),
+                        offset: i,
+                    });
                     i = end + 1;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct("<="), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("<="),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct("<"), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("<"),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct(">="), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(">="),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct(">"), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(">"),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::Punct("&&"), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("&&"),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected `&&`".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected `&&`".into(),
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::Punct("||"), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("||"),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected `||`".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected `||`".into(),
+                    });
                 }
             }
             '?' | '$' => {
@@ -181,7 +255,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { offset: i, message: "empty variable name".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty variable name".into(),
+                    });
                 }
                 tokens.push(Token {
                     kind: TokenKind::Var(input[start..j].to_string()),
@@ -191,15 +268,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '"' => {
                 let (tok, next) = scan_literal(input, i)?;
-                tokens.push(Token { kind: tok, offset: i });
+                tokens.push(Token {
+                    kind: tok,
+                    offset: i,
+                });
                 i = next;
             }
             c if c.is_ascii_digit() => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     // A '.' followed by non-digit terminates the number (it is
                     // the triple terminator).
                     if bytes[j] == b'.'
@@ -254,12 +332,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     });
                     i = k;
                 } else if word == "a" {
-                    tokens.push(Token { kind: TokenKind::A, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::A,
+                        offset: start,
+                    });
                     i = j;
                 } else {
                     let upper = word.to_ascii_uppercase();
                     if KEYWORDS.contains(&upper.as_str()) {
-                        tokens.push(Token { kind: TokenKind::Keyword(upper), offset: start });
+                        tokens.push(Token {
+                            kind: TokenKind::Keyword(upper),
+                            offset: start,
+                        });
                         i = j;
                     } else {
                         return Err(LexError {
@@ -290,7 +374,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -330,9 +417,10 @@ fn scan_literal(input: &str, start: usize) -> Result<(TokenKind, usize), LexErro
                 break;
             }
             Some(b'\\') => {
-                let esc = bytes
-                    .get(j + 1)
-                    .ok_or_else(|| LexError { offset: j, message: "dangling escape".into() })?;
+                let esc = bytes.get(j + 1).ok_or_else(|| LexError {
+                    offset: j,
+                    message: "dangling escape".into(),
+                })?;
                 lexical.push(match esc {
                     b'"' => '"',
                     b'\\' => '\\',
@@ -354,7 +442,10 @@ fn scan_literal(input: &str, start: usize) -> Result<(TokenKind, usize), LexErro
                 j += c.len_utf8();
             }
             None => {
-                return Err(LexError { offset: start, message: "unterminated literal".into() })
+                return Err(LexError {
+                    offset: start,
+                    message: "unterminated literal".into(),
+                })
             }
         }
     }
@@ -366,7 +457,10 @@ fn scan_literal(input: &str, start: usize) -> Result<(TokenKind, usize), LexErro
             k += 1;
         }
         if k == lang_start {
-            return Err(LexError { offset: j, message: "empty language tag".into() });
+            return Err(LexError {
+                offset: j,
+                message: "empty language tag".into(),
+            });
         }
         return Ok((
             TokenKind::Literal {
@@ -380,10 +474,15 @@ fn scan_literal(input: &str, start: usize) -> Result<(TokenKind, usize), LexErro
     if bytes.get(j) == Some(&b'^') && bytes.get(j + 1) == Some(&b'^') {
         let iri_start = j + 2;
         if bytes.get(iri_start) != Some(&b'<') {
-            return Err(LexError { offset: j, message: "expected `<` after `^^`".into() });
+            return Err(LexError {
+                offset: j,
+                message: "expected `<` after `^^`".into(),
+            });
         }
-        let end = scan_iri_end(input, iri_start)
-            .ok_or_else(|| LexError { offset: iri_start, message: "unterminated datatype IRI".into() })?;
+        let end = scan_iri_end(input, iri_start).ok_or_else(|| LexError {
+            offset: iri_start,
+            message: "unterminated datatype IRI".into(),
+        })?;
         return Ok((
             TokenKind::Literal {
                 lexical,
@@ -393,7 +492,14 @@ fn scan_literal(input: &str, start: usize) -> Result<(TokenKind, usize), LexErro
             end + 1,
         ));
     }
-    Ok((TokenKind::Literal { lexical, language: None, datatype: None }, j))
+    Ok((
+        TokenKind::Literal {
+            lexical,
+            language: None,
+            datatype: None,
+        },
+        j,
+    ))
 }
 
 #[cfg(test)]
@@ -401,7 +507,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -438,11 +548,19 @@ mod tests {
         let ks = kinds(r#""plain" "x"@en "5"^^<http://w3/int>"#);
         assert_eq!(
             ks[0],
-            TokenKind::Literal { lexical: "plain".into(), language: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "plain".into(),
+                language: None,
+                datatype: None
+            }
         );
         assert_eq!(
             ks[1],
-            TokenKind::Literal { lexical: "x".into(), language: Some("en".into()), datatype: None }
+            TokenKind::Literal {
+                lexical: "x".into(),
+                language: Some("en".into()),
+                datatype: None
+            }
         );
         assert_eq!(
             ks[2],
@@ -459,7 +577,11 @@ mod tests {
         let ks = kinds(r#""a\"b\\c\nd""#);
         assert_eq!(
             ks[0],
-            TokenKind::Literal { lexical: "a\"b\\c\nd".into(), language: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "a\"b\\c\nd".into(),
+                language: None,
+                datatype: None
+            }
         );
     }
 
@@ -476,7 +598,10 @@ mod tests {
         let ks = kinds("?x ?p 42 . ?y ?q 3.5 .");
         assert!(ks.contains(&TokenKind::Number("42".into())));
         assert!(ks.contains(&TokenKind::Number("3.5".into())));
-        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Punct(".")).count(), 2);
+        assert_eq!(
+            ks.iter().filter(|k| **k == TokenKind::Punct(".")).count(),
+            2
+        );
     }
 
     #[test]

@@ -29,14 +29,21 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { offset: e.offset, message: e.message }
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
     }
 }
 
 /// Parse a SPARQL query string into an AST.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
     parser.parse()
 }
 
@@ -44,7 +51,11 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
 /// `DELETE WHERE`, separated by `;`).
 pub fn parse_update(input: &str) -> Result<UpdateRequest, ParseError> {
     let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
     parser.parse_update()
 }
 
@@ -224,12 +235,16 @@ impl Parser {
             if self.at_keyword("INSERT") {
                 self.advance();
                 self.expect_keyword("DATA")?;
-                ops.push(UpdateOp::InsertData(self.parse_ground_block("INSERT DATA")?));
+                ops.push(UpdateOp::InsertData(
+                    self.parse_ground_block("INSERT DATA")?,
+                ));
             } else if self.at_keyword("DELETE") {
                 self.advance();
                 if self.at_keyword("DATA") {
                     self.advance();
-                    ops.push(UpdateOp::DeleteData(self.parse_ground_block("DELETE DATA")?));
+                    ops.push(UpdateOp::DeleteData(
+                        self.parse_ground_block("DELETE DATA")?,
+                    ));
                 } else if self.at_keyword("WHERE") {
                     self.advance();
                     ops.push(UpdateOp::DeleteWhere(self.parse_group()?));
@@ -240,10 +255,7 @@ impl Parser {
                     )));
                 }
             } else {
-                return Err(self.err(format!(
-                    "expected INSERT or DELETE, found {}",
-                    self.peek()
-                )));
+                return Err(self.err(format!("expected INSERT or DELETE, found {}", self.peek())));
             }
             if self.at_punct(";") {
                 self.advance();
@@ -260,10 +272,7 @@ impl Parser {
 
     /// A `{ … }` block of *ground* triples (no variables, no FILTER /
     /// OPTIONAL / UNION) for `INSERT DATA` / `DELETE DATA`.
-    fn parse_ground_block(
-        &mut self,
-        context: &str,
-    ) -> Result<Vec<TriplePatternAst>, ParseError> {
+    fn parse_ground_block(&mut self, context: &str) -> Result<Vec<TriplePatternAst>, ParseError> {
         let offset = self.tokens[self.pos].offset;
         let group = self.parse_group()?;
         let mut triples = Vec::with_capacity(group.elements.len());
@@ -422,13 +431,19 @@ impl Parser {
                 Ok(Term::iri(iri))
             }
             TokenKind::Prefixed(prefix, local) => {
-                let base = self.prefixes.get(&prefix).cloned().ok_or_else(|| {
-                    self.err(format!("undeclared prefix `{prefix}:`"))
-                })?;
+                let base = self
+                    .prefixes
+                    .get(&prefix)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("undeclared prefix `{prefix}:`")))?;
                 self.advance();
                 Ok(Term::iri(format!("{base}{local}")))
             }
-            TokenKind::Literal { lexical, language, datatype } => {
+            TokenKind::Literal {
+                lexical,
+                language,
+                datatype,
+            } => {
                 self.advance();
                 Ok(match (language, datatype) {
                     (Some(lang), _) => Term::lang_literal(lexical, lang),
@@ -492,7 +507,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.parse_additive_expr()?;
-        Ok(ExprAst::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(ExprAst::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     /// `additive := multiplicative (('+'|'-') multiplicative)*`
@@ -506,7 +525,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_multiplicative_expr()?;
-            lhs = ExprAst::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -522,7 +545,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_unary_expr()?;
-            lhs = ExprAst::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -634,7 +661,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { offset: self.tokens[self.pos].offset, message: message.into() }
+        ParseError {
+            offset: self.tokens[self.pos].offset,
+            message: message.into(),
+        }
     }
 }
 
@@ -672,7 +702,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(q.projection, Some(vec!["yr".to_string(), "jrnl".to_string()]));
+        assert_eq!(
+            q.projection,
+            Some(vec!["yr".to_string(), "jrnl".to_string()])
+        );
         assert_eq!(triples(&q).len(), 4);
         assert_eq!(
             triples(&q)[0].predicate,
@@ -705,10 +738,8 @@ mod tests {
 
     #[test]
     fn predicate_object_list_sugar() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x <http://e/p> ?a ; <http://e/q> ?b , ?c . }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <http://e/p> ?a ; <http://e/q> ?b , ?c . }").unwrap();
         let ts = triples(&q);
         assert_eq!(ts.len(), 3);
         assert!(ts.iter().all(|t| t.subject == NodeAst::Var("x".into())));
@@ -814,9 +845,7 @@ mod tests {
 
     #[test]
     fn parses_function_calls() {
-        let f = first_filter(
-            r#"SELECT ?x WHERE { ?x ?p ?n . FILTER regex(?n, "^ali", "i") }"#,
-        );
+        let f = first_filter(r#"SELECT ?x WHERE { ?x ?p ?n . FILTER regex(?n, "^ali", "i") }"#);
         match f {
             ExprAst::Call { func, args } => {
                 assert_eq!(func, "REGEX");
@@ -836,9 +865,7 @@ mod tests {
 
     #[test]
     fn negation_binds_tighter_than_and() {
-        let f = first_filter(
-            "SELECT ?x WHERE { ?x ?p ?o . FILTER (!bound(?x) && ?o > 3) }",
-        );
+        let f = first_filter("SELECT ?x WHERE { ?x ?p ?o . FILTER (!bound(?x) && ?o > 3) }");
         match f {
             ExprAst::And(lhs, _) => assert!(matches!(*lhs, ExprAst::Not(_))),
             other => panic!("expected And, got {other:?}"),
@@ -851,7 +878,11 @@ mod tests {
         let f = first_filter("SELECT ?x WHERE { ?x ?p ?o . FILTER (?o = 1 + 2 * 3) }");
         match f {
             ExprAst::Cmp { rhs, .. } => match *rhs {
-                ExprAst::Arith { op: '+', rhs: ref mul, .. } => {
+                ExprAst::Arith {
+                    op: '+',
+                    rhs: ref mul,
+                    ..
+                } => {
                     assert!(matches!(**mul, ExprAst::Arith { op: '*', .. }))
                 }
                 ref other => panic!("expected +, got {other:?}"),
@@ -890,7 +921,11 @@ mod tests {
         let f = first_filter("SELECT ?x WHERE { ?x ?p ?o . FILTER (?o = true) }");
         match f {
             ExprAst::Cmp { rhs, .. } => match *rhs {
-                ExprAst::Const(Term::Literal { ref lexical, ref datatype, .. }) => {
+                ExprAst::Const(Term::Literal {
+                    ref lexical,
+                    ref datatype,
+                    ..
+                }) => {
                     assert_eq!(lexical, "true");
                     assert_eq!(datatype.as_deref(), Some(hsp_rdf::vocab::XSD_BOOLEAN));
                 }
@@ -916,9 +951,7 @@ mod tests {
 
     #[test]
     fn nested_function_calls() {
-        let f = first_filter(
-            r#"SELECT ?x WHERE { ?x ?p ?o . FILTER (strlen(str(?o)) > 3) }"#,
-        );
+        let f = first_filter(r#"SELECT ?x WHERE { ?x ?p ?o . FILTER (strlen(str(?o)) > 3) }"#);
         match f {
             ExprAst::Cmp { lhs, .. } => match *lhs {
                 ExprAst::Call { ref func, ref args } => {
@@ -934,16 +967,14 @@ mod tests {
     #[test]
     fn wrong_arity_is_rejected_at_lowering() {
         use crate::algebra::JoinQuery;
-        let err = JoinQuery::parse("SELECT ?x WHERE { ?x ?p ?o . FILTER bound(?x, ?o) }")
-            .unwrap_err();
+        let err =
+            JoinQuery::parse("SELECT ?x WHERE { ?x ?p ?o . FILTER bound(?x, ?o) }").unwrap_err();
         assert!(err.to_string().contains("arguments"));
     }
 
     #[test]
     fn filter_comparison_of_two_calls() {
-        let f = first_filter(
-            "SELECT ?x WHERE { ?x ?p ?o . FILTER (lang(?o) = lang(?x)) }",
-        );
+        let f = first_filter("SELECT ?x WHERE { ?x ?p ?o . FILTER (lang(?o) = lang(?x)) }");
         assert!(matches!(f, ExprAst::Cmp { .. }));
     }
 
@@ -951,10 +982,9 @@ mod tests {
 
     #[test]
     fn parses_order_by_limit_offset() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x ?p ?o . } ORDER BY ?o DESC(?x) LIMIT 10 OFFSET 5",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x ?p ?o . } ORDER BY ?o DESC(?x) LIMIT 10 OFFSET 5")
+                .unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.order_by[0], (ExprAst::Var("o".into()), false));
         assert_eq!(q.order_by[1], (ExprAst::Var("x".into()), true));
@@ -971,10 +1001,7 @@ mod tests {
 
     #[test]
     fn order_by_expression_keys() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x ?p ?o . } ORDER BY ASC(str(?o)) (?o)",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x ?p ?o . } ORDER BY ASC(str(?o)) (?o)").unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert!(matches!(q.order_by[0].0, ExprAst::Call { .. }));
         assert_eq!(q.order_by[1], (ExprAst::Var("o".into()), false));
@@ -1015,8 +1042,8 @@ mod tests {
     fn parses_ask_form() {
         let q = parse_query("ASK { ?x ?p ?o . }").unwrap();
         assert!(q.ask);
-        let q = parse_query("ASK WHERE { ?x a <http://e/C> . FILTER (?x != <http://e/x>) }")
-            .unwrap();
+        let q =
+            parse_query("ASK WHERE { ?x a <http://e/C> . FILTER (?x != <http://e/x>) }").unwrap();
         assert!(q.ask);
         assert!(parse_query("ASK ?x { ?x ?p ?o . }").is_err());
     }
@@ -1057,10 +1084,8 @@ mod tests {
 
     #[test]
     fn data_blocks_reject_filters() {
-        let err = parse_update(
-            "DELETE DATA { <http://e/a> <http://e/p> \"x\" . FILTER (1 = 1) }",
-        )
-        .unwrap_err();
+        let err = parse_update("DELETE DATA { <http://e/a> <http://e/p> \"x\" . FILTER (1 = 1) }")
+            .unwrap_err();
         assert!(err.message.contains("only triples"));
     }
 
@@ -1072,9 +1097,8 @@ mod tests {
     #[test]
     fn order_by_unbound_var_is_an_error() {
         use crate::algebra::JoinQuery;
-        assert!(JoinQuery::parse(
-            "SELECT ?x WHERE { ?x <http://e/p> ?o . } ORDER BY ?nope"
-        )
-        .is_err());
+        assert!(
+            JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?o . } ORDER BY ?nope").is_err()
+        );
     }
 }

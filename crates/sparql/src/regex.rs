@@ -96,12 +96,19 @@ enum Ast {
     Empty,
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Start,
     End,
     Concat(Vec<Ast>),
     Alt(Vec<Ast>),
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 struct Parser<'a> {
@@ -114,7 +121,12 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str, flags: Flags) -> Self {
         let chars = pattern.char_indices().collect();
-        Parser { chars, pos: 0, flags, input: pattern }
+        Parser {
+            chars,
+            pos: 0,
+            flags,
+            input: pattern,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> RegexError {
@@ -123,7 +135,10 @@ impl<'a> Parser<'a> {
             .get(self.pos)
             .map(|&(o, _)| o)
             .unwrap_or(self.input.len());
-        RegexError { offset, message: message.into() }
+        RegexError {
+            offset,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -162,7 +177,11 @@ impl<'a> Parser<'a> {
         while self.eat('|') {
             branches.push(self.parse_concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
     }
 
     /// `concat := repeat*` (stops at `|`, `)` or end).
@@ -188,20 +207,36 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some('*') => {
                     self.bump();
-                    node = Ast::Repeat { node: Box::new(node), min: 0, max: None };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: None,
+                    };
                 }
                 Some('+') => {
                     self.bump();
-                    node = Ast::Repeat { node: Box::new(node), min: 1, max: None };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 1,
+                        max: None,
+                    };
                 }
                 Some('?') => {
                     self.bump();
-                    node = Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: Some(1),
+                    };
                 }
                 Some('{') => {
                     self.bump();
                     let (min, max) = self.parse_bounds()?;
-                    node = Ast::Repeat { node: Box::new(node), min, max };
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min,
+                        max,
+                    };
                 }
                 _ => break,
             }
@@ -213,7 +248,11 @@ impl<'a> Parser<'a> {
     fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), RegexError> {
         let min = self.parse_number()?;
         let max = if self.eat(',') {
-            if self.peek() == Some('}') { None } else { Some(self.parse_number()?) }
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.parse_number()?)
+            }
         } else {
             Some(min)
         };
@@ -316,12 +355,30 @@ impl<'a> Parser<'a> {
     fn parse_escape(&mut self) -> Result<Ast, RegexError> {
         let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
         Ok(match c {
-            'd' => Ast::Class { negated: false, items: vec![ClassItem::Digit(false)] },
-            'D' => Ast::Class { negated: false, items: vec![ClassItem::Digit(true)] },
-            'w' => Ast::Class { negated: false, items: vec![ClassItem::Word(false)] },
-            'W' => Ast::Class { negated: false, items: vec![ClassItem::Word(true)] },
-            's' => Ast::Class { negated: false, items: vec![ClassItem::Space(false)] },
-            'S' => Ast::Class { negated: false, items: vec![ClassItem::Space(true)] },
+            'd' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Digit(false)],
+            },
+            'D' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Digit(true)],
+            },
+            'w' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Word(false)],
+            },
+            'W' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Word(true)],
+            },
+            's' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Space(false)],
+            },
+            'S' => Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Space(true)],
+            },
             'n' => Ast::Char('\n'),
             't' => Ast::Char('\t'),
             'r' => Ast::Char('\r'),
@@ -383,11 +440,15 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_class_char(&mut self) -> Result<ClassItem, RegexError> {
-        let c = self.bump().ok_or_else(|| self.err("unterminated character class"))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("unterminated character class"))?;
         if c != '\\' {
             return Ok(ClassItem::Char(c));
         }
-        let esc = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+        let esc = self
+            .bump()
+            .ok_or_else(|| self.err("dangling escape in class"))?;
         Ok(match esc {
             'd' => ClassItem::Digit(false),
             'D' => ClassItem::Digit(true),
@@ -416,7 +477,10 @@ impl<'a> Parser<'a> {
 enum Inst {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     AssertStart,
     AssertEnd,
     Split(usize, usize),
@@ -446,9 +510,10 @@ impl Compiler {
             Ast::Empty => {}
             Ast::Char(c) => self.program.push(Inst::Char(*c)),
             Ast::Any => self.program.push(Inst::Any),
-            Ast::Class { negated, items } => self
-                .program
-                .push(Inst::Class { negated: *negated, items: items.clone() }),
+            Ast::Class { negated, items } => self.program.push(Inst::Class {
+                negated: *negated,
+                items: items.clone(),
+            }),
             Ast::Start => self.program.push(Inst::AssertStart),
             Ast::End => self.program.push(Inst::AssertEnd),
             Ast::Concat(parts) => {
@@ -530,10 +595,15 @@ impl Regex {
         } else {
             Parser::new(pattern, flags).parse()?
         };
-        let mut compiler = Compiler { program: Vec::new() };
+        let mut compiler = Compiler {
+            program: Vec::new(),
+        };
         compiler.compile(&ast);
         compiler.program.push(Inst::Match);
-        Ok(Regex { program: compiler.program, flags })
+        Ok(Regex {
+            program: compiler.program,
+            flags,
+        })
     }
 
     /// `true` if the pattern matches anywhere in `text` (substring search,
@@ -578,15 +648,13 @@ impl Regex {
                     add_thread(program, flags, chars, at, *b, list, on_list);
                 }
                 Inst::AssertStart => {
-                    let ok = at == 0
-                        || (flags.multiline && at > 0 && chars[at - 1] == '\n');
+                    let ok = at == 0 || (flags.multiline && at > 0 && chars[at - 1] == '\n');
                     if ok {
                         add_thread(program, flags, chars, at, pc + 1, list, on_list);
                     }
                 }
                 Inst::AssertEnd => {
-                    let ok = at == chars.len()
-                        || (flags.multiline && chars[at] == '\n');
+                    let ok = at == chars.len() || (flags.multiline && chars[at] == '\n');
                     if ok {
                         add_thread(program, flags, chars, at, pc + 1, list, on_list);
                     }
@@ -597,10 +665,21 @@ impl Regex {
 
         for at in 0..=chars.len() {
             // Inject a new attempt starting here (unanchored search).
-            add_thread(&self.program, self.flags, chars, at, 0, &mut current, &mut on_current);
+            add_thread(
+                &self.program,
+                self.flags,
+                chars,
+                at,
+                0,
+                &mut current,
+                &mut on_current,
+            );
 
             // A Match instruction reachable by epsilon means success.
-            if current.iter().any(|&pc| matches!(self.program[pc], Inst::Match)) {
+            if current
+                .iter()
+                .any(|&pc| matches!(self.program[pc], Inst::Match))
+            {
                 return true;
             }
             if at == chars.len() {
@@ -612,14 +691,18 @@ impl Regex {
             for &pc in &current {
                 let consumed = match &self.program[pc] {
                     Inst::Char(p) => {
-                        let p = if self.flags.case_insensitive { fold_case(*p) } else { *p };
+                        let p = if self.flags.case_insensitive {
+                            fold_case(*p)
+                        } else {
+                            *p
+                        };
                         p == c
                     }
                     Inst::Any => self.flags.dot_all || c != '\n',
                     Inst::Class { negated, items } => {
-                        let inside = items.iter().any(|item| {
-                            class_item_matches(item, c, self.flags.case_insensitive)
-                        });
+                        let inside = items
+                            .iter()
+                            .any(|item| class_item_matches(item, c, self.flags.case_insensitive));
                         inside != *negated
                     }
                     Inst::Match => continue,
@@ -859,5 +942,14 @@ mod tests {
         assert!(!m("^(ab|cd)*$", "abc"));
         assert!(m("^(a|b)?(c|d)+$", "cdcd"));
         assert!(m("^x(y{2,3}z)+$", "xyyzyyyz"));
+    }
+
+    /// A compiled program is immutable data (`is_match` allocates its own
+    /// VM thread lists), so one `Regex` can be shared across the engine's
+    /// morsel workers. Guard that property at compile time.
+    #[test]
+    fn regex_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Regex>();
     }
 }

@@ -42,7 +42,9 @@ pub fn rewrite_filters(query: &JoinQuery) -> (JoinQuery, RewriteReport) {
 
     while let Some(idx) = q.filters.iter().position(is_rewritable_eq) {
         let filter = q.filters.remove(idx);
-        let FilterExpr::Cmp { lhs, rhs, .. } = filter else { unreachable!() };
+        let FilterExpr::Cmp { lhs, rhs, .. } = filter else {
+            unreachable!()
+        };
         match (lhs, rhs) {
             (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v)) => {
                 report
@@ -98,7 +100,9 @@ pub fn push_down_const_equalities(query: &JoinQuery) -> (JoinQuery, usize) {
             )
         });
         let Some(idx) = idx else { break };
-        let FilterExpr::Cmp { lhs, rhs, .. } = q.filters.remove(idx) else { unreachable!() };
+        let FilterExpr::Cmp { lhs, rhs, .. } = q.filters.remove(idx) else {
+            unreachable!()
+        };
         match (lhs, rhs) {
             (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v)) => {
                 substitute_const(&mut q, v, &c);
@@ -266,10 +270,8 @@ mod tests {
 
     #[test]
     fn non_equality_filters_remain() {
-        let q = JoinQuery::parse(
-            "SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?y > 3) }",
-        )
-        .unwrap();
+        let q =
+            JoinQuery::parse("SELECT ?x WHERE { ?x <http://e/p> ?y . FILTER (?y > 3) }").unwrap();
         let (rw, report) = rewrite_filters(&q);
         assert_eq!(rw.filters.len(), 1);
         assert_eq!(report.residual_filters, 1);

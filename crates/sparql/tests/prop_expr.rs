@@ -60,10 +60,9 @@ impl Pat {
         match self {
             Pat::Char(c) => text.first() == Some(c) && k(&text[1..]),
             Pat::Any => text.first().is_some_and(|c| *c != '\n') && k(&text[1..]),
-            Pat::Class(chars, neg) => text
-                .first()
-                .is_some_and(|c| chars.contains(c) != *neg)
-                && k(&text[1..]),
+            Pat::Class(chars, neg) => {
+                text.first().is_some_and(|c| chars.contains(c) != *neg) && k(&text[1..])
+            }
             Pat::Concat(a, b) => a.matches(text, &mut |rest| b.matches(rest, k)),
             Pat::Alt(a, b) => a.matches(text, k) || b.matches(text, k),
             Pat::Star(p) => {
@@ -103,10 +102,8 @@ fn arb_pat() -> impl Strategy<Value = Pat> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pat::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
             inner.prop_map(|p| Pat::Opt(Box::new(p))),
         ]
@@ -161,7 +158,10 @@ fn arb_leaf() -> impl Strategy<Value = Expr> {
         Just(Expr::Var(Var(1))),
         Just(Expr::Var(Var(9))), // never bound
         Just(Expr::Const(Term::typed_literal("true", vocab::XSD_BOOLEAN))),
-        Just(Expr::Const(Term::typed_literal("false", vocab::XSD_BOOLEAN))),
+        Just(Expr::Const(Term::typed_literal(
+            "false",
+            vocab::XSD_BOOLEAN
+        ))),
         Just(Expr::Const(Term::typed_literal("0", vocab::XSD_INTEGER))),
         Just(Expr::Const(Term::typed_literal("7", vocab::XSD_INTEGER))),
         Just(Expr::Const(Term::literal(""))),
@@ -173,10 +173,8 @@ fn arb_leaf() -> impl Strategy<Value = Expr> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     arb_leaf().prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp {
                 op: CmpOp::Eq,

@@ -19,19 +19,21 @@ impl Dataset {
     pub fn from_triples(triples: &[Triple]) -> Self {
         let mut dict = Dictionary::new();
         let encoded: Vec<IdTriple> = triples.iter().map(|t| t.intern(&mut dict)).collect();
-        Dataset { store: TripleStore::from_triples(&encoded), dict }
+        Dataset {
+            store: TripleStore::from_triples(&encoded),
+            dict,
+        }
     }
 
     /// Build a dataset from already-encoded triples and their dictionary.
     pub fn from_encoded(dict: Dictionary, triples: &[IdTriple]) -> Self {
-        if let Some(bad) = triples
-            .iter()
-            .flatten()
-            .find(|id| dict.get(**id).is_none())
-        {
+        if let Some(bad) = triples.iter().flatten().find(|id| dict.get(**id).is_none()) {
             panic!("triple references id {bad} not present in the dictionary");
         }
-        Dataset { store: TripleStore::from_triples(triples), dict }
+        Dataset {
+            store: TripleStore::from_triples(triples),
+            dict,
+        }
     }
 
     /// Parse an N-Triples document into a dataset.
@@ -42,7 +44,9 @@ impl Dataset {
     /// Parse a Turtle document into a dataset (prefixes, `a`,
     /// predicate/object lists, literal sugar — see [`hsp_rdf::turtle`]).
     pub fn from_turtle(document: &str) -> Result<Self, hsp_rdf::turtle::TurtleError> {
-        Ok(Self::from_triples(&hsp_rdf::turtle::parse_turtle(document)?))
+        Ok(Self::from_triples(&hsp_rdf::turtle::parse_turtle(
+            document,
+        )?))
     }
 
     /// The dictionary.
@@ -74,8 +78,7 @@ impl Dataset {
     /// and keeping all six orders sorted. Returns the number of triples
     /// that were genuinely new.
     pub fn insert_data(&mut self, triples: &[Triple]) -> usize {
-        let encoded: Vec<IdTriple> =
-            triples.iter().map(|t| t.intern(&mut self.dict)).collect();
+        let encoded: Vec<IdTriple> = triples.iter().map(|t| t.intern(&mut self.dict)).collect();
         self.store.insert_batch(&encoded)
     }
 

@@ -164,8 +164,14 @@ mod tests {
     #[test]
     fn to_key_examples() {
         assert_eq!(Order::Spo.to_key(t(1, 2, 3)), t(1, 2, 3));
-        assert_eq!(Order::Pos.to_key(t(1, 2, 3)), [TermId(2), TermId(3), TermId(1)]);
-        assert_eq!(Order::Ops.to_key(t(1, 2, 3)), [TermId(3), TermId(2), TermId(1)]);
+        assert_eq!(
+            Order::Pos.to_key(t(1, 2, 3)),
+            [TermId(2), TermId(3), TermId(1)]
+        );
+        assert_eq!(
+            Order::Ops.to_key(t(1, 2, 3)),
+            [TermId(3), TermId(2), TermId(1)]
+        );
     }
 
     #[test]

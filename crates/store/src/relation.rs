@@ -65,8 +65,7 @@ impl SortedRelation {
     /// Merge a batch of `[s, p, o]` triples in one pass. Returns the number
     /// of triples that were new.
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let mut incoming: Vec<IdTriple> =
-            triples.iter().map(|&t| self.order.to_key(t)).collect();
+        let mut incoming: Vec<IdTriple> = triples.iter().map(|&t| self.order.to_key(t)).collect();
         incoming.sort_unstable();
         incoming.dedup();
         incoming.retain(|k| self.rows.binary_search(k).is_err());
@@ -94,8 +93,7 @@ impl SortedRelation {
     /// Remove a batch of `[s, p, o]` triples in one pass. Returns the number
     /// of triples actually removed.
     pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let mut outgoing: Vec<IdTriple> =
-            triples.iter().map(|&t| self.order.to_key(t)).collect();
+        let mut outgoing: Vec<IdTriple> = triples.iter().map(|&t| self.order.to_key(t)).collect();
         outgoing.sort_unstable();
         outgoing.dedup();
         let before = self.rows.len();
@@ -128,8 +126,12 @@ impl SortedRelation {
         if prefix.is_empty() {
             return (0, self.rows.len());
         }
-        let lo = self.rows.partition_point(|row| &row[..prefix.len()] < prefix);
-        let hi = self.rows.partition_point(|row| &row[..prefix.len()] <= prefix);
+        let lo = self
+            .rows
+            .partition_point(|row| &row[..prefix.len()] < prefix);
+        let hi = self
+            .rows
+            .partition_point(|row| &row[..prefix.len()] <= prefix);
         (lo, hi)
     }
 

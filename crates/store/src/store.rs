@@ -23,8 +23,7 @@ const PARALLEL_THRESHOLD: usize = 8 * 1024;
 /// `true` when fanning the six per-order jobs out to threads can win:
 /// the batch is large enough and the machine has more than one core.
 fn parallelize(batch: usize) -> bool {
-    batch >= PARALLEL_THRESHOLD
-        && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+    batch >= PARALLEL_THRESHOLD && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
 }
 
 impl TripleStore {
@@ -52,7 +51,9 @@ impl TripleStore {
                 scope.spawn(move || *slot = Some(SortedRelation::build(order, triples)));
             }
         });
-        TripleStore { relations: slots.map(|r| r.expect("all six orders built")) }
+        TripleStore {
+            relations: slots.map(|r| r.expect("all six orders built")),
+        }
     }
 
     /// Insert one triple into all six orders. Returns `false` if already
@@ -86,7 +87,10 @@ impl TripleStore {
     /// *merged* size, since the merge rewrites each whole relation).
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
         let counts = self.for_each_relation(triples.len(), |rel| rel.insert_batch(triples));
-        debug_assert!(counts.iter().all(|&n| n == counts[0]), "orders diverged on insert");
+        debug_assert!(
+            counts.iter().all(|&n| n == counts[0]),
+            "orders diverged on insert"
+        );
         counts[0]
     }
 
@@ -94,7 +98,10 @@ impl TripleStore {
     /// triples actually removed.
     pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
         let counts = self.for_each_relation(triples.len(), |rel| rel.remove_batch(triples));
-        debug_assert!(counts.iter().all(|&n| n == counts[0]), "orders diverged on removal");
+        debug_assert!(
+            counts.iter().all(|&n| n == counts[0]),
+            "orders diverged on removal"
+        );
         counts[0]
     }
 
@@ -306,9 +313,15 @@ mod tests {
     fn distinct_bound() {
         let s = sample_store();
         // Distinct objects of predicate 10: 100, 101.
-        assert_eq!(s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::O), 2);
+        assert_eq!(
+            s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::O),
+            2
+        );
         // Distinct subjects of predicate 10: 1, 2, 3.
-        assert_eq!(s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::S), 3);
+        assert_eq!(
+            s.distinct_bound(&[(TriplePos::P, TermId(10))], TriplePos::S),
+            3
+        );
         // Distinct predicates overall: 10, 11, 12.
         assert_eq!(s.distinct_at(TriplePos::P), 3);
         assert_eq!(s.distinct_at(TriplePos::S), 3);
@@ -340,7 +353,11 @@ mod tests {
         let parallel = TripleStore::from_triples_parallel(&triples);
         assert_eq!(serial.len(), parallel.len());
         for order in Order::ALL {
-            assert_eq!(serial.relation(order).rows(), parallel.relation(order).rows(), "{order}");
+            assert_eq!(
+                serial.relation(order).rows(),
+                parallel.relation(order).rows(),
+                "{order}"
+            );
         }
     }
 
@@ -363,7 +380,11 @@ mod tests {
         let counts = parallel.for_each_relation_parallel(&|rel| rel.remove_batch(&batch));
         assert!(counts.iter().all(|&n| n == removed_serial));
         for order in Order::ALL {
-            assert_eq!(serial.relation(order).rows(), parallel.relation(order).rows(), "{order}");
+            assert_eq!(
+                serial.relation(order).rows(),
+                parallel.relation(order).rows(),
+                "{order}"
+            );
         }
     }
 }

@@ -50,9 +50,16 @@ fn main() {
     let graph = VariableGraph::build(&query, &indices);
     println!("{}", graph.render(&query));
     let trimmed = graph.trimmed();
-    println!("trimmed graph: {} node(s), {} edge(s)", trimmed.num_nodes(), trimmed.num_edges());
+    println!(
+        "trimmed graph: {} node(s), {} edge(s)",
+        trimmed.num_nodes(),
+        trimmed.num_edges()
+    );
     for set in trimmed.max_weight_independent_sets() {
-        let names: Vec<String> = set.iter().map(|&v| format!("?{}", query.var_name(v))).collect();
+        let names: Vec<String> = set
+            .iter()
+            .map(|&v| format!("?{}", query.var_name(v)))
+            .collect();
         println!("maximum-weight independent set: {{{}}}", names.join(", "));
     }
     println!();
@@ -66,14 +73,20 @@ fn main() {
 
     // HSP plan.
     let planned = HspPlanner::new().plan(&query).expect("plannable");
-    println!("\nHSP plan:\n{}", render_plan(&planned.plan, &planned.query));
+    println!(
+        "\nHSP plan:\n{}",
+        render_plan(&planned.plan, &planned.query)
+    );
 
     // Execute on a generated dataset for live cardinalities.
     let ds = match dataset.as_str() {
         "sp2bench" => generate_sp2bench(Sp2BenchConfig::with_triples(100_000)),
         _ => generate_yago(YagoConfig::with_triples(100_000)),
     };
-    println!("executing on generated `{dataset}` dataset ({} triples):", ds.len());
+    println!(
+        "executing on generated `{dataset}` dataset ({} triples):",
+        ds.len()
+    );
     match execute(&planned.plan, &ds, &ExecConfig::with_row_budget(10_000_000)) {
         Ok(out) => {
             println!(

@@ -107,7 +107,10 @@ fn main() {
     )
     .expect("valid SPARQL");
     let planned = HspPlanner::new().plan(&query).expect("plannable");
-    println!("== An arithmetic FILTER inside an HSP plan\n{}", render_plan(&planned.plan, &planned.query));
+    println!(
+        "== An arithmetic FILTER inside an HSP plan\n{}",
+        render_plan(&planned.plan, &planned.query)
+    );
     let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).expect("executes");
     println!("rows: {}", out.table.len());
     assert_eq!(out.table.len(), 1); // only 1940

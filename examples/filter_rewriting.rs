@@ -48,7 +48,9 @@ fn main() {
         Ok(_) => println!("CDP  : unexpectedly planned the raw query"),
         Err(e) => println!("CDP  : {e}"),
     }
-    let cdp = CdpPlanner::new().plan(&ds, &rewritten).expect("CDP plans rewritten form");
+    let cdp = CdpPlanner::new()
+        .plan(&ds, &rewritten)
+        .expect("CDP plans rewritten form");
     let cm = PlanMetrics::of(&cdp.plan);
     println!(
         "CDP  : on the manually-rewritten form: {} merge joins, {} hash joins",
@@ -63,7 +65,10 @@ fn main() {
         sm.cross_products
     );
     match execute(&sql.plan, &ds, &ExecConfig::with_row_budget(1_000_000)) {
-        Ok(out) => println!("SQL  : finished with {} rows (small dataset!)", out.table.len()),
+        Ok(out) => println!(
+            "SQL  : finished with {} rows (small dataset!)",
+            out.table.len()
+        ),
         Err(e) => println!("SQL  : XXX — {e}"),
     }
 
@@ -71,6 +76,12 @@ fn main() {
     let a = execute(&hsp.plan, &ds, &ExecConfig::unlimited()).expect("HSP executes");
     let b = execute(&cdp.plan, &ds, &ExecConfig::unlimited()).expect("CDP executes");
     let proj: Vec<Var> = hsp.query.projection.iter().map(|&(_, v)| v).collect();
-    assert_eq!(a.table.sorted_rows_for(&proj), b.table.sorted_rows_for(&proj));
-    println!("\nHSP and CDP agree: {} author pairs share a homepage", a.table.len());
+    assert_eq!(
+        a.table.sorted_rows_for(&proj),
+        b.table.sorted_rows_for(&proj)
+    );
+    println!(
+        "\nHSP and CDP agree: {} author pairs share a homepage",
+        a.table.len()
+    );
 }

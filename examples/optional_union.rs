@@ -41,7 +41,10 @@ fn main() {
             { ?pub rdf:type bench:Article . } UNION { ?pub rdf:type bench:Inproceedings . }
         }";
     let out = evaluate_extended(&ds, query).expect("evaluates");
-    println!("UNION   : {} titled articles + inproceedings", out.rows.len());
+    println!(
+        "UNION   : {} titled articles + inproceedings",
+        out.rows.len()
+    );
 
     // Both, with a filter over the optional column.
     let query = r#"

@@ -57,9 +57,7 @@ fn main() {
             .query
             .projection
             .iter()
-            .map(|&(ref name, v)| {
-                format!("(?{name}, {})", ds.dict().term(out.table.value(v, i)))
-            })
+            .map(|&(ref name, v)| format!("(?{name}, {})", ds.dict().term(out.table.value(v, i))))
             .collect();
         println!("  {{{}}}", bindings.join(", "));
     }

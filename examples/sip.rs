@@ -24,8 +24,8 @@ fn main() {
         let planned = HspPlanner::new().plan(&query).expect("plannable");
 
         let plain = execute(&planned.plan, &ds, &ExecConfig::unlimited()).expect("executes");
-        let sip = execute(&planned.plan, &ds, &ExecConfig::unlimited().with_sip())
-            .expect("executes");
+        let sip =
+            execute(&planned.plan, &ds, &ExecConfig::unlimited().with_sip()).expect("executes");
 
         // SIP never changes results.
         assert_eq!(
@@ -48,7 +48,10 @@ fn main() {
     }
 
     // Zoom into one query: per-operator view of where SIP saves work.
-    let q = workload().into_iter().find(|q| q.id == "Y2").expect("Y2 exists");
+    let q = workload()
+        .into_iter()
+        .find(|q| q.id == "Y2")
+        .expect("Y2 exists");
     let query = q.parse();
     let planned = HspPlanner::new().plan(&query).expect("plannable");
     let sip = execute(&planned.plan, &ds, &ExecConfig::unlimited().with_sip()).expect("executes");

@@ -17,7 +17,10 @@ fn main() {
 
     for (id, text) in [
         ("SP2a (heavy star)", sparql_hsp::datagen::workload::SP2A),
-        ("SP4a (FILTER-connected stars)", sparql_hsp::datagen::workload::SP4A),
+        (
+            "SP4a (FILTER-connected stars)",
+            sparql_hsp::datagen::workload::SP4A,
+        ),
     ] {
         println!("=== {id} ===");
         let query = JoinQuery::parse(text).expect("workload query parses");

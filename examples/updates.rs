@@ -34,7 +34,11 @@ fn main() {
         }"#,
     )
     .expect("insert applies");
-    println!("INSERT DATA: +{} triples (dataset now {})", stats.inserted, ds.len());
+    println!(
+        "INSERT DATA: +{} triples (dataset now {})",
+        stats.inserted,
+        ds.len()
+    );
 
     // All six sort orders stay consistent after incremental inserts —
     // queries run immediately, no reload, no statistics rebuild.
@@ -64,8 +68,18 @@ fn main() {
         "DELETE WHERE { ?j <http://e/type> <http://e/Journal> . ?j <http://e/issued> ?yr . }",
     )
     .expect("delete-where applies");
-    println!("DELETE WHERE (journal ⋈ issued): -{} (dataset now {})", stats.deleted, ds.len());
-    println!("journals with a year left: {}", count(&ds, "SELECT ?j WHERE { ?j <http://e/type> <http://e/Journal> . ?j <http://e/issued> ?y . }"));
+    println!(
+        "DELETE WHERE (journal ⋈ issued): -{} (dataset now {})",
+        stats.deleted,
+        ds.len()
+    );
+    println!(
+        "journals with a year left: {}",
+        count(
+            &ds,
+            "SELECT ?j WHERE { ?j <http://e/type> <http://e/Journal> . ?j <http://e/issued> ?y . }"
+        )
+    );
 
     // 5. Sequenced request: each op sees the previous one's effect.
     let stats = apply_update(

@@ -18,7 +18,10 @@ fn main() {
     let out = execute(&hsp.plan, &ds, &ExecConfig::unlimited()).expect("Y3 executes");
     println!("Y3 — entities related to both a village and a site");
     println!("HSP plan with measured cardinalities (the paper's Figure 2):");
-    println!("{}", render_plan_with_profile(&hsp.plan, &out.profile, &hsp.query));
+    println!(
+        "{}",
+        render_plan_with_profile(&hsp.plan, &out.profile, &hsp.query)
+    );
     println!("Y3 answers: {} rows\n", out.table.len());
 
     // --- Y2 (paper Table 9 / Figure 3) ---
@@ -27,12 +30,18 @@ fn main() {
     let out2 = execute(&hsp2.plan, &ds, &ExecConfig::unlimited()).expect("Y2 executes");
     println!("Y2 — actors that also directed a movie");
     println!("HSP plan (Figure 3a): all merge joins on ?a, left-deep:");
-    println!("{}", render_plan_with_profile(&hsp2.plan, &out2.profile, &hsp2.query));
+    println!(
+        "{}",
+        render_plan_with_profile(&hsp2.plan, &out2.profile, &hsp2.query)
+    );
 
     let cdp = CdpPlanner::new().plan(&ds, &y2).expect("CDP plans Y2");
     let cdp_out = execute(&cdp.plan, &ds, &ExecConfig::unlimited()).expect("CDP Y2 executes");
     println!("CDP plan (Figure 3b): bushy, breaks the star:");
-    println!("{}", render_plan_with_profile(&cdp.plan, &cdp_out.profile, &cdp.query));
+    println!(
+        "{}",
+        render_plan_with_profile(&cdp.plan, &cdp_out.profile, &cdp.query)
+    );
 
     // Same answers either way.
     let proj: Vec<Var> = hsp2.query.projection.iter().map(|&(_, v)| v).collect();

@@ -17,7 +17,8 @@
 //!   --sip                   enable sideways information passing
 //!   --budget <rows>         abort when an operator exceeds this many rows
 //!   --threads <n>           thread budget for the morsel-parallel kernels
-//!                           (default: auto-detect; 1 = sequential)
+//!                           (default: auto-detect, overridable with the
+//!                           HSP_FORCE_THREADS env var; 1 = sequential)
 //! ```
 //!
 //! Queries that fit the paper's Definition 3 (conjunctive + FILTER) run
@@ -73,7 +74,8 @@ fn parse_args() -> Result<Args, String> {
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
-            argv.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+            argv.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
         };
         match flag.as_str() {
             "--query" => args.query = Some(value("--query")?),
@@ -103,7 +105,10 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if args.query.is_none() && args.update.is_none() {
-        return Err(format!("one of --query / --update is required\n{}", usage()));
+        return Err(format!(
+            "one of --query / --update is required\n{}",
+            usage()
+        ));
     }
     Ok(args)
 }
@@ -128,22 +133,32 @@ fn plan_with(
             Ok((p.plan, p.query))
         }
         "cdp" => {
-            let p = CdpPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let p = CdpPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok((p.plan, p.query))
         }
         "sql" => {
-            let p = LeftDeepPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let p = LeftDeepPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok((p.plan, p.query))
         }
         "hybrid" => {
-            let p = HybridPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let p = HybridPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok((p.plan, p.query))
         }
         "stocker" => {
-            let p = StockerPlanner::new().plan(ds, query).map_err(|e| e.to_string())?;
+            let p = StockerPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
             Ok((p.plan, p.query))
         }
-        other => Err(format!("unknown planner `{other}` (hsp|cdp|sql|hybrid|stocker)")),
+        other => Err(format!(
+            "unknown planner `{other}` (hsp|cdp|sql|hybrid|stocker)"
+        )),
     }
 }
 
@@ -172,11 +187,17 @@ fn run() -> Result<(), String> {
     if let Some(update) = &args.update {
         let text = load_text(update)?;
         let stats = apply_update(&mut ds, &text).map_err(|e| e.to_string())?;
-        eprintln!("update ok: +{} / -{} triples (now {})", stats.inserted, stats.deleted, ds.len());
+        eprintln!(
+            "update ok: +{} / -{} triples (now {})",
+            stats.inserted,
+            stats.deleted,
+            ds.len()
+        );
         let rendered = ds.to_ntriples();
         match &args.out {
-            Some(path) => std::fs::write(path, rendered)
-                .map_err(|e| format!("cannot write {path}: {e}"))?,
+            Some(path) => {
+                std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
+            }
             None => print!("{rendered}"),
         }
         return Ok(());
@@ -210,13 +231,22 @@ fn run() -> Result<(), String> {
             let (plan, planned_query) = plan_with(&args.planner, &ds, &query)?;
             let output = execute(&plan, &ds, &config).map_err(|e| e.to_string())?;
             if args.explain {
-                print!("{}", render_plan_with_profile(&plan, &output.profile, &planned_query));
-                print!("{}", hsp_engine::explain::render_runtime_metrics(&output.runtime));
+                print!(
+                    "{}",
+                    render_plan_with_profile(&plan, &output.profile, &planned_query)
+                );
+                print!(
+                    "{}",
+                    hsp_engine::explain::render_runtime_metrics(&output.runtime)
+                );
                 return Ok(());
             }
             // Convert the id-level table to term-level rows.
-            let columns: Vec<String> =
-                planned_query.projection.iter().map(|(n, _)| n.clone()).collect();
+            let columns: Vec<String> = planned_query
+                .projection
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect();
             let rows = (0..output.table.len())
                 .map(|i| {
                     planned_query

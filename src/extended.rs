@@ -99,12 +99,25 @@ pub fn evaluate_ast(
     config: &ExecConfig,
 ) -> Result<ExtendedOutput, ExtendedError> {
     let mut vars = VarTable::default();
-    let table = eval_group(ds, &query.where_clause, &mut vars, config, &config.context())?;
+    let table = eval_group(
+        ds,
+        &query.where_clause,
+        &mut vars,
+        config,
+        &config.context(),
+    )?;
 
     if query.ask {
         // ASK: zero columns; one empty row iff a solution exists.
-        let rows = if table.is_empty() { vec![] } else { vec![vec![]] };
-        return Ok(ExtendedOutput { columns: Vec::new(), rows });
+        let rows = if table.is_empty() {
+            vec![]
+        } else {
+            vec![vec![]]
+        };
+        return Ok(ExtendedOutput {
+            columns: Vec::new(),
+            rows,
+        });
     }
 
     // Projection: named variables or everything, in declaration order.
@@ -162,7 +175,11 @@ pub fn evaluate_ast(
             .into_iter()
             .enumerate()
             .map(|(i, row)| {
-                let bindings = TableRow { ds, table: &table, row: i };
+                let bindings = TableRow {
+                    ds,
+                    table: &table,
+                    row: i,
+                };
                 let key_vals = keys
                     .iter()
                     .map(|(e, _)| evaluator.eval(e, &bindings).ok())
@@ -524,11 +541,8 @@ mod tests {
     #[test]
     fn unbound_projection_is_an_error() {
         let ds = dataset();
-        let err = evaluate_extended(
-            &ds,
-            "SELECT ?zzz WHERE { ?p <http://e/name> ?n . }",
-        )
-        .unwrap_err();
+        let err =
+            evaluate_extended(&ds, "SELECT ?zzz WHERE { ?p <http://e/name> ?n . }").unwrap_err();
         assert!(err.to_string().contains("zzz"));
     }
 
@@ -578,7 +592,10 @@ mod tests {
     fn limit_offset_paginate() {
         let ds = dataset();
         let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n LIMIT 2";
-        assert_eq!(names_of(&evaluate_extended(&ds, q).unwrap()), vec!["Alice", "Bob"]);
+        assert_eq!(
+            names_of(&evaluate_extended(&ds, q).unwrap()),
+            vec!["Alice", "Bob"]
+        );
         let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n LIMIT 2 OFFSET 2";
         assert_eq!(names_of(&evaluate_extended(&ds, q).unwrap()), vec!["Carol"]);
         let q = "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n OFFSET 9";
@@ -613,11 +630,7 @@ mod tests {
     #[test]
     fn reduced_deduplicates() {
         let ds = dataset();
-        let out = evaluate_extended(
-            &ds,
-            "SELECT REDUCED ?p WHERE { ?p ?prop ?v . }",
-        )
-        .unwrap();
+        let out = evaluate_extended(&ds, "SELECT REDUCED ?p WHERE { ?p ?prop ?v . }").unwrap();
         assert_eq!(out.rows.len(), 3); // a1, a2, a3 deduplicated
     }
 

@@ -71,9 +71,7 @@ pub mod prelude {
     pub use hsp_engine::metrics::{plans_similar, PlanMetrics, PlanShape};
     pub use hsp_engine::{execute, BindingTable, ExecConfig, PhysicalPlan};
     pub use hsp_rdf::{Dictionary, Term, TermId, Triple, TriplePos};
-    pub use hsp_sparql::{
-        Evaluator, Expr, JoinQuery, Modifiers, QueryCharacteristics, Regex, Var,
-    };
+    pub use hsp_sparql::{Evaluator, Expr, JoinQuery, Modifiers, QueryCharacteristics, Regex, Var};
     pub use hsp_store::{Dataset, Order, TripleStore};
 
     pub use crate::extended::{evaluate_extended, ExtendedOutput};
@@ -87,10 +85,7 @@ mod tests {
 
     #[test]
     fn facade_quickstart_works() {
-        let ds = Dataset::from_ntriples(
-            "<http://e/s> <http://e/p> <http://e/o> .\n",
-        )
-        .unwrap();
+        let ds = Dataset::from_ntriples("<http://e/s> <http://e/p> <http://e/o> .\n").unwrap();
         let query = JoinQuery::parse("SELECT ?s WHERE { ?s <http://e/p> ?o . }").unwrap();
         let planned = HspPlanner::new().plan(&query).unwrap();
         let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).unwrap();

@@ -53,9 +53,17 @@ fn json_term(s: &mut String, term: &Term) {
             write!(s, "{{\"type\":\"uri\",\"value\":\"{}\"}}", escape_json(iri))
                 .expect("writing to String");
         }
-        Term::Literal { lexical, datatype, language } => {
-            write!(s, "{{\"type\":\"literal\",\"value\":\"{}\"", escape_json(lexical))
-                .expect("writing to String");
+        Term::Literal {
+            lexical,
+            datatype,
+            language,
+        } => {
+            write!(
+                s,
+                "{{\"type\":\"literal\",\"value\":\"{}\"",
+                escape_json(lexical)
+            )
+            .expect("writing to String");
             if let Some(lang) = language {
                 write!(s, ",\"xml:lang\":\"{}\"", escape_json(lang)).expect("writing to String");
             } else if let Some(dt) = datatype {
@@ -117,8 +125,7 @@ pub fn to_csv(out: &ExtendedOutput) -> String {
 }
 
 fn csv_field(value: &str) -> String {
-    if value.contains(',') || value.contains('"') || value.contains('\n') || value.contains('\r')
-    {
+    if value.contains(',') || value.contains('"') || value.contains('\n') || value.contains('\r') {
         format!("\"{}\"", value.replace('"', "\"\""))
     } else {
         value.to_string()
@@ -200,8 +207,13 @@ pub fn to_table(out: &ExtendedOutput) -> String {
         }
         s.push('\n');
     }
-    writeln!(s, "({} row{})", out.rows.len(), if out.rows.len() == 1 { "" } else { "s" })
-        .expect("writing to String");
+    writeln!(
+        s,
+        "({} row{})",
+        out.rows.len(),
+        if out.rows.len() == 1 { "" } else { "s" }
+    )
+    .expect("writing to String");
     s
 }
 
@@ -292,13 +304,19 @@ mod tests {
         assert!(t.contains("?x"));
         assert!(t.contains("?label"));
         assert!(t.ends_with("(2 rows)\n"));
-        let one = ExtendedOutput { columns: vec!["x".into()], rows: vec![vec![None]] };
+        let one = ExtendedOutput {
+            columns: vec!["x".into()],
+            rows: vec![vec![None]],
+        };
         assert!(to_table(&one).ends_with("(1 row)\n"));
     }
 
     #[test]
     fn empty_result_serialises_cleanly() {
-        let empty = ExtendedOutput { columns: vec!["x".into()], rows: vec![] };
+        let empty = ExtendedOutput {
+            columns: vec!["x".into()],
+            rows: vec![],
+        };
         assert_eq!(
             to_sparql_json(&empty),
             "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"

@@ -256,8 +256,7 @@ mod tests {
     #[test]
     fn delete_where_with_no_matches_is_a_noop() {
         let mut ds = seed();
-        let stats =
-            apply_update(&mut ds, "DELETE WHERE { ?x <http://e/nosuch> ?y . }").unwrap();
+        let stats = apply_update(&mut ds, "DELETE WHERE { ?x <http://e/nosuch> ?y . }").unwrap();
         assert_eq!(stats.deleted, 0);
         assert_eq!(ds.len(), 5);
     }
@@ -280,10 +279,7 @@ mod tests {
             r#"INSERT DATA { <http://e/j9> <http://e/issued> "1999" . }"#,
         )
         .unwrap();
-        let q = JoinQuery::parse(
-            "SELECT ?j WHERE { ?j <http://e/issued> \"1999\" . }",
-        )
-        .unwrap();
+        let q = JoinQuery::parse("SELECT ?j WHERE { ?j <http://e/issued> \"1999\" . }").unwrap();
         let planned = HspPlanner::new().plan(&q).unwrap();
         let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).unwrap();
         assert_eq!(out.table.len(), 1);

@@ -135,7 +135,11 @@ fn errors_exit_nonzero() {
     assert!(!ok);
     assert!(stderr.contains("unknown planner"));
     // Missing data file.
-    let (_, stderr, ok) = hsp(&["/no/such/file.nt", "--query", "SELECT ?s WHERE { ?s ?p ?o . }"]);
+    let (_, stderr, ok) = hsp(&[
+        "/no/such/file.nt",
+        "--query",
+        "SELECT ?s WHERE { ?s ?p ?o . }",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"));
 }

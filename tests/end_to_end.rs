@@ -64,7 +64,10 @@ fn workload_queries_return_expected_emptiness() {
         let planned = plan_query(PlannerKind::Hsp, ds, &parsed).unwrap();
         let out = execute(&planned.plan, ds, &ExecConfig::unlimited()).unwrap();
         if q.id == "SP3c" {
-            assert!(out.table.is_empty(), "SP3c must be empty (articles carry no isbn)");
+            assert!(
+                out.table.is_empty(),
+                "SP3c must be empty (articles carry no isbn)"
+            );
         } else {
             assert!(!out.table.is_empty(), "{} returned no rows", q.id);
         }
@@ -76,7 +79,12 @@ fn sp1_returns_exactly_one_journal() {
     let env = env();
     let q = workload().into_iter().find(|q| q.id == "SP1").unwrap();
     let planned = plan_query(PlannerKind::Hsp, env.dataset(q.dataset), &q.parse()).unwrap();
-    let out = execute(&planned.plan, env.dataset(q.dataset), &ExecConfig::unlimited()).unwrap();
+    let out = execute(
+        &planned.plan,
+        env.dataset(q.dataset),
+        &ExecConfig::unlimited(),
+    )
+    .unwrap();
     assert_eq!(out.table.len(), 1);
 }
 

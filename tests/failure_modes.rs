@@ -10,7 +10,10 @@ use hsp_sparql::JoinQuery;
 use hsp_store::Dataset;
 
 fn small_ds() -> Dataset {
-    generate_sp2bench(Sp2BenchConfig { target_triples: 5_000, seed: 99 })
+    generate_sp2bench(Sp2BenchConfig {
+        target_triples: 5_000,
+        seed: 99,
+    })
 }
 
 #[test]
@@ -35,11 +38,12 @@ fn unbound_projection_rejected_at_algebra_level() {
 #[test]
 fn cdp_rejects_disconnected_queries() {
     let ds = small_ds();
-    let q = JoinQuery::parse(
-        "SELECT ?x ?a WHERE { ?x <http://e/p> ?y . ?a <http://e/q> ?b . }",
-    )
-    .unwrap();
-    assert_eq!(CdpPlanner::new().plan(&ds, &q).unwrap_err(), CdpError::CrossProduct);
+    let q = JoinQuery::parse("SELECT ?x ?a WHERE { ?x <http://e/p> ?y . ?a <http://e/q> ?b . }")
+        .unwrap();
+    assert_eq!(
+        CdpPlanner::new().plan(&ds, &q).unwrap_err(),
+        CdpError::CrossProduct
+    );
 }
 
 #[test]
@@ -64,10 +68,8 @@ fn executor_budget_guards_cartesian_products() {
 #[test]
 fn queries_over_unknown_vocabulary_return_empty_not_error() {
     let ds = small_ds();
-    let q = JoinQuery::parse(
-        "SELECT ?x WHERE { ?x <http://nowhere/p> <http://nowhere/o> . }",
-    )
-    .unwrap();
+    let q =
+        JoinQuery::parse("SELECT ?x WHERE { ?x <http://nowhere/p> <http://nowhere/o> . }").unwrap();
     let planned = HspPlanner::new().plan(&q).unwrap();
     let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).unwrap();
     assert!(out.table.is_empty());
@@ -191,18 +193,12 @@ fn row_budget_still_guards_under_sip() {
 #[test]
 fn order_by_limit_zero_and_huge_offset() {
     let ds = small_ds();
-    let q = JoinQuery::parse(
-        "SELECT ?s WHERE { ?s ?p ?o . } ORDER BY ?s LIMIT 0",
-    )
-    .unwrap();
+    let q = JoinQuery::parse("SELECT ?s WHERE { ?s ?p ?o . } ORDER BY ?s LIMIT 0").unwrap();
     let planned = HspPlanner::new().plan(&q).unwrap();
     let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).unwrap();
     assert!(out.table.is_empty());
 
-    let q = JoinQuery::parse(
-        "SELECT ?s WHERE { ?s ?p ?o . } OFFSET 99999999",
-    )
-    .unwrap();
+    let q = JoinQuery::parse("SELECT ?s WHERE { ?s ?p ?o . } OFFSET 99999999").unwrap();
     let planned = HspPlanner::new().plan(&q).unwrap();
     let out = execute(&planned.plan, &ds, &ExecConfig::unlimited()).unwrap();
     assert!(out.table.is_empty());

@@ -17,13 +17,21 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     proptest::collection::vec((0u32..10, 0u32..4, 0u32..12), 5..120).prop_map(|spec| {
         let mut dict = Dictionary::new();
-        let entities: Vec<TermId> =
-            (0..12).map(|i| dict.intern(Term::iri(format!("http://e/e{i}")))).collect();
-        let predicates: Vec<TermId> =
-            (0..4).map(|i| dict.intern(Term::iri(format!("http://e/p{i}")))).collect();
+        let entities: Vec<TermId> = (0..12)
+            .map(|i| dict.intern(Term::iri(format!("http://e/e{i}"))))
+            .collect();
+        let predicates: Vec<TermId> = (0..4)
+            .map(|i| dict.intern(Term::iri(format!("http://e/p{i}"))))
+            .collect();
         let triples: Vec<IdTriple> = spec
             .into_iter()
-            .map(|(s, p, o)| [entities[s as usize], predicates[p as usize], entities[o as usize]])
+            .map(|(s, p, o)| {
+                [
+                    entities[s as usize],
+                    predicates[p as usize],
+                    entities[o as usize],
+                ]
+            })
             .collect();
         Dataset::from_encoded(dict, &triples)
     })
@@ -70,7 +78,14 @@ fn arb_query() -> impl Strategy<Value = JoinQuery> {
                 .enumerate()
                 .map(|(i, n)| (n.clone(), Var(i as u32)))
                 .collect();
-            Some(JoinQuery { patterns, filters: vec![], projection, distinct: false, var_names: names, modifiers: Default::default() })
+            Some(JoinQuery {
+                patterns,
+                filters: vec![],
+                projection,
+                distinct: false,
+                var_names: names,
+                modifiers: Default::default(),
+            })
         },
     )
 }
@@ -153,10 +168,18 @@ fn reference_rows_for(ds: &Dataset, query: &JoinQuery) -> Vec<Vec<TermId>> {
     let full = reference_eval(ds, query);
     let idx: Vec<usize> = unique
         .iter()
-        .map(|v| query.projection.iter().position(|&(_, pv)| pv == *v).expect("projected"))
+        .map(|v| {
+            query
+                .projection
+                .iter()
+                .position(|&(_, pv)| pv == *v)
+                .expect("projected")
+        })
         .collect();
-    let mut rows: Vec<Vec<TermId>> =
-        full.iter().map(|row| idx.iter().map(|&i| row[i]).collect()).collect();
+    let mut rows: Vec<Vec<TermId>> = full
+        .iter()
+        .map(|row| idx.iter().map(|&i| row[i]).collect())
+        .collect();
     rows.sort();
     rows
 }
