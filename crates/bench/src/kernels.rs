@@ -54,6 +54,31 @@ fn median_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Median wall-clock nanoseconds of `runs` *paired* invocations: each
+/// iteration times `baseline` then `optimized` back to back, so slow
+/// machine-state drift (thermal, noisy neighbours on shared runners)
+/// biases both series equally instead of whichever ran second.
+fn median_ns_pair<A, B>(
+    runs: usize,
+    mut baseline: impl FnMut() -> A,
+    mut optimized: impl FnMut() -> B,
+) -> (u128, u128) {
+    assert!(runs > 0);
+    let mut base: Vec<u128> = Vec::with_capacity(runs);
+    let mut opt: Vec<u128> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(baseline());
+        base.push(start.elapsed().as_nanos());
+        let start = Instant::now();
+        std::hint::black_box(optimized());
+        opt.push(start.elapsed().as_nanos());
+    }
+    base.sort_unstable();
+    opt.sort_unstable();
+    (base[base.len() / 2], opt[opt.len() / 2])
+}
+
 /// Two join inputs of `n` rows with ~25% key density — shared with
 /// `benches/operators.rs` so the criterion numbers and the
 /// `BENCH_ops.json` numbers measure the same workload.
@@ -153,6 +178,7 @@ pub fn measure_kernels() -> Vec<KernelResult> {
     measure_parallel_build(&mut results, runs);
     measure_parallel_merge(&mut results, runs);
     measure_parallel_filter(&mut results, runs);
+    measure_pipeline_chain(&mut results, runs);
     results
 }
 
@@ -307,6 +333,107 @@ fn measure_parallel_filter(results: &mut Vec<KernelResult>, runs: usize) {
             name: format!("par_filter_100k_t{t}"),
             baseline_ns: median_ns(runs, || ops::filter_in(&sequential, &ds, &input, &expr)),
             optimized_ns: median_ns(runs, || ops::filter_in(&ctx, &ds, &input, &expr)),
+        });
+    }
+}
+
+/// `pipeline_chain_100k_t*`: a 3-hash-join + FILTER chain (100k rows per
+/// pattern) executed by the pipeline executor against the
+/// operator-at-a-time oracle at forced thread counts. The oracle
+/// materialises the probe-side scan and both intermediate joins; the
+/// pipeline keeps them as thread-local index vectors and gathers once at
+/// the sink — output identity *and* a strictly positive
+/// `pipeline_rows_avoided` counter (equal to exactly those intermediate
+/// cardinalities) are asserted before anything is timed.
+fn measure_pipeline_chain(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig, ExecStrategy, PhysicalPlan};
+    use hsp_sparql::{CmpOp, FilterExpr, Operand, TermOrVar, TriplePattern};
+
+    // A 1:1 chain a_i -p0-> b_i -p1-> c_i -p2-> d_i with a value per d_i;
+    // the FILTER keeps the odd half through the interned-id (in)equality
+    // fast path, so the row times the execution model, not the expression
+    // interpreter.
+    let n = 100_000usize;
+    let mut doc = String::with_capacity(n * 160);
+    for i in 0..n {
+        doc.push_str(&format!(
+            "<http://e/a{i}> <http://e/p0> <http://e/b{i}> .\n\
+             <http://e/b{i}> <http://e/p1> <http://e/c{i}> .\n\
+             <http://e/c{i}> <http://e/p2> <http://e/d{i}> .\n\
+             <http://e/d{i}> <http://e/val> \"{}\" .\n",
+            i % 2
+        ));
+    }
+    let ds = hsp_store::Dataset::from_ntriples(&doc).expect("bench dataset parses");
+    let scan = |idx: usize, s: u32, p: &str, o: u32| PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern: TriplePattern::new(
+            TermOrVar::Var(Var(s)),
+            TermOrVar::Const(hsp_rdf::Term::iri(format!("http://e/{p}"))),
+            TermOrVar::Var(Var(o)),
+        ),
+        order: hsp_store::Order::Pso,
+    };
+    let plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(PhysicalPlan::HashJoin {
+                    left: Box::new(scan(0, 0, "p0", 1)),
+                    right: Box::new(scan(1, 1, "p1", 2)),
+                    vars: vec![Var(1)],
+                }),
+                right: Box::new(scan(2, 2, "p2", 3)),
+                vars: vec![Var(2)],
+            }),
+            right: Box::new(scan(3, 3, "val", 4)),
+            vars: vec![Var(3)],
+        }),
+        expr: FilterExpr::Cmp {
+            op: CmpOp::Ne,
+            lhs: Operand::Var(Var(4)),
+            rhs: Operand::Const(hsp_rdf::Term::literal("0")),
+        },
+    };
+
+    let oracle_config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
+    let expected = execute(&plan, &ds, &oracle_config).expect("oracle runs");
+    assert_eq!(expected.table.len(), n / 2, "filter keeps the odd half");
+    // The intermediates the oracle materialises along the probe chain:
+    // the probe-side scan and the three join outputs (the filter output
+    // is the sink and materialises either way).
+    let mut oracle_chain_rows = 0usize;
+    let mut node = &expected.profile.children[0]; // topmost hash join
+    for _ in 0..3 {
+        oracle_chain_rows += node.output_rows;
+        node = &node.children[0];
+    }
+    oracle_chain_rows += node.output_rows; // the probe-side scan
+
+    for t in bench_thread_counts() {
+        let pipeline_config = ExecConfig::unlimited().with_threads(t);
+        let oracle_t = ExecConfig {
+            threads: Some(t),
+            ..oracle_config.clone()
+        };
+        let out = execute(&plan, &ds, &pipeline_config).expect("pipeline runs");
+        assert_eq!(
+            out.table, expected.table,
+            "pipeline chain (t={t}) diverges from the oracle"
+        );
+        assert!(out.runtime.pipelines > 0, "chain must run as a pipeline");
+        assert_eq!(
+            out.runtime.pipeline_rows_avoided, oracle_chain_rows,
+            "pipeline (t={t}) must avoid exactly the oracle's non-breaker intermediates"
+        );
+        let (baseline_ns, optimized_ns) = median_ns_pair(
+            runs,
+            || execute(&plan, &ds, &oracle_t),
+            || execute(&plan, &ds, &pipeline_config),
+        );
+        results.push(KernelResult {
+            name: format!("pipeline_chain_100k_t{t}"),
+            baseline_ns,
+            optimized_ns,
         });
     }
 }

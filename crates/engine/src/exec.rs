@@ -19,6 +19,24 @@ use crate::ops;
 use crate::plan::{PhysicalPlan, PlanError};
 use crate::pool::ExecContext;
 
+/// Which evaluator [`execute`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Lower the plan into morsel-driven pipelines with explicit breakers
+    /// ([`crate::pipeline`]) whenever the configuration allows it — the
+    /// default. SIP and row-budget executions fall back to the
+    /// operator-at-a-time evaluator, because both features are defined in
+    /// terms of materialised intermediates (domain narrowing reads them,
+    /// the budget counts them).
+    #[default]
+    Auto,
+    /// Always the operator-at-a-time tree evaluator — every operator
+    /// materialises its full output. Retained as the byte-identity oracle
+    /// for the pipeline executor (and as the measured baseline of the
+    /// `pipeline_chain_*` bench rows).
+    OperatorAtATime,
+}
+
 /// Execution configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ExecConfig {
@@ -42,6 +60,10 @@ pub struct ExecConfig {
     /// parallel kernels stitch their per-morsel outputs
     /// deterministically).
     pub threads: Option<usize>,
+    /// Which evaluator runs the plan (pipeline by default; the
+    /// operator-at-a-time oracle on request, or automatically for SIP /
+    /// row-budget executions).
+    pub strategy: ExecStrategy,
 }
 
 impl ExecConfig {
@@ -67,6 +89,12 @@ impl ExecConfig {
     /// Force a thread budget for the parallel kernels.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Select the evaluator (see [`ExecStrategy`]).
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -191,6 +219,13 @@ pub fn execute(
 /// (OPTIONAL/UNION) evaluator runs its per-block plans under one pool.
 /// The reported [`ExecOutput::runtime`] snapshots the context's cumulative
 /// counters at completion.
+///
+/// Under the default [`ExecStrategy::Auto`] the plan is lowered into
+/// morsel-driven pipelines ([`crate::pipeline`]) and only breaker
+/// boundaries materialise; SIP and row-budget executions (and
+/// [`ExecStrategy::OperatorAtATime`]) take the operator-at-a-time tree
+/// walk, which materialises every intermediate. Both paths produce
+/// byte-identical tables and identical per-operator cardinalities.
 pub fn execute_in(
     plan: &PhysicalPlan,
     ds: &Dataset,
@@ -198,12 +233,58 @@ pub fn execute_in(
     ctx: &ExecContext,
 ) -> Result<ExecOutput, ExecError> {
     plan.validate()?;
-    let (table, profile) = run(plan, ds, config, ctx, &Domains::new())?;
+    let pipelined = config.strategy == ExecStrategy::Auto
+        && !config.sip
+        && config.max_intermediate_rows.is_none();
+    let (table, profile) = if pipelined {
+        crate::pipeline::lower(plan).run(ds, ctx)
+    } else {
+        run(plan, ds, config, ctx, &Domains::new())?
+    };
     Ok(ExecOutput {
         table,
         profile,
         runtime: RuntimeMetrics::of(ctx),
     })
+}
+
+/// The profile label of a plan node — shared by the operator-at-a-time
+/// evaluator and the pipeline executor so their [`Profile`] trees are
+/// indistinguishable (the oracle appends `+sip` to scan labels itself).
+pub(crate) fn plan_label(plan: &PhysicalPlan) -> String {
+    match plan {
+        PhysicalPlan::Scan {
+            pattern_idx, order, ..
+        } => format!("scan({}) [tp{pattern_idx}]", order.name()),
+        PhysicalPlan::MergeJoin { var, .. } => format!("mergejoin({var})"),
+        PhysicalPlan::HashJoin { vars, .. } => format!(
+            "hashjoin({})",
+            vars.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        PhysicalPlan::CrossProduct { .. } => "crossproduct".into(),
+        PhysicalPlan::Sort { var, .. } => format!("sort({var})"),
+        PhysicalPlan::Filter { .. } => "filter".into(),
+        PhysicalPlan::Project {
+            projection,
+            distinct,
+            ..
+        } => {
+            let names: Vec<&str> = projection.iter().map(|(n, _)| n.as_str()).collect();
+            if *distinct {
+                format!("project-distinct({})", names.join(","))
+            } else {
+                format!("project({})", names.join(","))
+            }
+        }
+        PhysicalPlan::OrderBy { keys, .. } => format!("orderby({} keys)", keys.len()),
+        PhysicalPlan::Slice { offset, limit, .. } => match limit {
+            Some(n) => format!("slice(offset={offset}, limit={n})"),
+            None => format!("slice(offset={offset})"),
+        },
+    }
 }
 
 /// The distinct values of `vars` in `table`, merged (intersected) into a
@@ -229,14 +310,10 @@ fn run(
     domains: &Domains,
 ) -> Result<(BindingTable, Profile), ExecError> {
     match plan {
-        PhysicalPlan::Scan {
-            pattern_idx,
-            pattern,
-            order,
-        } => {
+        PhysicalPlan::Scan { pattern, order, .. } => {
             let start = Instant::now();
             let mut table = ops::scan_in(ctx, ds, pattern, *order);
-            let mut label = format!("scan({}) [tp{pattern_idx}]", order.name());
+            let mut label = plan_label(plan);
             if config.sip && table.vars().iter().any(|v| domains.contains_key(v)) {
                 let unfiltered = table;
                 table = ops::domain_filter_in(ctx, &unfiltered, domains);
@@ -259,13 +336,7 @@ fn run(
             let table = ops::merge_join_in(ctx, &lt, &rt, *var);
             ctx.pool.recycle(lt);
             ctx.pool.recycle(rt);
-            finish(
-                table,
-                format!("mergejoin({var})"),
-                start,
-                vec![lp, rp],
-                config,
-            )
+            finish(table, plan_label(plan), start, vec![lp, rp], config)
         }
         PhysicalPlan::HashJoin { left, right, vars } => {
             // Evaluate the build (right) side first so SIP can pass its
@@ -281,14 +352,7 @@ fn run(
             let table = ops::hash_join_in(ctx, &lt, &rt, vars);
             ctx.pool.recycle(lt);
             ctx.pool.recycle(rt);
-            let label = format!(
-                "hashjoin({})",
-                vars.iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            );
-            finish(table, label, start, vec![lp, rp], config)
+            finish(table, plan_label(plan), start, vec![lp, rp], config)
         }
         PhysicalPlan::CrossProduct { left, right } => {
             let (lt, lp) = run(left, ds, config, ctx, domains)?;
@@ -310,21 +374,21 @@ fn run(
             let table = ops::cross_product_in(ctx, &lt, &rt);
             ctx.pool.recycle(lt);
             ctx.pool.recycle(rt);
-            finish(table, "crossproduct".into(), start, vec![lp, rp], config)
+            finish(table, plan_label(plan), start, vec![lp, rp], config)
         }
         PhysicalPlan::Sort { input, var } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::sort_by_in(ctx, &it, *var);
             ctx.pool.recycle(it);
-            finish(table, format!("sort({var})"), start, vec![ip], config)
+            finish(table, plan_label(plan), start, vec![ip], config)
         }
         PhysicalPlan::Filter { input, expr } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::filter_in(ctx, ds, &it, expr);
             ctx.pool.recycle(it);
-            finish(table, "filter".into(), start, vec![ip], config)
+            finish(table, plan_label(plan), start, vec![ip], config)
         }
         PhysicalPlan::Project {
             input,
@@ -335,26 +399,14 @@ fn run(
             let start = Instant::now();
             let table = ops::project_in(ctx, &it, projection, *distinct);
             ctx.pool.recycle(it);
-            let names: Vec<&str> = projection.iter().map(|(n, _)| n.as_str()).collect();
-            let label = if *distinct {
-                format!("project-distinct({})", names.join(","))
-            } else {
-                format!("project({})", names.join(","))
-            };
-            finish(table, label, start, vec![ip], config)
+            finish(table, plan_label(plan), start, vec![ip], config)
         }
         PhysicalPlan::OrderBy { input, keys } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::order_by_in(ctx, ds, &it, keys);
             ctx.pool.recycle(it);
-            finish(
-                table,
-                format!("orderby({} keys)", keys.len()),
-                start,
-                vec![ip],
-                config,
-            )
+            finish(table, plan_label(plan), start, vec![ip], config)
         }
         PhysicalPlan::Slice {
             input,
@@ -365,11 +417,7 @@ fn run(
             let start = Instant::now();
             let table = ops::slice_in(ctx, &it, *offset, *limit);
             ctx.pool.recycle(it);
-            let label = match limit {
-                Some(n) => format!("slice(offset={offset}, limit={n})"),
-                None => format!("slice(offset={offset})"),
-            };
-            finish(table, label, start, vec![ip], config)
+            finish(table, plan_label(plan), start, vec![ip], config)
         }
     }
 }

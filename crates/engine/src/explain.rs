@@ -172,7 +172,7 @@ fn render(
 
 /// Describe a pattern like the paper's figures: `p = locatedIn` under a
 /// `σ(PSO)` node, with variables shown by name.
-fn describe_pattern(pattern: &TriplePattern, query: &JoinQuery) -> String {
+pub(crate) fn describe_pattern(pattern: &TriplePattern, query: &JoinQuery) -> String {
     let mut parts = Vec::new();
     for pos in hsp_rdf::TriplePos::ALL {
         match pattern.slot(pos) {
@@ -239,6 +239,9 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
         if m.parallel_filters > 0 {
             stages.push(format!("{} parallel filters", m.parallel_filters));
         }
+        if m.parallel_sorts > 0 {
+            stages.push(format!("{} parallel sorts", m.parallel_sorts));
+        }
         if !stages.is_empty() {
             line.push_str(&format!(" [{}]", stages.join(", ")));
         }
@@ -246,14 +249,39 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     } else {
         format!("all kernels sequential ({} thread budget)", m.threads)
     };
+    let pipelines = if m.pipelines > 0 {
+        format!(
+            "{} pipeline{} launched ({} morsel{} pushed, {} intermediate row{} avoided); ",
+            m.pipelines,
+            if m.pipelines == 1 { "" } else { "s" },
+            m.pipeline_morsels,
+            if m.pipeline_morsels == 1 { "" } else { "s" },
+            m.pipeline_rows_avoided,
+            if m.pipeline_rows_avoided == 1 {
+                ""
+            } else {
+                "s"
+            },
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "runtime: {parallel}; buffer pool {} hit{} / {} miss{} / {} recycled\n",
+        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled\n",
         m.pool_hits,
         if m.pool_hits == 1 { "" } else { "s" },
         m.pool_misses,
         if m.pool_misses == 1 { "" } else { "es" },
         m.pool_recycled
     )
+}
+
+/// Render the pipeline DAG the default executor lowers `plan` into — one
+/// line per step: materialising breakers (`← breaker:`) and streaming
+/// pipelines (`← pipeline: source → stage → … → sink`), in dependency
+/// order. See [`crate::pipeline`].
+pub fn render_pipeline_dag(plan: &PhysicalPlan, query: &JoinQuery) -> String {
+    crate::pipeline::lower(plan).render(query)
 }
 
 /// Render a physical plan in Graphviz `dot` syntax: one node per operator
@@ -468,6 +496,44 @@ mod tests {
         };
         let line = render_runtime_metrics(&staged);
         assert!(line.contains("[1 parallel builds, 4 merge partitions, 2 parallel filters]"));
+        let with_sorts = RuntimeMetrics {
+            parallel_sorts: 3,
+            ..staged
+        };
+        assert!(render_runtime_metrics(&with_sorts).contains("3 parallel sorts"));
+    }
+
+    #[test]
+    fn runtime_metrics_report_pipelines() {
+        use crate::metrics::RuntimeMetrics;
+        let m = RuntimeMetrics {
+            threads: 1,
+            pipelines: 2,
+            pipeline_morsels: 5,
+            pipeline_rows_avoided: 1234,
+            ..RuntimeMetrics::default()
+        };
+        let line = render_runtime_metrics(&m);
+        assert!(
+            line.contains(
+                "2 pipelines launched (5 morsels pushed, 1234 intermediate rows avoided)"
+            ),
+            "{line}"
+        );
+        // The oracle path launches none and stays silent about pipelines.
+        let none = RuntimeMetrics {
+            threads: 1,
+            ..RuntimeMetrics::default()
+        };
+        assert!(!render_runtime_metrics(&none).contains("pipeline"));
+    }
+
+    #[test]
+    fn pipeline_dag_renders_for_a_planned_query() {
+        let (_, query, plan) = setup();
+        let dag = render_pipeline_dag(&plan, &query);
+        assert!(dag.starts_with("pipeline DAG"), "{dag}");
+        assert!(dag.contains("result: s"), "{dag}");
     }
 
     #[test]

@@ -158,13 +158,15 @@ impl CsrBuckets {
     /// slots in the shared `rows` array, so the scatter is race-free by
     /// construction (asserted through a raw-pointer wrapper below).
     ///
-    /// The cursor carve-out between the passes is sequential and costs
-    /// `O(stripes × buckets)` simple u32 ops (an interleaved sequential
-    /// scan of the per-stripe histograms) — with `buckets ≈ 2 × rows`
-    /// this serial term bounds the build's parallel speedup, which is
-    /// why [`MAX_BUILD_WORKERS`] stays small; parallelizing the
-    /// carve-out over disjoint bucket ranges is the recorded next step
-    /// once multicore measurements justify it (see ROADMAP).
+    /// The cursor carve-out between the passes is itself parallel over
+    /// **disjoint bucket chunks**: each carve task computes its chunk's
+    /// per-stripe cursors from a chunk base offset, so the former
+    /// `O(stripes × buckets)` serial term (with `buckets ≈ 2 × rows` it
+    /// bounded the build's speedup by Amdahl) shrinks to an
+    /// `O(workers)` sequential prefix over per-chunk totals. The carved
+    /// cursor values are the same integers the sequential interleaved
+    /// scan produces — chunk `c`'s base is exactly the row count of all
+    /// buckets before it — so the directory stays byte-identical.
     fn build_par(hashes: &[u64], config: &MorselConfig) -> (CsrBuckets, MorselRun) {
         let workers = config.workers_for(hashes.len()).min(MAX_BUILD_WORKERS);
         if workers <= 1 {
@@ -189,17 +191,49 @@ impl CsrBuckets {
             counts
         });
 
-        // Sequential: global bucket offsets, and per-stripe cursors carved
-        // out of each bucket's range (histograms become cursors in place).
-        let mut offsets = vec![0u32; buckets + 1];
-        for b in 0..buckets {
-            let mut cursor = offsets[b];
-            for hist in histograms.iter_mut() {
-                let count = hist[b];
-                hist[b] = cursor;
-                cursor += count;
+        // Carve-out (parallel over disjoint bucket chunks): per-chunk
+        // totals, a sequential prefix over the chunk totals, then each
+        // chunk turns its slice of the histograms into per-stripe write
+        // cursors and fills its slice of the global offsets array.
+        let chunk_size = buckets.div_ceil(workers);
+        let chunks: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|c| (c * chunk_size).min(buckets)..((c + 1) * chunk_size).min(buckets))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let (chunk_totals, _) = morsel::run_tasks(chunks.len(), workers, |c| {
+            let mut sum = 0u32;
+            for b in chunks[c].clone() {
+                for hist in &histograms {
+                    sum += hist[b];
+                }
             }
-            offsets[b + 1] = cursor;
+            sum
+        });
+        let mut chunk_base = vec![0u32; chunks.len() + 1];
+        for (c, &total) in chunk_totals.iter().enumerate() {
+            chunk_base[c + 1] = chunk_base[c] + total;
+        }
+        let mut offsets = vec![0u32; buckets + 1];
+        {
+            let offsets_out = ScatterSlice(offsets.as_mut_ptr());
+            let hist_slices: Vec<ScatterSlice<u32>> = histograms
+                .iter_mut()
+                .map(|h| ScatterSlice(h.as_mut_ptr()))
+                .collect();
+            let (_, _) = morsel::run_tasks(chunks.len(), workers, |c| {
+                // SAFETY: bucket chunks are disjoint, so every histogram
+                // slot `hist[b]` and offsets slot `offsets[b + 1]` is
+                // touched by exactly one task; `offsets[0]` stays 0.
+                let mut cursor = chunk_base[c];
+                for b in chunks[c].clone() {
+                    for hist in &hist_slices {
+                        let count = unsafe { hist.read(b) };
+                        unsafe { hist.write(b, cursor) };
+                        cursor += count;
+                    }
+                    unsafe { offsets_out.write(b + 1, cursor) };
+                }
+            });
         }
 
         // Pass 2 (parallel): scatter row indices through the per-stripe
@@ -264,6 +298,17 @@ impl<T> ScatterSlice<T> {
     /// worker.
     unsafe fn write(&self, index: usize, value: T) {
         unsafe { self.0.add(index).write(value) };
+    }
+}
+
+impl<T: Copy> ScatterSlice<T> {
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and not written concurrently by any other
+    /// worker.
+    unsafe fn read(&self, index: usize) -> T {
+        unsafe { self.0.add(index).read() }
     }
 }
 
@@ -692,6 +737,20 @@ mod tests {
         let cols: Vec<&[TermId]> = vec![&empty];
         let (table, _) = BuildTable::build_par(&cols, 0, &forced(3));
         assert_eq!(table, BuildTable::build(&cols, 0));
+    }
+
+    #[test]
+    fn parallel_carve_out_survives_skewed_buckets() {
+        // All rows hash to few buckets: most chunks carve empty ranges,
+        // one chunk carves everything — the directory must still equal
+        // the sequential build's.
+        let col: Vec<TermId> = (0..4_000).map(|i| TermId(i % 3)).collect();
+        let cols: Vec<&[TermId]> = vec![&col];
+        let sequential = BuildTable::build(&cols, col.len());
+        for threads in 2..=4 {
+            let (parallel, _) = BuildTable::build_par(&cols, col.len(), &forced(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Columnar, operator-at-a-time execution engine.
+//! Columnar execution engine: pipeline-at-a-time by default, with the
+//! operator-at-a-time evaluator retained as the byte-identity oracle.
 //!
-//! This crate is the MonetDB stand-in: like MonetDB's BAT algebra, every
-//! operator consumes and produces *fully materialised columnar* binding
-//! tables ([`binding::BindingTable`]), and sortedness is a first-class
-//! property — a [`plan::PhysicalPlan`] merge join is only valid when both
-//! inputs are sorted on the join variable, which scans over the six ordered
-//! relations provide for free.
+//! This crate began as the MonetDB stand-in: like MonetDB's BAT algebra,
+//! every operator consumed and produced *fully materialised columnar*
+//! binding tables ([`binding::BindingTable`]). That evaluator survives as
+//! [`exec::ExecStrategy::OperatorAtATime`]; the default `execute` path now
+//! **lowers** the plan into a DAG of morsel-driven pipelines with explicit
+//! breakers ([`pipeline`]), so non-breaker intermediates are never
+//! materialised. Sortedness stays a first-class property — a
+//! [`plan::PhysicalPlan`] merge join is only valid when both inputs are
+//! sorted on the join variable, which scans over the six ordered relations
+//! provide for free.
 //!
 //! # The vectorized execution model
 //!
@@ -52,9 +57,12 @@
 //!   from a shared cursor, thread-local pair buffers stitched back in
 //!   morsel order), the *merge join* (both sorted inputs range-partitioned
 //!   at common key boundaries, one independent cursor pair per partition,
-//!   outputs stitched in partition order), and *FILTER* / *ORDER BY* key
+//!   outputs stitched in partition order), *FILTER* / *ORDER BY* key
 //!   extraction (one expression evaluator per worker — the compiled-regex
-//!   cache stays single-threaded). Every parallel path is byte-identical
+//!   cache stays single-threaded), the *ORDER BY / sort-enforcer*
+//!   comparison sort (parallel merge sort over per-worker runs), and
+//!   whole *pipelines* (each worker pushes a morsel through every stage
+//!   of a breaker-free chain). Every parallel path is byte-identical
 //!   to its sequential counterpart by construction. Parallelism is gated
 //!   on `available_parallelism` and a row threshold, like the store's
 //!   six-order build; tests force a thread count (or the
@@ -81,6 +89,10 @@
 //! * [`ops`] — the vectorized operators: scan-select, merge join, hash
 //!   join, cross product, filter, projection, distinct. Each has a `*_in`
 //!   variant taking an [`pool::ExecContext`].
+//! * [`pipeline`] — lower-then-run: plans become a DAG of breaker-free
+//!   pipelines (scan → filter/probe stages → sink) separated by explicit
+//!   breakers; pipelines run morsel-at-a-time end to end with thread-local
+//!   index vectors, gathering each output column once at the sink.
 //! * [`mod@reference`] — the retired row-at-a-time kernels, kept as oracle and
 //!   benchmark baseline.
 //! * [`exec`] — the tree evaluator, with per-operator profiling and an
@@ -100,12 +112,13 @@ pub mod kernel;
 pub mod metrics;
 pub mod morsel;
 pub mod ops;
+pub mod pipeline;
 pub mod plan;
 pub mod pool;
 pub mod reference;
 
 pub use binding::BindingTable;
-pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, Profile};
+pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, ExecStrategy, Profile};
 pub use metrics::{PlanMetrics, PlanShape, RuntimeMetrics};
 pub use morsel::MorselConfig;
 pub use plan::PhysicalPlan;

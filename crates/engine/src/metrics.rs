@@ -26,6 +26,19 @@ pub struct RuntimeMetrics {
     /// FILTER evaluations / ORDER BY key extractions that ran parallel
     /// (per-worker expression evaluators).
     pub parallel_filters: usize,
+    /// Comparison sorts (ORDER BY merge phase, sort order-enforcer) that
+    /// ran parallel (per-worker sorted runs + parallel run merges).
+    pub parallel_sorts: usize,
+    /// Pipelines the pipeline executor launched (0 under the
+    /// operator-at-a-time oracle).
+    pub pipelines: usize,
+    /// Morsels pushed end-to-end through those pipelines (a sequential
+    /// pipeline counts its whole source as one morsel).
+    pub pipeline_morsels: usize,
+    /// Intermediate rows the pipelines kept as thread-local index vectors
+    /// instead of materialising between operators — the rows the
+    /// operator-at-a-time evaluator would have written and re-read.
+    pub pipeline_rows_avoided: usize,
     /// The execution's thread budget.
     pub threads: usize,
     /// Buffer-pool checkouts served from the free lists.
@@ -47,6 +60,10 @@ impl RuntimeMetrics {
             parallel_builds: ctx.parallel_builds(),
             merge_partitions: ctx.merge_partitions(),
             parallel_filters: ctx.parallel_filters(),
+            parallel_sorts: ctx.parallel_sorts(),
+            pipelines: ctx.pipelines(),
+            pipeline_morsels: ctx.pipeline_morsels(),
+            pipeline_rows_avoided: ctx.pipeline_rows_avoided(),
             threads: ctx.morsel.threads(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,

@@ -274,6 +274,112 @@ pub fn fill_stripes<T: Send>(
     }
 }
 
+/// Stable parallel merge sort: cut `items` into contiguous per-worker
+/// runs, sort each run on the task pool, then merge the runs pairwise —
+/// each merge round runs its pairs as parallel tasks — until one run
+/// remains. Ties keep input order (a run is a contiguous input range,
+/// runs merge in range order, and the pairwise merge takes from the
+/// earlier run on equal elements), so the result is element-for-element
+/// identical to a sequential stable `sort_by`. Below the config's
+/// parallel threshold (or on a one-thread budget) this *is* a sequential
+/// stable sort.
+///
+/// This is the comparison-sort counterpart of the partition-stitch
+/// kernels: the serial stage the ORDER BY / sort-enforcer path was left
+/// with after its key extraction went morsel-parallel.
+pub fn merge_sort<T: Send>(
+    items: Vec<T>,
+    config: &MorselConfig,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Sync,
+) -> (Vec<T>, MorselRun) {
+    let workers = config.workers_for(items.len());
+    if workers <= 1 {
+        let mut items = items;
+        items.sort_by(&cmp);
+        return (
+            items,
+            MorselRun {
+                morsels: 0,
+                threads: 1,
+            },
+        );
+    }
+
+    // Per-worker sorted runs over contiguous, morsel-aligned stripes.
+    let ranges = stripe_ranges(items.len(), workers, config.morsel_rows());
+    let initial_runs = ranges.len();
+    let mut source = items;
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(initial_runs);
+    // Carve the input into owned runs back-to-front (split_off keeps the
+    // prefix in place, so ranges pop off the tail in reverse).
+    for range in ranges.iter().rev() {
+        let run = source.split_off(range.start);
+        runs.push(run);
+    }
+    runs.reverse();
+    // Slots only transfer run ownership *into* the tasks; sorted/merged
+    // runs come back as `run_tasks` return values, already in task order.
+    let take = |slots: &[Mutex<Option<Vec<T>>>], i: usize| -> Vec<T> {
+        slots[i]
+            .lock()
+            .expect("run slot poisoned")
+            .take()
+            .expect("run present")
+    };
+    let slots: Vec<Mutex<Option<Vec<T>>>> = runs.into_iter().map(|r| Mutex::new(Some(r))).collect();
+    let (mut runs, sort_run) = run_tasks(slots.len(), workers, |s| {
+        let mut run = take(&slots, s);
+        run.sort_by(&cmp);
+        run
+    });
+    let mut threads = sort_run.threads;
+
+    // Merge rounds: adjacent runs pair up (preserving range order); an odd
+    // trailing run carries into the next round unmerged.
+    while runs.len() > 1 {
+        let pairs = runs.len() / 2;
+        let leftover = if runs.len() % 2 == 1 {
+            runs.pop()
+        } else {
+            None
+        };
+        let slots: Vec<Mutex<Option<Vec<T>>>> =
+            runs.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let (merged, merge_run) = run_tasks(pairs, workers, |p| {
+            merge_two(take(&slots, 2 * p), take(&slots, 2 * p + 1), &cmp)
+        });
+        threads = threads.max(merge_run.threads);
+        runs = merged;
+        runs.extend(leftover);
+    }
+    (
+        runs.pop().unwrap_or_default(),
+        MorselRun {
+            morsels: initial_runs,
+            threads,
+        },
+    )
+}
+
+/// Merge two sorted runs, taking from `a` (the earlier input range) on
+/// ties — the stability invariant of [`merge_sort`].
+fn merge_two<T>(a: Vec<T>, b: Vec<T>, cmp: &impl Fn(&T, &T) -> std::cmp::Ordering) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut bi = b.into_iter().peekable();
+    for x in a {
+        while let Some(y) = bi.peek() {
+            if cmp(y, &x) == std::cmp::Ordering::Less {
+                out.push(bi.next().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        out.push(x);
+    }
+    out.extend(bi);
+    out
+}
+
 /// Rows per stripe when `rows` are spread over `workers` contiguous
 /// stripes: whole morsels, rounded up, at least one morsel.
 fn stripe_rows(rows: usize, workers: usize, morsel_rows: usize) -> usize {
@@ -389,6 +495,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn merge_sort_matches_sequential_stable_sort() {
+        // Keys with heavy duplication + a payload that records input order:
+        // the parallel sort must keep ties in input order, exactly like the
+        // sequential stable sort.
+        let items: Vec<(u32, usize)> = (0..1000)
+            .map(|i| ((i as u32).wrapping_mul(2654435761) % 7, i))
+            .collect();
+        let mut expected = items.clone();
+        expected.sort_by_key(|item| item.0);
+        for threads in 1..=4 {
+            let config = MorselConfig::with_threads(threads)
+                .with_morsel_rows(16)
+                .with_min_parallel_rows(0);
+            let (sorted, run) = merge_sort(items.clone(), &config, |a, b| a.0.cmp(&b.0));
+            assert_eq!(sorted, expected, "threads={threads}");
+            if threads > 1 {
+                assert!(run.threads > 1);
+                assert!(run.morsels > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sort_handles_empty_and_tiny_inputs() {
+        let config = MorselConfig::with_threads(3)
+            .with_morsel_rows(4)
+            .with_min_parallel_rows(0);
+        let (empty, _) = merge_sort(Vec::<u32>::new(), &config, |a, b| a.cmp(b));
+        assert!(empty.is_empty());
+        let (one, _) = merge_sort(vec![5u32], &config, |a, b| a.cmp(b));
+        assert_eq!(one, vec![5]);
+        let (two, _) = merge_sort(vec![9u32, 2], &config, |a, b| a.cmp(b));
+        assert_eq!(two, vec![2, 9]);
     }
 
     #[test]

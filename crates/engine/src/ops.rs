@@ -489,12 +489,26 @@ pub fn sort_by(input: &BindingTable, var: Var) -> BindingTable {
 }
 
 /// [`sort_by`] in an execution context (pooled sort index and output).
+/// When the input clears the morsel threshold the comparison sort runs as
+/// a **parallel merge sort** ([`morsel::merge_sort`]): per-worker sorted
+/// runs, then parallel pairwise run merges. An explicit
+/// `(key, original index)` order makes the permutation unique, so the
+/// parallel result is element-for-element the sequential stable sort.
 pub fn sort_by_in(ctx: &ExecContext, input: &BindingTable, var: Var) -> BindingTable {
     check_indexable(input);
     let key = input.column(var);
     let mut index = ctx.pool.take_idx(input.len());
     index.extend(0..input.len() as u32);
-    index.sort_by_key(|&i| key[i as usize]); // stable
+    if ctx.morsel.workers_for(input.len()) > 1 {
+        let (sorted, run) =
+            morsel::merge_sort(std::mem::take(&mut index), &ctx.morsel, |&a, &b| {
+                key[a as usize].cmp(&key[b as usize]).then(a.cmp(&b))
+            });
+        ctx.note_sort(run);
+        index = sorted;
+    } else {
+        index.sort_by_key(|&i| key[i as usize]); // stable
+    }
     let mut out = input.gather_in(&index, &ctx.pool);
     ctx.pool.put_idx(index);
     out.set_sorted_by(Some(var));
@@ -620,7 +634,7 @@ thread_local! {
     /// the sequential paths deliberately use a plain local evaluator so
     /// the long-lived main thread never accretes a process-lifetime
     /// cache.
-    static WORKER_EVALUATOR: hsp_sparql::Evaluator = hsp_sparql::Evaluator::new();
+    pub(crate) static WORKER_EVALUATOR: hsp_sparql::Evaluator = hsp_sparql::Evaluator::new();
 }
 
 /// [`filter`] in an execution context — the **morsel-parallel FILTER**.
@@ -732,9 +746,12 @@ pub fn order_by(ds: &Dataset, input: &BindingTable, keys: &[hsp_sparql::SortKey]
 /// [`order_by`] in an execution context (pooled selection vector and
 /// output columns). The decorate phase — evaluating every key expression
 /// for every row — runs morsel-parallel with per-worker evaluators, like
-/// [`filter_in`]; per-morsel decorations stitch back in row order, so the
-/// subsequent (sequential, stable) sort sees exactly the sequence the
-/// sequential path builds and the output is byte-identical.
+/// [`filter_in`]; per-morsel decorations stitch back in row order. The
+/// comparison sort then runs as a **parallel merge sort**
+/// ([`morsel::merge_sort`]) over per-worker sorted runs when the input
+/// clears the morsel threshold; an original-row-index tie-break makes the
+/// order total, so the parallel output is byte-identical to the
+/// sequential stable sort.
 pub fn order_by_in(
     ctx: &ExecContext,
     ds: &Dataset,
@@ -771,7 +788,8 @@ pub fn order_by_in(
         } else {
             decorate(0..input.len(), &hsp_sparql::Evaluator::new())
         };
-    decorated.sort_by(|(_, ka), (_, kb)| {
+    let by_keys = |(ia, ka): &(usize, Vec<Option<hsp_sparql::Value>>),
+                   (ib, kb): &(usize, Vec<Option<hsp_sparql::Value>>)| {
         for (key, (va, vb)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
             let ord = compare_for_order(va.as_ref(), vb.as_ref());
             let ord = if key.descending { ord.reverse() } else { ord };
@@ -779,8 +797,19 @@ pub fn order_by_in(
                 return ord;
             }
         }
-        std::cmp::Ordering::Equal // stable sort keeps input order
-    });
+        // Tie-break on the original row index: equal-key rows keep input
+        // order (what the sequential stable sort guarantees implicitly),
+        // and the total order makes the parallel merge sort's output
+        // unique.
+        ia.cmp(ib)
+    };
+    if ctx.morsel.workers_for(decorated.len()) > 1 {
+        let (sorted, run) = morsel::merge_sort(decorated, &ctx.morsel, by_keys);
+        ctx.note_sort(run);
+        decorated = sorted;
+    } else {
+        decorated.sort_by(by_keys);
+    }
 
     let mut sel = ctx.pool.take_idx(decorated.len());
     sel.extend(decorated.iter().map(|&(i, _)| i as u32));
@@ -960,10 +989,30 @@ pub(crate) fn join_layout(
     (out_vars, right_extra, extra_shared)
 }
 
-/// Evaluate a FILTER expression on one row.
-fn eval_expr(
+/// Row-addressed variable lookup — the surface FILTER evaluation reads
+/// values through. Implemented by [`BindingTable`] (materialised rows,
+/// the operator-at-a-time case) and by the pipeline executor's composed
+/// index-tuple rows ([`crate::pipeline`]), so one expression evaluator
+/// serves both execution models. A variable missing from the row reads
+/// as [`TermId::UNBOUND`].
+pub(crate) trait RowValues {
+    /// The value bound to `v` in row `row` (UNBOUND when absent).
+    fn row_value(&self, v: Var, row: usize) -> TermId;
+}
+
+impl RowValues for BindingTable {
+    fn row_value(&self, v: Var, row: usize) -> TermId {
+        match self.col_index(v) {
+            Some(c) => self.columns()[c][row],
+            None => TermId::UNBOUND,
+        }
+    }
+}
+
+/// Evaluate a FILTER expression on one row of any [`RowValues`] view.
+pub(crate) fn eval_expr<V: RowValues>(
     ds: &Dataset,
-    table: &BindingTable,
+    table: &V,
     expr: &FilterExpr,
     row: usize,
     evaluator: &hsp_sparql::Evaluator,
@@ -987,19 +1036,18 @@ fn eval_expr(
     }
 }
 
-/// [`hsp_sparql::Bindings`] over one row of a dictionary-encoded binding
-/// table: decodes ids back to terms on demand; the UNBOUND sentinel (and a
-/// variable missing from the table entirely) reads as unbound.
-struct RowBindings<'a> {
+/// [`hsp_sparql::Bindings`] over one row of a dictionary-encoded row view:
+/// decodes ids back to terms on demand; the UNBOUND sentinel (and a
+/// variable missing from the view entirely) reads as unbound.
+struct RowBindings<'a, V> {
     ds: &'a Dataset,
-    table: &'a BindingTable,
+    table: &'a V,
     row: usize,
 }
 
-impl hsp_sparql::Bindings for RowBindings<'_> {
+impl<V: RowValues> hsp_sparql::Bindings for RowBindings<'_, V> {
     fn term(&self, v: Var) -> Option<Term> {
-        let idx = self.table.col_index(v)?;
-        let id = self.table.columns()[idx][self.row];
+        let id = self.table.row_value(v, self.row);
         if id.is_unbound() {
             None
         } else {
@@ -1015,14 +1063,14 @@ enum Value<'a> {
     Foreign(&'a Term),
 }
 
-fn operand_value<'a>(
+fn operand_value<'a, V: RowValues>(
     ds: &'a Dataset,
-    table: &BindingTable,
+    table: &V,
     operand: &'a Operand,
     row: usize,
 ) -> Value<'a> {
     match operand {
-        Operand::Var(v) => Value::Id(table.value(*v, row)),
+        Operand::Var(v) => Value::Id(table.row_value(*v, row)),
         Operand::Const(t) => match ds.dict().id(t) {
             Some(id) => Value::Id(id),
             None => Value::Foreign(t),

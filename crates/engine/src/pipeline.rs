@@ -1,0 +1,1454 @@
+//! Pipeline-at-a-time execution: lower a [`PhysicalPlan`] into a DAG of
+//! morsel-driven **pipelines** separated by explicit **breakers**, then run
+//! the pipelines in dependency order.
+//!
+//! The operator-at-a-time evaluator ([`crate::exec`]'s tree walk, retained
+//! as the byte-identity oracle) fully materialises a
+//! [`BindingTable`] between every pair of operators — the MonetDB-style
+//! model the source paper ran on. Morsel-driven pipelining (Leis et al.)
+//! replaces it with *lower-then-run*:
+//!
+//! * **Lowering** ([`lower`]) cuts the plan tree into maximal breaker-free
+//!   operator chains. A *pipeline* is `source → stage* → sink`, where the
+//!   source is a scan (or a breaker's materialised output), the stages are
+//!   the streaming operators — FILTER and hash-join *probes* — and the
+//!   sink is the single materialisation point. Everything that must see
+//!   its whole input before emitting a row is a *breaker* and becomes its
+//!   own step: the hash-join **build** side, merge join (both sorted
+//!   inputs), cross product, the sort order-enforcer, ORDER BY,
+//!   projection/DISTINCT, and LIMIT/OFFSET.
+//! * **Execution** ([`Program::run`]) walks the steps in dependency order
+//!   (lowering emits them topologically). A pipeline pushes its source
+//!   through the whole stage chain **morsel at a time** on the
+//!   [`crate::morsel`] pool: each worker carries only thread-local `u32`
+//!   index vectors — one per *side* (the source plus each probed build
+//!   table) — through the stages, so the rows between operators are never
+//!   gathered into columns. Per-morsel index vectors stitch back in morsel
+//!   order (the same discipline as every parallel kernel, so the result is
+//!   byte-identical to the oracle), and the sink gathers each output
+//!   column exactly once through the [`crate::pool::BufferPool`].
+//!
+//! What the oracle would have materialised between the pipeline's
+//! operators is reported as
+//! [`RuntimeMetrics::pipeline_rows_avoided`](crate::metrics::RuntimeMetrics::pipeline_rows_avoided);
+//! per-operator output cardinalities are still counted exactly, so the
+//! produced [`Profile`] matches the oracle's row for row.
+//!
+//! Executions that enable SIP or a row budget fall back to the
+//! operator-at-a-time evaluator (see [`crate::exec::ExecStrategy`]): both
+//! features are defined in terms of materialised intermediates.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hsp_rdf::{IdTriple, TermId};
+use hsp_sparql::{FilterExpr, TriplePattern, Var};
+use hsp_store::{Dataset, Order};
+
+use crate::binding::{gather_column, BindingTable};
+use crate::exec::{plan_label, Profile};
+use crate::kernel::BuildTable;
+use crate::morsel::{self, MorselRun};
+use crate::ops::{self, RowValues};
+use crate::plan::{scan_sort_var, PhysicalPlan};
+use crate::pool::ExecContext;
+
+/// A plan node's identity: its pre-order position in the plan tree.
+type NodeId = usize;
+
+/// A materialised table produced by one step (a breaker output or a
+/// pipeline sink).
+type SlotId = usize;
+
+/// The lowered form of one plan: steps in dependency order, each filling
+/// one slot. Build with [`lower`], run with [`Program::run`], render with
+/// [`Program::render`].
+pub struct Program<'p> {
+    plan: &'p PhysicalPlan,
+    steps: Vec<Step<'p>>,
+    slot_count: usize,
+    node_count: usize,
+    root: SlotId,
+    /// Plan-node pre-order ids, keyed by node address (stable: the plan is
+    /// borrowed for `'p`).
+    ids: HashMap<*const PhysicalPlan, NodeId>,
+}
+
+enum Step<'p> {
+    /// A breaker: run one materialising operator over already-filled slots.
+    Breaker {
+        node: NodeId,
+        out: SlotId,
+        op: BreakerOp<'p>,
+    },
+    /// A streaming pipeline: source → stages → sink.
+    Pipeline(Pipeline<'p>),
+}
+
+enum BreakerOp<'p> {
+    /// A scan feeding a breaker directly (or a zero-variable scan, whose
+    /// unit rows have no columns to stream).
+    Scan {
+        pattern: &'p TriplePattern,
+        order: Order,
+    },
+    MergeJoin {
+        left: SlotId,
+        right: SlotId,
+        var: Var,
+    },
+    CrossProduct {
+        left: SlotId,
+        right: SlotId,
+    },
+    Sort {
+        input: SlotId,
+        var: Var,
+    },
+    Project {
+        input: SlotId,
+        projection: &'p [(String, Var)],
+        distinct: bool,
+    },
+    OrderBy {
+        input: SlotId,
+        keys: &'p [hsp_sparql::SortKey],
+    },
+    Slice {
+        input: SlotId,
+        offset: usize,
+        limit: Option<usize>,
+    },
+}
+
+struct Pipeline<'p> {
+    source: SourceSpec<'p>,
+    stages: Vec<StageSpec<'p>>,
+    out: SlotId,
+}
+
+enum SourceSpec<'p> {
+    /// Stream straight out of an ordered relation.
+    Scan {
+        node: NodeId,
+        pattern: &'p TriplePattern,
+        order: Order,
+    },
+    /// Stream a breaker's materialised output.
+    Slot(SlotId),
+}
+
+enum StageSpec<'p> {
+    /// Residual FILTER over the pipeline's composed rows.
+    Filter { node: NodeId, expr: &'p FilterExpr },
+    /// Probe the hash table built over the (breaker-materialised) slot.
+    Probe {
+        node: NodeId,
+        build: SlotId,
+        vars: &'p [Var],
+    },
+}
+
+/// Lower a validated plan into a [`Program`].
+pub fn lower(plan: &PhysicalPlan) -> Program<'_> {
+    let mut ids = HashMap::new();
+    let mut counter = 0usize;
+    plan.visit(&mut |p| {
+        ids.insert(p as *const PhysicalPlan, counter);
+        counter += 1;
+    });
+    let mut lowerer = Lowerer {
+        ids: &ids,
+        steps: Vec::new(),
+        slot_count: 0,
+    };
+    let chain = lowerer.chain(plan);
+    let root = lowerer.seal(chain);
+    Program {
+        plan,
+        steps: lowerer.steps,
+        slot_count: lowerer.slot_count,
+        node_count: counter,
+        root,
+        ids,
+    }
+}
+
+/// A pipeline under construction: a source plus the streaming stages
+/// accumulated so far (not yet sealed into a step).
+struct Chain<'p> {
+    source: SourceSpec<'p>,
+    stages: Vec<StageSpec<'p>>,
+}
+
+struct Lowerer<'p, 'i> {
+    ids: &'i HashMap<*const PhysicalPlan, NodeId>,
+    steps: Vec<Step<'p>>,
+    slot_count: usize,
+}
+
+impl<'p> Lowerer<'p, '_> {
+    fn node_id(&self, plan: &'p PhysicalPlan) -> NodeId {
+        self.ids[&(plan as *const PhysicalPlan)]
+    }
+
+    fn new_slot(&mut self) -> SlotId {
+        let slot = self.slot_count;
+        self.slot_count += 1;
+        slot
+    }
+
+    fn push_breaker(&mut self, node: NodeId, op: BreakerOp<'p>) -> SlotId {
+        let out = self.new_slot();
+        self.steps.push(Step::Breaker { node, out, op });
+        out
+    }
+
+    /// Lower `plan` into an open chain, emitting breaker steps for every
+    /// sub-plan that must materialise (the classification is
+    /// [`PhysicalPlan::is_pipeline_breaker`]; the match below must agree
+    /// with it).
+    fn chain(&mut self, plan: &'p PhysicalPlan) -> Chain<'p> {
+        debug_assert_eq!(
+            plan.is_pipeline_breaker(),
+            !matches!(
+                plan,
+                PhysicalPlan::Scan { .. } | PhysicalPlan::Filter { .. }
+            ),
+            "lowering must agree with the breaker classification"
+        );
+        let node = self.node_id(plan);
+        match plan {
+            PhysicalPlan::Scan { pattern, order, .. } => {
+                if pattern.vars().is_empty() {
+                    // A fully ground pattern produces unit rows — nothing
+                    // to stream; materialise it like a breaker.
+                    let slot = self.push_breaker(
+                        node,
+                        BreakerOp::Scan {
+                            pattern,
+                            order: *order,
+                        },
+                    );
+                    Chain {
+                        source: SourceSpec::Slot(slot),
+                        stages: Vec::new(),
+                    }
+                } else {
+                    Chain {
+                        source: SourceSpec::Scan {
+                            node,
+                            pattern,
+                            order: *order,
+                        },
+                        stages: Vec::new(),
+                    }
+                }
+            }
+            PhysicalPlan::Filter { input, expr } => {
+                let mut chain = self.chain(input);
+                chain.stages.push(StageSpec::Filter { node, expr });
+                chain
+            }
+            PhysicalPlan::HashJoin { left, right, vars } => {
+                // The build side is the breaker: seal it, then keep
+                // streaming the probe side through a probe stage.
+                let build = self.seal_subplan(right);
+                let mut chain = self.chain(left);
+                chain.stages.push(StageSpec::Probe { node, build, vars });
+                chain
+            }
+            PhysicalPlan::MergeJoin { left, right, var } => {
+                let l = self.seal_subplan(left);
+                let r = self.seal_subplan(right);
+                let slot = self.push_breaker(
+                    node,
+                    BreakerOp::MergeJoin {
+                        left: l,
+                        right: r,
+                        var: *var,
+                    },
+                );
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::CrossProduct { left, right } => {
+                let l = self.seal_subplan(left);
+                let r = self.seal_subplan(right);
+                let slot = self.push_breaker(node, BreakerOp::CrossProduct { left: l, right: r });
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::Sort { input, var } => {
+                let i = self.seal_subplan(input);
+                let slot = self.push_breaker(
+                    node,
+                    BreakerOp::Sort {
+                        input: i,
+                        var: *var,
+                    },
+                );
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::Project {
+                input,
+                projection,
+                distinct,
+            } => {
+                let i = self.seal_subplan(input);
+                let slot = self.push_breaker(
+                    node,
+                    BreakerOp::Project {
+                        input: i,
+                        projection,
+                        distinct: *distinct,
+                    },
+                );
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::OrderBy { input, keys } => {
+                let i = self.seal_subplan(input);
+                let slot = self.push_breaker(node, BreakerOp::OrderBy { input: i, keys });
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::Slice {
+                input,
+                offset,
+                limit,
+            } => {
+                let i = self.seal_subplan(input);
+                let slot = self.push_breaker(
+                    node,
+                    BreakerOp::Slice {
+                        input: i,
+                        offset: *offset,
+                        limit: *limit,
+                    },
+                );
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn seal_subplan(&mut self, plan: &'p PhysicalPlan) -> SlotId {
+        let chain = self.chain(plan);
+        self.seal(chain)
+    }
+
+    /// Close an open chain into a slot: an already-materialised stage-less
+    /// chain is its slot; a stage-less scan materialises directly; anything
+    /// else becomes a pipeline step.
+    fn seal(&mut self, chain: Chain<'p>) -> SlotId {
+        if chain.stages.is_empty() {
+            return match chain.source {
+                SourceSpec::Slot(slot) => slot,
+                SourceSpec::Scan {
+                    node,
+                    pattern,
+                    order,
+                } => self.push_breaker(node, BreakerOp::Scan { pattern, order }),
+            };
+        }
+        let out = self.new_slot();
+        self.steps.push(Step::Pipeline(Pipeline {
+            source: chain.source,
+            stages: chain.stages,
+            out,
+        }));
+        out
+    }
+}
+
+impl Program<'_> {
+    /// Number of pipeline steps (the rest are breakers).
+    pub fn pipeline_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Pipeline(_)))
+            .count()
+    }
+
+    /// Execute the program, producing the final table and a per-operator
+    /// [`Profile`] mirroring the plan tree (output cardinalities are exact;
+    /// a pipeline's wall time is attributed to its topmost operator, its
+    /// inner stages report 0ns since they never run in isolation).
+    pub fn run(&self, ds: &Dataset, ctx: &ExecContext) -> (BindingTable, Profile) {
+        let mut slots: Vec<Option<BindingTable>> = (0..self.slot_count).map(|_| None).collect();
+        let mut rows = vec![0usize; self.node_count];
+        let mut nanos = vec![0u128; self.node_count];
+        for step in &self.steps {
+            match step {
+                Step::Breaker { node, out, op } => {
+                    let start = Instant::now();
+                    let (table, consumed) = run_breaker(op, ds, ctx, &mut slots);
+                    nanos[*node] = start.elapsed().as_nanos();
+                    rows[*node] = table.len();
+                    for t in consumed {
+                        ctx.pool.recycle(t);
+                    }
+                    slots[*out] = Some(table);
+                }
+                Step::Pipeline(p) => run_pipeline(p, ds, ctx, &mut slots, &mut rows, &mut nanos),
+            }
+        }
+        let table = slots[self.root].take().expect("root slot filled");
+        let profile = self.build_profile(self.plan, &rows, &nanos);
+        (table, profile)
+    }
+
+    fn build_profile(&self, plan: &PhysicalPlan, rows: &[usize], nanos: &[u128]) -> Profile {
+        let id = self.ids[&(plan as *const PhysicalPlan)];
+        let children = match plan {
+            PhysicalPlan::Scan { .. } => Vec::new(),
+            PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::CrossProduct { left, right } => vec![
+                self.build_profile(left, rows, nanos),
+                self.build_profile(right, rows, nanos),
+            ],
+            PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::OrderBy { input, .. }
+            | PhysicalPlan::Slice { input, .. } => vec![self.build_profile(input, rows, nanos)],
+        };
+        Profile {
+            label: plan_label(plan),
+            output_rows: rows[id],
+            nanos: nanos[id],
+            children,
+        }
+    }
+
+    /// Render the pipeline DAG as text: one line per step, slots named
+    /// `s0, s1, …`, pipelines shown as `source → stage → … → sink`.
+    pub fn render(&self, query: &hsp_sparql::JoinQuery) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "pipeline DAG: {} pipeline{}, {} breaker{}\n",
+            self.pipeline_count(),
+            if self.pipeline_count() == 1 { "" } else { "s" },
+            self.steps.len() - self.pipeline_count(),
+            if self.steps.len() - self.pipeline_count() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        );
+        let scan_desc = |pattern: &TriplePattern, order: Order| {
+            format!(
+                "σ({}) {}",
+                order.upper_name(),
+                crate::explain::describe_pattern(pattern, query)
+            )
+        };
+        for step in &self.steps {
+            match step {
+                Step::Breaker { out: slot, op, .. } => {
+                    let desc = match op {
+                        BreakerOp::Scan { pattern, order } => scan_desc(pattern, *order),
+                        BreakerOp::MergeJoin { left, right, var } => {
+                            format!("⋈mj ?{} (s{left}, s{right})", query.var_name(*var))
+                        }
+                        BreakerOp::CrossProduct { left, right } => {
+                            format!("× (s{left}, s{right})")
+                        }
+                        BreakerOp::Sort { input, var } => {
+                            format!("sort ?{} (s{input})", query.var_name(*var))
+                        }
+                        BreakerOp::Project {
+                            input,
+                            projection,
+                            distinct,
+                        } => {
+                            let names: Vec<String> =
+                                projection.iter().map(|(n, _)| format!("?{n}")).collect();
+                            format!(
+                                "{} {} (s{input})",
+                                if *distinct { "π-distinct" } else { "π" },
+                                names.join(",")
+                            )
+                        }
+                        BreakerOp::OrderBy { input, keys } => {
+                            format!("order by ({} keys) (s{input})", keys.len())
+                        }
+                        BreakerOp::Slice {
+                            input,
+                            offset,
+                            limit,
+                        } => format!(
+                            "slice[{offset}..{}] (s{input})",
+                            limit.map_or("∞".into(), |n| n.to_string())
+                        ),
+                    };
+                    let _ = writeln!(out, "  s{slot} ← breaker: {desc}");
+                }
+                Step::Pipeline(p) => {
+                    let mut line = format!("  s{} ← pipeline: ", p.out);
+                    match &p.source {
+                        SourceSpec::Scan { pattern, order, .. } => {
+                            line.push_str(&scan_desc(pattern, *order));
+                        }
+                        SourceSpec::Slot(slot) => {
+                            let _ = write!(line, "s{slot}");
+                        }
+                    }
+                    for stage in &p.stages {
+                        match stage {
+                            StageSpec::Filter { .. } => line.push_str(" → σ(filter)"),
+                            StageSpec::Probe { build, vars, .. } => {
+                                let names: Vec<String> = vars
+                                    .iter()
+                                    .map(|v| format!("?{}", query.var_name(*v)))
+                                    .collect();
+                                let _ = write!(line, " → ⋈hj {} [build s{build}]", names.join(","));
+                            }
+                        }
+                    }
+                    line.push_str(" → sink\n");
+                    out.push_str(&line);
+                }
+            }
+        }
+        let _ = writeln!(out, "  result: s{}", self.root);
+        out
+    }
+}
+
+/// Run one breaker op over materialised slots; returns the output table
+/// plus the consumed input tables (for recycling).
+fn run_breaker(
+    op: &BreakerOp<'_>,
+    ds: &Dataset,
+    ctx: &ExecContext,
+    slots: &mut [Option<BindingTable>],
+) -> (BindingTable, Vec<BindingTable>) {
+    let mut take = |slot: SlotId| -> BindingTable {
+        slots[slot].take().expect("input slot filled before use")
+    };
+    match op {
+        BreakerOp::Scan { pattern, order } => (ops::scan_in(ctx, ds, pattern, *order), Vec::new()),
+        BreakerOp::MergeJoin { left, right, var } => {
+            let (l, r) = (take(*left), take(*right));
+            (ops::merge_join_in(ctx, &l, &r, *var), vec![l, r])
+        }
+        BreakerOp::CrossProduct { left, right } => {
+            let (l, r) = (take(*left), take(*right));
+            (ops::cross_product_in(ctx, &l, &r), vec![l, r])
+        }
+        BreakerOp::Sort { input, var } => {
+            let i = take(*input);
+            (ops::sort_by_in(ctx, &i, *var), vec![i])
+        }
+        BreakerOp::Project {
+            input,
+            projection,
+            distinct,
+        } => {
+            let i = take(*input);
+            (ops::project_in(ctx, &i, projection, *distinct), vec![i])
+        }
+        BreakerOp::OrderBy { input, keys } => {
+            let i = take(*input);
+            (ops::order_by_in(ctx, ds, &i, keys), vec![i])
+        }
+        BreakerOp::Slice {
+            input,
+            offset,
+            limit,
+        } => {
+            let i = take(*input);
+            (ops::slice_in(ctx, &i, *offset, *limit), vec![i])
+        }
+    }
+}
+
+/// How a pipeline stage reads one value of a composed row: either a key
+/// coordinate of the scan source's relation rows, or a column of a
+/// materialised side table, indexed through that side's index vector.
+#[derive(Clone, Copy)]
+enum ColRef<'a> {
+    /// `scan_rows[sides[0][row]][key]`.
+    Key { key: usize },
+    /// `col[sides[side][row]]`.
+    Col { side: usize, col: &'a [TermId] },
+}
+
+/// One prepared (executable) pipeline stage.
+enum PreparedStage<'a> {
+    Filter {
+        node: NodeId,
+        expr: &'a FilterExpr,
+        /// The variables the expression reads, resolved against the
+        /// pipeline layout — gathered into scratch columns per morsel so
+        /// the row loop runs over contiguous memory, like the
+        /// operator-at-a-time FILTER.
+        used: Vec<(Var, ColRef<'a>)>,
+    },
+    Probe {
+        node: NodeId,
+        table: BuildTable,
+        build_cols: Vec<&'a [TermId]>,
+        key_refs: Vec<ColRef<'a>>,
+        /// Shared non-key variables: the composed row's value must equal
+        /// the build row's (the repeated-variable check of the joins).
+        extra_checks: Vec<(ColRef<'a>, &'a [TermId])>,
+    },
+}
+
+/// Everything a morsel worker needs, borrowed for the pipeline run.
+struct PreparedPipeline<'a> {
+    /// Relation rows of a scan source (empty for slot sources).
+    scan_rows: &'a [IdTriple],
+    /// `true` when the source is a scan (node cardinality + equalities
+    /// apply; the scan's rows count as avoided materialisation).
+    scan_source: Option<NodeId>,
+    /// Repeated-variable equalities of the scan pattern (key-index pairs).
+    equalities: Vec<(usize, usize)>,
+    /// Output layout: one entry per output column, in output order.
+    layout: Vec<(Var, ColRef<'a>)>,
+    stages: Vec<PreparedStage<'a>>,
+    rows: usize,
+    sorted: Option<Var>,
+}
+
+/// The per-morsel result: one index vector per side plus the per-stage
+/// surviving-row counts (source first).
+struct MorselOut {
+    sides: Vec<Vec<u32>>,
+    counts: Vec<usize>,
+}
+
+/// The composed-row view a stage gathers its scratch columns from:
+/// [`ColRef`] reads resolved through the current side index vectors.
+/// While no stage has dropped a row yet, side 0 is represented *lazily*
+/// as the morsel's row range (`ident`) instead of a materialised identity
+/// vector — reads off it are sequential slice accesses.
+struct View<'a, 'b> {
+    scan_rows: &'a [IdTriple],
+    sides: &'b [Vec<u32>],
+    /// `Some(start)` while side 0 is still the untouched morsel range
+    /// starting at `start` (its length is the current row count).
+    ident: Option<u32>,
+}
+
+impl View<'_, '_> {
+    /// Gather the first `n` values of a column reference into a contiguous
+    /// scratch buffer (one tight loop per [`ColRef`] shape — what keeps
+    /// the probe loop over the result as fast as a materialised column).
+    fn gather(&self, r: ColRef<'_>, n: usize, scratch: &Scratch<'_>) -> Vec<TermId> {
+        let mut out = scratch.take_col(n);
+        match (r, self.ident) {
+            (ColRef::Key { key }, Some(start)) => {
+                let start = start as usize;
+                out.extend(self.scan_rows[start..start + n].iter().map(|row| row[key]));
+            }
+            (ColRef::Key { key }, None) => out.extend(
+                self.sides[0][..n]
+                    .iter()
+                    .map(|&i| self.scan_rows[i as usize][key]),
+            ),
+            (ColRef::Col { side: 0, col }, Some(start)) => {
+                let start = start as usize;
+                out.extend_from_slice(&col[start..start + n]);
+            }
+            (ColRef::Col { side, col }, _) => {
+                out.extend(self.sides[side][..n].iter().map(|&i| col[i as usize]))
+            }
+        }
+        out
+    }
+}
+
+/// Scratch-buffer source for one morsel run: the execution's
+/// [`BufferPool`](crate::pool::BufferPool) when the pipeline runs
+/// sequentially on the owning thread (large scratch columns recycle
+/// instead of churning the allocator, exactly like the oracle's gathers),
+/// plain allocation for parallel workers — the pool is single-threaded by
+/// design and workers keep everything thread-local.
+struct Scratch<'a> {
+    pool: Option<&'a crate::pool::BufferPool>,
+}
+
+impl Scratch<'_> {
+    fn take_col(&self, cap: usize) -> Vec<TermId> {
+        self.pool
+            .map_or_else(|| Vec::with_capacity(cap), |p| p.take_col(cap))
+    }
+
+    fn put_col(&self, col: Vec<TermId>) {
+        if let Some(p) = self.pool {
+            p.put_col(col);
+        }
+    }
+
+    fn take_idx(&self, cap: usize) -> Vec<u32> {
+        self.pool
+            .map_or_else(|| Vec::with_capacity(cap), |p| p.take_idx(cap))
+    }
+
+    fn put_idx(&self, buf: Vec<u32>) {
+        if let Some(p) = self.pool {
+            p.put_idx(buf);
+        }
+    }
+}
+
+/// The FILTER stage's evaluation surface: just the expression's variables,
+/// each backed by a contiguous scratch column gathered for this morsel.
+struct ScratchCols<'a, 'b> {
+    used: &'b [(Var, ColRef<'a>)],
+    cols: &'b [Vec<TermId>],
+}
+
+impl RowValues for ScratchCols<'_, '_> {
+    fn row_value(&self, v: Var, row: usize) -> TermId {
+        self.used
+            .iter()
+            .position(|&(uv, _)| uv == v)
+            .map_or(TermId::UNBOUND, |c| self.cols[c][row])
+    }
+}
+
+/// Execute one pipeline: prepare (resolve the source, build the probe hash
+/// tables — the breaker work), push morsels through the stage chain, gather
+/// once at the sink, recycle the consumed inputs.
+fn run_pipeline(
+    p: &Pipeline<'_>,
+    ds: &Dataset,
+    ctx: &ExecContext,
+    slots: &mut [Option<BindingTable>],
+    rows_by_node: &mut [usize],
+    nanos_by_node: &mut [u128],
+) {
+    let start = Instant::now();
+
+    // Take the pipeline's inputs out of their slots (they stay alive —
+    // borrowed by the prepared stages — until the sink has gathered).
+    let source_table: Option<BindingTable> = match &p.source {
+        SourceSpec::Slot(slot) => Some(slots[*slot].take().expect("source slot filled")),
+        SourceSpec::Scan { .. } => None,
+    };
+    let build_tables: Vec<BindingTable> = p
+        .stages
+        .iter()
+        .filter_map(|s| match s {
+            StageSpec::Probe { build, .. } => {
+                Some(slots[*build].take().expect("build slot filled"))
+            }
+            StageSpec::Filter { .. } => None,
+        })
+        .collect();
+
+    let prepared = prepare(p, ds, ctx, source_table.as_ref(), &build_tables);
+
+    // Push morsels through the whole stage chain. Parallel workers use the
+    // per-thread evaluator (scoped threads — the caches drop at pipeline
+    // exit); the sequential path keeps a plain local evaluator so the
+    // long-lived main thread never accretes a regex cache.
+    let stage_count = prepared.stages.len();
+    let (parts, run) = if ctx.morsel.workers_for(prepared.rows) > 1 {
+        morsel::run_morsels(prepared.rows, &ctx.morsel, |range| {
+            // Workers allocate scratch plainly: the pool is single-threaded.
+            let scratch = Scratch { pool: None };
+            ops::WORKER_EVALUATOR
+                .with(|evaluator| process_morsel(range, &prepared, ds, evaluator, &scratch))
+        })
+    } else {
+        let evaluator = hsp_sparql::Evaluator::new();
+        let scratch = Scratch {
+            pool: Some(&ctx.pool),
+        };
+        let out = process_morsel(0..prepared.rows, &prepared, ds, &evaluator, &scratch);
+        (
+            vec![out],
+            MorselRun {
+                morsels: 0,
+                threads: 1,
+            },
+        )
+    };
+
+    // Stitch the per-morsel index vectors in morsel order and total the
+    // per-stage counts.
+    let side_count = 1 + prepared
+        .stages
+        .iter()
+        .filter(|s| matches!(s, PreparedStage::Probe { .. }))
+        .count();
+    let mut counts = vec![0usize; 1 + stage_count];
+    let mut total_rows = 0usize;
+    for part in &parts {
+        total_rows += part.sides[0].len();
+    }
+    let sides: Vec<Vec<u32>> = if parts.len() == 1 {
+        // Single morsel (the sequential path): its index vectors are the
+        // stitched result — move them instead of copying.
+        let part = parts.into_iter().next().expect("one part");
+        for (c, n) in part.counts.iter().enumerate() {
+            counts[c] += n;
+        }
+        part.sides
+    } else {
+        let mut sides: Vec<Vec<u32>> = (0..side_count)
+            .map(|_| ctx.pool.take_idx(total_rows))
+            .collect();
+        for part in parts {
+            for (c, n) in part.counts.iter().enumerate() {
+                counts[c] += n;
+            }
+            for (s, v) in part.sides.into_iter().enumerate() {
+                sides[s].extend_from_slice(&v);
+            }
+        }
+        sides
+    };
+
+    // Record per-operator cardinalities (exactly what the oracle would
+    // report): the scan source's output, then each stage's.
+    if let Some(node) = prepared.scan_source {
+        rows_by_node[node] = counts[0];
+    }
+    for (stage, &n) in prepared.stages.iter().zip(&counts[1..]) {
+        let node = match stage {
+            PreparedStage::Filter { node, .. } | PreparedStage::Probe { node, .. } => *node,
+        };
+        rows_by_node[node] = n;
+    }
+
+    // The rows the oracle would have materialised between operators but
+    // this pipeline kept as index vectors: every count except the final
+    // stage's (which the sink materialises); a slot source was already
+    // materialised by its breaker, so it does not count.
+    let avoided: usize = counts[..counts.len() - 1]
+        .iter()
+        .skip(if prepared.scan_source.is_some() { 0 } else { 1 })
+        .sum();
+    ctx.note_pipeline(run, avoided);
+
+    // Sink: gather each output column exactly once, through the pool.
+    let out_rows = sides[0].len();
+    let table = if prepared.layout.is_empty() {
+        BindingTable::unit(out_rows)
+    } else {
+        let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(prepared.layout.len());
+        for &(_, r) in &prepared.layout {
+            match r {
+                ColRef::Key { key } => {
+                    let mut col = ctx.pool.take_col(out_rows);
+                    col.extend(
+                        sides[0]
+                            .iter()
+                            .map(|&i| prepared.scan_rows[i as usize][key]),
+                    );
+                    cols.push(col);
+                }
+                ColRef::Col { side, col } => {
+                    cols.push(gather_column(col, &sides[side], Some(&ctx.pool)));
+                }
+            }
+        }
+        let vars: Vec<Var> = prepared.layout.iter().map(|&(v, _)| v).collect();
+        let mut table = BindingTable::from_columns(vars, cols, None);
+        table.set_sorted_by(prepared.sorted);
+        table
+    };
+    for side in sides {
+        ctx.pool.put_idx(side);
+    }
+
+    // The topmost operator of the pipeline owns its wall time (inner
+    // stages never run in isolation, so they report 0).
+    let top_node = match prepared.stages.last() {
+        Some(PreparedStage::Filter { node, .. }) | Some(PreparedStage::Probe { node, .. }) => *node,
+        None => unreachable!("pipelines have at least one stage"),
+    };
+    nanos_by_node[top_node] = start.elapsed().as_nanos();
+
+    // Recycle the consumed inputs now that the gather is done.
+    drop(prepared);
+    if let Some(t) = source_table {
+        ctx.pool.recycle(t);
+    }
+    for t in build_tables {
+        ctx.pool.recycle(t);
+    }
+    slots[p.out] = Some(table);
+}
+
+/// Resolve the pipeline's source and stages against the dataset and the
+/// taken input tables: relation range + key layout for a scan source,
+/// hash-table builds (the breaker half of each hash join) for the probes.
+fn prepare<'a>(
+    p: &'a Pipeline<'_>,
+    ds: &'a Dataset,
+    ctx: &ExecContext,
+    source_table: Option<&'a BindingTable>,
+    build_tables: &'a [BindingTable],
+) -> PreparedPipeline<'a> {
+    let mut layout: Vec<(Var, ColRef<'a>)> = Vec::new();
+    let mut equalities: Vec<(usize, usize)> = Vec::new();
+    let mut scan_rows: &'a [IdTriple] = &[];
+    let scan_source;
+    let rows;
+    let sorted;
+    match &p.source {
+        SourceSpec::Scan {
+            node,
+            pattern,
+            order,
+        } => {
+            scan_source = Some(*node);
+            // Resolve constants exactly like `ops::scan_in`: a constant
+            // missing from the dictionary matches nothing (and the empty
+            // output, like the oracle's, advertises no sortedness).
+            let mut prefix: Vec<TermId> = Vec::with_capacity(3);
+            let mut known = true;
+            for pos in order.positions() {
+                match pattern.slot(pos) {
+                    hsp_sparql::TermOrVar::Const(term) => match ds.dict().id(term) {
+                        Some(id) => prefix.push(id),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    },
+                    hsp_sparql::TermOrVar::Var(_) => break,
+                }
+            }
+            if known {
+                scan_rows = ds.store().relation(*order).range(&prefix);
+            }
+            assert!(
+                scan_rows.len() < u32::MAX as usize,
+                "scan range exceeds u32 row indexing"
+            );
+            let out_vars = pattern.vars();
+            for &v in &out_vars {
+                let pos = pattern.positions_of(v)[0];
+                layout.push((
+                    v,
+                    ColRef::Key {
+                        key: order.key_index(pos),
+                    },
+                ));
+            }
+            for &v in &out_vars {
+                let positions = pattern.positions_of(v);
+                for pair in positions.windows(2) {
+                    equalities.push((order.key_index(pair[0]), order.key_index(pair[1])));
+                }
+            }
+            rows = scan_rows.len();
+            sorted = if known {
+                scan_sort_var(pattern, *order)
+            } else {
+                None
+            };
+        }
+        SourceSpec::Slot(_) => {
+            let table = source_table.expect("slot source taken");
+            assert!(
+                table.len() < u32::MAX as usize,
+                "binding table exceeds u32 row indexing"
+            );
+            for (c, &v) in table.vars().iter().enumerate() {
+                layout.push((
+                    v,
+                    ColRef::Col {
+                        side: 0,
+                        col: &table.columns()[c],
+                    },
+                ));
+            }
+            scan_source = None;
+            rows = table.len();
+            sorted = table.sorted_by();
+        }
+    }
+
+    let mut stages: Vec<PreparedStage<'a>> = Vec::with_capacity(p.stages.len());
+    let mut side_count = 1usize;
+    let mut builds = build_tables.iter();
+    for stage in &p.stages {
+        match stage {
+            StageSpec::Filter { node, expr } => {
+                let used: Vec<(Var, ColRef<'a>)> = expr
+                    .vars()
+                    .into_iter()
+                    .filter_map(|v| {
+                        layout
+                            .iter()
+                            .find(|&&(lv, _)| lv == v)
+                            .map(|&(_, r)| (v, r))
+                    })
+                    .collect();
+                stages.push(PreparedStage::Filter {
+                    node: *node,
+                    expr,
+                    used,
+                });
+            }
+            StageSpec::Probe { node, vars, .. } => {
+                let bt = builds.next().expect("one build table per probe stage");
+                let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| bt.column(v)).collect();
+                let (table, build_run) = BuildTable::build_par(&build_cols, bt.len(), &ctx.morsel);
+                ctx.note_build(build_run);
+                let key_refs: Vec<ColRef<'a>> = vars
+                    .iter()
+                    .map(|v| {
+                        layout
+                            .iter()
+                            .find(|&&(lv, _)| lv == *v)
+                            .map(|&(_, r)| r)
+                            .expect("join variable bound by the pipeline (validated)")
+                    })
+                    .collect();
+                let extra_checks: Vec<(ColRef<'a>, &[TermId])> = layout
+                    .iter()
+                    .filter(|&&(lv, _)| bt.vars().contains(&lv) && !vars.contains(&lv))
+                    .map(|&(lv, r)| (r, bt.column(lv)))
+                    .collect();
+                // The build side's non-shared variables join the layout,
+                // read through this probe's new side.
+                for (c, &v) in bt.vars().iter().enumerate() {
+                    if !layout.iter().any(|&(lv, _)| lv == v) {
+                        layout.push((
+                            v,
+                            ColRef::Col {
+                                side: side_count,
+                                col: &bt.columns()[c],
+                            },
+                        ));
+                    }
+                }
+                stages.push(PreparedStage::Probe {
+                    node: *node,
+                    table,
+                    build_cols,
+                    key_refs,
+                    extra_checks,
+                });
+                side_count += 1;
+            }
+        }
+    }
+
+    PreparedPipeline {
+        scan_rows,
+        scan_source,
+        equalities,
+        layout,
+        stages,
+        rows,
+        sorted,
+    }
+}
+
+/// Push one morsel of source rows through the whole stage chain,
+/// thread-locally: every intermediate is a `u32` index vector per side.
+fn process_morsel(
+    range: std::ops::Range<usize>,
+    p: &PreparedPipeline<'_>,
+    ds: &Dataset,
+    evaluator: &hsp_sparql::Evaluator,
+    scratch: &Scratch<'_>,
+) -> MorselOut {
+    let mut counts = Vec::with_capacity(1 + p.stages.len());
+    let mut sides: Vec<Vec<u32>> = Vec::with_capacity(4);
+
+    // Source selection: the morsel's row range, minus scan rows violating
+    // repeated-variable equalities (same order as the oracle's scan).
+    // While nothing has been dropped, side 0 stays *lazy* (`ident`) — no
+    // identity vector is materialised and reads off the source are
+    // sequential.
+    let mut ident: Option<u32> = None;
+    let mut rows_now: usize;
+    if p.equalities.is_empty() {
+        ident = Some(range.start as u32);
+        rows_now = range.len();
+        sides.push(Vec::new()); // placeholder while side 0 is lazy
+    } else {
+        let mut sel: Vec<u32> = scratch.take_idx(range.len());
+        sel.extend(
+            range
+                .filter(|&i| {
+                    p.equalities
+                        .iter()
+                        .all(|&(a, b)| p.scan_rows[i][a] == p.scan_rows[i][b])
+                })
+                .map(|i| i as u32),
+        );
+        rows_now = sel.len();
+        sides.push(sel);
+    }
+    counts.push(rows_now);
+
+    for stage in &p.stages {
+        match stage {
+            PreparedStage::Filter { expr, used, .. } => {
+                let n = rows_now;
+                let keep: Vec<u32> = {
+                    let view = View {
+                        scan_rows: p.scan_rows,
+                        sides: &sides,
+                        ident,
+                    };
+                    // Gather only the columns the expression reads, then
+                    // evaluate the row loop over contiguous scratch — the
+                    // same memory shape the materialised FILTER sees.
+                    let cols: Vec<Vec<TermId>> = used
+                        .iter()
+                        .map(|&(_, r)| view.gather(r, n, scratch))
+                        .collect();
+                    let surface = ScratchCols { used, cols: &cols };
+                    let mut keep = scratch.take_idx(n);
+                    keep.extend(
+                        (0..n)
+                            .filter(|&r| ops::eval_expr(ds, &surface, expr, r, evaluator))
+                            .map(|r| r as u32),
+                    );
+                    for col in cols {
+                        scratch.put_col(col);
+                    }
+                    keep
+                };
+                rows_now = keep.len();
+                apply_keep(&mut sides, &keep, n, &mut ident, scratch);
+                scratch.put_idx(keep);
+            }
+            PreparedStage::Probe {
+                table,
+                build_cols,
+                key_refs,
+                extra_checks,
+                ..
+            } => {
+                let n = rows_now;
+                let (keep, matched) = {
+                    let view = View {
+                        scan_rows: p.scan_rows,
+                        sides: &sides,
+                        ident,
+                    };
+                    // Gather the key (and extra-check) values into
+                    // contiguous thread-local scratch columns, then drive
+                    // the shared probe loop over them — the same tight
+                    // loop the operator-at-a-time join runs, minus the
+                    // full-table materialisation around it.
+                    let key_cols: Vec<Vec<TermId>> = key_refs
+                        .iter()
+                        .map(|&kr| view.gather(kr, n, scratch))
+                        .collect();
+                    let extra_cols: Vec<Vec<TermId>> = extra_checks
+                        .iter()
+                        .map(|&(lr, _)| view.gather(lr, n, scratch))
+                        .collect();
+                    let probe_cols: Vec<&[TermId]> = key_cols.iter().map(Vec::as_slice).collect();
+                    let extra_pairs: Vec<(&[TermId], &[TermId])> = extra_cols
+                        .iter()
+                        .zip(extra_checks)
+                        .map(|(l, &(_, rcol))| (l.as_slice(), rcol))
+                        .collect();
+                    let mut keep = scratch.take_idx(n);
+                    let mut matched = scratch.take_idx(n);
+                    table.probe_range(
+                        build_cols,
+                        &probe_cols,
+                        &extra_pairs,
+                        0..n,
+                        &mut keep,
+                        &mut matched,
+                    );
+                    for col in key_cols {
+                        scratch.put_col(col);
+                    }
+                    for col in extra_cols {
+                        scratch.put_col(col);
+                    }
+                    (keep, matched)
+                };
+                rows_now = keep.len();
+                apply_keep(&mut sides, &keep, n, &mut ident, scratch);
+                scratch.put_idx(keep);
+                sides.push(matched);
+            }
+        }
+        counts.push(rows_now);
+    }
+    // A chain that never dropped a row leaves side 0 lazy — materialise it
+    // for the stitch and the sink.
+    if let Some(start) = ident {
+        let mut sel = scratch.take_idx(rows_now);
+        sel.extend(start..start + rows_now as u32);
+        sides[0] = sel;
+    }
+    MorselOut { sides, counts }
+}
+
+/// Advance every side past a filtering stage: replace each side vector
+/// with its values at the `keep` positions (`n` is the pre-stage row
+/// count). A stage that kept every row exactly once (`keep` is the
+/// identity — the common case for selective scans feeding 1:1 joins)
+/// changes nothing, and a still-lazy side 0 materialises directly from
+/// `keep` plus the range offset.
+fn apply_keep(
+    sides: &mut [Vec<u32>],
+    keep: &[u32],
+    n: usize,
+    ident: &mut Option<u32>,
+    scratch: &Scratch<'_>,
+) {
+    if keep.len() == n && keep.iter().enumerate().all(|(i, &k)| k as usize == i) {
+        return;
+    }
+    let skip_side0 = if let Some(start) = *ident {
+        let mut sel = scratch.take_idx(keep.len());
+        sel.extend(keep.iter().map(|&k| start + k));
+        sides[0] = sel;
+        *ident = None;
+        1
+    } else {
+        0
+    };
+    for side in sides.iter_mut().skip(skip_side0) {
+        let mut gathered = scratch.take_idx(keep.len());
+        gathered.extend(keep.iter().map(|&k| side[k as usize]));
+        scratch.put_idx(std::mem::replace(side, gathered));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig, ExecStrategy};
+    use hsp_rdf::Term;
+    use hsp_sparql::{CmpOp, Operand, TermOrVar};
+
+    fn dataset() -> Dataset {
+        Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/p> <http://e/b2> .
+<http://e/a2> <http://e/p> <http://e/b1> .
+<http://e/a1> <http://e/q> "5" .
+<http://e/a2> <http://e/q> "7" .
+<http://e/b1> <http://e/r> "x" .
+"#,
+        )
+        .unwrap()
+    }
+
+    fn cv(name: &str) -> TermOrVar {
+        TermOrVar::Const(Term::iri(format!("http://e/{name}")))
+    }
+
+    fn vv(i: u32) -> TermOrVar {
+        TermOrVar::Var(Var(i))
+    }
+
+    fn scan(idx: usize, s: TermOrVar, p: TermOrVar, o: TermOrVar, order: Order) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            pattern_idx: idx,
+            pattern: TriplePattern::new(s, p, o),
+            order,
+        }
+    }
+
+    /// A filter-over-two-hash-joins chain: lowers to one pipeline with a
+    /// probe and a filter stage plus two build breakers.
+    fn chain_plan() -> PhysicalPlan {
+        PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(PhysicalPlan::HashJoin {
+                    left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                    right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                    vars: vec![Var(0)],
+                }),
+                right: Box::new(scan(2, vv(1), cv("r"), vv(3), Order::Pso)),
+                vars: vec![Var(1)],
+            }),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Gt,
+                lhs: Operand::Var(Var(2)),
+                rhs: Operand::Const(Term::literal("4")),
+            },
+        }
+    }
+
+    #[test]
+    fn lowering_splits_chain_into_one_pipeline_and_builds() {
+        let plan = chain_plan();
+        let program = lower(&plan);
+        // Two build-side scans materialise; the probe chain is one pipeline.
+        assert_eq!(program.pipeline_count(), 1);
+        assert_eq!(program.steps.len(), 3);
+        match program.steps.last().unwrap() {
+            Step::Pipeline(p) => {
+                assert!(matches!(p.source, SourceSpec::Scan { .. }));
+                assert_eq!(p.stages.len(), 3); // probe, probe, filter
+            }
+            Step::Breaker { .. } => panic!("last step should be the probe pipeline"),
+        }
+    }
+
+    #[test]
+    fn pipeline_output_matches_oracle_byte_for_byte() {
+        let ds = dataset();
+        let plan = chain_plan();
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let out = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            assert!(out.runtime.pipelines > 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_profile_matches_oracle_cardinalities() {
+        let ds = dataset();
+        let plan = chain_plan();
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        fn rows(p: &Profile) -> Vec<(String, usize)> {
+            let mut out = Vec::new();
+            p.visit(&mut |n| out.push((n.label.clone(), n.output_rows)));
+            out
+        }
+        assert_eq!(rows(&out.profile), rows(&oracle.profile));
+        assert_eq!(
+            out.profile.total_intermediate_rows(),
+            oracle.profile.total_intermediate_rows()
+        );
+    }
+
+    #[test]
+    fn pipeline_reports_avoided_intermediates() {
+        let ds = dataset();
+        let plan = chain_plan();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        // The probe chain's scan + two join outputs stay as index vectors.
+        assert!(out.runtime.pipeline_rows_avoided > 0);
+        assert!(out.runtime.pipeline_morsels >= 1);
+    }
+
+    #[test]
+    fn breaker_only_plans_still_run() {
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                var: Var(0),
+            }),
+            projection: vec![("s".into(), Var(0))],
+            distinct: true,
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        // No streaming chain here: everything materialises at breakers.
+        assert_eq!(out.runtime.pipelines, 0);
+        let program = lower(&plan);
+        assert_eq!(program.pipeline_count(), 0);
+    }
+
+    #[test]
+    fn unknown_constant_scan_matches_oracle_empty_output() {
+        let ds = dataset();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan(0, vv(0), cv("nope"), vv(1), Order::Pso)),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Operand::Var(Var(0)),
+                rhs: Operand::Var(Var(1)),
+            },
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        assert_eq!(out.table.sorted_by(), None);
+    }
+
+    #[test]
+    fn repeated_variable_scan_streams_through_filter() {
+        // ?x p ?x under a filter: the repeated-variable equality applies in
+        // the pipeline source.
+        let ds = Dataset::from_ntriples(
+            r#"<http://e/a> <http://e/p> <http://e/a> .
+<http://e/a> <http://e/p> <http://e/b> .
+<http://e/b> <http://e/p> <http://e/b> .
+"#,
+        )
+        .unwrap();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(0), Order::Pso)),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Ne,
+                lhs: Operand::Var(Var(0)),
+                rhs: Operand::Const(Term::iri("http://e/zzz")),
+            },
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        assert_eq!(out.table.len(), 2);
+    }
+
+    #[test]
+    fn dag_renders_pipelines_and_breakers() {
+        let plan = chain_plan();
+        let query = hsp_sparql::JoinQuery::parse(
+            "SELECT ?a WHERE { ?a <http://e/p> ?b . ?a <http://e/q> ?c . ?b <http://e/r> ?d . }",
+        )
+        .unwrap();
+        let program = lower(&plan);
+        let dag = program.render(&query);
+        assert!(dag.contains("pipeline DAG"), "{dag}");
+        assert!(dag.contains("← pipeline:"), "{dag}");
+        assert!(dag.contains("← breaker:"), "{dag}");
+        assert!(dag.contains("⋈hj"), "{dag}");
+        assert!(dag.contains("→ sink"), "{dag}");
+        assert!(dag.contains("result: s"), "{dag}");
+    }
+}

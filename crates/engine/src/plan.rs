@@ -181,6 +181,35 @@ impl PhysicalPlan {
         }
     }
 
+    /// `true` if this operator is a **pipeline breaker**: it must consume
+    /// its whole input (or one whole side) before emitting a row, so the
+    /// pipeline executor ([`crate::pipeline`]) materialises at its
+    /// boundary. The breaker table:
+    ///
+    /// | operator        | breaks because                                  |
+    /// |-----------------|--------------------------------------------------|
+    /// | `MergeJoin`     | both inputs must be complete and sorted          |
+    /// | `HashJoin`      | the build (right) side must be fully hashed — the probe side streams |
+    /// | `CrossProduct`  | tiles one whole side over the other              |
+    /// | `Sort`          | order enforcement sees every row                 |
+    /// | `OrderBy`       | solution-modifier sort sees every row            |
+    /// | `Project`       | DISTINCT dedups globally (plain projection is a root-level bulk copy and is kept with it) |
+    /// | `Slice`         | OFFSET counts rows globally                      |
+    ///
+    /// `Scan` and `Filter` stream and are never breakers.
+    pub fn is_pipeline_breaker(&self) -> bool {
+        match self {
+            PhysicalPlan::Scan { .. } | PhysicalPlan::Filter { .. } => false,
+            PhysicalPlan::MergeJoin { .. }
+            | PhysicalPlan::HashJoin { .. }
+            | PhysicalPlan::CrossProduct { .. }
+            | PhysicalPlan::Sort { .. }
+            | PhysicalPlan::Project { .. }
+            | PhysicalPlan::OrderBy { .. }
+            | PhysicalPlan::Slice { .. } => true,
+        }
+    }
+
     /// Indices of the patterns scanned by this plan, in leaf order.
     pub fn scanned_patterns(&self) -> Vec<usize> {
         let mut out = Vec::new();
@@ -511,6 +540,32 @@ mod tests {
             distinct: false,
         };
         assert_eq!(lose.sorted_by(), None);
+    }
+
+    #[test]
+    fn breaker_classification() {
+        let s = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        assert!(!s.is_pipeline_breaker());
+        let f = PhysicalPlan::Filter {
+            input: Box::new(s.clone()),
+            expr: hsp_sparql::FilterExpr::Cmp {
+                op: hsp_sparql::CmpOp::Eq,
+                lhs: hsp_sparql::Operand::Var(Var(0)),
+                rhs: hsp_sparql::Operand::Var(Var(1)),
+            },
+        };
+        assert!(!f.is_pipeline_breaker());
+        let hj = PhysicalPlan::HashJoin {
+            left: Box::new(s.clone()),
+            right: Box::new(scan(1, pat(v(0), c("q"), v(2)), Order::Pso)),
+            vars: vec![Var(0)],
+        };
+        assert!(hj.is_pipeline_breaker());
+        let sort = PhysicalPlan::Sort {
+            input: Box::new(s),
+            var: Var(0),
+        };
+        assert!(sort.is_pipeline_breaker());
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub struct ExecContext {
     parallel_builds: Cell<usize>,
     merge_partitions: Cell<usize>,
     parallel_filters: Cell<usize>,
+    parallel_sorts: Cell<usize>,
+    pipelines: Cell<usize>,
+    pipeline_morsels: Cell<usize>,
+    pipeline_rows_avoided: Cell<usize>,
 }
 
 impl ExecContext {
@@ -221,6 +225,31 @@ impl ExecContext {
         self.note_run(run);
     }
 
+    /// Record a parallel merge sort (`run.morsels` carries the initial
+    /// sorted-run count) — the comparison-sort stage of ORDER BY and the
+    /// sort order-enforcer.
+    pub(crate) fn note_sort(&self, run: crate::morsel::MorselRun) {
+        if run.threads > 1 {
+            self.parallel_sorts.set(self.parallel_sorts.get() + 1);
+        }
+        self.note_run(run);
+    }
+
+    /// Record one executed pipeline: its morsel run (morsels pushed
+    /// end-to-end through the stage chain) and the intermediate rows the
+    /// operator-at-a-time evaluator would have materialised between the
+    /// pipeline's operators but the pipeline kept as thread-local index
+    /// vectors.
+    pub(crate) fn note_pipeline(&self, run: crate::morsel::MorselRun, rows_avoided: usize) {
+        self.pipelines.set(self.pipelines.get() + 1);
+        // A sequential pipeline pushes its whole source as one morsel.
+        self.pipeline_morsels
+            .set(self.pipeline_morsels.get() + run.morsels.max(1));
+        self.pipeline_rows_avoided
+            .set(self.pipeline_rows_avoided.get() + rows_avoided);
+        self.note_run(run);
+    }
+
     /// Morsels processed by parallel kernels so far.
     pub fn morsels_run(&self) -> usize {
         self.morsels.get()
@@ -244,6 +273,28 @@ impl ExecContext {
     /// FILTER / ORDER BY key extractions that ran parallel so far.
     pub fn parallel_filters(&self) -> usize {
         self.parallel_filters.get()
+    }
+
+    /// Comparison sorts (ORDER BY / sort enforcer) that ran parallel so far.
+    pub fn parallel_sorts(&self) -> usize {
+        self.parallel_sorts.get()
+    }
+
+    /// Pipelines executed so far.
+    pub fn pipelines(&self) -> usize {
+        self.pipelines.get()
+    }
+
+    /// Morsels pushed end-to-end through executed pipelines so far.
+    pub fn pipeline_morsels(&self) -> usize {
+        self.pipeline_morsels.get()
+    }
+
+    /// Intermediate rows pipelines kept as thread-local index vectors
+    /// instead of materialising (what the operator-at-a-time evaluator
+    /// would have written between the pipeline's operators).
+    pub fn pipeline_rows_avoided(&self) -> usize {
+        self.pipeline_rows_avoided.get()
     }
 }
 

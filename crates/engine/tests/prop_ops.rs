@@ -534,6 +534,59 @@ proptest! {
         prop_assert_eq!(parallel, sequential);
     }
 
+    /// The parallel merge sort behind the sort order-enforcer is
+    /// byte-identical to the sequential stable sort, including tie order
+    /// (tiny key domain → long runs of equal keys).
+    #[test]
+    fn parallel_sort_by_matches_sequential(
+        rows in proptest::collection::vec((0u32..4, 0u32..50), 0..60),
+        threads in 2usize..=4,
+    ) {
+        let keys: Vec<TermId> = rows.iter().map(|&(k, _)| TermId(k)).collect();
+        let payloads: Vec<TermId> = rows.iter().map(|&(_, p)| TermId(100 + p)).collect();
+        let table = BindingTable::from_columns(vec![Var(0), Var(1)], vec![keys, payloads], None);
+        let sequential = ops::sort_by_in(&ExecContext::with_threads(1), &table, Var(0));
+        let ctx = ExecContext::with_morsel_config(
+            MorselConfig::with_threads(threads)
+                .with_morsel_rows(4)
+                .with_min_parallel_rows(0),
+        );
+        let parallel = ops::sort_by_in(&ctx, &table, Var(0));
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// The parallel ORDER BY merge (per-worker sorted runs + run merges)
+    /// is byte-identical to the sequential stable sort under the SPARQL
+    /// value order, ascending and descending.
+    #[test]
+    fn parallel_order_by_matches_sequential(
+        rows in proptest::collection::vec(0u32..40, 0..50),
+        descending in any::<bool>(),
+        threads in 2usize..=4,
+    ) {
+        use hsp_sparql::{Expr, SortKey};
+        let mut doc = String::new();
+        for i in 0..40 {
+            doc.push_str(&format!("<http://e/s{i}> <http://e/p> \"{}\" .\n", i % 7));
+        }
+        let ds = hsp_store::Dataset::from_ntriples(&doc).unwrap();
+        let ids: Vec<TermId> = rows
+            .iter()
+            .map(|&v| ds.dict().id(&hsp_rdf::Term::literal(format!("{}", v % 7))).unwrap())
+            .collect();
+        let tag: Vec<TermId> = (0..rows.len() as u32).map(TermId).collect();
+        let table = BindingTable::from_columns(vec![Var(0), Var(1)], vec![ids, tag], None);
+        let keys = vec![SortKey { expr: Expr::Var(Var(0)), descending }];
+        let sequential = ops::order_by_in(&ExecContext::with_threads(1), &ds, &table, &keys);
+        let ctx = ExecContext::with_morsel_config(
+            MorselConfig::with_threads(threads)
+                .with_morsel_rows(4)
+                .with_min_parallel_rows(0),
+        );
+        let parallel = ops::order_by_in(&ctx, &ds, &table, &keys);
+        prop_assert_eq!(parallel, sequential);
+    }
+
     /// DISTINCT projection over three columns (the sort-index dedup path)
     /// keeps exactly the first occurrence of each distinct row, in order.
     #[test]

@@ -12,8 +12,9 @@
 //!                           --out (or stdout) as N-Triples
 //!   --planner <name>        hsp (default) | cdp | sql | hybrid | stocker
 //!   --format <name>         table (default) | json | csv | tsv
-//!   --explain               print the physical plan (with cardinalities)
-//!                           instead of results
+//!   --explain               print the physical plan (with cardinalities),
+//!                           the pipeline DAG it lowers into, and the
+//!                           runtime counters instead of results
 //!   --sip                   enable sideways information passing
 //!   --budget <rows>         abort when an operator exceeds this many rows
 //!   --threads <n>           thread budget for the morsel-parallel kernels
@@ -235,6 +236,15 @@ fn run() -> Result<(), String> {
                     "{}",
                     render_plan_with_profile(&plan, &output.profile, &planned_query)
                 );
+                // SIP and row-budget executions fall back to the
+                // operator-at-a-time evaluator — only render the pipeline
+                // DAG when the pipeline executor actually ran.
+                if !args.sip && args.budget.is_none() {
+                    print!(
+                        "{}",
+                        hsp_engine::explain::render_pipeline_dag(&plan, &planned_query)
+                    );
+                }
                 print!(
                     "{}",
                     hsp_engine::explain::render_runtime_metrics(&output.runtime)

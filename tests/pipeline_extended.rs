@@ -1,0 +1,90 @@
+//! Pipeline executor vs operator-at-a-time oracle at query level: all 14
+//! workload queries on the generated SP2Bench-like and YAGO-like datasets
+//! must come out byte-identical under both strategies at thread budgets
+//! 1–4, and OPTIONAL/UNION queries — which reach the engine through
+//! `execute_in` on the extended evaluator's shared context — must agree
+//! too.
+
+use std::sync::OnceLock;
+
+use hsp_bench::planners::{plan_query, PlannerKind};
+use hsp_bench::{BenchEnv, EnvConfig};
+use hsp_datagen::workload;
+use hsp_engine::{execute, ExecConfig, ExecStrategy};
+use sparql_hsp::extended::evaluate_extended_with;
+
+fn env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| BenchEnv::load(EnvConfig::small()))
+}
+
+#[test]
+fn workload_queries_pipeline_matches_oracle_at_all_thread_counts() {
+    let env = env();
+    for q in workload() {
+        let parsed = q.parse();
+        let ds = env.dataset(q.dataset);
+        let planned = plan_query(PlannerKind::Hsp, ds, &parsed)
+            .unwrap_or_else(|e| panic!("{} failed to plan: {e}", q.id));
+        let oracle = execute(
+            &planned.plan,
+            ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap_or_else(|e| panic!("{} oracle failed: {e}", q.id));
+        for threads in 1..=4usize {
+            let out = execute(
+                &planned.plan,
+                ds,
+                &ExecConfig::unlimited().with_threads(threads),
+            )
+            .unwrap_or_else(|e| panic!("{} pipeline (t={threads}) failed: {e}", q.id));
+            assert_eq!(
+                out.table, oracle.table,
+                "{} diverges from the oracle at threads={threads}",
+                q.id
+            );
+            assert_eq!(
+                out.profile.total_intermediate_rows(),
+                oracle.profile.total_intermediate_rows(),
+                "{} profile cardinalities diverge at threads={threads}",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn optional_union_blocks_pipeline_matches_oracle() {
+    let env = env();
+    let ds = env.dataset(hsp_datagen::DatasetKind::Sp2Bench);
+    // OPTIONAL and UNION evaluate block-by-block through `execute_in` on
+    // one shared context; each block plan takes the pipeline path.
+    let queries = [
+        "SELECT ?a ?y WHERE { ?a <http://purl.org/dc/elements/1.1/creator> ?b . \
+         OPTIONAL { ?a <http://purl.org/dc/terms/issued> ?y . } }",
+        "SELECT ?a WHERE { { ?a <http://purl.org/dc/elements/1.1/creator> ?b . } UNION \
+         { ?a <http://purl.org/dc/terms/issued> ?y . } }",
+        "SELECT ?a ?j ?y WHERE { ?a <http://swrc.ontoware.org/ontology#journal> ?j . \
+         OPTIONAL { ?j <http://purl.org/dc/terms/issued> ?y . } \
+         FILTER (?a != ?j) }",
+    ];
+    for text in queries {
+        let oracle = evaluate_extended_with(
+            ds,
+            text,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap_or_else(|e| panic!("oracle failed for {text}: {e}"));
+        for threads in 1..=4usize {
+            let out =
+                evaluate_extended_with(ds, text, &ExecConfig::unlimited().with_threads(threads))
+                    .unwrap_or_else(|e| panic!("pipeline (t={threads}) failed for {text}: {e}"));
+            assert_eq!(out.columns, oracle.columns, "columns diverge for {text}");
+            assert_eq!(
+                out.rows, oracle.rows,
+                "rows diverge for {text} at threads={threads}"
+            );
+        }
+    }
+}
