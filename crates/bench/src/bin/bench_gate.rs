@@ -17,8 +17,11 @@
 //!
 //! Only the single-thread (`*_t1`) rows gate: forced multi-thread rows on
 //! a 2-vCPU runner measure scheduling contention, not the kernels. Rows
-//! present in only one file are reported but never fail the gate (new
-//! benchmarks land with their first measurement).
+//! present only in the fresh run are reported but never fail the gate
+//! (new benchmarks land with their first measurement). A **committed
+//! `*_t1` row missing from the fresh run fails the gate** — a renamed or
+//! dropped benchmark must update the committed `BENCH_ops.json` in the
+//! same change, not silently fall out of regression coverage.
 //!
 //! The default tolerance (1.5x) is calibrated against observed
 //! *same-machine* run-to-run drift of these 7-sample medians — e.g.
@@ -89,14 +92,64 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failures = 0usize;
-    println!(
+    let outcome = gate(&committed, &fresh, tolerance);
+    print!("{}", outcome.report);
+
+    if outcome.regressions > 0 || outcome.missing > 0 {
+        if outcome.regressions > 0 {
+            eprintln!(
+                "bench gate FAILED: {} *_t1 row(s) lost more than {tolerance:.2}x of their \
+                 committed speedup",
+                outcome.regressions
+            );
+        }
+        if outcome.missing > 0 {
+            eprintln!(
+                "bench gate FAILED: {} committed *_t1 row(s) missing from the fresh run — \
+                 renamed or dropped benchmarks must update the committed BENCH_ops.json in the \
+                 same change",
+                outcome.missing
+            );
+        }
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The gate's decision for one committed-vs-fresh comparison.
+struct GateOutcome {
+    /// Human-readable per-row report.
+    report: String,
+    /// Gated (`*_t1`) rows whose fresh speedup lost more than the
+    /// tolerance factor.
+    regressions: usize,
+    /// Gated (`*_t1`) rows present in the committed file but absent from
+    /// the fresh run.
+    missing: usize,
+}
+
+/// Compare every fresh row against the committed baseline and account for
+/// committed rows that disappeared. Pure — `main` owns I/O and exit codes.
+fn gate(
+    committed: &BTreeMap<String, Row>,
+    fresh: &BTreeMap<String, Row>,
+    tolerance: f64,
+) -> GateOutcome {
+    use std::fmt::Write as _;
+    let mut report = String::new();
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    let _ = writeln!(
+        report,
         "{:<24} {:>10} {:>10} {:>7}  verdict (speedup ratio, tolerance {tolerance:.2}x, *_t1 rows gate)",
         "row", "committed", "fresh", "ratio"
     );
-    for (name, fresh_row) in &fresh {
+    for (name, fresh_row) in fresh {
         let Some(committed_row) = committed.get(name) else {
-            println!(
+            let _ = writeln!(
+                report,
                 "{name:<24} {:>10} {:>9.2}x {:>7}  new row (not gated)",
                 "-",
                 fresh_row.speedup(),
@@ -111,12 +164,13 @@ fn main() -> ExitCode {
         let verdict = if !gated {
             "informational"
         } else if ratio < 1.0 / tolerance {
-            failures += 1;
+            regressions += 1;
             "REGRESSION"
         } else {
             "ok"
         };
-        println!(
+        let _ = writeln!(
+            report,
             "{name:<24} {:>9.2}x {:>9.2}x {ratio:>6.2}x  {verdict}",
             committed_row.speedup(),
             fresh_row.speedup()
@@ -124,19 +178,26 @@ fn main() -> ExitCode {
     }
     for name in committed.keys() {
         if !fresh.contains_key(name) {
-            println!("{name:<24} row disappeared from the fresh run (not gated)");
+            // A gated row vanishing is exactly the silent-coverage-loss
+            // failure mode the gate exists to catch.
+            if name.ends_with("_t1") {
+                missing += 1;
+                let _ = writeln!(
+                    report,
+                    "{name:<24} committed *_t1 row MISSING from the fresh run"
+                );
+            } else {
+                let _ = writeln!(
+                    report,
+                    "{name:<24} row disappeared from the fresh run (not gated)"
+                );
+            }
         }
     }
-
-    if failures > 0 {
-        eprintln!(
-            "bench gate FAILED: {failures} *_t1 row(s) lost more than {tolerance:.2}x of their \
-             committed speedup"
-        );
-        ExitCode::FAILURE
-    } else {
-        println!("bench gate passed");
-        ExitCode::SUCCESS
+    GateOutcome {
+        report,
+        regressions,
+        missing,
     }
 }
 
@@ -195,6 +256,57 @@ mod tests {
         assert_eq!(field_u128(line, "optimized_ns"), Some(250));
         assert_eq!(field_u128(line, "baseline_ns"), Some(100));
         assert_eq!(field_str(line, "missing"), None);
+    }
+
+    fn rows(entries: &[(&str, u128, u128)]) -> BTreeMap<String, Row> {
+        entries
+            .iter()
+            .map(|&(name, baseline_ns, optimized_ns)| {
+                (
+                    name.to_string(),
+                    Row {
+                        baseline_ns,
+                        optimized_ns,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn missing_committed_t1_row_fails_the_gate() {
+        let committed = rows(&[("probe_t1", 1_000, 500), ("probe_t4", 1_000, 900)]);
+        // The fresh run renamed/dropped `probe_t1`: that must fail, with a
+        // message naming the row.
+        let fresh = rows(&[("probe_t4", 1_000, 900)]);
+        let outcome = gate(&committed, &fresh, 1.5);
+        assert_eq!(outcome.missing, 1);
+        assert_eq!(outcome.regressions, 0);
+        assert!(outcome.report.contains("probe_t1"));
+        assert!(outcome.report.contains("MISSING"));
+    }
+
+    #[test]
+    fn missing_informational_row_does_not_fail() {
+        let committed = rows(&[("probe_t1", 1_000, 500), ("probe_t4", 1_000, 900)]);
+        let fresh = rows(&[("probe_t1", 1_000, 500)]);
+        let outcome = gate(&committed, &fresh, 1.5);
+        assert_eq!(outcome.missing, 0);
+        assert_eq!(outcome.regressions, 0);
+        assert!(outcome.report.contains("disappeared"));
+    }
+
+    #[test]
+    fn new_rows_and_regressions_are_classified() {
+        let committed = rows(&[("probe_t1", 1_000, 500)]);
+        // Fresh speedup collapsed 1.0x vs committed 2.0x (ratio 0.5 <
+        // 1/1.5) and a brand-new row landed: one regression, no missing.
+        let fresh = rows(&[("probe_t1", 1_000, 1_000), ("fresh_t1", 100, 50)]);
+        let outcome = gate(&committed, &fresh, 1.5);
+        assert_eq!(outcome.regressions, 1);
+        assert_eq!(outcome.missing, 0);
+        assert!(outcome.report.contains("REGRESSION"));
+        assert!(outcome.report.contains("new row (not gated)"));
     }
 
     #[test]

@@ -17,6 +17,21 @@ use hsp_bench::tables;
 use hsp_bench::{BenchEnv, EnvConfig};
 use hsp_datagen::DatasetKind;
 
+/// The loaded benchmark environment, or a clean nonzero exit naming the
+/// experiment that needed it. Every dataset-backed experiment funnels
+/// through this one checked access (the former per-call-site
+/// `env.as_ref().expect("loaded")` panics turned a `needs_data` bookkeeping
+/// slip into a backtrace instead of an actionable message).
+fn loaded_env<'e>(env: &'e Option<BenchEnv>, experiment: &str) -> &'e BenchEnv {
+    env.as_ref().unwrap_or_else(|| {
+        eprintln!(
+            "internal error: experiment `{experiment}` needs the SP2Bench/YAGO datasets, but \
+             they were not loaded — `needs_data` in repro.rs must list `{experiment}`"
+        );
+        std::process::exit(1);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -71,22 +86,20 @@ fn main() {
 
     for w in wanted {
         let text = match w {
-            "table1" => tables::table1(env.as_ref().expect("loaded")),
+            "table1" => tables::table1(loaded_env(&env, w)),
             "table2" => tables::table2(),
-            "table3" => tables::table3(env.as_ref().expect("loaded")),
-            "table4" => tables::table4(env.as_ref().expect("loaded")),
+            "table3" => tables::table3(loaded_env(&env, w)),
+            "table4" => tables::table4(loaded_env(&env, w)),
             "table6" => tables::table6(),
-            "table7" => {
-                tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Sp2Bench)
-            }
-            "table8" => tables::execution_table(env.as_ref().expect("loaded"), DatasetKind::Yago),
+            "table7" => tables::execution_table(loaded_env(&env, w), DatasetKind::Sp2Bench),
+            "table8" => tables::execution_table(loaded_env(&env, w), DatasetKind::Yago),
             "queries" => tables::queries_text(),
             "figure1" => tables::figure1(),
-            "figure2" => tables::figure2(env.as_ref().expect("loaded")),
-            "figure3" => tables::figure3(env.as_ref().expect("loaded")),
+            "figure2" => tables::figure2(loaded_env(&env, w)),
+            "figure3" => tables::figure3(loaded_env(&env, w)),
             "mwis" => tables::mwis_scaling(),
-            "ablation" => tables::ablation(env.as_ref().expect("loaded")),
-            "sip" => tables::sip_table(env.as_ref().expect("loaded")),
+            "ablation" => tables::ablation(loaded_env(&env, w)),
+            "sip" => tables::sip_table(loaded_env(&env, w)),
             "ops" => {
                 let results = hsp_bench::kernels::measure_kernels();
                 let json = hsp_bench::kernels::render_json(&results);

@@ -179,6 +179,7 @@ pub fn measure_kernels() -> Vec<KernelResult> {
     measure_parallel_merge(&mut results, runs);
     measure_parallel_filter(&mut results, runs);
     measure_pipeline_chain(&mut results, runs);
+    measure_pipeline_optional(&mut results, runs);
     results
 }
 
@@ -432,6 +433,101 @@ fn measure_pipeline_chain(results: &mut Vec<KernelResult>, runs: usize) {
         );
         results.push(KernelResult {
             name: format!("pipeline_chain_100k_t{t}"),
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+}
+
+/// `pipeline_optional_100k_t*`: an OPTIONAL chain — two left-outer hash
+/// joins over a 100k-row probe side, half/third match density — executed
+/// by the pipeline executor (outer probes as streaming stages) against
+/// the operator-at-a-time oracle, which materialises the probe-side scan
+/// and the first outer join's 100k-row output. Identity, profile-exact
+/// rows-avoided, and the `pipeline_outer_probes` counter are asserted
+/// before anything is timed; the rows use the drift-cancelling paired
+/// median like `pipeline_chain_*`.
+fn measure_pipeline_optional(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig, ExecStrategy, PhysicalPlan};
+    use hsp_sparql::{TermOrVar, TriplePattern};
+
+    // a_i -p0-> b_i for all i; b_i carries val1 for even i and val2 for
+    // every third i, so both OPTIONAL blocks leave real UNBOUND gaps.
+    let n = 100_000usize;
+    let mut doc = String::with_capacity(n * 120);
+    for i in 0..n {
+        doc.push_str(&format!(
+            "<http://e/a{i}> <http://e/p0> <http://e/b{i}> .\n"
+        ));
+        if i % 2 == 0 {
+            doc.push_str(&format!(
+                "<http://e/b{i}> <http://e/val1> \"{}\" .\n",
+                i % 7
+            ));
+        }
+        if i % 3 == 0 {
+            doc.push_str(&format!(
+                "<http://e/b{i}> <http://e/val2> \"{}\" .\n",
+                i % 5
+            ));
+        }
+    }
+    let ds = hsp_store::Dataset::from_ntriples(&doc).expect("bench dataset parses");
+    let scan = |idx: usize, s: u32, p: &str, o: u32| PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern: TriplePattern::new(
+            TermOrVar::Var(Var(s)),
+            TermOrVar::Const(hsp_rdf::Term::iri(format!("http://e/{p}"))),
+            TermOrVar::Var(Var(o)),
+        ),
+        order: hsp_store::Order::Pso,
+    };
+    let plan = PhysicalPlan::LeftOuterHashJoin {
+        left: Box::new(PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(scan(0, 0, "p0", 1)),
+            right: Box::new(scan(1, 1, "val1", 2)),
+            vars: vec![Var(1)],
+        }),
+        right: Box::new(scan(2, 1, "val2", 3)),
+        vars: vec![Var(1)],
+    };
+
+    let oracle_config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
+    let expected = execute(&plan, &ds, &oracle_config).expect("oracle runs");
+    assert_eq!(expected.table.len(), n, "every probe row survives");
+    // What the oracle materialises along the probe chain: the probe-side
+    // scan and the inner outer-join output (the topmost join's output is
+    // the sink and materialises either way).
+    let inner = &expected.profile.children[0];
+    let oracle_chain_rows = inner.output_rows + inner.children[0].output_rows;
+
+    for t in bench_thread_counts() {
+        let pipeline_config = ExecConfig::unlimited().with_threads(t);
+        let oracle_t = ExecConfig {
+            threads: Some(t),
+            ..oracle_config.clone()
+        };
+        let out = execute(&plan, &ds, &pipeline_config).expect("pipeline runs");
+        assert_eq!(
+            out.table, expected.table,
+            "optional pipeline (t={t}) diverges from the oracle"
+        );
+        assert!(out.runtime.pipelines > 0, "chain must run as a pipeline");
+        assert_eq!(
+            out.runtime.pipeline_outer_probes, 2,
+            "both OPTIONAL probes must stream (t={t})"
+        );
+        assert_eq!(
+            out.runtime.pipeline_rows_avoided, oracle_chain_rows,
+            "pipeline (t={t}) must avoid exactly the oracle's non-breaker intermediates"
+        );
+        let (baseline_ns, optimized_ns) = median_ns_pair(
+            runs,
+            || execute(&plan, &ds, &oracle_t),
+            || execute(&plan, &ds, &pipeline_config),
+        );
+        results.push(KernelResult {
+            name: format!("pipeline_optional_100k_t{t}"),
             baseline_ns,
             optimized_ns,
         });

@@ -117,6 +117,18 @@ fn accumulate(plan: &PhysicalPlan, profile: &Profile, cost: &mut PlanCost) {
             accumulate(left, &profile.children[0], cost);
             accumulate(right, &profile.children[1], cost);
         }
+        // An OPTIONAL's left-outer probe does the same build + probe work
+        // as an inner hash join (plus one sentinel per unmatched row):
+        // charge it the hash-join rate. Paper plans never contain it.
+        PhysicalPlan::LeftOuterHashJoin { left, right, .. } => {
+            let lc = profile.children[0].output_rows as f64;
+            let rc = profile.children[1].output_rows as f64;
+            let c = cost_hashjoin(lc, rc);
+            cost.hash_cost += c;
+            cost.joins.push(("leftouterjoin".into(), c, false));
+            accumulate(left, &profile.children[0], cost);
+            accumulate(right, &profile.children[1], cost);
+        }
         PhysicalPlan::CrossProduct { left, right } => {
             let lc = profile.children[0].output_rows as f64;
             let rc = profile.children[1].output_rows as f64;

@@ -264,6 +264,13 @@ pub(crate) fn plan_label(plan: &PhysicalPlan) -> String {
                 .collect::<Vec<_>>()
                 .join(",")
         ),
+        PhysicalPlan::LeftOuterHashJoin { vars, .. } => format!(
+            "leftouterjoin({})",
+            vars.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
         PhysicalPlan::CrossProduct { .. } => "crossproduct".into(),
         PhysicalPlan::Sort { var, .. } => format!("sort({var})"),
         PhysicalPlan::Filter { .. } => "filter".into(),
@@ -350,6 +357,22 @@ fn run(
             };
             let start = Instant::now();
             let table = ops::hash_join_in(ctx, &lt, &rt, vars);
+            ctx.pool.recycle(lt);
+            ctx.pool.recycle(rt);
+            finish(table, plan_label(plan), start, vec![lp, rp], config)
+        }
+        PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
+            // No SIP narrowing across an outer join: narrowing the probe
+            // (left) side would drop rows that must survive, and narrowing
+            // the build side would turn matched rows into UNBOUND-padded
+            // ones — changing values, not just dropping rows. The right
+            // subtree therefore runs domain-free; the left subtree may
+            // still apply the ambient domains (a left row outside a domain
+            // can never survive the enclosing inner join that produced it).
+            let (rt, rp) = run(right, ds, config, ctx, &Domains::new())?;
+            let (lt, lp) = run(left, ds, config, ctx, domains)?;
+            let start = Instant::now();
+            let table = ops::left_outer_hash_join_in(ctx, &lt, &rt, vars);
             ctx.pool.recycle(lt);
             ctx.pool.recycle(rt);
             finish(table, plan_label(plan), start, vec![lp, rp], config)

@@ -82,6 +82,21 @@ fn render(
                 out,
             );
         }
+        PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
+            let names: Vec<String> = vars
+                .iter()
+                .map(|v| format!("?{}", query.var_name(*v)))
+                .collect();
+            out.push_str(&format!("{indent}⟕hj {}{cards}\n", names.join(",")));
+            render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
+            render(
+                right,
+                profile.map(|p| &p.children[1]),
+                query,
+                depth + 1,
+                out,
+            );
+        }
         PhysicalPlan::CrossProduct { left, right } => {
             out.push_str(&format!("{indent}×{cards}\n"));
             render(left, profile.map(|p| &p.children[0]), query, depth + 1, out);
@@ -250,8 +265,27 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
         format!("all kernels sequential ({} thread budget)", m.threads)
     };
     let pipelines = if m.pipelines > 0 {
+        let mut extras = String::new();
+        if m.pipeline_outer_probes > 0 {
+            extras.push_str(&format!(
+                ", {} outer probe{}",
+                m.pipeline_outer_probes,
+                if m.pipeline_outer_probes == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            ));
+        }
+        if m.breaker_handoffs > 0 {
+            extras.push_str(&format!(
+                ", {} breaker handoff{}",
+                m.breaker_handoffs,
+                if m.breaker_handoffs == 1 { "" } else { "s" },
+            ));
+        }
         format!(
-            "{} pipeline{} launched ({} morsel{} pushed, {} intermediate row{} avoided); ",
+            "{} pipeline{} launched ({} morsel{} pushed, {} intermediate row{} avoided{extras}); ",
             m.pipelines,
             if m.pipelines == 1 { "" } else { "s" },
             m.pipeline_morsels,
@@ -335,6 +369,13 @@ fn dot_node(
                 .collect();
             format!("⋈hj {}", names.join(","))
         }
+        PhysicalPlan::LeftOuterHashJoin { vars, .. } => {
+            let names: Vec<String> = vars
+                .iter()
+                .map(|v| format!("?{}", query.var_name(*v)))
+                .collect();
+            format!("⟕hj {}", names.join(","))
+        }
         PhysicalPlan::CrossProduct { .. } => "×".to_string(),
         PhysicalPlan::Sort { var, .. } => format!("sort ?{}", query.var_name(*var)),
         PhysicalPlan::Filter { .. } => "σ(filter)".to_string(),
@@ -370,6 +411,7 @@ fn dot_node(
         PhysicalPlan::Scan { .. } => vec![],
         PhysicalPlan::MergeJoin { left, right, .. }
         | PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::LeftOuterHashJoin { left, right, .. }
         | PhysicalPlan::CrossProduct { left, right } => vec![
             (left.as_ref(), profile.map(|p| &p.children[0])),
             (right.as_ref(), profile.map(|p| &p.children[1])),

@@ -90,9 +90,12 @@
 //!   join, cross product, filter, projection, distinct. Each has a `*_in`
 //!   variant taking an [`pool::ExecContext`].
 //! * [`pipeline`] — lower-then-run: plans become a DAG of breaker-free
-//!   pipelines (scan → filter/probe stages → sink) separated by explicit
-//!   breakers; pipelines run morsel-at-a-time end to end with thread-local
-//!   index vectors, gathering each output column once at the sink.
+//!   pipelines (scan → filter / inner-or-outer probe / plain-projection
+//!   stages → sink) separated by explicit breakers; pipelines run
+//!   morsel-at-a-time end to end with thread-local index vectors,
+//!   gathering each output column once at the sink, and a breaker output
+//!   with a single consuming pipeline is handed off (its columns move
+//!   into the sink when no stage drops a row).
 //! * [`mod@reference`] — the retired row-at-a-time kernels, kept as oracle and
 //!   benchmark baseline.
 //! * [`exec`] — the tree evaluator, with per-operator profiling and an

@@ -35,6 +35,14 @@ pub struct RuntimeMetrics {
     /// Morsels pushed end-to-end through those pipelines (a sequential
     /// pipeline counts its whole source as one morsel).
     pub pipeline_morsels: usize,
+    /// Left-outer (OPTIONAL) probe stages executed inside pipelines —
+    /// each one streams an outer join that formerly materialised both its
+    /// input and its output.
+    pub pipeline_outer_probes: usize,
+    /// Breaker outputs handed directly to their single consuming
+    /// pipeline's source (no slot round-trip; columns move into the sink
+    /// when no stage drops a row, and recycle through the pool otherwise).
+    pub breaker_handoffs: usize,
     /// Intermediate rows the pipelines kept as thread-local index vectors
     /// instead of materialising between operators — the rows the
     /// operator-at-a-time evaluator would have written and re-read.
@@ -63,6 +71,8 @@ impl RuntimeMetrics {
             parallel_sorts: ctx.parallel_sorts(),
             pipelines: ctx.pipelines(),
             pipeline_morsels: ctx.pipeline_morsels(),
+            pipeline_outer_probes: ctx.pipeline_outer_probes(),
+            breaker_handoffs: ctx.breaker_handoffs(),
             pipeline_rows_avoided: ctx.pipeline_rows_avoided(),
             threads: ctx.morsel.threads(),
             pool_hits: pool.hits,
@@ -121,6 +131,14 @@ impl PlanMetrics {
                 }
             }
             PhysicalPlan::HashJoin { right, .. } => {
+                m.hash_joins += 1;
+                if !is_leafish(right) {
+                    m.shape = PlanShape::Bushy;
+                }
+            }
+            // Table 4 predates OPTIONAL support; the outer probe counts
+            // with the hash joins (same build + probe machinery).
+            PhysicalPlan::LeftOuterHashJoin { right, .. } => {
                 m.hash_joins += 1;
                 if !is_leafish(right) {
                     m.shape = PlanShape::Bushy;
@@ -214,6 +232,26 @@ pub fn plans_similar(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
                 && ((plans_similar(la, lb) && plans_similar(ra, rb))
                     // Hash joins are symmetric up to probe/build choice.
                     || (plans_similar(la, rb) && plans_similar(ra, lb)))
+        }
+        (
+            PhysicalPlan::LeftOuterHashJoin {
+                left: la,
+                right: ra,
+                vars: va,
+            },
+            PhysicalPlan::LeftOuterHashJoin {
+                left: lb,
+                right: rb,
+                vars: vb,
+            },
+        ) => {
+            // Unlike inner hash joins, outer joins are side-sensitive: the
+            // probe (preserved) side is fixed.
+            let mut sa = va.clone();
+            let mut sb = vb.clone();
+            sa.sort();
+            sb.sort();
+            sa == sb && plans_similar(la, lb) && plans_similar(ra, rb)
         }
         (
             PhysicalPlan::CrossProduct {

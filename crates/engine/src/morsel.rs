@@ -126,6 +126,9 @@ impl Default for MorselConfig {
 
 /// Parse the `HSP_FORCE_THREADS` value (factored out of [`MorselConfig::auto`]
 /// so it is testable without mutating process-global environment state).
+/// `0`, negative, overflowing, and non-numeric values all return `None`,
+/// so [`MorselConfig::auto`] falls back to core detection instead of
+/// configuring a zero-worker pool.
 fn parse_forced_threads(value: Option<String>) -> Option<usize> {
     value?.trim().parse().ok().filter(|&n: &usize| n >= 1)
 }
@@ -535,12 +538,24 @@ mod tests {
 
     #[test]
     fn forced_threads_env_parsing() {
+        // Garbage and zero fall back to auto-detection (`None`) instead of
+        // configuring a zero-worker pool.
         assert_eq!(parse_forced_threads(None), None);
         assert_eq!(parse_forced_threads(Some("".into())), None);
         assert_eq!(parse_forced_threads(Some("abc".into())), None);
         assert_eq!(parse_forced_threads(Some("0".into())), None);
+        assert_eq!(parse_forced_threads(Some(" 0 ".into())), None);
+        assert_eq!(parse_forced_threads(Some("-3".into())), None);
+        assert_eq!(parse_forced_threads(Some("4x".into())), None);
+        assert_eq!(parse_forced_threads(Some("3.5".into())), None);
+        // Larger than usize::MAX: the parse overflows and is rejected.
+        assert_eq!(
+            parse_forced_threads(Some("99999999999999999999999999".into())),
+            None
+        );
         assert_eq!(parse_forced_threads(Some("4".into())), Some(4));
         assert_eq!(parse_forced_threads(Some(" 2 ".into())), Some(2));
+        assert_eq!(parse_forced_threads(Some("1".into())), Some(1));
     }
 
     #[test]

@@ -11,12 +11,23 @@
 //! * **Lowering** ([`lower`]) cuts the plan tree into maximal breaker-free
 //!   operator chains. A *pipeline* is `source → stage* → sink`, where the
 //!   source is a scan (or a breaker's materialised output), the stages are
-//!   the streaming operators — FILTER and hash-join *probes* — and the
-//!   sink is the single materialisation point. Everything that must see
-//!   its whole input before emitting a row is a *breaker* and becomes its
-//!   own step: the hash-join **build** side, merge join (both sorted
-//!   inputs), cross product, the sort order-enforcer, ORDER BY,
-//!   projection/DISTINCT, and LIMIT/OFFSET.
+//!   the streaming operators — FILTER, hash-join *probes* (inner **and
+//!   left-outer**: [`BuildTable::probe_range_outer`] emits the
+//!   unmatched-row sentinel per probe row, so morsel stitching is
+//!   unchanged), and plain projection (a pure layout change folded into
+//!   the stage chain and ultimately the sink gather) — and the sink is
+//!   the single materialisation point. Everything that must see its whole
+//!   input before emitting a row is a *breaker* and becomes its own step:
+//!   the hash-join **build** side, merge join (both sorted inputs), cross
+//!   product, the sort order-enforcer, ORDER BY, DISTINCT, and
+//!   LIMIT/OFFSET.
+//! * **Breaker hand-off**: a breaker whose output slot is consumed by
+//!   exactly one pipeline *source* is *handed off* — the materialised
+//!   table moves straight into that pipeline (counted as
+//!   [`RuntimeMetrics::breaker_handoffs`](crate::metrics::RuntimeMetrics::breaker_handoffs)),
+//!   and when no stage drops a row the sink **moves** the handed columns
+//!   into the output instead of gathering copies, recycling the
+//!   unprojected ones through the [`crate::pool::BufferPool`].
 //! * **Execution** ([`Program::run`]) walks the steps in dependency order
 //!   (lowering emits them topologically). A pipeline pushes its source
 //!   through the whole stage chain **morsel at a time** on the
@@ -45,7 +56,7 @@ use hsp_rdf::{IdTriple, TermId};
 use hsp_sparql::{FilterExpr, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
 
-use crate::binding::{gather_column, BindingTable};
+use crate::binding::BindingTable;
 use crate::exec::{plan_label, Profile};
 use crate::kernel::BuildTable;
 use crate::morsel::{self, MorselRun};
@@ -69,6 +80,11 @@ pub struct Program<'p> {
     slot_count: usize,
     node_count: usize,
     root: SlotId,
+    /// `handoff[s]` — slot `s` has exactly one consumer and it is a
+    /// pipeline's *source*: the producing step's table is handed straight
+    /// to that pipeline instead of round-tripping through the slot array's
+    /// generic path (enabling the sink's column-move fast path).
+    handoff: Vec<bool>,
     /// Plan-node pre-order ids, keyed by node address (stable: the plan is
     /// borrowed for `'p`).
     ids: HashMap<*const PhysicalPlan, NodeId>,
@@ -142,10 +158,20 @@ enum StageSpec<'p> {
     /// Residual FILTER over the pipeline's composed rows.
     Filter { node: NodeId, expr: &'p FilterExpr },
     /// Probe the hash table built over the (breaker-materialised) slot.
+    /// `outer` probes keep every probe row: unmatched rows pair with the
+    /// `u32::MAX` sentinel, read back as UNBOUND — the OPTIONAL operator.
     Probe {
         node: NodeId,
         build: SlotId,
         vars: &'p [Var],
+        outer: bool,
+    },
+    /// Plain (non-DISTINCT) projection: restrict/reorder the pipeline's
+    /// layout. No per-row work — the effect lands entirely in which
+    /// columns the sink gathers.
+    Project {
+        node: NodeId,
+        projection: &'p [(String, Var)],
     },
 }
 
@@ -164,12 +190,49 @@ pub fn lower(plan: &PhysicalPlan) -> Program<'_> {
     };
     let chain = lowerer.chain(plan);
     let root = lowerer.seal(chain);
+
+    // Single-consumer hand-off analysis: a slot consumed exactly once, by
+    // a pipeline's *source*, is handed to that pipeline directly.
+    let mut consumers = vec![0usize; lowerer.slot_count];
+    let mut source_consumers = vec![0usize; lowerer.slot_count];
+    for step in &lowerer.steps {
+        match step {
+            Step::Breaker { op, .. } => match op {
+                BreakerOp::Scan { .. } => {}
+                BreakerOp::MergeJoin { left, right, .. }
+                | BreakerOp::CrossProduct { left, right } => {
+                    consumers[*left] += 1;
+                    consumers[*right] += 1;
+                }
+                BreakerOp::Sort { input, .. }
+                | BreakerOp::Project { input, .. }
+                | BreakerOp::OrderBy { input, .. }
+                | BreakerOp::Slice { input, .. } => consumers[*input] += 1,
+            },
+            Step::Pipeline(p) => {
+                if let SourceSpec::Slot(s) = &p.source {
+                    consumers[*s] += 1;
+                    source_consumers[*s] += 1;
+                }
+                for stage in &p.stages {
+                    if let StageSpec::Probe { build, .. } = stage {
+                        consumers[*build] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let handoff = (0..lowerer.slot_count)
+        .map(|s| consumers[s] == 1 && source_consumers[s] == 1)
+        .collect();
+
     Program {
         plan,
         steps: lowerer.steps,
         slot_count: lowerer.slot_count,
         node_count: counter,
         root,
+        handoff,
         ids,
     }
 }
@@ -213,7 +276,12 @@ impl<'p> Lowerer<'p, '_> {
             plan.is_pipeline_breaker(),
             !matches!(
                 plan,
-                PhysicalPlan::Scan { .. } | PhysicalPlan::Filter { .. }
+                PhysicalPlan::Scan { .. }
+                    | PhysicalPlan::Filter { .. }
+                    | PhysicalPlan::Project {
+                        distinct: false,
+                        ..
+                    }
             ),
             "lowering must agree with the breaker classification"
         );
@@ -255,7 +323,28 @@ impl<'p> Lowerer<'p, '_> {
                 // streaming the probe side through a probe stage.
                 let build = self.seal_subplan(right);
                 let mut chain = self.chain(left);
-                chain.stages.push(StageSpec::Probe { node, build, vars });
+                chain.stages.push(StageSpec::Probe {
+                    node,
+                    build,
+                    vars,
+                    outer: false,
+                });
+                chain
+            }
+            PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
+                // Same shape as the inner join: the optional side builds,
+                // the preserved side streams through an *outer* probe —
+                // `probe_range_outer` emits the UNBOUND sentinel per
+                // unmatched probe row, so per-morsel outputs still stitch
+                // deterministically.
+                let build = self.seal_subplan(right);
+                let mut chain = self.chain(left);
+                chain.stages.push(StageSpec::Probe {
+                    node,
+                    build,
+                    vars,
+                    outer: true,
+                });
                 chain
             }
             PhysicalPlan::MergeJoin { left, right, var } => {
@@ -302,18 +391,29 @@ impl<'p> Lowerer<'p, '_> {
                 projection,
                 distinct,
             } => {
-                let i = self.seal_subplan(input);
-                let slot = self.push_breaker(
-                    node,
-                    BreakerOp::Project {
-                        input: i,
-                        projection,
-                        distinct: *distinct,
-                    },
-                );
-                Chain {
-                    source: SourceSpec::Slot(slot),
-                    stages: Vec::new(),
+                if *distinct {
+                    // DISTINCT dedups globally: a breaker, as before.
+                    let i = self.seal_subplan(input);
+                    let slot = self.push_breaker(
+                        node,
+                        BreakerOp::Project {
+                            input: i,
+                            projection,
+                            distinct: true,
+                        },
+                    );
+                    Chain {
+                        source: SourceSpec::Slot(slot),
+                        stages: Vec::new(),
+                    }
+                } else {
+                    // Plain projection is a layout change, not row work:
+                    // fold it into the chain so the sink gathers only the
+                    // projected columns and the pre-projection width is
+                    // never materialised.
+                    let mut chain = self.chain(input);
+                    chain.stages.push(StageSpec::Project { node, projection });
+                    chain
                 }
             }
             PhysicalPlan::OrderBy { input, keys } => {
@@ -404,7 +504,16 @@ impl Program<'_> {
                     }
                     slots[*out] = Some(table);
                 }
-                Step::Pipeline(p) => run_pipeline(p, ds, ctx, &mut slots, &mut rows, &mut nanos),
+                Step::Pipeline(p) => {
+                    // Single-consumer breaker hand-off: the source table
+                    // was produced for this pipeline alone, so the sink
+                    // may move its columns instead of gathering copies.
+                    let handed_off = matches!(&p.source, SourceSpec::Slot(s) if self.handoff[*s]);
+                    if handed_off {
+                        ctx.note_handoff();
+                    }
+                    run_pipeline(p, ds, ctx, &mut slots, &mut rows, &mut nanos, handed_off)
+                }
             }
         }
         let table = slots[self.root].take().expect("root slot filled");
@@ -418,6 +527,7 @@ impl Program<'_> {
             PhysicalPlan::Scan { .. } => Vec::new(),
             PhysicalPlan::MergeJoin { left, right, .. }
             | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::LeftOuterHashJoin { left, right, .. }
             | PhysicalPlan::CrossProduct { left, right } => vec![
                 self.build_profile(left, rows, nanos),
                 self.build_profile(right, rows, nanos),
@@ -497,7 +607,12 @@ impl Program<'_> {
                             limit.map_or("∞".into(), |n| n.to_string())
                         ),
                     };
-                    let _ = writeln!(out, "  s{slot} ← breaker: {desc}");
+                    let mark = if self.handoff[*slot] {
+                        " [handoff]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "  s{slot} ← breaker: {desc}{mark}");
                 }
                 Step::Pipeline(p) => {
                     let mut line = format!("  s{} ← pipeline: ", p.out);
@@ -512,12 +627,21 @@ impl Program<'_> {
                     for stage in &p.stages {
                         match stage {
                             StageSpec::Filter { .. } => line.push_str(" → σ(filter)"),
-                            StageSpec::Probe { build, vars, .. } => {
+                            StageSpec::Probe {
+                                build, vars, outer, ..
+                            } => {
                                 let names: Vec<String> = vars
                                     .iter()
                                     .map(|v| format!("?{}", query.var_name(*v)))
                                     .collect();
-                                let _ = write!(line, " → ⋈hj {} [build s{build}]", names.join(","));
+                                let op = if *outer { "⟕hj" } else { "⋈hj" };
+                                let _ =
+                                    write!(line, " → {op} {} [build s{build}]", names.join(","));
+                            }
+                            StageSpec::Project { projection, .. } => {
+                                let names: Vec<String> =
+                                    projection.iter().map(|(n, _)| format!("?{n}")).collect();
+                                let _ = write!(line, " → π {}", names.join(","));
                             }
                         }
                     }
@@ -586,8 +710,16 @@ fn run_breaker(
 enum ColRef<'a> {
     /// `scan_rows[sides[0][row]][key]`.
     Key { key: usize },
-    /// `col[sides[side][row]]`.
-    Col { side: usize, col: &'a [TermId] },
+    /// `col[sides[side][row]]`. `idx` is the column's index within its
+    /// side's table (what the sink's column-move fast path needs);
+    /// `nullable` marks sides introduced by an *outer* probe, whose index
+    /// vectors may carry the `u32::MAX` sentinel (read as UNBOUND).
+    Col {
+        side: usize,
+        idx: usize,
+        col: &'a [TermId],
+        nullable: bool,
+    },
 }
 
 /// One prepared (executable) pipeline stage.
@@ -609,7 +741,13 @@ enum PreparedStage<'a> {
         /// Shared non-key variables: the composed row's value must equal
         /// the build row's (the repeated-variable check of the joins).
         extra_checks: Vec<(ColRef<'a>, &'a [TermId])>,
+        /// Left-outer semantics: unmatched probe rows survive with the
+        /// `u32::MAX` sentinel on this probe's side.
+        outer: bool,
     },
+    /// Plain projection: the layout change happened at prepare time; at
+    /// run time the stage only reports its (unchanged) cardinality.
+    Project { node: NodeId },
 }
 
 /// Everything a morsel worker needs, borrowed for the pipeline run.
@@ -633,6 +771,19 @@ struct PreparedPipeline<'a> {
 struct MorselOut {
     sides: Vec<Vec<u32>>,
     counts: Vec<usize>,
+    /// Side 0 stayed the untouched morsel range end-to-end (no stage
+    /// dropped a row) — across all morsels this makes the stitched side-0
+    /// vector the identity, which lets the sink *move* a handed-off
+    /// source's columns instead of gathering them. When the caller set
+    /// `defer_side0`, an identity side 0 is left **empty** (the column
+    /// move never reads it); [`run_pipeline`] reconstructs it from
+    /// `start`/`rows` only if another morsel broke the identity.
+    side0_identity: bool,
+    /// First source row of this morsel's range.
+    start: u32,
+    /// Rows surviving the whole stage chain (`== sides[0].len()` whenever
+    /// side 0 is materialised).
+    rows: usize,
 }
 
 /// The composed-row view a stage gathers its scratch columns from:
@@ -664,15 +815,40 @@ impl View<'_, '_> {
                     .iter()
                     .map(|&i| self.scan_rows[i as usize][key]),
             ),
-            (ColRef::Col { side: 0, col }, Some(start)) => {
+            (ColRef::Col { side: 0, col, .. }, Some(start)) => {
                 let start = start as usize;
                 out.extend_from_slice(&col[start..start + n]);
             }
-            (ColRef::Col { side, col }, _) => {
-                out.extend(self.sides[side][..n].iter().map(|&i| col[i as usize]))
-            }
+            (
+                ColRef::Col {
+                    side,
+                    col,
+                    nullable,
+                    ..
+                },
+                _,
+            ) => gather_indices(&mut out, col, &self.sides[side][..n], nullable),
         }
         out
+    }
+}
+
+/// The one index-vector gather loop, shared by the stage scratch gathers
+/// ([`View::gather`]) and the sink: append `src[i]` for every index in
+/// `sel`. With `nullable` (a side introduced by an *outer* probe) the
+/// `u32::MAX` sentinel reads as UNBOUND — the same value the oracle
+/// materialises for unmatched OPTIONAL rows.
+fn gather_indices(out: &mut Vec<TermId>, src: &[TermId], sel: &[u32], nullable: bool) {
+    if nullable {
+        out.extend(sel.iter().map(|&i| {
+            if i == u32::MAX {
+                TermId::UNBOUND
+            } else {
+                src[i as usize]
+            }
+        }));
+    } else {
+        out.extend(sel.iter().map(|&i| src[i as usize]));
     }
 }
 
@@ -726,9 +902,26 @@ impl RowValues for ScratchCols<'_, '_> {
     }
 }
 
+/// How the sink reads one output column — [`ColRef`] stripped of its
+/// borrows, so the prepared pipeline can be dropped before the sink takes
+/// the input tables apart.
+enum SinkRef {
+    Key {
+        key: usize,
+    },
+    Col {
+        side: usize,
+        idx: usize,
+        nullable: bool,
+    },
+}
+
 /// Execute one pipeline: prepare (resolve the source, build the probe hash
 /// tables — the breaker work), push morsels through the stage chain, gather
-/// once at the sink, recycle the consumed inputs.
+/// once at the sink, recycle the consumed inputs. A `handed_off` source
+/// table (a single-consumer breaker's output) may have its columns *moved*
+/// into the sink when no stage dropped a row.
+#[allow(clippy::too_many_arguments)]
 fn run_pipeline(
     p: &Pipeline<'_>,
     ds: &Dataset,
@@ -736,12 +929,13 @@ fn run_pipeline(
     slots: &mut [Option<BindingTable>],
     rows_by_node: &mut [usize],
     nanos_by_node: &mut [u128],
+    handed_off: bool,
 ) {
     let start = Instant::now();
 
     // Take the pipeline's inputs out of their slots (they stay alive —
     // borrowed by the prepared stages — until the sink has gathered).
-    let source_table: Option<BindingTable> = match &p.source {
+    let mut source_table: Option<BindingTable> = match &p.source {
         SourceSpec::Slot(slot) => Some(slots[*slot].take().expect("source slot filled")),
         SourceSpec::Scan { .. } => None,
     };
@@ -752,11 +946,44 @@ fn run_pipeline(
             StageSpec::Probe { build, .. } => {
                 Some(slots[*build].take().expect("build slot filled"))
             }
-            StageSpec::Filter { .. } => None,
+            StageSpec::Filter { .. } | StageSpec::Project { .. } => None,
         })
         .collect();
 
-    let prepared = prepare(p, ds, ctx, source_table.as_ref(), &build_tables);
+    // Resolve a scan source against the dataset here — not inside
+    // `prepare` — so the rows borrow `ds` alone and stay usable by the
+    // sink after the prepared stages (which borrow the input tables) are
+    // dropped.
+    let (scan_rows, scan_known) = match &p.source {
+        SourceSpec::Scan { pattern, order, .. } => resolve_scan(ds, pattern, *order),
+        SourceSpec::Slot(_) => (&[][..], true),
+    };
+
+    let prepared = prepare(
+        p,
+        ctx,
+        scan_rows,
+        scan_known,
+        source_table.as_ref(),
+        &build_tables,
+    );
+
+    // The hand-off column-move precondition that is known *before* any
+    // morsel runs: the source was handed off, no probe adds a side, and
+    // every output column reads side 0. Morsels then leave an identity
+    // side 0 empty (deferred) — the move path never reads it, and a
+    // morsel that does drop rows breaks the identity, in which case the
+    // stitch below reconstructs the deferred ranges.
+    let static_movable = handed_off
+        && !prepared.layout.is_empty()
+        && prepared
+            .layout
+            .iter()
+            .all(|&(_, r)| matches!(r, ColRef::Col { side: 0, .. }))
+        && !prepared
+            .stages
+            .iter()
+            .any(|s| matches!(s, PreparedStage::Probe { .. }));
 
     // Push morsels through the whole stage chain. Parallel workers use the
     // per-thread evaluator (scoped threads — the caches drop at pipeline
@@ -767,15 +994,23 @@ fn run_pipeline(
         morsel::run_morsels(prepared.rows, &ctx.morsel, |range| {
             // Workers allocate scratch plainly: the pool is single-threaded.
             let scratch = Scratch { pool: None };
-            ops::WORKER_EVALUATOR
-                .with(|evaluator| process_morsel(range, &prepared, ds, evaluator, &scratch))
+            ops::WORKER_EVALUATOR.with(|evaluator| {
+                process_morsel(range, &prepared, ds, evaluator, &scratch, static_movable)
+            })
         })
     } else {
         let evaluator = hsp_sparql::Evaluator::new();
         let scratch = Scratch {
             pool: Some(&ctx.pool),
         };
-        let out = process_morsel(0..prepared.rows, &prepared, ds, &evaluator, &scratch);
+        let out = process_morsel(
+            0..prepared.rows,
+            &prepared,
+            ds,
+            &evaluator,
+            &scratch,
+            static_movable,
+        );
         (
             vec![out],
             MorselRun {
@@ -795,8 +1030,12 @@ fn run_pipeline(
     let mut counts = vec![0usize; 1 + stage_count];
     let mut total_rows = 0usize;
     for part in &parts {
-        total_rows += part.sides[0].len();
+        total_rows += part.rows;
     }
+    // Every morsel kept side 0 untouched ⇒ the stitched side-0 vector is
+    // the identity over the whole source: the column-move fires and side 0
+    // (left empty by the deferral) is never read.
+    let movable = static_movable && parts.iter().all(|part| part.side0_identity);
     let sides: Vec<Vec<u32>> = if parts.len() == 1 {
         // Single morsel (the sequential path): its index vectors are the
         // stitched result — move them instead of copying.
@@ -814,7 +1053,17 @@ fn run_pipeline(
                 counts[c] += n;
             }
             for (s, v) in part.sides.into_iter().enumerate() {
-                sides[s].extend_from_slice(&v);
+                if s == 0 && static_movable && part.side0_identity {
+                    // This morsel's side 0 was deferred (left empty). If
+                    // another morsel broke the identity, reconstruct the
+                    // range here; on the move path nothing reads side 0.
+                    debug_assert!(v.is_empty());
+                    if !movable {
+                        sides[0].extend(part.start..part.start + part.rows as u32);
+                    }
+                } else {
+                    sides[s].extend_from_slice(&v);
+                }
             }
         }
         sides
@@ -827,7 +1076,9 @@ fn run_pipeline(
     }
     for (stage, &n) in prepared.stages.iter().zip(&counts[1..]) {
         let node = match stage {
-            PreparedStage::Filter { node, .. } | PreparedStage::Probe { node, .. } => *node,
+            PreparedStage::Filter { node, .. }
+            | PreparedStage::Probe { node, .. }
+            | PreparedStage::Project { node } => *node,
         };
         rows_by_node[node] = n;
     }
@@ -841,48 +1092,114 @@ fn run_pipeline(
         .skip(if prepared.scan_source.is_some() { 0 } else { 1 })
         .sum();
     ctx.note_pipeline(run, avoided);
-
-    // Sink: gather each output column exactly once, through the pool.
-    let out_rows = sides[0].len();
-    let table = if prepared.layout.is_empty() {
-        BindingTable::unit(out_rows)
-    } else {
-        let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(prepared.layout.len());
-        for &(_, r) in &prepared.layout {
-            match r {
-                ColRef::Key { key } => {
-                    let mut col = ctx.pool.take_col(out_rows);
-                    col.extend(
-                        sides[0]
-                            .iter()
-                            .map(|&i| prepared.scan_rows[i as usize][key]),
-                    );
-                    cols.push(col);
-                }
-                ColRef::Col { side, col } => {
-                    cols.push(gather_column(col, &sides[side], Some(&ctx.pool)));
-                }
-            }
-        }
-        let vars: Vec<Var> = prepared.layout.iter().map(|&(v, _)| v).collect();
-        let mut table = BindingTable::from_columns(vars, cols, None);
-        table.set_sorted_by(prepared.sorted);
-        table
-    };
-    for side in sides {
-        ctx.pool.put_idx(side);
+    let outer_probes = prepared
+        .stages
+        .iter()
+        .filter(|s| matches!(s, PreparedStage::Probe { outer: true, .. }))
+        .count();
+    if outer_probes > 0 {
+        ctx.note_outer_probes(outer_probes);
     }
 
     // The topmost operator of the pipeline owns its wall time (inner
     // stages never run in isolation, so they report 0).
     let top_node = match prepared.stages.last() {
-        Some(PreparedStage::Filter { node, .. }) | Some(PreparedStage::Probe { node, .. }) => *node,
+        Some(
+            PreparedStage::Filter { node, .. }
+            | PreparedStage::Probe { node, .. }
+            | PreparedStage::Project { node },
+        ) => *node,
         None => unreachable!("pipelines have at least one stage"),
     };
+
+    // Strip the layout of its borrows so the prepared stages (which borrow
+    // the input tables) can drop before the sink consumes those tables.
+    let sink_refs: Vec<(Var, SinkRef)> = prepared
+        .layout
+        .iter()
+        .map(|&(v, r)| {
+            let sink = match r {
+                ColRef::Key { key } => SinkRef::Key { key },
+                ColRef::Col {
+                    side,
+                    idx,
+                    nullable,
+                    ..
+                } => SinkRef::Col {
+                    side,
+                    idx,
+                    nullable,
+                },
+            };
+            (v, sink)
+        })
+        .collect();
+    let sorted = prepared.sorted;
+    drop(prepared);
+
+    // Sink. Fast path (hand-off move, `movable` decided at the stitch):
+    // the source table was materialised for this pipeline alone and no
+    // stage dropped a row, so the selected columns *move* into the output
+    // — zero copies, not even an identity index vector — and the
+    // unprojected ones recycle through the pool. Otherwise each output
+    // column is gathered exactly once, through the pool.
+    let out_rows = total_rows;
+    let table = if movable {
+        let src = source_table.take().expect("handed-off slot source");
+        debug_assert_eq!(src.len(), out_rows, "identity sides preserve rows");
+        let mut src_cols: Vec<Option<Vec<TermId>>> =
+            src.into_columns().into_iter().map(Some).collect();
+        let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(sink_refs.len());
+        for (_, r) in &sink_refs {
+            let SinkRef::Col { idx, .. } = r else {
+                unreachable!("movable layout is side-0 columns only")
+            };
+            cols.push(src_cols[*idx].take().expect("layout vars are distinct"));
+        }
+        for col in src_cols.into_iter().flatten() {
+            ctx.pool.put_col(col);
+        }
+        let vars: Vec<Var> = sink_refs.iter().map(|&(v, _)| v).collect();
+        let mut table = BindingTable::from_columns(vars, cols, None);
+        table.set_sorted_by(sorted);
+        table
+    } else if sink_refs.is_empty() {
+        BindingTable::unit(out_rows)
+    } else {
+        let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(sink_refs.len());
+        for (_, r) in &sink_refs {
+            let mut col = ctx.pool.take_col(out_rows);
+            match *r {
+                SinkRef::Key { key } => {
+                    col.extend(sides[0].iter().map(|&i| scan_rows[i as usize][key]));
+                }
+                SinkRef::Col {
+                    side,
+                    idx,
+                    nullable,
+                } => {
+                    let src: &[TermId] = if side == 0 {
+                        &source_table.as_ref().expect("slot source").columns()[idx]
+                    } else {
+                        &build_tables[side - 1].columns()[idx]
+                    };
+                    gather_indices(&mut col, src, &sides[side], nullable);
+                }
+            }
+            cols.push(col);
+        }
+        let vars: Vec<Var> = sink_refs.iter().map(|&(v, _)| v).collect();
+        let mut table = BindingTable::from_columns(vars, cols, None);
+        table.set_sorted_by(sorted);
+        table
+    };
+    for side in sides {
+        ctx.pool.put_idx(side);
+    }
     nanos_by_node[top_node] = start.elapsed().as_nanos();
 
-    // Recycle the consumed inputs now that the gather is done.
-    drop(prepared);
+    // Recycle the consumed inputs now that the gather is done (a moved
+    // hand-off source already recycled its leftovers above).
     if let Some(t) = source_table {
         ctx.pool.recycle(t);
     }
@@ -892,22 +1209,50 @@ fn run_pipeline(
     slots[p.out] = Some(table);
 }
 
-/// Resolve the pipeline's source and stages against the dataset and the
-/// taken input tables: relation range + key layout for a scan source,
-/// hash-table builds (the breaker half of each hash join) for the probes.
+/// Resolve a scan source's relation range exactly like `ops::scan_in`: a
+/// constant missing from the dictionary matches nothing, reported as
+/// `known == false` (the empty output then advertises no sortedness,
+/// matching the oracle).
+fn resolve_scan<'d>(
+    ds: &'d Dataset,
+    pattern: &TriplePattern,
+    order: Order,
+) -> (&'d [IdTriple], bool) {
+    let mut prefix: Vec<TermId> = Vec::with_capacity(3);
+    for pos in order.positions() {
+        match pattern.slot(pos) {
+            hsp_sparql::TermOrVar::Const(term) => match ds.dict().id(term) {
+                Some(id) => prefix.push(id),
+                None => return (&[], false),
+            },
+            hsp_sparql::TermOrVar::Var(_) => break,
+        }
+    }
+    let rows = ds.store().relation(order).range(&prefix);
+    assert!(
+        rows.len() < u32::MAX as usize,
+        "scan range exceeds u32 row indexing"
+    );
+    (rows, true)
+}
+
+/// Resolve the pipeline's source and stages against the (already
+/// resolved) scan rows and the taken input tables: key layout for a scan
+/// source, hash-table builds (the breaker half of each hash join) for the
+/// probes, layout rewrites for projection stages.
 fn prepare<'a>(
     p: &'a Pipeline<'_>,
-    ds: &'a Dataset,
     ctx: &ExecContext,
+    scan_rows: &'a [IdTriple],
+    scan_known: bool,
     source_table: Option<&'a BindingTable>,
     build_tables: &'a [BindingTable],
 ) -> PreparedPipeline<'a> {
     let mut layout: Vec<(Var, ColRef<'a>)> = Vec::new();
     let mut equalities: Vec<(usize, usize)> = Vec::new();
-    let mut scan_rows: &'a [IdTriple] = &[];
     let scan_source;
     let rows;
-    let sorted;
+    let mut sorted;
     match &p.source {
         SourceSpec::Scan {
             node,
@@ -915,30 +1260,6 @@ fn prepare<'a>(
             order,
         } => {
             scan_source = Some(*node);
-            // Resolve constants exactly like `ops::scan_in`: a constant
-            // missing from the dictionary matches nothing (and the empty
-            // output, like the oracle's, advertises no sortedness).
-            let mut prefix: Vec<TermId> = Vec::with_capacity(3);
-            let mut known = true;
-            for pos in order.positions() {
-                match pattern.slot(pos) {
-                    hsp_sparql::TermOrVar::Const(term) => match ds.dict().id(term) {
-                        Some(id) => prefix.push(id),
-                        None => {
-                            known = false;
-                            break;
-                        }
-                    },
-                    hsp_sparql::TermOrVar::Var(_) => break,
-                }
-            }
-            if known {
-                scan_rows = ds.store().relation(*order).range(&prefix);
-            }
-            assert!(
-                scan_rows.len() < u32::MAX as usize,
-                "scan range exceeds u32 row indexing"
-            );
             let out_vars = pattern.vars();
             for &v in &out_vars {
                 let pos = pattern.positions_of(v)[0];
@@ -956,7 +1277,7 @@ fn prepare<'a>(
                 }
             }
             rows = scan_rows.len();
-            sorted = if known {
+            sorted = if scan_known {
                 scan_sort_var(pattern, *order)
             } else {
                 None
@@ -973,7 +1294,9 @@ fn prepare<'a>(
                     v,
                     ColRef::Col {
                         side: 0,
+                        idx: c,
                         col: &table.columns()[c],
+                        nullable: false,
                     },
                 ));
             }
@@ -1005,7 +1328,9 @@ fn prepare<'a>(
                     used,
                 });
             }
-            StageSpec::Probe { node, vars, .. } => {
+            StageSpec::Probe {
+                node, vars, outer, ..
+            } => {
                 let bt = builds.next().expect("one build table per probe stage");
                 let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| bt.column(v)).collect();
                 let (table, build_run) = BuildTable::build_par(&build_cols, bt.len(), &ctx.morsel);
@@ -1026,14 +1351,18 @@ fn prepare<'a>(
                     .map(|&(lv, r)| (r, bt.column(lv)))
                     .collect();
                 // The build side's non-shared variables join the layout,
-                // read through this probe's new side.
+                // read through this probe's new side. An outer probe's
+                // side may carry the unmatched-row sentinel, so its
+                // columns are nullable.
                 for (c, &v) in bt.vars().iter().enumerate() {
                     if !layout.iter().any(|&(lv, _)| lv == v) {
                         layout.push((
                             v,
                             ColRef::Col {
                                 side: side_count,
+                                idx: c,
                                 col: &bt.columns()[c],
+                                nullable: *outer,
                             },
                         ));
                     }
@@ -1044,8 +1373,34 @@ fn prepare<'a>(
                     build_cols,
                     key_refs,
                     extra_checks,
+                    outer: *outer,
                 });
                 side_count += 1;
+                if *outer {
+                    // UNBOUND padding may break any ordering — match the
+                    // oracle's `left_outer_hash_join_in`.
+                    sorted = None;
+                }
+            }
+            StageSpec::Project { node, projection } => {
+                // The projection happens entirely at prepare time: the
+                // layout narrows to the projected variables (first
+                // occurrence wins for duplicated names, like
+                // `ops::project_in`), and the sink gathers only those.
+                let mut narrowed: Vec<(Var, ColRef<'a>)> = Vec::new();
+                for &(_, v) in projection.iter() {
+                    if !narrowed.iter().any(|&(lv, _)| lv == v) {
+                        let r = layout
+                            .iter()
+                            .find(|&&(lv, _)| lv == v)
+                            .map(|&(_, r)| r)
+                            .expect("projected variable bound by the pipeline (validated)");
+                        narrowed.push((v, r));
+                    }
+                }
+                layout = narrowed;
+                sorted = sorted.filter(|v| layout.iter().any(|&(lv, _)| lv == *v));
+                stages.push(PreparedStage::Project { node: *node });
             }
         }
     }
@@ -1063,13 +1418,19 @@ fn prepare<'a>(
 
 /// Push one morsel of source rows through the whole stage chain,
 /// thread-locally: every intermediate is a `u32` index vector per side.
+/// With `defer_side0` (the hand-off column-move candidate) a side 0 that
+/// stayed lazy end-to-end is left empty instead of being materialised —
+/// the caller either never reads it (the move path) or reconstructs it
+/// from the recorded range.
 fn process_morsel(
     range: std::ops::Range<usize>,
     p: &PreparedPipeline<'_>,
     ds: &Dataset,
     evaluator: &hsp_sparql::Evaluator,
     scratch: &Scratch<'_>,
+    defer_side0: bool,
 ) -> MorselOut {
+    let range_start = range.start as u32;
     let mut counts = Vec::with_capacity(1 + p.stages.len());
     let mut sides: Vec<Vec<u32>> = Vec::with_capacity(4);
 
@@ -1138,6 +1499,7 @@ fn process_morsel(
                 build_cols,
                 key_refs,
                 extra_checks,
+                outer,
                 ..
             } => {
                 let n = rows_now;
@@ -1168,14 +1530,28 @@ fn process_morsel(
                         .collect();
                     let mut keep = scratch.take_idx(n);
                     let mut matched = scratch.take_idx(n);
-                    table.probe_range(
-                        build_cols,
-                        &probe_cols,
-                        &extra_pairs,
-                        0..n,
-                        &mut keep,
-                        &mut matched,
-                    );
+                    if *outer {
+                        // Left-outer: every probe row survives; unmatched
+                        // ones pair with the sentinel (per probe row, so
+                        // morsel stitching is unchanged).
+                        table.probe_range_outer(
+                            build_cols,
+                            &probe_cols,
+                            &extra_pairs,
+                            0..n,
+                            &mut keep,
+                            &mut matched,
+                        );
+                    } else {
+                        table.probe_range(
+                            build_cols,
+                            &probe_cols,
+                            &extra_pairs,
+                            0..n,
+                            &mut keep,
+                            &mut matched,
+                        );
+                    }
                     for col in key_cols {
                         scratch.put_col(col);
                     }
@@ -1189,17 +1565,31 @@ fn process_morsel(
                 scratch.put_idx(keep);
                 sides.push(matched);
             }
+            PreparedStage::Project { .. } => {
+                // Pure layout change: no row dropped, no side touched —
+                // the stage only reports its (unchanged) cardinality.
+            }
         }
         counts.push(rows_now);
     }
+    let side0_identity = ident.is_some();
     // A chain that never dropped a row leaves side 0 lazy — materialise it
-    // for the stitch and the sink.
+    // for the stitch and the sink, unless the caller deferred it (the
+    // hand-off move path never reads an identity side 0).
     if let Some(start) = ident {
-        let mut sel = scratch.take_idx(rows_now);
-        sel.extend(start..start + rows_now as u32);
-        sides[0] = sel;
+        if !defer_side0 {
+            let mut sel = scratch.take_idx(rows_now);
+            sel.extend(start..start + rows_now as u32);
+            sides[0] = sel;
+        }
     }
-    MorselOut { sides, counts }
+    MorselOut {
+        sides,
+        counts,
+        side0_identity,
+        start: range_start,
+        rows: rows_now,
+    }
 }
 
 /// Advance every side past a filtering stage: replace each side vector
@@ -1433,6 +1823,210 @@ mod tests {
         let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
         assert_eq!(out.table, oracle.table);
         assert_eq!(out.table.len(), 2);
+    }
+
+    #[test]
+    fn outer_probe_pipeline_matches_oracle() {
+        // ?a p ?b OPTIONAL { ?b r ?c }: b2 has no r-edge, so its rows
+        // survive with UNBOUND padding.
+        let ds = dataset();
+        let plan = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            right: Box::new(scan(1, vv(1), cv("r"), vv(2), Order::Pso)),
+            vars: vec![Var(1)],
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        assert_eq!(oracle.table.len(), 3); // every p-row survives
+        for threads in 1..=4 {
+            let out = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            assert!(out.runtime.pipelines > 0);
+            assert!(out.runtime.pipeline_outer_probes > 0);
+        }
+    }
+
+    #[test]
+    fn outer_probe_feeds_downstream_filter_stage() {
+        // FILTER over an OPTIONAL's output: the filter stage reads a
+        // nullable column (UNBOUND comparisons are false, per SPARQL).
+        let ds = dataset();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::LeftOuterHashJoin {
+                left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(1), cv("r"), vv(2), Order::Pso)),
+                vars: vec![Var(1)],
+            }),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Ne,
+                lhs: Operand::Var(Var(2)),
+                rhs: Operand::Const(Term::literal("zzz")),
+            },
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let out = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plain_root_projection_streams_through_the_sink() {
+        // π over the probe chain: no Project breaker — the projection is
+        // a stage and the sink gathers only the projected columns.
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(chain_plan()),
+            projection: vec![("a".into(), Var(0)), ("y".into(), Var(2))],
+            distinct: false,
+        };
+        let program = lower(&plan);
+        assert_eq!(program.pipeline_count(), 1);
+        assert!(
+            !program.steps.iter().any(|s| matches!(
+                s,
+                Step::Breaker {
+                    op: BreakerOp::Project { .. },
+                    ..
+                }
+            )),
+            "plain projection must not lower as a breaker"
+        );
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let out = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            // The projection's input (the filter output) is no longer
+            // materialised: it shows up in the avoided-rows counter.
+            assert!(out.runtime.pipelines > 0);
+        }
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        fn rows(p: &Profile) -> Vec<(String, usize)> {
+            let mut out = Vec::new();
+            p.visit(&mut |n| out.push((n.label.clone(), n.output_rows)));
+            out
+        }
+        assert_eq!(rows(&out.profile), rows(&oracle.profile));
+    }
+
+    #[test]
+    fn empty_plain_projection_yields_unit_rows() {
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            projection: vec![],
+            distinct: false,
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        assert_eq!(out.table.len(), 3);
+        assert!(out.table.vars().is_empty());
+    }
+
+    #[test]
+    fn single_consumer_breaker_hands_off_to_projection() {
+        // π(mergejoin(...)): the merge join's output has exactly one
+        // consumer (the projection pipeline's source), so it is handed
+        // off and its projected columns move into the sink.
+        let ds = dataset();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                var: Var(0),
+            }),
+            projection: vec![("s".into(), Var(0)), ("o".into(), Var(1))],
+            distinct: false,
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let out = execute(&plan, &ds, &ExecConfig::unlimited().with_threads(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            assert!(
+                out.runtime.breaker_handoffs > 0,
+                "merge-join output should hand off: {:?}",
+                out.runtime
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_survives_a_dropping_filter_between() {
+        // σ(mergejoin(...)) as a pipeline: the filter drops rows, so the
+        // hand-off falls back to the gather path — output must still match.
+        let ds = dataset();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                var: Var(0),
+            }),
+            expr: FilterExpr::Cmp {
+                op: CmpOp::Gt,
+                lhs: Operand::Var(Var(2)),
+                rhs: Operand::Const(Term::literal("6")),
+            },
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        assert!(out.runtime.breaker_handoffs > 0);
+    }
+
+    #[test]
+    fn dag_renders_outer_probe_projection_and_handoff() {
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::LeftOuterHashJoin {
+                left: Box::new(PhysicalPlan::MergeJoin {
+                    left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                    right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
+                    var: Var(0),
+                }),
+                right: Box::new(scan(2, vv(1), cv("r"), vv(3), Order::Pso)),
+                vars: vec![Var(1)],
+            }),
+            projection: vec![("a".into(), Var(0)), ("d".into(), Var(3))],
+            distinct: false,
+        };
+        let query = hsp_sparql::JoinQuery::parse(
+            "SELECT ?a WHERE { ?a <http://e/p> ?b . ?a <http://e/q> ?c . ?b <http://e/r> ?d . }",
+        )
+        .unwrap();
+        let program = lower(&plan);
+        let dag = program.render(&query);
+        assert!(dag.contains("⟕hj"), "{dag}");
+        assert!(dag.contains("→ π ?a,?d"), "{dag}");
+        assert!(dag.contains("[handoff]"), "{dag}");
     }
 
     #[test]

@@ -45,6 +45,21 @@ pub enum PhysicalPlan {
         /// Join variables (non-empty).
         vars: Vec<Var>,
     },
+    /// Left-outer hash join on `vars` — the OPTIONAL operator. Every left
+    /// (probe) row survives; rows without a build match carry
+    /// `TermId::UNBOUND` in the right-only columns. Like [`Self::HashJoin`]
+    /// the right side builds and the left side streams through the probe,
+    /// so the pipeline executor lowers it as a probe *stage* (the
+    /// unmatched-row sentinel is emitted per probe row, which keeps morsel
+    /// stitching deterministic).
+    LeftOuterHashJoin {
+        /// Probe input (preserved in full).
+        left: Box<PhysicalPlan>,
+        /// Build input (optional side).
+        right: Box<PhysicalPlan>,
+        /// Join variables (non-empty, shared by both inputs).
+        vars: Vec<Var>,
+    },
     /// Cartesian product (no shared variables).
     CrossProduct {
         /// Left input (major order).
@@ -126,6 +141,7 @@ impl PhysicalPlan {
             PhysicalPlan::Scan { pattern, .. } => pattern.vars(),
             PhysicalPlan::MergeJoin { left, right, .. }
             | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::LeftOuterHashJoin { left, right, .. }
             | PhysicalPlan::CrossProduct { left, right } => {
                 let mut vars = left.output_vars();
                 for v in right.output_vars() {
@@ -168,6 +184,10 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin { left, .. } | PhysicalPlan::CrossProduct { left, .. } => {
                 left.sorted_by()
             }
+            // Probe order is preserved, but unmatched rows pad right-only
+            // columns with UNBOUND sentinels — the operator conservatively
+            // advertises no sortedness (matching `ops::left_outer_hash_join`).
+            PhysicalPlan::LeftOuterHashJoin { .. } => None,
             PhysicalPlan::Sort { var, .. } => Some(*var),
             PhysicalPlan::Filter { input, .. } => input.sorted_by(),
             PhysicalPlan::Project {
@@ -186,25 +206,31 @@ impl PhysicalPlan {
     /// pipeline executor ([`crate::pipeline`]) materialises at its
     /// boundary. The breaker table:
     ///
-    /// | operator        | breaks because                                  |
-    /// |-----------------|--------------------------------------------------|
-    /// | `MergeJoin`     | both inputs must be complete and sorted          |
-    /// | `HashJoin`      | the build (right) side must be fully hashed — the probe side streams |
-    /// | `CrossProduct`  | tiles one whole side over the other              |
-    /// | `Sort`          | order enforcement sees every row                 |
-    /// | `OrderBy`       | solution-modifier sort sees every row            |
-    /// | `Project`       | DISTINCT dedups globally (plain projection is a root-level bulk copy and is kept with it) |
-    /// | `Slice`         | OFFSET counts rows globally                      |
+    /// | operator            | breaks because                                  |
+    /// |---------------------|--------------------------------------------------|
+    /// | `MergeJoin`         | both inputs must be complete and sorted          |
+    /// | `HashJoin`          | the build (right) side must be fully hashed — the probe side streams |
+    /// | `LeftOuterHashJoin` | same as `HashJoin`: build side breaks, the probe side streams (unmatched rows emit a sentinel per probe row) |
+    /// | `CrossProduct`      | tiles one whole side over the other              |
+    /// | `Sort`              | order enforcement sees every row                 |
+    /// | `OrderBy`           | solution-modifier sort sees every row            |
+    /// | `Project` (DISTINCT)| dedups globally                                  |
+    /// | `Slice`             | OFFSET counts rows globally                      |
     ///
-    /// `Scan` and `Filter` stream and are never breakers.
+    /// `Scan` and `Filter` stream and are never breakers, and neither is a
+    /// **plain** (non-DISTINCT) `Project`: it is a pure layout change — a
+    /// column subset/reorder with no per-row work — so the pipeline
+    /// executor folds it into the stage chain (and, at the root, into the
+    /// sink gather itself).
     pub fn is_pipeline_breaker(&self) -> bool {
         match self {
             PhysicalPlan::Scan { .. } | PhysicalPlan::Filter { .. } => false,
+            PhysicalPlan::Project { distinct, .. } => *distinct,
             PhysicalPlan::MergeJoin { .. }
             | PhysicalPlan::HashJoin { .. }
+            | PhysicalPlan::LeftOuterHashJoin { .. }
             | PhysicalPlan::CrossProduct { .. }
             | PhysicalPlan::Sort { .. }
-            | PhysicalPlan::Project { .. }
             | PhysicalPlan::OrderBy { .. }
             | PhysicalPlan::Slice { .. } => true,
         }
@@ -228,6 +254,7 @@ impl PhysicalPlan {
             PhysicalPlan::Scan { .. } => {}
             PhysicalPlan::MergeJoin { left, right, .. }
             | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::LeftOuterHashJoin { left, right, .. }
             | PhysicalPlan::CrossProduct { left, right } => {
                 left.visit(f);
                 right.visit(f);
@@ -275,18 +302,24 @@ impl PhysicalPlan {
                 }
                 Ok(())
             }
-            PhysicalPlan::HashJoin { left, right, vars } => {
+            PhysicalPlan::HashJoin { left, right, vars }
+            | PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
+                let kind = if matches!(self, PhysicalPlan::HashJoin { .. }) {
+                    "hash join"
+                } else {
+                    "left-outer hash join"
+                };
                 left.validate()?;
                 right.validate()?;
                 if vars.is_empty() {
-                    return Err(PlanError("hash join with no join variables".into()));
+                    return Err(PlanError(format!("{kind} with no join variables")));
                 }
                 let lv = left.output_vars();
                 let rv = right.output_vars();
                 for v in vars {
                     if !lv.contains(v) || !rv.contains(v) {
                         return Err(PlanError(format!(
-                            "hash join variable {v} not shared by both inputs"
+                            "{kind} variable {v} not shared by both inputs"
                         )));
                     }
                 }
@@ -561,11 +594,58 @@ mod tests {
             vars: vec![Var(0)],
         };
         assert!(hj.is_pipeline_breaker());
+        let oj = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(s.clone()),
+            right: Box::new(scan(1, pat(v(0), c("q"), v(2)), Order::Pso)),
+            vars: vec![Var(0)],
+        };
+        assert!(oj.is_pipeline_breaker());
+        // Plain projection streams (a layout change); DISTINCT breaks.
+        let plain = PhysicalPlan::Project {
+            input: Box::new(s.clone()),
+            projection: vec![("x".into(), Var(0))],
+            distinct: false,
+        };
+        assert!(!plain.is_pipeline_breaker());
+        let distinct = PhysicalPlan::Project {
+            input: Box::new(s.clone()),
+            projection: vec![("x".into(), Var(0))],
+            distinct: true,
+        };
+        assert!(distinct.is_pipeline_breaker());
         let sort = PhysicalPlan::Sort {
             input: Box::new(s),
             var: Var(0),
         };
         assert!(sort.is_pipeline_breaker());
+    }
+
+    #[test]
+    fn left_outer_join_validates_like_hash_join() {
+        let left = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let right = scan(1, pat(v(0), c("q"), v(2)), Order::Pso);
+        let good = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            vars: vec![Var(0)],
+        };
+        assert!(good.validate().is_ok());
+        assert_eq!(good.output_vars(), vec![Var(0), Var(1), Var(2)]);
+        // UNBOUND padding may break any ordering: no sortedness claim.
+        assert_eq!(good.sorted_by(), None);
+        let unshared = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            vars: vec![Var(1)],
+        };
+        let err = unshared.validate().unwrap_err();
+        assert!(err.to_string().contains("left-outer hash join"));
+        let empty = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            vars: vec![],
+        };
+        assert!(empty.validate().is_err());
     }
 
     #[test]

@@ -162,6 +162,8 @@ pub struct ExecContext {
     parallel_sorts: Cell<usize>,
     pipelines: Cell<usize>,
     pipeline_morsels: Cell<usize>,
+    pipeline_outer_probes: Cell<usize>,
+    breaker_handoffs: Cell<usize>,
     pipeline_rows_avoided: Cell<usize>,
 }
 
@@ -250,6 +252,19 @@ impl ExecContext {
         self.note_run(run);
     }
 
+    /// Record `count` left-outer (OPTIONAL) probe stages executed inside
+    /// one pipeline run.
+    pub(crate) fn note_outer_probes(&self, count: usize) {
+        self.pipeline_outer_probes
+            .set(self.pipeline_outer_probes.get() + count);
+    }
+
+    /// Record one breaker output handed directly to its single consuming
+    /// pipeline (no slot round-trip).
+    pub(crate) fn note_handoff(&self) {
+        self.breaker_handoffs.set(self.breaker_handoffs.get() + 1);
+    }
+
     /// Morsels processed by parallel kernels so far.
     pub fn morsels_run(&self) -> usize {
         self.morsels.get()
@@ -288,6 +303,17 @@ impl ExecContext {
     /// Morsels pushed end-to-end through executed pipelines so far.
     pub fn pipeline_morsels(&self) -> usize {
         self.pipeline_morsels.get()
+    }
+
+    /// Left-outer (OPTIONAL) probe stages executed inside pipelines so far.
+    pub fn pipeline_outer_probes(&self) -> usize {
+        self.pipeline_outer_probes.get()
+    }
+
+    /// Breaker outputs handed directly to their single consuming pipeline
+    /// so far.
+    pub fn breaker_handoffs(&self) -> usize {
+        self.breaker_handoffs.get()
     }
 
     /// Intermediate rows pipelines kept as thread-local index vectors

@@ -205,6 +205,105 @@ proptest! {
         assert_pipeline_matches_oracle(&ds, &plan)?;
     }
 
+    /// OPTIONAL chain: two left-outer probes over the cites graph —
+    /// `?a cites ?b OPTIONAL { ?b year ?y } OPTIONAL { ?b cites ?c }` —
+    /// unmatched rows carry UNBOUND, and the whole chain runs as one
+    /// pipeline with outer-probe stages.
+    #[test]
+    fn optional_chain_matches_oracle(
+        cites in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
+        years in proptest::collection::vec((0u8..10, 0u8..30), 0..12),
+    ) {
+        let ds = Dataset::from_ntriples(&sp2b_doc(&cites, &years)).unwrap();
+        let plan = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(PhysicalPlan::LeftOuterHashJoin {
+                left: Box::new(scan(0, vv(0), cv("cites"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(1), cv("year"), vv(2), Order::Pso)),
+                vars: vec![Var(1)],
+            }),
+            right: Box::new(scan(2, vv(1), cv("cites"), vv(3), Order::Pso)),
+            vars: vec![Var(1)],
+        };
+        assert_pipeline_matches_oracle(&ds, &plan)?;
+        // The chain is one pipeline whose outer probes stream.
+        let out = execute_in(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited(),
+            &ExecConfig::unlimited().context(),
+        )
+        .expect("pipeline runs");
+        prop_assert!(out.runtime.pipelines > 0);
+        prop_assert_eq!(out.runtime.pipeline_outer_probes, 2);
+    }
+
+    /// OPTIONAL under a FILTER and a plain root projection: the filter
+    /// reads the nullable (UNBOUND-padded) column, and the projection
+    /// folds into the pipeline sink instead of breaking.
+    #[test]
+    fn root_projection_over_optional_matches_oracle(
+        cites in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
+        years in proptest::collection::vec((0u8..10, 0u8..30), 0..12),
+        keep_year in 1990u32..2020,
+    ) {
+        let ds = Dataset::from_ntriples(&sp2b_doc(&cites, &years)).unwrap();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::LeftOuterHashJoin {
+                    left: Box::new(scan(0, vv(0), cv("cites"), vv(1), Order::Pso)),
+                    right: Box::new(scan(1, vv(1), cv("year"), vv(2), Order::Pso)),
+                    vars: vec![Var(1)],
+                }),
+                expr: FilterExpr::Cmp {
+                    op: CmpOp::Ne,
+                    lhs: Operand::Var(Var(2)),
+                    rhs: Operand::Const(Term::literal(keep_year.to_string())),
+                },
+            }),
+            projection: vec![("a".into(), Var(0)), ("y".into(), Var(2))],
+            distinct: false,
+        };
+        assert_pipeline_matches_oracle(&ds, &plan)?;
+        let out = execute_in(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited(),
+            &ExecConfig::unlimited().context(),
+        )
+        .expect("pipeline runs");
+        prop_assert!(out.runtime.pipelines > 0);
+        prop_assert_eq!(out.runtime.pipeline_outer_probes, 1);
+    }
+
+    /// Plain root projection over a breaker (merge join): the breaker's
+    /// single-consumer output hands off to the projection pipeline, whose
+    /// sink moves the projected columns instead of copying.
+    #[test]
+    fn projection_handoff_over_merge_join_matches_oracle(
+        cites in proptest::collection::vec((0u8..10, 0u8..10), 1..30),
+        years in proptest::collection::vec((0u8..10, 0u8..30), 1..12),
+    ) {
+        let ds = Dataset::from_ntriples(&sp2b_doc(&cites, &years)).unwrap();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(scan(0, vv(0), cv("cites"), vv(1), Order::Pso)),
+                right: Box::new(scan(1, vv(0), cv("year"), vv(2), Order::Pso)),
+                var: Var(0),
+            }),
+            projection: vec![("y".into(), Var(2)), ("a".into(), Var(0))],
+            distinct: false,
+        };
+        assert_pipeline_matches_oracle(&ds, &plan)?;
+        let out = execute_in(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited(),
+            &ExecConfig::unlimited().context(),
+        )
+        .expect("pipeline runs");
+        prop_assert!(out.runtime.breaker_handoffs > 0);
+    }
+
     /// Cross products (breakers) interleaved with a streaming filter.
     #[test]
     fn cross_product_with_filter_matches_oracle(

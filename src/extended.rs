@@ -10,6 +10,19 @@
 //! group-level FILTERs run after the group's joins with SPARQL's
 //! unbound-is-type-error semantics.
 //!
+//! When a group is a conjunctive core plus *plain* OPTIONAL blocks (each
+//! only triples and FILTERs), the whole group **composes into one
+//! [`PhysicalPlan`]** — the core's HSP plan, a
+//! [`PhysicalPlan::LeftOuterHashJoin`] per OPTIONAL block, then the
+//! group's FILTERs — and runs through [`execute_in`] under the
+//! configured [`ExecStrategy`](hsp_engine::ExecStrategy). Under the
+//! default `Auto` strategy the engine lowers that plan into morsel-driven
+//! pipelines end to end, so the OPTIONAL probe *streams* (the
+//! `pipeline_outer_probes` runtime counter) instead of materialising both
+//! join inputs and the joined output, as the previous
+//! table-at-a-time evaluation did. Groups with UNION branches or nested
+//! OPTIONALs keep the table-at-a-time path.
+//!
 //! Scope notes (documented simplifications):
 //! * FILTERs inside an OPTIONAL/UNION group apply to that group; FILTERs of
 //!   the outer group apply after the outer group's joins (no cross-group
@@ -22,7 +35,7 @@ use std::collections::HashMap;
 
 use hsp_core::HspPlanner;
 use hsp_engine::ops;
-use hsp_engine::{execute_in, BindingTable, ExecConfig, ExecContext};
+use hsp_engine::{execute_in, BindingTable, ExecConfig, ExecContext, PhysicalPlan};
 use hsp_rdf::Term;
 use hsp_sparql::ast::{Element, GroupPattern, NodeAst, Query};
 use hsp_sparql::{parse_query, FilterExpr, JoinQuery, TermOrVar, TriplePattern, Var};
@@ -77,8 +90,23 @@ pub fn evaluate_extended_with(
     text: &str,
     config: &ExecConfig,
 ) -> Result<ExtendedOutput, ExtendedError> {
+    evaluate_extended_in(ds, text, config, &config.context())
+}
+
+/// [`evaluate_extended_with`] inside a caller-owned [`ExecContext`]: the
+/// caller's pool and runtime counters accumulate over the evaluation, so
+/// callers can snapshot
+/// [`RuntimeMetrics`](hsp_engine::RuntimeMetrics)`::of(ctx)` afterwards to
+/// see what the engine did (pipelines launched, outer probes streamed,
+/// breakers handed off, …).
+pub fn evaluate_extended_in(
+    ds: &Dataset,
+    text: &str,
+    config: &ExecConfig,
+    ctx: &ExecContext,
+) -> Result<ExtendedOutput, ExtendedError> {
     let ast = parse_query(text).map_err(ExtendedError::Parse)?;
-    evaluate_ast(ds, &ast, config)
+    evaluate_ast_in(ds, &ast, config, ctx)
 }
 
 /// Evaluate an `ASK` query: `true` iff the pattern has at least one
@@ -98,14 +126,18 @@ pub fn evaluate_ast(
     query: &Query,
     config: &ExecConfig,
 ) -> Result<ExtendedOutput, ExtendedError> {
+    evaluate_ast_in(ds, query, config, &config.context())
+}
+
+/// [`evaluate_ast`] inside a caller-owned [`ExecContext`].
+pub fn evaluate_ast_in(
+    ds: &Dataset,
+    query: &Query,
+    config: &ExecConfig,
+    ctx: &ExecContext,
+) -> Result<ExtendedOutput, ExtendedError> {
     let mut vars = VarTable::default();
-    let table = eval_group(
-        ds,
-        &query.where_clause,
-        &mut vars,
-        config,
-        &config.context(),
-    )?;
+    let table = eval_group(ds, &query.where_clause, &mut vars, config, ctx)?;
 
     if query.ask {
         // ASK: zero columns; one empty row iff a solution exists.
@@ -278,13 +310,9 @@ fn eval_group(
     for element in &group.elements {
         match element {
             Element::Triple(t) => {
-                let lower = |node: &NodeAst, vars: &mut VarTable| match node {
-                    NodeAst::Var(n) => TermOrVar::Var(vars.var(n)),
-                    NodeAst::Const(t) => TermOrVar::Const(t.clone()),
-                };
-                let s = lower(&t.subject, vars);
-                let p = lower(&t.predicate, vars);
-                let o = lower(&t.object, vars);
+                let s = lower_node(&t.subject, vars);
+                let p = lower_node(&t.predicate, vars);
+                let o = lower_node(&t.object, vars);
                 patterns.push(TriplePattern::new(s, p, o));
             }
             Element::Filter(expr) => filters.push(lower_filter(expr, vars)?),
@@ -293,32 +321,33 @@ fn eval_group(
         }
     }
 
-    // 1. The conjunctive core, planned by HSP (when present).
+    // 1. The conjunctive core, planned by HSP (when present) — and, when
+    // the whole group is a core plus plain OPTIONAL blocks, composed with
+    // them (and the group's FILTERs) into ONE physical plan executed
+    // through `execute_in` under the configured strategy: by default the
+    // engine lowers it into morsel-driven pipelines, so the OPTIONAL
+    // left-outer probes and the FILTERs *stream* instead of materialising
+    // each step's input and output. `compose_group_plan` hands the core
+    // plan back untouched when the group needs the table-at-a-time path,
+    // so the core is planned exactly once either way.
     let mut current: Option<BindingTable> = if patterns.is_empty() {
         None
     } else {
-        let block_vars: Vec<Var> = {
-            let mut v: Vec<Var> = patterns.iter().flat_map(|p| p.vars()).collect();
-            v.sort();
-            v.dedup();
-            v
+        let core = block_plan(patterns, vars)?;
+        let core = if unions.is_empty() && optionals.iter().all(|g| plain_block(g)) {
+            match compose_group_plan(core, &filters, &optionals, vars)? {
+                Composed::Whole(plan) => {
+                    let out = execute_in(&plan, ds, config, ctx)
+                        .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+                    return Ok(out.table);
+                }
+                Composed::CoreOnly(core) => core,
+            }
+        } else {
+            core
         };
-        let query = JoinQuery {
-            patterns,
-            filters: Vec::new(), // group filters run after OPTIONAL/UNION
-            projection: block_vars
-                .iter()
-                .map(|&v| (vars.names[v.index()].clone(), v))
-                .collect(),
-            distinct: false,
-            var_names: vars.names.clone(),
-            modifiers: Default::default(),
-        };
-        let planned = HspPlanner::new()
-            .plan(&query)
-            .map_err(|e| ExtendedError::Eval(e.to_string()))?;
-        let out = execute_in(&planned.plan, ds, config, ctx)
-            .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+        let out =
+            execute_in(&core, ds, config, ctx).map_err(|e| ExtendedError::Eval(e.to_string()))?;
         Some(out.table)
     };
 
@@ -382,6 +411,151 @@ fn lower_filter(
 ) -> Result<FilterExpr, ExtendedError> {
     hsp_sparql::algebra::lower_filter_ast(expr, &mut |n| vars.var(n))
         .map_err(|e| ExtendedError::Eval(e.to_string()))
+}
+
+fn lower_node(node: &NodeAst, vars: &mut VarTable) -> TermOrVar {
+    match node {
+        NodeAst::Var(n) => TermOrVar::Var(vars.var(n)),
+        NodeAst::Const(t) => TermOrVar::Const(t.clone()),
+    }
+}
+
+/// Plan one conjunctive triple block with HSP, projecting every block
+/// variable (sorted) — the shape both evaluation paths share.
+fn block_plan(
+    patterns: Vec<TriplePattern>,
+    vars: &VarTable,
+) -> Result<PhysicalPlan, ExtendedError> {
+    let block_vars: Vec<Var> = {
+        let mut v: Vec<Var> = patterns.iter().flat_map(|p| p.vars()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let query = JoinQuery {
+        patterns,
+        filters: Vec::new(), // group filters are composed/applied by the caller
+        projection: block_vars
+            .iter()
+            .map(|&v| (vars.names[v.index()].clone(), v))
+            .collect(),
+        distinct: false,
+        var_names: vars.names.clone(),
+        modifiers: Default::default(),
+    };
+    let planned = HspPlanner::new()
+        .plan(&query)
+        .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+    Ok(planned.plan)
+}
+
+/// `true` when a group holds only triple patterns and FILTERs (no nested
+/// OPTIONAL/UNION) plus at least one triple — the shape that plans as a
+/// single conjunctive block.
+fn plain_block(group: &GroupPattern) -> bool {
+    let mut has_triple = false;
+    for element in &group.elements {
+        match element {
+            Element::Triple(_) => has_triple = true,
+            Element::Filter(_) => {}
+            Element::Optional(_) | Element::Union(..) => return false,
+        }
+    }
+    has_triple
+}
+
+/// [`compose_group_plan`]'s outcome: the whole group as one plan, or —
+/// when the group needs the table-at-a-time path — the core plan handed
+/// back untouched so the caller never plans it twice.
+enum Composed {
+    /// Core + OPTIONAL blocks + group FILTERs, as one plan.
+    Whole(PhysicalPlan),
+    /// Not composable: the caller's core plan, returned as received.
+    CoreOnly(PhysicalPlan),
+}
+
+/// Try to compose a whole group into one physical plan: the (already
+/// planned) conjunctive core, one [`PhysicalPlan::LeftOuterHashJoin`] per
+/// plain OPTIONAL block (the block's own FILTERs applied inside it), then
+/// the group's FILTERs on top.
+///
+/// Returns [`Composed::CoreOnly`] — fall back to table-at-a-time
+/// evaluation — when an OPTIONAL block shares no variable with the part
+/// already composed (the cross-product / padding special cases) or a
+/// FILTER reads a variable its input does not bind (plan validation would
+/// reject it; the table-at-a-time path evaluates such a variable as
+/// UNBOUND). The caller has already checked every block is plain (no
+/// nested OPTIONAL/UNION). Wrapping is deferred until every check has
+/// passed, so a bail returns the core exactly as it came in.
+fn compose_group_plan(
+    core: PhysicalPlan,
+    filters: &[FilterExpr],
+    optionals: &[&GroupPattern],
+    vars: &mut VarTable,
+) -> Result<Composed, ExtendedError> {
+    let mut bound = core.output_vars();
+    let mut joins: Vec<(PhysicalPlan, Vec<Var>)> = Vec::new();
+    for g in optionals {
+        let mut opt_patterns: Vec<TriplePattern> = Vec::new();
+        let mut opt_filters: Vec<FilterExpr> = Vec::new();
+        for element in &g.elements {
+            match element {
+                Element::Triple(t) => {
+                    let s = lower_node(&t.subject, vars);
+                    let p = lower_node(&t.predicate, vars);
+                    let o = lower_node(&t.object, vars);
+                    opt_patterns.push(TriplePattern::new(s, p, o));
+                }
+                Element::Filter(expr) => opt_filters.push(lower_filter(expr, vars)?),
+                Element::Optional(_) | Element::Union(..) => unreachable!("plain block"),
+            }
+        }
+        let mut opt_plan = block_plan(opt_patterns, vars)?;
+        let opt_vars = opt_plan.output_vars();
+        for f in opt_filters {
+            if !f.vars().iter().all(|v| opt_vars.contains(v)) {
+                return Ok(Composed::CoreOnly(core));
+            }
+            opt_plan = PhysicalPlan::Filter {
+                input: Box::new(opt_plan),
+                expr: f,
+            };
+        }
+        let shared: Vec<Var> = opt_vars
+            .iter()
+            .copied()
+            .filter(|v| bound.contains(v))
+            .collect();
+        if shared.is_empty() {
+            return Ok(Composed::CoreOnly(core));
+        }
+        for v in opt_vars {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        joins.push((opt_plan, shared));
+    }
+    for f in filters {
+        if !f.vars().iter().all(|v| bound.contains(v)) {
+            return Ok(Composed::CoreOnly(core));
+        }
+    }
+    let mut plan = core;
+    for (opt_plan, shared) in joins {
+        plan = PhysicalPlan::LeftOuterHashJoin {
+            left: Box::new(plan),
+            right: Box::new(opt_plan),
+            vars: shared,
+        };
+    }
+    for f in filters {
+        plan = PhysicalPlan::Filter {
+            input: Box::new(plan),
+            expr: f.clone(),
+        };
+    }
+    Ok(Composed::Whole(plan))
 }
 
 /// Inner join two evaluated tables on their shared variables (hash join),
