@@ -180,6 +180,7 @@ pub fn measure_kernels() -> Vec<KernelResult> {
     measure_parallel_filter(&mut results, runs);
     measure_pipeline_chain(&mut results, runs);
     measure_pipeline_optional(&mut results, runs);
+    measure_governed_chain(&mut results, runs);
     results
 }
 
@@ -338,23 +339,15 @@ fn measure_parallel_filter(results: &mut Vec<KernelResult>, runs: usize) {
     }
 }
 
-/// `pipeline_chain_100k_t*`: a 3-hash-join + FILTER chain (100k rows per
-/// pattern) executed by the pipeline executor against the
-/// operator-at-a-time oracle at forced thread counts. The oracle
-/// materialises the probe-side scan and both intermediate joins; the
-/// pipeline keeps them as thread-local index vectors and gathers once at
-/// the sink — output identity *and* a strictly positive
-/// `pipeline_rows_avoided` counter (equal to exactly those intermediate
-/// cardinalities) are asserted before anything is timed.
-fn measure_pipeline_chain(results: &mut Vec<KernelResult>, runs: usize) {
-    use hsp_engine::{execute, ExecConfig, ExecStrategy, PhysicalPlan};
+/// The 3-hash-join + FILTER chain shared by `pipeline_chain_*` and
+/// `governed_chain_*`: a 1:1 chain a_i -p0-> b_i -p1-> c_i -p2-> d_i
+/// with a value per d_i; the FILTER keeps the odd half through the
+/// interned-id (in)equality fast path, so the rows time the execution
+/// model, not the expression interpreter.
+fn chain_bench_input(n: usize) -> (hsp_store::Dataset, hsp_engine::PhysicalPlan) {
+    use hsp_engine::PhysicalPlan;
     use hsp_sparql::{CmpOp, FilterExpr, Operand, TermOrVar, TriplePattern};
 
-    // A 1:1 chain a_i -p0-> b_i -p1-> c_i -p2-> d_i with a value per d_i;
-    // the FILTER keeps the odd half through the interned-id (in)equality
-    // fast path, so the row times the execution model, not the expression
-    // interpreter.
-    let n = 100_000usize;
     let mut doc = String::with_capacity(n * 160);
     for i in 0..n {
         doc.push_str(&format!(
@@ -395,6 +388,62 @@ fn measure_pipeline_chain(results: &mut Vec<KernelResult>, runs: usize) {
             rhs: Operand::Const(hsp_rdf::Term::literal("0")),
         },
     };
+    (ds, plan)
+}
+
+/// `governed_chain_100k_t1`: the pipeline chain with an *inert* governor
+/// attached (hour-long deadline, unreachable memory budget) against the
+/// same ungoverned execution — the row bounds the governance overhead:
+/// every morsel claim and breaker step runs a checkpoint and every
+/// materialisation charges/releases the memory account, and the CI gate
+/// keeps the ratio within tolerance. Output identity between governed
+/// and ungoverned runs — and a live checkpoint counter — are asserted
+/// before anything is timed.
+fn measure_governed_chain(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig};
+    use std::time::Duration;
+
+    let (ds, plan) = chain_bench_input(100_000);
+    let plain = ExecConfig::unlimited().with_threads(1);
+    let governed = plain
+        .clone()
+        .with_timeout(Duration::from_secs(3600))
+        .with_mem_budget(usize::MAX);
+    let expected = execute(&plan, &ds, &plain).expect("ungoverned run succeeds");
+    let out = execute(&plan, &ds, &governed).expect("inertly governed run succeeds");
+    assert_eq!(
+        out.table, expected.table,
+        "inert governor changes the result"
+    );
+    assert!(
+        out.runtime.governor_checks > 0,
+        "governed run must hit checkpoints"
+    );
+    let (baseline_ns, optimized_ns) = median_ns_pair(
+        runs,
+        || execute(&plan, &ds, &plain),
+        || execute(&plan, &ds, &governed),
+    );
+    results.push(KernelResult {
+        name: "governed_chain_100k_t1".into(),
+        baseline_ns,
+        optimized_ns,
+    });
+}
+
+/// `pipeline_chain_100k_t*`: a 3-hash-join + FILTER chain (100k rows per
+/// pattern) executed by the pipeline executor against the
+/// operator-at-a-time oracle at forced thread counts. The oracle
+/// materialises the probe-side scan and both intermediate joins; the
+/// pipeline keeps them as thread-local index vectors and gathers once at
+/// the sink — output identity *and* a strictly positive
+/// `pipeline_rows_avoided` counter (equal to exactly those intermediate
+/// cardinalities) are asserted before anything is timed.
+fn measure_pipeline_chain(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig, ExecStrategy};
+
+    let n = 100_000usize;
+    let (ds, plan) = chain_bench_input(n);
 
     let oracle_config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
     let expected = execute(&plan, &ds, &oracle_config).expect("oracle runs");

@@ -104,6 +104,9 @@ impl BindingTable {
     /// # Panics
     /// Panics if `v` is not a variable of this table.
     pub fn column(&self, v: Var) -> &[TermId] {
+        // invariant: engine callers only reach here with variables the
+        // plan binds — `PhysicalPlan::validate` rejects unbound filter,
+        // join, sort, and projection variables before any kernel runs.
         let idx = self
             .col_index(v)
             .unwrap_or_else(|| panic!("variable {v} not in table"));
@@ -300,6 +303,7 @@ impl BindingTable {
         let idx: Vec<usize> = vars
             .iter()
             .map(|&v| {
+                // invariant: validated plans only project bound variables.
                 self.col_index(v)
                     .unwrap_or_else(|| panic!("{v} not in table"))
             })

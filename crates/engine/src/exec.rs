@@ -7,13 +7,15 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hsp_rdf::TermId;
 use hsp_sparql::Var;
 use hsp_store::Dataset;
 
 use crate::binding::BindingTable;
+use crate::govern::{CancelToken, GovernorError, QueryGovernor};
 use crate::metrics::RuntimeMetrics;
 use crate::ops;
 use crate::plan::{PhysicalPlan, PlanError};
@@ -64,6 +66,23 @@ pub struct ExecConfig {
     /// operator-at-a-time oracle on request, or automatically for SIP /
     /// row-budget executions).
     pub strategy: ExecStrategy,
+    /// Wall-clock deadline, measured from [`ExecConfig::context`]: past
+    /// it, the next governor checkpoint surfaces
+    /// [`ExecError::DeadlineExceeded`]. Latency is bounded by one morsel
+    /// or breaker step, not by total plan work.
+    pub timeout: Option<Duration>,
+    /// Per-query memory budget in **bytes** of live materialised columns
+    /// (see [`crate::govern`] for what is and isn't accounted); exceeding
+    /// it surfaces [`ExecError::MemoryBudgetExceeded`] instead of an OOM
+    /// abort.
+    pub mem_budget: Option<usize>,
+    /// A caller-held cancellation token; [`CancelToken::cancel`] from any
+    /// thread converts the execution into [`ExecError::Cancelled`] at the
+    /// next checkpoint.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Arm the `HSP_FAULT` fault-injection hook for this execution (only
+    /// effective under `cfg(any(test, feature = "fault-inject"))`).
+    pub inject_faults: bool,
 }
 
 impl ExecConfig {
@@ -98,14 +117,70 @@ impl ExecConfig {
         self
     }
 
+    /// Give the execution a wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Cap the live materialised bytes of the execution.
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Attach a caller-held cancellation token.
+    pub fn with_cancel_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arm the `HSP_FAULT` fault-injection hook (tests / CI only).
+    pub fn with_fault_injection(mut self) -> Self {
+        self.inject_faults = true;
+        self
+    }
+
+    /// The governor this configuration asks for, or `None` when the
+    /// execution is unlimited (so ungoverned queries pay nothing). The
+    /// deadline starts counting here.
+    pub fn governor(&self) -> Option<QueryGovernor> {
+        if self.timeout.is_none()
+            && self.mem_budget.is_none()
+            && self.cancel.is_none()
+            && !self.inject_faults
+        {
+            return None;
+        }
+        let mut gov = QueryGovernor::new();
+        if let Some(timeout) = self.timeout {
+            gov = gov.with_deadline_in(timeout);
+        }
+        if let Some(bytes) = self.mem_budget {
+            gov = gov.with_mem_budget(bytes);
+        }
+        if let Some(token) = &self.cancel {
+            gov = gov.with_token(token.clone());
+        }
+        if self.inject_faults {
+            gov = gov.with_fault_from_env();
+        }
+        Some(gov)
+    }
+
     /// The execution context this configuration asks for — also used by
     /// evaluators outside this crate (e.g. the extended OPTIONAL/UNION
     /// evaluator) that drive individual operators rather than whole plans,
-    /// so one thread budget governs every operator of a query.
+    /// so one thread budget (and one governor) governs every operator of a
+    /// query.
     pub fn context(&self) -> ExecContext {
-        match self.threads {
+        let ctx = match self.threads {
             Some(n) => ExecContext::with_threads(n),
             None => ExecContext::new(),
+        };
+        match self.governor() {
+            Some(gov) => ctx.with_governor(gov),
+            None => ctx,
         }
     }
 }
@@ -129,6 +204,26 @@ pub enum ExecError {
         /// The configured budget.
         budget: usize,
     },
+    /// The caller's [`CancelToken`] fired; the execution stopped at the
+    /// next checkpoint with workers joined and buffers recycled.
+    Cancelled,
+    /// The [`ExecConfig::timeout`] deadline passed.
+    DeadlineExceeded,
+    /// Live materialised bytes exceeded [`ExecConfig::mem_budget`].
+    MemoryBudgetExceeded {
+        /// Bytes accounted when the budget tripped.
+        used: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+        /// The materialisation site that tripped it.
+        site: &'static str,
+    },
+    /// A morsel worker or breaker step panicked; the unwind was caught,
+    /// the scoped pool joined cleanly, and the context remains usable.
+    WorkerPanicked {
+        /// The checkpoint site whose work panicked.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -143,6 +238,20 @@ impl fmt::Display for ExecError {
                 f,
                 "row budget exceeded: {operator} produced {rows} rows (budget {budget})"
             ),
+            ExecError::Cancelled => write!(f, "{}", GovernorError::Cancelled),
+            ExecError::DeadlineExceeded => write!(f, "{}", GovernorError::DeadlineExceeded),
+            ExecError::MemoryBudgetExceeded { used, budget, site } => write!(
+                f,
+                "{}",
+                GovernorError::MemoryBudgetExceeded {
+                    used: *used,
+                    budget: *budget,
+                    site,
+                }
+            ),
+            ExecError::WorkerPanicked { site } => {
+                write!(f, "{}", GovernorError::WorkerPanicked { site })
+            }
         }
     }
 }
@@ -152,6 +261,19 @@ impl std::error::Error for ExecError {}
 impl From<PlanError> for ExecError {
     fn from(e: PlanError) -> Self {
         ExecError::InvalidPlan(e)
+    }
+}
+
+impl From<GovernorError> for ExecError {
+    fn from(e: GovernorError) -> Self {
+        match e {
+            GovernorError::Cancelled => ExecError::Cancelled,
+            GovernorError::DeadlineExceeded => ExecError::DeadlineExceeded,
+            GovernorError::MemoryBudgetExceeded { used, budget, site } => {
+                ExecError::MemoryBudgetExceeded { used, budget, site }
+            }
+            GovernorError::WorkerPanicked { site } => ExecError::WorkerPanicked { site },
+        }
     }
 }
 
@@ -237,7 +359,7 @@ pub fn execute_in(
         && !config.sip
         && config.max_intermediate_rows.is_none();
     let (table, profile) = if pipelined {
-        crate::pipeline::lower(plan).run(ds, ctx)
+        crate::pipeline::lower(plan).run(ds, ctx)?
     } else {
         run(plan, ds, config, ctx, &Domains::new())?
     };
@@ -316,6 +438,39 @@ fn run(
     ctx: &ExecContext,
     domains: &Domains,
 ) -> Result<(BindingTable, Profile), ExecError> {
+    // The oracle's cooperative checkpoint: once per operator, before its
+    // kernel runs (the recursion visits every node, so a cancellation or
+    // deadline surfaces within one operator of being requested). Panic
+    // isolation mirrors the morsel workers': a checkpoint panic (the
+    // `panic@operator` injected fault) converts to `WorkerPanicked`
+    // instead of unwinding through the recursion.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.checkpoint("operator"))) {
+        Ok(result) => result?,
+        Err(payload) => match ctx.governor() {
+            Some(gov) => return Err(gov.note_panic("operator").into()),
+            // invariant: checkpoints only run fault hooks (the sole panic
+            // source here) when a governor is attached.
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+    // Recycle an already-materialised sibling before propagating a child
+    // error, so failed executions leave the pool balanced and the memory
+    // accounting at zero.
+    // invariant: the join arms below wrap the first child's table in
+    // `Some` and only `take` it here on the error path — on success the
+    // later `expect("… retained on success")` unwraps always hold.
+    fn try_second(
+        result: Result<(BindingTable, Profile), ExecError>,
+        first: &mut Option<BindingTable>,
+        ctx: &ExecContext,
+    ) -> Result<(BindingTable, Profile), ExecError> {
+        if result.is_err() {
+            if let Some(t) = first.take() {
+                ctx.recycle(t);
+            }
+        }
+        result
+    }
     match plan {
         PhysicalPlan::Scan { pattern, order, .. } => {
             let start = Instant::now();
@@ -324,42 +479,50 @@ fn run(
             if config.sip && table.vars().iter().any(|v| domains.contains_key(v)) {
                 let unfiltered = table;
                 table = ops::domain_filter_in(ctx, &unfiltered, domains);
+                // Plain pool recycle: `unfiltered` was never charged (only
+                // `finish` charges), so there are no bytes to release.
                 ctx.pool.recycle(unfiltered);
                 label.push_str("+sip");
             }
-            finish(table, label, start, Vec::new(), config)
+            finish(table, label, start, Vec::new(), config, ctx)
         }
         PhysicalPlan::MergeJoin { left, right, var } => {
             let (lt, lp) = run(left, ds, config, ctx, domains)?;
             // SIP: the right side only needs rows whose join key occurs on
             // the (already materialised) left side.
-            let (rt, rp) = if config.sip {
-                let narrowed = narrowed(domains, &lt, &[*var]);
-                run(right, ds, config, ctx, &narrowed)?
+            let mut lt = Some(lt);
+            let right_result = if config.sip {
+                let narrowed = narrowed(domains, lt.as_ref().expect("left just ran"), &[*var]);
+                run(right, ds, config, ctx, &narrowed)
             } else {
-                run(right, ds, config, ctx, domains)?
+                run(right, ds, config, ctx, domains)
             };
+            let (rt, rp) = try_second(right_result, &mut lt, ctx)?;
+            let lt = lt.expect("left retained on success");
             let start = Instant::now();
             let table = ops::merge_join_in(ctx, &lt, &rt, *var);
-            ctx.pool.recycle(lt);
-            ctx.pool.recycle(rt);
-            finish(table, plan_label(plan), start, vec![lp, rp], config)
+            ctx.recycle(lt);
+            ctx.recycle(rt);
+            finish(table, plan_label(plan), start, vec![lp, rp], config, ctx)
         }
         PhysicalPlan::HashJoin { left, right, vars } => {
             // Evaluate the build (right) side first so SIP can pass its
             // join-key domain into the probe side's subtree.
             let (rt, rp) = run(right, ds, config, ctx, domains)?;
-            let (lt, lp) = if config.sip {
-                let narrowed = narrowed(domains, &rt, vars);
-                run(left, ds, config, ctx, &narrowed)?
+            let mut rt = Some(rt);
+            let left_result = if config.sip {
+                let narrowed = narrowed(domains, rt.as_ref().expect("right just ran"), vars);
+                run(left, ds, config, ctx, &narrowed)
             } else {
-                run(left, ds, config, ctx, domains)?
+                run(left, ds, config, ctx, domains)
             };
+            let (lt, lp) = try_second(left_result, &mut rt, ctx)?;
+            let rt = rt.expect("right retained on success");
             let start = Instant::now();
             let table = ops::hash_join_in(ctx, &lt, &rt, vars);
-            ctx.pool.recycle(lt);
-            ctx.pool.recycle(rt);
-            finish(table, plan_label(plan), start, vec![lp, rp], config)
+            ctx.recycle(lt);
+            ctx.recycle(rt);
+            finish(table, plan_label(plan), start, vec![lp, rp], config, ctx)
         }
         PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
             // No SIP narrowing across an outer join: narrowing the probe
@@ -370,22 +533,30 @@ fn run(
             // still apply the ambient domains (a left row outside a domain
             // can never survive the enclosing inner join that produced it).
             let (rt, rp) = run(right, ds, config, ctx, &Domains::new())?;
-            let (lt, lp) = run(left, ds, config, ctx, domains)?;
+            let mut rt = Some(rt);
+            let left_result = run(left, ds, config, ctx, domains);
+            let (lt, lp) = try_second(left_result, &mut rt, ctx)?;
+            let rt = rt.expect("right retained on success");
             let start = Instant::now();
             let table = ops::left_outer_hash_join_in(ctx, &lt, &rt, vars);
-            ctx.pool.recycle(lt);
-            ctx.pool.recycle(rt);
-            finish(table, plan_label(plan), start, vec![lp, rp], config)
+            ctx.recycle(lt);
+            ctx.recycle(rt);
+            finish(table, plan_label(plan), start, vec![lp, rp], config, ctx)
         }
         PhysicalPlan::CrossProduct { left, right } => {
             let (lt, lp) = run(left, ds, config, ctx, domains)?;
-            let (rt, rp) = run(right, ds, config, ctx, domains)?;
-            // Check the budget *before* materialising the product: this is
+            let mut lt = Some(lt);
+            let right_result = run(right, ds, config, ctx, domains);
+            let (rt, rp) = try_second(right_result, &mut lt, ctx)?;
+            let lt = lt.expect("left retained on success");
+            // Check the budgets *before* materialising the product: this is
             // the guard that makes Cartesian plans fail fast instead of
             // exhausting memory.
+            let rows = lt.len().saturating_mul(rt.len());
             if let Some(budget) = config.max_intermediate_rows {
-                let rows = lt.len().saturating_mul(rt.len());
                 if rows > budget {
+                    ctx.recycle(lt);
+                    ctx.recycle(rt);
                     return Err(ExecError::BudgetExceeded {
                         operator: "crossproduct".into(),
                         rows,
@@ -393,25 +564,33 @@ fn run(
                     });
                 }
             }
+            let out_bytes = rows
+                .saturating_mul(lt.vars().len() + rt.vars().len())
+                .saturating_mul(std::mem::size_of::<TermId>());
+            if let Err(e) = ctx.reserve_check(out_bytes, "crossproduct") {
+                ctx.recycle(lt);
+                ctx.recycle(rt);
+                return Err(e.into());
+            }
             let start = Instant::now();
             let table = ops::cross_product_in(ctx, &lt, &rt);
-            ctx.pool.recycle(lt);
-            ctx.pool.recycle(rt);
-            finish(table, plan_label(plan), start, vec![lp, rp], config)
+            ctx.recycle(lt);
+            ctx.recycle(rt);
+            finish(table, plan_label(plan), start, vec![lp, rp], config, ctx)
         }
         PhysicalPlan::Sort { input, var } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::sort_by_in(ctx, &it, *var);
-            ctx.pool.recycle(it);
-            finish(table, plan_label(plan), start, vec![ip], config)
+            ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
         PhysicalPlan::Filter { input, expr } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::filter_in(ctx, ds, &it, expr);
-            ctx.pool.recycle(it);
-            finish(table, plan_label(plan), start, vec![ip], config)
+            ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
         PhysicalPlan::Project {
             input,
@@ -421,15 +600,15 @@ fn run(
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::project_in(ctx, &it, projection, *distinct);
-            ctx.pool.recycle(it);
-            finish(table, plan_label(plan), start, vec![ip], config)
+            ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
         PhysicalPlan::OrderBy { input, keys } => {
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::order_by_in(ctx, ds, &it, keys);
-            ctx.pool.recycle(it);
-            finish(table, plan_label(plan), start, vec![ip], config)
+            ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
         PhysicalPlan::Slice {
             input,
@@ -439,8 +618,8 @@ fn run(
             let (it, ip) = run(input, ds, config, ctx, domains)?;
             let start = Instant::now();
             let table = ops::slice_in(ctx, &it, *offset, *limit);
-            ctx.pool.recycle(it);
-            finish(table, plan_label(plan), start, vec![ip], config)
+            ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
     }
 }
@@ -451,15 +630,32 @@ fn finish(
     start: Instant,
     children: Vec<Profile>,
     config: &ExecConfig,
+    ctx: &ExecContext,
 ) -> Result<(BindingTable, Profile), ExecError> {
     if let Some(budget) = config.max_intermediate_rows {
         if table.len() > budget {
+            let rows = table.len();
+            // Not yet charged against the memory budget: plain pool recycle.
+            ctx.pool.recycle(table);
             return Err(ExecError::BudgetExceeded {
                 operator: label,
-                rows: table.len(),
+                rows,
                 budget,
             });
         }
+    }
+    // A kernel that bailed out early on `governor_poll` (the cross
+    // product) returns an empty placeholder table — surface the trip and
+    // drop the placeholder (its columns never came from the pool).
+    if let Some(e) = ctx.governor().and_then(QueryGovernor::trip_error) {
+        drop(table);
+        return Err(e.into());
+    }
+    // Account the freshly materialised output; its matching release is the
+    // `ctx.recycle` call of whichever parent operator consumes it.
+    if let Err(e) = ctx.charge_table(&table, "operator") {
+        ctx.recycle(table);
+        return Err(e.into());
     }
     let profile = Profile {
         label,

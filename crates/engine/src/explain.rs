@@ -300,8 +300,21 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     } else {
         String::new()
     };
+    // The governor segment appears only on governed executions (a
+    // timeout, memory budget, or cancel token was configured), so
+    // ungoverned output is byte-identical to what it always was.
+    let governor = if m.governor_checks > 0 {
+        format!(
+            "; governor {} checkpoint{}, {} peak bytes",
+            m.governor_checks,
+            if m.governor_checks == 1 { "" } else { "s" },
+            m.governor_mem_peak
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled\n",
+        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}\n",
         m.pool_hits,
         if m.pool_hits == 1 { "" } else { "s" },
         m.pool_misses,
@@ -568,6 +581,27 @@ mod tests {
             ..RuntimeMetrics::default()
         };
         assert!(!render_runtime_metrics(&none).contains("pipeline"));
+    }
+
+    #[test]
+    fn runtime_metrics_report_governor_only_when_governed() {
+        use crate::metrics::RuntimeMetrics;
+        let governed = RuntimeMetrics {
+            threads: 1,
+            governor_checks: 12,
+            governor_mem_peak: 4096,
+            ..RuntimeMetrics::default()
+        };
+        let line = render_runtime_metrics(&governed);
+        assert!(
+            line.contains("governor 12 checkpoints, 4096 peak bytes"),
+            "{line}"
+        );
+        let ungoverned = RuntimeMetrics {
+            threads: 1,
+            ..RuntimeMetrics::default()
+        };
+        assert!(!render_runtime_metrics(&ungoverned).contains("governor"));
     }
 
     #[test]

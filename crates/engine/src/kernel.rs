@@ -59,6 +59,7 @@ impl std::hash::Hasher for FxHasher {
         for chunk in &mut chunks {
             self.hash = fx_fold(
                 self.hash,
+                // invariant: `chunks_exact(8)` yields 8-byte slices only.
                 u64::from_le_bytes(chunk.try_into().expect("8 bytes")),
             );
         }
@@ -249,8 +250,13 @@ impl CsrBuckets {
             histograms.into_iter().map(std::sync::Mutex::new).collect();
         let (_, scatter_run) = morsel::run_tasks(stripes.len(), workers, |s| {
             let out = &out;
-            let mut cursors =
-                std::mem::take(&mut *cursor_slots[s].lock().expect("cursor slot poisoned"));
+            // Poison-tolerant: a caught worker panic elsewhere must not
+            // cascade into a second panic here.
+            let mut cursors = std::mem::take(
+                &mut *cursor_slots[s]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
             for j in stripes[s].clone() {
                 let b = (hashes[j] >> shift) as usize;
                 // SAFETY: `cursors[b]` values across stripes are disjoint

@@ -85,6 +85,9 @@
 //!   deterministic stitch-back.
 //! * [`pool`] — the per-execution buffer pool and the [`pool::ExecContext`]
 //!   threaded through the operators.
+//! * [`govern`] — the query governor: deadlines, cooperative
+//!   cancellation, per-query memory budgets, panic-isolated workers, and
+//!   the `HSP_FAULT` fault-injection hook.
 //! * [`plan`] — the physical plan tree shared by all planners.
 //! * [`ops`] — the vectorized operators: scan-select, merge join, hash
 //!   join, cross product, filter, projection, distinct. Each has a `*_in`
@@ -111,6 +114,7 @@ pub mod binding;
 pub mod cost;
 pub mod exec;
 pub mod explain;
+pub mod govern;
 pub mod kernel;
 pub mod metrics;
 pub mod morsel;
@@ -122,7 +126,8 @@ pub mod reference;
 
 pub use binding::BindingTable;
 pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, ExecStrategy, Profile};
+pub use govern::{CancelToken, GovernorError, QueryGovernor};
 pub use metrics::{PlanMetrics, PlanShape, RuntimeMetrics};
 pub use morsel::MorselConfig;
 pub use plan::PhysicalPlan;
-pub use pool::{BufferPool, ExecContext};
+pub use pool::{table_bytes, BufferPool, ExecContext};

@@ -56,6 +56,13 @@ pub struct RuntimeMetrics {
     /// Buffers returned to the pool (consumed intermediates' columns plus
     /// returned index vectors).
     pub pool_recycled: usize,
+    /// Governor checkpoints passed during the execution (0 when no
+    /// governor was attached — no timeout, memory budget, or cancel
+    /// token was configured).
+    pub governor_checks: usize,
+    /// High-water mark of the governor's memory accounting, in bytes
+    /// (0 without a governor).
+    pub governor_mem_peak: usize,
 }
 
 impl RuntimeMetrics {
@@ -78,6 +85,8 @@ impl RuntimeMetrics {
             pool_hits: pool.hits,
             pool_misses: pool.misses,
             pool_recycled: pool.recycled,
+            governor_checks: ctx.governor().map_or(0, |g| g.checks()),
+            governor_mem_peak: ctx.governor().map_or(0, |g| g.mem_peak()),
         }
     }
 }

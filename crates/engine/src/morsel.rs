@@ -18,8 +18,11 @@
 //! still exercises the parallel path in unit tests.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::govern::{GovernorError, QueryGovernor};
 
 /// Rows per morsel. Large enough that the per-morsel bookkeeping (one
 /// atomic fetch-add, one mutex lock to park the result) is noise; small
@@ -210,7 +213,11 @@ pub fn run_tasks<T: Send>(
                     break;
                 }
                 let result = task(t);
-                *slots[t].lock().expect("task slot poisoned") = Some(result);
+                // Poison-tolerant: the lock only guards the slot store, and
+                // a panic on a sibling worker must not cascade here.
+                *slots[t]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -218,7 +225,9 @@ pub fn run_tasks<T: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("task slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // invariant: the scope joined, so every index the cursor
+                // handed out has stored its result.
                 .expect("every task produced a result")
         })
         .collect();
@@ -229,6 +238,166 @@ pub fn run_tasks<T: Send>(
             threads,
         },
     )
+}
+
+/// [`run_tasks`] under a [`QueryGovernor`]: every task claim is a
+/// cooperative checkpoint for `site`, and each task body runs under
+/// [`catch_unwind`] so a panicking kernel trips the governor instead of
+/// unwinding through [`std::thread::scope`]. On a trip the remaining
+/// tasks are never claimed, the workers drain, the scoped pool joins
+/// cleanly, and the partial per-task results are dropped. With no
+/// governor this *is* [`run_tasks`] — zero overhead on the ungoverned
+/// path.
+pub(crate) fn try_run_tasks<T: Send>(
+    count: usize,
+    threads: usize,
+    gov: Option<&QueryGovernor>,
+    site: &'static str,
+    task: impl Fn(usize) -> T + Sync,
+) -> Result<(Vec<T>, MorselRun), GovernorError> {
+    let Some(gov) = gov else {
+        return Ok(run_tasks(count, threads, task));
+    };
+    let threads = threads.min(count).max(1);
+    if threads <= 1 {
+        let mut results = Vec::with_capacity(count);
+        for t in 0..count {
+            // The checkpoint runs inside the unwind guard too: an injected
+            // `panic@site` fault is indistinguishable from a kernel panic.
+            match catch_unwind(AssertUnwindSafe(|| -> Result<T, GovernorError> {
+                gov.check(site)?;
+                Ok(task(t))
+            })) {
+                Ok(Ok(result)) => results.push(result),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(gov.note_panic(site)),
+            }
+        }
+        return Ok((
+            results,
+            MorselRun {
+                morsels: 0,
+                threads: 1,
+            },
+        ));
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // One unwind guard around the whole claim loop: a panic in
+                // `task` (or an injected fault in `check`) lands here, trips
+                // the governor, and the *other* workers stop claiming at
+                // their next checkpoint.
+                let worker = || loop {
+                    if gov.check(site).is_err() {
+                        break;
+                    }
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= count {
+                        break;
+                    }
+                    let result = task(t);
+                    *slots[t]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                };
+                if catch_unwind(AssertUnwindSafe(worker)).is_err() {
+                    gov.note_panic(site);
+                }
+            });
+        }
+    });
+    if let Some(e) = gov.trip_error() {
+        return Err(e);
+    }
+    // invariant: no trip means every task index was claimed and its worker
+    // reached the slot store (the only early exits trip the governor).
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every task produced a result")
+        })
+        .collect();
+    Ok((
+        results,
+        MorselRun {
+            morsels: count,
+            threads,
+        },
+    ))
+}
+
+/// [`run_morsels`] under a [`QueryGovernor`] (see [`try_run_tasks`]).
+/// The governed *sequential* path still cuts the input into morsels —
+/// instead of one undivided `worker(0..rows)` call — so deadline and
+/// cancellation latency stay bounded by one morsel even on a one-thread
+/// budget. Callers must therefore be prepared to stitch multiple parts
+/// on any governed run.
+pub(crate) fn try_run_morsels<T: Send>(
+    rows: usize,
+    config: &MorselConfig,
+    gov: Option<&QueryGovernor>,
+    site: &'static str,
+    worker: impl Fn(Range<usize>) -> T + Sync,
+) -> Result<(Vec<T>, MorselRun), GovernorError> {
+    let Some(gov) = gov else {
+        return Ok(run_morsels(rows, config, worker));
+    };
+    let threads = config.workers_for(rows);
+    let morsel_rows = config.morsel_rows;
+    // At least one (possibly empty) morsel, mirroring the ungoverned
+    // sequential path's unconditional `worker(0..rows)` call.
+    let morsels = rows.div_ceil(morsel_rows).max(1);
+    let (results, _) = try_run_tasks(morsels, threads, Some(gov), site, |m| {
+        let start = m * morsel_rows;
+        worker(start..(start + morsel_rows).min(rows))
+    })?;
+    Ok((
+        results,
+        MorselRun {
+            morsels: if threads > 1 { morsels } else { 0 },
+            threads: threads.max(1),
+        },
+    ))
+}
+
+/// The governed sequential morsel loop for workers that are not `Sync`
+/// (the pipeline's main-thread path borrows the single-threaded buffer
+/// pool and a `RefCell`-cached evaluator). Identical semantics to
+/// [`try_run_morsels`] on one thread: morsel-granular checkpoints, each
+/// morsel under [`catch_unwind`].
+pub(crate) fn try_run_morsels_seq<T>(
+    rows: usize,
+    config: &MorselConfig,
+    gov: &QueryGovernor,
+    site: &'static str,
+    worker: impl Fn(Range<usize>) -> T,
+) -> Result<(Vec<T>, MorselRun), GovernorError> {
+    let morsel_rows = config.morsel_rows;
+    let morsels = rows.div_ceil(morsel_rows).max(1);
+    let mut results = Vec::with_capacity(morsels);
+    for m in 0..morsels {
+        let start = m * morsel_rows;
+        match catch_unwind(AssertUnwindSafe(|| -> Result<T, GovernorError> {
+            gov.check(site)?;
+            Ok(worker(start..(start + morsel_rows).min(rows)))
+        })) {
+            Ok(Ok(result)) => results.push(result),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(gov.note_panic(site)),
+        }
+    }
+    Ok((
+        results,
+        MorselRun {
+            morsels: 0,
+            threads: 1,
+        },
+    ))
 }
 
 /// Fill `out` by applying `fill(offset, chunk)` to contiguous stripes, in
@@ -325,8 +494,10 @@ pub fn merge_sort<T: Send>(
     let take = |slots: &[Mutex<Option<Vec<T>>>], i: usize| -> Vec<T> {
         slots[i]
             .lock()
-            .expect("run slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take()
+            // invariant: each slot is filled once above and taken once —
+            // every task index maps to a distinct slot.
             .expect("run present")
     };
     let slots: Vec<Mutex<Option<Vec<T>>>> = runs.into_iter().map(|r| Mutex::new(Some(r))).collect();
@@ -372,6 +543,7 @@ fn merge_two<T>(a: Vec<T>, b: Vec<T>, cmp: &impl Fn(&T, &T) -> std::cmp::Orderin
     for x in a {
         while let Some(y) = bi.peek() {
             if cmp(y, &x) == std::cmp::Ordering::Less {
+                // invariant: `peek` just returned `Some`.
                 out.push(bi.next().expect("peeked"));
             } else {
                 break;
@@ -567,5 +739,96 @@ mod tests {
         let (results, run) = run_morsels(35, &config, |r| r.len());
         assert!(run.threads > 1);
         assert_eq!(results.iter().sum::<usize>(), 35);
+    }
+
+    #[test]
+    fn governed_tasks_match_ungoverned_when_nothing_trips() {
+        let gov = QueryGovernor::new();
+        for threads in 1..=4 {
+            let (results, _) = try_run_tasks(9, threads, Some(&gov), "worker", |t| t * 10).unwrap();
+            assert_eq!(results, (0..9).map(|t| t * 10).collect::<Vec<_>>());
+        }
+        assert!(gov.checks() > 0);
+    }
+
+    #[test]
+    fn governed_tasks_without_governor_delegate() {
+        let (results, run) = try_run_tasks(5, 2, None, "worker", |t| t + 1).unwrap();
+        assert_eq!(results, vec![1, 2, 3, 4, 5]);
+        assert_eq!(run.threads, 2);
+    }
+
+    #[test]
+    fn cancelled_tasks_stop_early_and_join() {
+        use crate::govern::CancelToken;
+        use std::sync::Arc;
+        for threads in 1..=4 {
+            let token = Arc::new(CancelToken::new());
+            let gov = QueryGovernor::new().with_token(token.clone());
+            let done = AtomicUsize::new(0);
+            let err = try_run_tasks(1000, threads, Some(&gov), "worker", |t| {
+                if t == 3 {
+                    token.cancel();
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+            assert_eq!(err, GovernorError::Cancelled, "threads={threads}");
+            // The pool joined without running everything.
+            assert!(
+                done.load(Ordering::Relaxed) < 1000,
+                "threads={threads} ran all tasks despite cancellation"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_task_converts_to_worker_panicked() {
+        for threads in 1..=4 {
+            let gov = QueryGovernor::new();
+            let err = try_run_tasks(100, threads, Some(&gov), "worker", |t| {
+                assert!(t != 7, "injected kernel panic");
+                t
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                GovernorError::WorkerPanicked { site: "worker" },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn governed_sequential_morsels_checkpoint_per_morsel() {
+        let config = MorselConfig::with_threads(1).with_morsel_rows(10);
+        let gov = QueryGovernor::new();
+        let (parts, run) = try_run_morsels(35, &config, Some(&gov), "worker", |r| r.len()).unwrap();
+        // Sequential but still chunked: four morsels, four checkpoints.
+        assert_eq!(parts, vec![10, 10, 10, 5]);
+        assert_eq!(run.threads, 1);
+        assert_eq!(gov.checks(), 4);
+    }
+
+    #[test]
+    fn governed_zero_rows_still_produce_one_part() {
+        let config = MorselConfig::with_threads(3).with_min_parallel_rows(0);
+        let gov = QueryGovernor::new();
+        let (parts, _) = try_run_morsels(0, &config, Some(&gov), "worker", |r| r.len()).unwrap();
+        assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn governed_morsels_come_back_in_range_order() {
+        let gov = QueryGovernor::new();
+        for threads in 2..=4 {
+            let config = MorselConfig::with_threads(threads)
+                .with_morsel_rows(7)
+                .with_min_parallel_rows(0);
+            let (results, _) =
+                try_run_morsels(100, &config, Some(&gov), "worker", |r| r.clone()).unwrap();
+            let flat: Vec<usize> = results.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        }
     }
 }

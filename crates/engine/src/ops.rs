@@ -458,20 +458,57 @@ pub fn cross_product_in(
 
     // Pure bulk copies: each left column repeats every value `right.len()`
     // times; each right column is tiled `left.len()` times.
+    //
+    // This is the one kernel whose output is quadratically larger than its
+    // inputs, so it polls the governor every `POLL_STRIDE` copied values:
+    // on a trip (deadline, cancellation) it returns the checked-out
+    // columns to the pool and hands back an empty *placeholder* table
+    // (plain never-pooled columns) — the caller's trip check surfaces the
+    // error and drops the placeholder.
+    const POLL_STRIDE: usize = 1 << 16;
+    let mut since_poll = 0usize;
+    let mut tripped = false;
     let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(out_vars.len());
-    for col in left.columns() {
+    'left: for col in left.columns() {
         let mut out = ctx.pool.take_col(rows);
         for &v in col {
             out.extend(std::iter::repeat_n(v, right.len()));
+            since_poll += right.len();
+            if since_poll >= POLL_STRIDE {
+                since_poll = 0;
+                if ctx.governor_poll() {
+                    tripped = true;
+                    ctx.pool.put_col(out);
+                    break 'left;
+                }
+            }
         }
         cols.push(out);
     }
-    for col in right.columns() {
-        let mut out = ctx.pool.take_col(rows);
-        for _ in 0..left.len() {
-            out.extend_from_slice(col);
+    if !tripped {
+        'right: for col in right.columns() {
+            let mut out = ctx.pool.take_col(rows);
+            for _ in 0..left.len() {
+                out.extend_from_slice(col);
+                since_poll += col.len();
+                if since_poll >= POLL_STRIDE {
+                    since_poll = 0;
+                    if ctx.governor_poll() {
+                        tripped = true;
+                        ctx.pool.put_col(out);
+                        break 'right;
+                    }
+                }
+            }
+            cols.push(out);
         }
-        cols.push(out);
+    }
+    if tripped {
+        for col in cols {
+            ctx.pool.put_col(col);
+        }
+        let placeholder = out_vars.iter().map(|_| Vec::new()).collect();
+        return BindingTable::from_columns(out_vars, placeholder, None);
     }
     let mut out = BindingTable::from_columns(out_vars, cols, None);
     if !right.is_empty() {
@@ -890,6 +927,8 @@ pub fn project_in(
             input
                 .col_index(v)
                 .map(|c| input.columns()[c].as_slice())
+                // invariant: `PhysicalPlan::validate` rejects projections
+                // over variables the input does not bind.
                 .expect("validated projection")
         })
         .collect();
@@ -923,6 +962,8 @@ pub fn project_in(
 fn distinct_first_occurrences(cols: &[&[TermId]], rows: usize) -> Vec<u32> {
     let mut sel: Vec<u32> = Vec::new();
     match cols {
+        // invariant: the caller routes empty projections through the
+        // unit-table fast path before reaching this kernel.
         [] => unreachable!("zero-column projection handled by the unit path"),
         [a] => {
             let mut seen: HashSet<u64, FxBuildHasher> = HashSet::default();
@@ -955,6 +996,7 @@ fn distinct_first_occurrences(cols: &[&[TermId]], rows: usize) -> Vec<u32> {
                 {
                     end += 1;
                 }
+                // invariant: `end > k`, so the group slice is non-empty.
                 sel.push(*order[k..end].iter().min().expect("nonempty group"));
                 k = end;
             }

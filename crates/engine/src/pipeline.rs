@@ -50,6 +50,7 @@
 //! features are defined in terms of materialised intermediates.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use hsp_rdf::{IdTriple, TermId};
@@ -57,7 +58,8 @@ use hsp_sparql::{FilterExpr, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
 
 use crate::binding::BindingTable;
-use crate::exec::{plan_label, Profile};
+use crate::exec::{plan_label, ExecError, Profile};
+use crate::govern::QueryGovernor;
 use crate::kernel::BuildTable;
 use crate::morsel::{self, MorselRun};
 use crate::ops::{self, RowValues};
@@ -488,19 +490,100 @@ impl Program<'_> {
     /// [`Profile`] mirroring the plan tree (output cardinalities are exact;
     /// a pipeline's wall time is attributed to its topmost operator, its
     /// inner stages report 0ns since they never run in isolation).
-    pub fn run(&self, ds: &Dataset, ctx: &ExecContext) -> (BindingTable, Profile) {
+    ///
+    /// With a governor attached to `ctx`, every breaker step and every
+    /// morsel claim is a cooperative checkpoint; an error drains every
+    /// filled slot back through [`ExecContext::recycle`], so a cancelled
+    /// or failed execution leaves the buffer pool balanced and the memory
+    /// accounting at zero.
+    pub fn run(
+        &self,
+        ds: &Dataset,
+        ctx: &ExecContext,
+    ) -> Result<(BindingTable, Profile), ExecError> {
         let mut slots: Vec<Option<BindingTable>> = (0..self.slot_count).map(|_| None).collect();
         let mut rows = vec![0usize; self.node_count];
         let mut nanos = vec![0u128; self.node_count];
+        if let Err(e) = self.run_steps(ds, ctx, &mut slots, &mut rows, &mut nanos) {
+            for slot in slots.iter_mut() {
+                if let Some(t) = slot.take() {
+                    ctx.recycle(t);
+                }
+            }
+            return Err(e);
+        }
+        // invariant: `lower` emits steps in topological order and the last
+        // one fills `self.root` — every `expect` on slot contents in this
+        // module rests on that ordering.
+        let table = slots[self.root].take().expect("root slot filled");
+        let profile = self.build_profile(self.plan, &rows, &nanos);
+        Ok((table, profile))
+    }
+
+    fn run_steps(
+        &self,
+        ds: &Dataset,
+        ctx: &ExecContext,
+        slots: &mut [Option<BindingTable>],
+        rows: &mut [usize],
+        nanos: &mut [u128],
+    ) -> Result<(), ExecError> {
         for step in &self.steps {
             match step {
                 Step::Breaker { node, out, op } => {
                     let start = Instant::now();
-                    let (table, consumed) = run_breaker(op, ds, ctx, &mut slots);
+                    let (table, consumed) = match ctx.governor() {
+                        None => run_breaker(op, ds, ctx, slots),
+                        Some(gov) => {
+                            // A Cartesian product's output size is known
+                            // exactly up front: refuse it *before*
+                            // materialising when it cannot fit the budget.
+                            if let BreakerOp::CrossProduct { left, right } = op {
+                                let lt =
+                                    slots[*left].as_ref().expect("input slot filled before use");
+                                let rt = slots[*right]
+                                    .as_ref()
+                                    .expect("input slot filled before use");
+                                let bytes = lt
+                                    .len()
+                                    .saturating_mul(rt.len())
+                                    .saturating_mul(lt.vars().len() + rt.vars().len())
+                                    .saturating_mul(std::mem::size_of::<TermId>());
+                                gov.would_exceed(bytes, "crossproduct")?;
+                            }
+                            // The checkpoint runs inside the unwind guard:
+                            // an injected `panic@breaker` fault takes the
+                            // same recovery path as a real kernel panic.
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                gov.check("breaker")
+                                    .map(|()| run_breaker(op, ds, ctx, slots))
+                            })) {
+                                Ok(Ok(x)) => x,
+                                Ok(Err(e)) => return Err(e.into()),
+                                Err(_) => return Err(gov.note_panic("breaker").into()),
+                            }
+                        }
+                    };
                     nanos[*node] = start.elapsed().as_nanos();
                     rows[*node] = table.len();
+                    // A kernel that bailed out early on `governor_poll`
+                    // (the cross product) returned an empty placeholder
+                    // table: surface the trip instead of storing it and
+                    // drop the placeholder (its columns never came from
+                    // the pool, and it was never charged).
+                    if let Some(e) = ctx.governor().and_then(QueryGovernor::trip_error) {
+                        for t in consumed {
+                            ctx.recycle(t);
+                        }
+                        drop(table);
+                        return Err(e.into());
+                    }
                     for t in consumed {
-                        ctx.pool.recycle(t);
+                        ctx.recycle(t);
+                    }
+                    if let Err(e) = ctx.charge_table(&table, "breaker") {
+                        ctx.recycle(table);
+                        return Err(e.into());
                     }
                     slots[*out] = Some(table);
                 }
@@ -512,13 +595,11 @@ impl Program<'_> {
                     if handed_off {
                         ctx.note_handoff();
                     }
-                    run_pipeline(p, ds, ctx, &mut slots, &mut rows, &mut nanos, handed_off)
+                    run_pipeline(p, ds, ctx, slots, rows, nanos, handed_off)?;
                 }
             }
         }
-        let table = slots[self.root].take().expect("root slot filled");
-        let profile = self.build_profile(self.plan, &rows, &nanos);
-        (table, profile)
+        Ok(())
     }
 
     fn build_profile(&self, plan: &PhysicalPlan, rows: &[usize], nanos: &[u128]) -> Profile {
@@ -664,6 +745,7 @@ fn run_breaker(
     slots: &mut [Option<BindingTable>],
 ) -> (BindingTable, Vec<BindingTable>) {
     let mut take = |slot: SlotId| -> BindingTable {
+        // invariant: topological step order (see `Program::run`).
         slots[slot].take().expect("input slot filled before use")
     };
     match op {
@@ -930,11 +1012,13 @@ fn run_pipeline(
     rows_by_node: &mut [usize],
     nanos_by_node: &mut [u128],
     handed_off: bool,
-) {
+) -> Result<(), ExecError> {
     let start = Instant::now();
 
     // Take the pipeline's inputs out of their slots (they stay alive —
     // borrowed by the prepared stages — until the sink has gathered).
+    // invariant: topological step order (see `Program::run`) fills every
+    // source and build slot before the pipeline that consumes it.
     let mut source_table: Option<BindingTable> = match &p.source {
         SourceSpec::Slot(slot) => Some(slots[*slot].take().expect("source slot filled")),
         SourceSpec::Scan { .. } => None,
@@ -990,13 +1074,37 @@ fn run_pipeline(
     // exit); the sequential path keeps a plain local evaluator so the
     // long-lived main thread never accretes a regex cache.
     let stage_count = prepared.stages.len();
-    let (parts, run) = if ctx.morsel.workers_for(prepared.rows) > 1 {
-        morsel::run_morsels(prepared.rows, &ctx.morsel, |range| {
-            // Workers allocate scratch plainly: the pool is single-threaded.
-            let scratch = Scratch { pool: None };
-            ops::WORKER_EVALUATOR.with(|evaluator| {
-                process_morsel(range, &prepared, ds, evaluator, &scratch, static_movable)
-            })
+    // Only the ungoverned sequential path hands pooled index vectors to
+    // `process_morsel`: its single part's vectors *become* the stitched
+    // sides and are put back after the sink. Worker parts and
+    // governed-sequential parts use plain vectors — the stitch copies out
+    // of them and drops them — so pool take/put stays balanced even when
+    // a governed run produces several parts on one thread.
+    let pooled_part = ctx.morsel.workers_for(prepared.rows) <= 1 && ctx.governor().is_none();
+    let morsel_result = if ctx.morsel.workers_for(prepared.rows) > 1 {
+        morsel::try_run_morsels(
+            prepared.rows,
+            &ctx.morsel,
+            ctx.governor(),
+            "worker",
+            |range| {
+                // Workers allocate scratch plainly: the pool is single-threaded.
+                let scratch = Scratch { pool: None };
+                ops::WORKER_EVALUATOR.with(|evaluator| {
+                    process_morsel(range, &prepared, ds, evaluator, &scratch, static_movable)
+                })
+            },
+        )
+    } else if let Some(gov) = ctx.governor() {
+        // Governed sequential path: still chunk into morsels so a deadline
+        // or cancellation surfaces within one morsel's work, but keep the
+        // plain local evaluator — the long-lived main thread must not
+        // accrete a regex cache. The whole loop runs on the calling
+        // thread, so borrowing the non-`Sync` evaluator is fine.
+        let evaluator = hsp_sparql::Evaluator::new();
+        let scratch = Scratch { pool: None };
+        morsel::try_run_morsels_seq(prepared.rows, &ctx.morsel, gov, "worker", |range| {
+            process_morsel(range, &prepared, ds, &evaluator, &scratch, static_movable)
         })
     } else {
         let evaluator = hsp_sparql::Evaluator::new();
@@ -1011,13 +1119,29 @@ fn run_pipeline(
             &scratch,
             static_movable,
         );
-        (
+        Ok((
             vec![out],
             MorselRun {
                 morsels: 0,
                 threads: 1,
             },
-        )
+        ))
+    };
+    let (parts, run) = match morsel_result {
+        Ok(x) => x,
+        Err(e) => {
+            // Workers are joined and their partial parts dropped; return
+            // the consumed inputs (charged when their producers stored
+            // them) so the pool balances and the accounting nets to zero.
+            drop(prepared);
+            if let Some(t) = source_table.take() {
+                ctx.recycle(t);
+            }
+            for t in build_tables {
+                ctx.recycle(t);
+            }
+            return Err(e.into());
+        }
     };
 
     // Stitch the per-morsel index vectors in morsel order and total the
@@ -1036,9 +1160,10 @@ fn run_pipeline(
     // the identity over the whole source: the column-move fires and side 0
     // (left empty by the deferral) is never read.
     let movable = static_movable && parts.iter().all(|part| part.side0_identity);
-    let sides: Vec<Vec<u32>> = if parts.len() == 1 {
-        // Single morsel (the sequential path): its index vectors are the
-        // stitched result — move them instead of copying.
+    let sides: Vec<Vec<u32>> = if pooled_part {
+        // Single pooled morsel (the ungoverned sequential path): its index
+        // vectors are the stitched result — move them instead of copying.
+        // invariant: `pooled_part` implies exactly one morsel ran.
         let part = parts.into_iter().next().expect("one part");
         for (c, n) in part.counts.iter().enumerate() {
             counts[c] += n;
@@ -1109,6 +1234,8 @@ fn run_pipeline(
             | PreparedStage::Probe { node, .. }
             | PreparedStage::Project { node },
         ) => *node,
+        // invariant: `lower` never emits a stage-less pipeline — a bare
+        // scan still carries its sink projection stage.
         None => unreachable!("pipelines have at least one stage"),
     };
 
@@ -1145,15 +1272,24 @@ fn run_pipeline(
     // column is gathered exactly once, through the pool.
     let out_rows = total_rows;
     let table = if movable {
+        // invariant: `static_movable` requires a slot source, taken above.
         let src = source_table.take().expect("handed-off slot source");
+        // The source is consumed by the column move rather than recycled:
+        // release its charge here so the moved output's own charge below
+        // does not double-count the same bytes.
+        ctx.release_bytes(crate::pool::table_bytes(&src));
         debug_assert_eq!(src.len(), out_rows, "identity sides preserve rows");
         let mut src_cols: Vec<Option<Vec<TermId>>> =
             src.into_columns().into_iter().map(Some).collect();
         let mut cols: Vec<Vec<TermId>> = Vec::with_capacity(sink_refs.len());
         for (_, r) in &sink_refs {
             let SinkRef::Col { idx, .. } = r else {
+                // invariant: `static_movable` only holds for layouts whose
+                // every reference is a side-0 column.
                 unreachable!("movable layout is side-0 columns only")
             };
+            // invariant: layout variables are deduplicated, so each source
+            // column is moved at most once.
             cols.push(src_cols[*idx].take().expect("layout vars are distinct"));
         }
         for col in src_cols.into_iter().flatten() {
@@ -1179,6 +1315,8 @@ fn run_pipeline(
                     nullable,
                 } => {
                     let src: &[TermId] = if side == 0 {
+                        // invariant: a side-0 column reference implies a
+                        // slot source (scan sources emit key references).
                         &source_table.as_ref().expect("slot source").columns()[idx]
                     } else {
                         &build_tables[side - 1].columns()[idx]
@@ -1199,14 +1337,20 @@ fn run_pipeline(
     nanos_by_node[top_node] = start.elapsed().as_nanos();
 
     // Recycle the consumed inputs now that the gather is done (a moved
-    // hand-off source already recycled its leftovers above).
+    // hand-off source already recycled its leftovers above), then charge
+    // the materialised output against the memory budget.
     if let Some(t) = source_table {
-        ctx.pool.recycle(t);
+        ctx.recycle(t);
     }
     for t in build_tables {
-        ctx.pool.recycle(t);
+        ctx.recycle(t);
+    }
+    if let Err(e) = ctx.charge_table(&table, "sink") {
+        ctx.pool.recycle(table);
+        return Err(e.into());
     }
     slots[p.out] = Some(table);
+    Ok(())
 }
 
 /// Resolve a scan source's relation range exactly like `ops::scan_in`: a
@@ -1284,6 +1428,8 @@ fn prepare<'a>(
             };
         }
         SourceSpec::Slot(_) => {
+            // invariant: `run_pipeline` takes the slot table before calling
+            // `prepare` whenever the source is a slot.
             let table = source_table.expect("slot source taken");
             assert!(
                 table.len() < u32::MAX as usize,
@@ -1331,6 +1477,8 @@ fn prepare<'a>(
             StageSpec::Probe {
                 node, vars, outer, ..
             } => {
+                // invariant: `run_pipeline` collects exactly one build
+                // table per probe stage, in stage order.
                 let bt = builds.next().expect("one build table per probe stage");
                 let build_cols: Vec<&[TermId]> = vars.iter().map(|&v| bt.column(v)).collect();
                 let (table, build_run) = BuildTable::build_par(&build_cols, bt.len(), &ctx.morsel);
@@ -1342,6 +1490,8 @@ fn prepare<'a>(
                             .iter()
                             .find(|&&(lv, _)| lv == *v)
                             .map(|&(_, r)| r)
+                            // invariant: `PhysicalPlan::validate` requires
+                            // join variables bound by both inputs.
                             .expect("join variable bound by the pipeline (validated)")
                     })
                     .collect();
@@ -1394,6 +1544,8 @@ fn prepare<'a>(
                             .iter()
                             .find(|&&(lv, _)| lv == v)
                             .map(|&(_, r)| r)
+                            // invariant: `PhysicalPlan::validate` requires
+                            // projected variables bound by the input.
                             .expect("projected variable bound by the pipeline (validated)");
                         narrowed.push((v, r));
                     }

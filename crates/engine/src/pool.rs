@@ -21,6 +21,7 @@ use std::cell::{Cell, RefCell};
 use hsp_rdf::TermId;
 
 use crate::binding::BindingTable;
+use crate::govern::{GovernorError, QueryGovernor};
 use crate::morsel::MorselConfig;
 
 /// Keep at most this many free buffers per kind; beyond it, returned
@@ -45,6 +46,7 @@ pub struct BufferPool {
     hits: Cell<usize>,
     misses: Cell<usize>,
     recycled: Cell<usize>,
+    returned: Cell<usize>,
 }
 
 /// Pool counters (cumulative over one execution).
@@ -57,6 +59,12 @@ pub struct PoolStats {
     /// Buffers returned to the pool (columns of consumed intermediates
     /// plus returned index vectors).
     pub recycled: usize,
+    /// Every buffer *handed back* to the pool, whether parked or dropped
+    /// by the pooling policy (zero-capacity / oversized / full free list).
+    /// `hits + misses == returned` after an execution whose error paths
+    /// drained everything they checked out — the balance the governor
+    /// tests assert.
+    pub returned: usize,
 }
 
 impl BufferPool {
@@ -83,6 +91,7 @@ impl BufferPool {
 
     /// Return a `TermId` column to the pool.
     pub fn put_col(&self, col: Vec<TermId>) {
+        self.returned.set(self.returned.get() + 1);
         if col.capacity() == 0 || col.capacity() > MAX_POOLED_CAPACITY {
             return; // nothing worth keeping / too big to pin
         }
@@ -112,6 +121,7 @@ impl BufferPool {
 
     /// Return an index buffer to the pool.
     pub fn put_idx(&self, buf: Vec<u32>) {
+        self.returned.set(self.returned.get() + 1);
         if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
             return;
         }
@@ -136,6 +146,7 @@ impl BufferPool {
             hits: self.hits.get(),
             misses: self.misses.get(),
             recycled: self.recycled.get(),
+            returned: self.returned.get(),
         }
     }
 
@@ -145,15 +156,29 @@ impl BufferPool {
     }
 }
 
+/// Bytes a materialised table's columns occupy — the unit of the
+/// governor's memory accounting (`rows × columns × 4`; `TermId` is 32
+/// bits). Deliberately shape-based rather than capacity-based so a
+/// charge and its matching release always agree.
+pub fn table_bytes(table: &BindingTable) -> usize {
+    table
+        .vars()
+        .len()
+        .saturating_mul(table.len())
+        .saturating_mul(std::mem::size_of::<TermId>())
+}
+
 /// Everything an operator needs beyond its inputs: the morsel/thread
-/// configuration, the column pool, and the runtime counters the execution
-/// reports afterwards.
+/// configuration, the column pool, the optional query governor, and the
+/// runtime counters the execution reports afterwards.
 #[derive(Debug, Default)]
 pub struct ExecContext {
     /// How kernels split work across threads.
     pub morsel: MorselConfig,
     /// The per-execution column arena.
     pub pool: BufferPool,
+    /// Resource limits for this execution, if any (see [`crate::govern`]).
+    governor: Option<QueryGovernor>,
     morsels: Cell<usize>,
     parallel_kernels: Cell<usize>,
     parallel_builds: Cell<usize>,
@@ -189,6 +214,80 @@ impl ExecContext {
             morsel,
             ..ExecContext::default()
         }
+    }
+
+    /// Attach a query governor: every checkpoint in the execution now
+    /// consults it.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The attached governor, if any.
+    pub fn governor(&self) -> Option<&QueryGovernor> {
+        self.governor.as_ref()
+    }
+
+    /// Replace (or remove) the attached governor. A context outlives one
+    /// query — its buffer pool keeps warming across executions — but each
+    /// query brings its own limits, and a tripped governor stays tripped.
+    pub fn set_governor(&mut self, governor: Option<QueryGovernor>) {
+        self.governor = governor;
+    }
+
+    /// Cooperative checkpoint: a no-op without a governor, otherwise the
+    /// full token/deadline/fault check for `site`.
+    pub fn checkpoint(&self, site: &'static str) -> Result<(), GovernorError> {
+        match &self.governor {
+            Some(gov) => gov.check(site),
+            None => Ok(()),
+        }
+    }
+
+    /// Cheap poll for long-running operator loops: `true` once the
+    /// governor has tripped (always `false` without one).
+    pub fn governor_poll(&self) -> bool {
+        self.governor.as_ref().is_some_and(|gov| gov.poll())
+    }
+
+    /// Charge a freshly materialised table's bytes against the memory
+    /// budget (no-op without a governor).
+    pub fn charge_table(
+        &self,
+        table: &BindingTable,
+        site: &'static str,
+    ) -> Result<(), GovernorError> {
+        match &self.governor {
+            Some(gov) => gov.charge(table_bytes(table), site),
+            None => Ok(()),
+        }
+    }
+
+    /// Pre-materialisation budget guard: would `bytes` more exceed the
+    /// budget? Errors (and trips) without charging.
+    pub fn reserve_check(&self, bytes: usize, site: &'static str) -> Result<(), GovernorError> {
+        match &self.governor {
+            Some(gov) => gov.would_exceed(bytes, site),
+            None => Ok(()),
+        }
+    }
+
+    /// Release previously charged table bytes without recycling columns
+    /// (for tables consumed by column moves rather than
+    /// [`recycle`](Self::recycle)).
+    pub fn release_bytes(&self, bytes: usize) {
+        if let Some(gov) = &self.governor {
+            gov.release(bytes);
+        }
+    }
+
+    /// Recycle a consumed intermediate: release its bytes from the memory
+    /// budget and park its columns in the pool.
+    pub fn recycle(&self, table: BindingTable) {
+        if let Some(gov) = &self.governor {
+            gov.release(table_bytes(&table));
+        }
+        self.pool.recycle(table);
     }
 
     /// Record a kernel's morsel run in the execution-wide counters.
@@ -338,7 +437,8 @@ mod tests {
             PoolStats {
                 hits: 0,
                 misses: 1,
-                recycled: 0
+                recycled: 0,
+                returned: 0
             }
         );
         pool.put_col(col);
@@ -349,7 +449,8 @@ mod tests {
             PoolStats {
                 hits: 1,
                 misses: 1,
-                recycled: 1
+                recycled: 1,
+                returned: 1
             }
         );
     }
@@ -384,6 +485,36 @@ mod tests {
         pool.put_col(Vec::new());
         pool.put_idx(Vec::new());
         assert_eq!(pool.free_buffers(), 0);
+        // …but they still count as returned: the balance counter tracks
+        // hand-backs, not parking decisions.
+        assert_eq!(pool.stats().returned, 2);
+    }
+
+    #[test]
+    fn governed_context_checkpoints_and_charges() {
+        use crate::govern::QueryGovernor;
+        use std::time::Duration;
+
+        let ungoverned = ExecContext::new();
+        ungoverned.checkpoint("worker").unwrap();
+        assert!(!ungoverned.governor_poll());
+
+        let ctx = ExecContext::new()
+            .with_governor(QueryGovernor::new().with_deadline_in(Duration::from_secs(3600)));
+        ctx.checkpoint("worker").unwrap();
+        assert_eq!(ctx.governor().unwrap().checks(), 1);
+
+        let table = BindingTable::from_columns(
+            vec![Var(0), Var(1)],
+            vec![vec![TermId(1), TermId(2)], vec![TermId(3), TermId(4)]],
+            None,
+        );
+        assert_eq!(table_bytes(&table), 2 * 2 * 4);
+        ctx.charge_table(&table, "sink").unwrap();
+        assert_eq!(ctx.governor().unwrap().mem_used(), 16);
+        ctx.recycle(table);
+        assert_eq!(ctx.governor().unwrap().mem_used(), 0);
+        assert_eq!(ctx.pool.free_buffers(), 2);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Fuzz-shaped hardening of the SPARQL front-end: random mutations of
+//! valid query/update texts — truncations, splices, deletions, character
+//! substitutions, including multi-byte and control characters — plus raw
+//! character soup must never panic the lexer or parser. Every input
+//! yields `Ok` or a typed [`ParseError`] whose byte offset points into
+//! (or just past) the input and whose message is non-empty.
+
+use hsp_sparql::{parse_query, parse_update, ParseError};
+use proptest::prelude::*;
+
+/// Seed corpus: one representative of every grammar production the
+/// parser supports (prefixes, ASK, OPTIONAL/UNION, FILTER expression
+/// forms, solution modifiers, and the three update operations).
+const SEEDS: &[&str] = &[
+    "SELECT ?s WHERE { ?s ?p ?o . }",
+    "PREFIX ex: <http://e/> SELECT ?a ?y WHERE { ?a ex:cites ?b . ?b ex:year ?y . }",
+    "SELECT DISTINCT ?a WHERE { ?a <http://e/p> \"lit\" . } ORDER BY DESC(?a) LIMIT 5 OFFSET 2",
+    "SELECT ?a WHERE { ?a <http://e/year> ?y . FILTER(?y > 1995 && ?y != 2000) }",
+    "SELECT ?n WHERE { ?x <http://e/name> ?n . FILTER regex(?n, \"^ali\", \"i\") }",
+    "SELECT ?a ?y WHERE { ?a <http://e/cites> ?b . OPTIONAL { ?a <http://e/year> ?y . } }",
+    "SELECT ?a WHERE { { ?a <http://e/p> ?b . } UNION { ?a <http://e/q> ?b . } }",
+    "ASK { ?s <http://e/p> ?o . }",
+    "SELECT REDUCED ?s WHERE { ?s ?p ?o . FILTER(BOUND(?s) || !BOUND(?o)) }",
+    "INSERT DATA { <http://e/s> <http://e/p> \"v\" . }",
+    "DELETE DATA { <http://e/s> <http://e/p> \"v\"@en . }",
+    "DELETE WHERE { ?s <http://e/p> ?o . ?o <http://e/q> ?z . }",
+    "INSERT DATA { <http://e/a> <http://e/b> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> . } ;\n DELETE WHERE { ?s ?p ?o . }",
+];
+
+/// Characters the mutator splices in: SPARQL punctuation, quote and
+/// escape starters, whitespace, controls, and multi-byte code points —
+/// the shapes that break byte-offset arithmetic when mishandled.
+const PALETTE: &[char] = &[
+    'a', 'Z', '9', '?', '$', '.', ';', ',', '{', '}', '(', ')', '<', '>', '"', '\'', '\\', '@',
+    '^', '_', '-', '*', '!', '=', '&', '|', '#', ' ', '\n', '\t', '\r', '\u{0}', '\u{7f}', 'é',
+    'λ', '∞', '🦀',
+];
+
+/// Largest char-boundary index `<= i` (so mutations never split a
+/// multi-byte code point).
+fn boundary(s: &str, i: usize) -> usize {
+    let mut i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Apply one mutation; `a`/`b` are raw positions clamped to boundaries.
+fn mutate(text: &mut String, op: u8, a: usize, b: usize, c: char) {
+    let i = boundary(text, a % (text.len() + 1));
+    match op % 5 {
+        0 => text.truncate(i),
+        1 => text.insert(i, c),
+        2 => {
+            let j = boundary(text, i + b % 8);
+            text.replace_range(i..j.max(i), "");
+        }
+        3 => {
+            let j = boundary(text, i + b % 16);
+            let slice = text[i..j.max(i)].to_string();
+            text.insert_str(i, &slice);
+        }
+        _ => {
+            let j = boundary(text, i + b % 4);
+            text.replace_range(i..j.max(i), &c.to_string());
+        }
+    }
+}
+
+/// The property both parsers must satisfy for any input.
+fn assert_total(input: &str) -> Result<(), TestCaseError> {
+    let check = |result: Result<(), ParseError>| -> Result<(), TestCaseError> {
+        if let Err(e) = result {
+            prop_assert!(
+                e.offset <= input.len(),
+                "error offset {} beyond input length {}",
+                e.offset,
+                input.len()
+            );
+            prop_assert!(!e.message.is_empty(), "empty parse-error message");
+        }
+        Ok(())
+    };
+    check(parse_query(input).map(|_| ()))?;
+    check(parse_update(input).map(|_| ()))?;
+    Ok(())
+}
+
+proptest! {
+    /// Mutated seeds: every edited query/update text parses to `Ok` or a
+    /// positioned `ParseError` — never a panic, never an unpositioned
+    /// failure.
+    #[test]
+    fn mutated_seed_texts_never_panic_the_parsers(
+        seed in proptest::sample::select(SEEDS.to_vec()),
+        edits in proptest::collection::vec(
+            (0u8..5, 0usize..512, 0usize..32, proptest::sample::select(PALETTE.to_vec())),
+            0..10,
+        ),
+    ) {
+        let mut text = seed.to_string();
+        for (op, a, b, c) in edits {
+            mutate(&mut text, op, a, b, c);
+        }
+        assert_total(&text)?;
+    }
+
+    /// Raw character soup (no valid skeleton at all) exercises the lexer's
+    /// error paths: string/IRI openers with no closer, stray escapes,
+    /// controls, and multi-byte runs.
+    #[test]
+    fn character_soup_never_panics_the_parsers(
+        chars in proptest::collection::vec(proptest::sample::select(PALETTE.to_vec()), 0..80),
+    ) {
+        let text: String = chars.into_iter().collect();
+        assert_total(&text)?;
+    }
+}
+
+/// A handful of deterministic regressions the fuzz shapes are aimed at:
+/// unterminated tokens and truncation right inside multi-byte characters.
+#[test]
+fn known_nasty_inputs_yield_positioned_errors() {
+    for text in [
+        "",
+        "SELECT",
+        "SELECT ?s WHERE { ?s ?p \"unterminated",
+        "SELECT ?s WHERE { ?s ?p <http://unterminated",
+        "SELECT ?s WHERE { ?s ?p ?o . ",
+        "PREFIX ex: SELECT ?s WHERE { ?s ?p ?o . }",
+        "SELECT ?s WHERE { ?s ?p \"\\",
+        "INSERT DATA { <http://e/s> <http://e/p> ",
+        "λλλ🦀",
+        "\u{0}\u{0}",
+    ] {
+        let q = parse_query(text);
+        let u = parse_update(text);
+        assert!(
+            q.is_err() || u.is_err(),
+            "nasty input parsed twice: {text:?}"
+        );
+        for e in [q.err(), u.err()].into_iter().flatten() {
+            assert!(e.offset <= text.len());
+            assert!(!e.message.is_empty());
+        }
+    }
+}

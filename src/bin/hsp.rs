@@ -20,6 +20,11 @@
 //!   --threads <n>           thread budget for the morsel-parallel kernels
 //!                           (default: auto-detect, overridable with the
 //!                           HSP_FORCE_THREADS env var; 1 = sequential)
+//!   --timeout-ms <n>        query governor deadline: abort the execution
+//!                           (query or update) once it has run this long
+//!   --mem-budget-mb <n>     query governor memory budget: abort when the
+//!                           materialised intermediates exceed this many
+//!                           mebibytes
 //! ```
 //!
 //! Queries that fit the paper's Definition 3 (conjunctive + FILTER) run
@@ -37,7 +42,7 @@ use hsp_sparql::JoinQuery;
 use hsp_store::Dataset;
 use sparql_hsp::extended::{evaluate_extended_with, ExtendedOutput};
 use sparql_hsp::results;
-use sparql_hsp::update::apply_update;
+use sparql_hsp::update::apply_update_with;
 
 struct Args {
     data: String,
@@ -49,13 +54,16 @@ struct Args {
     sip: bool,
     budget: Option<usize>,
     threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    mem_budget_mb: Option<usize>,
     out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: hsp <data.nt> (--query <text|@file> | --update <text|@file>)\n\
      \x20      [--planner hsp|cdp|sql|hybrid|stocker] [--format table|json|csv|tsv]\n\
-     \x20      [--explain] [--sip] [--budget <rows>] [--threads <n>] [--out <file>]"
+     \x20      [--explain] [--sip] [--budget <rows>] [--threads <n>]\n\
+     \x20      [--timeout-ms <n>] [--mem-budget-mb <n>] [--out <file>]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         sip: false,
         budget: None,
         threads: None,
+        timeout_ms: None,
+        mem_budget_mb: None,
         out: None,
     };
     while let Some(flag) = argv.next() {
@@ -100,6 +110,20 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 args.threads = Some(n);
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms needs an integer".to_string())?,
+                )
+            }
+            "--mem-budget-mb" => {
+                args.mem_budget_mb = Some(
+                    value("--mem-budget-mb")?
+                        .parse()
+                        .map_err(|_| "--mem-budget-mb needs an integer".to_string())?,
+                )
             }
             "--out" => args.out = Some(value("--out")?),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -185,9 +209,22 @@ fn run() -> Result<(), String> {
     };
     eprintln!("loaded {} triples from {}", ds.len(), args.data);
 
+    let mut config = ExecConfig::unlimited();
+    config.max_intermediate_rows = args.budget;
+    config.threads = args.threads;
+    if args.sip {
+        config = config.with_sip();
+    }
+    if let Some(ms) = args.timeout_ms {
+        config = config.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(mb) = args.mem_budget_mb {
+        config = config.with_mem_budget(mb.saturating_mul(1024 * 1024));
+    }
+
     if let Some(update) = &args.update {
         let text = load_text(update)?;
-        let stats = apply_update(&mut ds, &text).map_err(|e| e.to_string())?;
+        let stats = apply_update_with(&mut ds, &text, &config).map_err(|e| e.to_string())?;
         eprintln!(
             "update ok: +{} / -{} triples (now {})",
             stats.inserted,
@@ -205,12 +242,6 @@ fn run() -> Result<(), String> {
     }
 
     let text = load_text(args.query.as_deref().expect("query or update required"))?;
-    let mut config = ExecConfig::unlimited();
-    config.max_intermediate_rows = args.budget;
-    config.threads = args.threads;
-    if args.sip {
-        config = config.with_sip();
-    }
 
     // ASK queries short-circuit to a boolean.
     if let Ok(ast) = hsp_sparql::parse_query(&text) {

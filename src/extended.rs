@@ -352,19 +352,45 @@ fn eval_group(
     };
 
     // 2. UNION blocks: evaluate branches, concatenate, join with the core.
+    //
+    // Every table this function holds is charged against the governor's
+    // memory budget (`execute_in` charges its own outputs; the
+    // table-at-a-time steps below charge through `settle`), so each
+    // `ctx.recycle` releases exactly what was charged and an error leaves
+    // the accounting at zero.
     for (a, b) in unions {
+        ctx.checkpoint("extended")
+            .map_err(|e| ExtendedError::Eval(e.to_string()))?;
         let ta = eval_group(ds, a, vars, config, ctx)?;
-        let tb = eval_group(ds, b, vars, config, ctx)?;
+        let tb = match eval_group(ds, b, vars, config, ctx) {
+            Ok(tb) => tb,
+            Err(e) => {
+                ctx.recycle(ta);
+                if let Some(core) = current.take() {
+                    ctx.recycle(core);
+                }
+                return Err(e);
+            }
+        };
         let union = ops::union_all_in(ctx, &ta, &tb);
-        ctx.pool.recycle(ta);
-        ctx.pool.recycle(tb);
-        current = Some(match current {
+        ctx.recycle(ta);
+        ctx.recycle(tb);
+        let union = match settle(ctx, union) {
+            Ok(t) => t,
+            Err(e) => {
+                if let Some(core) = current.take() {
+                    ctx.recycle(core);
+                }
+                return Err(e);
+            }
+        };
+        current = Some(match current.take() {
             None => union,
             Some(core) => {
                 let joined = join_tables(ctx, &core, &union);
-                ctx.pool.recycle(core);
-                ctx.pool.recycle(union);
-                joined
+                ctx.recycle(core);
+                ctx.recycle(union);
+                settle(ctx, joined)?
             }
         });
     }
@@ -375,7 +401,17 @@ fn eval_group(
 
     // 3. OPTIONAL blocks: left-outer joins on the shared variables.
     for g in optionals {
-        let right = eval_group(ds, g, vars, config, ctx)?;
+        if let Err(e) = ctx.checkpoint("extended") {
+            ctx.recycle(table);
+            return Err(ExtendedError::Eval(e.to_string()));
+        }
+        let right = match eval_group(ds, g, vars, config, ctx) {
+            Ok(right) => right,
+            Err(e) => {
+                ctx.recycle(table);
+                return Err(e);
+            }
+        };
         let shared: Vec<Var> = right
             .vars()
             .iter()
@@ -391,16 +427,40 @@ fn eval_group(
         } else {
             ops::cross_product_in(ctx, &table, &right)
         };
-        ctx.pool.recycle(table);
-        ctx.pool.recycle(right);
-        table = joined;
+        ctx.recycle(table);
+        ctx.recycle(right);
+        table = settle(ctx, joined)?;
     }
 
     // 4. Group-level FILTERs (unbound comparisons are false).
     for f in &filters {
+        if let Err(e) = ctx.checkpoint("extended") {
+            ctx.recycle(table);
+            return Err(ExtendedError::Eval(e.to_string()));
+        }
         let filtered = ops::filter_in(ctx, ds, &table, f);
-        ctx.pool.recycle(table);
-        table = filtered;
+        ctx.recycle(table);
+        table = settle(ctx, filtered)?;
+    }
+    Ok(table)
+}
+
+/// Charge a freshly produced table-at-a-time intermediate against the
+/// governor's memory budget, surfacing any trip the producing kernel
+/// recorded (the cross product bails out cooperatively).
+fn settle(ctx: &ExecContext, table: BindingTable) -> Result<BindingTable, ExtendedError> {
+    if let Some(e) = ctx
+        .governor()
+        .and_then(hsp_engine::QueryGovernor::trip_error)
+    {
+        // A tripped cross product returned an empty placeholder whose
+        // columns never came from the pool: drop, don't recycle.
+        drop(table);
+        return Err(ExtendedError::Eval(e.to_string()));
+    }
+    if let Err(e) = ctx.charge_table(&table, "extended") {
+        ctx.recycle(table);
+        return Err(ExtendedError::Eval(e.to_string()));
     }
     Ok(table)
 }

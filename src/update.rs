@@ -68,9 +68,29 @@ impl std::error::Error for UpdateError {}
 /// assert!(ds.is_empty());
 /// ```
 pub fn apply_update(ds: &mut Dataset, text: &str) -> Result<UpdateStats, UpdateError> {
+    apply_update_with(ds, text, &ExecConfig::unlimited())
+}
+
+/// [`apply_update`] under an explicit [`ExecConfig`]: a timeout, memory
+/// budget, or cancel token on the config governs the `DELETE WHERE`
+/// matching queries exactly as it governs reads (site `"update"` marks
+/// the per-operation checkpoints). `INSERT DATA` / `DELETE DATA` apply
+/// whole or not at all; a trip between operations leaves the effects of
+/// the already-completed ones in place, per the SPARQL Update sequencing
+/// rule.
+pub fn apply_update_with(
+    ds: &mut Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<UpdateStats, UpdateError> {
     let request = parse_update(text).map_err(UpdateError::Parse)?;
     let mut stats = UpdateStats::default();
+    let governor = config.governor();
     for op in &request.ops {
+        if let Some(gov) = &governor {
+            gov.check("update")
+                .map_err(|e| UpdateError::Eval(e.to_string()))?;
+        }
         match op {
             UpdateOp::InsertData(triples) => {
                 stats.inserted += ds.insert_data(&ground_triples(triples));
@@ -79,7 +99,7 @@ pub fn apply_update(ds: &mut Dataset, text: &str) -> Result<UpdateStats, UpdateE
                 stats.deleted += ds.remove_data(&ground_triples(triples));
             }
             UpdateOp::DeleteWhere(group) => {
-                stats.deleted += delete_where(ds, group)?;
+                stats.deleted += delete_where(ds, group, config)?;
             }
         }
     }
@@ -108,7 +128,11 @@ fn ground(node: &NodeAst) -> Term {
 /// `DELETE WHERE`: match the pattern (planned by HSP, like any query),
 /// instantiate each pattern for each solution, and remove the resulting
 /// ground triples. Returns the number of triples removed.
-fn delete_where(ds: &mut Dataset, group: &GroupPattern) -> Result<usize, UpdateError> {
+fn delete_where(
+    ds: &mut Dataset,
+    group: &GroupPattern,
+    config: &ExecConfig,
+) -> Result<usize, UpdateError> {
     // The WHERE block is a conjunctive pattern: reuse the query pipeline
     // with a SELECT * projection.
     let query_ast = Query {
@@ -126,8 +150,7 @@ fn delete_where(ds: &mut Dataset, group: &GroupPattern) -> Result<usize, UpdateE
     let planned = HspPlanner::new()
         .plan(&query)
         .map_err(|e| UpdateError::Eval(e.to_string()))?;
-    let out = execute(&planned.plan, ds, &ExecConfig::unlimited())
-        .map_err(|e| UpdateError::Eval(e.to_string()))?;
+    let out = execute(&planned.plan, ds, config).map_err(|e| UpdateError::Eval(e.to_string()))?;
 
     // Each pattern slot is a constant id or a column of the result table.
     // `DELETE WHERE` ran against the *rewritten* query (HSP substitutes
