@@ -497,6 +497,9 @@ mod tests {
             distinct: false,
             var_names: vec![],
             modifiers: Default::default(),
+            group_by: vec![],
+            aggregates: vec![],
+            having: None,
         };
         assert_eq!(
             CdpPlanner::new().plan(&ds, &query).unwrap_err(),

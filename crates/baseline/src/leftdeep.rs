@@ -302,6 +302,9 @@ mod tests {
             distinct: false,
             var_names: vec![],
             modifiers: Default::default(),
+            group_by: vec![],
+            aggregates: vec![],
+            having: None,
         };
         assert_eq!(
             LeftDeepPlanner::new().plan(&ds, &query).unwrap_err(),

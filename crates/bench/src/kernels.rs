@@ -7,7 +7,10 @@
 //! the per-worker-evaluator FILTER — on the single-core CI container the
 //! parallel rows only prove correctness and bound scheduling overhead;
 //! measure speedups on real hardware), the pooled gather path against
-//! cold-pool gathers (`pooled_gather_*`), and the
+//! cold-pool gathers (`pooled_gather_*`), the morsel-parallel two-phase
+//! aggregation breaker against the row-at-a-time reference
+//! (`agg_groupby_*`), the streaming DISTINCT stage against the
+//! materialise-then-dedup oracle (`distinct_stream_*`), and the
 //! parallel six-order store build against a serial rebuild. Results render
 //! as a text table and as machine-readable JSON (`BENCH_ops.json`), so the
 //! performance trajectory of the hot paths is diffable across PRs.
@@ -180,6 +183,8 @@ pub fn measure_kernels() -> Vec<KernelResult> {
     measure_parallel_filter(&mut results, runs);
     measure_pipeline_chain(&mut results, runs);
     measure_pipeline_optional(&mut results, runs);
+    measure_aggregate_groupby(&mut results, runs);
+    measure_distinct_stream(&mut results, runs);
     measure_governed_chain(&mut results, runs);
     results
 }
@@ -581,6 +586,189 @@ fn measure_pipeline_optional(results: &mut Vec<KernelResult>, runs: usize) {
             optimized_ns,
         });
     }
+}
+
+/// `agg_groupby_100k_t*`: γ over a 100k-row dept ⋈ salary join — COUNT(*),
+/// SUM, MIN, MAX, AVG grouped into 64 departments — executed as the
+/// morsel-parallel two-phase breaker (per-worker partial grouped states,
+/// morsel-order merge) against the operator-at-a-time oracle, which runs
+/// the row-at-a-time `reference::hash_aggregate`. Identity is asserted
+/// before anything is timed: the output *table* and the computed-term
+/// overlay (aggregate output ids are positional, so a divergent intern
+/// order corrupts results even when the values agree), plus the
+/// `aggregate_groups` counter and — at t>1 — a live `parallel_aggregates`
+/// counter proving the parallel fold actually engaged.
+fn measure_aggregate_groupby(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig, ExecStrategy, PhysicalPlan};
+    use hsp_sparql::{AggFunc, AggSpec, TermOrVar, TriplePattern};
+
+    const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    let n = 100_000usize;
+    let groups = 64usize;
+    let mut doc = String::with_capacity(n * 110);
+    for i in 0..n {
+        doc.push_str(&format!(
+            "<http://e/s{i}> <http://e/dept> <http://e/d{}> .\n\
+             <http://e/s{i}> <http://e/salary> \"{}\"^^<{XSD_INTEGER}> .\n",
+            i % groups,
+            i % 100
+        ));
+    }
+    let ds = hsp_store::Dataset::from_ntriples(&doc).expect("bench dataset parses");
+    let scan = |idx: usize, p: &str, s: u32, o: u32| PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern: TriplePattern::new(
+            TermOrVar::Var(Var(s)),
+            TermOrVar::Const(hsp_rdf::Term::iri(format!("http://e/{p}"))),
+            TermOrVar::Var(Var(o)),
+        ),
+        order: Order::Pso,
+    };
+    let agg = |func: AggFunc, arg: Option<Var>, out: u32, name: &str| AggSpec {
+        func,
+        distinct: false,
+        arg,
+        out: Var(out),
+        name: name.to_string(),
+    };
+    let aggs = vec![
+        agg(AggFunc::Count, None, 3, "n"),
+        agg(AggFunc::Sum, Some(Var(2)), 4, "t"),
+        agg(AggFunc::Min, Some(Var(2)), 5, "lo"),
+        agg(AggFunc::Max, Some(Var(2)), 6, "hi"),
+        agg(AggFunc::Avg, Some(Var(2)), 7, "a"),
+    ];
+    let mut projection: Vec<(String, Var)> = vec![("d".into(), Var(1))];
+    projection.extend(aggs.iter().map(|a| (a.name.clone(), a.out)));
+    let plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(scan(0, "dept", 0, 1)),
+                right: Box::new(scan(1, "salary", 0, 2)),
+                vars: vec![Var(0)],
+            }),
+            group_by: vec![Var(1)],
+            aggs,
+            having: None,
+        }),
+        projection,
+        distinct: false,
+    };
+
+    let oracle_config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
+    let expected = execute(&plan, &ds, &oracle_config).expect("oracle runs");
+    assert_eq!(
+        expected.table.len(),
+        groups,
+        "one output row per department"
+    );
+
+    for t in bench_thread_counts() {
+        let pipeline_config = ExecConfig::unlimited().with_threads(t);
+        let oracle_t = ExecConfig {
+            threads: Some(t),
+            ..oracle_config.clone()
+        };
+        let out = execute(&plan, &ds, &pipeline_config).expect("pipeline runs");
+        assert_eq!(
+            out.table, expected.table,
+            "aggregate breaker (t={t}) diverges from the oracle"
+        );
+        assert_eq!(
+            out.computed, expected.computed,
+            "computed-term overlay (t={t}) diverges from the oracle"
+        );
+        assert_eq!(out.runtime.aggregate_groups, groups, "group count (t={t})");
+        if t > 1 {
+            assert!(
+                out.runtime.parallel_aggregates > 0,
+                "the parallel fold must engage at t={t}"
+            );
+        }
+        let (baseline_ns, optimized_ns) = median_ns_pair(
+            runs,
+            || execute(&plan, &ds, &oracle_t),
+            || execute(&plan, &ds, &pipeline_config),
+        );
+        results.push(KernelResult {
+            name: format!("agg_groupby_100k_t{t}"),
+            baseline_ns,
+            optimized_ns,
+        });
+    }
+}
+
+/// `distinct_stream_100k_t1`: SELECT DISTINCT over a 100k-row join chain
+/// (500 distinct values survive), executed by the pipeline executor —
+/// where the chain-topping DISTINCT runs as a *streaming* two-phase dedup
+/// stage, so neither the probe-side scan nor the join output nor the
+/// un-deduped projection ever materialises — against the
+/// operator-at-a-time oracle, which materialises all three. Identity, a
+/// live `distinct_streamed` counter, and strictly positive
+/// `pipeline_rows_avoided` are asserted before anything is timed.
+fn measure_distinct_stream(results: &mut Vec<KernelResult>, runs: usize) {
+    use hsp_engine::{execute, ExecConfig, ExecStrategy, PhysicalPlan};
+    use hsp_sparql::{TermOrVar, TriplePattern};
+
+    let n = 100_000usize;
+    let mut doc = String::with_capacity(n * 90);
+    for i in 0..n {
+        doc.push_str(&format!(
+            "<http://e/a{i}> <http://e/p0> <http://e/b{i}> .\n\
+             <http://e/b{i}> <http://e/val> \"{}\" .\n",
+            i % 500
+        ));
+    }
+    let ds = hsp_store::Dataset::from_ntriples(&doc).expect("bench dataset parses");
+    let scan = |idx: usize, s: u32, p: &str, o: u32| PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern: TriplePattern::new(
+            TermOrVar::Var(Var(s)),
+            TermOrVar::Const(hsp_rdf::Term::iri(format!("http://e/{p}"))),
+            TermOrVar::Var(Var(o)),
+        ),
+        order: Order::Pso,
+    };
+    let plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::HashJoin {
+            left: Box::new(scan(0, 0, "p0", 1)),
+            right: Box::new(scan(1, 1, "val", 2)),
+            vars: vec![Var(1)],
+        }),
+        projection: vec![("v".into(), Var(2))],
+        distinct: true,
+    };
+
+    let oracle_config = ExecConfig::unlimited()
+        .with_strategy(ExecStrategy::OperatorAtATime)
+        .with_threads(1);
+    let expected = execute(&plan, &ds, &oracle_config).expect("oracle runs");
+    assert_eq!(expected.table.len(), 500, "500 distinct values survive");
+
+    let pipeline_config = ExecConfig::unlimited().with_threads(1);
+    let out = execute(&plan, &ds, &pipeline_config).expect("pipeline runs");
+    assert_eq!(
+        out.table, expected.table,
+        "streaming DISTINCT diverges from the oracle"
+    );
+    assert!(
+        out.runtime.distinct_streamed > 0,
+        "DISTINCT must stream, not materialise"
+    );
+    assert!(
+        out.runtime.pipeline_rows_avoided > 0,
+        "the chain under DISTINCT must not materialise"
+    );
+    let (baseline_ns, optimized_ns) = median_ns_pair(
+        runs,
+        || execute(&plan, &ds, &oracle_config),
+        || execute(&plan, &ds, &pipeline_config),
+    );
+    results.push(KernelResult {
+        name: "distinct_stream_100k_t1".into(),
+        baseline_ns,
+        optimized_ns,
+    });
 }
 
 /// Human-readable report table.

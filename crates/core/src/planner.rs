@@ -179,12 +179,24 @@ impl HspPlanner {
 
         let joined = self.connect_components(components);
 
-        // Residual filters, then projection.
+        // Residual filters, then (for aggregate queries) the γ operator,
+        // then projection.
         let mut plan = joined;
         for f in &query.filters {
             plan = PhysicalPlan::Filter {
                 input: Box::new(plan),
                 expr: f.clone(),
+            };
+        }
+        if query.is_aggregate() {
+            // Grouped aggregation sits between the residual filters (which
+            // see raw solutions) and the projection (which sees one row
+            // per group: the group keys plus the aggregate outputs).
+            plan = PhysicalPlan::HashAggregate {
+                input: Box::new(plan),
+                group_by: query.group_by.clone(),
+                aggs: query.aggregates.clone(),
+                having: query.having.clone(),
             };
         }
         let plan = PhysicalPlan::Project {
@@ -658,6 +670,9 @@ mod tests {
             distinct: false,
             var_names: vec![],
             modifiers: Default::default(),
+            group_by: vec![],
+            aggregates: vec![],
+            having: None,
         };
         assert_eq!(planner.plan(&q).unwrap_err(), HspError::EmptyQuery);
     }

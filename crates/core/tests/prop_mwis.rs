@@ -83,6 +83,9 @@ fn arb_join_query() -> impl Strategy<Value = JoinQuery> {
             distinct: false,
             var_names: names,
             modifiers: Default::default(),
+            group_by: vec![],
+            aggregates: vec![],
+            having: None,
         }
     })
 }

@@ -141,7 +141,9 @@ fn accumulate(plan: &PhysicalPlan, profile: &Profile, cost: &mut PlanCost) {
         PhysicalPlan::Sort { input, .. }
         | PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
-        // Solution modifiers are outside the paper's Table-3 join cost model.
+        // Aggregation and solution modifiers are outside the paper's
+        // Table-3 join cost model.
+        | PhysicalPlan::HashAggregate { input, .. }
         | PhysicalPlan::OrderBy { input, .. }
         | PhysicalPlan::Slice { input, .. } => {
             accumulate(input, &profile.children[0], cost);

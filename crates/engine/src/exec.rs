@@ -14,6 +14,7 @@ use hsp_rdf::TermId;
 use hsp_sparql::Var;
 use hsp_store::Dataset;
 
+use crate::aggregate::AggError;
 use crate::binding::BindingTable;
 use crate::govern::{CancelToken, GovernorError, QueryGovernor};
 use crate::metrics::RuntimeMetrics;
@@ -224,6 +225,9 @@ pub enum ExecError {
         /// The checkpoint site whose work panicked.
         site: &'static str,
     },
+    /// An aggregate could not be evaluated — `SUM`/`AVG` over a value
+    /// outside the numeric promotion ladder (IRI, plain string, …).
+    Aggregate(AggError),
 }
 
 impl fmt::Display for ExecError {
@@ -252,6 +256,7 @@ impl fmt::Display for ExecError {
             ExecError::WorkerPanicked { site } => {
                 write!(f, "{}", GovernorError::WorkerPanicked { site })
             }
+            ExecError::Aggregate(e) => write!(f, "{e}"),
         }
     }
 }
@@ -261,6 +266,12 @@ impl std::error::Error for ExecError {}
 impl From<PlanError> for ExecError {
     fn from(e: PlanError) -> Self {
         ExecError::InvalidPlan(e)
+    }
+}
+
+impl From<AggError> for ExecError {
+    fn from(e: AggError) -> Self {
+        ExecError::Aggregate(e)
     }
 }
 
@@ -324,6 +335,28 @@ pub struct ExecOutput {
     pub profile: Profile,
     /// Morsel/pool runtime counters for the whole execution.
     pub runtime: RuntimeMetrics,
+    /// Snapshot of the computed-term overlay (aggregate outputs), indexed
+    /// by `id -` [`COMPUTED_BASE`](crate::pool::COMPUTED_BASE). Empty for
+    /// non-aggregate plans. Lets results outlive the [`ExecContext`] that
+    /// interned them — resolve ids through [`ExecOutput::term`].
+    pub computed: Vec<hsp_rdf::Term>,
+}
+
+impl ExecOutput {
+    /// Resolve a result id to a term: dictionary ids through `ds`,
+    /// computed (aggregate) ids through this execution's overlay snapshot.
+    /// `None` for the unbound sentinel.
+    pub fn term(&self, ds: &Dataset, id: TermId) -> Option<hsp_rdf::Term> {
+        if id.is_unbound() {
+            None
+        } else if crate::pool::is_computed(id) {
+            self.computed
+                .get((id.0 - crate::pool::COMPUTED_BASE) as usize)
+                .cloned()
+        } else {
+            Some(ds.dict().term(id).clone())
+        }
+    }
 }
 
 /// Validate and execute `plan` against `ds`.
@@ -367,6 +400,7 @@ pub fn execute_in(
         table,
         profile,
         runtime: RuntimeMetrics::of(ctx),
+        computed: ctx.computed_overlay(),
     })
 }
 
@@ -407,6 +441,20 @@ pub(crate) fn plan_label(plan: &PhysicalPlan) -> String {
             } else {
                 format!("project({})", names.join(","))
             }
+        }
+        PhysicalPlan::HashAggregate {
+            group_by,
+            aggs,
+            having,
+            ..
+        } => {
+            let keys: Vec<String> = group_by.iter().map(|v| v.to_string()).collect();
+            let specs: Vec<String> = aggs.iter().map(crate::aggregate::describe).collect();
+            let mut label = format!("hashaggregate({}; {})", keys.join(","), specs.join(","));
+            if having.is_some() {
+                label.push_str("+having");
+            }
+            label
         }
         PhysicalPlan::OrderBy { keys, .. } => format!("orderby({} keys)", keys.len()),
         PhysicalPlan::Slice { offset, limit, .. } => match limit {
@@ -601,6 +649,20 @@ fn run(
             let start = Instant::now();
             let table = ops::project_in(ctx, &it, projection, *distinct);
             ctx.recycle(it);
+            finish(table, plan_label(plan), start, vec![ip], config, ctx)
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            let (it, ip) = run(input, ds, config, ctx, domains)?;
+            let start = Instant::now();
+            let result =
+                crate::reference::hash_aggregate(ctx, ds, &it, group_by, aggs, having.as_ref());
+            ctx.recycle(it);
+            let table = result?;
             finish(table, plan_label(plan), start, vec![ip], config, ctx)
         }
         PhysicalPlan::OrderBy { input, keys } => {

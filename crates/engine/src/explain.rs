@@ -144,6 +144,24 @@ fn render(
                 out,
             );
         }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            out.push_str(&format!(
+                "{indent}{}{cards}\n",
+                describe_aggregate(group_by, aggs, having.is_some(), query)
+            ));
+            render(
+                input,
+                profile.map(|p| &p.children[0]),
+                query,
+                depth + 1,
+                out,
+            );
+        }
         PhysicalPlan::OrderBy { input, keys } => {
             let rendered: Vec<String> = keys
                 .iter()
@@ -183,6 +201,35 @@ fn render(
             );
         }
     }
+}
+
+/// The γ (grouping) line of an aggregate node: group keys, then the
+/// aggregate specs with their output aliases, plus a `HAVING` marker.
+pub(crate) fn describe_aggregate(
+    group_by: &[Var],
+    aggs: &[hsp_sparql::AggSpec],
+    having: bool,
+    query: &JoinQuery,
+) -> String {
+    let keys: Vec<String> = group_by
+        .iter()
+        .map(|v| format!("?{}", query.var_name(*v)))
+        .collect();
+    let specs: Vec<String> = aggs
+        .iter()
+        .map(|a| {
+            let distinct = if a.distinct { "DISTINCT " } else { "" };
+            let arg = a
+                .arg
+                .map_or("*".to_string(), |v| format!("?{}", query.var_name(v)));
+            format!("{}({distinct}{arg}) AS ?{}", a.func.name(), a.name)
+        })
+        .collect();
+    let mut line = format!("γ{{{}}} {}", keys.join(","), specs.join(", "));
+    if having {
+        line.push_str(" HAVING");
+    }
+    line
 }
 
 /// Describe a pattern like the paper's figures: `p = locatedIn` under a
@@ -404,6 +451,12 @@ fn dot_node(
                 names.join(",")
             )
         }
+        PhysicalPlan::HashAggregate {
+            group_by,
+            aggs,
+            having,
+            ..
+        } => describe_aggregate(group_by, aggs, having.is_some(), query),
         PhysicalPlan::OrderBy { keys, .. } => format!("order by ({} keys)", keys.len()),
         PhysicalPlan::Slice { offset, limit, .. } => {
             format!(
@@ -432,6 +485,7 @@ fn dot_node(
         PhysicalPlan::Sort { input, .. }
         | PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
         | PhysicalPlan::OrderBy { input, .. }
         | PhysicalPlan::Slice { input, .. } => {
             vec![(input.as_ref(), profile.map(|p| &p.children[0]))]

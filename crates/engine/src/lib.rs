@@ -92,6 +92,11 @@
 //! * [`ops`] — the vectorized operators: scan-select, merge join, hash
 //!   join, cross product, filter, projection, distinct. Each has a `*_in`
 //!   variant taking an [`pool::ExecContext`].
+//! * [`aggregate`] — the morsel-parallel two-phase γ: per-morsel grouped
+//!   fold, morsel-order merge (first-seen group order is deterministic at
+//!   any thread count), row-major finalisation into the computed-term
+//!   overlay, and overlay-aware `HAVING`. `reference::hash_aggregate` is
+//!   its row-at-a-time differential oracle.
 //! * [`pipeline`] — lower-then-run: plans become a DAG of breaker-free
 //!   pipelines (scan → filter / inner-or-outer probe / plain-projection
 //!   stages → sink) separated by explicit breakers; pipelines run
@@ -110,6 +115,7 @@
 //! * [`explain`] — plan rendering with per-operator cardinalities, the
 //!   format of the paper's Figures 2 and 3.
 
+pub mod aggregate;
 pub mod binding;
 pub mod cost;
 pub mod exec;
@@ -124,6 +130,7 @@ pub mod plan;
 pub mod pool;
 pub mod reference;
 
+pub use aggregate::AggError;
 pub use binding::BindingTable;
 pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, ExecStrategy, Profile};
 pub use govern::{CancelToken, GovernorError, QueryGovernor};

@@ -47,6 +47,15 @@ pub struct RuntimeMetrics {
     /// instead of materialising between operators — the rows the
     /// operator-at-a-time evaluator would have written and re-read.
     pub pipeline_rows_avoided: usize,
+    /// Hash aggregations (γ breakers) whose partial fold ran
+    /// morsel-parallel (thread-local partials merged in morsel order).
+    pub parallel_aggregates: usize,
+    /// Groups finalised by hash aggregations (parallel or sequential).
+    pub aggregate_groups: usize,
+    /// DISTINCTs deduplicated as streaming pipeline stages (morsel-local
+    /// pre-dedup + one sink first-occurrence pass) instead of
+    /// materialising breakers.
+    pub distinct_streamed: usize,
     /// The execution's thread budget.
     pub threads: usize,
     /// Buffer-pool checkouts served from the free lists.
@@ -81,6 +90,9 @@ impl RuntimeMetrics {
             pipeline_outer_probes: ctx.pipeline_outer_probes(),
             breaker_handoffs: ctx.breaker_handoffs(),
             pipeline_rows_avoided: ctx.pipeline_rows_avoided(),
+            parallel_aggregates: ctx.parallel_aggregates(),
+            aggregate_groups: ctx.aggregate_groups(),
+            distinct_streamed: ctx.distinct_streamed(),
             threads: ctx.morsel.threads(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
@@ -178,6 +190,7 @@ fn is_leafish(plan: &PhysicalPlan) -> bool {
         | PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::OrderBy { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
         | PhysicalPlan::Slice { input, .. } => is_leafish(input),
         _ => false,
     }
@@ -286,6 +299,7 @@ fn strip_unary(plan: &PhysicalPlan) -> &PhysicalPlan {
         | PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::OrderBy { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
         | PhysicalPlan::Slice { input, .. } => strip_unary(input),
         other => other,
     }

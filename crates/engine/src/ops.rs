@@ -798,12 +798,17 @@ pub fn order_by_in(
     use hsp_sparql::expr::compare_for_order;
     check_indexable(input);
 
+    // Snapshot the computed-term overlay once: aggregate outputs above
+    // this ORDER BY may carry computed ids, and the snapshot (unlike the
+    // `ExecContext`) is shareable with the parallel decorate workers.
+    let overlay = ctx.computed_overlay();
     // Evaluate every key for every row once (decorate-sort-undecorate).
     let decorate = |range: std::ops::Range<usize>, evaluator: &hsp_sparql::Evaluator| {
         range
             .map(|i| {
                 let bindings = RowBindings {
                     ds,
+                    overlay: &overlay,
                     table: input,
                     row: i,
                 };
@@ -959,7 +964,7 @@ pub fn project_in(
 /// Rows of one or two columns deduplicate through a packed-`u64` Fx hash
 /// set; wider rows go through a sort index and keep each equal group's
 /// smallest original index — neither path allocates per row.
-fn distinct_first_occurrences(cols: &[&[TermId]], rows: usize) -> Vec<u32> {
+pub(crate) fn distinct_first_occurrences(cols: &[&[TermId]], rows: usize) -> Vec<u32> {
     let mut sel: Vec<u32> = Vec::new();
     match cols {
         // invariant: the caller routes empty projections through the
@@ -1072,7 +1077,14 @@ pub(crate) fn eval_expr<V: RowValues>(
             compare(ds, *op, l, r)
         }
         FilterExpr::Complex(e) => {
-            let bindings = RowBindings { ds, table, row };
+            // Filters sit below aggregation in planned trees, so their rows
+            // never carry computed ids — no overlay needed here.
+            let bindings = RowBindings {
+                ds,
+                overlay: &[],
+                table,
+                row,
+            };
             evaluator.matches(e, &bindings)
         }
     }
@@ -1080,9 +1092,14 @@ pub(crate) fn eval_expr<V: RowValues>(
 
 /// [`hsp_sparql::Bindings`] over one row of a dictionary-encoded row view:
 /// decodes ids back to terms on demand; the UNBOUND sentinel (and a
-/// variable missing from the view entirely) reads as unbound.
+/// variable missing from the view entirely) reads as unbound. `overlay`
+/// is a snapshot of the execution's computed-term overlay (aggregate
+/// outputs like an `AVG` that is not in the dictionary) — a plain slice
+/// rather than the `ExecContext` so the parallel ORDER BY workers can
+/// share it.
 struct RowBindings<'a, V> {
     ds: &'a Dataset,
+    overlay: &'a [Term],
     table: &'a V,
     row: usize,
 }
@@ -1092,6 +1109,10 @@ impl<V: RowValues> hsp_sparql::Bindings for RowBindings<'_, V> {
         let id = self.table.row_value(v, self.row);
         if id.is_unbound() {
             None
+        } else if crate::pool::is_computed(id) {
+            self.overlay
+                .get((id.0 - crate::pool::COMPUTED_BASE) as usize)
+                .cloned()
         } else {
             Some(self.ds.dict().term(id).clone())
         }

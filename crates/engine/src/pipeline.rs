@@ -19,8 +19,14 @@
 //!   the single materialisation point. Everything that must see its whole
 //!   input before emitting a row is a *breaker* and becomes its own step:
 //!   the hash-join **build** side, merge join (both sorted inputs), cross
-//!   product, the sort order-enforcer, ORDER BY, DISTINCT, and
-//!   LIMIT/OFFSET.
+//!   product, the sort order-enforcer, ORDER BY, grouped aggregation
+//!   (the morsel-parallel two-phase γ of [`crate::aggregate`]), and
+//!   LIMIT/OFFSET. DISTINCT, once a breaker, now **streams**: each
+//!   morsel dedups its projected rows locally, and the sink finishes
+//!   with one global first-occurrence pass over the gathered output —
+//!   order-preserving, so the result is byte-identical to the global
+//!   dedup (a DISTINCT that is *not* the top of its chain still
+//!   materialises, since later stages must see the deduped rows).
 //! * **Breaker hand-off**: a breaker whose output slot is consumed by
 //!   exactly one pipeline *source* is *handed off* — the materialised
 //!   table moves straight into that pipeline (counted as
@@ -54,7 +60,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use hsp_rdf::{IdTriple, TermId};
-use hsp_sparql::{FilterExpr, TriplePattern, Var};
+use hsp_sparql::{AggSpec, FilterExpr, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
 
 use crate::binding::BindingTable;
@@ -132,6 +138,15 @@ enum BreakerOp<'p> {
         input: SlotId,
         keys: &'p [hsp_sparql::SortKey],
     },
+    /// Grouped aggregation (γ): the morsel-parallel two-phase fold of
+    /// [`crate::aggregate`] — per-morsel partials merged in morsel order
+    /// behind the barrier, then finalised into one row per group.
+    HashAggregate {
+        input: SlotId,
+        group_by: &'p [Var],
+        aggs: &'p [AggSpec],
+        having: Option<&'p hsp_sparql::Expr>,
+    },
     Slice {
         input: SlotId,
         offset: usize,
@@ -175,6 +190,14 @@ enum StageSpec<'p> {
         node: NodeId,
         projection: &'p [(String, Var)],
     },
+    /// DISTINCT projection at the top of its chain: narrows the layout
+    /// like `Project`, dedups each morsel locally, and the sink finishes
+    /// with one global first-occurrence pass — the two-phase streaming
+    /// dedup.
+    Distinct {
+        node: NodeId,
+        projection: &'p [(String, Var)],
+    },
 }
 
 /// Lower a validated plan into a [`Program`].
@@ -190,7 +213,7 @@ pub fn lower(plan: &PhysicalPlan) -> Program<'_> {
         steps: Vec::new(),
         slot_count: 0,
     };
-    let chain = lowerer.chain(plan);
+    let chain = lowerer.chain(plan, true);
     let root = lowerer.seal(chain);
 
     // Single-consumer hand-off analysis: a slot consumed exactly once, by
@@ -209,6 +232,7 @@ pub fn lower(plan: &PhysicalPlan) -> Program<'_> {
                 BreakerOp::Sort { input, .. }
                 | BreakerOp::Project { input, .. }
                 | BreakerOp::OrderBy { input, .. }
+                | BreakerOp::HashAggregate { input, .. }
                 | BreakerOp::Slice { input, .. } => consumers[*input] += 1,
             },
             Step::Pipeline(p) => {
@@ -273,17 +297,20 @@ impl<'p> Lowerer<'p, '_> {
     /// sub-plan that must materialise (the classification is
     /// [`PhysicalPlan::is_pipeline_breaker`]; the match below must agree
     /// with it).
-    fn chain(&mut self, plan: &'p PhysicalPlan) -> Chain<'p> {
+    ///
+    /// `last` is true when the caller will append no further stages to the
+    /// returned chain — the condition under which a DISTINCT projection may
+    /// stream (dedup per morsel, global pass at the sink) instead of
+    /// materialising: nothing downstream in the same chain ever observes
+    /// the not-yet-globally-deduped rows.
+    fn chain(&mut self, plan: &'p PhysicalPlan, last: bool) -> Chain<'p> {
         debug_assert_eq!(
             plan.is_pipeline_breaker(),
             !matches!(
                 plan,
                 PhysicalPlan::Scan { .. }
                     | PhysicalPlan::Filter { .. }
-                    | PhysicalPlan::Project {
-                        distinct: false,
-                        ..
-                    }
+                    | PhysicalPlan::Project { .. }
             ),
             "lowering must agree with the breaker classification"
         );
@@ -316,7 +343,7 @@ impl<'p> Lowerer<'p, '_> {
                 }
             }
             PhysicalPlan::Filter { input, expr } => {
-                let mut chain = self.chain(input);
+                let mut chain = self.chain(input, false);
                 chain.stages.push(StageSpec::Filter { node, expr });
                 chain
             }
@@ -324,7 +351,7 @@ impl<'p> Lowerer<'p, '_> {
                 // The build side is the breaker: seal it, then keep
                 // streaming the probe side through a probe stage.
                 let build = self.seal_subplan(right);
-                let mut chain = self.chain(left);
+                let mut chain = self.chain(left, false);
                 chain.stages.push(StageSpec::Probe {
                     node,
                     build,
@@ -340,7 +367,7 @@ impl<'p> Lowerer<'p, '_> {
                 // unmatched probe row, so per-morsel outputs still stitch
                 // deterministically.
                 let build = self.seal_subplan(right);
-                let mut chain = self.chain(left);
+                let mut chain = self.chain(left, false);
                 chain.stages.push(StageSpec::Probe {
                     node,
                     build,
@@ -393,8 +420,11 @@ impl<'p> Lowerer<'p, '_> {
                 projection,
                 distinct,
             } => {
-                if *distinct {
-                    // DISTINCT dedups globally: a breaker, as before.
+                if *distinct && !last {
+                    // A DISTINCT feeding further stages in the same chain
+                    // must dedup globally *before* they see rows:
+                    // materialise it. (Planned trees never produce this
+                    // shape — DISTINCT sits at the top of its chain.)
                     let i = self.seal_subplan(input);
                     let slot = self.push_breaker(
                         node,
@@ -408,12 +438,21 @@ impl<'p> Lowerer<'p, '_> {
                         source: SourceSpec::Slot(slot),
                         stages: Vec::new(),
                     }
+                } else if *distinct {
+                    // Streaming DISTINCT: narrow the layout and dedup each
+                    // morsel locally; the sink finishes with one global
+                    // first-occurrence pass. Order-preserving at both
+                    // phases, so the output is byte-identical to the old
+                    // materialising breaker.
+                    let mut chain = self.chain(input, false);
+                    chain.stages.push(StageSpec::Distinct { node, projection });
+                    chain
                 } else {
                     // Plain projection is a layout change, not row work:
                     // fold it into the chain so the sink gathers only the
                     // projected columns and the pre-projection width is
                     // never materialised.
-                    let mut chain = self.chain(input);
+                    let mut chain = self.chain(input, false);
                     chain.stages.push(StageSpec::Project { node, projection });
                     chain
                 }
@@ -421,6 +460,27 @@ impl<'p> Lowerer<'p, '_> {
             PhysicalPlan::OrderBy { input, keys } => {
                 let i = self.seal_subplan(input);
                 let slot = self.push_breaker(node, BreakerOp::OrderBy { input: i, keys });
+                Chain {
+                    source: SourceSpec::Slot(slot),
+                    stages: Vec::new(),
+                }
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => {
+                let i = self.seal_subplan(input);
+                let slot = self.push_breaker(
+                    node,
+                    BreakerOp::HashAggregate {
+                        input: i,
+                        group_by,
+                        aggs,
+                        having: having.as_ref(),
+                    },
+                );
                 Chain {
                     source: SourceSpec::Slot(slot),
                     stages: Vec::new(),
@@ -449,7 +509,9 @@ impl<'p> Lowerer<'p, '_> {
     }
 
     fn seal_subplan(&mut self, plan: &'p PhysicalPlan) -> SlotId {
-        let chain = self.chain(plan);
+        // A sealed sub-plan is the whole chain: nothing is appended above
+        // it, so a DISTINCT at its top may stream (`last == true`).
+        let chain = self.chain(plan, true);
         self.seal(chain)
     }
 
@@ -533,7 +595,7 @@ impl Program<'_> {
                 Step::Breaker { node, out, op } => {
                     let start = Instant::now();
                     let (table, consumed) = match ctx.governor() {
-                        None => run_breaker(op, ds, ctx, slots),
+                        None => run_breaker(op, ds, ctx, slots)?,
                         Some(gov) => {
                             // A Cartesian product's output size is known
                             // exactly up front: refuse it *before*
@@ -555,11 +617,11 @@ impl Program<'_> {
                             // an injected `panic@breaker` fault takes the
                             // same recovery path as a real kernel panic.
                             match catch_unwind(AssertUnwindSafe(|| {
-                                gov.check("breaker")
-                                    .map(|()| run_breaker(op, ds, ctx, slots))
+                                gov.check("breaker")?;
+                                run_breaker(op, ds, ctx, slots)
                             })) {
                                 Ok(Ok(x)) => x,
-                                Ok(Err(e)) => return Err(e.into()),
+                                Ok(Err(e)) => return Err(e),
                                 Err(_) => return Err(gov.note_panic("breaker").into()),
                             }
                         }
@@ -617,6 +679,7 @@ impl Program<'_> {
             | PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::OrderBy { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
             | PhysicalPlan::Slice { input, .. } => vec![self.build_profile(input, rows, nanos)],
         };
         Profile {
@@ -679,6 +742,20 @@ impl Program<'_> {
                         BreakerOp::OrderBy { input, keys } => {
                             format!("order by ({} keys) (s{input})", keys.len())
                         }
+                        BreakerOp::HashAggregate {
+                            input,
+                            group_by,
+                            aggs,
+                            having,
+                        } => format!(
+                            "{} (s{input})",
+                            crate::explain::describe_aggregate(
+                                group_by,
+                                aggs,
+                                having.is_some(),
+                                query
+                            )
+                        ),
                         BreakerOp::Slice {
                             input,
                             offset,
@@ -724,6 +801,11 @@ impl Program<'_> {
                                     projection.iter().map(|(n, _)| format!("?{n}")).collect();
                                 let _ = write!(line, " → π {}", names.join(","));
                             }
+                            StageSpec::Distinct { projection, .. } => {
+                                let names: Vec<String> =
+                                    projection.iter().map(|(n, _)| format!("?{n}")).collect();
+                                let _ = write!(line, " → π-distinct {}", names.join(","));
+                            }
                         }
                     }
                     line.push_str(" → sink\n");
@@ -737,18 +819,21 @@ impl Program<'_> {
 }
 
 /// Run one breaker op over materialised slots; returns the output table
-/// plus the consumed input tables (for recycling).
+/// plus the consumed input tables (for recycling). The only fallible op
+/// is the γ aggregate (morsel-claim checkpoints, memory budget, typed
+/// aggregate evaluation errors); on error the consumed inputs have
+/// already been recycled.
 fn run_breaker(
     op: &BreakerOp<'_>,
     ds: &Dataset,
     ctx: &ExecContext,
     slots: &mut [Option<BindingTable>],
-) -> (BindingTable, Vec<BindingTable>) {
+) -> Result<(BindingTable, Vec<BindingTable>), ExecError> {
     let mut take = |slot: SlotId| -> BindingTable {
         // invariant: topological step order (see `Program::run`).
         slots[slot].take().expect("input slot filled before use")
     };
-    match op {
+    Ok(match op {
         BreakerOp::Scan { pattern, order } => (ops::scan_in(ctx, ds, pattern, *order), Vec::new()),
         BreakerOp::MergeJoin { left, right, var } => {
             let (l, r) = (take(*left), take(*right));
@@ -774,6 +859,21 @@ fn run_breaker(
             let i = take(*input);
             (ops::order_by_in(ctx, ds, &i, keys), vec![i])
         }
+        BreakerOp::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            let i = take(*input);
+            match run_aggregate(ds, ctx, &i, group_by, aggs, *having) {
+                Ok(table) => (table, vec![i]),
+                Err(e) => {
+                    ctx.recycle(i);
+                    return Err(e);
+                }
+            }
+        }
         BreakerOp::Slice {
             input,
             offset,
@@ -782,7 +882,39 @@ fn run_breaker(
             let i = take(*input);
             (ops::slice_in(ctx, &i, *offset, *limit), vec![i])
         }
-    }
+    })
+}
+
+/// The γ breaker: phase one folds morsels of the input into thread-local
+/// [`crate::aggregate::AggPartial`]s on the worker pool (governor site
+/// `"aggregate"`); phase two merges the partials *in morsel order* behind
+/// the barrier and finalises one row per group — deterministic across
+/// thread budgets by construction (see [`crate::aggregate`]).
+fn run_aggregate(
+    ds: &Dataset,
+    ctx: &ExecContext,
+    input: &BindingTable,
+    group_by: &[Var],
+    aggs: &[AggSpec],
+    having: Option<&hsp_sparql::Expr>,
+) -> Result<BindingTable, ExecError> {
+    let (parts, run) = morsel::try_run_morsels(
+        input.len(),
+        &ctx.morsel,
+        ctx.governor(),
+        "aggregate",
+        |range| crate::aggregate::fold_range(input, ds, group_by, aggs, range),
+    )?;
+    let merged = crate::aggregate::merge_partials(parts, aggs);
+    // The grouped hash state is this operator's own materialisation:
+    // check it against the memory budget before finalising into columns.
+    ctx.reserve_check(merged.heap_bytes(), "aggregate")?;
+    ctx.note_aggregate(run, merged.groups());
+    let table = crate::aggregate::finalise(merged, ctx, ds, group_by, aggs)?;
+    Ok(match having {
+        Some(h) => crate::aggregate::apply_having(table, h, ctx, ds),
+        None => table,
+    })
 }
 
 /// How a pipeline stage reads one value of a composed row: either a key
@@ -830,6 +962,16 @@ enum PreparedStage<'a> {
     /// Plain projection: the layout change happened at prepare time; at
     /// run time the stage only reports its (unchanged) cardinality.
     Project { node: NodeId },
+    /// Streaming DISTINCT: the layout narrowed at prepare time (like
+    /// `Project`); per morsel the narrowed columns are gathered and
+    /// locally deduplicated (first occurrence wins). The cross-morsel
+    /// pass runs once at the sink, over the gathered output.
+    Distinct {
+        node: NodeId,
+        /// The narrowed layout's column references, in output order —
+        /// what the local dedup keys on.
+        refs: Vec<ColRef<'a>>,
+    },
 }
 
 /// Everything a morsel worker needs, borrowed for the pipeline run.
@@ -1030,7 +1172,9 @@ fn run_pipeline(
             StageSpec::Probe { build, .. } => {
                 Some(slots[*build].take().expect("build slot filled"))
             }
-            StageSpec::Filter { .. } | StageSpec::Project { .. } => None,
+            StageSpec::Filter { .. } | StageSpec::Project { .. } | StageSpec::Distinct { .. } => {
+                None
+            }
         })
         .collect();
 
@@ -1203,7 +1347,8 @@ fn run_pipeline(
         let node = match stage {
             PreparedStage::Filter { node, .. }
             | PreparedStage::Probe { node, .. }
-            | PreparedStage::Project { node } => *node,
+            | PreparedStage::Project { node }
+            | PreparedStage::Distinct { node, .. } => *node,
         };
         rows_by_node[node] = n;
     }
@@ -1232,7 +1377,8 @@ fn run_pipeline(
         Some(
             PreparedStage::Filter { node, .. }
             | PreparedStage::Probe { node, .. }
-            | PreparedStage::Project { node },
+            | PreparedStage::Project { node }
+            | PreparedStage::Distinct { node, .. },
         ) => *node,
         // invariant: `lower` never emits a stage-less pipeline — a bare
         // scan still carries its sink projection stage.
@@ -1262,6 +1408,10 @@ fn run_pipeline(
         })
         .collect();
     let sorted = prepared.sorted;
+    let distinct_node = prepared.stages.iter().find_map(|s| match s {
+        PreparedStage::Distinct { node, .. } => Some(*node),
+        _ => None,
+    });
     drop(prepared);
 
     // Sink. Fast path (hand-off move, `movable` decided at the stitch):
@@ -1330,6 +1480,41 @@ fn run_pipeline(
         let mut table = BindingTable::from_columns(vars, cols, None);
         table.set_sorted_by(sorted);
         table
+    };
+
+    // Global phase of a streaming DISTINCT: the morsels deduped locally,
+    // so only duplicates *spanning* morsels remain — one first-occurrence
+    // pass over the gathered output collapses them. Order-preserving at
+    // both phases, so the result is byte-identical to the sequential
+    // (materialising) dedup.
+    let table = match distinct_node {
+        None => table,
+        Some(node) => {
+            ctx.note_distinct_stream();
+            let deduped = if table.vars().is_empty() {
+                // Zero-column DISTINCT: at most one unit row overall.
+                let rows = table.len().min(1);
+                BindingTable::unit(rows)
+            } else {
+                let keep = {
+                    let cols: Vec<&[TermId]> =
+                        table.columns().iter().map(|c| c.as_slice()).collect();
+                    ops::distinct_first_occurrences(&cols, table.len())
+                };
+                if keep.len() == table.len() {
+                    table
+                } else {
+                    let mut out = table.gather_in(&keep, &ctx.pool);
+                    out.set_sorted_by(sorted);
+                    ctx.pool.recycle(table);
+                    out
+                }
+            };
+            // The stage's local counts overstated the operator's true
+            // output — report the globally deduped cardinality.
+            rows_by_node[node] = deduped.len();
+            deduped
+        }
     };
     for side in sides {
         ctx.pool.put_idx(side);
@@ -1537,22 +1722,17 @@ fn prepare<'a>(
                 // layout narrows to the projected variables (first
                 // occurrence wins for duplicated names, like
                 // `ops::project_in`), and the sink gathers only those.
-                let mut narrowed: Vec<(Var, ColRef<'a>)> = Vec::new();
-                for &(_, v) in projection.iter() {
-                    if !narrowed.iter().any(|&(lv, _)| lv == v) {
-                        let r = layout
-                            .iter()
-                            .find(|&&(lv, _)| lv == v)
-                            .map(|&(_, r)| r)
-                            // invariant: `PhysicalPlan::validate` requires
-                            // projected variables bound by the input.
-                            .expect("projected variable bound by the pipeline (validated)");
-                        narrowed.push((v, r));
-                    }
-                }
-                layout = narrowed;
+                layout = narrow_layout(&layout, projection);
                 sorted = sorted.filter(|v| layout.iter().any(|&(lv, _)| lv == *v));
                 stages.push(PreparedStage::Project { node: *node });
+            }
+            StageSpec::Distinct { node, projection } => {
+                // Same prepare-time narrowing as `Project`; the run-time
+                // stage dedups each morsel over exactly these columns.
+                layout = narrow_layout(&layout, projection);
+                sorted = sorted.filter(|v| layout.iter().any(|&(lv, _)| lv == *v));
+                let refs: Vec<ColRef<'a>> = layout.iter().map(|&(_, r)| r).collect();
+                stages.push(PreparedStage::Distinct { node: *node, refs });
             }
         }
     }
@@ -1566,6 +1746,29 @@ fn prepare<'a>(
         rows,
         sorted,
     }
+}
+
+/// Narrow a pipeline layout to a projection's variables, in projection
+/// order, first occurrence winning for duplicated names — exactly
+/// `ops::project_in`'s output layout.
+fn narrow_layout<'a>(
+    layout: &[(Var, ColRef<'a>)],
+    projection: &[(String, Var)],
+) -> Vec<(Var, ColRef<'a>)> {
+    let mut narrowed: Vec<(Var, ColRef<'a>)> = Vec::new();
+    for &(_, v) in projection {
+        if !narrowed.iter().any(|&(lv, _)| lv == v) {
+            let r = layout
+                .iter()
+                .find(|&&(lv, _)| lv == v)
+                .map(|&(_, r)| r)
+                // invariant: `PhysicalPlan::validate` requires projected
+                // variables bound by the input.
+                .expect("projected variable bound by the pipeline (validated)");
+            narrowed.push((v, r));
+        }
+    }
+    narrowed
 }
 
 /// Push one morsel of source rows through the whole stage chain,
@@ -1721,6 +1924,37 @@ fn process_morsel(
                 // Pure layout change: no row dropped, no side touched —
                 // the stage only reports its (unchanged) cardinality.
             }
+            PreparedStage::Distinct { refs, .. } => {
+                // Local phase of the streaming DISTINCT: keep this
+                // morsel's first occurrence of each projected-row value.
+                // The cross-morsel pass runs at the sink.
+                let n = rows_now;
+                let keep: Vec<u32> = if refs.is_empty() {
+                    // Zero-column DISTINCT (everything projects away): at
+                    // most one unit row survives per morsel.
+                    if n > 0 {
+                        vec![0]
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    let view = View {
+                        scan_rows: p.scan_rows,
+                        sides: &sides,
+                        ident,
+                    };
+                    let cols: Vec<Vec<TermId>> =
+                        refs.iter().map(|&r| view.gather(r, n, scratch)).collect();
+                    let col_slices: Vec<&[TermId]> = cols.iter().map(Vec::as_slice).collect();
+                    let keep = ops::distinct_first_occurrences(&col_slices, n);
+                    for col in cols {
+                        scratch.put_col(col);
+                    }
+                    keep
+                };
+                rows_now = keep.len();
+                apply_keep(&mut sides, &keep, n, &mut ident, scratch);
+            }
         }
         counts.push(rows_now);
     }
@@ -1779,9 +2013,20 @@ fn apply_keep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{execute, ExecConfig, ExecStrategy};
+    use crate::exec::{execute, execute_in, ExecConfig, ExecStrategy};
+    use crate::morsel::MorselConfig;
     use hsp_rdf::Term;
     use hsp_sparql::{CmpOp, Operand, TermOrVar};
+
+    /// A context that really splits unit-test-sized inputs across
+    /// `threads` workers (single-row morsels, no sequential threshold).
+    fn forced_ctx(threads: usize) -> ExecContext {
+        ExecContext::with_morsel_config(
+            MorselConfig::with_threads(threads)
+                .with_min_parallel_rows(0)
+                .with_morsel_rows(1),
+        )
+    }
 
     fn dataset() -> Dataset {
         Dataset::from_ntriples(
@@ -1902,14 +2147,14 @@ mod tests {
     #[test]
     fn breaker_only_plans_still_run() {
         let ds = dataset();
-        let plan = PhysicalPlan::Project {
+        let plan = PhysicalPlan::Slice {
             input: Box::new(PhysicalPlan::MergeJoin {
                 left: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
                 right: Box::new(scan(1, vv(0), cv("q"), vv(2), Order::Pso)),
                 var: Var(0),
             }),
-            projection: vec![("s".into(), Var(0))],
-            distinct: true,
+            offset: 0,
+            limit: Some(2),
         };
         let oracle = execute(
             &plan,
@@ -1923,6 +2168,94 @@ mod tests {
         assert_eq!(out.runtime.pipelines, 0);
         let program = lower(&plan);
         assert_eq!(program.pipeline_count(), 0);
+    }
+
+    #[test]
+    fn distinct_streams_at_chain_top_and_matches_oracle() {
+        let ds = dataset();
+        // SELECT DISTINCT ?o over ?s p ?o: two subjects share object b1.
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            projection: vec![("o".into(), Var(1))],
+            distinct: true,
+        };
+        let program = lower(&plan);
+        // Streams: one pipeline, no breaker at all.
+        assert_eq!(program.pipeline_count(), 1);
+        assert_eq!(program.steps.len(), 1);
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let out =
+                execute_in(&plan, &ds, &ExecConfig::unlimited(), &forced_ctx(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            assert!(out.runtime.distinct_streamed > 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn distinct_below_a_breaker_still_streams_in_its_subchain() {
+        let ds = dataset();
+        // LIMIT over DISTINCT: the Slice breaker seals the DISTINCT's
+        // chain, so nothing is appended above it and it still streams.
+        let plan = PhysicalPlan::Slice {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+                projection: vec![("o".into(), Var(1))],
+                distinct: true,
+            }),
+            offset: 0,
+            limit: Some(1),
+        };
+        let program = lower(&plan);
+        assert_eq!(program.pipeline_count(), 1);
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        let out = execute(&plan, &ds, &ExecConfig::unlimited()).unwrap();
+        assert_eq!(out.table, oracle.table);
+        assert!(out.runtime.distinct_streamed > 0);
+    }
+
+    #[test]
+    fn aggregate_breaker_matches_reference_at_all_thread_counts() {
+        let ds = dataset();
+        // γ{?s} COUNT(?o) over ?s p ?o.
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            group_by: vec![Var(0)],
+            aggs: vec![hsp_sparql::AggSpec {
+                func: hsp_sparql::AggFunc::Count,
+                arg: Some(Var(1)),
+                distinct: false,
+                out: Var(2),
+                name: "n".into(),
+            }],
+            having: None,
+        };
+        let oracle = execute(
+            &plan,
+            &ds,
+            &ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime),
+        )
+        .unwrap();
+        assert_eq!(oracle.table.len(), 2); // a1 → 2, a2 → 1
+        for threads in 1..=4 {
+            let out =
+                execute_in(&plan, &ds, &ExecConfig::unlimited(), &forced_ctx(threads)).unwrap();
+            assert_eq!(out.table, oracle.table, "threads={threads}");
+            assert_eq!(out.runtime.aggregate_groups, 2, "threads={threads}");
+            if threads > 1 {
+                assert!(out.runtime.parallel_aggregates > 0, "threads={threads}");
+            }
+        }
     }
 
     #[test]

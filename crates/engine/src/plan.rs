@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use hsp_sparql::{FilterExpr, TriplePattern, Var};
+use hsp_sparql::{AggSpec, FilterExpr, TriplePattern, Var};
 use hsp_store::Order;
 
 /// A physical execution plan.
@@ -93,6 +93,28 @@ pub enum PhysicalPlan {
         /// Deduplicate rows?
         distinct: bool,
     },
+    /// Grouped aggregation (`GROUP BY` + aggregate select items + optional
+    /// `HAVING`). Consumes its whole input, folds rows into a grouped hash
+    /// state, and emits one row per group: the group-key columns first (in
+    /// `group_by` order), then one column per aggregate output (in `aggs`
+    /// order). Group rows are emitted in **first-seen input order**, which
+    /// keeps the output deterministic across morsel parallelism (partial
+    /// states merge in morsel order). With `group_by` empty the node
+    /// computes one implicit all-rows group (which for an empty input still
+    /// yields a single row: `COUNT` = 0, `SUM` = 0, `MIN`/`MAX` unbound —
+    /// the SPARQL 1.1 §18.5 semantics).
+    HashAggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// `GROUP BY` variables, in source order (may be empty).
+        group_by: Vec<Var>,
+        /// Aggregate specifications, in SELECT order (hidden HAVING-only
+        /// aggregates trail the projected ones).
+        aggs: Vec<AggSpec>,
+        /// `HAVING` predicate, evaluated per finalised group row; group
+        /// rows where it does not evaluate to true are dropped.
+        having: Option<hsp_sparql::Expr>,
+    },
     /// `ORDER BY` over the final result — a solution modifier; planners
     /// wrap it around the projection via [`PhysicalPlan::with_modifiers`].
     OrderBy {
@@ -163,6 +185,15 @@ impl PhysicalPlan {
                 }
                 vars
             }
+            PhysicalPlan::HashAggregate { group_by, aggs, .. } => {
+                let mut vars = group_by.clone();
+                for a in aggs {
+                    if !vars.contains(&a.out) {
+                        vars.push(a.out);
+                    }
+                }
+                vars
+            }
             PhysicalPlan::OrderBy { input, .. } | PhysicalPlan::Slice { input, .. } => {
                 input.output_vars()
             }
@@ -195,6 +226,8 @@ impl PhysicalPlan {
             } => input
                 .sorted_by()
                 .filter(|v| projection.iter().any(|&(_, p)| p == *v)),
+            // Group rows come out in first-seen order, not TermId order.
+            PhysicalPlan::HashAggregate { .. } => None,
             // ORDER BY sorts by SPARQL value order, not TermId order.
             PhysicalPlan::OrderBy { .. } => None,
             PhysicalPlan::Slice { input, .. } => input.sorted_by(),
@@ -214,23 +247,29 @@ impl PhysicalPlan {
     /// | `CrossProduct`      | tiles one whole side over the other              |
     /// | `Sort`              | order enforcement sees every row                 |
     /// | `OrderBy`           | solution-modifier sort sees every row            |
-    /// | `Project` (DISTINCT)| dedups globally                                  |
+    /// | `HashAggregate`     | folds every row into the grouped hash state      |
     /// | `Slice`             | OFFSET counts rows globally                      |
     ///
-    /// `Scan` and `Filter` stream and are never breakers, and neither is a
-    /// **plain** (non-DISTINCT) `Project`: it is a pure layout change — a
-    /// column subset/reorder with no per-row work — so the pipeline
-    /// executor folds it into the stage chain (and, at the root, into the
-    /// sink gather itself).
+    /// `Scan` and `Filter` stream and are never breakers, and neither is
+    /// `Project` — plain **or** DISTINCT. A plain projection is a pure
+    /// layout change (a column subset/reorder with no per-row work), so
+    /// the pipeline executor folds it into the stage chain (and, at the
+    /// root, into the sink gather itself). A DISTINCT projection runs as a
+    /// **two-phase streaming dedup**: each morsel worker drops duplicates
+    /// within its morsel against a thread-local set (phase one), and the
+    /// sink applies a global first-occurrence pass over the already-thinned
+    /// rows (phase two) — no global materialisation before the sink, so
+    /// dedup no longer breaks the pipeline.
     pub fn is_pipeline_breaker(&self) -> bool {
         match self {
             PhysicalPlan::Scan { .. } | PhysicalPlan::Filter { .. } => false,
-            PhysicalPlan::Project { distinct, .. } => *distinct,
+            PhysicalPlan::Project { .. } => false,
             PhysicalPlan::MergeJoin { .. }
             | PhysicalPlan::HashJoin { .. }
             | PhysicalPlan::LeftOuterHashJoin { .. }
             | PhysicalPlan::CrossProduct { .. }
             | PhysicalPlan::Sort { .. }
+            | PhysicalPlan::HashAggregate { .. }
             | PhysicalPlan::OrderBy { .. }
             | PhysicalPlan::Slice { .. } => true,
         }
@@ -262,6 +301,7 @@ impl PhysicalPlan {
             PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
             | PhysicalPlan::OrderBy { input, .. }
             | PhysicalPlan::Slice { input, .. } => input.visit(f),
         }
@@ -363,6 +403,52 @@ impl PhysicalPlan {
                         return Err(PlanError(format!(
                             "projected variable ?{name} ({v}) not bound"
                         )));
+                    }
+                }
+                Ok(())
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => {
+                input.validate()?;
+                let iv = input.output_vars();
+                for v in group_by {
+                    if !iv.contains(v) {
+                        return Err(PlanError(format!("GROUP BY variable {v} not bound")));
+                    }
+                }
+                if aggs.is_empty() && group_by.is_empty() {
+                    return Err(PlanError(
+                        "aggregation with no GROUP BY variables and no aggregates".into(),
+                    ));
+                }
+                for a in aggs {
+                    if let Some(arg) = a.arg {
+                        if !iv.contains(&arg) {
+                            return Err(PlanError(format!(
+                                "aggregate {} argument {arg} not bound",
+                                a.func.name()
+                            )));
+                        }
+                    }
+                    if group_by.contains(&a.out) {
+                        return Err(PlanError(format!(
+                            "aggregate output {} collides with a GROUP BY variable",
+                            a.out
+                        )));
+                    }
+                }
+                if let Some(h) = having {
+                    let out = self.output_vars();
+                    for v in h.vars() {
+                        if !out.contains(&v) {
+                            return Err(PlanError(format!(
+                                "HAVING variable {v} is neither grouped nor aggregated"
+                            )));
+                        }
                     }
                 }
                 Ok(())
@@ -600,7 +686,8 @@ mod tests {
             vars: vec![Var(0)],
         };
         assert!(oj.is_pipeline_breaker());
-        // Plain projection streams (a layout change); DISTINCT breaks.
+        // Projection streams either way: plain is a layout change, DISTINCT
+        // is a two-phase streaming dedup (morsel-local + sink pass).
         let plain = PhysicalPlan::Project {
             input: Box::new(s.clone()),
             projection: vec![("x".into(), Var(0))],
@@ -612,12 +699,74 @@ mod tests {
             projection: vec![("x".into(), Var(0))],
             distinct: true,
         };
-        assert!(distinct.is_pipeline_breaker());
+        assert!(!distinct.is_pipeline_breaker());
+        let agg = PhysicalPlan::HashAggregate {
+            input: Box::new(s.clone()),
+            group_by: vec![Var(0)],
+            aggs: vec![hsp_sparql::AggSpec {
+                func: hsp_sparql::AggFunc::Count,
+                distinct: false,
+                arg: Some(Var(1)),
+                out: Var(2),
+                name: "n".into(),
+            }],
+            having: None,
+        };
+        assert!(agg.is_pipeline_breaker());
         let sort = PhysicalPlan::Sort {
             input: Box::new(s),
             var: Var(0),
         };
         assert!(sort.is_pipeline_breaker());
+    }
+
+    #[test]
+    fn hash_aggregate_shape_and_validation() {
+        let s = scan(0, pat(v(0), c("p"), v(1)), Order::Pso);
+        let count = hsp_sparql::AggSpec {
+            func: hsp_sparql::AggFunc::Count,
+            distinct: false,
+            arg: Some(Var(1)),
+            out: Var(2),
+            name: "n".into(),
+        };
+        let agg = PhysicalPlan::HashAggregate {
+            input: Box::new(s.clone()),
+            group_by: vec![Var(0)],
+            aggs: vec![count.clone()],
+            having: None,
+        };
+        assert!(agg.validate().is_ok());
+        // Group keys first, then aggregate outputs; no order claim.
+        assert_eq!(agg.output_vars(), vec![Var(0), Var(2)]);
+        assert_eq!(agg.sorted_by(), None);
+
+        // Unbound GROUP BY variable / aggregate argument are rejected.
+        let bad_group = PhysicalPlan::HashAggregate {
+            input: Box::new(s.clone()),
+            group_by: vec![Var(9)],
+            aggs: vec![count.clone()],
+            having: None,
+        };
+        assert!(bad_group.validate().is_err());
+        let bad_arg = PhysicalPlan::HashAggregate {
+            input: Box::new(s.clone()),
+            group_by: vec![Var(0)],
+            aggs: vec![hsp_sparql::AggSpec {
+                arg: Some(Var(9)),
+                ..count.clone()
+            }],
+            having: None,
+        };
+        assert!(bad_arg.validate().is_err());
+        // HAVING may only mention grouped or aggregated variables.
+        let bad_having = PhysicalPlan::HashAggregate {
+            input: Box::new(s),
+            group_by: vec![Var(0)],
+            aggs: vec![count],
+            having: Some(hsp_sparql::Expr::Var(Var(1))),
+        };
+        assert!(bad_having.validate().is_err());
     }
 
     #[test]

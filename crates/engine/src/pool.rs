@@ -17,12 +17,28 @@
 //! and never touch the pool.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
-use hsp_rdf::TermId;
+use hsp_rdf::{Term, TermId};
 
 use crate::binding::BindingTable;
 use crate::govern::{GovernorError, QueryGovernor};
 use crate::morsel::MorselConfig;
+
+/// First id of the **computed-term** range. Aggregation produces values
+/// (counts, sums, averages) that usually have no entry in the dataset's
+/// immutable dictionary; they are interned into a per-execution overlay on
+/// the [`ExecContext`] instead, and their ids start here. The dictionary
+/// would need two billion distinct terms before its ids could collide with
+/// the range — `Dataset` construction is nowhere near that — and
+/// [`TermId::UNBOUND`] (`u32::MAX`) stays reserved.
+pub const COMPUTED_BASE: u32 = 0x8000_0000;
+
+/// `true` if `id` refers to the per-execution computed-term overlay
+/// rather than the dataset dictionary.
+pub fn is_computed(id: TermId) -> bool {
+    id.0 >= COMPUTED_BASE && id != TermId::UNBOUND
+}
 
 /// Keep at most this many free buffers per kind; beyond it, returned
 /// buffers are simply dropped. Bounds the *number* of parked buffers.
@@ -190,6 +206,14 @@ pub struct ExecContext {
     pipeline_outer_probes: Cell<usize>,
     breaker_handoffs: Cell<usize>,
     pipeline_rows_avoided: Cell<usize>,
+    parallel_aggregates: Cell<usize>,
+    aggregate_groups: Cell<usize>,
+    distinct_streamed: Cell<usize>,
+    /// Computed-term overlay: terms produced by aggregation, indexed by
+    /// `id - COMPUTED_BASE`. Single-threaded by design (finalisation runs
+    /// on the coordinating thread after the morsel barrier).
+    computed_terms: RefCell<Vec<Term>>,
+    computed_ids: RefCell<HashMap<Term, TermId>>,
 }
 
 impl ExecContext {
@@ -364,6 +388,67 @@ impl ExecContext {
         self.breaker_handoffs.set(self.breaker_handoffs.get() + 1);
     }
 
+    /// Record one hash-aggregation: the partial-fold morsel run and the
+    /// number of finalised groups (counted whether or not the fold ran
+    /// parallel; the parallel-aggregate counter only when it did).
+    pub(crate) fn note_aggregate(&self, run: crate::morsel::MorselRun, groups: usize) {
+        if run.threads > 1 {
+            self.parallel_aggregates
+                .set(self.parallel_aggregates.get() + 1);
+        }
+        self.aggregate_groups
+            .set(self.aggregate_groups.get() + groups);
+        self.note_run(run);
+    }
+
+    /// Record one DISTINCT deduplicated as a streaming pipeline stage
+    /// (morsel-local pre-dedup + sink first-occurrence pass) instead of a
+    /// materialising breaker.
+    pub(crate) fn note_distinct_stream(&self) {
+        self.distinct_streamed.set(self.distinct_streamed.get() + 1);
+    }
+
+    /// Intern a term produced by aggregation into the per-execution
+    /// computed-term overlay, returning its id (≥ [`COMPUTED_BASE`]).
+    /// Idempotent: equal terms get equal ids, and the first-intern order
+    /// determines the id sequence — both executors intern finalised groups
+    /// in output order, so their overlays (and tables) match exactly.
+    pub fn intern_computed(&self, term: Term) -> TermId {
+        if let Some(&id) = self.computed_ids.borrow().get(&term) {
+            return id;
+        }
+        let mut terms = self.computed_terms.borrow_mut();
+        let id = TermId(COMPUTED_BASE + u32::try_from(terms.len()).expect("overlay overflow"));
+        terms.push(term.clone());
+        self.computed_ids.borrow_mut().insert(term, id);
+        id
+    }
+
+    /// Resolve a computed-term id against the overlay (`None` for
+    /// dictionary ids, unbound, or an id from a different execution).
+    pub fn computed_term(&self, id: TermId) -> Option<Term> {
+        if !is_computed(id) {
+            return None;
+        }
+        let idx = (id.0 - COMPUTED_BASE) as usize;
+        self.computed_terms.borrow().get(idx).cloned()
+    }
+
+    /// Snapshot of the computed-term overlay (indexed by
+    /// `id - COMPUTED_BASE`), for results that outlive the context.
+    pub fn computed_overlay(&self) -> Vec<Term> {
+        self.computed_terms.borrow().clone()
+    }
+
+    /// Reset the computed-term overlay. A context outlives one query (the
+    /// buffer pool keeps warming across executions), but computed ids are
+    /// positional — reusing a warm context for a new query must start the
+    /// overlay fresh so both differential arms intern from id zero.
+    pub fn clear_computed(&self) {
+        self.computed_terms.borrow_mut().clear();
+        self.computed_ids.borrow_mut().clear();
+    }
+
     /// Morsels processed by parallel kernels so far.
     pub fn morsels_run(&self) -> usize {
         self.morsels.get()
@@ -420,6 +505,21 @@ impl ExecContext {
     /// would have written between the pipeline's operators).
     pub fn pipeline_rows_avoided(&self) -> usize {
         self.pipeline_rows_avoided.get()
+    }
+
+    /// Hash aggregations whose partial fold ran parallel so far.
+    pub fn parallel_aggregates(&self) -> usize {
+        self.parallel_aggregates.get()
+    }
+
+    /// Groups finalised by hash aggregations so far.
+    pub fn aggregate_groups(&self) -> usize {
+        self.aggregate_groups.get()
+    }
+
+    /// DISTINCTs deduplicated as streaming pipeline stages so far.
+    pub fn distinct_streamed(&self) -> usize {
+        self.distinct_streamed.get()
     }
 }
 

@@ -9,13 +9,17 @@
 //! `value()`, a per-probe `Vec<TermId>` key allocation, and a per-row
 //! `push_row`; do not use them on hot paths.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use hsp_rdf::TermId;
-use hsp_sparql::Var;
+use hsp_sparql::expr::{arith, compare_for_order};
+use hsp_sparql::{AggFunc, AggSpec, ArithOp, Value, Var};
+use hsp_store::Dataset;
 
+use crate::aggregate::{apply_having, describe, AggError};
 use crate::binding::BindingTable;
 use crate::ops::join_layout;
+use crate::pool::ExecContext;
 
 /// Row-at-a-time sort-merge join on `var` (the pre-vectorization kernel).
 ///
@@ -164,6 +168,141 @@ pub fn cross_product(left: &BindingTable, right: &BindingTable) -> BindingTable 
         out.set_sorted_by(left.sorted_by());
     }
     out
+}
+
+/// Row-at-a-time grouped aggregation — the operator-at-a-time evaluator's
+/// implementation and the differential oracle for the morsel-parallel
+/// two-phase breaker in [`crate::aggregate`]. One pass collects each
+/// group's row indices (first-seen order); a second pass walks each
+/// group's rows *in input order* computing every aggregate the naive way.
+/// Output layout, empty-input semantics, computed-term interning order
+/// (row-major), and `HAVING` application match the pipeline breaker
+/// exactly — the conformance suite asserts byte-identical tables.
+pub fn hash_aggregate(
+    ctx: &ExecContext,
+    ds: &Dataset,
+    input: &BindingTable,
+    group_by: &[Var],
+    aggs: &[AggSpec],
+    having: Option<&hsp_sparql::Expr>,
+) -> Result<BindingTable, AggError> {
+    let mut keys: Vec<Vec<TermId>> = Vec::new();
+    let mut index: HashMap<Vec<TermId>, usize> = HashMap::new();
+    let mut rows_of: Vec<Vec<usize>> = Vec::new();
+    for i in 0..input.len() {
+        let key: Vec<TermId> = group_by.iter().map(|&v| input.value(v, i)).collect();
+        let g = *index.entry(key.clone()).or_insert_with(|| {
+            keys.push(key);
+            rows_of.push(Vec::new());
+            keys.len() - 1
+        });
+        rows_of[g].push(i);
+    }
+    // Ungrouped empty input: one implicit empty group (COUNT 0, SUM 0,
+    // AVG 0, MIN/MAX unbound); grouped empty input: zero rows.
+    if keys.is_empty() && group_by.is_empty() {
+        keys.push(Vec::new());
+        rows_of.push(Vec::new());
+    }
+
+    let mut out_vars: Vec<Var> = group_by.to_vec();
+    out_vars.extend(aggs.iter().map(|a| a.out));
+    let mut out = BindingTable::empty(out_vars);
+    let mut row_buf: Vec<TermId> = Vec::new();
+    for (key, rows) in keys.iter().zip(&rows_of) {
+        row_buf.clear();
+        row_buf.extend_from_slice(key);
+        for spec in aggs {
+            row_buf.push(reference_agg(ctx, ds, input, spec, rows)?);
+        }
+        out.push_row(&row_buf);
+    }
+    match having {
+        Some(h) => Ok(apply_having(out, h, ctx, ds)),
+        None => Ok(out),
+    }
+}
+
+/// One aggregate over one group's rows, the naive way.
+fn reference_agg(
+    ctx: &ExecContext,
+    ds: &Dataset,
+    input: &BindingTable,
+    spec: &AggSpec,
+    rows: &[usize],
+) -> Result<TermId, AggError> {
+    // The group's bound argument values, in input row order, deduplicated
+    // when the spec says DISTINCT. `None` only for `COUNT(*)`.
+    let args: Option<Vec<TermId>> = spec.arg.map(|v| {
+        let mut seen: HashSet<TermId> = HashSet::new();
+        rows.iter()
+            .map(|&i| input.value(v, i))
+            .filter(|id| !id.is_unbound())
+            .filter(|&id| !spec.distinct || seen.insert(id))
+            .collect()
+    });
+    let type_err = |e: hsp_sparql::ExprError| AggError {
+        agg: describe(spec),
+        detail: e.to_string(),
+    };
+    let value = match (spec.func, &args) {
+        (AggFunc::Count, None) => Value::Integer(rows.len() as i64),
+        (AggFunc::Count, Some(args)) => Value::Integer(args.len() as i64),
+        (AggFunc::Sum | AggFunc::Avg, None) => {
+            unreachable!("the algebra only parses `*` under COUNT")
+        }
+        (AggFunc::Sum, Some(args)) => {
+            let mut sum = Value::Integer(0);
+            for &id in args {
+                sum = arith(ArithOp::Add, &sum, &Value::from_term(ds.dict().term(id)))
+                    .map_err(type_err)?;
+            }
+            sum
+        }
+        (AggFunc::Avg, Some(args)) => {
+            if args.is_empty() {
+                Value::Integer(0)
+            } else {
+                let mut sum = Value::Integer(0);
+                for &id in args {
+                    sum = arith(ArithOp::Add, &sum, &Value::from_term(ds.dict().term(id)))
+                        .map_err(type_err)?;
+                }
+                arith(ArithOp::Div, &sum, &Value::Integer(args.len() as i64)).map_err(type_err)?
+            }
+        }
+        (AggFunc::Min | AggFunc::Max, None) => {
+            unreachable!("the algebra only parses `*` under COUNT")
+        }
+        (AggFunc::Min | AggFunc::Max, Some(args)) => {
+            let mut best: Option<(Value, TermId)> = None;
+            for &id in args {
+                let v = Value::from_term(ds.dict().term(id));
+                let better = match &best {
+                    None => true,
+                    Some((cur, _)) => {
+                        let ord = compare_for_order(Some(&v), Some(cur));
+                        if spec.func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if better {
+                    best = Some((v, id));
+                }
+            }
+            // MIN/MAX output the *original* id of the winning row (unbound
+            // for an empty group, the spec's error-as-unbound rule).
+            return Ok(best.map_or(TermId::UNBOUND, |(_, id)| id));
+        }
+    };
+    let term = value.to_term();
+    Ok(ds
+        .dict()
+        .id(&term)
+        .unwrap_or_else(|| ctx.intern_computed(term)))
 }
 
 /// Nested-loop inner join on **all** shared variables — the simplest

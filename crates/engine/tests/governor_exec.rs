@@ -248,6 +248,65 @@ fn memory_budget_trips_with_typed_fields_and_the_account_drains() {
     }
 }
 
+/// Every row its own group: the γ hash state (keys held twice — in the
+/// key list and the index — plus accumulators) dwarfs the scanned input,
+/// so a budget sized above the scan but below the grouped state trips at
+/// the dedicated `"aggregate"` checkpoint, with the typed fields intact
+/// and the account drained.
+#[test]
+fn memory_budget_trips_inside_the_aggregate_hash_state() {
+    let mut doc = String::new();
+    for i in 0..2000u32 {
+        doc.push_str(&format!("<http://e/s{i}> <http://e/p> <http://e/o{i}> .\n"));
+    }
+    let ds = Dataset::from_ntriples(&doc).unwrap();
+    let aggs = vec![hsp_sparql::AggSpec {
+        func: hsp_sparql::AggFunc::Count,
+        distinct: false,
+        arg: None,
+        out: Var(2),
+        name: "n".into(),
+    }];
+    let plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::HashAggregate {
+            input: Box::new(scan(0, vv(0), cv("p"), vv(1), Order::Pso)),
+            group_by: vec![Var(0), Var(1)],
+            aggs,
+            having: None,
+        }),
+        projection: vec![
+            ("s".into(), Var(0)),
+            ("o".into(), Var(1)),
+            ("n".into(), Var(2)),
+        ],
+        distinct: false,
+    };
+    const BUDGET: usize = 24 * 1024; // scanned input ≈ 16 KiB, γ keys ≈ 32 KiB
+    for threads in 1..=4usize {
+        let config = ExecConfig::unlimited().with_mem_budget(BUDGET);
+        let mut ctx = forced_ctx(threads);
+        ctx.set_governor(Some(config.governor().expect("budget set")));
+        let err = execute_in(&plan, &ds, &config, &ctx).expect_err("aggregate budget must trip");
+        match &err {
+            ExecError::MemoryBudgetExceeded { used, budget, site } => {
+                assert_eq!(*budget, BUDGET);
+                assert!(*used > BUDGET, "used {used} should exceed budget {BUDGET}");
+                assert_eq!(
+                    *site, "aggregate",
+                    "the trip should land at the aggregate checkpoint"
+                );
+            }
+            other => panic!("threads={threads}: expected MemoryBudgetExceeded, got {other}"),
+        }
+        assert_drained(&ctx);
+        assert_rerun_identical(
+            ctx,
+            &chain_plan(),
+            &Dataset::from_ntriples(&chain_doc()).unwrap(),
+        );
+    }
+}
+
 #[test]
 fn inert_governor_is_byte_identical_to_ungoverned_execution() {
     let ds = Dataset::from_ntriples(&chain_doc()).unwrap();

@@ -5,7 +5,7 @@ use std::fmt;
 
 use hsp_rdf::{Term, TriplePos};
 
-use crate::ast::{Element, ExprAst, NodeAst, Query};
+use crate::ast::{AggFuncAst, Element, ExprAst, NodeAst, Query};
 
 /// A query variable, identified by a dense index into
 /// [`JoinQuery::var_names`].
@@ -271,6 +271,62 @@ impl Modifiers {
     }
 }
 
+/// An aggregate function (SPARQL 1.1 §18.5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(?x)`.
+    Count,
+    /// `SUM(?x)`.
+    Sum,
+    /// `MIN(?x)`.
+    Min,
+    /// `MAX(?x)`.
+    Max,
+    /// `AVG(?x)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// The SPARQL keyword for this function.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Lower from the AST form.
+    pub fn from_ast(f: AggFuncAst) -> AggFunc {
+        match f {
+            AggFuncAst::Count => AggFunc::Count,
+            AggFuncAst::Sum => AggFunc::Sum,
+            AggFuncAst::Min => AggFunc::Min,
+            AggFuncAst::Max => AggFunc::Max,
+            AggFuncAst::Avg => AggFunc::Avg,
+        }
+    }
+}
+
+/// One aggregate computation: `out := FUNC([DISTINCT] arg)` per group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// `DISTINCT` inside the call (meaningful for COUNT/SUM/AVG; a no-op
+    /// for MIN/MAX).
+    pub distinct: bool,
+    /// Argument variable; `None` means `COUNT(*)`.
+    pub arg: Option<Var>,
+    /// The output variable the per-group result binds to.
+    pub out: Var,
+    /// The output name: the `?alias`, or a synthesized `__aggN` for an
+    /// aggregate that appears only in `HAVING`.
+    pub name: String,
+}
+
 /// A SPARQL join query (Definition 3): a conjunction of triple patterns with
 /// a projection and residual FILTERs.
 #[derive(Debug, Clone, PartialEq)]
@@ -287,6 +343,15 @@ pub struct JoinQuery {
     pub var_names: Vec<String>,
     /// Solution modifiers (ORDER BY / LIMIT / OFFSET).
     pub modifiers: Modifiers,
+    /// `GROUP BY` variables, in source order. Empty with non-empty
+    /// [`JoinQuery::aggregates`] means one implicit all-rows group.
+    pub group_by: Vec<Var>,
+    /// Aggregate computations in SELECT order, HAVING-only aggregates
+    /// appended after the projected ones.
+    pub aggregates: Vec<AggSpec>,
+    /// `HAVING` predicate over finalised group rows ([`ExprAst::Agg`]
+    /// nodes already rewritten to references to aggregate outputs).
+    pub having: Option<crate::expr::Expr>,
 }
 
 /// Errors lowering an AST to a [`JoinQuery`].
@@ -301,6 +366,9 @@ pub enum AlgebraError {
     UnboundFilterVar(String),
     /// A FILTER expression is malformed (unknown function, wrong arity).
     BadFilter(String),
+    /// A GROUP BY / HAVING / aggregate construct is malformed (unbound
+    /// argument, ungrouped projection, colliding alias, …).
+    BadAggregate(String),
     /// The query has no triple patterns.
     EmptyPattern,
 }
@@ -321,6 +389,7 @@ impl fmt::Display for AlgebraError {
                 write!(f, "FILTER variable ?{v} is not bound by any triple pattern")
             }
             AlgebraError::BadFilter(what) => write!(f, "invalid FILTER expression: {what}"),
+            AlgebraError::BadAggregate(what) => write!(f, "invalid aggregation: {what}"),
             AlgebraError::EmptyPattern => write!(f, "query has no triple patterns"),
         }
     }
@@ -333,32 +402,21 @@ impl JoinQuery {
     pub fn from_ast(query: &Query) -> Result<JoinQuery, AlgebraError> {
         let mut names: Vec<String> = Vec::new();
         let mut by_name: HashMap<String, Var> = HashMap::new();
-        let mut var = |name: &str, names: &mut Vec<String>| -> Var {
-            if let Some(&v) = by_name.get(name) {
-                return v;
-            }
-            let v = Var(names.len() as u32);
-            names.push(name.to_string());
-            by_name.insert(name.to_string(), v);
-            v
-        };
 
         let mut patterns = Vec::new();
         let mut filters = Vec::new();
         for element in &query.where_clause.elements {
             match element {
                 Element::Triple(t) => {
-                    let mut lower = |node: &NodeAst, names: &mut Vec<String>| match node {
-                        NodeAst::Var(n) => TermOrVar::Var(var(n, names)),
-                        NodeAst::Const(t) => TermOrVar::Const(t.clone()),
-                    };
-                    let s = lower(&t.subject, &mut names);
-                    let p = lower(&t.predicate, &mut names);
-                    let o = lower(&t.object, &mut names);
+                    let s = lower_node(&t.subject, &mut names, &mut by_name);
+                    let p = lower_node(&t.predicate, &mut names, &mut by_name);
+                    let o = lower_node(&t.object, &mut names, &mut by_name);
                     patterns.push(TriplePattern::new(s, p, o));
                 }
                 Element::Filter(expr) => {
-                    filters.push(lower_filter_ast(expr, &mut |n| var(n, &mut names))?);
+                    filters.push(lower_filter_ast(expr, &mut |n| {
+                        intern(n, &mut names, &mut by_name)
+                    })?);
                 }
                 Element::Optional(_) => {
                     return Err(AlgebraError::UnsupportedFeature("OPTIONAL"));
@@ -386,14 +444,130 @@ impl JoinQuery {
             }
         }
 
+        // Aggregation: `HAVING` alone still forms the implicit all-rows
+        // group (SPARQL 1.1 §11.1), so it marks an aggregate query too.
+        let aggregate_query =
+            !query.aggregates.is_empty() || !query.group_by.is_empty() || query.having.is_some();
+
+        // GROUP BY variables must be pattern-bound.
+        let mut group_by: Vec<Var> = Vec::with_capacity(query.group_by.len());
+        for name in &query.group_by {
+            let v = match by_name.get(name) {
+                Some(&v) if bound.contains(&v) => v,
+                _ => {
+                    return Err(AlgebraError::BadAggregate(format!(
+                        "GROUP BY variable ?{name} is not bound by any triple pattern"
+                    )))
+                }
+            };
+            if !group_by.contains(&v) {
+                group_by.push(v);
+            }
+        }
+
+        // Aggregate select items: the alias becomes a fresh variable (it
+        // must not collide with anything already named), the argument must
+        // be pattern-bound.
+        let mut aggs: Vec<AggSpec> = Vec::with_capacity(query.aggregates.len());
+        for a in &query.aggregates {
+            if by_name.contains_key(&a.alias) {
+                return Err(AlgebraError::BadAggregate(format!(
+                    "aggregate alias ?{} collides with an existing variable",
+                    a.alias
+                )));
+            }
+            let arg = match &a.arg {
+                Some(n) => match by_name.get(n) {
+                    Some(&v) if bound.contains(&v) => Some(v),
+                    _ => {
+                        return Err(AlgebraError::BadAggregate(format!(
+                            "aggregate argument ?{n} is not bound by any triple pattern"
+                        )))
+                    }
+                },
+                None => None,
+            };
+            let out = intern(&a.alias, &mut names, &mut by_name);
+            aggs.push(AggSpec {
+                func: AggFunc::from_ast(a.func),
+                distinct: a.distinct,
+                arg,
+                out,
+                name: a.alias.clone(),
+            });
+        }
+
+        // HAVING: rewrite aggregate calls to references to (possibly
+        // hidden) aggregate outputs, then lower through the ordinary
+        // expression path. Identical (func, DISTINCT, arg) shapes share
+        // one computation.
+        let having = match &query.having {
+            None => None,
+            Some(h) => {
+                let rewritten = rewrite_having_aggs(h, &mut |func, distinct, arg_name| {
+                    let func = AggFunc::from_ast(func);
+                    let arg = match arg_name {
+                        Some(n) => match by_name.get(n) {
+                            Some(&v) if bound.contains(&v) => Some(v),
+                            _ => {
+                                return Err(AlgebraError::BadAggregate(format!(
+                                    "aggregate argument ?{n} is not bound by any triple pattern"
+                                )))
+                            }
+                        },
+                        None => None,
+                    };
+                    if let Some(a) = aggs
+                        .iter()
+                        .find(|a| a.func == func && a.distinct == distinct && a.arg == arg)
+                    {
+                        return Ok(a.name.clone());
+                    }
+                    let mut k = aggs.len();
+                    let name = loop {
+                        let cand = format!("__agg{k}");
+                        if !by_name.contains_key(&cand) {
+                            break cand;
+                        }
+                        k += 1;
+                    };
+                    let out = intern(&name, &mut names, &mut by_name);
+                    aggs.push(AggSpec {
+                        func,
+                        distinct,
+                        arg,
+                        out,
+                        name: name.clone(),
+                    });
+                    Ok(name)
+                })?;
+                let expr = lower_full(&rewritten, &mut |n| intern(n, &mut names, &mut by_name))?;
+                for v in expr.vars() {
+                    if !(group_by.contains(&v) || aggs.iter().any(|a| a.out == v)) {
+                        return Err(AlgebraError::BadAggregate(format!(
+                            "HAVING references ?{} which is neither grouped nor aggregated",
+                            names[v.index()]
+                        )));
+                    }
+                }
+                Some(expr)
+            }
+        };
+
         // Solution modifiers: ORDER BY keys may reference any bound
-        // variable (not just projected ones). Lowered before the projection
-        // because key expressions share the variable table.
+        // variable (not just projected ones) — or, in an aggregate query,
+        // any group variable or aggregate output. Lowered before the
+        // projection because key expressions share the variable table.
         let mut order_by = Vec::with_capacity(query.order_by.len());
         for (expr_ast, descending) in &query.order_by {
-            let expr = lower_full(expr_ast, &mut |n| var(n, &mut names))?;
+            let expr = lower_full(expr_ast, &mut |n| intern(n, &mut names, &mut by_name))?;
             for v in expr.vars() {
-                if !bound.contains(&v) {
+                let ok = if aggregate_query {
+                    group_by.contains(&v) || aggs.iter().any(|a| a.out == v)
+                } else {
+                    bound.contains(&v)
+                };
+                if !ok {
                     return Err(AlgebraError::UnboundFilterVar(names[v.index()].clone()));
                 }
             }
@@ -410,18 +584,38 @@ impl JoinQuery {
                     let v = *by_name
                         .get(name)
                         .ok_or_else(|| AlgebraError::UnboundProjection(name.clone()))?;
-                    if !bound.contains(&v) {
-                        return Err(AlgebraError::UnboundProjection(name.clone()));
+                    let ok = if aggregate_query {
+                        // SPARQL 1.1 §18.2.4.1: a projected variable must
+                        // be grouped or aggregated.
+                        group_by.contains(&v) || aggs.iter().any(|a| a.out == v)
+                    } else {
+                        bound.contains(&v)
+                    };
+                    if !ok {
+                        return Err(if aggregate_query {
+                            AlgebraError::BadAggregate(format!(
+                                "projected variable ?{name} is neither grouped nor aggregated"
+                            ))
+                        } else {
+                            AlgebraError::UnboundProjection(name.clone())
+                        });
                     }
                     out.push((name.clone(), v));
                 }
                 out
             }
-            // SELECT *: all pattern variables in first-occurrence order.
-            None => bound
-                .iter()
-                .map(|&v| (names[v.index()].clone(), v))
-                .collect(),
+            None => {
+                if aggregate_query {
+                    return Err(AlgebraError::BadAggregate(
+                        "SELECT * cannot be combined with GROUP BY, HAVING, or aggregates".into(),
+                    ));
+                }
+                // SELECT *: all pattern variables in first-occurrence order.
+                bound
+                    .iter()
+                    .map(|&v| (names[v.index()].clone(), v))
+                    .collect()
+            }
         };
 
         let modifiers = Modifiers {
@@ -437,7 +631,16 @@ impl JoinQuery {
             distinct: query.distinct || query.reduced,
             var_names: names,
             modifiers,
+            group_by,
+            aggregates: aggs,
+            having,
         })
+    }
+
+    /// `true` if this query aggregates (GROUP BY, HAVING, or aggregate
+    /// select items).
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty() || !self.group_by.is_empty()
     }
 
     /// Parse and lower a query text in one step.
@@ -484,6 +687,73 @@ impl JoinQuery {
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// Intern a variable name into the dense variable table.
+fn intern(name: &str, names: &mut Vec<String>, by_name: &mut HashMap<String, Var>) -> Var {
+    if let Some(&v) = by_name.get(name) {
+        return v;
+    }
+    let v = Var(names.len() as u32);
+    names.push(name.to_string());
+    by_name.insert(name.to_string(), v);
+    v
+}
+
+/// Lower one pattern slot, interning variables.
+fn lower_node(
+    node: &NodeAst,
+    names: &mut Vec<String>,
+    by_name: &mut HashMap<String, Var>,
+) -> TermOrVar {
+    match node {
+        NodeAst::Var(n) => TermOrVar::Var(intern(n, names, by_name)),
+        NodeAst::Const(t) => TermOrVar::Const(t.clone()),
+    }
+}
+
+/// Replace every [`ExprAst::Agg`] node of a HAVING expression with a
+/// variable reference to the (possibly hidden) aggregate computing it;
+/// `register` returns that variable's name.
+fn rewrite_having_aggs(
+    expr: &ExprAst,
+    register: &mut impl FnMut(AggFuncAst, bool, Option<&str>) -> Result<String, AlgebraError>,
+) -> Result<ExprAst, AlgebraError> {
+    Ok(match expr {
+        ExprAst::Agg {
+            func,
+            distinct,
+            arg,
+        } => ExprAst::Var(register(*func, *distinct, arg.as_deref())?),
+        ExprAst::Var(_) | ExprAst::Const(_) => expr.clone(),
+        ExprAst::Cmp { op, lhs, rhs } => ExprAst::Cmp {
+            op,
+            lhs: Box::new(rewrite_having_aggs(lhs, register)?),
+            rhs: Box::new(rewrite_having_aggs(rhs, register)?),
+        },
+        ExprAst::And(a, b) => ExprAst::And(
+            Box::new(rewrite_having_aggs(a, register)?),
+            Box::new(rewrite_having_aggs(b, register)?),
+        ),
+        ExprAst::Or(a, b) => ExprAst::Or(
+            Box::new(rewrite_having_aggs(a, register)?),
+            Box::new(rewrite_having_aggs(b, register)?),
+        ),
+        ExprAst::Not(e) => ExprAst::Not(Box::new(rewrite_having_aggs(e, register)?)),
+        ExprAst::Arith { op, lhs, rhs } => ExprAst::Arith {
+            op: *op,
+            lhs: Box::new(rewrite_having_aggs(lhs, register)?),
+            rhs: Box::new(rewrite_having_aggs(rhs, register)?),
+        },
+        ExprAst::Neg(e) => ExprAst::Neg(Box::new(rewrite_having_aggs(e, register)?)),
+        ExprAst::Call { func, args } => ExprAst::Call {
+            func: func.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_having_aggs(a, register))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+    })
 }
 
 /// Lower a FILTER AST to a [`FilterExpr`], keeping the rewritable simple
@@ -578,6 +848,11 @@ fn lower_full(
             }
         }
         ExprAst::Neg(e) => Expr::Neg(Box::new(lower_full(e, var)?)),
+        ExprAst::Agg { .. } => {
+            return Err(AlgebraError::BadFilter(
+                "aggregate calls are only allowed in HAVING".into(),
+            ))
+        }
         ExprAst::Call { func, args } => {
             let f = Func::from_name(func)
                 .ok_or_else(|| AlgebraError::BadFilter(format!("unknown function {func}")))?;

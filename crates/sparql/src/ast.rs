@@ -16,8 +16,17 @@ pub struct Query {
     /// explicitly permits: REDUCED allows — but does not require —
     /// duplicate elimination.)
     pub reduced: bool,
-    /// Projection: `None` means `SELECT *`.
+    /// Projection: `None` means `SELECT *`. Aggregate select items appear
+    /// here by their alias (the `?alias` of `(COUNT(?x) AS ?alias)`), in
+    /// SELECT order; their definitions live in [`Query::aggregates`].
     pub projection: Option<Vec<String>>,
+    /// Aggregate select items, in SELECT order.
+    pub aggregates: Vec<AggAst>,
+    /// `GROUP BY` variables, in source order (empty = no GROUP BY; with
+    /// aggregates present that means one implicit all-rows group).
+    pub group_by: Vec<String>,
+    /// `HAVING ( expr )` — may contain [`ExprAst::Agg`] nodes.
+    pub having: Option<ExprAst>,
     /// The `WHERE` group.
     pub where_clause: GroupPattern,
     /// `ORDER BY` keys in priority order; `true` = descending.
@@ -144,6 +153,58 @@ pub enum ExprAst {
         /// Argument expressions.
         args: Vec<ExprAst>,
     },
+    /// An aggregate call inside `HAVING`, e.g. `SUM(?x)` in
+    /// `HAVING (SUM(?x) > 10)`. Never valid in `FILTER` (lowering
+    /// rejects it outside the aggregation context).
+    Agg {
+        /// The aggregate function.
+        func: AggFuncAst,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+        /// Argument variable; `None` means `COUNT(*)`.
+        arg: Option<String>,
+    },
+}
+
+/// Aggregate function names, shared by select items and HAVING.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFuncAst {
+    /// `COUNT(*)` / `COUNT(?x)`.
+    Count,
+    /// `SUM(?x)`.
+    Sum,
+    /// `MIN(?x)`.
+    Min,
+    /// `MAX(?x)`.
+    Max,
+    /// `AVG(?x)`.
+    Avg,
+}
+
+impl AggFuncAst {
+    /// The SPARQL keyword for this function.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFuncAst::Count => "COUNT",
+            AggFuncAst::Sum => "SUM",
+            AggFuncAst::Min => "MIN",
+            AggFuncAst::Max => "MAX",
+            AggFuncAst::Avg => "AVG",
+        }
+    }
+}
+
+/// One aggregate select item: `(COUNT(DISTINCT ?x) AS ?alias)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggAst {
+    /// The aggregate function.
+    pub func: AggFuncAst,
+    /// `DISTINCT` inside the call.
+    pub distinct: bool,
+    /// Argument variable name; `None` means `COUNT(*)`.
+    pub arg: Option<String>,
+    /// The `?alias` the result binds to.
+    pub alias: String,
 }
 
 impl ExprAst {

@@ -888,7 +888,9 @@ fn num_kind(v: &Value) -> Option<NumKind> {
 
 /// XPath-style arithmetic with type promotion. Exact (integer/decimal)
 /// division by zero is an error; double division follows IEEE 754.
-fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
+/// Public because aggregation (`SUM`/`AVG`) folds group values through the
+/// same promotion ladder as the `+` / `/` operators.
+pub fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
     let (lk, rk) = match (num_kind(l), num_kind(r)) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(ExprError::Type("arithmetic on a non-number")),

@@ -92,6 +92,15 @@ const KEYWORDS: &[&str] = &[
     "DESC",
     "LIMIT",
     "OFFSET",
+    // Aggregation.
+    "GROUP",
+    "HAVING",
+    "AS",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
     // Updates.
     "INSERT",
     "DELETE",

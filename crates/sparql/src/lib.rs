@@ -23,7 +23,8 @@ pub mod regex;
 pub mod rewrite;
 
 pub use algebra::{
-    CmpOp, FilterExpr, JoinQuery, Modifiers, Operand, SortKey, TermOrVar, TriplePattern, Var,
+    AggFunc, AggSpec, CmpOp, FilterExpr, JoinQuery, Modifiers, Operand, SortKey, TermOrVar,
+    TriplePattern, Var,
 };
 pub use analysis::QueryCharacteristics;
 pub use ast::{Query, UpdateOp, UpdateRequest};

@@ -6,7 +6,8 @@ use std::fmt;
 use hsp_rdf::Term;
 
 use crate::ast::{
-    Element, ExprAst, GroupPattern, NodeAst, Query, TriplePatternAst, UpdateOp, UpdateRequest,
+    AggAst, AggFuncAst, Element, ExprAst, GroupPattern, NodeAst, Query, TriplePatternAst, UpdateOp,
+    UpdateRequest,
 };
 use crate::lexer::{tokenize, LexError, Token, TokenKind};
 
@@ -91,6 +92,9 @@ impl Parser {
                 distinct: false,
                 reduced: false,
                 projection: Some(Vec::new()),
+                aggregates: Vec::new(),
+                group_by: Vec::new(),
+                having: None,
                 where_clause,
                 order_by: Vec::new(),
                 limit: None,
@@ -109,12 +113,13 @@ impl Parser {
             reduced = true;
         }
 
+        let mut aggregates = Vec::new();
         let projection = if self.at_punct("*") {
             self.advance();
             None
         } else {
             let mut vars = Vec::new();
-            #[allow(clippy::while_let_loop)] // the non-Var arm documents the exit
+            #[allow(clippy::while_let_loop)] // the non-item arm documents the exit
             loop {
                 match self.peek().clone() {
                     TokenKind::Var(name) => {
@@ -122,6 +127,15 @@ impl Parser {
                         vars.push(name);
                         // Optional comma between projection variables (the
                         // paper writes `SELECT ?yr,?jrnl`).
+                        if self.at_punct(",") {
+                            self.advance();
+                        }
+                    }
+                    TokenKind::Punct("(") => {
+                        // `( AGG([DISTINCT] ?x|*) AS ?alias )` select item.
+                        let agg = self.parse_agg_select_item()?;
+                        vars.push(agg.alias.clone());
+                        aggregates.push(agg);
                         if self.at_punct(",") {
                             self.advance();
                         }
@@ -137,6 +151,33 @@ impl Parser {
 
         self.expect_keyword("WHERE")?;
         let where_clause = self.parse_group()?;
+
+        // GROUP BY / HAVING sit between the WHERE group and ORDER BY
+        // (the SPARQL 1.1 grammar's SolutionModifier order).
+        let mut group_by = Vec::new();
+        if self.at_keyword("GROUP") {
+            self.advance();
+            self.expect_keyword("BY")?;
+            while let TokenKind::Var(name) = self.peek().clone() {
+                self.advance();
+                group_by.push(name);
+                if self.at_punct(",") {
+                    self.advance();
+                }
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+        let having = if self.at_keyword("HAVING") {
+            self.advance();
+            self.expect_punct("(")?;
+            let e = self.parse_or_expr()?;
+            self.expect_punct(")")?;
+            Some(e)
+        } else {
+            None
+        };
 
         // Solution modifiers: ORDER BY, then LIMIT/OFFSET in either order.
         let order_by = if self.at_keyword("ORDER") {
@@ -168,11 +209,92 @@ impl Parser {
             distinct,
             reduced,
             projection,
+            aggregates,
+            group_by,
+            having,
             where_clause,
             order_by,
             limit,
             offset,
         })
+    }
+
+    /// The aggregate function for a keyword, if it is one.
+    fn agg_func(kw: &str) -> Option<AggFuncAst> {
+        match kw {
+            "COUNT" => Some(AggFuncAst::Count),
+            "SUM" => Some(AggFuncAst::Sum),
+            "MIN" => Some(AggFuncAst::Min),
+            "MAX" => Some(AggFuncAst::Max),
+            "AVG" => Some(AggFuncAst::Avg),
+            _ => None,
+        }
+    }
+
+    /// `'(' AGG '(' [DISTINCT] ('*'|?var) ')' AS ?alias ')'` — the select
+    /// list's aggregate item, positioned at the opening `(`.
+    fn parse_agg_select_item(&mut self) -> Result<AggAst, ParseError> {
+        self.expect_punct("(")?;
+        let func = match self.peek().clone() {
+            TokenKind::Keyword(kw) if Self::agg_func(&kw).is_some() => {
+                self.advance();
+                Self::agg_func(&kw).expect("guarded")
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected an aggregate function (COUNT/SUM/MIN/MAX/AVG), found {other}"
+                )))
+            }
+        };
+        let (distinct, arg) = self.parse_agg_body(func)?;
+        self.expect_keyword("AS")?;
+        let alias = match self.peek().clone() {
+            TokenKind::Var(name) => {
+                self.advance();
+                name
+            }
+            other => return Err(self.err(format!("expected `?alias` after AS, found {other}"))),
+        };
+        self.expect_punct(")")?;
+        Ok(AggAst {
+            func,
+            distinct,
+            arg,
+            alias,
+        })
+    }
+
+    /// `'(' [DISTINCT] ('*'|?var) ')'` — the argument list of an aggregate
+    /// call, with the function keyword already consumed.
+    fn parse_agg_body(&mut self, func: AggFuncAst) -> Result<(bool, Option<String>), ParseError> {
+        self.expect_punct("(")?;
+        let mut distinct = false;
+        if self.at_keyword("DISTINCT") {
+            self.advance();
+            distinct = true;
+        }
+        let arg = if self.at_punct("*") {
+            if func != AggFuncAst::Count {
+                return Err(self.err(format!("`*` is only valid in COUNT, not {}", func.name())));
+            }
+            self.advance();
+            None
+        } else {
+            match self.peek().clone() {
+                TokenKind::Var(name) => {
+                    self.advance();
+                    Some(name)
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `*` or a variable in {}(…), found {other}",
+                        func.name()
+                    )))
+                }
+            }
+        };
+        self.expect_punct(")")?;
+        Ok((distinct, arg))
     }
 
     /// `ORDER BY` keys: `?var`, `ASC(expr)`, `DESC(expr)`, or a
@@ -592,6 +714,18 @@ impl Parser {
                     kw.to_ascii_lowercase(),
                     hsp_rdf::vocab::XSD_BOOLEAN,
                 )))
+            }
+            TokenKind::Keyword(kw) if Self::agg_func(&kw).is_some() => {
+                // Aggregate call — only meaningful inside HAVING; lowering
+                // rejects it anywhere else.
+                let func = Self::agg_func(&kw).expect("guarded");
+                self.advance();
+                let (distinct, arg) = self.parse_agg_body(func)?;
+                Ok(ExprAst::Agg {
+                    func,
+                    distinct,
+                    arg,
+                })
             }
             TokenKind::Keyword(kw) if crate::expr::Func::from_name(&kw).is_some() => {
                 self.advance();

@@ -152,6 +152,13 @@ fn plan_with(
     ds: &Dataset,
     query: &JoinQuery,
 ) -> Result<(PhysicalPlan, JoinQuery), String> {
+    if query.is_aggregate() && planner != "hsp" {
+        return Err(format!(
+            "aggregation (GROUP BY / HAVING / aggregate functions) is only \
+             planned by the hsp planner; `--planner {planner}` does not \
+             support it"
+        ));
+    }
     match planner {
         "hsp" => {
             let p = HspPlanner::new().plan(query).map_err(|e| e.to_string())?;
@@ -294,12 +301,9 @@ fn run() -> Result<(), String> {
                         .projection
                         .iter()
                         .map(|&(_, v)| {
-                            let id = output.table.value(v, i);
-                            if id.is_unbound() {
-                                None
-                            } else {
-                                Some(ds.dict().term(id).clone())
-                            }
+                            // `ExecOutput::term` resolves both dictionary
+                            // ids and computed (aggregate-output) ids.
+                            output.term(&ds, output.table.value(v, i))
                         })
                         .collect()
                 })

@@ -136,6 +136,13 @@ pub fn evaluate_ast_in(
     config: &ExecConfig,
     ctx: &ExecContext,
 ) -> Result<ExtendedOutput, ExtendedError> {
+    // Aggregation (GROUP BY / HAVING / aggregate select items) lives in
+    // the join-query fragment: lower the whole AST there, plan with HSP,
+    // and let the engine's γ breaker do the work. OPTIONAL/UNION cannot
+    // be combined with aggregates (typed error, not a silent drop).
+    if !query.aggregates.is_empty() || !query.group_by.is_empty() || query.having.is_some() {
+        return evaluate_aggregate_in(ds, query, config, ctx);
+    }
     let mut vars = VarTable::default();
     let table = eval_group(ds, &query.where_clause, &mut vars, config, ctx)?;
 
@@ -248,6 +255,52 @@ pub fn evaluate_ast_in(
         columns: projection.into_iter().map(|(n, _)| n).collect(),
         rows,
     })
+}
+
+/// Aggregate queries take the planner path end to end: the HSP plan gets a
+/// [`PhysicalPlan::HashAggregate`] between the residual filters and the
+/// projection, the engine's γ breaker (or its operator-at-a-time oracle)
+/// computes the groups, and `ORDER BY`/`DISTINCT`/`LIMIT` ride along as
+/// plan modifiers. Aggregate outputs are computed-overlay ids, so term
+/// materialisation goes through [`hsp_engine::ExecOutput::term`] rather
+/// than the dictionary alone.
+fn evaluate_aggregate_in(
+    ds: &Dataset,
+    query: &Query,
+    config: &ExecConfig,
+    ctx: &ExecContext,
+) -> Result<ExtendedOutput, ExtendedError> {
+    use hsp_sparql::algebra::AlgebraError;
+    let jq = JoinQuery::from_ast(query).map_err(|e| match e {
+        AlgebraError::UnsupportedFeature(what) => ExtendedError::Eval(format!(
+            "aggregation (GROUP BY / HAVING / aggregate functions) is only \
+             supported over conjunctive patterns + FILTER; this query also \
+             uses {what}"
+        )),
+        other => ExtendedError::Eval(other.to_string()),
+    })?;
+    let planned = HspPlanner::new()
+        .plan(&jq)
+        .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+    let output = execute_in(&planned.plan, ds, config, ctx)
+        .map_err(|e| ExtendedError::Eval(e.to_string()))?;
+    let columns: Vec<String> = planned
+        .query
+        .projection
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    let rows = (0..output.table.len())
+        .map(|i| {
+            planned
+                .query
+                .projection
+                .iter()
+                .map(|&(_, v)| output.term(ds, output.table.value(v, i)))
+                .collect()
+        })
+        .collect();
+    Ok(ExtendedOutput { columns, rows })
 }
 
 /// [`hsp_sparql::Bindings`] over one row of the final (pre-projection)
@@ -502,6 +555,9 @@ fn block_plan(
         distinct: false,
         var_names: vars.names.clone(),
         modifiers: Default::default(),
+        group_by: vec![],
+        aggregates: vec![],
+        having: None,
     };
     let planned = HspPlanner::new()
         .plan(&query)

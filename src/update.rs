@@ -141,6 +141,9 @@ fn delete_where(
         distinct: false,
         reduced: false,
         projection: None,
+        aggregates: Vec::new(),
+        group_by: Vec::new(),
+        having: None,
         where_clause: group.clone(),
         order_by: Vec::new(),
         limit: None,

@@ -1,0 +1,723 @@
+//! Differential SPARQL 1.1 aggregation conformance suite.
+//!
+//! Every query in the corpus runs twice per thread count:
+//!
+//! 1. through the default pipelined executor (the morsel-parallel two-phase
+//!    γ breaker in `hsp_engine::pipeline`), at **forced** thread counts
+//!    1–4 with tiny morsels so even this small dataset splits across
+//!    workers, and
+//! 2. through the row-at-a-time reference implementation
+//!    (`hsp_engine::reference::hash_aggregate`, reached via
+//!    `ExecStrategy::OperatorAtATime`),
+//!
+//! and the two must agree **byte-identically** — same rows, same order,
+//! same serialised SPARQL-JSON document. On top of the differential check,
+//! every case carries hand-checked expected rows verified against the
+//! SPARQL 1.1 §18.5 aggregate definitions, so both arms can't be wrong
+//! together.
+
+use hsp_engine::exec::ExecStrategy;
+use hsp_engine::{ExecConfig, ExecContext, MorselConfig};
+use hsp_rdf::Term;
+use hsp_store::Dataset;
+use sparql_hsp::extended::{evaluate_extended_in, ExtendedOutput};
+use sparql_hsp::results;
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+
+/// Nine employees over three departments, with duplicate salaries (DISTINCT
+/// coverage), a sparse `bonus` predicate (join + group-size skew), a
+/// mixed-numeric `score` predicate (integer/decimal/double promotion), and
+/// a sparse string-valued `name` predicate.
+fn dataset() -> Dataset {
+    let mut nt = String::new();
+    let dept = [
+        ("e1", "d1"),
+        ("e2", "d1"),
+        ("e3", "d1"),
+        ("e4", "d1"),
+        ("e5", "d2"),
+        ("e6", "d2"),
+        ("e7", "d2"),
+        ("e8", "d3"),
+        ("e9", "d3"),
+    ];
+    let salary = [
+        ("e1", 10),
+        ("e2", 20),
+        ("e3", 20),
+        ("e4", 30),
+        ("e5", 5),
+        ("e6", 15),
+        ("e7", 40),
+        ("e8", 25),
+        ("e9", 25),
+    ];
+    for (e, d) in dept {
+        nt.push_str(&format!(
+            "<http://e/{e}> <http://e/dept> <http://e/{d}> .\n"
+        ));
+    }
+    for (e, s) in salary {
+        nt.push_str(&format!(
+            "<http://e/{e}> <http://e/salary> \"{s}\"^^<{XSD_INTEGER}> .\n"
+        ));
+    }
+    for (e, b) in [("e1", 100), ("e2", 100), ("e5", 7)] {
+        nt.push_str(&format!(
+            "<http://e/{e}> <http://e/bonus> \"{b}\"^^<{XSD_INTEGER}> .\n"
+        ));
+    }
+    nt.push_str(&format!(
+        "<http://e/e1> <http://e/score> \"1\"^^<{XSD_INTEGER}> .\n"
+    ));
+    nt.push_str(&format!(
+        "<http://e/e2> <http://e/score> \"2.5\"^^<{XSD_DECIMAL}> .\n"
+    ));
+    nt.push_str(&format!(
+        "<http://e/e3> <http://e/score> \"4.0\"^^<{XSD_DOUBLE}> .\n"
+    ));
+    for (e, n) in [
+        ("e1", "alice"),
+        ("e2", "bob"),
+        ("e3", "alice"),
+        ("e4", "bob"),
+    ] {
+        nt.push_str(&format!("<http://e/{e}> <http://e/name> \"{n}\" .\n"));
+    }
+    Dataset::from_ntriples(&nt).expect("corpus dataset parses")
+}
+
+fn int(n: i64) -> Option<Term> {
+    Some(Term::typed_literal(n.to_string(), XSD_INTEGER))
+}
+
+fn dec(lexical: &str) -> Option<Term> {
+    Some(Term::typed_literal(lexical, XSD_DECIMAL))
+}
+
+fn dbl(lexical: &str) -> Option<Term> {
+    Some(Term::typed_literal(lexical, XSD_DOUBLE))
+}
+
+fn iri(local: &str) -> Option<Term> {
+    Some(Term::iri(format!("http://e/{local}")))
+}
+
+fn lit(s: &str) -> Option<Term> {
+    Some(Term::literal(s))
+}
+
+struct Case {
+    name: &'static str,
+    query: &'static str,
+    columns: &'static [&'static str],
+    expected: Vec<Vec<Option<Term>>>,
+}
+
+/// The hand-checked corpus. Grouped queries carry `ORDER BY` on a group
+/// key (or rely on the deterministic first-seen order of a single sorted
+/// scan) so expected rows are stable by construction.
+fn corpus() -> Vec<Case> {
+    vec![
+        // --- COUNT ---------------------------------------------------
+        Case {
+            name: "count_star_all_triples",
+            query: "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }",
+            columns: &["n"],
+            expected: vec![vec![int(28)]],
+        },
+        Case {
+            name: "count_star_salaries",
+            query: "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["n"],
+            expected: vec![vec![int(9)]],
+        },
+        Case {
+            name: "count_var_ungrouped",
+            query: "SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["n"],
+            expected: vec![vec![int(9)]],
+        },
+        Case {
+            name: "count_star_by_dept",
+            query: "SELECT ?d (COUNT(*) AS ?n) WHERE { ?s <http://e/dept> ?d . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![
+                vec![iri("d1"), int(4)],
+                vec![iri("d2"), int(3)],
+                vec![iri("d3"), int(2)],
+            ],
+        },
+        Case {
+            name: "count_var_by_dept",
+            query: "SELECT ?d (COUNT(?sal) AS ?n) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![
+                vec![iri("d1"), int(4)],
+                vec![iri("d2"), int(3)],
+                vec![iri("d3"), int(2)],
+            ],
+        },
+        // --- SUM / MIN / MAX / AVG ----------------------------------
+        Case {
+            name: "sum_ungrouped",
+            query: "SELECT (SUM(?sal) AS ?t) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["t"],
+            expected: vec![vec![int(190)]],
+        },
+        Case {
+            name: "sum_by_dept",
+            query: "SELECT ?d (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "t"],
+            expected: vec![
+                vec![iri("d1"), int(80)],
+                vec![iri("d2"), int(60)],
+                vec![iri("d3"), int(50)],
+            ],
+        },
+        Case {
+            name: "min_ungrouped",
+            query: "SELECT (MIN(?sal) AS ?lo) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["lo"],
+            expected: vec![vec![int(5)]],
+        },
+        Case {
+            name: "max_ungrouped",
+            query: "SELECT (MAX(?sal) AS ?hi) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["hi"],
+            expected: vec![vec![int(40)]],
+        },
+        Case {
+            name: "min_by_dept",
+            query: "SELECT ?d (MIN(?sal) AS ?lo) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "lo"],
+            expected: vec![
+                vec![iri("d1"), int(10)],
+                vec![iri("d2"), int(5)],
+                vec![iri("d3"), int(25)],
+            ],
+        },
+        Case {
+            name: "max_by_dept",
+            query: "SELECT ?d (MAX(?sal) AS ?hi) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "hi"],
+            expected: vec![
+                vec![iri("d1"), int(30)],
+                vec![iri("d2"), int(40)],
+                vec![iri("d3"), int(25)],
+            ],
+        },
+        Case {
+            name: "avg_filtered_ungrouped",
+            query: "SELECT (AVG(?sal) AS ?a) WHERE { \
+                    ?s <http://e/dept> <http://e/d1> . ?s <http://e/salary> ?sal . }",
+            columns: &["a"],
+            expected: vec![vec![dec("20.0")]],
+        },
+        Case {
+            name: "avg_by_dept",
+            query: "SELECT ?d (AVG(?sal) AS ?a) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "a"],
+            expected: vec![
+                vec![iri("d1"), dec("20.0")],
+                vec![iri("d2"), dec("20.0")],
+                vec![iri("d3"), dec("25.0")],
+            ],
+        },
+        // --- DISTINCT inside aggregates ------------------------------
+        Case {
+            name: "count_distinct_ungrouped",
+            query: "SELECT (COUNT(DISTINCT ?sal) AS ?n) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["n"],
+            expected: vec![vec![int(7)]],
+        },
+        Case {
+            name: "count_distinct_by_dept",
+            query: "SELECT ?d (COUNT(DISTINCT ?sal) AS ?n) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![
+                vec![iri("d1"), int(3)],
+                vec![iri("d2"), int(3)],
+                vec![iri("d3"), int(1)],
+            ],
+        },
+        Case {
+            name: "sum_distinct_ungrouped",
+            query: "SELECT (SUM(DISTINCT ?sal) AS ?t) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["t"],
+            expected: vec![vec![int(145)]],
+        },
+        Case {
+            name: "sum_distinct_by_dept",
+            query: "SELECT ?d (SUM(DISTINCT ?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "t"],
+            expected: vec![
+                vec![iri("d1"), int(60)],
+                vec![iri("d2"), int(60)],
+                vec![iri("d3"), int(25)],
+            ],
+        },
+        Case {
+            name: "avg_distinct_by_dept",
+            query: "SELECT ?d (AVG(DISTINCT ?sal) AS ?a) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "a"],
+            expected: vec![
+                vec![iri("d1"), dec("20.0")],
+                vec![iri("d2"), dec("20.0")],
+                vec![iri("d3"), dec("25.0")],
+            ],
+        },
+        Case {
+            name: "count_distinct_names",
+            query: "SELECT (COUNT(DISTINCT ?n) AS ?c) WHERE { ?s <http://e/name> ?n . }",
+            columns: &["c"],
+            expected: vec![vec![int(2)]],
+        },
+        Case {
+            name: "min_distinct_same_as_min",
+            query: "SELECT (MIN(DISTINCT ?sal) AS ?lo) WHERE { ?s <http://e/salary> ?sal . }",
+            columns: &["lo"],
+            expected: vec![vec![int(5)]],
+        },
+        // --- Non-numeric arguments ----------------------------------
+        Case {
+            name: "min_string",
+            query: "SELECT (MIN(?n) AS ?first) WHERE { ?s <http://e/name> ?n . }",
+            columns: &["first"],
+            expected: vec![vec![lit("alice")]],
+        },
+        Case {
+            name: "min_iri",
+            query: "SELECT (MIN(?d) AS ?firstDept) WHERE { ?s <http://e/dept> ?d . }",
+            columns: &["firstDept"],
+            expected: vec![vec![iri("d1")]],
+        },
+        // --- HAVING --------------------------------------------------
+        Case {
+            name: "having_count",
+            query: "SELECT ?d (COUNT(*) AS ?n) WHERE { ?s <http://e/dept> ?d . } \
+                    GROUP BY ?d HAVING (COUNT(*) > 2) ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![vec![iri("d1"), int(4)], vec![iri("d2"), int(3)]],
+        },
+        Case {
+            name: "having_sum",
+            query: "SELECT ?d (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d HAVING (SUM(?sal) >= 60) ORDER BY ?d",
+            columns: &["d", "t"],
+            expected: vec![vec![iri("d1"), int(80)], vec![iri("d2"), int(60)]],
+        },
+        Case {
+            name: "having_avg",
+            query: "SELECT ?d (AVG(?sal) AS ?a) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d HAVING (AVG(?sal) > 20) ORDER BY ?d",
+            columns: &["d", "a"],
+            expected: vec![vec![iri("d3"), dec("25.0")]],
+        },
+        Case {
+            name: "having_on_unprojected_aggregate",
+            query: "SELECT ?d (COUNT(*) AS ?n) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d HAVING (MAX(?sal) > 29) ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![vec![iri("d1"), int(4)], vec![iri("d2"), int(3)]],
+        },
+        // --- Empty input: COUNT 0 (ungrouped) vs no group (grouped) --
+        Case {
+            name: "empty_count_var",
+            query: "SELECT (COUNT(?o) AS ?n) WHERE { ?s <http://e/missing> ?o . }",
+            columns: &["n"],
+            expected: vec![vec![int(0)]],
+        },
+        Case {
+            name: "empty_count_star",
+            query: "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://e/missing> ?o . }",
+            columns: &["n"],
+            expected: vec![vec![int(0)]],
+        },
+        Case {
+            name: "empty_sum_is_zero",
+            query: "SELECT (SUM(?o) AS ?t) WHERE { ?s <http://e/missing> ?o . }",
+            columns: &["t"],
+            expected: vec![vec![int(0)]],
+        },
+        Case {
+            name: "empty_min_is_unbound",
+            query: "SELECT (MIN(?o) AS ?lo) WHERE { ?s <http://e/missing> ?o . }",
+            columns: &["lo"],
+            expected: vec![vec![None]],
+        },
+        Case {
+            name: "empty_grouped_has_no_groups",
+            query: "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <http://e/missing> ?o . } \
+                    GROUP BY ?s",
+            columns: &["s", "n"],
+            expected: vec![],
+        },
+        // --- Grouping shapes ----------------------------------------
+        Case {
+            name: "group_by_two_keys",
+            query: "SELECT ?d ?sal (COUNT(*) AS ?n) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ?sal ORDER BY ?d ?sal",
+            columns: &["d", "sal", "n"],
+            expected: vec![
+                vec![iri("d1"), int(10), int(1)],
+                vec![iri("d1"), int(20), int(2)],
+                vec![iri("d1"), int(30), int(1)],
+                vec![iri("d2"), int(5), int(1)],
+                vec![iri("d2"), int(15), int(1)],
+                vec![iri("d2"), int(40), int(1)],
+                vec![iri("d3"), int(25), int(2)],
+            ],
+        },
+        Case {
+            name: "group_by_duplicate_values",
+            query: "SELECT ?sal (COUNT(*) AS ?n) WHERE { ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?sal ORDER BY ?sal",
+            columns: &["sal", "n"],
+            expected: vec![
+                vec![int(5), int(1)],
+                vec![int(10), int(1)],
+                vec![int(15), int(1)],
+                vec![int(20), int(2)],
+                vec![int(25), int(2)],
+                vec![int(30), int(1)],
+                vec![int(40), int(1)],
+            ],
+        },
+        Case {
+            name: "group_key_not_projected",
+            query: "SELECT (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?t",
+            columns: &["t"],
+            expected: vec![vec![int(50)], vec![int(60)], vec![int(80)]],
+        },
+        // --- Aggregation above a join / filter ----------------------
+        Case {
+            name: "join_count_by_dept",
+            query: "SELECT ?d (COUNT(*) AS ?n) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/bonus> ?b . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "n"],
+            expected: vec![vec![iri("d1"), int(2)], vec![iri("d2"), int(1)]],
+        },
+        Case {
+            name: "join_sum_distinct_bonus",
+            query: "SELECT ?d (SUM(DISTINCT ?b) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/bonus> ?b . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "t"],
+            expected: vec![vec![iri("d1"), int(100)], vec![iri("d2"), int(7)]],
+        },
+        Case {
+            name: "filter_then_sum",
+            query: "SELECT ?d (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . \
+                    FILTER(?sal > 10) } GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "t"],
+            expected: vec![
+                vec![iri("d1"), int(70)],
+                vec![iri("d2"), int(55)],
+                vec![iri("d3"), int(50)],
+            ],
+        },
+        // --- Solution modifiers over aggregate output ----------------
+        Case {
+            name: "order_by_aggregate_output",
+            query: "SELECT ?d (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?t",
+            columns: &["d", "t"],
+            expected: vec![
+                vec![iri("d3"), int(50)],
+                vec![iri("d2"), int(60)],
+                vec![iri("d1"), int(80)],
+            ],
+        },
+        Case {
+            name: "order_by_aggregate_desc_limit",
+            query: "SELECT ?d (SUM(?sal) AS ?t) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY DESC(?t) LIMIT 2",
+            columns: &["d", "t"],
+            expected: vec![vec![iri("d1"), int(80)], vec![iri("d2"), int(60)]],
+        },
+        // --- Mixed numeric promotion (integer + decimal + double) ----
+        Case {
+            name: "mixed_numeric_sum",
+            query: "SELECT (SUM(?x) AS ?t) WHERE { ?s <http://e/score> ?x . }",
+            columns: &["t"],
+            expected: vec![vec![dbl("7.5E0")]],
+        },
+        Case {
+            name: "mixed_numeric_avg",
+            query: "SELECT (AVG(?x) AS ?a) WHERE { ?s <http://e/score> ?x . }",
+            columns: &["a"],
+            expected: vec![vec![dbl("2.5E0")]],
+        },
+        Case {
+            name: "mixed_numeric_min_max_keep_original_terms",
+            query: "SELECT (MIN(?x) AS ?lo) (MAX(?x) AS ?hi) WHERE { ?s <http://e/score> ?x . }",
+            columns: &["lo", "hi"],
+            expected: vec![vec![int(1), dbl("4.0")]],
+        },
+        // --- Everything at once --------------------------------------
+        Case {
+            name: "all_aggregates_by_dept",
+            query: "SELECT ?d (COUNT(*) AS ?n) (SUM(?sal) AS ?t) (MIN(?sal) AS ?lo) \
+                    (MAX(?sal) AS ?hi) (AVG(?sal) AS ?a) WHERE { \
+                    ?s <http://e/dept> ?d . ?s <http://e/salary> ?sal . } \
+                    GROUP BY ?d ORDER BY ?d",
+            columns: &["d", "n", "t", "lo", "hi", "a"],
+            expected: vec![
+                vec![iri("d1"), int(4), int(80), int(10), int(30), dec("20.0")],
+                vec![iri("d2"), int(3), int(60), int(5), int(40), dec("20.0")],
+                vec![iri("d3"), int(2), int(50), int(25), int(25), dec("25.0")],
+            ],
+        },
+    ]
+}
+
+/// Evaluate through the default pipelined executor at a forced thread
+/// count (tiny morsels, no row threshold — real splitting even on this
+/// dataset).
+fn pipelined(ds: &Dataset, query: &str, threads: usize) -> Result<ExtendedOutput, String> {
+    let config = ExecConfig::unlimited();
+    let ctx = ExecContext::with_morsel_config(
+        MorselConfig::with_threads(threads)
+            .with_morsel_rows(3)
+            .with_min_parallel_rows(0),
+    );
+    evaluate_extended_in(ds, query, &config, &ctx).map_err(|e| e.to_string())
+}
+
+/// Evaluate through the operator-at-a-time oracle (row-at-a-time
+/// `reference::hash_aggregate`).
+fn reference(ds: &Dataset, query: &str) -> Result<ExtendedOutput, String> {
+    let config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
+    let ctx = config.context();
+    evaluate_extended_in(ds, query, &config, &ctx).map_err(|e| e.to_string())
+}
+
+#[test]
+fn corpus_is_large_enough() {
+    assert!(
+        corpus().len() >= 30,
+        "conformance corpus shrank below 30 queries ({})",
+        corpus().len()
+    );
+}
+
+/// The tentpole assertion: reference output equals the hand-checked
+/// SPARQL 1.1 expectation, and the pipelined executor reproduces it
+/// byte-identically at forced thread counts 1–4.
+#[test]
+fn corpus_matches_reference_and_spec() {
+    let ds = dataset();
+    for case in corpus() {
+        let oracle = reference(&ds, case.query)
+            .unwrap_or_else(|e| panic!("{}: reference failed: {e}", case.name));
+        assert_eq!(
+            oracle.columns, case.columns,
+            "{}: projected columns",
+            case.name
+        );
+        assert_eq!(
+            oracle.rows, case.expected,
+            "{}: reference disagrees with the hand-checked expectation",
+            case.name
+        );
+        let oracle_json = results::to_sparql_json(&oracle);
+        for threads in 1..=4 {
+            let out = pipelined(&ds, case.query, threads)
+                .unwrap_or_else(|e| panic!("{}: pipelined t={threads} failed: {e}", case.name));
+            assert_eq!(
+                out.rows, oracle.rows,
+                "{}: pipelined rows diverge from reference at threads={threads}",
+                case.name
+            );
+            assert_eq!(
+                results::to_sparql_json(&out),
+                oracle_json,
+                "{}: serialised JSON diverges at threads={threads}",
+                case.name
+            );
+        }
+    }
+}
+
+/// SUM over a non-numeric argument is a typed error — on both arms, at
+/// every thread count, never a panic.
+#[test]
+fn sum_over_strings_is_a_typed_error_on_both_arms() {
+    let ds = dataset();
+    let query = "SELECT (SUM(?n) AS ?t) WHERE { ?s <http://e/name> ?n . }";
+    let oracle = reference(&ds, query).expect_err("reference must reject SUM over strings");
+    assert!(
+        oracle.contains("SUM"),
+        "error should name the aggregate: {oracle}"
+    );
+    for threads in 1..=4 {
+        let err = pipelined(&ds, query, threads)
+            .expect_err("pipelined executor must reject SUM over strings");
+        assert_eq!(err, oracle, "error text diverges at threads={threads}");
+    }
+}
+
+/// AVG over a dataset mixing numbers and strings errors too (the fold hits
+/// the string), with the aggregate named in the message.
+#[test]
+fn avg_over_mixed_name_and_number_errors() {
+    let ds = dataset();
+    // ?v spans both numeric salaries and string names via the predicate
+    // variable — a type error per SPARQL's op:numeric-add.
+    let query = "SELECT (AVG(?v) AS ?a) WHERE { ?s ?p ?v . }";
+    let oracle = reference(&ds, query).expect_err("reference must reject AVG over mixed terms");
+    for threads in 1..=4 {
+        let err = pipelined(&ds, query, threads).expect_err("pipelined must reject too");
+        assert_eq!(err, oracle, "error text diverges at threads={threads}");
+    }
+}
+
+/// OPTIONAL cannot be combined with aggregation (typed error, not a
+/// silent drop of the GROUP BY).
+#[test]
+fn optional_plus_aggregate_is_rejected() {
+    let ds = dataset();
+    let query = "SELECT ?d (COUNT(?b) AS ?n) WHERE { \
+                 ?s <http://e/dept> ?d . OPTIONAL { ?s <http://e/bonus> ?b . } } \
+                 GROUP BY ?d";
+    let err = reference(&ds, query).expect_err("OPTIONAL + aggregates must be rejected");
+    assert!(
+        err.contains("OPTIONAL"),
+        "error should name the feature: {err}"
+    );
+}
+
+/// COUNT(*) vs COUNT(?x) over rows with genuinely unbound values: a
+/// hand-built plan puts the γ breaker above a left-outer join (the
+/// OPTIONAL operator), so `?b` is unbound for employees without a bonus.
+/// COUNT(*) counts every group row, COUNT(?b)/SUM(?b)/MIN(?b) skip the
+/// unbound ones — and the pipelined breaker agrees with the reference
+/// byte-for-byte at forced thread counts 1–4.
+#[test]
+fn count_star_vs_count_var_over_unbound_rows() {
+    use hsp_engine::{execute_in, PhysicalPlan};
+    use hsp_sparql::algebra::{AggFunc, AggSpec};
+    use hsp_sparql::{TermOrVar, TriplePattern, Var};
+    use hsp_store::Order;
+
+    let ds = dataset();
+    let scan = |idx: usize, pred: &str, s: Var, o: Var| PhysicalPlan::Scan {
+        pattern_idx: idx,
+        pattern: TriplePattern::new(
+            TermOrVar::Var(s),
+            TermOrVar::Const(Term::iri(format!("http://e/{pred}"))),
+            TermOrVar::Var(o),
+        ),
+        order: Order::Pso,
+    };
+    // ?s dept ?d LEFT JOIN ?s bonus ?b, then γ{?d} COUNT(*), COUNT(?b),
+    // SUM(?b), MIN(?b).
+    let (s, d, b) = (Var(0), Var(1), Var(2));
+    let agg = |func: AggFunc, arg: Option<Var>, out: Var, name: &str| AggSpec {
+        func,
+        distinct: false,
+        arg,
+        out,
+        name: name.to_string(),
+    };
+    let plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::LeftOuterHashJoin {
+                left: Box::new(scan(0, "dept", s, d)),
+                right: Box::new(scan(1, "bonus", s, b)),
+                vars: vec![s],
+            }),
+            group_by: vec![d],
+            aggs: vec![
+                agg(AggFunc::Count, None, Var(3), "n"),
+                agg(AggFunc::Count, Some(b), Var(4), "nb"),
+                agg(AggFunc::Sum, Some(b), Var(5), "sb"),
+                agg(AggFunc::Min, Some(b), Var(6), "lo"),
+            ],
+            having: None,
+        }),
+        projection: vec![
+            ("d".into(), d),
+            ("n".into(), Var(3)),
+            ("nb".into(), Var(4)),
+            ("sb".into(), Var(5)),
+            ("lo".into(), Var(6)),
+        ],
+        distinct: false,
+    };
+
+    let oracle_config = ExecConfig::unlimited().with_strategy(ExecStrategy::OperatorAtATime);
+    let oracle =
+        execute_in(&plan, &ds, &oracle_config, &oracle_config.context()).expect("oracle executes");
+    // Hand-check: d1 has 4 employees / 2 bonuses (100+100), d2 has 3 / 1
+    // (7), d3 has 2 / 0 (SUM over no bound values is 0, MIN is unbound).
+    let resolve = |out: &hsp_engine::ExecOutput, row: usize, col: Var| {
+        out.term(&ds, out.table.value(col, row))
+    };
+    assert_eq!(oracle.table.len(), 3);
+    let expect = [
+        ("d1", 4, 2, 200, int(100)),
+        ("d2", 3, 1, 7, int(7)),
+        ("d3", 2, 0, 0, None),
+    ];
+    for (row, (dept, n, nb, sb, lo)) in expect.into_iter().enumerate() {
+        assert_eq!(resolve(&oracle, row, d), iri(dept), "group key row {row}");
+        assert_eq!(resolve(&oracle, row, Var(3)), int(n), "COUNT(*) for {dept}");
+        assert_eq!(
+            resolve(&oracle, row, Var(4)),
+            int(nb),
+            "COUNT(?b) for {dept}"
+        );
+        assert_eq!(resolve(&oracle, row, Var(5)), int(sb), "SUM(?b) for {dept}");
+        assert_eq!(resolve(&oracle, row, Var(6)), lo, "MIN(?b) for {dept}");
+    }
+
+    let pipeline_config = ExecConfig::unlimited();
+    for threads in 1..=4usize {
+        let ctx = ExecContext::with_morsel_config(
+            MorselConfig::with_threads(threads)
+                .with_morsel_rows(2)
+                .with_min_parallel_rows(0),
+        );
+        let out = execute_in(&plan, &ds, &pipeline_config, &ctx).expect("pipeline executes");
+        assert_eq!(
+            &out.table, &oracle.table,
+            "tables diverge at threads={threads}"
+        );
+        assert_eq!(
+            out.computed, oracle.computed,
+            "computed-term overlays diverge at threads={threads}"
+        );
+    }
+}

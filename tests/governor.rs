@@ -16,7 +16,7 @@ use std::time::Duration;
 use hsp_engine::exec::{execute_in, ExecConfig, ExecError, ExecStrategy};
 use hsp_engine::{ExecContext, MorselConfig, PhysicalPlan};
 use hsp_rdf::Term;
-use hsp_sparql::{TermOrVar, TriplePattern, Var};
+use hsp_sparql::{AggFunc, AggSpec, TermOrVar, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
 use sparql_hsp::extended::{evaluate_extended_with, ExtendedError};
 use sparql_hsp::update::apply_update_with;
@@ -86,6 +86,24 @@ fn chain_plan() -> PhysicalPlan {
         }),
         right: Box::new(scan(2, vv(1), cv("year"), vv(3), Order::Pso)),
         vars: vec![Var(1)],
+    }
+}
+
+/// [`chain_plan`] under γ{?a} COUNT(?y): the γ fold's morsel claims are
+/// the only `"aggregate"`-site checkpoints, so matrix entries targeting
+/// that site need a plan that actually reaches the aggregate breaker.
+fn agg_plan() -> PhysicalPlan {
+    PhysicalPlan::HashAggregate {
+        input: Box::new(chain_plan()),
+        group_by: vec![Var(0)],
+        aggs: vec![AggSpec {
+            func: AggFunc::Count,
+            distinct: false,
+            arg: Some(Var(3)),
+            out: Var(4),
+            name: "n".into(),
+        }],
+        having: None,
     }
 }
 
@@ -358,11 +376,16 @@ fn externally_injected_fault_converts_to_its_typed_error() {
     if site == "operator" {
         config = config.with_strategy(ExecStrategy::OperatorAtATime);
     }
+    let plan = if site == "aggregate" {
+        agg_plan()
+    } else {
+        chain_plan()
+    };
     let mut ctx = forced_ctx(4);
     ctx.set_governor(Some(
         config.governor().expect("external fault arms a governor"),
     ));
-    let err = execute_in(&chain_plan(), &ds, &config, &ctx)
+    let err = execute_in(&plan, &ds, &config, &ctx)
         .expect_err("externally injected fault must surface as an error");
     match mode {
         "panic" => assert!(
