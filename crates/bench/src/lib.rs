@@ -18,6 +18,7 @@
 pub mod env;
 pub mod kernels;
 pub mod planners;
+pub mod serve;
 pub mod tables;
 
 pub use env::{BenchEnv, EnvConfig};

@@ -1,0 +1,358 @@
+//! Serving benchmark behind `repro -- serve`: sustained throughput and
+//! tail latency of the framed-TCP front door under a mixed concurrent
+//! workload, written to `BENCH_serve.json`.
+//!
+//! Two measurements, both over the SP2Bench-like slice of the standard
+//! 14-query workload against one [`sparql_hsp::serve::Server`] whose
+//! session owns one shared morsel pool:
+//!
+//! * `serve_overhead_t1` (**gated** by `bench_gate`): one client issues
+//!   the workload sequentially over TCP; the baseline is the same
+//!   workload evaluated in-process through [`Session::query`] with the
+//!   results rendered to the same SPARQL-JSON the server ships. The
+//!   speedup is the fraction of in-process performance the serving
+//!   layer keeps (framing + protocol parse + admission + response
+//!   rendering); it regressing means the front door grew real
+//!   per-request overhead. Single client, so the number is stable on a
+//!   small CI runner.
+//! * `serve_mixed_c4` (informational): the same request multiset fired
+//!   by [`CLIENTS`] concurrent connections against a single sequential
+//!   client issuing it back to back on one connection. On a multi-core
+//!   host the concurrent wall clock wins; on a 1–2 vCPU runner it
+//!   mostly proves admission and the shared pool do not serialize the
+//!   server, which is why the row does not gate. Its JSON row carries
+//!   the headline serving numbers: sustained `qps` and `p50_ns` /
+//!   `p99_ns` per-request latency across all concurrent clients.
+//!
+//! The JSON mirrors the `BENCH_ops.json` line shape (`bench_gate`
+//! parses rows line by line), with a trailing `pool_batches` /
+//! `pool_cross_query_switches` pair taken from the shared pool's
+//! counters — direct evidence that concurrent queries' morsels really
+//! were scheduled on one pool during the run.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use hsp_datagen::{workload, DatasetKind};
+use sparql_hsp::results;
+use sparql_hsp::serve::{Client, ServeConfig, Server};
+use sparql_hsp::session::{Request, Session, SessionOptions};
+
+use crate::{BenchEnv, EnvConfig};
+
+/// Concurrent connections in the mixed phase.
+pub const CLIENTS: usize = 4;
+
+/// Passes each client makes over the workload (so the concurrent phase
+/// has enough requests in flight to overlap meaningfully).
+const PASSES: usize = 3;
+
+/// One measured serving row.
+pub struct ServeResult {
+    /// Row name (`*_t1` rows gate in CI).
+    pub name: String,
+    /// Reference wall-clock nanoseconds (see module docs per row).
+    pub baseline_ns: u128,
+    /// Measured wall-clock nanoseconds of the serving path.
+    pub optimized_ns: u128,
+    /// Sustained queries per second, when the row measures throughput.
+    pub qps: Option<f64>,
+    /// Median per-request latency across all clients.
+    pub p50_ns: Option<u128>,
+    /// 99th-percentile per-request latency across all clients.
+    pub p99_ns: Option<u128>,
+}
+
+impl ServeResult {
+    /// Baseline time over measured time.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+/// The full report: rows plus the shared pool's cross-query counters.
+pub struct ServeReport {
+    pub rows: Vec<ServeResult>,
+    /// Morsel batches the shared pool dispatched during the run.
+    pub pool_batches: u64,
+    /// Worker claim-switches between different queries' batches.
+    pub pool_cross_query_switches: u64,
+}
+
+/// The SP2Bench-like half of the standard workload (the server holds one
+/// dataset), as `(id, text)` pairs.
+fn sp2b_queries() -> Vec<(String, String)> {
+    workload()
+        .into_iter()
+        .filter(|q| q.dataset == DatasetKind::Sp2Bench)
+        .map(|q| (q.id.to_string(), q.text.to_string()))
+        .collect()
+}
+
+/// Request options shared by every benchmark request: enough thread
+/// budget that `workers_for` routes morsels to the shared pool.
+const REQ_OPTS: &str = "threads=4";
+
+/// Issue `passes` passes over `queries` on one connection, starting each
+/// pass at a different offset (so concurrent callers overlap *different*
+/// queries). Returns per-request latencies; panics on any non-`OK`.
+fn run_client(
+    addr: SocketAddr,
+    queries: &[(String, String)],
+    passes: usize,
+    stagger: usize,
+) -> Vec<u128> {
+    let mut client = Client::connect(addr).expect("bench client connects");
+    let mut latencies = Vec::with_capacity(passes * queries.len());
+    for pass in 0..passes {
+        for i in 0..queries.len() {
+            let (id, text) = &queries[(i + stagger + pass) % queries.len()];
+            let start = Instant::now();
+            let response = client
+                .query(REQ_OPTS, text)
+                .unwrap_or_else(|e| panic!("{id}: transport error: {e}"));
+            latencies.push(start.elapsed().as_nanos());
+            assert!(
+                response.starts_with("OK "),
+                "{id}: server refused a benchmark query: {}",
+                response.lines().next().unwrap_or("")
+            );
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run the serving benchmark. Loads its own small dataset pair (the
+/// serving numbers measure the front door, not dataset scale), so it
+/// does not need the repro environment.
+pub fn measure_serve() -> ServeReport {
+    let env = BenchEnv::load(EnvConfig::small());
+    let ds = env.dataset(DatasetKind::Sp2Bench);
+    let queries = sp2b_queries();
+    assert!(queries.len() >= 4, "workload shrank unexpectedly");
+
+    // In-process reference: the same queries through Session::query on a
+    // pool-less session, rendered to the SPARQL-JSON the server ships —
+    // everything the serving layer adds on top of this is its overhead.
+    let in_process = Session::with_options(
+        ds.clone(),
+        SessionOptions {
+            pool_threads: Some(0),
+            ..SessionOptions::default()
+        },
+    );
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        for (id, text) in &queries {
+            let response = in_process
+                .query(Request::new(text))
+                .unwrap_or_else(|e| panic!("{id} failed in-process: {e}"));
+            std::hint::black_box(results::to_sparql_json(&response.output));
+        }
+    }
+    let in_process_ns = start.elapsed().as_nanos();
+
+    // One server, one shared pool, for both serving phases. Tiny morsels
+    // and no sequential-below threshold so the small benchmark dataset
+    // still exercises real pool scheduling.
+    let session = Session::with_options(
+        ds.clone(),
+        SessionOptions {
+            pool_threads: Some(2),
+            morsel_rows: Some(512),
+            min_parallel_rows: Some(0),
+        },
+    );
+    let server = Server::start(session, ServeConfig::default()).expect("bench server starts");
+    let addr = server.addr();
+
+    // Phase 1 — one client, sequential: the serving-layer overhead row.
+    let start = Instant::now();
+    let serial_one = run_client(addr, &queries, PASSES, 0);
+    let serial_one_ns = start.elapsed().as_nanos();
+    assert_eq!(serial_one.len(), PASSES * queries.len());
+
+    // Phase 2a — the concurrent request multiset issued back to back on
+    // one connection: the serial reference for the concurrency row.
+    let start = Instant::now();
+    for stagger in 0..CLIENTS {
+        run_client(addr, &queries, PASSES, stagger);
+    }
+    let serial_all_ns = start.elapsed().as_nanos();
+
+    // Phase 2b — the same multiset from CLIENTS concurrent connections.
+    let start = Instant::now();
+    let mut latencies: Vec<u128> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|stagger| {
+                let queries = &queries;
+                scope.spawn(move || run_client(addr, queries, PASSES, stagger))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let concurrent_ns = start.elapsed().as_nanos();
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let qps = requests as f64 / (concurrent_ns as f64 / 1e9);
+
+    let stats = server
+        .session()
+        .pool_stats()
+        .expect("benchmark session is pooled");
+    server.shutdown();
+
+    ServeReport {
+        rows: vec![
+            ServeResult {
+                name: "serve_overhead_t1".into(),
+                baseline_ns: in_process_ns,
+                optimized_ns: serial_one_ns,
+                qps: None,
+                p50_ns: None,
+                p99_ns: None,
+            },
+            ServeResult {
+                name: format!("serve_mixed_c{CLIENTS}"),
+                baseline_ns: serial_all_ns,
+                optimized_ns: concurrent_ns,
+                qps: Some(qps),
+                p50_ns: Some(percentile(&latencies, 0.50)),
+                p99_ns: Some(percentile(&latencies, 0.99)),
+            },
+        ],
+        pool_batches: stats.batches,
+        pool_cross_query_switches: stats.cross_query_switches,
+    }
+}
+
+/// Human-readable summary for the terminal.
+pub fn render_text(report: &ServeReport) -> String {
+    let mut out = String::from("Serving benchmark (framed TCP, one shared morsel pool)\n\n");
+    writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>9}",
+        "row", "reference", "measured", "speedup"
+    )
+    .expect("writing to String");
+    for r in &report.rows {
+        writeln!(
+            out,
+            "{:<20} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            r.name,
+            r.baseline_ns as f64 / 1e6,
+            r.optimized_ns as f64 / 1e6,
+            r.speedup()
+        )
+        .expect("writing to String");
+        if let (Some(qps), Some(p50), Some(p99)) = (r.qps, r.p50_ns, r.p99_ns) {
+            writeln!(
+                out,
+                "{:<20} {qps:>10.1} qps, p50 {:.2}ms, p99 {:.2}ms",
+                "",
+                p50 as f64 / 1e6,
+                p99 as f64 / 1e6
+            )
+            .expect("writing to String");
+        }
+    }
+    writeln!(
+        out,
+        "\nshared pool: {} batch(es), {} cross-query switch(es)",
+        report.pool_batches, report.pool_cross_query_switches
+    )
+    .expect("writing to String");
+    out
+}
+
+/// The `BENCH_serve.json` payload — same line-oriented row shape as
+/// `BENCH_ops.json` so `bench_gate` gates the `*_t1` row.
+pub fn render_json(report: &ServeReport) -> String {
+    let mut out =
+        String::from("{\n  \"benchmark\": \"serve\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let mut extra = String::new();
+        if let (Some(qps), Some(p50), Some(p99)) = (r.qps, r.p50_ns, r.p99_ns) {
+            write!(
+                extra,
+                ", \"qps\": {qps:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}"
+            )
+            .expect("writing to String");
+        }
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.3}{extra}}}{}",
+            r.name,
+            r.baseline_ns,
+            r.optimized_ns,
+            r.speedup(),
+            if i + 1 < report.rows.len() { "," } else { "" }
+        )
+        .expect("writing to String");
+    }
+    writeln!(
+        out,
+        "  ],\n  \"clients\": {CLIENTS},\n  \"pool_batches\": {},\n  \"pool_cross_query_switches\": {}",
+        report.pool_batches, report.pool_cross_query_switches
+    )
+    .expect("writing to String");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rows_parse_like_bench_ops_rows() {
+        let report = ServeReport {
+            rows: vec![
+                ServeResult {
+                    name: "serve_overhead_t1".into(),
+                    baseline_ns: 100,
+                    optimized_ns: 125,
+                    qps: None,
+                    p50_ns: None,
+                    p99_ns: None,
+                },
+                ServeResult {
+                    name: "serve_mixed_c4".into(),
+                    baseline_ns: 400,
+                    optimized_ns: 200,
+                    qps: Some(123.456),
+                    p50_ns: Some(7),
+                    p99_ns: Some(9),
+                },
+            ],
+            pool_batches: 5,
+            pool_cross_query_switches: 2,
+        };
+        let json = render_json(&report);
+        assert!(json.contains(
+            "{\"name\": \"serve_overhead_t1\", \"baseline_ns\": 100, \"optimized_ns\": 125, \
+             \"speedup\": 0.800}"
+        ));
+        assert!(json.contains("\"qps\": 123.5, \"p50_ns\": 7, \"p99_ns\": 9"));
+        assert!(json.contains("\"pool_cross_query_switches\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentiles_hit_the_ends() {
+        let sorted = [1u128, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 1.0), 10);
+        assert_eq!(percentile(&sorted, 0.5), 6);
+    }
+}

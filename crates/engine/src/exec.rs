@@ -84,6 +84,14 @@ pub struct ExecConfig {
     /// Arm the `HSP_FAULT` fault-injection hook for this execution (only
     /// effective under `cfg(any(test, feature = "fault-inject"))`).
     pub inject_faults: bool,
+    /// Override the rows-per-morsel of the parallel kernels (`None` keeps
+    /// [`MorselConfig`](crate::morsel::MorselConfig)'s default). Serving
+    /// sessions lower this so small interactive datasets still split into
+    /// enough morsels to interleave on the shared pool.
+    pub morsel_rows: Option<usize>,
+    /// Override the rows threshold below which kernels stay sequential
+    /// (`None` keeps the default).
+    pub min_parallel_rows: Option<usize>,
 }
 
 impl ExecConfig {
@@ -142,6 +150,18 @@ impl ExecConfig {
         self
     }
 
+    /// Override the rows-per-morsel of the parallel kernels.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = Some(rows);
+        self
+    }
+
+    /// Override the rows threshold below which kernels stay sequential.
+    pub fn with_min_parallel_rows(mut self, rows: usize) -> Self {
+        self.min_parallel_rows = Some(rows);
+        self
+    }
+
     /// The governor this configuration asks for, or `None` when the
     /// execution is unlimited (so ungoverned queries pay nothing). The
     /// deadline starts counting here.
@@ -175,13 +195,42 @@ impl ExecConfig {
     /// so one thread budget (and one governor) governs every operator of a
     /// query.
     pub fn context(&self) -> ExecContext {
-        let ctx = match self.threads {
-            Some(n) => ExecContext::with_threads(n),
-            None => ExecContext::new(),
+        let ctx = if self.morsel_rows.is_some() || self.min_parallel_rows.is_some() {
+            let mut morsel = match self.threads {
+                Some(n) => crate::morsel::MorselConfig::with_threads(n),
+                None => crate::morsel::MorselConfig::auto(),
+            };
+            if let Some(rows) = self.morsel_rows {
+                morsel = morsel.with_morsel_rows(rows);
+            }
+            if let Some(rows) = self.min_parallel_rows {
+                morsel = morsel.with_min_parallel_rows(rows);
+            }
+            ExecContext::with_morsel_config(morsel)
+        } else {
+            match self.threads {
+                Some(n) => ExecContext::with_threads(n),
+                None => ExecContext::new(),
+            }
         };
         match self.governor() {
             Some(gov) => ctx.with_governor(gov),
             None => ctx,
+        }
+    }
+}
+
+impl std::str::FromStr for ExecStrategy {
+    type Err = String;
+
+    /// Parse the CLI/server spelling of a strategy: `auto` (pipelines
+    /// when possible) or `operator` / `operator-at-a-time` (the
+    /// materialising oracle).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" | "pipeline" => Ok(ExecStrategy::Auto),
+            "operator" | "operator-at-a-time" | "oaat" => Ok(ExecStrategy::OperatorAtATime),
+            other => Err(format!("unknown strategy `{other}` (auto|operator)")),
         }
     }
 }

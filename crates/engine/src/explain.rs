@@ -360,8 +360,19 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     } else {
         String::new()
     };
+    // The shared-pool segment appears only on the serving path, where the
+    // session stamps `shared_pool_batches` after the run.
+    let shared = if m.shared_pool_batches > 0 {
+        format!(
+            "; shared pool: {} batch{}",
+            m.shared_pool_batches,
+            if m.shared_pool_batches == 1 { "" } else { "es" }
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}\n",
+        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}{shared}\n",
         m.pool_hits,
         if m.pool_hits == 1 { "" } else { "s" },
         m.pool_misses,

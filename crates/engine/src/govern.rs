@@ -39,6 +39,19 @@
 //! output; the surrounding executor converts the trip into the typed
 //! error and recycles everything it had materialised.
 //!
+//! # One governor per request on a shared pool
+//!
+//! Governance is strictly per-query even when many queries execute at
+//! once: each request carries its own governor inside its own
+//! [`ExecContext`](crate::pool::ExecContext), while their morsel batches
+//! interleave on one [`SharedPool`](crate::morsel::SharedPool). A trip
+//! (deadline, cancel, budget, panic) therefore drains only the tripped
+//! query's remaining morsels — workers see the trip at the next claim
+//! and skip the work — and the pool itself carries no per-query state
+//! that could poison the *next* query scheduled on it. The serving
+//! layer's admission control decides how many governed requests are in
+//! flight; the governor never throttles anything but its own query.
+//!
 //! # Fault injection
 //!
 //! Under `cfg(any(test, feature = "fault-inject"))` a governor built with

@@ -135,6 +135,6 @@ pub use binding::BindingTable;
 pub use exec::{execute, execute_in, ExecConfig, ExecError, ExecOutput, ExecStrategy, Profile};
 pub use govern::{CancelToken, GovernorError, QueryGovernor};
 pub use metrics::{PlanMetrics, PlanShape, RuntimeMetrics};
-pub use morsel::MorselConfig;
+pub use morsel::{MorselConfig, PoolStats, SharedPool, SharedPoolGuard};
 pub use plan::PhysicalPlan;
 pub use pool::{table_bytes, BufferPool, ExecContext};

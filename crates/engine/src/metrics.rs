@@ -72,6 +72,13 @@ pub struct RuntimeMetrics {
     /// High-water mark of the governor's memory accounting, in bytes
     /// (0 without a governor).
     pub governor_mem_peak: usize,
+    /// Task batches this query dispatched to a shared, long-lived
+    /// [`SharedPool`](crate::morsel::SharedPool) instead of scoped
+    /// threads — nonzero only on the serving path, where the caller
+    /// stamps it from
+    /// [`SharedPoolGuard::batches`](crate::morsel::SharedPoolGuard::batches)
+    /// after the run ([`RuntimeMetrics::of`] itself leaves it 0).
+    pub shared_pool_batches: usize,
 }
 
 impl RuntimeMetrics {
@@ -99,6 +106,7 @@ impl RuntimeMetrics {
             pool_recycled: pool.recycled,
             governor_checks: ctx.governor().map_or(0, |g| g.checks()),
             governor_mem_peak: ctx.governor().map_or(0, |g| g.mem_peak()),
+            shared_pool_batches: 0,
         }
     }
 }

@@ -17,10 +17,13 @@
 //! with a forced thread count, which is how the single-core CI container
 //! still exercises the parallel path in unit tests.
 
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::govern::{GovernorError, QueryGovernor};
 
@@ -184,10 +187,16 @@ pub fn run_morsels<T: Send>(
 /// thread.
 ///
 /// This is the one scheduling loop of the module: [`run_morsels`]
-/// delegates here with one task per morsel, and *partitioned* work —
-/// the range-partitioned merge join, the partitioned counting sort of
-/// the parallel hash-join build, whose per-task ranges are
-/// data-dependent and non-uniform — calls it directly.
+/// delegates here with one task per morsel, [`fill_stripes`] with one
+/// task per stripe, and *partitioned* work — the range-partitioned merge
+/// join, the partitioned counting sort of the parallel hash-join build,
+/// whose per-task ranges are data-dependent and non-uniform — calls it
+/// directly.
+///
+/// When the calling thread has a [`SharedPool`] installed (the serving
+/// path — see [`SharedPool::install`]), the tasks are dispatched to that
+/// long-lived pool instead of spawning scoped threads; results and their
+/// order are identical either way.
 pub fn run_tasks<T: Send>(
     count: usize,
     threads: usize,
@@ -202,6 +211,11 @@ pub fn run_tasks<T: Send>(
                 threads: 1,
             },
         );
+    }
+    if let Some(result) = shared_pool_run(count, None, "worker", &task) {
+        // invariant: an ungoverned shared-pool run cannot trip a governor
+        // (a panicking task re-panics on the submitter instead).
+        return result.expect("ungoverned shared-pool run cannot trip");
     }
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -280,6 +294,9 @@ pub(crate) fn try_run_tasks<T: Send>(
                 threads: 1,
             },
         ));
+    }
+    if let Some(result) = shared_pool_run(count, Some(gov), site, &task) {
+        return result;
     }
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -406,6 +423,10 @@ pub(crate) fn try_run_morsels_seq<T>(
 /// owns a disjoint stripe of roughly `len / workers` rows (rounded up to
 /// whole morsels), so the result is position-deterministic by
 /// construction.
+/// A claim-once slot transferring one output stripe — `(offset, chunk)` —
+/// into the task that takes it.
+type StripeSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
 pub fn fill_stripes<T: Send>(
     out: &mut [T],
     config: &MorselConfig,
@@ -422,27 +443,32 @@ pub fn fill_stripes<T: Send>(
     }
     // Stripe size: whole morsels, spread across the worker budget.
     let stripe = stripe_rows(rows, threads, config.morsel_rows);
-    let mut stripes: Vec<(usize, &mut [T])> = Vec::new();
+    let mut stripes: Vec<StripeSlot<'_, T>> = Vec::new();
     let mut rest = out;
     let mut offset = 0;
     while !rest.is_empty() {
         let take = stripe.min(rest.len());
         let (head, tail) = rest.split_at_mut(take);
-        stripes.push((offset, head));
+        stripes.push(Mutex::new(Some((offset, head))));
         offset += take;
         rest = tail;
     }
     let count = stripes.len();
-    std::thread::scope(|scope| {
-        for (offset, chunk) in stripes {
-            let fill = &fill;
-            scope.spawn(move || fill(offset, chunk));
-        }
+    // One task per stripe through the common scheduling loop — so striped
+    // fills dispatch to the shared pool on the serving path too. Slots
+    // only transfer stripe ownership *into* the tasks; each task index
+    // maps to a distinct slot, claimed exactly once.
+    let (_, run) = run_tasks(count, threads, |s| {
+        let (offset, chunk) = stripes[s]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("each stripe is claimed exactly once");
+        fill(offset, chunk);
     });
-    // One worker per stripe: report the workers actually used.
     MorselRun {
         morsels: count,
-        threads: threads.min(count),
+        threads: run.threads,
     }
 }
 
@@ -578,6 +604,425 @@ pub fn stripe_ranges(rows: usize, workers: usize, morsel_rows: usize) -> Vec<Ran
         start = end;
     }
     ranges
+}
+
+// ---------------------------------------------------------------------------
+// The shared, long-lived morsel pool — the serving path's scheduler.
+//
+// One process-wide pool serves *many concurrent queries*: each parallel
+// kernel invocation becomes a tagged **batch** of tasks on a round-robin
+// queue, and the pool's workers interleave claims across batches — so a
+// long scan of one query never starves the morsels of another (Leis et
+// al.'s elasticity argument). The submitting thread installs the pool in
+// thread-local storage ([`SharedPool::install`]); [`run_tasks`] and its
+// governed twin consult that TLS and dispatch there instead of spawning
+// scoped threads. Pool workers carry no TLS installation themselves, so
+// a nested parallel kernel inside a task safely falls back to the scoped
+// path.
+// ---------------------------------------------------------------------------
+
+/// Snapshot of a [`SharedPool`]'s lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool was built with.
+    pub threads: usize,
+    /// Task batches (one per parallel kernel invocation) dispatched.
+    pub batches: u64,
+    /// Individual tasks (morsels / partitions / stripes) dispatched.
+    pub tasks: u64,
+    /// Times a worker's consecutive claims came from *different* queries
+    /// — direct evidence of cross-query morsel scheduling on one pool.
+    pub cross_query_switches: u64,
+}
+
+/// Lifetime-erased pointer to a batch's task closure.
+///
+/// Safety contract (upheld by [`SharedPool::run_erased`]): the submitter
+/// does not return until every claimed task index has completed, and an
+/// exhausted cursor means later claims never dereference the pointer —
+/// so the pointee outlives every dereference.
+struct TaskRef(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (concurrent `&`-calls from many workers
+// are fine) and `run_erased` keeps it alive for the batch's whole
+// lifetime, so handing the pointer to pool workers is safe.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// One parallel kernel invocation queued on the shared pool: `count`
+/// independent tasks claimed through an atomic cursor, tagged with the
+/// owning query.
+struct Batch {
+    /// The submitting query (from [`SharedPool::install`]) — only used
+    /// to count cross-query switches.
+    tag: u64,
+    task: TaskRef,
+    count: usize,
+    cursor: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    /// Claim the next unclaimed task index, if any.
+    fn claim(&self) -> Option<usize> {
+        // Opportunistic read first, so an exhausted batch parked in the
+        // queue does not grow its cursor unboundedly while it waits to
+        // be dropped.
+        if self.exhausted() {
+            return None;
+        }
+        let t = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (t < self.count).then_some(t)
+    }
+
+    /// Execute a claimed task index and account its completion.
+    fn run_claimed(&self, t: usize) {
+        // SAFETY: `t` came from `claim`, so the submitter is still parked
+        // in `run_erased` and the closure behind the pointer is alive.
+        let task = unsafe { &*self.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| task(t))).is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+        if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.count {
+            *self
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.count
+    }
+}
+
+struct PoolInner {
+    /// Round-robin batch queue: a worker pops the front batch, rotates it
+    /// to the back, and claims ONE task — so concurrent queries make
+    /// interleaved progress instead of running back-to-back.
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    cross_query_switches: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let mut last_tag: Option<u64> = None;
+    loop {
+        let batch = {
+            let mut queue = inner
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Drop fully-claimed batches as they surface (completion
+                // is the submitter's business, not the queue's).
+                while queue.front().is_some_and(|b| b.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(front) = queue.pop_front() {
+                    queue.push_back(Arc::clone(&front));
+                    break front;
+                }
+                queue = inner
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if let Some(t) = batch.claim() {
+            if last_tag != Some(batch.tag) {
+                if last_tag.is_some() {
+                    inner.cross_query_switches.fetch_add(1, Ordering::Relaxed);
+                }
+                last_tag = Some(batch.tag);
+            }
+            batch.run_claimed(t);
+        }
+    }
+}
+
+/// A shared, long-lived morsel worker pool (cheaply clonable handle).
+///
+/// Create once per server/session, [`SharedPool::install`] per query on
+/// the thread that drives the query, and every parallel kernel of that
+/// query schedules its morsels here. Call [`SharedPool::shutdown`] to
+/// join the workers; a pool that is never shut down parks its workers on
+/// a condvar until process exit. Submissions to a shut-down pool are
+/// refused, and the caller falls back to scoped threads.
+#[derive(Clone)]
+pub struct SharedPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool")
+            .field("threads", &self.inner.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedPool {
+    /// Spawn a pool of `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads,
+            batches: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            cross_query_switches: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let worker_inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("hsp-pool-{i}"))
+                .spawn(move || worker_loop(&worker_inner))
+                .expect("spawn shared-pool worker");
+            workers.push(handle);
+        }
+        *inner
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = workers;
+        SharedPool { inner }
+    }
+
+    /// The worker-thread count the pool was built with.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Lifetime counters (batches, tasks, cross-query switches).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.inner.threads,
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            tasks: self.inner.tasks.load(Ordering::Relaxed),
+            cross_query_switches: self.inner.cross_query_switches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Refuse new batches and join the workers (idempotent). In-flight
+    /// batches still complete: their submitters help on their own batch
+    /// until the cursor is exhausted, whether or not any worker remains.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        let workers = std::mem::take(
+            &mut *self
+                .inner
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+
+    /// Install this pool on the calling thread for the duration of the
+    /// returned guard: every [`run_tasks`]-family call on this thread
+    /// with parallel work dispatches to the pool, tagged with `tag` (one
+    /// distinct tag per query). Nested installs stack; the guard restores
+    /// the previous installation on drop and reports how many batches the
+    /// query dispatched ([`SharedPoolGuard::batches`]).
+    pub fn install(&self, tag: u64) -> SharedPoolGuard {
+        let batches = Rc::new(Cell::new(0));
+        let installed = Installed {
+            pool: self.clone(),
+            tag,
+            batches: Rc::clone(&batches),
+        };
+        let prev = INSTALLED.with(|slot| slot.borrow_mut().replace(installed));
+        SharedPoolGuard {
+            prev,
+            batches,
+            _single_thread: std::marker::PhantomData,
+        }
+    }
+
+    /// Enqueue a lifetime-erased batch, help on it exclusively until its
+    /// cursor is exhausted, then wait for straggling workers. Returns
+    /// `None` if the pool is shut down (caller falls back to scoped
+    /// threads), otherwise whether any task panicked.
+    ///
+    /// Because the submitter helps on its *own* batch, a saturated — or
+    /// even concurrently shut-down — pool can never deadlock a request:
+    /// worst case the submitter runs the whole batch itself, exactly like
+    /// the scoped path on one thread.
+    fn run_erased(&self, tag: u64, count: usize, task: &(dyn Fn(usize) + Sync)) -> Option<bool> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        if count == 0 {
+            return Some(false);
+        }
+        // SAFETY: lifetime erasure only — see the `TaskRef` contract.
+        let task: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+        let batch = Arc::new(Batch {
+            tag,
+            task: TaskRef(task),
+            count,
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        self.inner
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(Arc::clone(&batch));
+        self.inner.available.notify_all();
+        self.inner.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.tasks.fetch_add(count as u64, Ordering::Relaxed);
+        while let Some(t) = batch.claim() {
+            batch.run_claimed(t);
+        }
+        let mut done = batch
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*done {
+            done = batch
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        Some(batch.panicked.load(Ordering::Acquire))
+    }
+
+    /// The typed batch run: governor checkpoints before every task (a
+    /// trip drains the remaining claims cheaply), results in task order.
+    /// `None` means the pool refused the batch (shut down).
+    fn run_governed<T: Send>(
+        &self,
+        tag: u64,
+        count: usize,
+        gov: Option<&QueryGovernor>,
+        site: &'static str,
+        task: &(impl Fn(usize) -> T + Sync),
+    ) -> Option<Result<(Vec<T>, MorselRun), GovernorError>> {
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let erased = |t: usize| {
+            if let Some(gov) = gov {
+                if gov.check(site).is_err() {
+                    // Tripped: claims keep draining, work stops. The
+                    // batch completes quickly and the pool stays clean
+                    // for the next query.
+                    return;
+                }
+            }
+            let result = task(t);
+            *slots[t]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        };
+        let panicked = self.run_erased(tag, count, &erased)?;
+        let run = MorselRun {
+            morsels: count,
+            // The submitter helps alongside the pool's workers.
+            threads: (self.inner.threads + 1).min(count.max(1)),
+        };
+        if panicked {
+            let Some(gov) = gov else {
+                // Mirror the scoped path, where a worker panic unwinds
+                // through `std::thread::scope` into the submitter.
+                panic!("morsel task panicked on the shared pool at {site}");
+            };
+            return Some(Err(gov.note_panic(site)));
+        }
+        if let Some(e) = gov.and_then(QueryGovernor::trip_error) {
+            return Some(Err(e));
+        }
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // invariant: no trip and no panic means every claimed
+                    // index stored its result before completing.
+                    .expect("every task produced a result")
+            })
+            .collect();
+        Some(Ok((results, run)))
+    }
+}
+
+/// What [`SharedPool::install`] places in thread-local storage.
+struct Installed {
+    pool: SharedPool,
+    tag: u64,
+    /// Batches this query dispatched — shared with the guard.
+    batches: Rc<Cell<u64>>,
+}
+
+thread_local! {
+    static INSTALLED: RefCell<Option<Installed>> = const { RefCell::new(None) };
+}
+
+/// RAII guard of a [`SharedPool::install`]: restores the previous
+/// installation (if any) on drop. `!Send` by construction — it must drop
+/// on the thread that installed it.
+pub struct SharedPoolGuard {
+    prev: Option<Installed>,
+    batches: Rc<Cell<u64>>,
+    _single_thread: std::marker::PhantomData<*const ()>,
+}
+
+impl SharedPoolGuard {
+    /// Batches this installation dispatched to the shared pool so far —
+    /// the per-query counter surfaced as
+    /// `RuntimeMetrics::shared_pool_batches`.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+}
+
+impl Drop for SharedPoolGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Dispatch to the thread's installed [`SharedPool`], if any. `None`
+/// (no installation, or the pool is shut down) sends the caller down the
+/// scoped-thread path. The TLS borrow is released before the batch runs,
+/// so nested `run_tasks` calls from inside a task body re-enter safely.
+fn shared_pool_run<T: Send>(
+    count: usize,
+    gov: Option<&QueryGovernor>,
+    site: &'static str,
+    task: &(impl Fn(usize) -> T + Sync),
+) -> Option<Result<(Vec<T>, MorselRun), GovernorError>> {
+    let (pool, tag, batches) = INSTALLED.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|i| (i.pool.clone(), i.tag, Rc::clone(&i.batches)))
+    })?;
+    let result = pool.run_governed(tag, count, gov, site, task)?;
+    batches.set(batches.get() + 1);
+    Some(result)
 }
 
 #[cfg(test)]
@@ -830,5 +1275,169 @@ mod tests {
             let flat: Vec<usize> = results.into_iter().flatten().collect();
             assert_eq!(flat, (0..100).collect::<Vec<_>>());
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Shared pool
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn shared_pool_results_match_scoped_path() {
+        let pool = SharedPool::new(3);
+        let scoped: Vec<usize> = run_tasks(64, 4, |t| t * 3).0;
+        {
+            let guard = pool.install(1);
+            let (results, run) = run_tasks(64, 4, |t| t * 3);
+            assert_eq!(results, scoped);
+            assert!(run.threads > 1);
+            assert_eq!(run.morsels, 64);
+            assert_eq!(guard.batches(), 1);
+        }
+        assert_eq!(pool.stats().batches, 1);
+        assert_eq!(pool.stats().tasks, 64);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_serves_morsels_and_stripes() {
+        let pool = SharedPool::new(2);
+        let config = MorselConfig::with_threads(4)
+            .with_morsel_rows(8)
+            .with_min_parallel_rows(0);
+        let guard = pool.install(7);
+        let (results, _) = run_morsels(100, &config, |r| r.clone());
+        let flat: Vec<usize> = results.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        let mut out = vec![0usize; 100];
+        fill_stripes(&mut out, &config, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(guard.batches() >= 2);
+        drop(guard);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_shutdown_falls_back_to_scoped_threads() {
+        let pool = SharedPool::new(2);
+        pool.shutdown();
+        let _guard = pool.install(1);
+        let (results, run) = run_tasks(16, 3, |t| t + 1);
+        assert_eq!(results, (1..=16).collect::<Vec<_>>());
+        assert_eq!(run.threads, 3);
+        assert_eq!(pool.stats().batches, 0);
+    }
+
+    #[test]
+    fn shared_pool_guard_restores_previous_installation() {
+        let outer = SharedPool::new(1);
+        let inner = SharedPool::new(1);
+        let outer_guard = outer.install(1);
+        {
+            let inner_guard = inner.install(2);
+            run_tasks(8, 2, |t| t);
+            assert_eq!(inner_guard.batches(), 1);
+        }
+        run_tasks(8, 2, |t| t);
+        assert_eq!(outer_guard.batches(), 1);
+        assert_eq!(outer.stats().batches, 1);
+        assert_eq!(inner.stats().batches, 1);
+        drop(outer_guard);
+        outer.shutdown();
+        inner.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_cancellation_drains_and_pool_survives() {
+        use crate::govern::CancelToken;
+        let pool = SharedPool::new(2);
+        let guard = pool.install(1);
+        let token = Arc::new(CancelToken::new());
+        let gov = QueryGovernor::new().with_token(token.clone());
+        let done = AtomicUsize::new(0);
+        let err = try_run_tasks(1000, 4, Some(&gov), "worker", |t| {
+            if t == 3 {
+                token.cancel();
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_err();
+        assert_eq!(err, GovernorError::Cancelled);
+        assert!(done.load(Ordering::Relaxed) < 1000, "trip did not drain");
+        // The pool is not poisoned: the next (governed) query succeeds.
+        let fresh = QueryGovernor::new();
+        let (results, _) = try_run_tasks(32, 4, Some(&fresh), "worker", |t| t).unwrap();
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+        drop(guard);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_panic_converts_to_worker_panicked_and_pool_survives() {
+        let pool = SharedPool::new(2);
+        let guard = pool.install(1);
+        let gov = QueryGovernor::new();
+        let err = try_run_tasks(100, 4, Some(&gov), "worker", |t| {
+            assert!(t != 7, "injected kernel panic");
+            t
+        })
+        .unwrap_err();
+        assert_eq!(err, GovernorError::WorkerPanicked { site: "worker" });
+        let (results, _) = run_tasks(16, 4, |t| t);
+        assert_eq!(results, (0..16).collect::<Vec<_>>());
+        drop(guard);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_ungoverned_panic_propagates_to_submitter() {
+        let pool = SharedPool::new(2);
+        let guard = pool.install(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(64, 4, |t| assert!(t != 9, "injected kernel panic"));
+        }));
+        assert!(caught.is_err());
+        // Still usable afterwards.
+        let (results, _) = run_tasks(8, 4, |t| t);
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+        drop(guard);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shared_pool_interleaves_concurrent_queries() {
+        // Two submitter threads, each tagged differently, firing many
+        // small batches at a two-worker pool: the round-robin queue must
+        // interleave their morsels (cross_query_switches > 0). Retries
+        // bound the (tiny) chance that one query drains before the other
+        // arrives.
+        for _attempt in 0..5 {
+            let pool = SharedPool::new(2);
+            std::thread::scope(|scope| {
+                for tag in [1u64, 2u64] {
+                    let pool = pool.clone();
+                    scope.spawn(move || {
+                        let _guard = pool.install(tag);
+                        for _ in 0..50 {
+                            let (results, _) = run_tasks(16, 4, |t| {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                                t
+                            });
+                            assert_eq!(results, (0..16).collect::<Vec<_>>());
+                        }
+                    });
+                }
+            });
+            let stats = pool.stats();
+            pool.shutdown();
+            assert_eq!(stats.batches, 100);
+            if stats.cross_query_switches > 0 {
+                return;
+            }
+        }
+        panic!("no cross-query switches in 5 attempts");
     }
 }

@@ -15,6 +15,15 @@
 //! walks the plan tree sequentially, and parallelism lives *inside* a
 //! kernel (see [`crate::morsel`]), where workers use thread-local buffers
 //! and never touch the pool.
+//!
+//! Under concurrent serving the same shape holds per query: every
+//! in-flight request owns one [`ExecContext`] (buffers, governor,
+//! computed-term overlay) pinned to its coordinating thread, while the
+//! morsel batches those contexts spawn are all scheduled on one
+//! process-wide [`SharedPool`](crate::morsel::SharedPool). Contexts are
+//! `!Send` and never shared, so many of them coexisting above one pool
+//! needs no locking here — the pool's workers only ever run the kernel
+//! closures, never the tree evaluator that touches the [`BufferPool`].
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;

@@ -6,13 +6,16 @@
 //! cargo run --release --example expressions
 //! ```
 
-use sparql_hsp::extended::evaluate_extended;
 use sparql_hsp::prelude::*;
 use sparql_hsp::results;
+use sparql_hsp::session::{Request, Session};
 
-fn show(ds: &Dataset, title: &str, query: &str) {
+fn show(session: &Session, title: &str, query: &str) {
     println!("== {title}\n{}", query.trim());
-    let out = evaluate_extended(ds, query).expect("query evaluates");
+    let out = session
+        .query(Request::new(query))
+        .expect("query evaluates")
+        .output;
     println!("{}", results::to_table(&out));
 }
 
@@ -32,9 +35,12 @@ fn main() {
 "#,
     )
     .expect("valid N-Triples");
+    // The session front door; the raw dataset stays around for the
+    // plan-rendering coda below.
+    let session = Session::new(ds.clone());
 
     show(
-        &ds,
+        &session,
         "Numeric comparison on typed literals (value, not lexical, order)",
         r#"SELECT ?t ?yr WHERE {
             ?x <http://e/title> ?t . ?x <http://e/issued> ?yr .
@@ -43,7 +49,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "Arithmetic in FILTER: journals thicker than 100 pages after doubling",
         r#"SELECT ?t ?p WHERE {
             ?x <http://e/title> ?t . ?x <http://e/pages> ?p .
@@ -52,7 +58,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "REGEX (linear-time engine, case-insensitive flag)",
         r#"SELECT ?t WHERE {
             ?x <http://e/title> ?t .
@@ -61,7 +67,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "String predicates and functions",
         r#"SELECT ?t WHERE {
             ?x <http://e/title> ?t .
@@ -70,7 +76,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "LANG / LANGMATCHES on language-tagged literals",
         r#"SELECT ?abs WHERE {
             ?x <http://e/abstract> ?abs .
@@ -79,7 +85,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "!BOUND: entities with a title but no recorded year (OPTIONAL minus)",
         r#"SELECT ?t WHERE {
             ?x <http://e/title> ?t .
@@ -89,7 +95,7 @@ fn main() {
     );
 
     show(
-        &ds,
+        &session,
         "ORDER BY an expression key, paginated",
         r#"SELECT ?t WHERE {
             ?x <http://e/title> ?t .

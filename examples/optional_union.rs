@@ -6,11 +6,12 @@
 //! ```
 
 use sparql_hsp::datagen::{generate_sp2bench, Sp2BenchConfig};
-use sparql_hsp::extended::evaluate_extended;
+use sparql_hsp::session::{Request, Session};
 
 fn main() {
     let ds = generate_sp2bench(Sp2BenchConfig::with_triples(60_000));
     println!("dataset: {} triples\n", ds.len());
+    let session = Session::new(ds);
 
     // OPTIONAL: articles always have pages, only some have a month.
     let query = "
@@ -22,7 +23,10 @@ fn main() {
             ?article swrc:pages ?pages .
             OPTIONAL { ?article swrc:month ?month . }
         }";
-    let out = evaluate_extended(&ds, query).expect("evaluates");
+    let out = session
+        .query(Request::new(query))
+        .expect("evaluates")
+        .output;
     let with_month = out.rows.iter().filter(|r| r[2].is_some()).count();
     println!(
         "OPTIONAL: {} articles total, {} with a month, {} padded with UNBOUND",
@@ -40,7 +44,10 @@ fn main() {
             ?pub dc:title ?title .
             { ?pub rdf:type bench:Article . } UNION { ?pub rdf:type bench:Inproceedings . }
         }";
-    let out = evaluate_extended(&ds, query).expect("evaluates");
+    let out = session
+        .query(Request::new(query))
+        .expect("evaluates")
+        .output;
     println!(
         "UNION   : {} titled articles + inproceedings",
         out.rows.len()
@@ -58,7 +65,10 @@ fn main() {
             OPTIONAL { ?article swrc:month ?month . }
             FILTER (?month = "6")
         }"#;
-    let out = evaluate_extended(&ds, query).expect("evaluates");
+    let out = session
+        .query(Request::new(query))
+        .expect("evaluates")
+        .output;
     println!(
         "FILTER over OPTIONAL column: {} June articles (unbound month = filtered out)",
         out.rows.len()

@@ -33,16 +33,11 @@
 
 use std::process::ExitCode;
 
-use hsp_baseline::{CdpPlanner, HybridPlanner, LeftDeepPlanner, StockerPlanner};
-use hsp_core::HspPlanner;
-use hsp_engine::explain::render_plan_with_profile;
-use hsp_engine::plan::PhysicalPlan;
-use hsp_engine::{execute, ExecConfig};
-use hsp_sparql::JoinQuery;
+use hsp_engine::explain::render_runtime_metrics;
 use hsp_store::Dataset;
-use sparql_hsp::extended::{evaluate_extended_with, ExtendedOutput};
+use sparql_hsp::extended::ExtendedOutput;
 use sparql_hsp::results;
-use sparql_hsp::update::apply_update_with;
+use sparql_hsp::session::{Planner, Request, Session, SessionOptions};
 
 struct Args {
     data: String,
@@ -147,53 +142,6 @@ fn load_text(spec: &str) -> Result<String, String> {
     }
 }
 
-fn plan_with(
-    planner: &str,
-    ds: &Dataset,
-    query: &JoinQuery,
-) -> Result<(PhysicalPlan, JoinQuery), String> {
-    if query.is_aggregate() && planner != "hsp" {
-        return Err(format!(
-            "aggregation (GROUP BY / HAVING / aggregate functions) is only \
-             planned by the hsp planner; `--planner {planner}` does not \
-             support it"
-        ));
-    }
-    match planner {
-        "hsp" => {
-            let p = HspPlanner::new().plan(query).map_err(|e| e.to_string())?;
-            Ok((p.plan, p.query))
-        }
-        "cdp" => {
-            let p = CdpPlanner::new()
-                .plan(ds, query)
-                .map_err(|e| e.to_string())?;
-            Ok((p.plan, p.query))
-        }
-        "sql" => {
-            let p = LeftDeepPlanner::new()
-                .plan(ds, query)
-                .map_err(|e| e.to_string())?;
-            Ok((p.plan, p.query))
-        }
-        "hybrid" => {
-            let p = HybridPlanner::new()
-                .plan(ds, query)
-                .map_err(|e| e.to_string())?;
-            Ok((p.plan, p.query))
-        }
-        "stocker" => {
-            let p = StockerPlanner::new()
-                .plan(ds, query)
-                .map_err(|e| e.to_string())?;
-            Ok((p.plan, p.query))
-        }
-        other => Err(format!(
-            "unknown planner `{other}` (hsp|cdp|sql|hybrid|stocker)"
-        )),
-    }
-}
-
 fn emit(format: &str, out: &ExtendedOutput) -> Result<String, String> {
     Ok(match format {
         "table" => results::to_table(out),
@@ -206,39 +154,60 @@ fn emit(format: &str, out: &ExtendedOutput) -> Result<String, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let planner: Planner = args.planner.parse()?;
     let document = std::fs::read_to_string(&args.data)
         .map_err(|e| format!("cannot read {}: {e}", args.data))?;
     // Turtle by extension (.ttl); N-Triples (a Turtle subset) otherwise.
-    let mut ds = if args.data.ends_with(".ttl") {
+    let ds = if args.data.ends_with(".ttl") {
         Dataset::from_turtle(&document).map_err(|e| e.to_string())?
     } else {
         Dataset::from_ntriples(&document).map_err(|e| e.to_string())?
     };
     eprintln!("loaded {} triples from {}", ds.len(), args.data);
 
-    let mut config = ExecConfig::unlimited();
-    config.max_intermediate_rows = args.budget;
-    config.threads = args.threads;
-    if args.sip {
-        config = config.with_sip();
-    }
-    if let Some(ms) = args.timeout_ms {
-        config = config.with_timeout(std::time::Duration::from_millis(ms));
-    }
-    if let Some(mb) = args.mem_budget_mb {
-        config = config.with_mem_budget(mb.saturating_mul(1024 * 1024));
-    }
+    // One-shot process: skip the shared pool (pool_threads 0) so the
+    // kernels use scoped threads exactly as before; `--threads` still
+    // sets their width through the request.
+    let session = Session::with_options(
+        ds,
+        SessionOptions {
+            pool_threads: Some(0),
+            ..SessionOptions::default()
+        },
+    );
+    let build_request = |text: &str| {
+        let mut request = Request::new(text).with_planner(planner);
+        if args.explain {
+            request = request.with_explain();
+        }
+        if args.sip {
+            request = request.with_sip();
+        }
+        if let Some(rows) = args.budget {
+            request = request.with_row_budget(rows);
+        }
+        if let Some(n) = args.threads {
+            request = request.with_threads(n);
+        }
+        if let Some(ms) = args.timeout_ms {
+            request = request.with_timeout_ms(ms);
+        }
+        if let Some(mb) = args.mem_budget_mb {
+            request = request.with_mem_budget_mb(mb);
+        }
+        request
+    };
 
     if let Some(update) = &args.update {
         let text = load_text(update)?;
-        let stats = apply_update_with(&mut ds, &text, &config).map_err(|e| e.to_string())?;
+        let response = session
+            .update(build_request(&text))
+            .map_err(|e| e.to_string())?;
         eprintln!(
             "update ok: +{} / -{} triples (now {})",
-            stats.inserted,
-            stats.deleted,
-            ds.len()
+            response.stats.inserted, response.stats.deleted, response.triples
         );
-        let rendered = ds.to_ntriples();
+        let rendered = session.snapshot().to_ntriples();
         match &args.out {
             Some(path) => {
                 std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
@@ -249,84 +218,27 @@ fn run() -> Result<(), String> {
     }
 
     let text = load_text(args.query.as_deref().expect("query or update required"))?;
-
-    // ASK queries short-circuit to a boolean.
-    if let Ok(ast) = hsp_sparql::parse_query(&text) {
-        if ast.ask {
-            let answer =
-                sparql_hsp::extended::evaluate_ask(&ds, &text).map_err(|e| e.to_string())?;
-            match args.format.as_str() {
-                "json" => println!("{}", results::ask_to_sparql_json(answer)),
-                _ => println!("{answer}"),
-            }
-            return Ok(());
-        }
+    let response = session
+        .query(build_request(&text))
+        .map_err(|e| e.to_string())?;
+    if let Some(note) = &response.note {
+        eprintln!("note: {note}");
     }
-
-    // Join queries take the chosen planner; OPTIONAL/UNION queries go to
-    // the extended evaluator.
-    match JoinQuery::parse(&text) {
-        Ok(query) => {
-            let (plan, planned_query) = plan_with(&args.planner, &ds, &query)?;
-            let output = execute(&plan, &ds, &config).map_err(|e| e.to_string())?;
-            if args.explain {
-                print!(
-                    "{}",
-                    render_plan_with_profile(&plan, &output.profile, &planned_query)
-                );
-                // SIP and row-budget executions fall back to the
-                // operator-at-a-time evaluator — only render the pipeline
-                // DAG when the pipeline executor actually ran.
-                if !args.sip && args.budget.is_none() {
-                    print!(
-                        "{}",
-                        hsp_engine::explain::render_pipeline_dag(&plan, &planned_query)
-                    );
-                }
-                print!(
-                    "{}",
-                    hsp_engine::explain::render_runtime_metrics(&output.runtime)
-                );
-                return Ok(());
-            }
-            // Convert the id-level table to term-level rows.
-            let columns: Vec<String> = planned_query
-                .projection
-                .iter()
-                .map(|(n, _)| n.clone())
-                .collect();
-            let rows = (0..output.table.len())
-                .map(|i| {
-                    planned_query
-                        .projection
-                        .iter()
-                        .map(|&(_, v)| {
-                            // `ExecOutput::term` resolves both dictionary
-                            // ids and computed (aggregate-output) ids.
-                            output.term(&ds, output.table.value(v, i))
-                        })
-                        .collect()
-                })
-                .collect();
-            let ext = ExtendedOutput { columns, rows };
-            print!("{}", emit(&args.format, &ext)?);
-            Ok(())
+    // ASK answers are a bare boolean (or the W3C JSON envelope).
+    if let Some(answer) = response.ask {
+        match args.format.as_str() {
+            "json" => println!("{}", results::ask_to_sparql_json(answer)),
+            _ => println!("{answer}"),
         }
-        Err(join_err) => {
-            if args.planner != "hsp" {
-                eprintln!(
-                    "note: query is outside the join-query fragment ({join_err}); \
-                     using the extended evaluator (HSP-planned blocks)"
-                );
-            }
-            if args.explain {
-                return Err("--explain requires a join query (no OPTIONAL/UNION)".into());
-            }
-            let ext = evaluate_extended_with(&ds, &text, &config).map_err(|e| e.to_string())?;
-            print!("{}", emit(&args.format, &ext)?);
-            Ok(())
-        }
+        return Ok(());
     }
+    if let Some(plan) = &response.explain {
+        print!("{plan}");
+        print!("{}", render_runtime_metrics(&response.metrics));
+        return Ok(());
+    }
+    print!("{}", emit(&args.format, &response.output)?);
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -77,14 +77,20 @@ pub struct ExtendedOutput {
 }
 
 /// Evaluate a SPARQL query that may use OPTIONAL and UNION.
+#[deprecated(note = "go through `sparql_hsp::session::Session::query`, the \
+                     unified request front door")]
 pub fn evaluate_extended(ds: &Dataset, text: &str) -> Result<ExtendedOutput, ExtendedError> {
-    evaluate_extended_with(ds, text, &ExecConfig::unlimited())
+    let config = ExecConfig::unlimited();
+    evaluate_extended_in(ds, text, &config, &config.context())
 }
 
 /// [`evaluate_extended`] under an explicit [`ExecConfig`]: the thread
 /// budget (`config.threads`) governs the morsel-parallel kernels of every
 /// block and join, and one buffer pool is shared across the whole
 /// evaluation — the same behaviour `hsp --threads` gives join queries.
+#[deprecated(note = "go through `sparql_hsp::session::Session::query` (a \
+                     `Request` carries every `ExecConfig` option), or \
+                     `evaluate_extended_in` for a caller-owned context")]
 pub fn evaluate_extended_with(
     ds: &Dataset,
     text: &str,
@@ -112,6 +118,9 @@ pub fn evaluate_extended_in(
 /// Evaluate an `ASK` query: `true` iff the pattern has at least one
 /// solution. (A `SELECT` query text is accepted too and asks whether it
 /// returns any row.)
+#[deprecated(note = "go through `sparql_hsp::session::Session::query`, whose \
+                     `Response::ask` answers under the request's governor \
+                     instead of an unlimited one")]
 pub fn evaluate_ask(ds: &Dataset, text: &str) -> Result<bool, ExtendedError> {
     let ast = parse_query(text).map_err(ExtendedError::Parse)?;
     let config = ExecConfig::unlimited();
@@ -121,6 +130,8 @@ pub fn evaluate_ask(ds: &Dataset, text: &str) -> Result<bool, ExtendedError> {
 }
 
 /// Evaluate a parsed extended query.
+#[deprecated(note = "go through `sparql_hsp::session::Session::query`, or \
+                     `evaluate_ast_in` for a caller-owned context")]
 pub fn evaluate_ast(
     ds: &Dataset,
     query: &Query,
@@ -694,6 +705,7 @@ fn join_tables(ctx: &ExecContext, a: &BindingTable, b: &BindingTable) -> Binding
 pub use hsp_rdf::dictionary::TermId as ExtendedTermId;
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
 

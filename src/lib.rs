@@ -48,9 +48,21 @@
 //! | [`extended`] | OPTIONAL / UNION / ASK evaluation over HSP-planned blocks |
 //! | [`update`] | SPARQL Update (INSERT DATA / DELETE DATA / DELETE WHERE) |
 //! | [`results`] | W3C SPARQL 1.1 JSON/CSV/TSV result serialisers |
+//! | [`session`] | the unified `Session::query` / `Session::update` front door |
+//! | [`serve`] | framed-TCP concurrent query server on one shared morsel pool |
+//!
+//! ## Serving many queries at once
+//!
+//! For anything beyond one-shot evaluation, open a [`session::Session`]:
+//! it keeps the dataset behind an `Arc` swap (reads snapshot, updates
+//! build-and-swap) and schedules the parallel kernels of *all* concurrent
+//! queries on one shared morsel worker pool. [`serve::Server`] exposes a
+//! session over framed TCP with admission control.
 
 pub mod extended;
 pub mod results;
+pub mod serve;
+pub mod session;
 pub mod update;
 
 pub use hsp_baseline as baseline;
@@ -74,9 +86,16 @@ pub mod prelude {
     pub use hsp_sparql::{Evaluator, Expr, JoinQuery, Modifiers, QueryCharacteristics, Regex, Var};
     pub use hsp_store::{Dataset, Order, TripleStore};
 
-    pub use crate::extended::{evaluate_extended, ExtendedOutput};
+    pub use crate::extended::ExtendedOutput;
     pub use crate::results;
-    pub use crate::update::{apply_update, UpdateStats};
+    pub use crate::session::{Planner, Request, Response, Session, SessionOptions};
+    pub use crate::update::UpdateStats;
+
+    // Deprecated entry points, re-exported until they are removed.
+    #[allow(deprecated)]
+    pub use crate::extended::evaluate_extended;
+    #[allow(deprecated)]
+    pub use crate::update::apply_update;
 }
 
 #[cfg(test)]

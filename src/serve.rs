@@ -1,0 +1,730 @@
+//! Concurrent query serving: a framed-TCP front door over one
+//! [`Session`] — many clients, one dataset, one shared morsel pool.
+//!
+//! # Protocol
+//!
+//! Length-framed messages both ways: a 4-byte big-endian payload length,
+//! then that many bytes of UTF-8. A request payload is one header line
+//! plus an optional body:
+//!
+//! ```text
+//! QUERY [planner=hsp] [format=json|table|csv|tsv] [explain=1] [sip=1]
+//!       [threads=N] [timeout_ms=N] [mem_budget_mb=N] [row_budget=N]
+//!       [strategy=auto|operator]
+//! <query text>
+//!
+//! UPDATE [timeout_ms=N] [mem_budget_mb=N]
+//! <update text>
+//!
+//! PING | STATS | SHUTDOWN
+//! ```
+//!
+//! Responses are `OK <k=v …>\n<body>` or a single-line
+//! `ERR <CODE> <message>` with codes `PARSE`, `PLAN`, `EXEC`, `TIMEOUT`,
+//! `CANCELLED`, `MEM`, `UNSUPPORTED`, `BUSY`, `PROTO`, `SHUTDOWN`.
+//!
+//! # Concurrency
+//!
+//! One thread per connection, but **not** one worker pool per query:
+//! every admitted request executes on the session's shared morsel pool,
+//! which round-robins morsel batches across the queries in flight (the
+//! pool's `cross_query_switches` counter, surfaced by `STATS`, proves
+//! it). Admission control bounds the requests actually executing
+//! (`max_inflight`) and the requests waiting for a slot (`max_queue`);
+//! beyond that the server answers `ERR BUSY` instead of queueing without
+//! bound. Updates go through the same session and publish by pointer
+//! swap, so in-flight reads keep their snapshot.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hsp_engine::explain::render_runtime_metrics;
+use hsp_engine::ExecStrategy;
+
+use crate::results;
+use crate::session::{Planner, Request, Session};
+
+/// Frames larger than this are rejected as a protocol error.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// How long a connection thread sleeps in its read poll before
+/// re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Write one length-framed payload.
+///
+/// Header and payload go out in a single `write_all` — two separate
+/// writes would make Nagle's algorithm hold the payload segment back
+/// until the header's (delayed) ACK, adding tens of milliseconds to
+/// every request/response round trip.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one length-framed payload; `Ok(None)` on clean EOF before the
+/// first header byte.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Requests allowed to execute at once; further requests queue.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for an execution slot; beyond this the
+    /// server answers `ERR BUSY` immediately.
+    pub max_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_inflight: 8,
+            max_queue: 16,
+        }
+    }
+}
+
+/// Lifetime request counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    connections: AtomicU64,
+    queries_ok: AtomicU64,
+    updates_ok: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered `OK`.
+    pub fn queries_ok(&self) -> u64 {
+        self.queries_ok.load(Ordering::Relaxed)
+    }
+
+    /// Updates answered `OK`.
+    pub fn updates_ok(&self) -> u64 {
+        self.updates_ok.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered `ERR` (any code but `BUSY`).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by admission control (`ERR BUSY`).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// The counting-semaphore admission gate: `max_inflight` permits, at
+/// most `max_queue` waiters, reject beyond that.
+struct Admission {
+    max_inflight: usize,
+    max_queue: usize,
+    /// `(executing, waiting)`.
+    state: Mutex<(usize, usize)>,
+    freed: Condvar,
+}
+
+enum AdmitError {
+    Busy,
+    ShuttingDown,
+}
+
+struct Permit<'a>(&'a Admission);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self
+            .0
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.0 -= 1;
+        self.0.freed.notify_one();
+    }
+}
+
+impl Admission {
+    fn new(max_inflight: usize, max_queue: usize) -> Self {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            state: Mutex::new((0, 0)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, shutdown: &AtomicBool) -> Result<Permit<'_>, AdmitError> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.0 < self.max_inflight {
+            state.0 += 1;
+            return Ok(Permit(self));
+        }
+        if state.1 >= self.max_queue {
+            return Err(AdmitError::Busy);
+        }
+        state.1 += 1;
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                state.1 -= 1;
+                return Err(AdmitError::ShuttingDown);
+            }
+            if state.0 < self.max_inflight {
+                state.0 += 1;
+                state.1 -= 1;
+                return Ok(Permit(self));
+            }
+            // Timed wait so waiters notice shutdown.
+            let (guard, _) = self
+                .freed
+                .wait_timeout(state, POLL_INTERVAL)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+    }
+}
+
+struct ServerShared {
+    session: Session,
+    admission: Admission,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+}
+
+/// The server factory; see [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr` and serve `session` until
+    /// [`ServerHandle::shutdown`] is called (or a client sends
+    /// `SHUTDOWN`).
+    pub fn start(session: Session, config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            session: session.clone(),
+            admission: Admission::new(config.max_inflight, config.max_queue),
+            metrics: ServeMetrics::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("hsp-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            session,
+        })
+    }
+}
+
+/// A running server: its bound address and its off switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    session: Session,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served session (e.g. to read [`Session::pool_stats`]).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Request counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Stop accepting, finish in-flight requests, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Block until the server stops (a client sent `SHUTDOWN`).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_id = 0u64;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Small framed request/response round trips: Nagle only
+                // adds delayed-ACK latency here.
+                let _ = stream.set_nodelay(true);
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                conn_id += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("hsp-serve-conn-{conn_id}"))
+                    .spawn(move || connection_loop(stream, conn_shared))
+                    .expect("spawning a connection thread");
+                conns.push(handle);
+                // Opportunistically reap finished connections so a
+                // long-lived server doesn't accumulate handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    // Short read timeouts so the thread notices shutdown between (and
+    // within) frames.
+    let _ = reader.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // client hung up
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let (response, stop) = match std::str::from_utf8(&payload) {
+            Ok(text) => handle_request(&shared, text),
+            Err(_) => ("ERR PROTO request is not UTF-8".to_string(), false),
+        };
+        if write_frame(&mut writer, response.as_bytes()).is_err() {
+            return;
+        }
+        if stop {
+            shared.shutdown.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Options parsed from a request header line.
+struct ReqOpts {
+    planner: Planner,
+    format: String,
+    explain: bool,
+    sip: bool,
+    threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    mem_budget_mb: Option<usize>,
+    row_budget: Option<usize>,
+    strategy: ExecStrategy,
+}
+
+impl ReqOpts {
+    fn parse(tokens: std::str::SplitWhitespace<'_>) -> Result<ReqOpts, String> {
+        let mut opts = ReqOpts {
+            planner: Planner::Hsp,
+            format: "json".into(),
+            explain: false,
+            sip: false,
+            threads: None,
+            timeout_ms: None,
+            mem_budget_mb: None,
+            row_budget: None,
+            strategy: ExecStrategy::default(),
+        };
+        for token in tokens {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed option `{token}` (expected k=v)"))?;
+            let int = |name: &str| -> Result<usize, String> {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("option {name} needs an integer, got `{value}`"))
+            };
+            match key {
+                "planner" => opts.planner = value.parse()?,
+                "format" => {
+                    if !matches!(value, "table" | "json" | "csv" | "tsv") {
+                        return Err(format!("unknown format `{value}` (table|json|csv|tsv)"));
+                    }
+                    opts.format = value.into();
+                }
+                "explain" => opts.explain = value == "1" || value == "true",
+                "sip" => opts.sip = value == "1" || value == "true",
+                "threads" => opts.threads = Some(int("threads")?.max(1)),
+                "timeout_ms" => opts.timeout_ms = Some(int("timeout_ms")? as u64),
+                "mem_budget_mb" => opts.mem_budget_mb = Some(int("mem_budget_mb")?),
+                "row_budget" => opts.row_budget = Some(int("row_budget")?),
+                "strategy" => opts.strategy = value.parse()?,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn request(&self, text: &str) -> Request {
+        let mut request = Request::new(text)
+            .with_planner(self.planner)
+            .with_strategy(self.strategy);
+        if self.explain {
+            request = request.with_explain();
+        }
+        if self.sip {
+            request = request.with_sip();
+        }
+        if let Some(threads) = self.threads {
+            request = request.with_threads(threads);
+        }
+        if let Some(ms) = self.timeout_ms {
+            request = request.with_timeout_ms(ms);
+        }
+        if let Some(mb) = self.mem_budget_mb {
+            request = request.with_mem_budget_mb(mb);
+        }
+        if let Some(rows) = self.row_budget {
+            request = request.with_row_budget(rows);
+        }
+        request
+    }
+}
+
+/// One line, whatever the source error looked like.
+fn flat(msg: impl std::fmt::Display) -> String {
+    msg.to_string().replace('\n', "; ")
+}
+
+/// Dispatch one request payload; returns the response payload and
+/// whether the server should shut down.
+fn handle_request(shared: &ServerShared, payload: &str) -> (String, bool) {
+    let (header, body) = match payload.split_once('\n') {
+        Some((header, body)) => (header, body),
+        None => (payload, ""),
+    };
+    let mut tokens = header.split_whitespace();
+    let command = tokens.next().unwrap_or("");
+    match command {
+        "PING" => ("OK pong".to_string(), false),
+        "STATS" => (render_stats(shared), false),
+        "SHUTDOWN" => ("OK bye".to_string(), true),
+        "QUERY" | "UPDATE" => {
+            let opts = match ReqOpts::parse(tokens) {
+                Ok(opts) => opts,
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return (format!("ERR PROTO {}", flat(e)), false);
+                }
+            };
+            let permit = match shared.admission.acquire(&shared.shutdown) {
+                Ok(permit) => permit,
+                Err(AdmitError::Busy) => {
+                    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        format!(
+                            "ERR BUSY server at capacity ({} executing, {} queued)",
+                            shared.admission.max_inflight, shared.admission.max_queue
+                        ),
+                        false,
+                    );
+                }
+                Err(AdmitError::ShuttingDown) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return ("ERR SHUTDOWN server is shutting down".to_string(), false);
+                }
+            };
+            let response = if command == "QUERY" {
+                run_query(shared, &opts, body)
+            } else {
+                run_update(shared, &opts, body)
+            };
+            drop(permit);
+            (response, false)
+        }
+        other => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                format!(
+                    "ERR PROTO unknown command `{}` (QUERY|UPDATE|PING|STATS|SHUTDOWN)",
+                    flat(other)
+                ),
+                false,
+            )
+        }
+    }
+}
+
+fn run_query(shared: &ServerShared, opts: &ReqOpts, text: &str) -> String {
+    match shared.session.query(opts.request(text)) {
+        Ok(response) => {
+            shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+            let body = if let Some(plan) = &response.explain {
+                format!("{plan}{}", render_runtime_metrics(&response.metrics))
+            } else if let Some(answer) = response.ask {
+                match opts.format.as_str() {
+                    "json" => results::ask_to_sparql_json(answer),
+                    _ => answer.to_string(),
+                }
+            } else {
+                match opts.format.as_str() {
+                    "table" => results::to_table(&response.output),
+                    "csv" => results::to_csv(&response.output),
+                    "tsv" => results::to_tsv(&response.output),
+                    _ => results::to_sparql_json(&response.output),
+                }
+            };
+            format!(
+                "OK rows={} cols={} pool_batches={}\n{body}",
+                response.output.rows.len(),
+                response.output.columns.len(),
+                response.metrics.shared_pool_batches,
+            )
+        }
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            format!("ERR {} {}", e.code(), flat(e))
+        }
+    }
+}
+
+fn run_update(shared: &ServerShared, opts: &ReqOpts, text: &str) -> String {
+    match shared.session.update(opts.request(text)) {
+        Ok(response) => {
+            shared.metrics.updates_ok.fetch_add(1, Ordering::Relaxed);
+            format!(
+                "OK inserted={} deleted={} triples={}",
+                response.stats.inserted, response.stats.deleted, response.triples
+            )
+        }
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            format!("ERR {} {}", e.code(), flat(e))
+        }
+    }
+}
+
+fn render_stats(shared: &ServerShared) -> String {
+    let m = &shared.metrics;
+    let mut body = format!(
+        "connections={}\nqueries_ok={}\nupdates_ok={}\nerrors={}\nrejected={}\ntriples={}\n",
+        m.connections(),
+        m.queries_ok(),
+        m.updates_ok(),
+        m.errors(),
+        m.rejected(),
+        shared.session.snapshot().len(),
+    );
+    if let Some(pool) = shared.session.pool_stats() {
+        body.push_str(&format!(
+            "pool_threads={}\npool_batches={}\npool_tasks={}\npool_cross_query_switches={}\n",
+            pool.threads, pool.batches, pool.tasks, pool.cross_query_switches,
+        ));
+    }
+    format!("OK\n{body}")
+}
+
+/// A minimal blocking client for the framed protocol — used by the CLI
+/// smoke mode, the integration tests, and the serve benchmark.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Mirrors the server side: frames are small and latency-bound.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one raw request payload, wait for the response payload.
+    pub fn request(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let response = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        String::from_utf8(response)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))
+    }
+
+    /// `QUERY` with a `k=v …` option string (may be empty).
+    pub fn query(&mut self, options: &str, text: &str) -> io::Result<String> {
+        self.request(&format!("QUERY {options}\n{text}"))
+    }
+
+    /// `UPDATE` with a `k=v …` option string (may be empty).
+    pub fn update(&mut self, options: &str, text: &str) -> io::Result<String> {
+        self.request(&format!("UPDATE {options}\n{text}"))
+    }
+
+    /// `STATS`, as the raw response payload.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request("STATS")
+    }
+
+    /// `PING`, expecting `OK pong`.
+    pub fn ping(&mut self) -> io::Result<String> {
+        self.request("PING")
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.request("SHUTDOWN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_session() -> Session {
+        let ds = hsp_store::Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/name> "Alice" .
+<http://e/a2> <http://e/name> "Bob" .
+"#,
+        )
+        .unwrap();
+        Session::new(ds)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn ping_stats_and_query_over_tcp() {
+        let server = Server::start(demo_session(), ServeConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), "OK pong");
+        let response = client
+            .query(
+                "format=csv",
+                "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n",
+            )
+            .unwrap();
+        let (header, body) = response.split_once('\n').unwrap();
+        assert!(header.starts_with("OK rows=2 cols=1"), "{header}");
+        assert_eq!(body, "n\r\nAlice\r\nBob\r\n");
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("queries_ok=1"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_reported() {
+        let server = Server::start(demo_session(), ServeConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let response = client.request("FROBNICATE\n").unwrap();
+        assert!(response.starts_with("ERR PROTO"), "{response}");
+        let response = client.query("format=xml", "ASK { ?s ?p ?o . }").unwrap();
+        assert!(response.starts_with("ERR PROTO"), "{response}");
+        let response = client.query("", "SELECT ?x WHERE { broken").unwrap();
+        assert!(response.starts_with("ERR PARSE"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = Server::start(demo_session(), ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.shutdown().unwrap(), "OK bye");
+        server.join();
+        // The listener is gone; new connections fail once the OS drops
+        // the accept queue (give it a moment).
+        std::thread::sleep(Duration::from_millis(100));
+        let refused = Client::connect(addr).and_then(|mut c| c.ping()).is_err();
+        assert!(refused);
+    }
+}

@@ -1,0 +1,732 @@
+//! The unified front door: one [`Session`] owns a shared dataset and a
+//! shared, long-lived morsel worker pool; every read goes through
+//! [`Session::query`] and every write through [`Session::update`].
+//!
+//! This collapses the historical entrypoint sprawl (`evaluate_extended` /
+//! `_with` / `_in`, `evaluate_ask`, `evaluate_ast`, `apply_update` /
+//! `_with`, and the ad-hoc `ExecConfig` plumbing around
+//! [`execute`](hsp_engine::execute)) behind a single builder-style
+//! [`Request`]. The `hsp` CLI, the [`serve`](crate::serve) server, and
+//! the examples all go through it, so their option handling cannot drift.
+//!
+//! # Concurrency model
+//!
+//! * **Reads snapshot.** The dataset lives behind an `Arc` swap: a query
+//!   clones the `Arc` once and runs against an immutable snapshot, so
+//!   updates never block readers and a reader never observes a half
+//!   -applied update.
+//! * **Writes build-and-swap.** [`Session::update`] clones the dataset,
+//!   applies the whole request to the clone, and publishes the result
+//!   with one pointer swap — all-or-nothing. (This is deliberately
+//!   *transactional*, unlike the deprecated in-place
+//!   [`apply_update`](crate::update::apply_update), whose sequenced
+//!   operations left earlier effects in place when a later one failed.)
+//!   Writers serialise on an internal lock; readers are never blocked.
+//! * **One worker pool.** Parallel kernels of *all* concurrent queries
+//!   schedule their morsels on the session's one
+//!   [`SharedPool`] (round-robin across queries),
+//!   instead of spawning scoped threads per kernel. Results are
+//!   byte-identical to the scoped path — morsel outputs are stitched in
+//!   morsel order either way.
+//!
+//! ```
+//! use sparql_hsp::session::{Request, Session};
+//! use hsp_store::Dataset;
+//!
+//! let ds = Dataset::from_ntriples(
+//!     "<http://e/j1> <http://e/issued> \"1940\" .\n",
+//! ).unwrap();
+//! let session = Session::new(ds);
+//! let stats = session
+//!     .update(Request::new("INSERT DATA { <http://e/j2> <http://e/issued> \"1952\" . }"))
+//!     .unwrap();
+//! assert_eq!(stats.stats.inserted, 1);
+//! let response = session
+//!     .query(Request::new("SELECT ?j WHERE { ?j <http://e/issued> ?yr . }"))
+//!     .unwrap();
+//! assert_eq!(response.output.rows.len(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use hsp_baseline::{CdpPlanner, HybridPlanner, LeftDeepPlanner, StockerPlanner};
+use hsp_core::HspPlanner;
+use hsp_engine::plan::PhysicalPlan;
+use hsp_engine::{
+    execute_in, CancelToken, ExecConfig, ExecContext, ExecStrategy, MorselConfig, PoolStats,
+    RuntimeMetrics, SharedPool,
+};
+use hsp_sparql::JoinQuery;
+use hsp_store::Dataset;
+
+use crate::extended::{evaluate_ast_in, ExtendedError, ExtendedOutput};
+use crate::update::{run_update, UpdateError, UpdateStats};
+
+/// Which planner a [`Request`] runs through (join-fragment queries only;
+/// OPTIONAL/UNION queries always evaluate HSP-planned, per block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Planner {
+    /// The paper's heuristics-based planner (the default).
+    #[default]
+    Hsp,
+    /// The RDF-3X-style dynamic-programming baseline.
+    Cdp,
+    /// The SQL-style left-deep baseline.
+    Sql,
+    /// CDP over HSP's rewritten query.
+    Hybrid,
+    /// The Stocker et al. selectivity-ordering baseline.
+    Stocker,
+}
+
+impl std::str::FromStr for Planner {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hsp" => Ok(Planner::Hsp),
+            "cdp" => Ok(Planner::Cdp),
+            "sql" => Ok(Planner::Sql),
+            "hybrid" => Ok(Planner::Hybrid),
+            "stocker" => Ok(Planner::Stocker),
+            other => Err(format!(
+                "unknown planner `{other}` (hsp|cdp|sql|hybrid|stocker)"
+            )),
+        }
+    }
+}
+
+/// One query or update request: the text plus every execution option the
+/// engine understands, builder-style. All options default off.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    text: String,
+    planner: Planner,
+    explain: bool,
+    sip: bool,
+    strategy: ExecStrategy,
+    row_budget: Option<usize>,
+    threads: Option<usize>,
+    timeout: Option<Duration>,
+    mem_budget: Option<usize>,
+    cancel: Option<Arc<CancelToken>>,
+    inject_faults: bool,
+}
+
+impl Request {
+    /// A request for `text` with default options.
+    pub fn new(text: impl Into<String>) -> Self {
+        Request {
+            text: text.into(),
+            ..Request::default()
+        }
+    }
+
+    /// The request text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Select the planner for join-fragment queries.
+    pub fn with_planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Return the plan/pipeline explanation instead of executing only.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
+        self
+    }
+
+    /// Enable sideways information passing.
+    pub fn with_sip(mut self) -> Self {
+        self.sip = true;
+        self
+    }
+
+    /// Select the evaluator (see [`ExecStrategy`]).
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Abort when any operator materialises more than `rows` rows.
+    pub fn with_row_budget(mut self, rows: usize) -> Self {
+        self.row_budget = Some(rows);
+        self
+    }
+
+    /// Thread budget for the parallel kernels (gates *whether* kernels
+    /// parallelise; on a pooled session the pool's width does the work).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Wall-clock deadline for the whole request.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// [`Request::with_timeout`] in milliseconds.
+    pub fn with_timeout_ms(self, ms: u64) -> Self {
+        self.with_timeout(Duration::from_millis(ms))
+    }
+
+    /// Cap the live materialised bytes of the request.
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// [`Request::with_mem_budget`] in mebibytes.
+    pub fn with_mem_budget_mb(self, mb: usize) -> Self {
+        self.with_mem_budget(mb.saturating_mul(1024 * 1024))
+    }
+
+    /// Attach a caller-held cancellation token.
+    pub fn with_cancel_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arm the `HSP_FAULT` fault-injection hook (tests / CI only).
+    pub fn with_fault_injection(mut self) -> Self {
+        self.inject_faults = true;
+        self
+    }
+}
+
+/// A query's result: the materialised rows plus everything the CLI and
+/// server render around them.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Named columns over optional terms (`None` = unbound).
+    pub output: ExtendedOutput,
+    /// `Some(answer)` when the request was an `ASK` query (the output
+    /// then has zero columns and at most one row).
+    pub ask: Option<bool>,
+    /// The rendered plan + pipeline DAG, when the request asked for
+    /// [`Request::with_explain`]. Append
+    /// [`render_runtime_metrics`](hsp_engine::explain::render_runtime_metrics)
+    /// over [`Response::metrics`] for the full CLI explain output.
+    pub explain: Option<String>,
+    /// A caller-facing note (e.g. "fell back to the extended evaluator").
+    pub note: Option<String>,
+    /// What the engine did: parallel kernels, pipelines, pool counters —
+    /// with `shared_pool_batches` stamped from the session's pool, which
+    /// is the per-query proof of shared-pool scheduling.
+    pub metrics: RuntimeMetrics,
+}
+
+/// An update's result.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateResponse {
+    /// Triples inserted / deleted.
+    pub stats: UpdateStats,
+    /// Dataset size after the update was published.
+    pub triples: usize,
+}
+
+/// A [`Session`] request failure.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Query parsing, planning, or execution failed.
+    Query(ExtendedError),
+    /// Update parsing or execution failed (nothing was published).
+    Update(UpdateError),
+    /// The chosen planner could not plan the query.
+    Plan(String),
+    /// The request combination is unsupported (e.g. `explain` on a query
+    /// outside the join fragment).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Query(e) => write!(f, "{e}"),
+            SessionError::Update(e) => write!(f, "{e}"),
+            SessionError::Plan(e) => write!(f, "{e}"),
+            SessionError::Unsupported(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl SessionError {
+    /// A short machine-readable code for protocol surfaces (the serve
+    /// layer's `ERR <CODE> …` responses). Governor trips are recognised
+    /// from the engine's error messages, which cross the extended
+    /// evaluator as strings.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SessionError::Query(ExtendedError::Parse(_))
+            | SessionError::Update(UpdateError::Parse(_)) => "PARSE",
+            SessionError::Plan(_) => "PLAN",
+            SessionError::Unsupported(_) => "UNSUPPORTED",
+            other => {
+                let msg = other.to_string();
+                if msg.contains("deadline exceeded") {
+                    "TIMEOUT"
+                } else if msg.contains("cancelled") {
+                    "CANCELLED"
+                } else if msg.contains("memory budget exceeded") {
+                    "MEM"
+                } else {
+                    "EXEC"
+                }
+            }
+        }
+    }
+}
+
+/// Knobs fixed at session construction.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Shared-pool worker count: `None` auto-detects (like
+    /// [`MorselConfig::auto`]), `Some(0)` disables the shared pool
+    /// entirely (kernels spawn scoped threads per invocation — the
+    /// pre-session behaviour, still right for one-shot CLI runs),
+    /// `Some(n)` pins it.
+    pub pool_threads: Option<usize>,
+    /// Session-wide rows-per-morsel override (see
+    /// [`ExecConfig::with_morsel_rows`]); servers lower it so small
+    /// datasets still interleave on the pool.
+    pub morsel_rows: Option<usize>,
+    /// Session-wide sequential-below threshold override.
+    pub min_parallel_rows: Option<usize>,
+}
+
+struct SessionInner {
+    /// The `Arc`-swapped store: readers clone the `Arc` (a snapshot),
+    /// writers replace it.
+    store: RwLock<Arc<Dataset>>,
+    /// Serialises writers (the `RwLock` write lock is held only for the
+    /// final pointer swap, never across update execution).
+    write_lock: Mutex<()>,
+    pool: Option<SharedPool>,
+    morsel_rows: Option<usize>,
+    min_parallel_rows: Option<usize>,
+    /// Monotonic query tags for the pool's cross-query accounting.
+    queries: AtomicU64,
+}
+
+impl Drop for SessionInner {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
+    }
+}
+
+/// A shared handle (cheap to clone) to one dataset + one worker pool.
+/// See the module docs for the concurrency model.
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("triples", &self.snapshot().len())
+            .field("pool", &self.inner.pool)
+            .finish()
+    }
+}
+
+impl Session {
+    /// A session over `ds` with an auto-sized shared pool.
+    pub fn new(ds: Dataset) -> Self {
+        Session::with_options(ds, SessionOptions::default())
+    }
+
+    /// A session over `ds` with explicit [`SessionOptions`].
+    pub fn with_options(ds: Dataset, options: SessionOptions) -> Self {
+        let pool = match options.pool_threads {
+            Some(0) => None,
+            Some(n) => Some(SharedPool::new(n)),
+            None => Some(SharedPool::new(MorselConfig::auto().threads())),
+        };
+        Session {
+            inner: Arc::new(SessionInner {
+                store: RwLock::new(Arc::new(ds)),
+                write_lock: Mutex::new(()),
+                pool,
+                morsel_rows: options.morsel_rows,
+                min_parallel_rows: options.min_parallel_rows,
+                queries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The current dataset snapshot (immutable; updates swap in a new
+    /// one, they never mutate a published snapshot).
+    pub fn snapshot(&self) -> Arc<Dataset> {
+        Arc::clone(
+            &self
+                .inner
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// The shared pool's lifetime counters, when the session has one.
+    /// `cross_query_switches > 0` under concurrent load is the proof
+    /// that one pool interleaves morsels of many queries.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.inner.pool.as_ref().map(SharedPool::stats)
+    }
+
+    /// Run one query against the current snapshot. Safe to call from
+    /// many threads at once: every request gets its own context and
+    /// governor, and parallel kernels of all of them share the pool.
+    pub fn query(&self, request: Request) -> Result<Response, SessionError> {
+        let ds = self.snapshot();
+        let config = self.exec_config(&request);
+        let ctx = config.context();
+        let tag = self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let guard = self.inner.pool.as_ref().map(|p| p.install(tag));
+        let result = query_snapshot(&ds, &request, &config, &ctx);
+        let batches = guard.as_ref().map_or(0, |g| g.batches() as usize);
+        drop(guard);
+        let mut response = result?;
+        response.metrics.shared_pool_batches = batches;
+        Ok(response)
+    }
+
+    /// Apply one SPARQL Update request, build-and-swap: the whole
+    /// request applies to a private clone of the dataset, and the clone
+    /// is published only on success — concurrent readers keep their
+    /// snapshot throughout, and an error publishes nothing.
+    pub fn update(&self, request: Request) -> Result<UpdateResponse, SessionError> {
+        let config = self.exec_config(&request);
+        let _writer = self
+            .inner
+            .write_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut working = (*self.snapshot()).clone();
+        let tag = self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let guard = self.inner.pool.as_ref().map(|p| p.install(tag));
+        let result = run_update(&mut working, &request.text, &config);
+        drop(guard);
+        let stats = result.map_err(SessionError::Update)?;
+        let triples = working.len();
+        *self
+            .inner
+            .store
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(working);
+        Ok(UpdateResponse { stats, triples })
+    }
+
+    /// The [`ExecConfig`] a request asks for, under this session's
+    /// morsel overrides.
+    fn exec_config(&self, request: &Request) -> ExecConfig {
+        let mut config = ExecConfig::unlimited();
+        config.max_intermediate_rows = request.row_budget;
+        config.threads = request.threads;
+        config.strategy = request.strategy;
+        config.morsel_rows = self.inner.morsel_rows;
+        config.min_parallel_rows = self.inner.min_parallel_rows;
+        if request.sip {
+            config = config.with_sip();
+        }
+        if let Some(timeout) = request.timeout {
+            config = config.with_timeout(timeout);
+        }
+        if let Some(bytes) = request.mem_budget {
+            config = config.with_mem_budget(bytes);
+        }
+        if let Some(token) = &request.cancel {
+            config = config.with_cancel_token(Arc::clone(token));
+        }
+        if request.inject_faults {
+            config = config.with_fault_injection();
+        }
+        config
+    }
+}
+
+/// Plan a join-fragment query with the chosen planner (aggregates are
+/// HSP-only, as in the CLI).
+fn plan_query(
+    planner: Planner,
+    ds: &Dataset,
+    query: &JoinQuery,
+) -> Result<(PhysicalPlan, JoinQuery), String> {
+    if query.is_aggregate() && planner != Planner::Hsp {
+        return Err(
+            "aggregation (GROUP BY / HAVING / aggregate functions) is only \
+             planned by the hsp planner"
+                .to_string(),
+        );
+    }
+    match planner {
+        Planner::Hsp => {
+            let p = HspPlanner::new().plan(query).map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        Planner::Cdp => {
+            let p = CdpPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        Planner::Sql => {
+            let p = LeftDeepPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        Planner::Hybrid => {
+            let p = HybridPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+        Planner::Stocker => {
+            let p = StockerPlanner::new()
+                .plan(ds, query)
+                .map_err(|e| e.to_string())?;
+            Ok((p.plan, p.query))
+        }
+    }
+}
+
+/// The dispatch the CLI used to hand-roll: ASK short-circuits, join
+/// -fragment queries take the chosen planner, everything else goes to
+/// the extended (OPTIONAL/UNION) evaluator.
+fn query_snapshot(
+    ds: &Dataset,
+    request: &Request,
+    config: &ExecConfig,
+    ctx: &ExecContext,
+) -> Result<Response, SessionError> {
+    if let Ok(ast) = hsp_sparql::parse_query(&request.text) {
+        if ast.ask {
+            let output = evaluate_ast_in(ds, &ast, config, ctx).map_err(SessionError::Query)?;
+            let ask = Some(!output.rows.is_empty());
+            return Ok(Response {
+                output,
+                ask,
+                explain: None,
+                note: None,
+                metrics: RuntimeMetrics::of(ctx),
+            });
+        }
+    }
+    match JoinQuery::parse(&request.text) {
+        Ok(query) => {
+            let (plan, planned_query) =
+                plan_query(request.planner, ds, &query).map_err(SessionError::Plan)?;
+            let output = execute_in(&plan, ds, config, ctx)
+                .map_err(|e| SessionError::Query(ExtendedError::Eval(e.to_string())))?;
+            let explain = request.explain.then(|| {
+                let mut text = hsp_engine::explain::render_plan_with_profile(
+                    &plan,
+                    &output.profile,
+                    &planned_query,
+                );
+                // SIP and row-budget executions fall back to the
+                // operator-at-a-time evaluator — only render the pipeline
+                // DAG when the pipeline executor actually ran.
+                if !request.sip && request.row_budget.is_none() {
+                    text.push_str(&hsp_engine::explain::render_pipeline_dag(
+                        &plan,
+                        &planned_query,
+                    ));
+                }
+                text
+            });
+            let columns: Vec<String> = planned_query
+                .projection
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect();
+            let rows = (0..output.table.len())
+                .map(|i| {
+                    planned_query
+                        .projection
+                        .iter()
+                        // `ExecOutput::term` resolves both dictionary ids
+                        // and computed (aggregate-output) ids.
+                        .map(|&(_, v)| output.term(ds, output.table.value(v, i)))
+                        .collect()
+                })
+                .collect();
+            Ok(Response {
+                output: ExtendedOutput { columns, rows },
+                ask: None,
+                explain,
+                note: None,
+                metrics: output.runtime,
+            })
+        }
+        Err(join_err) => {
+            if request.explain {
+                return Err(SessionError::Unsupported(
+                    "--explain requires a join query (no OPTIONAL/UNION)".into(),
+                ));
+            }
+            let note = (request.planner != Planner::Hsp).then(|| {
+                format!(
+                    "query is outside the join-query fragment ({join_err}); \
+                     using the extended evaluator (HSP-planned blocks)"
+                )
+            });
+            let ast = hsp_sparql::parse_query(&request.text)
+                .map_err(|e| SessionError::Query(ExtendedError::Parse(e)))?;
+            let output = evaluate_ast_in(ds, &ast, config, ctx).map_err(SessionError::Query)?;
+            Ok(Response {
+                output,
+                ask: None,
+                explain: None,
+                note,
+                metrics: RuntimeMetrics::of(ctx),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_ntriples(
+            r#"<http://e/a1> <http://e/name> "Alice" .
+<http://e/a1> <http://e/email> "alice@example.org" .
+<http://e/a2> <http://e/name> "Bob" .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn query_and_update_round_trip() {
+        let session = Session::new(dataset());
+        let out = session
+            .query(Request::new(
+                "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n",
+            ))
+            .unwrap();
+        assert_eq!(out.output.rows.len(), 2);
+        let up = session
+            .update(Request::new(
+                "INSERT DATA { <http://e/a3> <http://e/name> \"Carol\" . }",
+            ))
+            .unwrap();
+        assert_eq!(up.stats.inserted, 1);
+        assert_eq!(up.triples, 4);
+        let out = session
+            .query(Request::new(
+                "SELECT ?n WHERE { ?p <http://e/name> ?n . } ORDER BY ?n",
+            ))
+            .unwrap();
+        assert_eq!(out.output.rows.len(), 3);
+    }
+
+    #[test]
+    fn ask_sets_the_answer() {
+        let session = Session::new(dataset());
+        let yes = session
+            .query(Request::new("ASK { ?p <http://e/name> \"Alice\" . }"))
+            .unwrap();
+        assert_eq!(yes.ask, Some(true));
+        let no = session
+            .query(Request::new("ASK { ?p <http://e/name> \"Zed\" . }"))
+            .unwrap();
+        assert_eq!(no.ask, Some(false));
+    }
+
+    #[test]
+    fn failed_update_publishes_nothing() {
+        let session = Session::new(dataset());
+        let before = session.snapshot();
+        // The INSERT succeeds, then the DELETE WHERE trips the row
+        // budget mid-sequence.
+        let err = session.update(
+            Request::new(
+                "INSERT DATA { <http://e/a9> <http://e/name> \"Eve\" . } ; \
+                 DELETE WHERE { ?s <http://e/name> ?n . }",
+            )
+            .with_row_budget(0),
+        );
+        assert!(err.is_err());
+        // Build-and-swap: the failed request left the published dataset
+        // untouched, including the first (successful) operation.
+        assert_eq!(session.snapshot().len(), before.len());
+    }
+
+    #[test]
+    fn snapshots_survive_updates() {
+        let session = Session::new(dataset());
+        let old = session.snapshot();
+        session
+            .update(Request::new("DELETE WHERE { ?s <http://e/name> ?n . }"))
+            .unwrap();
+        assert_eq!(old.len(), 3);
+        assert_eq!(session.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn explain_requires_join_fragment() {
+        let session = Session::new(dataset());
+        let out = session
+            .query(Request::new("SELECT ?n WHERE { ?p <http://e/name> ?n . }").with_explain())
+            .unwrap();
+        assert!(out.explain.unwrap().contains("[tp0]"));
+        let err = session
+            .query(
+                Request::new(
+                    "SELECT ?n WHERE { ?p <http://e/name> ?n . \
+                     OPTIONAL { ?p <http://e/email> ?e . } }",
+                )
+                .with_explain(),
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "UNSUPPORTED");
+    }
+
+    #[test]
+    fn timeout_maps_to_timeout_code() {
+        let session = Session::new(dataset());
+        let result = session.query(
+            Request::new("SELECT ?n WHERE { ?p <http://e/name> ?n . }")
+                .with_timeout(Duration::from_nanos(1)),
+        );
+        if let Err(e) = result {
+            assert_eq!(e.code(), "TIMEOUT", "{e}");
+        }
+        // Either way the session still serves the next query.
+        assert!(session
+            .query(Request::new("SELECT ?n WHERE { ?p <http://e/name> ?n . }"))
+            .is_ok());
+    }
+
+    #[test]
+    fn pool_less_session_works() {
+        let session = Session::with_options(
+            dataset(),
+            SessionOptions {
+                pool_threads: Some(0),
+                ..SessionOptions::default()
+            },
+        );
+        assert!(session.pool_stats().is_none());
+        let out = session
+            .query(Request::new("SELECT ?n WHERE { ?p <http://e/name> ?n . }"))
+            .unwrap();
+        assert_eq!(out.output.rows.len(), 2);
+        assert_eq!(out.metrics.shared_pool_batches, 0);
+    }
+}

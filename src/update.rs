@@ -67,8 +67,10 @@ impl std::error::Error for UpdateError {}
 /// assert_eq!(stats.deleted, 2);
 /// assert!(ds.is_empty());
 /// ```
+#[deprecated(note = "go through `sparql_hsp::session::Session::update`, which \
+                     adds build-and-swap snapshot isolation")]
 pub fn apply_update(ds: &mut Dataset, text: &str) -> Result<UpdateStats, UpdateError> {
-    apply_update_with(ds, text, &ExecConfig::unlimited())
+    run_update(ds, text, &ExecConfig::unlimited())
 }
 
 /// [`apply_update`] under an explicit [`ExecConfig`]: a timeout, memory
@@ -78,7 +80,28 @@ pub fn apply_update(ds: &mut Dataset, text: &str) -> Result<UpdateStats, UpdateE
 /// whole or not at all; a trip between operations leaves the effects of
 /// the already-completed ones in place, per the SPARQL Update sequencing
 /// rule.
+///
+/// Note the semantic difference from [`Session::update`](crate::session::Session::update): the
+/// session applies the
+/// whole request to a private clone and publishes all-or-nothing,
+/// whereas this mutates `ds` in place, op by op.
+#[deprecated(note = "go through `sparql_hsp::session::Session::update`, which \
+                     adds build-and-swap snapshot isolation")]
 pub fn apply_update_with(
+    ds: &mut Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<UpdateStats, UpdateError> {
+    run_update(ds, text, config)
+}
+
+/// The in-place update engine behind [`Session::update`](crate::session::Session::update) and
+/// the deprecated wrappers:
+/// operations run in source order against `ds`, each seeing the effects
+/// of the previous one (the SPARQL Update sequencing rule). The session
+/// gets its all-or-nothing semantics by pointing `ds` at a private clone
+/// and publishing only on `Ok`.
+pub(crate) fn run_update(
     ds: &mut Dataset,
     text: &str,
     config: &ExecConfig,
@@ -190,6 +213,7 @@ fn delete_where(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use hsp_store::Order;

@@ -137,18 +137,22 @@ fn distinct_deduplicates_end_to_end() {
 
 #[test]
 fn update_syntax_errors_are_reported() {
-    let mut ds = small_ds();
+    use sparql_hsp::session::{Request, Session};
+    let session = Session::new(small_ds());
     // Bare DELETE without DATA/WHERE.
-    assert!(sparql_hsp::update::apply_update(&mut ds, "DELETE { ?s ?p ?o . }").is_err());
+    assert!(session
+        .update(Request::new("DELETE { ?s ?p ?o . }"))
+        .is_err());
     // INSERT WHERE is not an implemented form.
-    assert!(sparql_hsp::update::apply_update(&mut ds, "INSERT WHERE { ?s ?p ?o . }").is_err());
+    assert!(session
+        .update(Request::new("INSERT WHERE { ?s ?p ?o . }"))
+        .is_err());
     // Variables in a DATA block.
-    assert!(
-        sparql_hsp::update::apply_update(&mut ds, "INSERT DATA { ?x <http://e/p> \"v\" . }")
-            .is_err()
-    );
-    // A failed update leaves the dataset untouched.
-    assert_eq!(ds.len(), small_ds().len());
+    assert!(session
+        .update(Request::new("INSERT DATA { ?x <http://e/p> \"v\" . }"))
+        .is_err());
+    // A failed update publishes nothing.
+    assert_eq!(session.snapshot().len(), small_ds().len());
 }
 
 #[test]

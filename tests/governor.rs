@@ -18,12 +18,22 @@ use hsp_engine::{ExecContext, MorselConfig, PhysicalPlan};
 use hsp_rdf::Term;
 use hsp_sparql::{AggFunc, AggSpec, TermOrVar, TriplePattern, Var};
 use hsp_store::{Dataset, Order};
-use sparql_hsp::extended::{evaluate_extended_with, ExtendedError};
-use sparql_hsp::update::apply_update_with;
+use sparql_hsp::extended::{evaluate_extended_in, ExtendedError, ExtendedOutput};
 
 /// `HSP_FAULT` is process-global: fault tests take this lock so
 /// concurrently running tests never see each other's injected fault.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// The old `evaluate_extended_with` convenience, through the supported
+/// context-taking entry point (the `_with` wrapper itself is deprecated
+/// in favour of `Session::query`).
+fn evaluate_extended_with(
+    ds: &Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<ExtendedOutput, ExtendedError> {
+    evaluate_extended_in(ds, text, config, &config.context())
+}
 
 /// Run `f` with `HSP_FAULT=spec` set, serialised against the other
 /// fault tests; the variable is cleared afterwards even on panic.
@@ -327,7 +337,9 @@ fn extended_evaluator_surfaces_faults_at_its_checkpoint_site() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the legacy in-place sequencing semantics
 fn update_path_surfaces_faults_and_leaves_prior_ops_applied() {
+    use sparql_hsp::update::apply_update_with;
     let mut ds = Dataset::from_ntriples("").unwrap();
     let text = r#"INSERT DATA { <http://e/s> <http://e/p> "v" . } ;
                   DELETE WHERE { ?s <http://e/p> ?o . }"#;
@@ -450,12 +462,14 @@ fn tiny_budget_battery_degrades_gracefully_across_query_shapes() {
             .expect("ungoverned evaluation still succeeds");
     }
 
-    // DELETE WHERE rides the same execution path.
-    let mut mutable = Dataset::from_ntriples(&chain_doc()).unwrap();
-    match apply_update_with(
-        &mut mutable,
-        "DELETE WHERE { ?a <http://e/cites> ?b . ?b <http://e/cites> ?c . }",
-        &tiny,
+    // DELETE WHERE rides the same execution path (through the session
+    // front door, which is how updates reach it in production).
+    let session = sparql_hsp::session::Session::new(Dataset::from_ntriples(&chain_doc()).unwrap());
+    match session.update(
+        sparql_hsp::session::Request::new(
+            "DELETE WHERE { ?a <http://e/cites> ?b . ?b <http://e/cites> ?c . }",
+        )
+        .with_mem_budget(TINY),
     ) {
         Ok(_) => {}
         Err(e) => assert!(

@@ -11,11 +11,22 @@ use hsp_bench::planners::{plan_query, PlannerKind};
 use hsp_bench::{BenchEnv, EnvConfig};
 use hsp_datagen::workload;
 use hsp_engine::{execute, ExecConfig, ExecStrategy, RuntimeMetrics};
-use sparql_hsp::extended::{evaluate_extended_in, evaluate_extended_with};
+use sparql_hsp::extended::{evaluate_extended_in, ExtendedError, ExtendedOutput};
 
 fn env() -> &'static BenchEnv {
     static ENV: OnceLock<BenchEnv> = OnceLock::new();
     ENV.get_or_init(|| BenchEnv::load(EnvConfig::small()))
+}
+
+/// The old `evaluate_extended_with` convenience, through the supported
+/// context-taking entry point (the `_with` wrapper itself is deprecated
+/// in favour of `Session::query`).
+fn evaluate_extended_with(
+    ds: &hsp_store::Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<ExtendedOutput, ExtendedError> {
+    evaluate_extended_in(ds, text, config, &config.context())
 }
 
 #[test]

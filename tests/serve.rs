@@ -1,0 +1,281 @@
+//! The serve path end to end: concurrent TCP clients against one shared
+//! session must get byte-identical answers to serial execution, governor
+//! trips must not poison the shared morsel pool, and updates must never
+//! tear a concurrent reader's snapshot.
+
+use std::sync::OnceLock;
+
+use hsp_bench::{BenchEnv, EnvConfig};
+use hsp_datagen::{workload, DatasetKind};
+use sparql_hsp::results;
+use sparql_hsp::serve::{Client, ServeConfig, Server};
+use sparql_hsp::session::{Request, Session, SessionOptions};
+use sparql_hsp::store::Dataset;
+
+fn env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| BenchEnv::load(EnvConfig::small()))
+}
+
+/// Session options that force real shared-pool scheduling on the small
+/// test datasets: tiny morsels, no sequential-below threshold, a fixed
+/// two-worker pool.
+fn pooled_options() -> SessionOptions {
+    SessionOptions {
+        pool_threads: Some(2),
+        morsel_rows: Some(512),
+        min_parallel_rows: Some(0),
+    }
+}
+
+/// The mixed workload restricted to the server's dataset.
+fn sp2b_queries() -> Vec<(String, String)> {
+    workload()
+        .into_iter()
+        .filter(|q| q.dataset == DatasetKind::Sp2Bench)
+        .map(|q| (q.id.to_string(), q.text.to_string()))
+        .collect()
+}
+
+/// ≥4 concurrent clients fire the mixed workload at one server; every
+/// response body must be byte-identical to a serial (scoped-thread,
+/// single-session) execution of the same query, and the session's one
+/// pool must have scheduled morsel batches from more than one query.
+#[test]
+fn concurrent_clients_are_byte_identical_to_serial_execution() {
+    let ds = env().dataset(DatasetKind::Sp2Bench);
+    let queries = sp2b_queries();
+    assert!(queries.len() >= 4, "workload shrank unexpectedly");
+
+    // The serial oracle: no shared pool, no thread budget — the plain
+    // sequential path.
+    let serial = Session::with_options(
+        ds.clone(),
+        SessionOptions {
+            pool_threads: Some(0),
+            ..SessionOptions::default()
+        },
+    );
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|(id, text)| {
+            let response = serial
+                .query(Request::new(text))
+                .unwrap_or_else(|e| panic!("{id} failed serially: {e}"));
+            results::to_sparql_json(&response.output)
+        })
+        .collect();
+
+    let session = Session::with_options(ds.clone(), pooled_options());
+    let server = Server::start(session, ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    // Concurrent bursts repeat until the pool has demonstrably
+    // interleaved two queries' morsels (round-robin makes this all but
+    // immediate; the bound only guards against a pathological scheduler).
+    let mut interleaved = 0;
+    for _round in 0..10 {
+        std::thread::scope(|scope| {
+            for client_id in 0..CLIENTS {
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    // Stagger the per-client query order so different
+                    // queries overlap in time.
+                    for i in 0..queries.len() {
+                        let slot = (i + client_id) % queries.len();
+                        let (id, text) = &queries[slot];
+                        let response = client
+                            .query("threads=4", text)
+                            .unwrap_or_else(|e| panic!("{id}: transport error: {e}"));
+                        let (header, body) =
+                            response.split_once('\n').unwrap_or((response.as_str(), ""));
+                        assert!(header.starts_with("OK "), "{id}: {header}");
+                        assert_eq!(body, expected[slot], "{id} diverged from serial execution");
+                    }
+                });
+            }
+        });
+        let stats = server.session().pool_stats().expect("pooled session");
+        assert!(stats.batches > 0, "shared pool never saw a morsel batch");
+        interleaved = stats.cross_query_switches;
+        if interleaved > 0 {
+            break;
+        }
+    }
+    assert!(
+        interleaved > 0,
+        "workers never switched between queries' batches under concurrent load"
+    );
+    server.shutdown();
+}
+
+fn name_dataset(people: usize) -> Dataset {
+    let mut nt = String::new();
+    for i in 0..people {
+        nt.push_str(&format!(
+            "<http://e/p{i}> <http://e/name> \"Person {i}\" .\n\
+             <http://e/p{i}> <http://e/knows> <http://e/p{n}> .\n",
+            n = (i + 1) % people,
+        ));
+    }
+    Dataset::from_ntriples(&nt).unwrap()
+}
+
+/// A deadline trip on the shared pool must drain cleanly: the very next
+/// query on the same pool (same server) succeeds, repeatedly.
+#[test]
+fn governor_trips_do_not_poison_the_shared_pool() {
+    let server = Server::start(
+        Session::with_options(name_dataset(2_000), pooled_options()),
+        ServeConfig::default(),
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let join = "SELECT ?a ?c WHERE { ?a <http://e/knows> ?b . ?b <http://e/knows> ?c . }";
+    for round in 0..5 {
+        // An already-expired deadline trips at the first checkpoint.
+        let tripped = client
+            .query("threads=4 timeout_ms=0", join)
+            .expect("transport survives a trip");
+        assert!(
+            tripped.starts_with("ERR TIMEOUT"),
+            "round {round}: expected a deadline trip, got {tripped}"
+        );
+        // The pool drained; the same query now succeeds on it.
+        let ok = client.query("threads=4", join).expect("transport survives");
+        assert!(
+            ok.starts_with("OK rows=2000 "),
+            "round {round}: pool poisoned after a trip? {ok}"
+        );
+    }
+    let stats = server.session().pool_stats().expect("pooled session");
+    assert!(stats.batches > 0, "the trips never reached the pool");
+    server.shutdown();
+}
+
+/// Updates publish by pointer swap: concurrent readers must only ever
+/// see all `MARKERS` marker triples or none — a torn count means a
+/// reader observed a half-applied update.
+#[test]
+fn updates_never_tear_a_concurrent_reader() {
+    const MARKERS: usize = 50;
+    const TRANSITIONS: usize = 20;
+    let server = Server::start(
+        Session::with_options(name_dataset(100), pooled_options()),
+        ServeConfig::default(),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let insert = {
+        let mut text = String::from("INSERT DATA {\n");
+        for i in 0..MARKERS {
+            text.push_str(&format!("<http://e/m{i}> <http://e/marker> \"x\" .\n"));
+        }
+        text.push('}');
+        text
+    };
+    let delete = "DELETE WHERE { ?m <http://e/marker> ?v . }".to_string();
+    let count_query = "SELECT ?m WHERE { ?m <http://e/marker> ?v . }";
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            for i in 0..TRANSITIONS {
+                let text = if i % 2 == 0 { &insert } else { &delete };
+                let response = client.update("", text).expect("update transport");
+                assert!(response.starts_with("OK "), "writer: {response}");
+            }
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connects");
+                    let mut seen_full = false;
+                    loop {
+                        let response = client.query("", count_query).expect("query transport");
+                        let header = response.lines().next().unwrap_or("");
+                        let rows: usize = header
+                            .strip_prefix("OK rows=")
+                            .and_then(|r| r.split(' ').next())
+                            .and_then(|r| r.parse().ok())
+                            .unwrap_or_else(|| panic!("unparseable header: {header}"));
+                        assert!(
+                            rows == 0 || rows == MARKERS,
+                            "torn read: {rows} of {MARKERS} marker triples visible"
+                        );
+                        seen_full |= rows == MARKERS;
+                        // Stop once the writer is done (marker state is
+                        // then stable at the final transition's value).
+                        if seen_full && rows == 0 {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().expect("writer panicked");
+        // TRANSITIONS is even, so the final state is marker-free; every
+        // reader terminates once it has seen both states.
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+    });
+    server.shutdown();
+}
+
+/// Admission control under a deliberately tiny capacity: every response
+/// is either a success or an explicit `ERR BUSY` — never a hang or a
+/// protocol failure — and the server keeps serving afterwards.
+#[test]
+fn admission_control_rejects_rather_than_queueing_without_bound() {
+    let server = Server::start(
+        Session::with_options(name_dataset(500), pooled_options()),
+        ServeConfig {
+            max_inflight: 1,
+            max_queue: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let join = "SELECT ?a ?c WHERE { ?a <http://e/knows> ?b . ?b <http://e/knows> ?c . }";
+    let (ok, busy) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut ok = 0u32;
+                    let mut busy = 0u32;
+                    for _ in 0..5 {
+                        let response = client.query("threads=2", join).expect("transport");
+                        if response.starts_with("OK ") {
+                            ok += 1;
+                        } else if response.starts_with("ERR BUSY") {
+                            busy += 1;
+                        } else {
+                            panic!("unexpected response: {response}");
+                        }
+                    }
+                    (ok, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .fold((0u32, 0u32), |(a, b), (c, d)| (a + c, b + d))
+    });
+    assert!(ok > 0, "no query was ever admitted (busy={busy})");
+    // Whatever was rejected was counted.
+    assert_eq!(server.metrics().rejected(), u64::from(busy));
+    let mut client = Client::connect(addr).expect("client connects");
+    assert!(client
+        .query("", join)
+        .expect("transport")
+        .starts_with("OK "));
+    server.shutdown();
+}
