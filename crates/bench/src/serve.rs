@@ -23,6 +23,18 @@
 //!   server, which is why the row does not gate. Its JSON row carries
 //!   the headline serving numbers: sustained `qps` and `p50_ns` /
 //!   `p99_ns` per-request latency across all concurrent clients.
+//! * `serve_cached_t1` (**gated**): repeat traffic — the same workload
+//!   issued for several passes on one connection, once with the
+//!   session's caches disabled per request (`cache=off`, the baseline:
+//!   every request plans and executes) and once with them on (the first
+//!   pass warms the plan + result tiers, later passes are served from
+//!   the result cache). The speedup is what caching buys repeat
+//!   traffic; the row gates so the cache path cannot silently regress
+//!   to re-executing.
+//!
+//! The overhead and mixed phases pin `cache=off` on every request (and
+//! the in-process reference bypasses the session caches) so those rows
+//! keep measuring the front door and the pool, not the result tier.
 //!
 //! The JSON mirrors the `BENCH_ops.json` line shape (`bench_gate`
 //! parses rows line by line), with a trailing `pool_batches` /
@@ -90,9 +102,15 @@ fn sp2b_queries() -> Vec<(String, String)> {
         .collect()
 }
 
-/// Request options shared by every benchmark request: enough thread
-/// budget that `workers_for` routes morsels to the shared pool.
-const REQ_OPTS: &str = "threads=4";
+/// Request options for the overhead and mixed phases: enough thread
+/// budget that `workers_for` routes morsels to the shared pool, and
+/// `cache=off` so repeated passes keep measuring execution, not the
+/// result tier (the cached phase measures that explicitly).
+const REQ_OPTS: &str = "threads=4 cache=off";
+
+/// Same thread budget with the session caches left on, for the cached
+/// side of the `serve_cached_t1` row.
+const CACHED_REQ_OPTS: &str = "threads=4";
 
 /// Issue `passes` passes over `queries` on one connection, starting each
 /// pass at a different offset (so concurrent callers overlap *different*
@@ -102,6 +120,7 @@ fn run_client(
     queries: &[(String, String)],
     passes: usize,
     stagger: usize,
+    opts: &str,
 ) -> Vec<u128> {
     let mut client = Client::connect(addr).expect("bench client connects");
     let mut latencies = Vec::with_capacity(passes * queries.len());
@@ -110,7 +129,7 @@ fn run_client(
             let (id, text) = &queries[(i + stagger + pass) % queries.len()];
             let start = Instant::now();
             let response = client
-                .query(REQ_OPTS, text)
+                .query(opts, text)
                 .unwrap_or_else(|e| panic!("{id}: transport error: {e}"));
             latencies.push(start.elapsed().as_nanos());
             assert!(
@@ -151,8 +170,10 @@ pub fn measure_serve() -> ServeReport {
     let start = Instant::now();
     for _ in 0..PASSES {
         for (id, text) in &queries {
+            // without_cache: the reference must re-plan and re-execute
+            // every pass, like the cache=off serving requests it anchors.
             let response = in_process
-                .query(Request::new(text))
+                .query(Request::new(text).without_cache())
                 .unwrap_or_else(|e| panic!("{id} failed in-process: {e}"));
             std::hint::black_box(results::to_sparql_json(&response.output));
         }
@@ -175,7 +196,7 @@ pub fn measure_serve() -> ServeReport {
 
     // Phase 1 — one client, sequential: the serving-layer overhead row.
     let start = Instant::now();
-    let serial_one = run_client(addr, &queries, PASSES, 0);
+    let serial_one = run_client(addr, &queries, PASSES, 0, REQ_OPTS);
     let serial_one_ns = start.elapsed().as_nanos();
     assert_eq!(serial_one.len(), PASSES * queries.len());
 
@@ -183,7 +204,7 @@ pub fn measure_serve() -> ServeReport {
     // one connection: the serial reference for the concurrency row.
     let start = Instant::now();
     for stagger in 0..CLIENTS {
-        run_client(addr, &queries, PASSES, stagger);
+        run_client(addr, &queries, PASSES, stagger, REQ_OPTS);
     }
     let serial_all_ns = start.elapsed().as_nanos();
 
@@ -193,7 +214,7 @@ pub fn measure_serve() -> ServeReport {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|stagger| {
                 let queries = &queries;
-                scope.spawn(move || run_client(addr, queries, PASSES, stagger))
+                scope.spawn(move || run_client(addr, queries, PASSES, stagger, REQ_OPTS))
             })
             .collect();
         handles
@@ -205,6 +226,22 @@ pub fn measure_serve() -> ServeReport {
     latencies.sort_unstable();
     let requests = latencies.len();
     let qps = requests as f64 / (concurrent_ns as f64 / 1e9);
+
+    // Phase 3 — repeat traffic. The same passes with caches off (every
+    // request re-plans and re-executes) versus on (pass one warms the
+    // plan + result tiers, later passes serve from the result cache).
+    let start = Instant::now();
+    run_client(addr, &queries, PASSES, 0, REQ_OPTS);
+    let uncached_ns = start.elapsed().as_nanos();
+    let hits_before = server.session().cache_stats().result_hits;
+    let start = Instant::now();
+    run_client(addr, &queries, PASSES, 0, CACHED_REQ_OPTS);
+    let cached_ns = start.elapsed().as_nanos();
+    let cache = server.session().cache_stats();
+    assert!(
+        cache.result_hits > hits_before,
+        "cached phase never hit the result tier (hits stayed at {hits_before})"
+    );
 
     let stats = server
         .session()
@@ -229,6 +266,14 @@ pub fn measure_serve() -> ServeReport {
                 qps: Some(qps),
                 p50_ns: Some(percentile(&latencies, 0.50)),
                 p99_ns: Some(percentile(&latencies, 0.99)),
+            },
+            ServeResult {
+                name: "serve_cached_t1".into(),
+                baseline_ns: uncached_ns,
+                optimized_ns: cached_ns,
+                qps: None,
+                p50_ns: None,
+                p99_ns: None,
             },
         ],
         pool_batches: stats.batches,

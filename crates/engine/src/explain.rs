@@ -371,8 +371,29 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     } else {
         String::new()
     };
+    // The cache segment appears only on the session path when a cache
+    // tier was consulted (the session stamps the flags after the run),
+    // so cache-less output stays byte-identical to what it always was.
+    let cache = if m.plan_cache_used || m.result_cache_used {
+        let mut tiers = Vec::new();
+        if m.plan_cache_used {
+            tiers.push(format!(
+                "plan {}",
+                if m.plan_cache_hit { "hit" } else { "miss" }
+            ));
+        }
+        if m.result_cache_used {
+            tiers.push(format!(
+                "result {}",
+                if m.result_cache_hit { "hit" } else { "miss" }
+            ));
+        }
+        format!("; cache: {}", tiers.join(", "))
+    } else {
+        String::new()
+    };
     format!(
-        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}{shared}\n",
+        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}{shared}{cache}\n",
         m.pool_hits,
         if m.pool_hits == 1 { "" } else { "s" },
         m.pool_misses,

@@ -79,6 +79,20 @@ pub struct RuntimeMetrics {
     /// [`SharedPoolGuard::batches`](crate::morsel::SharedPoolGuard::batches)
     /// after the run ([`RuntimeMetrics::of`] itself leaves it 0).
     pub shared_pool_batches: usize,
+    /// The session plan cache was consulted for this request (HSP
+    /// join-fragment queries on a caching session). Stamped by the
+    /// session after the run; [`RuntimeMetrics::of`] leaves it `false`.
+    pub plan_cache_used: bool,
+    /// The plan came from the session plan cache (planning and MWIS were
+    /// skipped; only constants were rebound). Meaningful only when
+    /// [`RuntimeMetrics::plan_cache_used`] is set.
+    pub plan_cache_hit: bool,
+    /// The session result cache was consulted for this request.
+    pub result_cache_used: bool,
+    /// The whole response came from the session result cache (execution
+    /// was skipped). Meaningful only when
+    /// [`RuntimeMetrics::result_cache_used`] is set.
+    pub result_cache_hit: bool,
 }
 
 impl RuntimeMetrics {
@@ -107,6 +121,10 @@ impl RuntimeMetrics {
             governor_checks: ctx.governor().map_or(0, |g| g.checks()),
             governor_mem_peak: ctx.governor().map_or(0, |g| g.mem_peak()),
             shared_pool_batches: 0,
+            plan_cache_used: false,
+            plan_cache_hit: false,
+            result_cache_used: false,
+            result_cache_hit: false,
         }
     }
 }

@@ -286,6 +286,108 @@ impl PhysicalPlan {
         out
     }
 
+    /// A copy with cached-plan parameters rebound: every constant `t`
+    /// where `term(t)` is `Some` is replaced by the mapped term, and
+    /// every output name `n` (projection columns, aggregate aliases)
+    /// where `name(n)` is `Some` is replaced. The session plan cache
+    /// uses this to instantiate a cached plan for a shape-equal query
+    /// with different constants and SELECT names — the tree structure,
+    /// scan orders, and join choices are untouched, so no planning runs.
+    pub fn instantiate(
+        &self,
+        term: &impl Fn(&hsp_rdf::Term) -> Option<hsp_rdf::Term>,
+        name: &impl Fn(&str) -> Option<String>,
+    ) -> PhysicalPlan {
+        match self {
+            PhysicalPlan::Scan {
+                pattern_idx,
+                pattern,
+                order,
+            } => PhysicalPlan::Scan {
+                pattern_idx: *pattern_idx,
+                pattern: pattern.map_consts(term),
+                order: *order,
+            },
+            PhysicalPlan::MergeJoin { left, right, var } => PhysicalPlan::MergeJoin {
+                left: Box::new(left.instantiate(term, name)),
+                right: Box::new(right.instantiate(term, name)),
+                var: *var,
+            },
+            PhysicalPlan::HashJoin { left, right, vars } => PhysicalPlan::HashJoin {
+                left: Box::new(left.instantiate(term, name)),
+                right: Box::new(right.instantiate(term, name)),
+                vars: vars.clone(),
+            },
+            PhysicalPlan::LeftOuterHashJoin { left, right, vars } => {
+                PhysicalPlan::LeftOuterHashJoin {
+                    left: Box::new(left.instantiate(term, name)),
+                    right: Box::new(right.instantiate(term, name)),
+                    vars: vars.clone(),
+                }
+            }
+            PhysicalPlan::CrossProduct { left, right } => PhysicalPlan::CrossProduct {
+                left: Box::new(left.instantiate(term, name)),
+                right: Box::new(right.instantiate(term, name)),
+            },
+            PhysicalPlan::Sort { input, var } => PhysicalPlan::Sort {
+                input: Box::new(input.instantiate(term, name)),
+                var: *var,
+            },
+            PhysicalPlan::Filter { input, expr } => PhysicalPlan::Filter {
+                input: Box::new(input.instantiate(term, name)),
+                expr: expr.map_consts(term),
+            },
+            PhysicalPlan::Project {
+                input,
+                projection,
+                distinct,
+            } => PhysicalPlan::Project {
+                input: Box::new(input.instantiate(term, name)),
+                projection: projection
+                    .iter()
+                    .map(|(n, v)| (name(n).unwrap_or_else(|| n.clone()), *v))
+                    .collect(),
+                distinct: *distinct,
+            },
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => PhysicalPlan::HashAggregate {
+                input: Box::new(input.instantiate(term, name)),
+                group_by: group_by.clone(),
+                aggs: aggs
+                    .iter()
+                    .map(|a| AggSpec {
+                        name: name(&a.name).unwrap_or_else(|| a.name.clone()),
+                        ..a.clone()
+                    })
+                    .collect(),
+                having: having.as_ref().map(|h| h.map_consts(term)),
+            },
+            PhysicalPlan::OrderBy { input, keys } => PhysicalPlan::OrderBy {
+                input: Box::new(input.instantiate(term, name)),
+                keys: keys
+                    .iter()
+                    .map(|k| hsp_sparql::SortKey {
+                        expr: k.expr.map_consts(term),
+                        descending: k.descending,
+                    })
+                    .collect(),
+            },
+            PhysicalPlan::Slice {
+                input,
+                offset,
+                limit,
+            } => PhysicalPlan::Slice {
+                input: Box::new(input.instantiate(term, name)),
+                offset: *offset,
+                limit: *limit,
+            },
+        }
+    }
+
     /// Walk the tree depth-first (pre-order), calling `f` on every node.
     pub fn visit(&self, f: &mut impl FnMut(&PhysicalPlan)) {
         f(self);

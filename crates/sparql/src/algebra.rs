@@ -128,6 +128,20 @@ impl TriplePattern {
     pub fn contains_var(&self, v: Var) -> bool {
         self.slots.iter().any(|s| s.as_var() == Some(v))
     }
+
+    /// A copy with every constant slot `t` where `f(t)` is `Some`
+    /// replaced by the mapped term (plan-cache parameter rebinding).
+    pub fn map_consts(&self, f: &impl Fn(&Term) -> Option<Term>) -> TriplePattern {
+        TriplePattern {
+            slots: self.slots.clone().map(|slot| match slot {
+                TermOrVar::Const(t) => match f(&t) {
+                    Some(new) => TermOrVar::Const(new),
+                    None => TermOrVar::Const(t),
+                },
+                var => var,
+            }),
+        }
+    }
 }
 
 /// Comparison operators supported in FILTER expressions.
@@ -239,6 +253,29 @@ impl FilterExpr {
                     }
                 }
             }
+        }
+    }
+
+    /// A copy with every constant `t` where `f(t)` is `Some` replaced by
+    /// the mapped term (plan-cache parameter rebinding).
+    pub fn map_consts(&self, f: &impl Fn(&Term) -> Option<Term>) -> FilterExpr {
+        let map_operand = |o: &Operand| match o {
+            Operand::Const(t) => Operand::Const(f(t).unwrap_or_else(|| t.clone())),
+            Operand::Var(v) => Operand::Var(*v),
+        };
+        match self {
+            FilterExpr::Cmp { op, lhs, rhs } => FilterExpr::Cmp {
+                op: *op,
+                lhs: map_operand(lhs),
+                rhs: map_operand(rhs),
+            },
+            FilterExpr::And(a, b) => {
+                FilterExpr::And(Box::new(a.map_consts(f)), Box::new(b.map_consts(f)))
+            }
+            FilterExpr::Or(a, b) => {
+                FilterExpr::Or(Box::new(a.map_consts(f)), Box::new(b.map_consts(f)))
+            }
+            FilterExpr::Complex(e) => FilterExpr::Complex(Box::new(e.map_consts(f))),
         }
     }
 }

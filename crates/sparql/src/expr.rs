@@ -548,6 +548,33 @@ impl Expr {
             }
         }
     }
+
+    /// A copy with every constant `t` where `f(t)` is `Some` replaced by
+    /// the mapped term (plan-cache parameter rebinding).
+    pub fn map_consts(&self, f: &impl Fn(&Term) -> Option<Term>) -> Expr {
+        match self {
+            Expr::Var(v) => Expr::Var(*v),
+            Expr::Const(t) => Expr::Const(f(t).unwrap_or_else(|| t.clone())),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.map_consts(f)), Box::new(b.map_consts(f))),
+            Expr::And(a, b) => Expr::And(Box::new(a.map_consts(f)), Box::new(b.map_consts(f))),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_consts(f))),
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op: *op,
+                lhs: Box::new(lhs.map_consts(f)),
+                rhs: Box::new(rhs.map_consts(f)),
+            },
+            Expr::Arith { op, lhs, rhs } => Expr::Arith {
+                op: *op,
+                lhs: Box::new(lhs.map_consts(f)),
+                rhs: Box::new(rhs.map_consts(f)),
+            },
+            Expr::Neg(e) => Expr::Neg(Box::new(e.map_consts(f))),
+            Expr::Call { func, args } => Expr::Call {
+                func: *func,
+                args: args.iter().map(|a| a.map_consts(f)).collect(),
+            },
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

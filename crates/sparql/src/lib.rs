@@ -16,6 +16,7 @@
 pub mod algebra;
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
@@ -28,6 +29,7 @@ pub use algebra::{
 };
 pub use analysis::QueryCharacteristics;
 pub use ast::{Query, UpdateOp, UpdateRequest};
+pub use canon::{canonicalize, CanonicalQuery};
 pub use expr::{ArithOp, Bindings, Evaluator, Expr, ExprError, Func, Value};
 pub use parser::{parse_query, parse_update, ParseError};
 pub use regex::Regex;

@@ -1,0 +1,230 @@
+//! Property-based tests for the canonical query shape key behind the
+//! session's plan cache (`canon` module).
+//!
+//! The contract under test:
+//! * α-renaming variables and permuting triple patterns never changes
+//!   the shape key (such queries must share one cached plan), and
+//! * changing a hoisted constant keeps the shape key (the plan is
+//!   reused) while changing the request text (the result-cache key,
+//!   which is the exact text, must differ), and
+//! * changing a *predicate* constant changes the shape key — predicates
+//!   stay literal in the key because they are what invalidation and the
+//!   paper's H1 heuristic key on.
+
+use hsp_sparql::{canonicalize, JoinQuery};
+use proptest::prelude::*;
+
+const PREDS: [&str; 4] = ["http://e/p1", "http://e/p2", "http://e/p3", "http://e/p4"];
+const SUBJ_IRIS: [&str; 3] = ["http://e/s1", "http://e/s2", "http://e/s3"];
+const OBJ_IRIS: [&str; 3] = ["http://e/o1", "http://e/o2", "http://e/o3"];
+const OBJ_LITS: [&str; 3] = ["A", "B", "C"];
+
+#[derive(Debug, Clone, Copy)]
+enum Subj {
+    Var(usize),
+    Iri(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Obj {
+    Var(usize),
+    Iri(usize),
+    Lit(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    patterns: Vec<(Subj, usize, Obj)>,
+    distinct: bool,
+    limit: Option<usize>,
+}
+
+impl Spec {
+    /// Variable indices used anywhere, in index order (the projection).
+    fn used_vars(&self) -> Vec<usize> {
+        let mut used: Vec<usize> = Vec::new();
+        for (s, _, o) in &self.patterns {
+            if let Subj::Var(v) = s {
+                used.push(*v);
+            }
+            if let Obj::Var(v) = o {
+                used.push(*v);
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+
+    /// Render each pattern's three slot tokens under a variable naming.
+    fn slots(&self, name: &impl Fn(usize) -> String) -> Vec<[String; 3]> {
+        self.patterns
+            .iter()
+            .map(|(s, p, o)| {
+                let subject = match s {
+                    Subj::Var(v) => format!("?{}", name(*v)),
+                    Subj::Iri(i) => format!("<{}>", SUBJ_IRIS[*i]),
+                };
+                let predicate = format!("<{}>", PREDS[*p]);
+                let object = match o {
+                    Obj::Var(v) => format!("?{}", name(*v)),
+                    Obj::Iri(i) => format!("<{}>", OBJ_IRIS[*i]),
+                    Obj::Lit(i) => format!("\"{}\"", OBJ_LITS[*i]),
+                };
+                [subject, predicate, object]
+            })
+            .collect()
+    }
+
+    /// Assemble query text from rendered slots in the given pattern order.
+    fn assemble(
+        &self,
+        name: &impl Fn(usize) -> String,
+        slots: &[[String; 3]],
+        order: &[usize],
+    ) -> String {
+        let mut text = String::from(if self.distinct {
+            "SELECT DISTINCT"
+        } else {
+            "SELECT"
+        });
+        for v in self.used_vars() {
+            text.push_str(&format!(" ?{}", name(v)));
+        }
+        text.push_str(" WHERE {\n");
+        for &i in order {
+            let [s, p, o] = &slots[i];
+            text.push_str(&format!("  {s} {p} {o} .\n"));
+        }
+        text.push('}');
+        if let Some(limit) = self.limit {
+            text.push_str(&format!(" LIMIT {limit}"));
+        }
+        text
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    let subj = prop_oneof![
+        (0usize..4).prop_map(Subj::Var),
+        (0usize..3).prop_map(Subj::Iri),
+    ];
+    let obj = prop_oneof![
+        (0usize..4).prop_map(Obj::Var),
+        (0usize..3).prop_map(Obj::Iri),
+        (0usize..3).prop_map(Obj::Lit),
+    ];
+    (
+        prop::collection::vec((subj, 0usize..4, obj), 1..4),
+        any::<bool>(),
+        prop_oneof![Just(None), (1usize..10).prop_map(Some)],
+    )
+        .prop_map(|(mut patterns, distinct, limit)| {
+            // Guarantee at least one projected variable.
+            patterns[0].0 = Subj::Var(0);
+            Spec {
+                patterns,
+                distinct,
+                limit,
+            }
+        })
+}
+
+/// Deterministic Fisher–Yates from an LCG, so permutations come from a
+/// plain `u64` seed (the proptest shim has no shuffle strategy).
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+fn canon_of(text: &str) -> hsp_sparql::CanonicalQuery {
+    let query = JoinQuery::parse(text).unwrap_or_else(|e| panic!("{text}\nparse: {e}"));
+    canonicalize(&query).unwrap_or_else(|| panic!("{text}\nnot canonicalizable"))
+}
+
+proptest! {
+    #[test]
+    fn alpha_renaming_and_pattern_permutation_preserve_the_shape_key(
+        spec in arb_spec(),
+        seed in any::<u64>(),
+    ) {
+        let identity: Vec<usize> = (0..spec.patterns.len()).collect();
+        let base_name = |v: usize| format!("v{v}");
+        let base = spec.assemble(&base_name, &spec.slots(&base_name), &identity);
+
+        // Rename every variable (a bijection with fresh spellings) and
+        // reorder the patterns.
+        let renames = shuffled(8, seed ^ 0x9e3779b97f4a7c15);
+        let new_name = |v: usize| format!("r{}", renames[v]);
+        let order = shuffled(spec.patterns.len(), seed);
+        let variant = spec.assemble(&new_name, &spec.slots(&new_name), &order);
+
+        let a = canon_of(&base);
+        let b = canon_of(&variant);
+        prop_assert_eq!(&a.key, &b.key, "base:\n{}\nvariant:\n{}", base, variant);
+        // Same shape, same constants: the hoisted parameters must match
+        // as a multiset. (Patterns whose ordering signatures tie may
+        // swap canonical positions between the two spellings, permuting
+        // the vector; instantiation substitutes by value, so a permuted
+        // vector still reconstructs the right query.)
+        let mut pa = a.params.clone();
+        let mut pb = b.params.clone();
+        pa.sort_by_key(|t| t.to_string());
+        pb.sort_by_key(|t| t.to_string());
+        prop_assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn constant_changes_keep_the_shape_key_but_change_the_request_text(
+        spec in arb_spec(),
+    ) {
+        let order: Vec<usize> = (0..spec.patterns.len()).collect();
+        let name = |v: usize| format!("v{v}");
+        let slots = spec.slots(&name);
+        let base = spec.assemble(&name, &slots, &order);
+
+        // Swap one constant object (if any) for a fresh value of the
+        // same kind: a different query instance of the same template. A
+        // constant shared across slots is ONE template parameter, so
+        // every occurrence changes together — replacing only one would
+        // alter the sharing structure, which is legitimately part of
+        // the shape (positional parameters could not line up otherwise).
+        let Some(target) = spec.patterns.iter().position(|(_, _, o)| !matches!(o, Obj::Var(_)))
+        else {
+            return Ok(()); // no constant object generated this round
+        };
+        let old = slots[target][2].clone();
+        let fresh = if old.starts_with('"') {
+            "\"FRESH\"".to_string()
+        } else {
+            "<http://e/fresh>".to_string()
+        };
+        let mut changed = slots.clone();
+        for slot in &mut changed {
+            if slot[2] == old {
+                slot[2] = fresh.clone();
+            }
+        }
+        let variant = spec.assemble(&name, &changed, &order);
+        prop_assert_ne!(&base, &variant); // result-cache key (exact text) must differ
+
+        let a = canon_of(&base);
+        let b = canon_of(&variant);
+        prop_assert_eq!(&a.key, &b.key, "base:\n{}\nvariant:\n{}", base, variant);
+        prop_assert_ne!(a.params, b.params); // the new constant must surface as a parameter
+
+        // A *predicate* change is not a template instance: predicates
+        // stay literal in the key, so the key must differ.
+        let mut repredicated = slots.clone();
+        repredicated[target][1] = "<http://e/freshp>".to_string();
+        let c = canon_of(&spec.assemble(&name, &repredicated, &order));
+        prop_assert_ne!(&a.key, &c.key); // predicate changes must change the shape key
+    }
+}

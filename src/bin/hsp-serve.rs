@@ -17,7 +17,8 @@
 //!                            many rows (0 = always)
 //!   --smoke [clients]        self-test: serve on an ephemeral port,
 //!                            fire concurrent internal clients at the
-//!                            server, print STATS, shut down cleanly
+//!                            server, verify the plan + result caches
+//!                            hit, print STATS, shut down cleanly
 //! ```
 //!
 //! `-` as the data file serves a small built-in demo dataset (useful
@@ -183,7 +184,35 @@ fn smoke(addr: std::net::SocketAddr, clients: usize) -> Result<(), String> {
     if !errors.is_empty() {
         return Err(errors.join("\n"));
     }
+    // Cache drill: the same ungoverned query twice — the second serve
+    // must come from the result tier, byte-identical below the header —
+    // then a same-shape / different-constant variant, which must reuse
+    // the cached plan instead of planning again.
+    let template = |name: &str| format!("SELECT ?p WHERE {{ ?p <http://e/name> \"{name}\" . }}");
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let first = client
+        .query("", &template("Person 1"))
+        .map_err(|e| format!("cache drill: {e}"))?;
+    let second = client
+        .query("", &template("Person 1"))
+        .map_err(|e| format!("cache drill: {e}"))?;
+    if !first.starts_with("OK ") || !second.starts_with("OK ") {
+        return Err(format!("cache drill failed: {first} / {second}"));
+    }
+    let body = |r: &str| {
+        r.split_once('\n')
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default()
+    };
+    if body(&first) != body(&second) {
+        return Err("cache drill: cached response is not byte-identical to the cold run".into());
+    }
+    let third = client
+        .query("", &template("Person 2"))
+        .map_err(|e| format!("cache drill: {e}"))?;
+    if !third.starts_with("OK ") {
+        return Err(format!("cache drill failed: {third}"));
+    }
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!("--- STATS after {clients} concurrent clients ---");
     print!("{}", stats.trim_start_matches("OK\n"));
@@ -197,6 +226,20 @@ fn smoke(addr: std::net::SocketAddr, clients: usize) -> Result<(), String> {
         if batches == 0 {
             return Err("shared pool never scheduled a morsel batch".into());
         }
+    }
+    // The drill (and the repeated per-client batches before it) must
+    // have exercised both cache tiers.
+    let stat = |name: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix('=')?.parse().ok())
+            .unwrap_or(0)
+    };
+    if stat("plan_cache_hits") == 0 {
+        return Err("plan cache never hit (templated query was re-planned)".into());
+    }
+    if stat("result_cache_hits") == 0 {
+        return Err("result cache never hit (repeated query was re-executed)".into());
     }
     client.shutdown().map_err(|e| e.to_string())?;
     Ok(())

@@ -25,6 +25,9 @@
 //!   --mem-budget-mb <n>     query governor memory budget: abort when the
 //!                           materialised intermediates exceed this many
 //!                           mebibytes
+//!   --no-cache              bypass the session's plan + result caches
+//!                           (one-shot runs never hit anyway; `--explain`
+//!                           reports the cache outcome either way)
 //! ```
 //!
 //! Queries that fit the paper's Definition 3 (conjunctive + FILTER) run
@@ -51,6 +54,7 @@ struct Args {
     threads: Option<usize>,
     timeout_ms: Option<u64>,
     mem_budget_mb: Option<usize>,
+    no_cache: bool,
     out: Option<String>,
 }
 
@@ -58,7 +62,7 @@ fn usage() -> &'static str {
     "usage: hsp <data.nt> (--query <text|@file> | --update <text|@file>)\n\
      \x20      [--planner hsp|cdp|sql|hybrid|stocker] [--format table|json|csv|tsv]\n\
      \x20      [--explain] [--sip] [--budget <rows>] [--threads <n>]\n\
-     \x20      [--timeout-ms <n>] [--mem-budget-mb <n>] [--out <file>]"
+     \x20      [--timeout-ms <n>] [--mem-budget-mb <n>] [--no-cache] [--out <file>]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        no_cache: false,
         out: None,
     };
     while let Some(flag) = argv.next() {
@@ -120,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--mem-budget-mb needs an integer".to_string())?,
                 )
             }
+            "--no-cache" => args.no_cache = true,
             "--out" => args.out = Some(value("--out")?),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -194,6 +200,9 @@ fn run() -> Result<(), String> {
         }
         if let Some(mb) = args.mem_budget_mb {
             request = request.with_mem_budget_mb(mb);
+        }
+        if args.no_cache {
+            request = request.without_cache();
         }
         request
     };

@@ -49,6 +49,7 @@
 //! | [`update`] | SPARQL Update (INSERT DATA / DELETE DATA / DELETE WHERE) |
 //! | [`results`] | W3C SPARQL 1.1 JSON/CSV/TSV result serialisers |
 //! | [`session`] | the unified `Session::query` / `Session::update` front door |
+//! | [`cache`] | two-tier plan + result cache keyed on canonical query shape |
 //! | [`serve`] | framed-TCP concurrent query server on one shared morsel pool |
 //!
 //! ## Serving many queries at once
@@ -59,6 +60,7 @@
 //! queries on one shared morsel worker pool. [`serve::Server`] exposes a
 //! session over framed TCP with admission control.
 
+pub mod cache;
 pub mod extended;
 pub mod results;
 pub mod serve;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use hsp_sparql::{Evaluator, Expr, JoinQuery, Modifiers, QueryCharacteristics, Regex, Var};
     pub use hsp_store::{Dataset, Order, TripleStore};
 
+    pub use crate::cache::CacheStats;
     pub use crate::extended::ExtendedOutput;
     pub use crate::results;
     pub use crate::session::{Planner, Request, Response, Session, SessionOptions};

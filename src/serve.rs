@@ -10,7 +10,7 @@
 //! ```text
 //! QUERY [planner=hsp] [format=json|table|csv|tsv] [explain=1] [sip=1]
 //!       [threads=N] [timeout_ms=N] [mem_budget_mb=N] [row_budget=N]
-//!       [strategy=auto|operator]
+//!       [strategy=auto|operator] [cache=off]
 //! <query text>
 //!
 //! UPDATE [timeout_ms=N] [mem_budget_mb=N]
@@ -397,6 +397,7 @@ struct ReqOpts {
     mem_budget_mb: Option<usize>,
     row_budget: Option<usize>,
     strategy: ExecStrategy,
+    cache: bool,
 }
 
 impl ReqOpts {
@@ -411,6 +412,7 @@ impl ReqOpts {
             mem_budget_mb: None,
             row_budget: None,
             strategy: ExecStrategy::default(),
+            cache: true,
         };
         for token in tokens {
             let (key, value) = token
@@ -436,6 +438,7 @@ impl ReqOpts {
                 "mem_budget_mb" => opts.mem_budget_mb = Some(int("mem_budget_mb")?),
                 "row_budget" => opts.row_budget = Some(int("row_budget")?),
                 "strategy" => opts.strategy = value.parse()?,
+                "cache" => opts.cache = !matches!(value, "off" | "0" | "false"),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -463,6 +466,9 @@ impl ReqOpts {
         }
         if let Some(rows) = self.row_budget {
             request = request.with_row_budget(rows);
+        }
+        if !self.cache {
+            request = request.without_cache();
         }
         request
     }
@@ -592,6 +598,17 @@ fn render_stats(shared: &ServerShared) -> String {
         m.rejected(),
         shared.session.snapshot().len(),
     );
+    let cache = shared.session.cache_stats();
+    body.push_str(&format!(
+        "plan_cache_hits={}\nplan_cache_misses={}\nresult_cache_hits={}\n\
+         result_cache_misses={}\nresult_cache_invalidations={}\nresult_cache_entries={}\n",
+        cache.plan_hits,
+        cache.plan_misses,
+        cache.result_hits,
+        cache.result_misses,
+        cache.invalidations,
+        cache.result_entries,
+    ));
     if let Some(pool) = shared.session.pool_stats() {
         body.push_str(&format!(
             "pool_threads={}\npool_batches={}\npool_tasks={}\npool_cross_query_switches={}\n",

@@ -61,8 +61,9 @@ use hsp_engine::{
 use hsp_sparql::JoinQuery;
 use hsp_store::Dataset;
 
+use crate::cache::{ast_reads, query_reads, CacheStats, QueryCache, Reads};
 use crate::extended::{evaluate_ast_in, ExtendedError, ExtendedOutput};
-use crate::update::{run_update, UpdateError, UpdateStats};
+use crate::update::{run_update_traced, UpdateError, UpdateStats};
 
 /// Which planner a [`Request`] runs through (join-fragment queries only;
 /// OPTIONAL/UNION queries always evaluate HSP-planned, per block).
@@ -113,6 +114,7 @@ pub struct Request {
     mem_budget: Option<usize>,
     cancel: Option<Arc<CancelToken>>,
     inject_faults: bool,
+    no_cache: bool,
 }
 
 impl Request {
@@ -197,6 +199,13 @@ impl Request {
     /// Arm the `HSP_FAULT` fault-injection hook (tests / CI only).
     pub fn with_fault_injection(mut self) -> Self {
         self.inject_faults = true;
+        self
+    }
+
+    /// Bypass the session's plan and result caches for this request
+    /// (see [`crate::cache`]). Caching is on by default.
+    pub fn without_cache(mut self) -> Self {
+        self.no_cache = true;
         self
     }
 }
@@ -315,6 +324,8 @@ struct SessionInner {
     min_parallel_rows: Option<usize>,
     /// Monotonic query tags for the pool's cross-query accounting.
     queries: AtomicU64,
+    /// The two-tier plan + result cache (see [`crate::cache`]).
+    cache: QueryCache,
 }
 
 impl Drop for SessionInner {
@@ -362,6 +373,7 @@ impl Session {
                 morsel_rows: options.morsel_rows,
                 min_parallel_rows: options.min_parallel_rows,
                 queries: AtomicU64::new(0),
+                cache: QueryCache::default(),
             }),
         }
     }
@@ -388,17 +400,59 @@ impl Session {
     /// Run one query against the current snapshot. Safe to call from
     /// many threads at once: every request gets its own context and
     /// governor, and parallel kernels of all of them share the pool.
+    ///
+    /// Caching (on by default, [`Request::without_cache`] opts out):
+    /// a result-cacheable request is first looked up in the result tier
+    /// and a hit returns the stored response without executing at all;
+    /// on a miss, HSP join queries consult the plan tier by canonical
+    /// shape, skipping planning when an isomorphic query was planned
+    /// before. [`Response::metrics`] reports both tiers' outcomes.
     pub fn query(&self, request: Request) -> Result<Response, SessionError> {
-        let ds = self.snapshot();
+        let result_key = result_cache_key(&request);
+        // Look up and snapshot under one store read guard: invalidation
+        // runs inside the *write* guard before the snapshot swap, so an
+        // entry seen here is guaranteed to match the snapshot we take.
+        let (ds, version) = {
+            let store = self
+                .inner
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(key) = &result_key {
+                if let Some(mut response) = self.inner.cache.result_get(key) {
+                    response.metrics.result_cache_used = true;
+                    response.metrics.result_cache_hit = true;
+                    // Execution was skipped; nothing ran on the pool.
+                    response.metrics.shared_pool_batches = 0;
+                    return Ok(response);
+                }
+            }
+            (Arc::clone(&store), self.inner.cache.version())
+        };
         let config = self.exec_config(&request);
         let ctx = config.context();
         let tag = self.inner.queries.fetch_add(1, Ordering::Relaxed);
         let guard = self.inner.pool.as_ref().map(|p| p.install(tag));
-        let result = query_snapshot(&ds, &request, &config, &ctx);
+        let cache = (!request.no_cache).then_some(&self.inner.cache);
+        let result = query_snapshot(&ds, &request, &config, &ctx, cache);
         let batches = guard.as_ref().map_or(0, |g| g.batches() as usize);
         drop(guard);
-        let mut response = result?;
+        let (mut response, reads) = result?;
         response.metrics.shared_pool_batches = batches;
+        if let Some(key) = result_key {
+            response.metrics.result_cache_used = true;
+            // Re-acquire the read guard so the insert cannot interleave
+            // with an invalidation pass; the version check inside drops
+            // the entry if an update published since our snapshot.
+            let _store = self
+                .inner
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.inner
+                .cache
+                .result_insert(key, &response, reads, version);
+        }
         Ok(response)
     }
 
@@ -416,16 +470,32 @@ impl Session {
         let mut working = (*self.snapshot()).clone();
         let tag = self.inner.queries.fetch_add(1, Ordering::Relaxed);
         let guard = self.inner.pool.as_ref().map(|p| p.install(tag));
-        let result = run_update(&mut working, &request.text, &config);
+        let result = run_update_traced(&mut working, &request.text, &config);
         drop(guard);
-        let stats = result.map_err(SessionError::Update)?;
+        let (stats, touched) = result.map_err(SessionError::Update)?;
         let triples = working.len();
-        *self
-            .inner
-            .store
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(working);
+        {
+            let mut store = self
+                .inner
+                .store
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Invalidate inside the write guard, before the swap: a
+            // concurrent reader either held the read lock first and saw
+            // the old snapshot with its entries (consistent), or blocks
+            // until the swap and sees neither. No-op updates (nothing
+            // inserted or deleted) keep the cache warm.
+            if stats.inserted + stats.deleted > 0 {
+                self.inner.cache.invalidate(&touched);
+            }
+            *store = Arc::new(working);
+        }
         Ok(UpdateResponse { stats, triples })
+    }
+
+    /// Lifetime counters of the two-tier query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
     }
 
     /// The [`ExecConfig`] a request asks for, under this session's
@@ -502,32 +572,87 @@ fn plan_query(
     }
 }
 
+/// The result-tier cache key, when the request is result-cacheable at
+/// all. Governed requests (timeout / budgets / cancellation / fault
+/// injection) and explain runs are never served from the result tier —
+/// their responses depend on more than the snapshot — but they still
+/// use the plan tier, whose entries are execution-independent.
+fn result_cache_key(request: &Request) -> Option<String> {
+    if request.no_cache
+        || request.explain
+        || request.inject_faults
+        || request.row_budget.is_some()
+        || request.timeout.is_some()
+        || request.mem_budget.is_some()
+        || request.cancel.is_some()
+    {
+        return None;
+    }
+    Some(format!(
+        "{:?}|{}|{:?}|{:?}|{}",
+        request.planner, request.sip, request.strategy, request.threads, request.text
+    ))
+}
+
 /// The dispatch the CLI used to hand-roll: ASK short-circuits, join
 /// -fragment queries take the chosen planner, everything else goes to
-/// the extended (OPTIONAL/UNION) evaluator.
+/// the extended (OPTIONAL/UNION) evaluator. Returns the response plus
+/// the predicate read set the result cache keys invalidation on.
 fn query_snapshot(
     ds: &Dataset,
     request: &Request,
     config: &ExecConfig,
     ctx: &ExecContext,
-) -> Result<Response, SessionError> {
+    cache: Option<&QueryCache>,
+) -> Result<(Response, Reads), SessionError> {
     if let Ok(ast) = hsp_sparql::parse_query(&request.text) {
         if ast.ask {
+            let reads = ast_reads(&ast.where_clause);
             let output = evaluate_ast_in(ds, &ast, config, ctx).map_err(SessionError::Query)?;
             let ask = Some(!output.rows.is_empty());
-            return Ok(Response {
-                output,
-                ask,
-                explain: None,
-                note: None,
-                metrics: RuntimeMetrics::of(ctx),
-            });
+            return Ok((
+                Response {
+                    output,
+                    ask,
+                    explain: None,
+                    note: None,
+                    metrics: RuntimeMetrics::of(ctx),
+                },
+                reads,
+            ));
         }
     }
     match JoinQuery::parse(&request.text) {
         Ok(query) => {
-            let (plan, planned_query) =
-                plan_query(request.planner, ds, &query).map_err(SessionError::Plan)?;
+            // Plan tier: HSP plans are statistics-free, so any query
+            // with the same canonical shape reuses the cached plan with
+            // its own constants substituted — planning runs only once
+            // per shape. Baseline planners consult the data and are
+            // planned fresh every time.
+            let mut plan_cache_used = false;
+            let mut plan_cache_hit = false;
+            let mut planned = None;
+            if request.planner == Planner::Hsp {
+                if let Some(c) = cache {
+                    if let Some(canon) = hsp_sparql::canonicalize(&query) {
+                        plan_cache_used = true;
+                        if let Some(pair) = c.plan_get(&canon, &query) {
+                            plan_cache_hit = true;
+                            planned = Some(pair);
+                        } else {
+                            let pair = plan_query(request.planner, ds, &query)
+                                .map_err(SessionError::Plan)?;
+                            c.plan_insert(canon, &query, &pair.0, &pair.1);
+                            planned = Some(pair);
+                        }
+                    }
+                }
+            }
+            let (plan, planned_query) = match planned {
+                Some(pair) => pair,
+                None => plan_query(request.planner, ds, &query).map_err(SessionError::Plan)?,
+            };
+            let reads = query_reads(&planned_query);
             let output = execute_in(&plan, ds, config, ctx)
                 .map_err(|e| SessionError::Query(ExtendedError::Eval(e.to_string())))?;
             let explain = request.explain.then(|| {
@@ -563,13 +688,19 @@ fn query_snapshot(
                         .collect()
                 })
                 .collect();
-            Ok(Response {
-                output: ExtendedOutput { columns, rows },
-                ask: None,
-                explain,
-                note: None,
-                metrics: output.runtime,
-            })
+            let mut metrics = output.runtime;
+            metrics.plan_cache_used = plan_cache_used;
+            metrics.plan_cache_hit = plan_cache_hit;
+            Ok((
+                Response {
+                    output: ExtendedOutput { columns, rows },
+                    ask: None,
+                    explain,
+                    note: None,
+                    metrics,
+                },
+                reads,
+            ))
         }
         Err(join_err) => {
             if request.explain {
@@ -585,14 +716,18 @@ fn query_snapshot(
             });
             let ast = hsp_sparql::parse_query(&request.text)
                 .map_err(|e| SessionError::Query(ExtendedError::Parse(e)))?;
+            let reads = ast_reads(&ast.where_clause);
             let output = evaluate_ast_in(ds, &ast, config, ctx).map_err(SessionError::Query)?;
-            Ok(Response {
-                output,
-                ask: None,
-                explain: None,
-                note,
-                metrics: RuntimeMetrics::of(ctx),
-            })
+            Ok((
+                Response {
+                    output,
+                    ask: None,
+                    explain: None,
+                    note,
+                    metrics: RuntimeMetrics::of(ctx),
+                },
+                reads,
+            ))
         }
     }
 }

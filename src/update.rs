@@ -11,6 +11,8 @@
 //! and `DELETE WHERE` patterns are planned by HSP itself — the deletion
 //! query runs with the same heuristics as any read query.
 
+use std::collections::HashSet;
+
 use hsp_core::HspPlanner;
 use hsp_engine::{execute, ExecConfig};
 use hsp_rdf::{IdTriple, Term, Triple};
@@ -25,6 +27,49 @@ pub struct UpdateStats {
     pub inserted: usize,
     /// Triples removed by `DELETE DATA` + `DELETE WHERE`.
     pub deleted: usize,
+}
+
+/// The predicates an update request touched — the session result cache's
+/// invalidation granularity. Conservative by construction: every
+/// predicate that *could* have gained or lost a triple is listed, so an
+/// entry surviving invalidation is guaranteed unaffected.
+#[derive(Debug, Clone, Default)]
+pub struct Touched {
+    /// A `DELETE WHERE` pattern had a *variable* predicate: any predicate
+    /// may have been touched, so predicate-level invalidation is off and
+    /// the whole result cache flushes (the conservative fallback).
+    pub all: bool,
+    /// Predicates of the ground triples inserted/deleted and of the
+    /// constant-predicate `DELETE WHERE` patterns.
+    pub predicates: HashSet<Term>,
+}
+
+impl Touched {
+    fn note_data(&mut self, triples: &[Triple]) {
+        for t in triples {
+            self.predicates.insert(t.predicate.clone());
+        }
+    }
+
+    fn note_where(&mut self, group: &GroupPattern) {
+        use hsp_sparql::ast::Element;
+        for element in &group.elements {
+            match element {
+                Element::Triple(t) => match &t.predicate {
+                    NodeAst::Const(term) => {
+                        self.predicates.insert(term.clone());
+                    }
+                    NodeAst::Var(_) => self.all = true,
+                },
+                Element::Filter(_) => {}
+                Element::Optional(inner) => self.note_where(inner),
+                Element::Union(left, right) => {
+                    self.note_where(left);
+                    self.note_where(right);
+                }
+            }
+        }
+    }
 }
 
 /// An update failure.
@@ -106,8 +151,20 @@ pub(crate) fn run_update(
     text: &str,
     config: &ExecConfig,
 ) -> Result<UpdateStats, UpdateError> {
+    run_update_traced(ds, text, config).map(|(stats, _)| stats)
+}
+
+/// [`run_update`] plus a [`Touched`] trace of the predicates each applied
+/// operation could have affected, which the session uses to invalidate
+/// exactly the result-cache entries whose plans read them.
+pub(crate) fn run_update_traced(
+    ds: &mut Dataset,
+    text: &str,
+    config: &ExecConfig,
+) -> Result<(UpdateStats, Touched), UpdateError> {
     let request = parse_update(text).map_err(UpdateError::Parse)?;
     let mut stats = UpdateStats::default();
+    let mut touched = Touched::default();
     let governor = config.governor();
     for op in &request.ops {
         if let Some(gov) = &governor {
@@ -116,17 +173,22 @@ pub(crate) fn run_update(
         }
         match op {
             UpdateOp::InsertData(triples) => {
-                stats.inserted += ds.insert_data(&ground_triples(triples));
+                let triples = ground_triples(triples);
+                touched.note_data(&triples);
+                stats.inserted += ds.insert_data(&triples);
             }
             UpdateOp::DeleteData(triples) => {
-                stats.deleted += ds.remove_data(&ground_triples(triples));
+                let triples = ground_triples(triples);
+                touched.note_data(&triples);
+                stats.deleted += ds.remove_data(&triples);
             }
             UpdateOp::DeleteWhere(group) => {
+                touched.note_where(group);
                 stats.deleted += delete_where(ds, group, config)?;
             }
         }
     }
-    Ok(stats)
+    Ok((stats, touched))
 }
 
 /// Convert parser-validated ground triple patterns to term triples.

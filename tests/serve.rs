@@ -87,8 +87,11 @@ fn concurrent_clients_are_byte_identical_to_serial_execution() {
                     for i in 0..queries.len() {
                         let slot = (i + client_id) % queries.len();
                         let (id, text) = &queries[slot];
+                        // cache=off: this test is about pool scheduling —
+                        // result-cache hits would stop sending morsels to
+                        // the pool after the first round.
                         let response = client
-                            .query("threads=4", text)
+                            .query("threads=4 cache=off", text)
                             .unwrap_or_else(|e| panic!("{id}: transport error: {e}"));
                         let (header, body) =
                             response.split_once('\n').unwrap_or((response.as_str(), ""));
@@ -144,8 +147,11 @@ fn governor_trips_do_not_poison_the_shared_pool() {
             tripped.starts_with("ERR TIMEOUT"),
             "round {round}: expected a deadline trip, got {tripped}"
         );
-        // The pool drained; the same query now succeeds on it.
-        let ok = client.query("threads=4", join).expect("transport survives");
+        // The pool drained; the same query now succeeds on it
+        // (cache=off so every round re-executes on the pool).
+        let ok = client
+            .query("threads=4 cache=off", join)
+            .expect("transport survives");
         assert!(
             ok.starts_with("OK rows=2000 "),
             "round {round}: pool poisoned after a trip? {ok}"
@@ -227,6 +233,126 @@ fn updates_never_tear_a_concurrent_reader() {
     server.shutdown();
 }
 
+/// The two-tier cache end to end: a templated query plans once and then
+/// reuses the cached plan; result entries are invalidated exactly when
+/// an update touches a predicate they read; every cached or refreshed
+/// response is byte-identical to an uncached session — across thread
+/// budgets 1–4.
+#[test]
+fn invalidation_is_exact_and_cached_responses_stay_byte_identical() {
+    let ds = name_dataset(200);
+    let cached = Session::with_options(ds.clone(), pooled_options());
+    let uncached = Session::with_options(ds, pooled_options());
+    let name_q = "SELECT ?p ?n WHERE { ?p <http://e/name> ?n . }";
+    let knows_q = "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b . }";
+
+    let run = |s: &Session, text: &str, threads: usize, no_cache: bool| {
+        let mut request = Request::new(text).with_threads(threads);
+        if no_cache {
+            request = request.without_cache();
+        }
+        let response = s.query(request).unwrap_or_else(|e| panic!("{text}: {e}"));
+        (results::to_sparql_json(&response.output), response.metrics)
+    };
+
+    // Plan tier: same shape, different constant — planned once.
+    let (_, cold) = run(
+        &cached,
+        "SELECT ?p WHERE { ?p <http://e/name> \"Person 1\" . }",
+        1,
+        false,
+    );
+    assert!(cold.plan_cache_used && !cold.plan_cache_hit);
+    let (templated, warm) = run(
+        &cached,
+        "SELECT ?p WHERE { ?p <http://e/name> \"Person 2\" . }",
+        1,
+        false,
+    );
+    assert!(
+        warm.plan_cache_hit,
+        "same shape, different constant must reuse the plan"
+    );
+    assert!(
+        warm.result_cache_used && !warm.result_cache_hit,
+        "a different constant is a different result key"
+    );
+    let (expected, _) = run(
+        &uncached,
+        "SELECT ?p WHERE { ?p <http://e/name> \"Person 2\" . }",
+        1,
+        true,
+    );
+    assert_eq!(
+        templated, expected,
+        "plan-cache hit diverged from uncached execution"
+    );
+
+    // Result tier: warm one entry per (query, threads) key.
+    for threads in 1..=4 {
+        run(&cached, name_q, threads, false);
+        run(&cached, knows_q, threads, false);
+    }
+    for threads in 1..=4 {
+        assert!(run(&cached, name_q, threads, false).1.result_cache_hit);
+        assert!(run(&cached, knows_q, threads, false).1.result_cache_hit);
+    }
+    let warm = cached.cache_stats();
+
+    // A no-op update (duplicate insert) publishes nothing and must keep
+    // the cache warm.
+    let noop = Request::new("INSERT DATA { <http://e/p0> <http://e/name> \"Person 0\" . }");
+    assert_eq!(cached.update(noop).unwrap().stats.inserted, 0);
+    assert_eq!(cached.cache_stats().invalidations, warm.invalidations);
+    assert!(run(&cached, name_q, 1, false).1.result_cache_hit);
+
+    // An update touching only <http://e/name> drops exactly the name
+    // entries (one per thread budget, plus the templated entry).
+    let insert = "INSERT DATA { <http://e/extra> <http://e/name> \"Extra\" . }";
+    cached.update(Request::new(insert)).unwrap();
+    uncached.update(Request::new(insert)).unwrap();
+    let after = cached.cache_stats();
+    assert_eq!(
+        after.invalidations,
+        warm.invalidations + 6,
+        "expected exactly the 4 name entries + cold/templated entries to drop"
+    );
+    for threads in 1..=4 {
+        // Entries over the untouched predicate survived.
+        let (_, m) = run(&cached, knows_q, threads, false);
+        assert!(
+            m.result_cache_hit,
+            "untouched-predicate entry was invalidated"
+        );
+        // Name entries re-execute and match the uncached session.
+        let (body, m) = run(&cached, name_q, threads, false);
+        assert!(m.result_cache_used && !m.result_cache_hit);
+        let (expected, _) = run(&uncached, name_q, threads, true);
+        assert_eq!(
+            body, expected,
+            "threads={threads}: refresh diverged from uncached run"
+        );
+        // The refreshed entry serves those same bytes.
+        let (again, m) = run(&cached, name_q, threads, false);
+        assert!(m.result_cache_hit);
+        assert_eq!(
+            again, expected,
+            "threads={threads}: cache hit is not byte-identical"
+        );
+    }
+
+    // DELETE WHERE over knows flushes the knows entries (and only them:
+    // the 4 refreshed name entries survive).
+    let before = cached.cache_stats();
+    cached
+        .update(Request::new("DELETE WHERE { ?a <http://e/knows> ?b . }"))
+        .unwrap();
+    let final_stats = cached.cache_stats();
+    assert_eq!(final_stats.invalidations, before.invalidations + 4);
+    assert!(run(&cached, name_q, 1, false).1.result_cache_hit);
+    assert!(!run(&cached, knows_q, 1, false).1.result_cache_hit);
+}
+
 /// Admission control under a deliberately tiny capacity: every response
 /// is either a success or an explicit `ERR BUSY` — never a hang or a
 /// protocol failure — and the server keeps serving afterwards.
@@ -251,7 +377,11 @@ fn admission_control_rejects_rather_than_queueing_without_bound() {
                     let mut ok = 0u32;
                     let mut busy = 0u32;
                     for _ in 0..5 {
-                        let response = client.query("threads=2", join).expect("transport");
+                        // cache=off keeps every request executing, so the
+                        // tiny capacity stays under real pressure.
+                        let response = client
+                            .query("threads=2 cache=off", join)
+                            .expect("transport");
                         if response.starts_with("OK ") {
                             ok += 1;
                         } else if response.starts_with("ERR BUSY") {
