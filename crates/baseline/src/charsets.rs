@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use hsp_rdf::{TermId, TriplePos};
 use hsp_sparql::{TriplePattern, Var};
-use hsp_store::{Dataset, Order};
+use hsp_store::{Dataset, Order, StorageBackend};
 
 /// One characteristic set: a distinct predicate combination, how many
 /// subjects exhibit it, and per-predicate triple counts.
@@ -48,7 +48,8 @@ impl CharacteristicSets {
     /// Build the statistics with one pass over the SPO-sorted relation
     /// (subjects arrive grouped, so no global hash of subjects is needed).
     pub fn build(ds: &Dataset) -> Self {
-        let rows = ds.store().relation(Order::Spo).rows();
+        let scan = ds.store().scan(Order::Spo, &[]);
+        let rows = scan.as_slice();
         let mut table: HashMap<Vec<TermId>, (u64, HashMap<TermId, u64>)> = HashMap::new();
 
         let mut i = 0;

@@ -35,7 +35,7 @@ use hsp_engine::plan::PhysicalPlan;
 use hsp_rdf::{TermId, TriplePos};
 use hsp_sparql::rewrite::push_down_const_equalities;
 use hsp_sparql::{JoinQuery, TermOrVar, TriplePattern, Var};
-use hsp_store::{Dataset, Order};
+use hsp_store::{Dataset, Order, StorageBackend};
 
 /// Number of buckets of each per-predicate object histogram.
 const HISTOGRAM_BUCKETS: usize = 64;
@@ -67,11 +67,11 @@ fn bucket(id: TermId) -> usize {
 impl StockerStats {
     /// Gather the statistics in one scan of the `spo` relation.
     pub fn build(ds: &Dataset) -> StockerStats {
-        let rows = ds.store().relation(Order::Spo).rows();
+        let rows = ds.store().scan(Order::Spo, &[]);
         let mut predicate_counts: HashMap<TermId, usize> = HashMap::new();
         let mut object_histograms: HashMap<TermId, Vec<usize>> = HashMap::new();
         let mut global_object_histogram = vec![0usize; HISTOGRAM_BUCKETS];
-        for &[_, p, o] in rows {
+        for &[_, p, o] in rows.as_slice() {
             *predicate_counts.entry(p).or_insert(0) += 1;
             object_histograms
                 .entry(p)

@@ -31,6 +31,15 @@
 //!   the result cache). The speedup is what caching buys repeat
 //!   traffic; the row gates so the cache path cannot silently regress
 //!   to re-executing.
+//! * `serve_update_t1` (**gated**): write-heavy publication latency —
+//!   a sequence of `INSERT DATA` / `DELETE DATA` batches against a
+//!   100k-triple store, on a server that compacts after every update
+//!   (threshold 1: every batch pays the O(store) base-run rebuild the
+//!   pre-delta store paid on every write) versus one with the default
+//!   compaction threshold (a batch publishes in O(delta log delta)).
+//!   The speedup is what copy-on-write deltas buy the write path; the
+//!   row gates so publication cannot silently regress to cloning the
+//!   dataset per batch.
 //!
 //! The overhead and mixed phases pin `cache=off` on every request (and
 //! the in-process reference bypasses the session caches) so those rows
@@ -46,7 +55,7 @@ use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::time::Instant;
 
-use hsp_datagen::{workload, DatasetKind};
+use hsp_datagen::{generate_sp2bench, workload, DatasetKind, Sp2BenchConfig};
 use sparql_hsp::results;
 use sparql_hsp::serve::{Client, ServeConfig, Server};
 use sparql_hsp::session::{Request, Session, SessionOptions};
@@ -59,6 +68,17 @@ pub const CLIENTS: usize = 4;
 /// Passes each client makes over the workload (so the concurrent phase
 /// has enough requests in flight to overlap meaningfully).
 const PASSES: usize = 3;
+
+/// INSERT/DELETE batch pairs the write-heavy phase publishes per server.
+const UPDATE_BATCHES: usize = 16;
+
+/// Ground triples per update batch — the delta each publication carries.
+const UPDATE_ROWS: usize = 64;
+
+/// Triples in the write-heavy phase's dataset: large enough that the
+/// per-batch O(store) rebuild of the compact-every-update baseline
+/// dominates the O(delta log delta) cost of the delta path.
+const UPDATE_STORE_TRIPLES: usize = 100_000;
 
 /// One measured serving row.
 pub struct ServeResult {
@@ -142,6 +162,47 @@ fn run_client(
     latencies
 }
 
+/// The write-heavy phase's request sequence: `UPDATE_BATCHES` pairs of
+/// an `INSERT DATA` batch of `UPDATE_ROWS` fresh triples and the
+/// matching `DELETE DATA`, so the store returns to its initial size and
+/// both servers publish the identical sequence.
+fn update_batches() -> Vec<String> {
+    let mut batches = Vec::with_capacity(UPDATE_BATCHES * 2);
+    for b in 0..UPDATE_BATCHES {
+        let mut insert = String::from("INSERT DATA {\n");
+        let mut delete = String::from("DELETE DATA {\n");
+        for i in 0..UPDATE_ROWS {
+            let triple = format!("<http://bench/u{b}x{i}> <http://bench/upd> \"v{b}x{i}\" .\n");
+            insert.push_str(&triple);
+            delete.push_str(&triple);
+        }
+        insert.push('}');
+        delete.push('}');
+        batches.push(insert);
+        batches.push(delete);
+    }
+    batches
+}
+
+/// Publish every batch over one connection; the elapsed time is the
+/// client-observed publication cost of the whole write sequence (an
+/// `UPDATE` response is sent only after the new snapshot is live).
+fn run_update_client(addr: SocketAddr, batches: &[String]) -> u128 {
+    let mut client = Client::connect(addr).expect("bench update client connects");
+    let start = Instant::now();
+    for (i, text) in batches.iter().enumerate() {
+        let response = client
+            .update("", text)
+            .unwrap_or_else(|e| panic!("update {i}: transport error: {e}"));
+        assert!(
+            response.starts_with("OK "),
+            "update {i}: server refused a benchmark update: {}",
+            response.lines().next().unwrap_or("")
+        );
+    }
+    start.elapsed().as_nanos()
+}
+
 fn percentile(sorted: &[u128], p: f64) -> u128 {
     assert!(!sorted.is_empty());
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
@@ -189,6 +250,7 @@ pub fn measure_serve() -> ServeReport {
             pool_threads: Some(2),
             morsel_rows: Some(512),
             min_parallel_rows: Some(0),
+            ..SessionOptions::default()
         },
     );
     let server = Server::start(session, ServeConfig::default()).expect("bench server starts");
@@ -249,6 +311,51 @@ pub fn measure_serve() -> ServeReport {
         .expect("benchmark session is pooled");
     server.shutdown();
 
+    // Phase 4 — write-heavy: publication latency of UPDATE batches
+    // against a 100k-triple store. The baseline server compacts after
+    // every update (threshold 1): each batch folds the delta back into
+    // the six base runs before the UPDATE response ships — the O(store)
+    // per-batch cost the pre-delta store paid on every write. The
+    // measured server keeps the default threshold, so a batch costs
+    // O(delta log delta) and base rebuilds amortise over many batches.
+    // Updates never consult the result cache, so the row is cache-off by
+    // construction; pool-less sessions keep it free of scheduler noise.
+    let update_ds = generate_sp2bench(Sp2BenchConfig::with_triples(UPDATE_STORE_TRIPLES));
+    let batches = update_batches();
+    let compact_every = Session::with_options(
+        update_ds.clone(),
+        SessionOptions {
+            pool_threads: Some(0),
+            compaction_threshold: Some(1),
+            ..SessionOptions::default()
+        },
+    );
+    let baseline_server =
+        Server::start(compact_every, ServeConfig::default()).expect("baseline update server");
+    let update_baseline_ns = run_update_client(baseline_server.addr(), &batches);
+    assert!(
+        baseline_server.session().snapshot().store().compactions() >= batches.len() as u64,
+        "threshold-1 baseline must compact on every update"
+    );
+    baseline_server.shutdown();
+    let delta_session = Session::with_options(
+        update_ds,
+        SessionOptions {
+            pool_threads: Some(0),
+            ..SessionOptions::default()
+        },
+    );
+    let delta_server =
+        Server::start(delta_session, ServeConfig::default()).expect("delta update server");
+    let update_optimized_ns = run_update_client(delta_server.addr(), &batches);
+    let published = delta_server.session().snapshot();
+    assert_eq!(
+        published.store().version(),
+        batches.len() as u64,
+        "every batch must have published a new store version"
+    );
+    delta_server.shutdown();
+
     ServeReport {
         rows: vec![
             ServeResult {
@@ -271,6 +378,14 @@ pub fn measure_serve() -> ServeReport {
                 name: "serve_cached_t1".into(),
                 baseline_ns: uncached_ns,
                 optimized_ns: cached_ns,
+                qps: None,
+                p50_ns: None,
+                p99_ns: None,
+            },
+            ServeResult {
+                name: "serve_update_t1".into(),
+                baseline_ns: update_baseline_ns,
+                optimized_ns: update_optimized_ns,
                 qps: None,
                 p50_ns: None,
                 p99_ns: None,

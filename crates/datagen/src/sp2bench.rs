@@ -278,8 +278,9 @@ mod tests {
         let rdf_type = ds.id_of(&Term::iri(RDF_TYPE)).unwrap();
         let article = ds.id_of(&Term::iri(sp2b::article_class())).unwrap();
         // Subjects with isbn: none of them is an article.
-        let rel = ds.store().relation(hsp_store::Order::Pso);
-        for row in rel.range(&[isbn]) {
+        use hsp_store::StorageBackend;
+        let scan = ds.store().scan(hsp_store::Order::Pso, &[isbn]);
+        for row in scan.as_slice() {
             let subject = row[1];
             assert_eq!(
                 ds.store().count_bound(&[

@@ -392,8 +392,26 @@ pub fn render_runtime_metrics(m: &crate::metrics::RuntimeMetrics) -> String {
     } else {
         String::new()
     };
+    // The storage segment appears only on the session path (the session
+    // stamps the snapshot's version after the run) or when a scan had to
+    // merge a delta overlay, so plain engine output stays byte-identical
+    // to what it always was.
+    let storage = if m.store_version > 0 || m.store_delta_rows > 0 || m.merged_scans > 0 {
+        format!(
+            "; storage: v{}, {} delta row{}, {} merged scan{}, {} compaction{}",
+            m.store_version,
+            m.store_delta_rows,
+            if m.store_delta_rows == 1 { "" } else { "s" },
+            m.merged_scans,
+            if m.merged_scans == 1 { "" } else { "s" },
+            m.store_compactions,
+            if m.store_compactions == 1 { "" } else { "s" },
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}{shared}{cache}\n",
+        "runtime: {parallel}; {pipelines}buffer pool {} hit{} / {} miss{} / {} recycled{governor}{shared}{cache}{storage}\n",
         m.pool_hits,
         if m.pool_hits == 1 { "" } else { "s" },
         m.pool_misses,
@@ -642,6 +660,31 @@ mod tests {
             ..staged
         };
         assert!(render_runtime_metrics(&with_sorts).contains("3 parallel sorts"));
+    }
+
+    #[test]
+    fn runtime_metrics_report_storage_only_when_stamped() {
+        use crate::metrics::RuntimeMetrics;
+        // Plain engine runs never stamp storage fields: no segment.
+        let plain = RuntimeMetrics {
+            threads: 1,
+            ..RuntimeMetrics::default()
+        };
+        assert!(!render_runtime_metrics(&plain).contains("storage"));
+        // Session-stamped metrics render the snapshot's storage state.
+        let stamped = RuntimeMetrics {
+            threads: 1,
+            store_version: 3,
+            store_delta_rows: 2,
+            merged_scans: 1,
+            store_compactions: 0,
+            ..RuntimeMetrics::default()
+        };
+        let line = render_runtime_metrics(&stamped);
+        assert!(
+            line.contains("storage: v3, 2 delta rows, 1 merged scan, 0 compactions"),
+            "{line}"
+        );
     }
 
     #[test]

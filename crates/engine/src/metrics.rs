@@ -56,6 +56,10 @@ pub struct RuntimeMetrics {
     /// pre-dedup + one sink first-occurrence pass) instead of
     /// materialising breakers.
     pub distinct_streamed: usize,
+    /// Scans that merged the storage delta overlay with the base run
+    /// (scans over a compacted store take the contiguous-slice fast path
+    /// and do not count).
+    pub merged_scans: usize,
     /// The execution's thread budget.
     pub threads: usize,
     /// Buffer-pool checkouts served from the free lists.
@@ -93,6 +97,15 @@ pub struct RuntimeMetrics {
     /// was skipped). Meaningful only when
     /// [`RuntimeMetrics::result_cache_used`] is set.
     pub result_cache_hit: bool,
+    /// Monotonic content version of the store snapshot the query ran
+    /// against. Stamped by the session; [`RuntimeMetrics::of`] leaves it 0.
+    pub store_version: u64,
+    /// Delta-overlay rows (inserts + tombstones) awaiting compaction in
+    /// that snapshot. Stamped by the session.
+    pub store_delta_rows: usize,
+    /// Compactions (base-run rebuilds) the snapshot's lineage has
+    /// performed. Stamped by the session.
+    pub store_compactions: u64,
 }
 
 impl RuntimeMetrics {
@@ -114,6 +127,7 @@ impl RuntimeMetrics {
             parallel_aggregates: ctx.parallel_aggregates(),
             aggregate_groups: ctx.aggregate_groups(),
             distinct_streamed: ctx.distinct_streamed(),
+            merged_scans: ctx.merged_scans(),
             threads: ctx.morsel.threads(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
@@ -125,6 +139,9 @@ impl RuntimeMetrics {
             plan_cache_hit: false,
             result_cache_used: false,
             result_cache_hit: false,
+            store_version: 0,
+            store_delta_rows: 0,
+            store_compactions: 0,
         }
     }
 }

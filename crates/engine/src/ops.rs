@@ -25,7 +25,7 @@ use std::collections::HashSet;
 
 use hsp_rdf::{Term, TermId, TermKind};
 use hsp_sparql::{CmpOp, FilterExpr, Operand, TermOrVar, TriplePattern, Var};
-use hsp_store::{Dataset, Order};
+use hsp_store::{Dataset, Order, StorageBackend};
 
 use crate::binding::BindingTable;
 use crate::kernel::{BuildTable, FxBuildHasher};
@@ -85,7 +85,11 @@ pub fn scan_in(
         }
     }
 
-    let rows = ds.store().relation(order).range(&prefix);
+    let scan = ds.store().scan(order, &prefix);
+    if !scan.is_contiguous() {
+        ctx.note_merged_scan();
+    }
+    let rows = scan.as_slice();
 
     // A fully ground pattern is a containment check: zero columns, but the
     // row count (0 or 1) still matters to joins and cross products.

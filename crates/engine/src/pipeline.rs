@@ -61,7 +61,7 @@ use std::time::Instant;
 
 use hsp_rdf::{IdTriple, TermId};
 use hsp_sparql::{AggSpec, FilterExpr, TriplePattern, Var};
-use hsp_store::{Dataset, Order};
+use hsp_store::{Dataset, Order, OrderScan, StorageBackend};
 
 use crate::binding::BindingTable;
 use crate::exec::{plan_label, ExecError, Profile};
@@ -1179,13 +1179,18 @@ fn run_pipeline(
         .collect();
 
     // Resolve a scan source against the dataset here — not inside
-    // `prepare` — so the rows borrow `ds` alone and stay usable by the
-    // sink after the prepared stages (which borrow the input tables) are
+    // `prepare` — so the rows borrow `ds` alone (or the merged scan
+    // buffer, which outlives `prepared`) and stay usable by the sink
+    // after the prepared stages (which borrow the input tables) are
     // dropped.
-    let (scan_rows, scan_known) = match &p.source {
+    let (scan, scan_known) = match &p.source {
         SourceSpec::Scan { pattern, order, .. } => resolve_scan(ds, pattern, *order),
-        SourceSpec::Slot(_) => (&[][..], true),
+        SourceSpec::Slot(_) => (OrderScan::empty(), true),
     };
+    if !scan.is_contiguous() {
+        ctx.note_merged_scan();
+    }
+    let scan_rows: &[IdTriple] = &scan;
 
     let prepared = prepare(
         p,
@@ -1546,23 +1551,23 @@ fn resolve_scan<'d>(
     ds: &'d Dataset,
     pattern: &TriplePattern,
     order: Order,
-) -> (&'d [IdTriple], bool) {
+) -> (OrderScan<'d>, bool) {
     let mut prefix: Vec<TermId> = Vec::with_capacity(3);
     for pos in order.positions() {
         match pattern.slot(pos) {
             hsp_sparql::TermOrVar::Const(term) => match ds.dict().id(term) {
                 Some(id) => prefix.push(id),
-                None => return (&[], false),
+                None => return (OrderScan::empty(), false),
             },
             hsp_sparql::TermOrVar::Var(_) => break,
         }
     }
-    let rows = ds.store().relation(order).range(&prefix);
+    let scan = ds.store().scan(order, &prefix);
     assert!(
-        rows.len() < u32::MAX as usize,
+        scan.len() < u32::MAX as usize,
         "scan range exceeds u32 row indexing"
     );
-    (rows, true)
+    (scan, true)
 }
 
 /// Resolve the pipeline's source and stages against the (already

@@ -218,6 +218,7 @@ pub struct ExecContext {
     parallel_aggregates: Cell<usize>,
     aggregate_groups: Cell<usize>,
     distinct_streamed: Cell<usize>,
+    merged_scans: Cell<usize>,
     /// Computed-term overlay: terms produced by aggregation, indexed by
     /// `id - COMPUTED_BASE`. Single-threaded by design (finalisation runs
     /// on the coordinating thread after the morsel barrier).
@@ -417,6 +418,12 @@ impl ExecContext {
         self.distinct_streamed.set(self.distinct_streamed.get() + 1);
     }
 
+    /// Record one scan that had to merge the storage delta overlay with
+    /// the base run (no contiguous-slice fast path).
+    pub(crate) fn note_merged_scan(&self) {
+        self.merged_scans.set(self.merged_scans.get() + 1);
+    }
+
     /// Intern a term produced by aggregation into the per-execution
     /// computed-term overlay, returning its id (≥ [`COMPUTED_BASE`]).
     /// Idempotent: equal terms get equal ids, and the first-intern order
@@ -529,6 +536,11 @@ impl ExecContext {
     /// DISTINCTs deduplicated as streaming pipeline stages so far.
     pub fn distinct_streamed(&self) -> usize {
         self.distinct_streamed.get()
+    }
+
+    /// Scans that merged the storage delta overlay with the base run.
+    pub fn merged_scans(&self) -> usize {
+        self.merged_scans.get()
     }
 }
 

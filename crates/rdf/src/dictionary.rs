@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::term::{Term, TermKind};
 
@@ -49,13 +50,25 @@ impl fmt::Display for TermId {
 ///
 /// Interning the same term twice returns the same identifier. Lookup by term
 /// is hash-based; lookup by id is an array index.
+///
+/// Like the triple relations, the dictionary is copy-on-write: ids
+/// `0..base_len` live in an immutable `Arc`-shared base segment and newer
+/// ids in a small mutable delta, so cloning a dictionary for snapshot
+/// publication costs O(delta) — not one `String` allocation per interned
+/// term. Ids are dense across both segments and never move;
+/// [`Dictionary::compact`] folds the delta into a fresh base segment.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    terms: Vec<Term>,
-    /// Kind of each interned term, kept separately so hot-path kind checks
-    /// (heuristic H4) avoid touching the string data.
+    /// Immutable shared segment: ids `0..base_terms.len()`.
+    base_terms: Arc<Vec<Term>>,
+    base_by_term: Arc<HashMap<Term, TermId>>,
+    /// Mutable overlay: ids `base_terms.len()..len()`.
+    delta_terms: Vec<Term>,
+    delta_by_term: HashMap<Term, TermId>,
+    /// Kind of each interned term (both segments), kept separately so
+    /// hot-path kind checks (heuristic H4) avoid touching the string data.
+    /// Plain `Vec`: one byte per term, cloning it is a memcpy.
     kinds: Vec<TermKind>,
-    by_term: HashMap<Term, TermId>,
 }
 
 impl Dictionary {
@@ -66,25 +79,50 @@ impl Dictionary {
 
     /// Number of distinct interned terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.base_terms.len() + self.delta_terms.len()
     }
 
     /// `true` if no terms have been interned.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of terms in the mutable delta segment (0 after `compact`).
+    pub fn delta_len(&self) -> usize {
+        self.delta_terms.len()
     }
 
     /// Intern `term`, returning its identifier (allocating one if new).
     pub fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.by_term.get(&term) {
+        if let Some(&id) = self.base_by_term.get(&term) {
             return id;
         }
-        let id =
-            TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        if let Some(&id) = self.delta_by_term.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.len()).expect("dictionary overflow: > u32::MAX terms"));
         self.kinds.push(term.kind());
-        self.terms.push(term.clone());
-        self.by_term.insert(term, id);
+        self.delta_terms.push(term.clone());
+        self.delta_by_term.insert(term, id);
         id
+    }
+
+    /// Fold the delta segment into a fresh shared base segment (ids are
+    /// unchanged). O(n); callers keep it off the write path alongside
+    /// store compaction. Returns `false` if the delta was already empty.
+    pub fn compact(&mut self) -> bool {
+        if self.delta_terms.is_empty() {
+            return false;
+        }
+        let mut terms = Vec::with_capacity(self.len());
+        terms.extend_from_slice(&self.base_terms);
+        terms.append(&mut self.delta_terms);
+        let mut by_term = HashMap::with_capacity(terms.len());
+        by_term.extend((*self.base_by_term).clone());
+        by_term.extend(self.delta_by_term.drain());
+        self.base_terms = Arc::new(terms);
+        self.base_by_term = Arc::new(by_term);
+        true
     }
 
     /// Intern an IRI given as a string.
@@ -99,7 +137,10 @@ impl Dictionary {
 
     /// Look up the identifier of an already-interned term.
     pub fn id(&self, term: &Term) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        self.base_by_term
+            .get(term)
+            .or_else(|| self.delta_by_term.get(term))
+            .copied()
     }
 
     /// Look up the identifier of an already-interned IRI.
@@ -107,7 +148,7 @@ impl Dictionary {
         // Avoids allocating when the IRI is already interned is not possible
         // with a HashMap<Term, _> key without a borrowed key type; the
         // allocation here is planning-time only, never per-tuple.
-        self.by_term.get(&Term::iri(iri)).copied()
+        self.id(&Term::iri(iri))
     }
 
     /// Resolve an identifier back to its term.
@@ -115,12 +156,17 @@ impl Dictionary {
     /// # Panics
     /// Panics if `id` was not produced by this dictionary.
     pub fn term(&self, id: TermId) -> &Term {
-        &self.terms[id.index()]
+        self.get(id).expect("term id out of range")
     }
 
     /// Resolve an identifier if it is valid for this dictionary.
     pub fn get(&self, id: TermId) -> Option<&Term> {
-        self.terms.get(id.index())
+        let i = id.index();
+        if i < self.base_terms.len() {
+            self.base_terms.get(i)
+        } else {
+            self.delta_terms.get(i - self.base_terms.len())
+        }
     }
 
     /// The kind (IRI/literal) of an interned term without touching its data.
@@ -130,8 +176,9 @@ impl Dictionary {
 
     /// Iterate over all `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms
+        self.base_terms
             .iter()
+            .chain(self.delta_terms.iter())
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t))
     }
@@ -205,5 +252,52 @@ mod tests {
         assert!(d.rdf_type().is_none());
         let id = d.intern_iri(crate::vocab::RDF_TYPE);
         assert_eq!(d.rdf_type(), Some(id));
+    }
+
+    #[test]
+    fn interning_after_clone_is_copy_on_write() {
+        let mut d = Dictionary::new();
+        let a = d.intern_iri("http://e.org/a");
+        d.compact();
+        let snapshot = d.clone();
+        assert!(Arc::ptr_eq(&d.base_terms, &snapshot.base_terms));
+        // New terms land in the delta; the shared base is untouched.
+        let b = d.intern_iri("http://e.org/b");
+        assert!(Arc::ptr_eq(&d.base_terms, &snapshot.base_terms));
+        assert_eq!(d.delta_len(), 1);
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.get(b).is_none());
+        // Both segments resolve ids and terms.
+        assert_eq!(d.term(a), &Term::iri("http://e.org/a"));
+        assert_eq!(d.term(b), &Term::iri("http://e.org/b"));
+        assert_eq!(d.id(&Term::iri("http://e.org/b")), Some(b));
+    }
+
+    #[test]
+    fn compact_preserves_ids_and_lookup() {
+        let mut d = Dictionary::new();
+        let ids: Vec<_> = (0..50)
+            .map(|i| d.intern_literal(format!("lit{i}")))
+            .collect();
+        d.compact();
+        let more: Vec<_> = (50..80)
+            .map(|i| d.intern_literal(format!("lit{i}")))
+            .collect();
+        assert_eq!(d.delta_len(), 30);
+        assert!(d.compact());
+        assert!(!d.compact(), "second compact is a no-op");
+        assert_eq!(d.delta_len(), 0);
+        assert_eq!(d.len(), 80);
+        for (i, id) in ids.iter().chain(more.iter()).enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(d.term(*id), &Term::literal(format!("lit{i}")));
+            assert_eq!(d.id(&Term::literal(format!("lit{i}"))), Some(*id));
+            assert_eq!(d.kind(*id), TermKind::Literal);
+        }
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, (0..80).collect::<Vec<_>>());
+        // Interning an existing term still finds it in either segment.
+        assert_eq!(d.intern_literal("lit5"), ids[5]);
+        assert_eq!(d.len(), 80);
     }
 }

@@ -19,6 +19,10 @@ impl Dataset {
     pub fn from_triples(triples: &[Triple]) -> Self {
         let mut dict = Dictionary::new();
         let encoded: Vec<IdTriple> = triples.iter().map(|t| t.intern(&mut dict)).collect();
+        // Loading interns every term into the dictionary's mutable delta
+        // segment; fold it into the shared base now so the first snapshot
+        // clone is O(delta)=O(0), not one String clone per loaded term.
+        dict.compact();
         Dataset {
             store: TripleStore::from_triples(&encoded),
             dict,
@@ -26,10 +30,11 @@ impl Dataset {
     }
 
     /// Build a dataset from already-encoded triples and their dictionary.
-    pub fn from_encoded(dict: Dictionary, triples: &[IdTriple]) -> Self {
+    pub fn from_encoded(mut dict: Dictionary, triples: &[IdTriple]) -> Self {
         if let Some(bad) = triples.iter().flatten().find(|id| dict.get(**id).is_none()) {
             panic!("triple references id {bad} not present in the dictionary");
         }
+        dict.compact();
         Dataset {
             store: TripleStore::from_triples(triples),
             dict,
@@ -109,12 +114,36 @@ impl Dataset {
         self.store.remove_batch(triples)
     }
 
+    /// Set a per-dataset compaction threshold (inherited by clones).
+    pub fn set_compaction_threshold(&mut self, threshold: Option<usize>) {
+        self.store.set_compaction_threshold(threshold);
+    }
+
+    /// Fold the store's delta overlays (and the dictionary's delta) into
+    /// fresh base runs when the delta has outgrown the threshold. Returns
+    /// `true` if a compaction ran.
+    pub fn compact_if_needed(&mut self) -> bool {
+        let ran = self.store.compact_if_needed();
+        if ran {
+            self.dict.compact();
+        }
+        ran
+    }
+
+    /// Unconditionally fold deltas into fresh base runs (content-neutral).
+    pub fn compact(&mut self) -> bool {
+        let ran = self.store.compact();
+        self.dict.compact();
+        ran
+    }
+
     /// Render all triples back as an N-Triples document (in SPO order).
     pub fn to_ntriples(&self) -> String {
+        use crate::backend::StorageBackend;
         use crate::order::Order;
-        let rows = self.store.relation(Order::Spo).rows();
+        let rows = self.store.scan(Order::Spo, &[]);
         let mut out = String::new();
-        for &key in rows {
+        for &key in rows.as_slice() {
             let spo = Order::Spo.from_key(key);
             let triple = hsp_rdf::triple::resolve(&self.dict, spo);
             out.push_str(&triple.to_string());

@@ -14,15 +14,26 @@
 //!   statistics. The counts are what RDF-3X's *aggregated indexes* provide,
 //!   so the CDP baseline planner is fed the same information as in the paper.
 //! * [`Dataset`] — a store bundled with its [`Dictionary`].
+//!
+//! Since the copy-on-write refactor each relation is an immutable
+//! `Arc`-shared base run plus a sorted delta overlay, reads go through the
+//! [`StorageBackend`] trait ([`StorageBackend::scan`] returns an
+//! [`OrderScan`] cursor that borrows the base run whenever the delta is
+//! empty over the range), and cloning a store for snapshot publication
+//! costs O(delta) instead of O(store).
 
+pub mod backend;
 pub mod dataset;
 pub mod order;
 pub mod relation;
+pub mod scan;
 pub mod store;
 
+pub use backend::StorageBackend;
 pub use dataset::Dataset;
 pub use order::Order;
 pub use relation::SortedRelation;
+pub use scan::OrderScan;
 pub use store::TripleStore;
 
 pub use hsp_rdf::{Dictionary, IdTriple, TermId, TriplePos};

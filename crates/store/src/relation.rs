@@ -1,21 +1,48 @@
-//! One sorted copy of the triple table.
+//! One sorted copy of the triple table: immutable base run + delta overlay.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
 
 use hsp_rdf::{IdTriple, TermId};
 
 use crate::order::Order;
+use crate::scan::OrderScan;
 
-/// A fully sorted copy of the triple table under one collation [`Order`].
+/// One delta-overlay entry: a key plus whether it deletes a base row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DeltaEntry {
+    key: IdTriple,
+    tombstone: bool,
+}
+
+/// A fully sorted copy of the triple table under one collation [`Order`],
+/// split RDF-3X-style into an immutable `Arc`-shared **base run** and a
+/// small sorted **delta overlay** of inserts and tombstones.
 ///
 /// Rows are stored *in key coordinates* (e.g. `[p, o, s]` for [`Order::Pos`])
 /// so lexicographic array comparison is the sort order and range lookup by a
 /// bound prefix is two binary searches. This is the "ordered triple relation
 /// stored as a regular table" of the paper, and doubles as the aggregated
-/// index of RDF-3X: `count(prefix)` is exact in `O(log n)` and
-/// `distinct(prefix)` in `O(d · log n)` by galloping over group boundaries.
+/// index of RDF-3X: `count(prefix)` is exact in `O(log n + delta)` and
+/// `distinct(prefix)` in `O((d + delta) · log n)`.
+///
+/// Mutation never touches the base run: inserts and removes land in the
+/// delta in `O(log n + delta)`, so cloning the relation costs an `Arc`
+/// bump plus the (small) delta — the copy-on-write property snapshot
+/// publication relies on. [`SortedRelation::compact`] folds the delta back
+/// into a fresh base run off the write path.
+///
+/// Delta invariants (upheld by every mutator):
+/// - entries are sorted by key and keys are unique;
+/// - an insert entry's key is **absent** from the base run;
+/// - a tombstone's key is **present** in the base run.
 #[derive(Debug, Clone)]
 pub struct SortedRelation {
     order: Order,
-    rows: Vec<IdTriple>,
+    base: Arc<Vec<IdTriple>>,
+    delta: Vec<DeltaEntry>,
+    /// Number of non-tombstone (insert) entries in `delta`.
+    inserts: usize,
 }
 
 impl SortedRelation {
@@ -25,7 +52,12 @@ impl SortedRelation {
         let mut rows: Vec<IdTriple> = triples.iter().map(|&t| order.to_key(t)).collect();
         rows.sort_unstable();
         rows.dedup();
-        SortedRelation { order, rows }
+        SortedRelation {
+            order,
+            base: Arc::new(rows),
+            delta: Vec::new(),
+            inserts: 0,
+        }
     }
 
     /// The collation order of this relation.
@@ -33,144 +65,375 @@ impl SortedRelation {
         self.order
     }
 
-    /// Insert one `[s, p, o]` triple, keeping the relation sorted. Returns
-    /// `false` if the triple was already present.
-    ///
-    /// A single insert is `O(n)` (array shift) — acceptable for trickle
-    /// updates; bulk loads should use [`SortedRelation::insert_batch`],
-    /// which merges in `O(n + m log m)`.
+    fn base_contains(base: &[IdTriple], key: IdTriple) -> bool {
+        base.binary_search(&key).is_ok()
+    }
+
+    fn delta_search(&self, key: IdTriple) -> Result<usize, usize> {
+        self.delta.binary_search_by(|e| e.key.cmp(&key))
+    }
+
+    /// Insert one `[s, p, o]` triple. Returns `false` if the triple was
+    /// already present. `O(log n + delta)` — the base run is not touched.
     pub fn insert(&mut self, triple: IdTriple) -> bool {
         let key = self.order.to_key(triple);
-        match self.rows.binary_search(&key) {
-            Ok(_) => false,
+        match self.delta_search(key) {
+            Ok(pos) => {
+                if self.delta[pos].tombstone {
+                    // Dropping the tombstone resurrects the base row.
+                    self.delta.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
             Err(pos) => {
-                self.rows.insert(pos, key);
-                true
+                if Self::base_contains(&self.base, key) {
+                    false
+                } else {
+                    self.delta.insert(
+                        pos,
+                        DeltaEntry {
+                            key,
+                            tombstone: false,
+                        },
+                    );
+                    self.inserts += 1;
+                    true
+                }
             }
         }
     }
 
     /// Remove one `[s, p, o]` triple. Returns `false` if it was absent.
+    /// `O(log n + delta)` — base rows are tombstoned, not shifted.
     pub fn remove(&mut self, triple: IdTriple) -> bool {
         let key = self.order.to_key(triple);
-        match self.rows.binary_search(&key) {
+        match self.delta_search(key) {
             Ok(pos) => {
-                self.rows.remove(pos);
-                true
+                if self.delta[pos].tombstone {
+                    false
+                } else {
+                    self.delta.remove(pos);
+                    self.inserts -= 1;
+                    true
+                }
             }
-            Err(_) => false,
+            Err(pos) => {
+                if Self::base_contains(&self.base, key) {
+                    self.delta.insert(
+                        pos,
+                        DeltaEntry {
+                            key,
+                            tombstone: true,
+                        },
+                    );
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
-    /// Merge a batch of `[s, p, o]` triples in one pass. Returns the number
-    /// of triples that were new.
+    /// Merge a batch of `[s, p, o]` triples into the delta in one pass.
+    /// Returns the number of triples that were new.
+    /// `O((delta + m) · log n)` for a batch of `m`.
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
         let mut incoming: Vec<IdTriple> = triples.iter().map(|&t| self.order.to_key(t)).collect();
         incoming.sort_unstable();
         incoming.dedup();
-        incoming.retain(|k| self.rows.binary_search(k).is_err());
         if incoming.is_empty() {
             return 0;
         }
-        let added = incoming.len();
-        let mut merged = Vec::with_capacity(self.rows.len() + added);
+        let mut merged = Vec::with_capacity(self.delta.len() + incoming.len());
+        let mut added = 0;
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.rows.len() && j < incoming.len() {
-            if self.rows[i] <= incoming[j] {
-                merged.push(self.rows[i]);
-                i += 1;
-            } else {
-                merged.push(incoming[j]);
-                j += 1;
+        while i < self.delta.len() && j < incoming.len() {
+            match self.delta[i].key.cmp(&incoming[j]) {
+                Ordering::Less => {
+                    merged.push(self.delta[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    let key = incoming[j];
+                    j += 1;
+                    if !Self::base_contains(&self.base, key) {
+                        merged.push(DeltaEntry {
+                            key,
+                            tombstone: false,
+                        });
+                        added += 1;
+                    }
+                }
+                Ordering::Equal => {
+                    let entry = self.delta[i];
+                    i += 1;
+                    j += 1;
+                    if entry.tombstone {
+                        // Insert over a tombstone: the base row comes back.
+                        added += 1;
+                    } else {
+                        merged.push(entry);
+                    }
+                }
             }
         }
-        merged.extend_from_slice(&self.rows[i..]);
-        merged.extend_from_slice(&incoming[j..]);
-        self.rows = merged;
+        merged.extend_from_slice(&self.delta[i..]);
+        for &key in &incoming[j..] {
+            if !Self::base_contains(&self.base, key) {
+                merged.push(DeltaEntry {
+                    key,
+                    tombstone: false,
+                });
+                added += 1;
+            }
+        }
+        self.delta = merged;
+        self.inserts = self.delta.iter().filter(|e| !e.tombstone).count();
         added
     }
 
     /// Remove a batch of `[s, p, o]` triples in one pass. Returns the number
-    /// of triples actually removed.
+    /// of triples actually removed. `O((delta + m) · log n)`.
     pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
         let mut outgoing: Vec<IdTriple> = triples.iter().map(|&t| self.order.to_key(t)).collect();
         outgoing.sort_unstable();
         outgoing.dedup();
-        let before = self.rows.len();
-        self.rows.retain(|k| outgoing.binary_search(k).is_err());
-        before - self.rows.len()
+        if outgoing.is_empty() {
+            return 0;
+        }
+        let mut merged = Vec::with_capacity(self.delta.len() + outgoing.len());
+        let mut removed = 0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.delta.len() && j < outgoing.len() {
+            match self.delta[i].key.cmp(&outgoing[j]) {
+                Ordering::Less => {
+                    merged.push(self.delta[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    let key = outgoing[j];
+                    j += 1;
+                    if Self::base_contains(&self.base, key) {
+                        merged.push(DeltaEntry {
+                            key,
+                            tombstone: true,
+                        });
+                        removed += 1;
+                    }
+                }
+                Ordering::Equal => {
+                    let entry = self.delta[i];
+                    i += 1;
+                    j += 1;
+                    if entry.tombstone {
+                        merged.push(entry); // already removed, keep the tombstone
+                    } else {
+                        removed += 1; // drop the live insert entry
+                    }
+                }
+            }
+        }
+        merged.extend_from_slice(&self.delta[i..]);
+        for &key in &outgoing[j..] {
+            if Self::base_contains(&self.base, key) {
+                merged.push(DeltaEntry {
+                    key,
+                    tombstone: true,
+                });
+                removed += 1;
+            }
+        }
+        self.delta = merged;
+        self.inserts = self.delta.iter().filter(|e| !e.tombstone).count();
+        removed
     }
 
-    /// Number of (distinct) rows.
+    /// Number of live (distinct) rows: base, minus tombstones, plus inserts.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.base.len() + 2 * self.inserts - self.delta.len()
     }
 
-    /// `true` if the relation holds no rows.
+    /// `true` if the relation holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// All rows, in key coordinates, sorted.
-    pub fn rows(&self) -> &[IdTriple] {
-        &self.rows
+    /// Number of delta-overlay entries (inserts + tombstones).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
     }
 
-    /// The half-open row range whose first `prefix.len()` key components
-    /// equal `prefix`.
-    ///
-    /// # Panics
-    /// Panics if `prefix.len() > 3`.
-    pub fn bounds(&self, prefix: &[TermId]) -> (usize, usize) {
+    /// Number of rows in the immutable base run.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// `true` if both relations share the same base-run allocation —
+    /// the copy-on-write property tests assert on.
+    pub fn shares_base_with(&self, other: &SortedRelation) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
+    }
+
+    /// The half-open base-run range whose first `prefix.len()` key
+    /// components equal `prefix`.
+    fn base_bounds(&self, prefix: &[TermId]) -> (usize, usize) {
         assert!(prefix.len() <= 3, "prefix longer than a key");
         if prefix.is_empty() {
-            return (0, self.rows.len());
+            return (0, self.base.len());
         }
         let lo = self
-            .rows
+            .base
             .partition_point(|row| &row[..prefix.len()] < prefix);
         let hi = self
-            .rows
+            .base
             .partition_point(|row| &row[..prefix.len()] <= prefix);
+        (lo, hi)
+    }
+
+    /// The half-open delta range whose keys match `prefix`.
+    fn delta_bounds(&self, prefix: &[TermId]) -> (usize, usize) {
+        if prefix.is_empty() {
+            return (0, self.delta.len());
+        }
+        let lo = self
+            .delta
+            .partition_point(|e| &e.key[..prefix.len()] < prefix);
+        let hi = self
+            .delta
+            .partition_point(|e| &e.key[..prefix.len()] <= prefix);
         (lo, hi)
     }
 
     /// The rows matching a bound key prefix (sorted by the remaining key
     /// components — the sortedness merge joins rely on).
-    pub fn range(&self, prefix: &[TermId]) -> &[IdTriple] {
-        let (lo, hi) = self.bounds(prefix);
-        &self.rows[lo..hi]
+    ///
+    /// Borrows the base run directly when no delta entry falls in the
+    /// range; otherwise merges base and delta into an owned buffer.
+    pub fn range(&self, prefix: &[TermId]) -> OrderScan<'_> {
+        let (blo, bhi) = self.base_bounds(prefix);
+        let (dlo, dhi) = self.delta_bounds(prefix);
+        if dlo == dhi {
+            return OrderScan::Borrowed(&self.base[blo..bhi]);
+        }
+        let mut out = Vec::with_capacity((bhi - blo) + (dhi - dlo));
+        let (mut i, mut j) = (blo, dlo);
+        while i < bhi && j < dhi {
+            let entry = self.delta[j];
+            match self.base[i].cmp(&entry.key) {
+                Ordering::Less => {
+                    out.push(self.base[i]);
+                    i += 1;
+                }
+                Ordering::Equal => {
+                    // Invariant: an equal-key delta entry is a tombstone.
+                    debug_assert!(entry.tombstone);
+                    i += 1;
+                    j += 1;
+                }
+                Ordering::Greater => {
+                    // Invariant: a delta key absent from base is an insert.
+                    debug_assert!(!entry.tombstone);
+                    out.push(entry.key);
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.base[i..bhi]);
+        for entry in &self.delta[j..dhi] {
+            debug_assert!(!entry.tombstone);
+            out.push(entry.key);
+        }
+        OrderScan::Owned(out)
     }
 
-    /// Exact number of rows matching a bound key prefix.
+    /// Exact number of live rows matching a bound key prefix.
+    /// `O(log n + delta-in-range)`.
     pub fn count(&self, prefix: &[TermId]) -> usize {
-        let (lo, hi) = self.bounds(prefix);
-        hi - lo
+        let (blo, bhi) = self.base_bounds(prefix);
+        let (dlo, dhi) = self.delta_bounds(prefix);
+        let mut count = bhi - blo;
+        for entry in &self.delta[dlo..dhi] {
+            if entry.tombstone {
+                count -= 1;
+            } else {
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Exact number of distinct values of key component `prefix.len()`
-    /// among rows matching `prefix`.
+    /// among live rows matching `prefix`.
     ///
-    /// Gallops from group to group with a binary search each, so the cost is
-    /// `O(d · log n)` for `d` distinct values — the same asymptotics as a
-    /// B+-tree aggregated-index scan in RDF-3X.
+    /// Gallops from group to group over the base run with a binary search
+    /// each, walking the (small) delta range alongside, so the cost is
+    /// `O((d + delta) · log n)` for `d` distinct values.
     pub fn distinct_after(&self, prefix: &[TermId]) -> usize {
         assert!(prefix.len() < 3, "no key component after a full key");
-        let (mut lo, hi) = self.bounds(prefix);
         let depth = prefix.len();
+        let (mut i, bhi) = self.base_bounds(prefix);
+        let (mut j, dhi) = self.delta_bounds(prefix);
         let mut distinct = 0;
-        while lo < hi {
-            let value = self.rows[lo][depth];
-            distinct += 1;
-            // Jump past the group of rows sharing `value` at `depth`.
-            lo += self.rows[lo..hi].partition_point(|row| row[depth] <= value);
+        while i < bhi || j < dhi {
+            // Next group value present in base or delta at `depth`.
+            let value = match (
+                (i < bhi).then(|| self.base[i][depth]),
+                (j < dhi).then(|| self.delta[j].key[depth]),
+            ) {
+                (Some(b), Some(d)) => b.min(d),
+                (Some(b), None) => b,
+                (None, Some(d)) => d,
+                (None, None) => unreachable!(),
+            };
+            // Jump past the base group of rows sharing `value` at `depth`.
+            let mut live = 0usize;
+            if i < bhi && self.base[i][depth] == value {
+                let group = self.base[i..bhi].partition_point(|row| row[depth] <= value);
+                live += group;
+                i += group;
+            }
+            // Walk the delta entries with this group value.
+            let mut tombstones = 0usize;
+            while j < dhi && self.delta[j].key[depth] == value {
+                if self.delta[j].tombstone {
+                    tombstones += 1;
+                } else {
+                    live += 1;
+                }
+                j += 1;
+            }
+            if live > tombstones {
+                distinct += 1;
+            }
         }
         distinct
     }
 
-    /// `true` if a row with exactly this key exists.
+    /// `true` if a live row with exactly this key exists.
     pub fn contains_key(&self, key: IdTriple) -> bool {
-        self.rows.binary_search(&key).is_ok()
+        match self.delta_search(key) {
+            Ok(pos) => !self.delta[pos].tombstone,
+            Err(_) => Self::base_contains(&self.base, key),
+        }
+    }
+
+    /// Fold the delta overlay into a fresh base run. Returns `false` if the
+    /// delta was already empty. `O(n + delta)` — callers keep this off the
+    /// write path (see `TripleStore::compact`).
+    pub fn compact(&mut self) -> bool {
+        if self.delta.is_empty() {
+            return false;
+        }
+        let merged = match self.range(&[]) {
+            OrderScan::Owned(rows) => rows,
+            OrderScan::Borrowed(rows) => rows.to_vec(),
+        };
+        self.base = Arc::new(merged);
+        self.delta.clear();
+        self.inserts = 0;
+        true
     }
 }
 
@@ -195,13 +458,19 @@ mod tests {
         ]
     }
 
+    /// Materialise all live rows (merged base+delta).
+    fn all_rows(r: &SortedRelation) -> Vec<IdTriple> {
+        r.range(&[]).as_slice().to_vec()
+    }
+
     #[test]
     fn build_sorts_and_dedups() {
         let r = SortedRelation::build(Order::Spo, &sample());
         assert_eq!(r.len(), 6);
-        let mut sorted = r.rows().to_vec();
+        let rows = all_rows(&r);
+        let mut sorted = rows.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, r.rows());
+        assert_eq!(sorted, rows);
     }
 
     #[test]
@@ -243,7 +512,7 @@ mod tests {
         assert_eq!(rows.len(), 4);
         let mut sorted = rows.to_vec();
         sorted.sort_unstable();
-        assert_eq!(sorted.as_slice(), rows);
+        assert_eq!(sorted.as_slice(), rows.as_slice());
     }
 
     #[test]
@@ -265,7 +534,7 @@ mod tests {
         // ops key: [o, p, s]; object 101 appears in triples (1,10,101) and (3,10,101).
         let rows = r.range(&[TermId(101)]);
         assert_eq!(rows.len(), 2);
-        for row in rows {
+        for row in rows.as_slice() {
             let spo = Order::Ops.from_key(*row);
             assert_eq!(spo[2], TermId(101));
         }
@@ -277,5 +546,118 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.count(&[]), 0);
         assert_eq!(r.distinct_after(&[]), 0);
+    }
+
+    #[test]
+    fn inserts_land_in_delta_not_base() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        let before = r.clone();
+        assert!(r.insert(t(9, 9, 9)));
+        assert!(!r.insert(t(9, 9, 9)), "duplicate insert");
+        assert!(!r.insert(t(1, 10, 100)), "already in base");
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.delta_len(), 1);
+        assert!(r.shares_base_with(&before), "insert must not copy the base");
+        assert_eq!(before.len(), 6, "shared base clone must be untouched");
+        assert!(r.contains_key(t(9, 9, 9)));
+    }
+
+    #[test]
+    fn removes_tombstone_base_rows() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        let before = r.clone();
+        assert!(r.remove(t(1, 10, 100)));
+        assert!(!r.remove(t(1, 10, 100)), "double remove");
+        assert!(!r.remove(t(9, 9, 9)), "absent key");
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.delta_len(), 1);
+        assert!(r.shares_base_with(&before));
+        assert!(!r.contains_key(t(1, 10, 100)));
+        assert_eq!(r.count(&[TermId(1)]), 2);
+        assert_eq!(r.range(&[TermId(1)]).len(), 2);
+    }
+
+    #[test]
+    fn reinsert_over_tombstone_resurrects() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        assert!(r.remove(t(1, 10, 100)));
+        assert!(r.insert(t(1, 10, 100)));
+        assert_eq!(r.delta_len(), 0, "tombstone + reinsert cancel out");
+        assert_eq!(r.len(), 6);
+        assert!(r.contains_key(t(1, 10, 100)));
+    }
+
+    #[test]
+    fn remove_pending_insert_cancels() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        assert!(r.insert(t(9, 9, 9)));
+        assert!(r.remove(t(9, 9, 9)));
+        assert_eq!(r.delta_len(), 0);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn merged_range_interleaves_delta() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        r.insert(t(1, 10, 99));
+        r.remove(t(1, 10, 101));
+        let scan = r.range(&[TermId(1), TermId(10)]);
+        assert!(!scan.is_contiguous());
+        assert_eq!(scan.as_slice(), &[t(1, 10, 99), t(1, 10, 100)]);
+        // Ranges outside the delta keep the borrowed fast path.
+        let scan = r.range(&[TermId(2)]);
+        assert!(scan.is_contiguous());
+        assert_eq!(scan.len(), 2);
+    }
+
+    #[test]
+    fn distinct_after_sees_delta() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        r.insert(t(4, 1, 1)); // new subject group
+        assert_eq!(r.distinct_after(&[]), 4);
+        r.remove(t(2, 10, 100));
+        r.remove(t(2, 12, 103)); // subject 2 fully tombstoned
+        assert_eq!(r.distinct_after(&[]), 3);
+        // Insert + tombstone within one group: subject 1 stays one group.
+        r.remove(t(1, 11, 100));
+        r.insert(t(1, 12, 1));
+        assert_eq!(r.distinct_after(&[]), 3);
+        assert_eq!(r.distinct_after(&[TermId(1)]), 2); // predicates 10, 12
+    }
+
+    #[test]
+    fn compact_folds_delta_into_base() {
+        let mut r = SortedRelation::build(Order::Spo, &sample());
+        r.insert(t(9, 9, 9));
+        r.remove(t(1, 10, 100));
+        let merged = all_rows(&r);
+        assert!(r.compact());
+        assert!(!r.compact(), "second compact is a no-op");
+        assert_eq!(r.delta_len(), 0);
+        assert_eq!(r.base_len(), 6);
+        assert_eq!(all_rows(&r), merged);
+        assert!(r.range(&[]).is_contiguous());
+    }
+
+    #[test]
+    fn batch_ops_match_singles() {
+        let mut batched = SortedRelation::build(Order::Pos, &sample());
+        let mut single = batched.clone();
+        let ins = vec![t(9, 9, 9), t(1, 10, 100), t(5, 5, 5), t(9, 9, 9)];
+        let del = vec![t(1, 10, 101), t(5, 5, 5), t(8, 8, 8)];
+        let added = batched.insert_batch(&ins);
+        let removed = batched.remove_batch(&del);
+        let mut a = 0;
+        for &x in &ins {
+            a += usize::from(single.insert(x));
+        }
+        let mut d = 0;
+        for &x in &del {
+            d += usize::from(single.remove(x));
+        }
+        assert_eq!(added, a);
+        assert_eq!(removed, d);
+        assert_eq!(all_rows(&batched), all_rows(&single));
+        assert_eq!(batched.len(), single.len());
     }
 }

@@ -1,9 +1,13 @@
 //! The triple store: all six sorted relations plus exact statistics.
 
+use std::sync::OnceLock;
+
 use hsp_rdf::{IdTriple, TermId, TriplePos};
 
+use crate::backend::{access_path, StorageBackend};
 use crate::order::Order;
 use crate::relation::SortedRelation;
+use crate::scan::OrderScan;
 
 /// A set of RDF triples materialised under all six collation orders.
 ///
@@ -11,14 +15,42 @@ use crate::relation::SortedRelation;
 /// Memory cost is `6 × 12` bytes per distinct triple plus the dictionary —
 /// the same trade the paper makes ("this is a common tactic in
 /// state-of-the-art RDF storing solutions").
+///
+/// Each relation is copy-on-write (immutable `Arc`-shared base run plus a
+/// sorted delta overlay), so cloning the store is O(delta) and mutation
+/// never rewrites the base runs. [`TripleStore::compact`] folds the deltas
+/// back into fresh base runs; callers keep it off the write path.
 #[derive(Debug, Clone)]
 pub struct TripleStore {
     relations: [SortedRelation; 6],
+    /// Monotonic content version, bumped once per applied mutation batch.
+    version: u64,
+    /// Number of compactions (base-run rebuilds) performed.
+    compactions: u64,
+    /// Per-store compaction threshold override; `None` uses the
+    /// `HSP_COMPACT_THRESHOLD` env var, then the built-in default.
+    compaction_threshold: Option<usize>,
 }
 
 /// Below this many triples, building/merging the six orders on one core is
 /// faster than paying six thread spawns.
 const PARALLEL_THRESHOLD: usize = 8 * 1024;
+
+/// Default delta size (per order) above which `compact_if_needed` rebuilds
+/// the base runs.
+const DEFAULT_COMPACT_THRESHOLD: usize = 4 * 1024;
+
+/// `HSP_COMPACT_THRESHOLD` env override for the compaction threshold,
+/// read once per process (CI forces `1` to exercise merge-on-read scans
+/// everywhere).
+fn env_compact_threshold() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HSP_COMPACT_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    })
+}
 
 /// `true` when fanning the six per-order jobs out to threads can win:
 /// the batch is large enough and the machine has more than one core.
@@ -38,7 +70,7 @@ impl TripleStore {
         } else {
             // `Order::ALL` is the relations array's indexing order.
             let relations = Order::ALL.map(|order| SortedRelation::build(order, triples));
-            TripleStore { relations }
+            Self::from_relations(relations)
         }
     }
 
@@ -51,8 +83,15 @@ impl TripleStore {
                 scope.spawn(move || *slot = Some(SortedRelation::build(order, triples)));
             }
         });
+        Self::from_relations(slots.map(|r| r.expect("all six orders built")))
+    }
+
+    fn from_relations(relations: [SortedRelation; 6]) -> Self {
         TripleStore {
-            relations: slots.map(|r| r.expect("all six orders built")),
+            relations,
+            version: 0,
+            compactions: 0,
+            compaction_threshold: None,
         }
     }
 
@@ -64,6 +103,7 @@ impl TripleStore {
             for rel in &mut self.relations[1..] {
                 rel.insert(triple);
             }
+            self.version += 1;
         }
         added
     }
@@ -75,44 +115,53 @@ impl TripleStore {
             for rel in &mut self.relations[1..] {
                 rel.remove(triple);
             }
+            self.version += 1;
         }
         removed
     }
 
-    /// Merge a batch of triples into all six orders. Returns the number of
-    /// genuinely new triples.
+    /// Merge a batch of triples into all six delta overlays. Returns the
+    /// number of genuinely new triples.
     ///
-    /// Like construction, the per-order merges are independent and run on
-    /// one thread each beyond the parallel threshold (measured against the
-    /// *merged* size, since the merge rewrites each whole relation).
+    /// The per-order merges are independent and run on one thread each
+    /// beyond the parallel threshold (measured against the work a merge
+    /// actually does now: the batch plus the existing delta).
     pub fn insert_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let counts = self.for_each_relation(triples.len(), |rel| rel.insert_batch(triples));
+        let work = triples.len() + self.delta_rows();
+        let counts = self.for_each_relation(work, |rel| rel.insert_batch(triples));
         debug_assert!(
             counts.iter().all(|&n| n == counts[0]),
             "orders diverged on insert"
         );
+        if counts[0] > 0 {
+            self.version += 1;
+        }
         counts[0]
     }
 
     /// Remove a batch of triples from all six orders. Returns the number of
     /// triples actually removed.
     pub fn remove_batch(&mut self, triples: &[IdTriple]) -> usize {
-        let counts = self.for_each_relation(triples.len(), |rel| rel.remove_batch(triples));
+        let work = triples.len() + self.delta_rows();
+        let counts = self.for_each_relation(work, |rel| rel.remove_batch(triples));
         debug_assert!(
             counts.iter().all(|&n| n == counts[0]),
             "orders diverged on removal"
         );
+        if counts[0] > 0 {
+            self.version += 1;
+        }
         counts[0]
     }
 
-    /// Apply `op` to every relation, in parallel when `self.len() + batch`
-    /// crosses the threshold, and collect the six return values.
+    /// Apply `op` to every relation, in parallel when `work` crosses the
+    /// threshold, and collect the six return values.
     fn for_each_relation(
         &mut self,
-        batch: usize,
+        work: usize,
         op: impl Fn(&mut SortedRelation) -> usize + Sync,
     ) -> [usize; 6] {
-        if parallelize(self.len() + batch) {
+        if parallelize(work) {
             self.for_each_relation_parallel(&op)
         } else {
             let mut counts = [0usize; 6];
@@ -138,8 +187,10 @@ impl TripleStore {
         counts
     }
 
-    /// The sorted relation for `order`.
-    pub fn relation(&self, order: Order) -> &SortedRelation {
+    /// The sorted relation for `order`. Crate-internal: consumers go
+    /// through [`StorageBackend::scan`] and friends so the backend trait
+    /// stays the only read surface.
+    pub(crate) fn relation(&self, order: Order) -> &SortedRelation {
         // Index derived from the fixed construction order above.
         let idx = match order {
             Order::Spo => 0,
@@ -167,12 +218,79 @@ impl TripleStore {
         self.relation(Order::Spo).contains_key(triple)
     }
 
+    /// Monotonic content version (bumped once per applied mutation batch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of compactions (base-run rebuilds) performed on this lineage.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Delta-overlay rows (inserts + tombstones) awaiting compaction.
+    /// All six orders carry the same logical delta, so one is reported.
+    pub fn delta_rows(&self) -> usize {
+        self.relations[0].delta_len()
+    }
+
+    /// `true` when all six orders still share their base runs with
+    /// `other` (pointer equality): the copy-on-write proof that cloning
+    /// and mutating this store never copied the bulk data.
+    pub fn shares_base_runs_with(&self, other: &TripleStore) -> bool {
+        self.relations
+            .iter()
+            .zip(&other.relations)
+            .all(|(a, b)| a.shares_base_with(b))
+    }
+
+    /// Set a per-store compaction threshold (inherited by clones).
+    /// `None` restores the `HSP_COMPACT_THRESHOLD` / built-in default.
+    pub fn set_compaction_threshold(&mut self, threshold: Option<usize>) {
+        self.compaction_threshold = threshold;
+    }
+
+    /// The threshold `compact_if_needed` compares the delta size against.
+    pub fn compaction_threshold(&self) -> usize {
+        self.compaction_threshold
+            .or_else(env_compact_threshold)
+            .unwrap_or(DEFAULT_COMPACT_THRESHOLD)
+    }
+
+    /// `true` when the delta overlay has outgrown the threshold and the
+    /// next [`TripleStore::compact`] call would rebuild the base runs.
+    pub fn needs_compaction(&self) -> bool {
+        self.delta_rows() >= self.compaction_threshold()
+    }
+
+    /// Fold all six delta overlays into fresh base runs (`O(n)` per order,
+    /// parallel over orders beyond the threshold). Returns `false` if the
+    /// deltas were already empty.
+    ///
+    /// This rewrites the base runs, so callers keep it **off the write
+    /// path**: the session compacts after publishing a snapshot, never
+    /// inside the read-visible critical section.
+    pub fn compact(&mut self) -> bool {
+        if self.delta_rows() == 0 {
+            return false;
+        }
+        let work = self.len();
+        self.for_each_relation(work, |rel| usize::from(rel.compact()));
+        self.compactions += 1;
+        true
+    }
+
+    /// Compact when the delta overlay exceeds the threshold.
+    pub fn compact_if_needed(&mut self) -> bool {
+        self.needs_compaction() && self.compact()
+    }
+
     /// Exact number of triples matching the given bound positions.
     ///
     /// Equivalent to an RDF-3X aggregated-index lookup: we pick the order
     /// whose key starts with the bound positions and binary-search.
     pub fn count_bound(&self, bound: &[(TriplePos, TermId)]) -> usize {
-        let (order, prefix) = self.access_path(bound);
+        let (order, prefix) = access_path(bound);
         self.relation(order).count(&prefix)
     }
 
@@ -197,14 +315,39 @@ impl TripleStore {
     pub fn distinct_at(&self, pos: TriplePos) -> usize {
         self.distinct_bound(&[], pos)
     }
+}
 
-    /// Choose an order whose key starts with the bound positions, and return
-    /// it with the bound values arranged as its key prefix.
-    fn access_path(&self, bound: &[(TriplePos, TermId)]) -> (Order, Vec<TermId>) {
-        let positions: Vec<TriplePos> = bound.iter().map(|&(p, _)| p).collect();
-        let order = Order::with_prefix(&positions);
-        let prefix: Vec<TermId> = bound.iter().map(|&(_, v)| v).collect();
-        (order, prefix)
+impl StorageBackend for TripleStore {
+    fn scan(&self, order: Order, prefix: &[TermId]) -> OrderScan<'_> {
+        self.relation(order).range(prefix)
+    }
+
+    fn count(&self, order: Order, prefix: &[TermId]) -> usize {
+        self.relation(order).count(prefix)
+    }
+
+    fn distinct_after(&self, order: Order, prefix: &[TermId]) -> usize {
+        self.relation(order).distinct_after(prefix)
+    }
+
+    fn contains(&self, triple: IdTriple) -> bool {
+        TripleStore::contains(self, triple)
+    }
+
+    fn len(&self) -> usize {
+        TripleStore::len(self)
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn delta_rows(&self) -> usize {
+        TripleStore::delta_rows(self)
+    }
+
+    fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -228,6 +371,10 @@ mod tests {
         ])
     }
 
+    fn rows(s: &TripleStore, order: Order) -> Vec<IdTriple> {
+        s.scan(order, &[]).as_slice().to_vec()
+    }
+
     #[test]
     fn len_ignores_duplicates() {
         assert_eq!(sample_store().len(), 6);
@@ -244,20 +391,14 @@ mod tests {
     #[test]
     fn all_relations_hold_same_triples() {
         let s = sample_store();
-        let mut base: Vec<IdTriple> = s
-            .relation(Order::Spo)
-            .rows()
+        let mut base: Vec<IdTriple> = rows(&s, Order::Spo)
             .iter()
             .map(|&k| Order::Spo.from_key(k))
             .collect();
         base.sort_unstable();
         for order in Order::ALL {
-            let mut got: Vec<IdTriple> = s
-                .relation(order)
-                .rows()
-                .iter()
-                .map(|&k| order.from_key(k))
-                .collect();
+            let mut got: Vec<IdTriple> =
+                rows(&s, order).iter().map(|&k| order.from_key(k)).collect();
             got.sort_unstable();
             assert_eq!(got, base, "{order}");
         }
@@ -341,6 +482,81 @@ mod tests {
         assert_eq!(s.count_bound(&[]), 0);
     }
 
+    /// Mutation is copy-on-write: a clone shares every base run with the
+    /// original, writes land in the deltas, and the clone is untouched.
+    #[test]
+    fn clone_shares_base_runs_and_mutation_is_o_delta() {
+        let original = sample_store();
+        let mut working = original.clone();
+        for order in Order::ALL {
+            assert!(working
+                .relation(order)
+                .shares_base_with(original.relation(order)));
+        }
+        assert!(working.insert(t(9, 9, 9)));
+        assert!(working.remove(t(1, 10, 100)));
+        assert_eq!(working.delta_rows(), 2);
+        assert_eq!(working.version(), 2);
+        for order in Order::ALL {
+            assert!(
+                working
+                    .relation(order)
+                    .shares_base_with(original.relation(order)),
+                "writes must not rewrite the shared base run ({order})"
+            );
+        }
+        // Reader's snapshot is untorn.
+        assert_eq!(original.len(), 6);
+        assert_eq!(original.delta_rows(), 0);
+        assert!(original.contains(t(1, 10, 100)));
+        assert!(!original.contains(t(9, 9, 9)));
+        // Writer sees its own changes.
+        assert_eq!(working.len(), 6);
+        assert!(!working.contains(t(1, 10, 100)));
+        assert!(working.contains(t(9, 9, 9)));
+    }
+
+    /// Compaction folds deltas into fresh base runs without changing
+    /// content, and the stats/scans agree before and after.
+    #[test]
+    fn compact_preserves_content() {
+        let mut s = sample_store();
+        s.insert_batch(&[t(9, 9, 9), t(8, 10, 100)]);
+        s.remove_batch(&[t(1, 10, 100), t(7, 7, 7)]);
+        let before: Vec<_> = Order::ALL.iter().map(|&o| rows(&s, o)).collect();
+        let len = s.len();
+        let version = s.version();
+        assert!(s.compact());
+        assert_eq!(s.compactions(), 1);
+        assert_eq!(s.delta_rows(), 0);
+        assert_eq!(s.len(), len);
+        assert_eq!(s.version(), version, "compaction is content-neutral");
+        for (i, &order) in Order::ALL.iter().enumerate() {
+            assert_eq!(rows(&s, order), before[i], "{order}");
+            assert!(s.scan(order, &[]).is_contiguous());
+        }
+        assert!(!s.compact(), "empty delta: no-op");
+        assert_eq!(s.compactions(), 1);
+    }
+
+    /// `compact_if_needed` honours the per-store threshold override.
+    #[test]
+    fn threshold_controls_compaction() {
+        let mut s = sample_store();
+        s.set_compaction_threshold(Some(3));
+        s.insert_batch(&[t(20, 1, 1), t(21, 1, 1)]);
+        assert!(!s.needs_compaction());
+        assert!(!s.compact_if_needed());
+        s.insert(t(22, 1, 1));
+        assert!(s.needs_compaction());
+        assert!(s.compact_if_needed());
+        assert_eq!(s.delta_rows(), 0);
+        assert_eq!(s.len(), 9);
+        // Clones inherit the override.
+        let clone = s.clone();
+        assert_eq!(clone.compaction_threshold(), 3);
+    }
+
     /// The parallel build produces the same store as the serial build,
     /// exercised directly so it runs even where `parallelize()` is false
     /// (single-core machines / small inputs).
@@ -353,11 +569,7 @@ mod tests {
         let parallel = TripleStore::from_triples_parallel(&triples);
         assert_eq!(serial.len(), parallel.len());
         for order in Order::ALL {
-            assert_eq!(
-                serial.relation(order).rows(),
-                parallel.relation(order).rows(),
-                "{order}"
-            );
+            assert_eq!(rows(&serial, order), rows(&parallel, order), "{order}");
         }
     }
 
@@ -380,11 +592,7 @@ mod tests {
         let counts = parallel.for_each_relation_parallel(&|rel| rel.remove_batch(&batch));
         assert!(counts.iter().all(|&n| n == removed_serial));
         for order in Order::ALL {
-            assert_eq!(
-                serial.relation(order).rows(),
-                parallel.relation(order).rows(),
-                "{order}"
-            );
+            assert_eq!(rows(&serial, order), rows(&parallel, order), "{order}");
         }
     }
 }

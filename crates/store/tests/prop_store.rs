@@ -1,8 +1,9 @@
-//! Property tests: the six orders agree, and binary-search range lookup is
-//! equivalent to a naive filter scan.
+//! Property tests: the six orders agree, binary-search range lookup is
+//! equivalent to a naive filter scan, and merged base+delta scans are
+//! byte-identical to a from-scratch rebuild.
 
 use hsp_rdf::{IdTriple, TermId, TriplePos};
-use hsp_store::{Order, TripleStore};
+use hsp_store::{Order, StorageBackend, TripleStore};
 use proptest::prelude::*;
 
 fn arb_triples() -> impl Strategy<Value = Vec<IdTriple>> {
@@ -20,6 +21,11 @@ fn distinct(triples: &[IdTriple]) -> Vec<IdTriple> {
     v
 }
 
+/// All rows of `store` under `order`, via the snapshot scan API.
+fn rows(store: &TripleStore, order: Order) -> Vec<IdTriple> {
+    store.scan(order, &[]).as_slice().to_vec()
+}
+
 proptest! {
     /// Every order stores exactly the distinct triple set.
     #[test]
@@ -27,9 +33,7 @@ proptest! {
         let store = TripleStore::from_triples(&triples);
         let expected = distinct(&triples);
         for order in Order::ALL {
-            let mut got: Vec<IdTriple> = store
-                .relation(order)
-                .rows()
+            let mut got: Vec<IdTriple> = rows(&store, order)
                 .iter()
                 .map(|&k| order.from_key(k))
                 .collect();
@@ -89,11 +93,10 @@ proptest! {
     #[test]
     fn ranges_are_sorted(triples in arb_triples(), p in 0u32..6) {
         let store = TripleStore::from_triples(&triples);
-        let rel = store.relation(Order::Pso);
-        let rows = rel.range(&[TermId(p + 100)]);
-        let mut sorted = rows.to_vec();
+        let scan = store.scan(Order::Pso, &[TermId(p + 100)]);
+        let mut sorted = scan.to_vec();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted.as_slice(), rows);
+        prop_assert_eq!(sorted.as_slice(), scan.as_slice());
     }
 }
 
@@ -118,16 +121,12 @@ proptest! {
         expected.retain(|t| del_set.binary_search(t).is_err());
 
         for order in Order::ALL {
-            let mut got: Vec<IdTriple> = store
-                .relation(order)
-                .rows()
-                .iter()
-                .map(|&k| order.from_key(k))
-                .collect();
+            let rows = rows(&store, order);
+            let mut got: Vec<IdTriple> = rows.iter().map(|&k| order.from_key(k)).collect();
             got.sort_unstable();
             prop_assert_eq!(&got, &expected, "order {}", order);
-            // …and each relation is strictly sorted (no duplicates).
-            prop_assert!(store.relation(order).rows().windows(2).all(|w| w[0] < w[1]));
+            // …and each merged scan is strictly sorted (no duplicates).
+            prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
         }
     }
 
@@ -171,10 +170,105 @@ proptest! {
         store.remove_batch(&new);
         prop_assert_eq!(store.len(), reference.len());
         for order in Order::ALL {
+            prop_assert_eq!(rows(&store, order), rows(&reference, order), "order {}", order);
+        }
+    }
+}
+
+/// One interleaved step: insert a batch, or remove a batch, or compact.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(Vec<IdTriple>),
+    Remove(Vec<IdTriple>),
+    Compact,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        4 => arb_triples().prop_map(Step::Insert),
+        4 => arb_triples().prop_map(Step::Remove),
+        1 => Just(Step::Compact),
+    ];
+    proptest::collection::vec(step, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The copy-on-write invariant under arbitrary interleavings: after any
+    /// sequence of insert/remove batches and compactions, every merged
+    /// base+delta scan — full relation and bound prefixes, all six orders —
+    /// is byte-identical to a `TripleStore` built from scratch over the
+    /// current triple set, and exact statistics agree. Earlier clones
+    /// (reader snapshots) are never torn by later writes.
+    #[test]
+    fn interleaved_batches_match_from_scratch(
+        base in arb_triples(),
+        steps in arb_steps(),
+        threshold in prop_oneof![Just(usize::MAX), Just(1usize), Just(8usize)],
+    ) {
+        let mut store = TripleStore::from_triples(&base);
+        store.set_compaction_threshold(Some(threshold));
+        let mut live = distinct(&base);
+        // Snapshot taken before the writes; must stay untorn throughout.
+        let snapshot = store.clone();
+        let snapshot_live = live.clone();
+
+        for step in &steps {
+            match step {
+                Step::Insert(batch) => {
+                    store.insert_batch(batch);
+                    live.extend(distinct(batch));
+                    live.sort_unstable();
+                    live.dedup();
+                }
+                Step::Remove(batch) => {
+                    store.remove_batch(batch);
+                    let del = distinct(batch);
+                    live.retain(|t| del.binary_search(t).is_err());
+                }
+                Step::Compact => {
+                    store.compact();
+                }
+            }
+            store.compact_if_needed();
+
+            let fresh = TripleStore::from_triples(&live);
+            prop_assert_eq!(store.len(), fresh.len());
+            for order in Order::ALL {
+                let merged = store.scan(order, &[]);
+                let rebuilt = fresh.scan(order, &[]);
+                prop_assert_eq!(merged.as_slice(), rebuilt.as_slice(), "order {}", order);
+                // Bound-prefix scans and stats agree too.
+                for prefix_len in 1..3usize {
+                    if let Some(&row) = rebuilt.as_slice().first() {
+                        let prefix = &row[..prefix_len];
+                        let got = store.scan(order, prefix);
+                        let want = fresh.scan(order, prefix);
+                        prop_assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "order {} prefix {:?}", order, prefix
+                        );
+                        prop_assert_eq!(store.count(order, prefix), fresh.count(order, prefix));
+                    }
+                }
+                prop_assert_eq!(store.distinct_after(order, &[]), fresh.distinct_after(order, &[]));
+            }
+            for pos in [TriplePos::S, TriplePos::P, TriplePos::O] {
+                prop_assert_eq!(store.distinct_at(pos), fresh.distinct_at(pos));
+            }
+        }
+
+        // The pre-write snapshot still reads exactly its own triple set.
+        let fresh = TripleStore::from_triples(&snapshot_live);
+        for order in Order::ALL {
+            let got = snapshot.scan(order, &[]);
+            let want = fresh.scan(order, &[]);
             prop_assert_eq!(
-                store.relation(order).rows(),
-                reference.relation(order).rows(),
-                "order {}", order
+                got.as_slice(),
+                want.as_slice(),
+                "snapshot torn under order {}", order
             );
         }
     }

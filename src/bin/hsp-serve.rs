@@ -40,13 +40,15 @@ struct Args {
     max_queue: usize,
     morsel_rows: Option<usize>,
     min_parallel_rows: Option<usize>,
+    compaction_threshold: Option<usize>,
     smoke: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: hsp-serve <data.nt|-> [--addr host:port] [--pool-threads <n>]\n\
      \x20      [--max-inflight <n>] [--max-queue <n>] [--morsel-rows <n>]\n\
-     \x20      [--min-parallel-rows <n>] [--smoke [clients]]"
+     \x20      [--min-parallel-rows <n>] [--compaction-threshold <n>]\n\
+     \x20      [--smoke [clients]]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         max_queue: 16,
         morsel_rows: None,
         min_parallel_rows: None,
+        compaction_threshold: None,
         smoke: None,
     };
     while let Some(flag) = argv.next() {
@@ -86,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
             "--min-parallel-rows" => {
                 args.min_parallel_rows =
                     Some(int("--min-parallel-rows", value("--min-parallel-rows")?)?)
+            }
+            "--compaction-threshold" => {
+                args.compaction_threshold =
+                    Some(int("--compaction-threshold", value("--compaction-threshold")?)?.max(1))
             }
             "--smoke" => {
                 // Optional client-count operand.
@@ -257,12 +264,14 @@ fn run() -> Result<(), String> {
             pool_threads: args.pool_threads.or(Some(2)),
             morsel_rows: args.morsel_rows.or(Some(16)),
             min_parallel_rows: args.min_parallel_rows.or(Some(0)),
+            compaction_threshold: args.compaction_threshold,
         }
     } else {
         SessionOptions {
             pool_threads: args.pool_threads,
             morsel_rows: args.morsel_rows,
             min_parallel_rows: args.min_parallel_rows,
+            compaction_threshold: args.compaction_threshold,
         }
     };
     let session = Session::with_options(ds, options);

@@ -589,6 +589,7 @@ fn run_update(shared: &ServerShared, opts: &ReqOpts, text: &str) -> String {
 
 fn render_stats(shared: &ServerShared) -> String {
     let m = &shared.metrics;
+    let snapshot = shared.session.snapshot();
     let mut body = format!(
         "connections={}\nqueries_ok={}\nupdates_ok={}\nerrors={}\nrejected={}\ntriples={}\n",
         m.connections(),
@@ -596,8 +597,14 @@ fn render_stats(shared: &ServerShared) -> String {
         m.updates_ok(),
         m.errors(),
         m.rejected(),
-        shared.session.snapshot().len(),
+        snapshot.len(),
     );
+    body.push_str(&format!(
+        "store_version={}\nstore_delta_rows={}\nstore_compactions={}\n",
+        snapshot.store().version(),
+        snapshot.store().delta_rows(),
+        snapshot.store().compactions(),
+    ));
     let cache = shared.session.cache_stats();
     body.push_str(&format!(
         "plan_cache_hits={}\nplan_cache_misses={}\nresult_cache_hits={}\n\

@@ -310,6 +310,14 @@ pub struct SessionOptions {
     pub morsel_rows: Option<usize>,
     /// Session-wide sequential-below threshold override.
     pub min_parallel_rows: Option<usize>,
+    /// Per-order delta size above which [`Session::update`] rebuilds the
+    /// base runs after publishing (see
+    /// [`Dataset::set_compaction_threshold`]). `None` keeps the store's
+    /// default (the `HSP_COMPACT_THRESHOLD` environment variable, else
+    /// 4096); `Some(1)` forces a rebuild after every update, which is
+    /// the O(store)-per-batch behaviour of the pre-delta store and is
+    /// what the write-heavy bench uses as its baseline.
+    pub compaction_threshold: Option<usize>,
 }
 
 struct SessionInner {
@@ -359,7 +367,10 @@ impl Session {
     }
 
     /// A session over `ds` with explicit [`SessionOptions`].
-    pub fn with_options(ds: Dataset, options: SessionOptions) -> Self {
+    pub fn with_options(mut ds: Dataset, options: SessionOptions) -> Self {
+        if options.compaction_threshold.is_some() {
+            ds.set_compaction_threshold(options.compaction_threshold);
+        }
         let pool = match options.pool_threads {
             Some(0) => None,
             Some(n) => Some(SharedPool::new(n)),
@@ -439,6 +450,9 @@ impl Session {
         drop(guard);
         let (mut response, reads) = result?;
         response.metrics.shared_pool_batches = batches;
+        response.metrics.store_version = ds.store().version();
+        response.metrics.store_delta_rows = ds.store().delta_rows();
+        response.metrics.store_compactions = ds.store().compactions();
         if let Some(key) = result_key {
             response.metrics.result_cache_used = true;
             // Re-acquire the read guard so the insert cannot interleave
@@ -460,6 +474,15 @@ impl Session {
     /// request applies to a private clone of the dataset, and the clone
     /// is published only on success — concurrent readers keep their
     /// snapshot throughout, and an error publishes nothing.
+    ///
+    /// The clone is copy-on-write: the six base runs (and the
+    /// dictionary's base segment) stay `Arc`-shared with the published
+    /// snapshot, and the update lands in per-order delta overlays — so
+    /// building and publishing a batch costs O(delta log delta), not
+    /// O(store). When an order's delta outgrows the compaction
+    /// threshold, the base runs are rebuilt *after* the swap: readers
+    /// are already served by the new snapshot, so the rebuild never
+    /// adds publication latency.
     pub fn update(&self, request: Request) -> Result<UpdateResponse, SessionError> {
         let config = self.exec_config(&request);
         let _writer = self
@@ -467,6 +490,8 @@ impl Session {
             .write_lock
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // O(delta) clone: shares the base runs with the published
+        // snapshot via `Arc`, copies only the delta overlays.
         let mut working = (*self.snapshot()).clone();
         let tag = self.inner.queries.fetch_add(1, Ordering::Relaxed);
         let guard = self.inner.pool.as_ref().map(|p| p.install(tag));
@@ -474,6 +499,8 @@ impl Session {
         drop(guard);
         let (stats, touched) = result.map_err(SessionError::Update)?;
         let triples = working.len();
+        let needs_compaction = working.store().needs_compaction();
+        let published = Arc::new(working);
         {
             let mut store = self
                 .inner
@@ -488,7 +515,24 @@ impl Session {
             if stats.inserted + stats.deleted > 0 {
                 self.inner.cache.invalidate(&touched);
             }
-            *store = Arc::new(working);
+            *store = Arc::clone(&published);
+        }
+        if needs_compaction {
+            // Rebuild the base runs off the publication path: the delta
+            // snapshot is already published and serving readers, so the
+            // rebuild costs no reader or publication latency. Still
+            // under the writer lock — the next update waits for fresh
+            // base runs instead of stacking deltas. Compaction is
+            // content-neutral (same `version`), so the result cache
+            // stays warm across the second swap.
+            let mut compacted = (*published).clone();
+            compacted.compact();
+            let mut store = self
+                .inner
+                .store
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *store = Arc::new(compacted);
         }
         Ok(UpdateResponse { stats, triples })
     }

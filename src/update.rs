@@ -47,7 +47,12 @@ pub struct Touched {
 impl Touched {
     fn note_data(&mut self, triples: &[Triple]) {
         for t in triples {
-            self.predicates.insert(t.predicate.clone());
+            // Data blocks repeat few distinct predicates across many
+            // triples; check before cloning so a large batch does not
+            // allocate per-triple inside the writer critical section.
+            if !self.predicates.contains(&t.predicate) {
+                self.predicates.insert(t.predicate.clone());
+            }
         }
     }
 
@@ -115,7 +120,11 @@ impl std::error::Error for UpdateError {}
 #[deprecated(note = "go through `sparql_hsp::session::Session::update`, which \
                      adds build-and-swap snapshot isolation")]
 pub fn apply_update(ds: &mut Dataset, text: &str) -> Result<UpdateStats, UpdateError> {
-    run_update(ds, text, &ExecConfig::unlimited())
+    let stats = run_update(ds, text, &ExecConfig::unlimited())?;
+    // The in-place path has no post-publication hook, so fold oversized
+    // deltas back into the base runs here.
+    ds.compact_if_needed();
+    Ok(stats)
 }
 
 /// [`apply_update`] under an explicit [`ExecConfig`]: a timeout, memory
@@ -137,7 +146,9 @@ pub fn apply_update_with(
     text: &str,
     config: &ExecConfig,
 ) -> Result<UpdateStats, UpdateError> {
-    run_update(ds, text, config)
+    let stats = run_update(ds, text, config)?;
+    ds.compact_if_needed();
+    Ok(stats)
 }
 
 /// The in-place update engine behind [`Session::update`](crate::session::Session::update) and
@@ -278,7 +289,7 @@ fn delete_where(
 #[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
-    use hsp_store::Order;
+    use hsp_store::{Order, StorageBackend};
 
     fn seed() -> Dataset {
         Dataset::from_ntriples(
@@ -295,13 +306,9 @@ mod tests {
     fn orders_agree(ds: &Dataset) {
         let n = ds.len();
         for order in Order::ALL {
-            assert_eq!(ds.store().relation(order).len(), n, "{order}");
-            assert!(ds
-                .store()
-                .relation(order)
-                .rows()
-                .windows(2)
-                .all(|w| w[0] < w[1]));
+            let scan = ds.store().scan(order, &[]);
+            assert_eq!(scan.len(), n, "{order}");
+            assert!(scan.as_slice().windows(2).all(|w| w[0] < w[1]));
         }
     }
 

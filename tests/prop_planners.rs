@@ -102,10 +102,11 @@ enum SlotSpec {
 
 /// Independent reference evaluator: nested-loop pattern matching.
 fn reference_eval(ds: &Dataset, query: &JoinQuery) -> Vec<Vec<TermId>> {
+    use hsp_store::StorageBackend;
     let all: Vec<IdTriple> = ds
         .store()
-        .relation(hsp_store::Order::Spo)
-        .rows()
+        .scan(hsp_store::Order::Spo, &[])
+        .as_slice()
         .iter()
         .map(|&k| hsp_store::Order::Spo.from_key(k))
         .collect();

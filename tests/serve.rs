@@ -25,6 +25,7 @@ fn pooled_options() -> SessionOptions {
         pool_threads: Some(2),
         morsel_rows: Some(512),
         min_parallel_rows: Some(0),
+        ..SessionOptions::default()
     }
 }
 

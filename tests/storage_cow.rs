@@ -1,0 +1,206 @@
+//! Session-level tests of the copy-on-write storage path: updates
+//! publish O(delta) snapshots (base runs stay `Arc`-shared), readers
+//! stay untorn across concurrent publications, results are
+//! byte-identical across thread budgets and compaction thresholds, and
+//! the storage counters flow through [`sparql_hsp::session::Response`]
+//! metrics.
+
+use sparql_hsp::session::{Request, Session, SessionOptions};
+
+use hsp_store::Dataset;
+
+/// A small person graph: names to scan, `knows` edges to join over.
+fn base_dataset() -> Dataset {
+    let mut nt = String::new();
+    for i in 0..48 {
+        nt.push_str(&format!(
+            "<http://e/p{i}> <http://e/name> \"Person {i}\" .\n\
+             <http://e/p{i}> <http://e/knows> <http://e/p{next}> .\n",
+            next = (i + 1) % 48,
+        ));
+    }
+    Dataset::from_ntriples(&nt).expect("base dataset parses")
+}
+
+/// The update sequence every variant applies: growth, churn on existing
+/// subjects, and a pattern delete — enough to leave both live delta
+/// inserts and tombstones behind on the low-threshold variants.
+fn updates() -> Vec<String> {
+    let mut ops = Vec::new();
+    for b in 0..6 {
+        let mut text = String::from("INSERT DATA {\n");
+        for i in 0..12 {
+            text.push_str(&format!(
+                "<http://e/x{b}u{i}> <http://e/issued> \"19{b}{i}\" .\n"
+            ));
+        }
+        text.push('}');
+        ops.push(text);
+    }
+    ops.push(
+        "DELETE DATA { <http://e/x0u0> <http://e/issued> \"1900\" . \
+         <http://e/x1u1> <http://e/issued> \"1911\" . }"
+            .to_string(),
+    );
+    ops.push("DELETE WHERE { ?s <http://e/knows> <http://e/p0> . }".to_string());
+    ops
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT ?s ?o WHERE { ?s <http://e/issued> ?o . } ORDER BY ?s",
+    "SELECT ?a ?n WHERE { ?a <http://e/knows> ?b . ?b <http://e/name> ?n . } ORDER BY ?a",
+    "SELECT ?s WHERE { ?s <http://e/name> \"Person 3\" . }",
+];
+
+fn session_with(threshold: Option<usize>) -> Session {
+    Session::with_options(
+        base_dataset(),
+        SessionOptions {
+            // Tiny morsels + no sequential-below threshold so even this
+            // small dataset schedules real parallel work at threads > 1.
+            morsel_rows: Some(8),
+            min_parallel_rows: Some(0),
+            compaction_threshold: threshold,
+            ..SessionOptions::default()
+        },
+    )
+}
+
+/// Every (compaction threshold, thread budget) combination returns the
+/// same rows after the same update sequence — merged base+delta scans,
+/// freshly compacted runs, and the pre-delta single-run shape are
+/// indistinguishable to queries.
+#[test]
+fn results_identical_across_threads_and_compaction_thresholds() {
+    let mut reference: Option<Vec<Vec<Vec<Option<hsp_rdf::Term>>>>> = None;
+    // usize::MAX never compacts (pure delta), 1 compacts every update,
+    // 8 compacts mid-sequence; None uses the default (env-overridable).
+    for threshold in [Some(usize::MAX), Some(1), Some(8), None] {
+        let session = session_with(threshold);
+        for op in updates() {
+            session.update(Request::new(op)).expect("update applies");
+        }
+        for threads in 1..=4 {
+            let got: Vec<_> = QUERIES
+                .iter()
+                .map(|q| {
+                    session
+                        .query(Request::new(*q).with_threads(threads).without_cache())
+                        .expect("query runs")
+                        .output
+                        .rows
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    want, &got,
+                    "threshold {threshold:?} threads {threads} diverged"
+                ),
+            }
+        }
+    }
+    // Sanity: the reference saw the updates (72 inserts - 2 deletes).
+    assert_eq!(reference.expect("ran")[0].len(), 70);
+}
+
+/// A reader querying while a writer publishes batch after batch must
+/// only ever observe whole batches: its snapshot is taken atomically
+/// and scans over it never see a half-applied update.
+#[test]
+fn concurrent_publication_keeps_readers_untorn() {
+    const BATCH: usize = 8;
+    const BATCHES: usize = 24;
+    let session = session_with(Some(4)); // compact often, mid-traffic
+    let writer = {
+        let session = session.clone();
+        std::thread::spawn(move || {
+            for b in 0..BATCHES {
+                let mut text = String::from("INSERT DATA {\n");
+                for i in 0..BATCH {
+                    text.push_str(&format!("<http://e/w{b}x{i}> <http://e/marker> \"m\" .\n"));
+                }
+                text.push('}');
+                session.update(Request::new(text)).expect("update applies");
+            }
+        })
+    };
+    let query = "SELECT ?s WHERE { ?s <http://e/marker> ?o . }";
+    let mut seen = 0usize;
+    while !writer.is_finished() {
+        let out = session
+            .query(Request::new(query).without_cache())
+            .expect("reader query runs");
+        let n = out.output.rows.len();
+        assert_eq!(n % BATCH, 0, "torn read: {n} marker rows");
+        assert!(n >= seen, "snapshot went backwards: {n} < {seen}");
+        seen = n;
+    }
+    writer.join().expect("writer thread");
+    let out = session
+        .query(Request::new(query).without_cache())
+        .expect("final query runs");
+    assert_eq!(out.output.rows.len(), BATCH * BATCHES);
+}
+
+/// The storage counters the session stamps on each response: version
+/// advances per publication, a never-compacting session accumulates
+/// delta rows and reports merged scans, a compact-every-update session
+/// reports compactions and an empty delta.
+#[test]
+fn storage_metrics_flow_through_responses() {
+    // Per-store threshold overrides beat the HSP_COMPACT_THRESHOLD env
+    // var, so these assertions hold under the CI threshold-1 pass too.
+    let delta_only = session_with(Some(usize::MAX));
+    let v0 = delta_only
+        .query(Request::new(QUERIES[0]).without_cache())
+        .expect("query runs")
+        .metrics
+        .store_version;
+    for op in updates() {
+        delta_only.update(Request::new(op)).expect("update applies");
+    }
+    let out = delta_only
+        .query(Request::new(QUERIES[0]).without_cache())
+        .expect("query runs");
+    assert!(out.metrics.store_version > v0, "version never advanced");
+    assert!(out.metrics.store_delta_rows > 0, "delta was folded away");
+    assert!(
+        out.metrics.merged_scans > 0,
+        "scan over a delta-resident predicate did not merge"
+    );
+    assert_eq!(out.metrics.store_compactions, 0);
+
+    let compact_every = session_with(Some(1));
+    for op in updates() {
+        compact_every
+            .update(Request::new(op))
+            .expect("update applies");
+    }
+    let out = compact_every
+        .query(Request::new(QUERIES[0]).without_cache())
+        .expect("query runs");
+    assert_eq!(out.metrics.store_delta_rows, 0, "threshold 1 left a delta");
+    assert!(out.metrics.store_compactions > 0, "never compacted");
+    assert_eq!(out.metrics.merged_scans, 0, "compacted scan still merged");
+}
+
+/// Publication is O(delta): the published snapshot keeps sharing the
+/// previous snapshot's base runs instead of rebuilding (or cloning)
+/// them, for both the store and the dictionary.
+#[test]
+fn publication_shares_base_runs_with_previous_snapshot() {
+    let session = session_with(Some(usize::MAX));
+    let before = session.snapshot();
+    session
+        .update(Request::new(
+            "INSERT DATA { <http://e/fresh> <http://e/issued> \"2026\" . }",
+        ))
+        .expect("update applies");
+    let after = session.snapshot();
+    assert!(
+        after.store().shares_base_runs_with(before.store()),
+        "publication rebuilt the base runs for a 1-triple delta"
+    );
+    assert_eq!(after.len(), before.len() + 1);
+}
